@@ -1,0 +1,118 @@
+// Ablations over the design choices DESIGN.md §6 calls out, measured on
+// the functional layer:
+//   1. redundancy: RS(4,2) delta-parity RMW vs full-stripe writes vs
+//      3-way replication — shard ops and bytes per user write;
+//   2. flush-path compression: wire bytes saved per page for different
+//      page contents, and where the compute runs (host vs DPU model);
+//   3. EC locus: host vs DPU encode cost for the Fig. 1/9 stripe sizes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dfs/client.hpp"
+#include "dpu/compress.hpp"
+#include "ec/reed_solomon.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace dpc;
+
+std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+  return v;
+}
+
+void redundancy_ablation(const bench::BenchArgs& args) {
+  std::cout << "-- redundancy: per-write data-server cost --\n";
+  dfs::MdsCluster mds;
+  dfs::DataServers ds;
+
+  auto run = [&](const char* name, const dfs::ClientConfig& cfg,
+                 std::uint32_t io, std::uint64_t off, sim::Table& t) {
+    static int seq = 0;
+    dfs::DfsClient client(static_cast<dfs::ClientId>(++seq), mds, ds, cfg);
+    const auto c =
+        client.create("/abl-" + std::to_string(seq), 1 << 20);
+    const auto data = bytes(io, 1);
+    client.write(c.ino, off, data);  // warm (allocates, takes delegation)
+    const auto w = client.write(c.ino, off, data);
+    t.add_row({name, std::to_string(io / 1024) + "K",
+               std::to_string(w.prof.ds_ops),
+               sim::Table::fmt(w.prof.ds.us(), 1),
+               sim::Table::fmt(w.prof.net.us(), 1)});
+  };
+
+  sim::Table t({"scheme", "write", "shard ops", "server us", "net us"});
+  auto ec = dfs::ClientConfig::optimized();
+  auto repl = dfs::ClientConfig::optimized();
+  repl.use_replication = true;
+  run("RS(4,2) sub-stripe RMW", ec, 8 * 1024, 0, t);
+  run("RS(4,2) full stripe", ec, 32 * 1024, 0, t);
+  run("3-replication", repl, 8 * 1024, 0, t);
+  run("3-replication (32K)", repl, 32 * 1024, 0, t);
+  bench::print_table(t, args);
+}
+
+void compression_ablation(const bench::BenchArgs& args) {
+  std::cout << "-- flush-path compression: 4K pages --\n";
+  sim::Table t({"content", "packed bytes", "ratio", "DPU cost us",
+                "host cost us"});
+  struct Case {
+    const char* name;
+    std::vector<std::byte> page;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"zero page", std::vector<std::byte>(4096, std::byte{0})});
+  {
+    std::vector<std::byte> text(4096);
+    const char* phrase = "INFO request served in 12ms path=/api/v1/items ";
+    for (std::size_t i = 0; i < text.size(); ++i)
+      text[i] = static_cast<std::byte>(phrase[i % 47]);
+    cases.push_back({"log text", std::move(text)});
+  }
+  cases.push_back({"random", bytes(4096, 9)});
+
+  for (const auto& c : cases) {
+    std::vector<std::byte> packed;
+    const auto n = dpu::lz_compress(c.page, packed);
+    t.add_row({c.name, std::to_string(n),
+               sim::Table::fmt(static_cast<double>(c.page.size()) /
+                                   static_cast<double>(n),
+                               1) +
+                   "x",
+               sim::Table::fmt(dpu::dpu_compress_cost(c.page.size()).us(), 2),
+               sim::Table::fmt(dpu::host_compress_cost(c.page.size()).us(),
+                               2)});
+  }
+  bench::print_table(t, args);
+}
+
+void ec_locus_ablation(const bench::BenchArgs& args) {
+  std::cout << "-- EC compute locus (RS(4,2) stripes) --\n";
+  sim::Table t({"stripe", "host encode us", "DPU engine us", "speedup"});
+  for (const std::size_t stripe : {32u * 1024, 128u * 1024, 1u << 20}) {
+    const auto h = ec::ReedSolomon::host_encode_cost(stripe);
+    const auto d = ec::ReedSolomon::dpu_encode_cost(stripe);
+    t.add_row({std::to_string(stripe / 1024) + "K",
+               sim::Table::fmt(h.us(), 1), sim::Table::fmt(d.us(), 1),
+               sim::Table::fmt(static_cast<double>(h.ns) /
+                                   static_cast<double>(d.ns),
+                               1) +
+                   "x"});
+  }
+  bench::print_table(t, args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::headline("Ablations — redundancy, compression, EC locus",
+                  "the DESIGN.md §6 design-choice studies");
+  redundancy_ablation(args);
+  compression_ablation(args);
+  ec_locus_ablation(args);
+  return 0;
+}

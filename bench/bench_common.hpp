@@ -1,0 +1,51 @@
+// Shared plumbing for the figure/table reproduction binaries: flag parsing
+// (--csv emits machine-readable rows), headline printing, and the demand
+// helpers that turn measured op counts into MVA station demands.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/calib.hpp"
+#include "sim/mva.hpp"
+#include "sim/table.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::bench {
+
+struct BenchArgs {
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+    }
+    return args;
+  }
+};
+
+inline void print_table(const sim::Table& t, const BenchArgs& args) {
+  if (args.csv)
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+  std::cout << '\n';
+}
+
+inline void headline(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n"
+            << "    reproduces: " << paper_ref << "\n\n";
+}
+
+/// Modelled cost of `dma_ops` link transactions moving `bytes` of payload:
+/// per-transaction setup plus the wire time. Used to convert measured DMA
+/// counters into per-op transport demands.
+inline sim::Nanos dma_transport_cost(std::uint64_t dma_ops,
+                                     std::uint64_t bytes) {
+  return sim::calib::kDmaSetup * static_cast<std::int64_t>(dma_ops) +
+         sim::calib::pcie_transfer(bytes);
+}
+
+}  // namespace dpc::bench

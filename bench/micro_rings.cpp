@@ -1,0 +1,97 @@
+// Micro-benchmarks of the real transport data structures on the build
+// machine: nvme-fs SQ/CQ round trips vs virtio-fs chain round trips, at
+// several payload sizes. These are wall-clock measurements of the
+// functional layer (ring protocol + counted DMA copies), backing the
+// DESIGN.md ablation notes on protocol overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/virtual_client.hpp"
+
+namespace {
+
+using namespace dpc;
+
+void BM_NvmeFsWrite(benchmark::State& state) {
+  core::NvmeRawHarness::Options o;
+  o.queues = 1;
+  o.depth = 16;
+  o.max_io = 1 << 20;
+  core::NvmeRawHarness h(o);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)),
+                             std::byte{0x5A});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.do_write(0, buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["dma_ops/op"] = static_cast<double>(
+      (h.counters().ops(pcie::DmaClass::kDescriptor) +
+       h.counters().ops(pcie::DmaClass::kData)) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_NvmeFsWrite)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+void BM_NvmeFsRead(benchmark::State& state) {
+  core::NvmeRawHarness::Options o;
+  o.queues = 1;
+  o.depth = 16;
+  o.max_io = 1 << 20;
+  core::NvmeRawHarness h(o);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.do_read(0, buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_NvmeFsRead)->Arg(4096)->Arg(65536);
+
+void BM_VirtioFsWrite(benchmark::State& state) {
+  core::VirtioRawHarness::Options o;
+  o.queue_size = 64;
+  o.request_slots = 16;
+  o.max_io = 1 << 20;
+  core::VirtioRawHarness h(o);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)),
+                             std::byte{0x5A});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.do_write(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["dma_ops/op"] = static_cast<double>(
+      (h.counters().ops(pcie::DmaClass::kDescriptor) +
+       h.counters().ops(pcie::DmaClass::kData)) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_VirtioFsWrite)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+void BM_VirtioFsRead(benchmark::State& state) {
+  core::VirtioRawHarness::Options o;
+  o.queue_size = 64;
+  o.request_slots = 16;
+  o.max_io = 1 << 20;
+  core::VirtioRawHarness h(o);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.do_read(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VirtioFsRead)->Arg(4096)->Arg(65536);
+
+void BM_SqeEncodeDecode(benchmark::State& state) {
+  nvme::NvmeFsCmd cmd;
+  cmd.inline_op = nvme::InlineOp::kWrite;
+  cmd.inode = 42;
+  cmd.offset = 1 << 20;
+  cmd.write_len = 8192;
+  for (auto _ : state) {
+    const auto sqe = nvme::encode_nvme_fs(cmd);
+    benchmark::DoNotOptimize(nvme::decode_nvme_fs(sqe));
+  }
+}
+BENCHMARK(BM_SqeEncodeDecode);
+
+}  // namespace

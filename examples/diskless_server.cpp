@@ -1,0 +1,101 @@
+// Diskless application server (the paper's M3 motivation): replace the
+// under-utilized local disks with DPC's standalone KVFS service backed by
+// disaggregated storage. This example plays a container host storing and
+// serving "image layers" — the use case the paper cites ("virtualization
+// cloud vendors use local disks to store container or virtual machine
+// images").
+//
+//   $ ./diskless_server
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/dpc_system.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+std::vector<std::byte> make_layer(std::size_t bytes, std::uint64_t seed) {
+  dpc::sim::Rng rng(seed);
+  std::vector<std::byte> v(bytes);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpc;
+
+  core::DpcOptions opts;
+  opts.max_io = 1 << 20;
+  core::DpcSystem dpc(opts);
+  dpc.start_dpu();
+
+  // Image registry layout: /images/<name>/layer-N
+  const auto images = dpc.mkdir(kvfs::kRootIno, "images");
+  struct Image {
+    const char* name;
+    int layers;
+    std::size_t layer_bytes;
+  };
+  const Image catalog[] = {
+      {"alpine", 2, 512 * 1024},
+      {"postgres", 4, 2 << 20},
+      {"webapp", 3, 1 << 20},
+  };
+
+  std::uint64_t total = 0;
+  for (const auto& img : catalog) {
+    const auto dir = dpc.mkdir(images.ino, img.name);
+    for (int l = 0; l < img.layers; ++l) {
+      const auto f = dpc.create(dir.ino, "layer-" + std::to_string(l));
+      const auto layer =
+          make_layer(img.layer_bytes, static_cast<std::uint64_t>(l) + 1);
+      const auto io = dpc.write(f.ino, 0, layer, /*direct=*/true);
+      if (!io.ok()) {
+        std::cerr << "push failed: errno " << io.err << '\n';
+        return 1;
+      }
+      total += layer.size();
+    }
+    std::cout << "pushed " << img.name << " (" << img.layers << " layers, "
+              << img.layers * img.layer_bytes / 1024 << " KiB)\n";
+  }
+
+  // "Pull" an image: resolve paths and stream the layers back, verifying.
+  std::cout << "\npulling postgres...\n";
+  for (int l = 0; l < 4; ++l) {
+    const auto path = "/images/postgres/layer-" + std::to_string(l);
+    const auto f = dpc.resolve(path);
+    kvfs::Attr attr;
+    dpc.getattr(f.ino, &attr);
+    std::vector<std::byte> out(attr.size);
+    const auto io = dpc.read(f.ino, 0, out, /*direct=*/false);
+    const auto expect = make_layer(attr.size, static_cast<std::uint64_t>(l) + 1);
+    std::cout << "  " << path << ": " << io.bytes << " bytes, "
+              << (out == expect ? "verified" : "CORRUPT!") << '\n';
+  }
+
+  // Garbage-collect an image.
+  const auto alpine = dpc.resolve("/images/alpine");
+  std::vector<kvfs::DirEntry> layers;
+  dpc.readdir(alpine.ino, &layers);
+  for (const auto& e : layers) dpc.unlink(alpine.ino, e.name);
+  dpc.rmdir(images.ino, "alpine");
+  std::cout << "\ngarbage-collected alpine\n";
+
+  std::cout << "\nno local disks touched: " << total
+            << " bytes live in the disaggregated KV store ("
+            << dpc.kv_store().size() << " KVs, "
+            << dpc.kv_store().bytes_stored() << " bytes)\n"
+            << "host did " << std::fixed << std::setprecision(1)
+            << "only adapter work; file semantics ran on the DPU ("
+            << dpc.dispatch_stats().header_ops.load() << " metadata ops, "
+            << dpc.dispatch_stats().inline_writes.load() << " writes, "
+            << dpc.dispatch_stats().inline_reads.load() << " reads)\n";
+
+  dpc.stop_dpu();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// kvfsck — offline consistency check of a KVFS keyspace.
+//
+// Builds a file system, takes a healthy fsck baseline, then injects the
+// kinds of damage a crashed client could leave behind and shows the
+// checker pinpointing each one.
+//
+//   $ ./kvfsck
+#include <iostream>
+
+#include "kv/remote.hpp"
+#include "kvfs/fsck.hpp"
+#include "kvfs/kvfs.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+void print_report(const dpc::kvfs::FsckReport& report) {
+  std::cout << "  " << report.inodes << " inodes (" << report.directories
+            << " dirs, " << report.small_files << " small + "
+            << report.big_files << " big files), " << report.blocks
+            << " blocks, " << report.data_bytes << " data bytes\n";
+  if (report.clean()) {
+    std::cout << "  CLEAN\n";
+    return;
+  }
+  for (const auto& issue : report.issues) {
+    std::cout << "  [" << dpc::kvfs::to_string(issue.kind) << "] ino "
+              << issue.ino << ": " << issue.detail << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpc;
+  using namespace dpc::kvfs;
+
+  kv::KvStore store;
+  kv::RemoteKv remote(store);
+  Kvfs fs(remote);
+
+  // Populate a small tree.
+  sim::Rng rng(1);
+  const auto projects = fs.mkdir(kRootIno, "projects", 0755).value;
+  const auto dpc_dir = fs.mkdir(projects, "dpc", 0755).value;
+  std::vector<std::byte> small(2000), big(3 * kBigBlock);
+  for (auto& b : small) b = static_cast<std::byte>(rng.next_below(256));
+  for (auto& b : big) b = static_cast<std::byte>(rng.next_below(256));
+  const auto notes = fs.create(dpc_dir, "notes.md", 0644).value;
+  fs.write(notes, 0, small);
+  const auto dataset = fs.create(dpc_dir, "dataset.bin", 0644).value;
+  fs.write(dataset, 0, big);
+  fs.create(projects, "README", 0644);
+
+  std::cout << "== healthy filesystem ==\n";
+  print_report(fsck(store));
+
+  std::cout << "\n== injecting damage ==\n";
+  // 1. Lose the big file's second block (simulated lost KV).
+  const auto obj = decode_file_object(*store.get(big_object_key(dataset)));
+  store.erase(block_key(obj.blocks[1]));
+  std::cout << "  erased block " << obj.blocks[1] << " of dataset.bin\n";
+  // 2. Drop notes.md's attribute → its dentry dangles.
+  store.erase(attr_key(notes));
+  std::cout << "  erased the attribute KV of notes.md\n";
+  // 3. Strand an orphan small-file KV.
+  store.put(small_key(31337), kv::to_bytes("who am I"));
+  std::cout << "  planted an orphan small-file KV (ino 31337)\n";
+
+  std::cout << "\n== fsck after damage ==\n";
+  print_report(fsck(store));
+  return 0;
+}

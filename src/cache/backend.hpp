@@ -1,0 +1,27 @@
+// Backing store interface for the hybrid cache's DPU control plane: where
+// flushed dirty pages go and where prefetched pages come from. Implemented
+// by KVFS (big-file KV pages), the DFS client (data servers), and by test
+// fakes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dpc::cache {
+
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  /// Fills `dst` with the page's bytes; returns false if the page does not
+  /// exist in the backend (prefetch then skips it).
+  virtual bool read_page(std::uint64_t inode, std::uint64_t lpn,
+                         std::span<std::byte> dst) = 0;
+
+  /// Persists one page (called by the flusher with the page read-locked, so
+  /// the content is stable for the duration).
+  virtual void write_page(std::uint64_t inode, std::uint64_t lpn,
+                          std::span<const std::byte> src) = 0;
+};
+
+}  // namespace dpc::cache

@@ -1,0 +1,397 @@
+#include "cache/control_plane.hpp"
+
+#include "dpu/compress.hpp"
+#include "ec/crc32c.hpp"
+#include "sim/check.hpp"
+
+namespace dpc::cache {
+
+namespace {
+constexpr auto kLockNone = static_cast<std::uint32_t>(LockState::kNone);
+constexpr auto kLockWrite = static_cast<std::uint32_t>(LockState::kWrite);
+}  // namespace
+
+DpuCacheControl::DpuCacheControl(pcie::DmaEngine& dma,
+                                 const CacheLayout& layout,
+                                 CacheBackend& backend,
+                                 std::unique_ptr<EvictionPolicy> policy,
+                                 const ControlPlaneConfig& cfg)
+    : dma_(&dma),
+      layout_(&layout),
+      backend_(&backend),
+      policy_(std::move(policy)),
+      cfg_(cfg),
+      prefetcher_(cfg.prefetch_max_window),
+      scratch_(layout.geometry().page_size) {
+  DPC_CHECK(policy_ != nullptr);
+}
+
+CacheEntry DpuCacheControl::fetch_entry(std::uint32_t index,
+                                        sim::Nanos& cost) {
+  CacheEntry e;
+  cost += dma_->read_host(layout_->entry_off(index),
+                          std::as_writable_bytes(std::span{&e, 1}),
+                          pcie::DmaClass::kDescriptor);
+  return e;
+}
+
+bool DpuCacheControl::try_read_lock(std::uint32_t index, sim::Nanos& cost) {
+  // Read locks are shared: pile onto host readers, fail only against a
+  // write lock (§3.3's read/write lock semantics).
+  const std::uint64_t off =
+      layout_->entry_field_off(index, CacheLayout::EntryField::kLock);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto cur =
+        dma_->host().atomic_u32(off).load(std::memory_order_acquire);
+    std::uint32_t next;
+    if (cur == kLockNone) {
+      next = read_lock_word(1);
+    } else if (is_read_locked(cur)) {
+      next = read_lock_word(read_lock_holders(cur) + 1);
+    } else {
+      return false;  // write-locked or invalid
+    }
+    const auto res = dma_->atomic_cas_host(off, cur, next);
+    cost += res.cost;
+    if (res.success) return true;
+  }
+  return false;
+}
+
+void DpuCacheControl::read_unlock(std::uint32_t index, sim::Nanos& cost) {
+  // The flusher is the only DPU-side read-locker and it took holders=1;
+  // host readers may have piled on meanwhile, so decrement via CAS.
+  for (;;) {
+    const auto cur = dma_->host()
+                         .atomic_u32(layout_->entry_field_off(
+                             index, CacheLayout::EntryField::kLock))
+                         .load(std::memory_order_acquire);
+    DPC_CHECK(is_read_locked(cur));
+    const std::uint32_t holders = read_lock_holders(cur);
+    const std::uint32_t next =
+        holders <= 1 ? kLockNone : read_lock_word(holders - 1);
+    const auto res = dma_->atomic_cas_host(
+        layout_->entry_field_off(index, CacheLayout::EntryField::kLock), cur,
+        next);
+    cost += res.cost;
+    if (res.success) return;
+  }
+}
+
+bool DpuCacheControl::try_write_lock(std::uint32_t index, sim::Nanos& cost) {
+  const auto res = dma_->atomic_cas_host(
+      layout_->entry_field_off(index, CacheLayout::EntryField::kLock),
+      kLockNone, kLockWrite);
+  cost += res.cost;
+  return res.success;
+}
+
+void DpuCacheControl::write_unlock(std::uint32_t index, sim::Nanos& cost) {
+  const auto res = dma_->atomic_swap_host(
+      layout_->entry_field_off(index, CacheLayout::EntryField::kLock),
+      kLockNone);
+  cost += res.cost;
+  DPC_CHECK(res.observed == kLockWrite);
+}
+
+void DpuCacheControl::set_status(std::uint32_t index, PageStatus s,
+                                 sim::Nanos& cost) {
+  const auto res = dma_->atomic_swap_host(
+      layout_->entry_field_off(index, CacheLayout::EntryField::kStatus),
+      static_cast<std::uint32_t>(s));
+  cost += res.cost;
+}
+
+bool DpuCacheControl::lock_bucket(std::uint32_t bucket, sim::Nanos& cost) {
+  const auto res =
+      dma_->atomic_cas_host(layout_->bucket_lock_off(bucket), 0, 1);
+  cost += res.cost;
+  return res.success;
+}
+
+void DpuCacheControl::unlock_bucket(std::uint32_t bucket, sim::Nanos& cost) {
+  const auto res = dma_->atomic_swap_host(layout_->bucket_lock_off(bucket), 0);
+  cost += res.cost;
+  DPC_CHECK(res.observed == 1);
+}
+
+void DpuCacheControl::bump_free(std::int32_t delta, sim::Nanos& cost) {
+  dma_->atomic_fadd_host(layout_->header_field(HeaderOffsets::kFree),
+                         static_cast<std::uint32_t>(delta));
+  cost += sim::calib::kPcieAtomic;
+}
+
+std::vector<PageStatus> DpuCacheControl::snapshot_status(sim::Nanos& cost) {
+  const std::uint32_t total = layout_->geometry().total_pages;
+  // Chunked DMA of the whole meta area (entries are contiguous).
+  std::vector<CacheEntry> entries(total);
+  constexpr std::uint32_t kChunk = 128;  // entries per DMA
+  for (std::uint32_t at = 0; at < total; at += kChunk) {
+    const std::uint32_t n = std::min(kChunk, total - at);
+    cost += dma_->read_host(
+        layout_->entry_off(at),
+        std::as_writable_bytes(std::span{entries.data() + at, n}),
+        pcie::DmaClass::kDescriptor);
+  }
+  std::vector<PageStatus> status(total);
+  for (std::uint32_t i = 0; i < total; ++i)
+    status[i] = static_cast<PageStatus>(entries[i].status);
+  return status;
+}
+
+DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
+  std::lock_guard lock(pass_mu_);
+  PassResult res;
+  auto status = snapshot_status(res.cost);
+  for (std::uint32_t i = 0; i < status.size() && res.pages < max_pages; ++i) {
+    if (status[i] != PageStatus::kDirty) continue;
+    // §3.3: "safely flush the selected dirty pages by adding the read locks
+    // for them" — a host writer holding the write lock makes us skip.
+    if (!try_read_lock(i, res.cost)) {
+      ++stats_.flush_lock_conflicts;
+      continue;
+    }
+    const CacheEntry e = fetch_entry(i, res.cost);
+    if (static_cast<PageStatus>(e.status) != PageStatus::kDirty) {
+      read_unlock(i, res.cost);  // raced with an invalidate
+      continue;
+    }
+    // "DPU temporarily pulls the data to its DRAM by DMA transmission".
+    res.cost += dma_->read_host(layout_->page_off(i), scratch_,
+                                pcie::DmaClass::kData);
+    // "…and performs relevant computing operations (e.g., compression,
+    // DIF, EC, etc.)".
+    if (cfg_.dif_enabled) {
+      (void)ec::crc32c(scratch_);
+      ++stats_.dif_checksums;
+    }
+    if (cfg_.compress_enabled) {
+      // Compress for the network hop to the disaggregated store, verify
+      // the round trip, and account the wire savings.
+      std::vector<std::byte> packed;
+      const auto packed_size = dpu::lz_compress(scratch_, packed);
+      std::vector<std::byte> unpacked;
+      const auto back =
+          dpu::lz_decompress(packed, unpacked, scratch_.size());
+      DPC_CHECK_MSG(back.has_value() && unpacked == scratch_,
+                    "flush compression round trip failed");
+      stats_.compress_in_bytes += scratch_.size();
+      stats_.compress_out_bytes += packed_size;
+      res.cost += dpu::dpu_compress_cost(scratch_.size());
+    }
+    backend_->write_page(e.inode, e.lpn, scratch_);
+    // "After completing flushing, DPU releases the read locks … and updates
+    // their status to clean".
+    set_status(i, PageStatus::kClean, res.cost);
+    dma_->atomic_fadd_host(layout_->header_field(HeaderOffsets::kDirty),
+                           static_cast<std::uint32_t>(-1));
+    res.cost += sim::calib::kPcieAtomic;
+    read_unlock(i, res.cost);
+    ++res.pages;
+    ++stats_.pages_flushed;
+  }
+  return res;
+}
+
+DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
+  std::lock_guard lock(pass_mu_);
+  PassResult res;
+  const std::uint32_t free_now = free_pages_seen();
+  res.cost += sim::calib::kDmaSetup;  // header read
+  if (free_now >= target_free) return res;
+
+  auto status = snapshot_status(res.cost);
+  std::vector<std::uint32_t> victims;
+  policy_->pick_victims(status, target_free - free_now, victims);
+  for (const std::uint32_t i : victims) {
+    if (!try_write_lock(i, res.cost)) continue;  // in use; skip
+    const CacheEntry e = fetch_entry(i, res.cost);
+    if (static_cast<PageStatus>(e.status) == PageStatus::kClean) {
+      set_status(i, PageStatus::kFree, res.cost);
+      bump_free(1, res.cost);
+      ++res.pages;
+      ++stats_.pages_evicted;
+    }
+    write_unlock(i, res.cost);
+  }
+  // Acknowledge the host's request once space exists.
+  if (res.pages > 0) {
+    dma_->atomic_swap_host(layout_->header_field(HeaderOffsets::kNeedEvict),
+                           0);
+    res.cost += sim::calib::kPcieAtomic;
+  }
+  return res;
+}
+
+DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
+                                                      std::uint64_t start_lpn,
+                                                      std::uint32_t pages) {
+  std::lock_guard lock(pass_mu_);
+  PassResult res;
+  const std::uint32_t epb = layout_->entries_per_bucket();
+  for (std::uint32_t k = 0; k < pages; ++k) {
+    const std::uint64_t lpn = start_lpn + k;
+    const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+    if (!lock_bucket(bucket, res.cost)) continue;  // busy; skip this page
+
+    // Walk the bucket (one chunked DMA): skip if present, find a free slot.
+    std::vector<CacheEntry> entries(epb);
+    res.cost += dma_->read_host(
+        layout_->entry_off(layout_->bucket_head_entry(bucket)),
+        std::as_writable_bytes(std::span{entries.data(), epb}),
+        pcie::DmaClass::kDescriptor);
+    bool present = false;
+    std::uint32_t free_slot = kEndOfList;
+    std::uint32_t clean_victim = kEndOfList;
+    for (std::uint32_t j = 0; j < epb; ++j) {
+      const auto st = static_cast<PageStatus>(entries[j].status);
+      const std::uint32_t abs = layout_->bucket_head_entry(bucket) + j;
+      if (st == PageStatus::kFree) {
+        if (free_slot == kEndOfList) free_slot = abs;
+      } else if (entries[j].inode == inode && entries[j].lpn == lpn) {
+        present = true;
+        break;
+      } else if (st == PageStatus::kClean) {
+        // Prefer the oldest fill (entries the control plane stamped with
+        // its fill sequence; host-filled entries read 0 → evicted first).
+        if (clean_victim == kEndOfList ||
+            entries[j].reserved <
+                entries[clean_victim - layout_->bucket_head_entry(bucket)]
+                    .reserved) {
+          clean_victim = abs;
+        }
+      }
+    }
+    if (present) {
+      unlock_bucket(bucket, res.cost);
+      continue;
+    }
+    // Prefetch drives its own replacement: with no free entry, reuse a
+    // clean one in the same bucket (the flexibility §3.3 gives the
+    // offloaded control plane).
+    bool reused = false;
+    if (free_slot == kEndOfList) {
+      if (clean_victim == kEndOfList ||
+          !try_write_lock(clean_victim, res.cost)) {
+        unlock_bucket(bucket, res.cost);
+        continue;
+      }
+      CacheEntry v = fetch_entry(clean_victim, res.cost);
+      if (static_cast<PageStatus>(v.status) != PageStatus::kClean) {
+        write_unlock(clean_victim, res.cost);
+        unlock_bucket(bucket, res.cost);
+        continue;
+      }
+      free_slot = clean_victim;
+      reused = true;
+      ++stats_.pages_evicted;
+    } else if (!try_write_lock(free_slot, res.cost)) {
+      unlock_bucket(bucket, res.cost);
+      continue;
+    }
+
+    if (!backend_->read_page(inode, lpn, scratch_)) {
+      write_unlock(free_slot, res.cost);
+      unlock_bucket(bucket, res.cost);
+      continue;  // past EOF / hole
+    }
+    // Fill the identity fields, push the page, publish as clean.
+    CacheEntry e = entries[free_slot - layout_->bucket_head_entry(bucket)];
+    e.inode = inode;
+    e.lpn = lpn;
+    e.reserved = fill_seq_.fetch_add(1, std::memory_order_relaxed);
+    res.cost += dma_->write_host(
+        layout_->entry_field_off(free_slot, CacheLayout::EntryField::kLpn),
+        std::as_bytes(std::span{&e.lpn, 1}), pcie::DmaClass::kDescriptor);
+    res.cost += dma_->write_host(
+        layout_->entry_field_off(free_slot, CacheLayout::EntryField::kInode),
+        std::as_bytes(std::span{&e.inode, 1}), pcie::DmaClass::kDescriptor);
+    res.cost += dma_->write_host(
+        layout_->entry_off(free_slot) + 12,
+        std::as_bytes(std::span{&e.reserved, 1}), pcie::DmaClass::kDescriptor);
+    res.cost +=
+        dma_->write_host(layout_->page_off(free_slot), scratch_,
+                         pcie::DmaClass::kData);
+    set_status(free_slot, PageStatus::kClean, res.cost);
+    if (!reused) bump_free(-1, res.cost);
+    write_unlock(free_slot, res.cost);
+    unlock_bucket(bucket, res.cost);
+    ++res.pages;
+    ++stats_.pages_prefetched;
+  }
+  return res;
+}
+
+DpuCacheControl::PassResult DpuCacheControl::on_read_miss(std::uint64_t inode,
+                                                          std::uint64_t lpn,
+                                                          std::uint32_t span) {
+  SequentialPrefetcher::Advice advice;
+  {
+    std::lock_guard lock(pass_mu_);
+    advice = prefetcher_.on_miss(inode, lpn, span);
+  }
+  if (advice.pages == 0) return {};
+  return prefetch(inode, advice.start_lpn, advice.pages);
+}
+
+int DpuCacheControl::poll() {
+  int acted = 0;
+  // Control hints (need-evict flag, dirty count, free count) are modelled
+  // as shadow registers the host pushes with posted MMIO writes, so the
+  // DPU's idle poll costs no link transactions.
+  const auto need_evict =
+      dma_->host()
+          .atomic_u32(layout_->header_field(HeaderOffsets::kNeedEvict))
+          .load(std::memory_order_acquire);
+  const auto dirty =
+      dma_->host()
+          .atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
+          .load(std::memory_order_acquire);
+
+  // Consume the host's readahead hint and extend active streams before the
+  // reader runs off the prefetched window (async readahead).
+  const auto ra_seq =
+      dma_->host()
+          .atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
+          .load(std::memory_order_acquire);
+  if (ra_seq != last_ra_seq_.exchange(ra_seq, std::memory_order_acq_rel)) {
+    const auto hint_ino = dma_->host().load<std::uint64_t>(
+        layout_->header_field(HeaderOffsets::kRaInode));
+    const auto hint_lpn = dma_->host().load<std::uint64_t>(
+        layout_->header_field(HeaderOffsets::kRaLpn));
+    SequentialPrefetcher::Advice advice;
+    {
+      std::lock_guard lock(pass_mu_);
+      advice = prefetcher_.on_hit(hint_ino, hint_lpn);
+    }
+    if (advice.pages > 0)
+      acted += prefetch(hint_ino, advice.start_lpn, advice.pages).pages;
+  }
+
+  if (need_evict == 0 && dirty == 0 &&
+      free_pages_seen() >= cfg_.evict_low_water) {
+    return acted;  // nothing else to do
+  }
+  if (need_evict != 0 || free_pages_seen() < cfg_.evict_low_water) {
+    // Make eviction possible by cleaning first, then reclaim. The host's
+    // stall can be bucket-local (one full bucket with plenty free
+    // globally), so when the flag is raised we always reclaim a batch on
+    // top of the current free count rather than testing a global target.
+    acted += flush_pass(static_cast<int>(cfg_.evict_batch)).pages;
+    const std::uint32_t target =
+        need_evict != 0 ? free_pages_seen() + cfg_.evict_batch
+                        : cfg_.evict_low_water + cfg_.evict_batch;
+    acted += evict(target).pages;
+  } else {
+    acted += flush_pass(static_cast<int>(cfg_.evict_batch)).pages;
+  }
+  return acted;
+}
+
+std::uint32_t DpuCacheControl::free_pages_seen() const {
+  return dma_->host()
+      .atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+      .load(std::memory_order_acquire);
+}
+
+}  // namespace dpc::cache

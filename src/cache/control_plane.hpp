@@ -1,0 +1,125 @@
+// DPU-side control plane of the hybrid cache (§3.3).
+//
+// Runs on the DPU: every touch of the cache (which lives in host memory)
+// goes through the DmaEngine — meta-area scans are chunked DMA reads, page
+// pulls are data DMAs, and all lock manipulation uses PCIe atomics. Duties:
+//
+//   * flushing — periodically scan the meta hash table, read-lock dirty
+//     pages, pull them to DPU DRAM, run the compute hooks (DIF checksum —
+//     the paper lists "compression, DIF, EC, etc."), write them to the
+//     backend, then release the locks and mark the entries clean;
+//   * replacement — reclaim clean pages when the host raises the
+//     need-evict flag (or free falls below the low-water mark), victim
+//     selection delegated to the EvictionPolicy;
+//   * prefetch — populate pages the SequentialPrefetcher predicts, claiming
+//     free entries through the same bucket/entry lock protocol the host
+//     uses (bucket locks taken with PCIe atomics from this side).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "cache/backend.hpp"
+#include "cache/layout.hpp"
+#include "cache/policy.hpp"
+#include "pcie/dma.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::cache {
+
+struct ControlPlaneConfig {
+  /// Refill eviction until at least this many pages are free.
+  std::uint32_t evict_low_water = 16;
+  std::uint32_t evict_batch = 32;
+  /// Verify flushed pages with CRC32C (the DIF step).
+  bool dif_enabled = true;
+  /// Compress pages on the flush path before they cross the network to the
+  /// disaggregated store (§3.3 lists compression among the flush compute).
+  bool compress_enabled = false;
+  /// Maximum readahead window in 4K pages (kernel-readahead scale).
+  std::uint32_t prefetch_max_window = 256;
+};
+
+struct ControlPlaneStats {
+  std::uint64_t pages_flushed = 0;
+  std::uint64_t pages_evicted = 0;
+  std::uint64_t pages_prefetched = 0;
+  std::uint64_t flush_lock_conflicts = 0;
+  std::uint64_t dif_checksums = 0;
+  /// Flush-path compression accounting (bytes before/after).
+  std::uint64_t compress_in_bytes = 0;
+  std::uint64_t compress_out_bytes = 0;
+};
+
+class DpuCacheControl {
+ public:
+  DpuCacheControl(pcie::DmaEngine& dma, const CacheLayout& layout,
+                  CacheBackend& backend,
+                  std::unique_ptr<EvictionPolicy> policy,
+                  const ControlPlaneConfig& cfg = {});
+
+  /// One flusher iteration: flush up to `max_pages` dirty pages.
+  struct PassResult {
+    int pages = 0;
+    sim::Nanos cost{};
+  };
+  PassResult flush_pass(int max_pages = 1 << 30);
+
+  /// Evicts clean pages until `target_free` are free (or candidates run
+  /// out). Dirty candidates are skipped — flush first.
+  PassResult evict(std::uint32_t target_free);
+
+  /// Prefetches `pages` pages of `inode` starting at `start_lpn` from the
+  /// backend into the cache (clean). Pages already cached are skipped.
+  PassResult prefetch(std::uint64_t inode, std::uint64_t start_lpn,
+                      std::uint32_t pages);
+
+  /// Reports a host read miss (one request spanning `span` cache pages) so
+  /// the prefetcher can learn the stream; runs any advised prefetch
+  /// immediately. Returns its cost.
+  PassResult on_read_miss(std::uint64_t inode, std::uint64_t lpn,
+                          std::uint32_t span = 1);
+
+  /// WorkerPool poller: services the need-evict flag and flushes a batch.
+  /// Returns the number of pages it acted on.
+  int poll();
+
+  const ControlPlaneStats& stats() const { return stats_; }
+  std::uint32_t free_pages_seen() const;
+
+ private:
+  /// DMA-reads the status word of every entry (chunked) for policy input.
+  std::vector<PageStatus> snapshot_status(sim::Nanos& cost);
+
+  CacheEntry fetch_entry(std::uint32_t index, sim::Nanos& cost);
+  bool try_read_lock(std::uint32_t index, sim::Nanos& cost);
+  void read_unlock(std::uint32_t index, sim::Nanos& cost);
+  bool try_write_lock(std::uint32_t index, sim::Nanos& cost);
+  void write_unlock(std::uint32_t index, sim::Nanos& cost);
+  void set_status(std::uint32_t index, PageStatus s, sim::Nanos& cost);
+  bool lock_bucket(std::uint32_t bucket, sim::Nanos& cost);
+  void unlock_bucket(std::uint32_t bucket, sim::Nanos& cost);
+  void bump_free(std::int32_t delta, sim::Nanos& cost);
+
+  pcie::DmaEngine* dma_;
+  const CacheLayout* layout_;
+  CacheBackend* backend_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  ControlPlaneConfig cfg_;
+  SequentialPrefetcher prefetcher_;
+  ControlPlaneStats stats_;
+  std::vector<std::byte> scratch_;  // one page of DPU DRAM
+  /// Serializes control-plane passes: the flusher poller and fsync-driven
+  /// flushes may come from different DPU workers.
+  std::mutex pass_mu_;
+  /// Last readahead-hint sequence consumed (hint loss is benign).
+  std::atomic<std::uint32_t> last_ra_seq_{0};
+  /// Monotonic fill counter stamped into prefetched entries so replacement
+  /// can prefer the oldest fill.
+  std::atomic<std::uint32_t> fill_seq_{1};
+};
+
+}  // namespace dpc::cache

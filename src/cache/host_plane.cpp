@@ -1,0 +1,332 @@
+#include "cache/host_plane.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/check.hpp"
+
+namespace dpc::cache {
+
+namespace {
+constexpr auto kLockNone = static_cast<std::uint32_t>(LockState::kNone);
+constexpr auto kLockWrite = static_cast<std::uint32_t>(LockState::kWrite);
+}  // namespace
+
+HostCachePlane::HostCachePlane(pcie::MemoryRegion& host,
+                               const CacheLayout& layout)
+    : host_(&host), layout_(&layout) {}
+
+void HostCachePlane::lock_bucket(std::uint32_t bucket) {
+  auto word = host_->atomic_u32(layout_->bucket_lock_off(bucket));
+  for (;;) {
+    std::uint32_t expected = 0;
+    if (word.compare_exchange_weak(expected, 1, std::memory_order_acquire))
+      return;
+    std::this_thread::yield();
+  }
+}
+
+void HostCachePlane::unlock_bucket(std::uint32_t bucket) {
+  host_->atomic_u32(layout_->bucket_lock_off(bucket))
+      .store(0, std::memory_order_release);
+}
+
+bool HostCachePlane::try_write_lock(std::uint32_t entry) {
+  auto word = host_->atomic_u32(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock));
+  std::uint32_t expected = kLockNone;
+  return word.compare_exchange_strong(expected, kLockWrite,
+                                      std::memory_order_acquire);
+}
+
+void HostCachePlane::write_lock(std::uint32_t entry) {
+  while (!try_write_lock(entry)) std::this_thread::yield();
+}
+
+void HostCachePlane::write_unlock(std::uint32_t entry) {
+  host_->atomic_u32(
+           layout_->entry_field_off(entry, CacheLayout::EntryField::kLock))
+      .store(kLockNone, std::memory_order_release);
+}
+
+void HostCachePlane::read_lock(std::uint32_t entry) {
+  auto word = host_->atomic_u32(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock));
+  for (;;) {
+    std::uint32_t cur = word.load(std::memory_order_relaxed);
+    if (cur == kLockNone) {
+      if (word.compare_exchange_weak(cur, read_lock_word(1),
+                                     std::memory_order_acquire))
+        return;
+    } else if (is_read_locked(cur)) {
+      if (word.compare_exchange_weak(
+              cur, read_lock_word(read_lock_holders(cur) + 1),
+              std::memory_order_acquire))
+        return;
+    } else {
+      std::this_thread::yield();  // write-locked or invalid; wait
+    }
+  }
+}
+
+void HostCachePlane::read_unlock(std::uint32_t entry) {
+  auto word = host_->atomic_u32(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock));
+  for (;;) {
+    std::uint32_t cur = word.load(std::memory_order_relaxed);
+    DPC_CHECK_MSG(is_read_locked(cur), "read_unlock of non-read-locked entry");
+    const std::uint32_t holders = read_lock_holders(cur);
+    const std::uint32_t next =
+        holders <= 1 ? kLockNone : read_lock_word(holders - 1);
+    if (word.compare_exchange_weak(cur, next, std::memory_order_release))
+      return;
+  }
+}
+
+PageStatus HostCachePlane::status_of(std::uint32_t entry) const {
+  return static_cast<PageStatus>(
+      host_->atomic_u32(
+               layout_->entry_field_off(entry, CacheLayout::EntryField::kStatus))
+          .load(std::memory_order_acquire));
+}
+
+void HostCachePlane::set_status(std::uint32_t entry, PageStatus s) {
+  host_->atomic_u32(
+           layout_->entry_field_off(entry, CacheLayout::EntryField::kStatus))
+      .store(static_cast<std::uint32_t>(s), std::memory_order_release);
+}
+
+std::optional<std::uint32_t> HostCachePlane::find_locked(
+    std::uint32_t bucket, std::uint64_t inode, std::uint64_t lpn) const {
+  std::uint32_t idx = layout_->bucket_head_entry(bucket);
+  while (idx != kEndOfList) {
+    if (status_of(idx) != PageStatus::kFree) {
+      const auto e_inode = host_->load<std::uint64_t>(
+          layout_->entry_field_off(idx, CacheLayout::EntryField::kInode));
+      const auto e_lpn = host_->load<std::uint64_t>(
+          layout_->entry_field_off(idx, CacheLayout::EntryField::kLpn));
+      if (e_inode == inode && e_lpn == lpn) return idx;
+    }
+    idx = host_->load<std::uint32_t>(
+        layout_->entry_field_off(idx, CacheLayout::EntryField::kNext));
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> HostCachePlane::find_free_locked(
+    std::uint32_t bucket) const {
+  std::uint32_t idx = layout_->bucket_head_entry(bucket);
+  while (idx != kEndOfList) {
+    if (status_of(idx) == PageStatus::kFree) return idx;
+    idx = host_->load<std::uint32_t>(
+        layout_->entry_field_off(idx, CacheLayout::EntryField::kNext));
+  }
+  return std::nullopt;
+}
+
+bool HostCachePlane::read(std::uint64_t inode, std::uint64_t lpn,
+                          std::span<std::byte> dst) {
+  DPC_CHECK(dst.size() <= layout_->geometry().page_size);
+  const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  lock_bucket(bucket);
+  const auto found = find_locked(bucket, inode, lpn);
+  if (!found) {
+    unlock_bucket(bucket);
+    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint32_t entry = *found;
+  // Take the page lock before dropping the bucket lock so an evictor can't
+  // free the entry between the find and the copy.
+  read_lock(entry);
+  unlock_bucket(bucket);
+  const PageStatus st = status_of(entry);
+  if (st != PageStatus::kClean && st != PageStatus::kDirty) {
+    read_unlock(entry);
+    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  host_->read(layout_->page_off(entry), dst);
+  read_unlock(entry);
+  stats_.read_hits.fetch_add(1, std::memory_order_relaxed);
+  // Post the readahead hint (plain stores; seq bumped last with release so
+  // the DPU reads a consistent pair often enough — it is only a hint).
+  host_->store<std::uint64_t>(layout_->header_field(HeaderOffsets::kRaInode),
+                              inode);
+  host_->store<std::uint64_t>(layout_->header_field(HeaderOffsets::kRaLpn),
+                              lpn);
+  host_->atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
+      .fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+HostCachePlane::WriteResult HostCachePlane::write(
+    std::uint64_t inode, std::uint64_t lpn, std::span<const std::byte> src) {
+  DPC_CHECK(src.size() <= layout_->geometry().page_size);
+  const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  lock_bucket(bucket);
+
+  std::uint32_t entry;
+  bool fresh = false;
+  if (const auto found = find_locked(bucket, inode, lpn)) {
+    entry = *found;
+    write_lock(entry);  // §3.3: lock atomically before touching the page
+  } else if (const auto free_entry = find_free_locked(bucket)) {
+    entry = *free_entry;
+    write_lock(entry);
+    if (status_of(entry) != PageStatus::kFree) {
+      // Lost a race with a DPU prefetch that claimed the entry; retry via
+      // the normal miss path.
+      write_unlock(entry);
+      unlock_bucket(bucket);
+      return write(inode, lpn, src);
+    }
+    fresh = true;
+    host_->store<std::uint64_t>(
+        layout_->entry_field_off(entry, CacheLayout::EntryField::kInode),
+        inode);
+    host_->store<std::uint64_t>(
+        layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn), lpn);
+    set_status(entry, PageStatus::kInvalid);  // claimed, data not yet valid
+  } else {
+    // No free entry in this bucket: raise the need-evict flag for the DPU
+    // ("host notifies the DPU to perform cache replacement").
+    host_->atomic_u32(layout_->header_field(HeaderOffsets::kNeedEvict))
+        .store(1, std::memory_order_release);
+    unlock_bucket(bucket);
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    return WriteResult::kNoFreeEntry;
+  }
+  unlock_bucket(bucket);
+
+  host_->write(layout_->page_off(entry), src);
+  // Pad the remainder of a partial page write with zeros so flushes are
+  // whole-page.
+  if (src.size() < layout_->geometry().page_size) {
+    auto rest = host_->bytes(layout_->page_off(entry) + src.size(),
+                             layout_->geometry().page_size - src.size());
+    std::fill(rest.begin(), rest.end(), std::byte{0});
+  }
+  const PageStatus prev = status_of(entry);  // stable: we hold the lock
+  set_status(entry, PageStatus::kDirty);
+  if (prev != PageStatus::kDirty) {
+    host_->atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
+        .fetch_add(1, std::memory_order_acq_rel);
+  }
+  write_unlock(entry);
+  if (fresh) {
+    host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+        .fetch_sub(1, std::memory_order_acq_rel);
+  }
+  stats_.writes_cached.fetch_add(1, std::memory_order_relaxed);
+  return WriteResult::kOk;
+}
+
+void HostCachePlane::fill_clean(std::uint64_t inode, std::uint64_t lpn,
+                                std::span<const std::byte> src) {
+  DPC_CHECK(src.size() <= layout_->geometry().page_size);
+  const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  lock_bucket(bucket);
+  if (find_locked(bucket, inode, lpn)) {
+    unlock_bucket(bucket);  // already cached (maybe dirtier) — keep it
+    return;
+  }
+  const auto free_entry = find_free_locked(bucket);
+  if (!free_entry) {
+    unlock_bucket(bucket);
+    return;  // opportunistic: no eviction pressure for clean fills
+  }
+  const std::uint32_t entry = *free_entry;
+  write_lock(entry);
+  if (status_of(entry) != PageStatus::kFree) {
+    write_unlock(entry);
+    unlock_bucket(bucket);
+    return;
+  }
+  host_->store<std::uint64_t>(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kInode), inode);
+  host_->store<std::uint64_t>(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn), lpn);
+  set_status(entry, PageStatus::kInvalid);
+  unlock_bucket(bucket);
+
+  host_->write(layout_->page_off(entry), src);
+  if (src.size() < layout_->geometry().page_size) {
+    auto rest = host_->bytes(layout_->page_off(entry) + src.size(),
+                             layout_->geometry().page_size - src.size());
+    std::fill(rest.begin(), rest.end(), std::byte{0});
+  }
+  set_status(entry, PageStatus::kClean);
+  write_unlock(entry);
+  host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+      .fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool HostCachePlane::invalidate(std::uint64_t inode, std::uint64_t lpn) {
+  const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  lock_bucket(bucket);
+  const auto found = find_locked(bucket, inode, lpn);
+  if (!found) {
+    unlock_bucket(bucket);
+    return false;
+  }
+  const std::uint32_t entry = *found;
+  write_lock(entry);
+  unlock_bucket(bucket);
+  const PageStatus prev = status_of(entry);
+  set_status(entry, PageStatus::kFree);
+  write_unlock(entry);
+  host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+      .fetch_add(1, std::memory_order_acq_rel);
+  if (prev == PageStatus::kDirty) {
+    host_->atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
+        .fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return true;
+}
+
+void HostCachePlane::zero_tail(std::uint64_t inode, std::uint64_t lpn,
+                               std::uint32_t from) {
+  const std::uint32_t page = layout_->geometry().page_size;
+  DPC_CHECK(from < page);
+  const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  lock_bucket(bucket);
+  const auto found = find_locked(bucket, inode, lpn);
+  if (!found) {
+    unlock_bucket(bucket);
+    return;
+  }
+  const std::uint32_t entry = *found;
+  write_lock(entry);
+  unlock_bucket(bucket);
+  const PageStatus st = status_of(entry);
+  if (st == PageStatus::kClean || st == PageStatus::kDirty) {
+    auto tail = host_->bytes(layout_->page_off(entry) + from, page - from);
+    std::fill(tail.begin(), tail.end(), std::byte{0});
+  }
+  write_unlock(entry);
+}
+
+std::uint32_t HostCachePlane::invalidate_above(std::uint64_t inode,
+                                               std::uint64_t first_lpn) {
+  std::uint32_t freed = 0;
+  const std::uint32_t total = layout_->geometry().total_pages;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    if (status_of(i) == PageStatus::kFree) continue;
+    const auto e_inode = host_->load<std::uint64_t>(
+        layout_->entry_field_off(i, CacheLayout::EntryField::kInode));
+    if (e_inode != inode) continue;
+    const auto e_lpn = host_->load<std::uint64_t>(
+        layout_->entry_field_off(i, CacheLayout::EntryField::kLpn));
+    if (e_lpn < first_lpn) continue;
+    if (invalidate(inode, e_lpn)) ++freed;
+  }
+  return freed;
+}
+
+std::uint32_t HostCachePlane::free_pages() const {
+  return host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+      .load(std::memory_order_acquire);
+}
+
+}  // namespace dpc::cache

@@ -1,0 +1,106 @@
+// Host-side data plane of the hybrid cache (§3.3).
+//
+// Runs inside the fs-adapter on the host: all accesses here touch *host*
+// memory, so cache hits cost zero PCIe traffic — the core benefit of
+// keeping the data plane on the host. Entry lock words are the same words
+// the DPU manipulates with PCIe atomics; from this side they are plain
+// (local) atomics.
+//
+// Front-end write (paper §3.3): hash <inode,lpn> → bucket, find/claim an
+// entry, write-lock it atomically, copy the data into the corresponding
+// page, release the lock and mark the entry dirty. If no free entry can be
+// claimed, the host "notifies the DPU to perform cache replacement" — here
+// by raising the header's need-evict flag and reporting kNoFreeEntry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "cache/layout.hpp"
+#include "pcie/memory.hpp"
+
+namespace dpc::cache {
+
+struct HostCacheStats {
+  std::atomic<std::uint64_t> read_hits{0};
+  std::atomic<std::uint64_t> read_misses{0};
+  std::atomic<std::uint64_t> writes_cached{0};
+  std::atomic<std::uint64_t> write_stalls{0};  ///< kNoFreeEntry occurrences
+
+  void reset() {
+    read_hits = 0;
+    read_misses = 0;
+    writes_cached = 0;
+    write_stalls = 0;
+  }
+};
+
+class HostCachePlane {
+ public:
+  HostCachePlane(pcie::MemoryRegion& host, const CacheLayout& layout);
+
+  /// Cache-hit read: copies the page into `dst` under a read lock.
+  /// Returns false on miss (caller then issues the nvme-fs read to the DPU).
+  bool read(std::uint64_t inode, std::uint64_t lpn, std::span<std::byte> dst);
+
+  enum class WriteResult {
+    kOk,
+    kNoFreeEntry,  ///< eviction requested; caller retries or falls through
+  };
+  /// Buffered write: caches the page and marks it dirty.
+  WriteResult write(std::uint64_t inode, std::uint64_t lpn,
+                    std::span<const std::byte> src);
+
+  /// Inserts a *clean* copy after a read miss was served by the DPU. Never
+  /// clobbers an existing (possibly dirty) entry; silently does nothing if
+  /// the bucket has no free slot (clean fills are opportunistic).
+  void fill_clean(std::uint64_t inode, std::uint64_t lpn,
+                  std::span<const std::byte> src);
+
+  /// Drops the page if present and clean/dirty-unlocked (used by truncate
+  /// and DIRECT_IO invalidation). Returns true if an entry was freed.
+  bool invalidate(std::uint64_t inode, std::uint64_t lpn);
+
+  /// Drops every cached page of `inode` with lpn >= first_lpn (truncate
+  /// coherence). Scans the whole meta area; truncate is rare.
+  std::uint32_t invalidate_above(std::uint64_t inode, std::uint64_t first_lpn);
+
+  /// Zeroes bytes [from, page_size) of the cached page, if present —
+  /// truncate's boundary-page coherence (the backend zeroes its copy too,
+  /// so the entry's clean/dirty status is preserved).
+  void zero_tail(std::uint64_t inode, std::uint64_t lpn, std::uint32_t from);
+
+  std::uint32_t free_pages() const;
+  const HostCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  // Bucket lock: host-local spin acquire.
+  void lock_bucket(std::uint32_t bucket);
+  void unlock_bucket(std::uint32_t bucket);
+  // Entry locks.
+  bool try_write_lock(std::uint32_t entry);
+  void write_lock(std::uint32_t entry);  // spins
+  void write_unlock(std::uint32_t entry);
+  void read_lock(std::uint32_t entry);   // spins; shared
+  void read_unlock(std::uint32_t entry);
+
+  /// Walks the bucket list; returns the entry index holding <inode,lpn>
+  /// (any non-free status), or nullopt. Caller holds the bucket lock.
+  std::optional<std::uint32_t> find_locked(std::uint32_t bucket,
+                                           std::uint64_t inode,
+                                           std::uint64_t lpn) const;
+  /// Finds a free entry in the bucket. Caller holds the bucket lock.
+  std::optional<std::uint32_t> find_free_locked(std::uint32_t bucket) const;
+
+  PageStatus status_of(std::uint32_t entry) const;
+  void set_status(std::uint32_t entry, PageStatus s);
+
+  pcie::MemoryRegion* host_;
+  const CacheLayout* layout_;
+  HostCacheStats stats_;
+};
+
+}  // namespace dpc::cache

@@ -1,0 +1,82 @@
+#include "cache/layout.hpp"
+
+#include "sim/check.hpp"
+
+namespace dpc::cache {
+
+CacheLayout::CacheLayout(const CacheGeometry& geo,
+                         pcie::RegionAllocator& host_alloc)
+    : geo_(geo) {
+  DPC_CHECK(geo.page_size >= 512 && (geo.page_size & (geo.page_size - 1)) == 0);
+  DPC_CHECK(geo.total_pages >= 1 && geo.buckets >= 1);
+  DPC_CHECK_MSG(geo.total_pages % geo.buckets == 0,
+                "each bucket must own the same number of entries (§3.3)");
+  epb_ = geo.total_pages / geo.buckets;
+
+  base_ = host_alloc.alloc(HeaderOffsets::kSize, 64);
+  bucket_locks_ = host_alloc.alloc(std::uint64_t{geo.buckets} * 4, 64);
+  meta_ = host_alloc.alloc(std::uint64_t{geo.total_pages} * sizeof(CacheEntry),
+                           64);
+  data_ = host_alloc.alloc(
+      std::uint64_t{geo.total_pages} * geo.page_size, geo.page_size);
+  total_bytes_ = data_ + std::uint64_t{geo.total_pages} * geo.page_size - base_;
+
+  // Initialize header.
+  pcie::MemoryRegion& region = host_alloc.region();
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kPageSize),
+                              geo.page_size);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kMode),
+                              static_cast<std::uint32_t>(geo.mode));
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kTotal),
+                              geo.total_pages);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kFree),
+                              geo.total_pages);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kBuckets),
+                              geo.buckets);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kNeedEvict), 0);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kDirty), 0);
+  region.store<std::uint32_t>(header_field(HeaderOffsets::kRaSeq), 0);
+  region.store<std::uint64_t>(header_field(HeaderOffsets::kRaInode), 0);
+  region.store<std::uint64_t>(header_field(HeaderOffsets::kRaLpn), 0);
+
+  // Zero bucket locks; link each bucket's entries into its list.
+  for (std::uint32_t b = 0; b < geo.buckets; ++b)
+    region.store<std::uint32_t>(bucket_lock_off(b), 0);
+  for (std::uint32_t i = 0; i < geo.total_pages; ++i) {
+    CacheEntry e;
+    const std::uint32_t in_bucket = i % epb_;
+    e.next = (in_bucket + 1 == epb_) ? kEndOfList : i + 1;
+    region.store(entry_off(i), e);
+  }
+}
+
+std::uint64_t CacheLayout::bucket_lock_off(std::uint32_t bucket) const {
+  DPC_CHECK(bucket < geo_.buckets);
+  return bucket_locks_ + std::uint64_t{bucket} * 4;
+}
+
+std::uint64_t CacheLayout::entry_off(std::uint32_t index) const {
+  DPC_CHECK(index < geo_.total_pages);
+  return meta_ + std::uint64_t{index} * sizeof(CacheEntry);
+}
+
+std::uint64_t CacheLayout::page_off(std::uint32_t index) const {
+  DPC_CHECK(index < geo_.total_pages);
+  return data_ + std::uint64_t{index} * geo_.page_size;
+}
+
+std::uint32_t CacheLayout::bucket_of(std::uint64_t inode,
+                                     std::uint64_t lpn) const {
+  // Fibonacci-style mix of <inode, lpn> — the §3.3 hash that maps a page
+  // identity to its bucket.
+  std::uint64_t h = inode * 0x9e3779b97f4a7c15ULL;
+  h ^= lpn + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return static_cast<std::uint32_t>(h % geo_.buckets);
+}
+
+std::uint32_t CacheLayout::bucket_head_entry(std::uint32_t bucket) const {
+  DPC_CHECK(bucket < geo_.buckets);
+  return bucket * epb_;
+}
+
+}  // namespace dpc::cache

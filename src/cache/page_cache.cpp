@@ -1,0 +1,132 @@
+#include "cache/page_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dpc::cache {
+
+PageCache::PageCache(std::uint32_t capacity_pages, std::uint32_t page_size,
+                     int shards)
+    : per_shard_capacity_(
+          std::max(1u, capacity_pages / static_cast<std::uint32_t>(shards))),
+      page_size_(page_size),
+      shards_(static_cast<std::size_t>(shards)) {
+  DPC_CHECK(capacity_pages >= 1 && page_size >= 512 && shards >= 1);
+}
+
+bool PageCache::read(std::uint64_t inode, std::uint64_t lpn,
+                     std::span<std::byte> dst) {
+  DPC_CHECK(dst.size() <= page_size_);
+  const Key k{inode, lpn};
+  Shard& sh = shard_for(k);
+  std::lock_guard lock(sh.mu);
+  const auto it = sh.pages.find(k);
+  if (it == sh.pages.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::memcpy(dst.data(), it->second.data.data(), dst.size());
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PageCache::insert_locked(Shard& sh, const Key& k,
+                              std::span<const std::byte> src, bool dirty,
+                              const WritebackFn& writeback) {
+  auto it = sh.pages.find(k);
+  if (it == sh.pages.end()) {
+    while (sh.pages.size() >= per_shard_capacity_)
+      evict_locked(sh, writeback);
+    sh.lru.push_front(k);
+    Page p;
+    p.data.assign(page_size_, std::byte{0});
+    p.lru_it = sh.lru.begin();
+    it = sh.pages.emplace(k, std::move(p)).first;
+  } else {
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second.lru_it);
+  }
+  std::memcpy(it->second.data.data(), src.data(), src.size());
+  it->second.dirty = it->second.dirty || dirty;
+}
+
+void PageCache::evict_locked(Shard& sh, const WritebackFn& writeback) {
+  DPC_CHECK(!sh.lru.empty());
+  const Key victim = sh.lru.back();
+  auto it = sh.pages.find(victim);
+  DPC_CHECK(it != sh.pages.end());
+  if (it->second.dirty) {
+    DPC_CHECK_MSG(writeback != nullptr, "evicting dirty page needs writeback");
+    writeback(victim.inode, victim.lpn, it->second.data);
+  }
+  sh.lru.pop_back();
+  sh.pages.erase(it);
+}
+
+void PageCache::write(std::uint64_t inode, std::uint64_t lpn,
+                      std::span<const std::byte> src,
+                      const WritebackFn& writeback) {
+  DPC_CHECK(src.size() <= page_size_);
+  const Key k{inode, lpn};
+  Shard& sh = shard_for(k);
+  std::lock_guard lock(sh.mu);
+  insert_locked(sh, k, src, /*dirty=*/true, writeback);
+}
+
+void PageCache::fill(std::uint64_t inode, std::uint64_t lpn,
+                     std::span<const std::byte> src,
+                     const WritebackFn& writeback) {
+  DPC_CHECK(src.size() <= page_size_);
+  const Key k{inode, lpn};
+  Shard& sh = shard_for(k);
+  std::lock_guard lock(sh.mu);
+  if (sh.pages.contains(k)) return;  // don't clobber a dirtier copy
+  insert_locked(sh, k, src, /*dirty=*/false, writeback);
+}
+
+std::size_t PageCache::flush(const WritebackFn& writeback) {
+  DPC_CHECK(writeback != nullptr);
+  std::size_t flushed = 0;
+  for (auto& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    for (auto& [k, p] : sh.pages) {
+      if (!p.dirty) continue;
+      writeback(k.inode, k.lpn, p.data);
+      p.dirty = false;
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+void PageCache::invalidate_inode(std::uint64_t inode,
+                                 const WritebackFn& writeback) {
+  for (auto& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    for (auto it = sh.pages.begin(); it != sh.pages.end();) {
+      if (it->first.inode != inode) {
+        ++it;
+        continue;
+      }
+      if (it->second.dirty) {
+        DPC_CHECK(writeback != nullptr);
+        writeback(it->first.inode, it->first.lpn, it->second.data);
+      }
+      sh.lru.erase(it->second.lru_it);
+      it = sh.pages.erase(it);
+    }
+  }
+}
+
+std::size_t PageCache::resident_pages() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.pages.size();
+  }
+  return n;
+}
+
+}  // namespace dpc::cache

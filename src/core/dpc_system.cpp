@@ -1,0 +1,723 @@
+#include "core/dpc_system.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "sim/calib.hpp"
+#include "sim/check.hpp"
+
+namespace dpc::core {
+
+namespace {
+
+constexpr std::uint32_t kCachePage = 4096;
+
+std::uint64_t page_round(std::uint64_t n) { return (n + 4095) / 4096 * 4096; }
+
+/// Host memory needed for the queue slots, rings and the hybrid cache.
+std::size_t host_region_size(const DpcOptions& o) {
+  const std::uint64_t slot =
+      page_round(o.max_io) * 2 + 2 * 4096;  // wbuf + rbuf + PRP lists
+  std::uint64_t total = std::uint64_t{static_cast<std::uint64_t>(o.queues)} *
+                        o.queue_depth * slot;
+  total += std::uint64_t{static_cast<std::uint64_t>(o.queues)} *
+           (o.queue_depth * 64ULL + o.queue_depth * 16ULL + 8192);
+  if (o.enable_cache) {
+    total += 64 + std::uint64_t{o.cache_geo.buckets} * 4 +
+             std::uint64_t{o.cache_geo.total_pages} *
+                 (sizeof(cache::CacheEntry) + o.cache_geo.page_size);
+  }
+  return total + (8 << 20);  // slack
+}
+
+/// Hybrid-cache backend → KVFS pages.
+class KvfsCacheBackend final : public cache::CacheBackend {
+ public:
+  explicit KvfsCacheBackend(kvfs::Kvfs& fs) : fs_(&fs) {}
+
+  bool read_page(std::uint64_t inode, std::uint64_t lpn,
+                 std::span<std::byte> dst) override {
+    auto res = fs_->read(inode, lpn * kCachePage, dst);
+    return res.ok() && res.value > 0;
+  }
+  void write_page(std::uint64_t inode, std::uint64_t lpn,
+                  std::span<const std::byte> src) override {
+    // Note on ordering: a flush may land before the adapter's async size
+    // update and transiently grow the file to the page boundary; the
+    // in-flight truncate/size RPC serializes after it on the inode lock
+    // and restores the exact size (and zeroes the boundary tail). The
+    // adapter also drops/zeroes cached pages *before* issuing a truncate,
+    // so no stale page can regrow the file afterwards.
+    auto res = fs_->write(inode, lpn * kCachePage, src);
+    if (res.err == ENOENT) return;  // racing unlink: drop the page
+    DPC_CHECK_MSG(res.ok(), "cache flush write failed: errno " << res.err);
+  }
+
+ private:
+  kvfs::Kvfs* fs_;
+};
+
+}  // namespace
+
+DpcSystem::DpcSystem(const DpcOptions& opts) : opts_(opts) {
+  DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
+
+  host_mem_ = std::make_unique<pcie::MemoryRegion>("host-dram",
+                                                   host_region_size(opts));
+  host_alloc_ = std::make_unique<pcie::RegionAllocator>(*host_mem_);
+  dpu_ = std::make_unique<dpu::Dpu>();
+  dma_ = std::make_unique<pcie::DmaEngine>(*host_mem_, dpu_->bar());
+
+  // Backends.
+  if (opts.shared_store == nullptr) {
+    kv_store_ = std::make_unique<kv::KvStore>(opts.kv_shards);
+  }
+  kv::KvStore& store =
+      opts.shared_store != nullptr ? *opts.shared_store : *kv_store_;
+  remote_kv_ = std::make_unique<kv::RemoteKv>(store);
+  kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, opts.kvfs);
+  if (opts.with_dfs) {
+    mds_ = std::make_unique<dfs::MdsCluster>();
+    data_servers_ = std::make_unique<dfs::DataServers>();
+    dfs_client_ = std::make_unique<dfs::DfsClient>(
+        1, *mds_, *data_servers_, dfs::ClientConfig::dpc_offloaded());
+  }
+
+  // Hybrid cache.
+  if (opts.enable_cache) {
+    cache_layout_ =
+        std::make_unique<cache::CacheLayout>(opts.cache_geo, *host_alloc_);
+    host_cache_ =
+        std::make_unique<cache::HostCachePlane>(*host_mem_, *cache_layout_);
+    cache_backend_ = std::make_unique<KvfsCacheBackend>(*kvfs_);
+    cache_ctl_ = std::make_unique<cache::DpuCacheControl>(
+        *dma_, *cache_layout_, *cache_backend_,
+        std::make_unique<cache::ClockEviction>(), opts.cache_ctl);
+  }
+
+  // Dispatch + transport.
+  dispatch_ = std::make_unique<IoDispatch>(*kvfs_, dfs_client_.get(),
+                                           cache_ctl_.get());
+  for (int q = 0; q < opts.queues; ++q) {
+    nvme::QpConfig qc;
+    qc.qid = static_cast<std::uint16_t>(q);
+    qc.depth = opts.queue_depth;
+    qc.max_write = opts.max_io + 4096;
+    qc.max_read = opts.max_io + 4096;
+    qps_.push_back(std::make_unique<nvme::QueuePair>(qc, *host_alloc_,
+                                                     dpu_->bar_alloc()));
+    inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back()));
+    tgts_.push_back(std::make_unique<nvme::TgtDriver>(*dma_, *qps_.back(),
+                                                      dispatch_->handler()));
+    pump_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+DpcSystem::~DpcSystem() { stop_dpu(); }
+
+void DpcSystem::start_dpu() {
+  if (workers_running_.load(std::memory_order_acquire)) return;
+  workers_ = std::make_unique<dpu::WorkerPool>();
+  for (auto& tgt : tgts_) {
+    nvme::TgtDriver* t = tgt.get();
+    workers_->add_poller([t] { return t->process_available(64).processed; });
+  }
+  if (cache_ctl_) {
+    cache::DpuCacheControl* ctl = cache_ctl_.get();
+    workers_->add_poller([ctl] { return ctl->poll(); });
+  }
+  workers_->start(opts_.dpu_workers);
+  workers_running_.store(true, std::memory_order_release);
+}
+
+void DpcSystem::stop_dpu() {
+  if (!workers_running_.load(std::memory_order_acquire)) return;
+  workers_running_.store(false, std::memory_order_release);
+  workers_.reset();
+}
+
+int DpcSystem::queue_for_this_thread() {
+  thread_local int tl_queue = -1;
+  if (tl_queue < 0)
+    tl_queue = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+               opts_.queues;
+  return tl_queue;
+}
+
+void DpcSystem::pump(int q) {
+  std::lock_guard lock(*pump_mu_[static_cast<std::size_t>(q)]);
+  tgts_[static_cast<std::size_t>(q)]->process_available(64);
+  if (cache_ctl_) cache_ctl_->poll();
+}
+
+DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
+                                      std::uint32_t read_copy_bytes) {
+  const int q = queue_for_this_thread();
+  nvme::IniDriver& ini = *inis_[static_cast<std::size_t>(q)];
+
+  CallResult out;
+  const auto submitted = ini.submit(req);
+  out.cost += submitted.cost;
+  out.cost += sim::calib::kSyscallVfs + sim::calib::kFsAdapterOp;
+
+  // Synchronous completion: poll; pump the DPU inline when no workers run.
+  const bool workers = workers_running_.load(std::memory_order_acquire);
+  nvme::Completion done;
+  for (;;) {
+    if (auto c = ini.try_take(submitted.cid)) {
+      done = *c;
+      break;
+    }
+    if (!workers) {
+      pump(q);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  out.status = done.status;
+  out.result = done.result;
+  // Device-reported service time (transport DMAs + backend) + host-side
+  // completion handling complete the op's modelled latency.
+  out.cost += sim::Nanos{done.service_ns} + sim::calib::kHostNvmeCompletion;
+  if (read_copy_bytes > 0 && done.status == nvme::Status::kSuccess) {
+    const std::uint32_t n = std::min(read_copy_bytes, done.result);
+    if (n > 0) {
+      auto payload = ini.read_payload(submitted.cid, n);
+      out.read_payload.assign(payload.begin(), payload.end());
+    }
+  }
+  ini.release(submitted.cid);
+  return out;
+}
+
+std::string DpcSystem::latency_summary() const {
+  static const char* names[] = {"meta", "read", "write"};
+  std::string out;
+  for (std::size_t c = 0; c < latency_.size(); ++c) {
+    const auto& h = latency_[c];
+    if (h.count() == 0) continue;
+    out += std::string(names[c]) + ": n=" + std::to_string(h.count()) +
+           " mean=" + std::to_string(h.mean().us()) +
+           "us p50=" + std::to_string(h.percentile(50).us()) +
+           "us p99=" + std::to_string(h.percentile(99).us()) + "us  ";
+  }
+  return out;
+}
+
+// ------------------------------------------------------- header-op helper
+
+Io DpcSystem::header_call(nvme::DispatchTarget target, const FileRequest& req,
+                          FileResponse* out) {
+  const auto enc = req.encode();
+  nvme::IniDriver::Request r;
+  r.target = target;
+  r.inline_op = nvme::InlineOp::kNone;
+  r.write_hdr = enc;
+  r.read_hdr_cap = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(0xFFFF, response_capacity(0)));
+  // readdir replies can be large; give them data capacity too.
+  r.read_data_cap = req.op == FileOp::kReaddir ? opts_.max_io : 0;
+
+  const auto call_res = call(r, r.read_hdr_cap + r.read_data_cap);
+  Io io;
+  io.cost = call_res.cost;
+  if (call_res.status != nvme::Status::kSuccess &&
+      call_res.status != nvme::Status::kFsError) {
+    io.err = EIO;
+    return io;
+  }
+  if (call_res.read_payload.empty()) {
+    io.err = EIO;
+    return io;
+  }
+  FileResponse resp = FileResponse::decode(call_res.read_payload);
+  io.err = resp.err;
+  io.ino = resp.ino;
+  if (out) *out = std::move(resp);
+  latency_[static_cast<std::size_t>(OpClass::kMeta)].record(io.cost);
+  return io;
+}
+
+// ------------------------------------------------- standalone namespace
+
+Io DpcSystem::create(std::uint64_t parent, const std::string& name,
+                     std::uint32_t mode) {
+  FileRequest req;
+  req.op = FileOp::kCreate;
+  req.parent = parent;
+  req.name = name;
+  req.mode = mode;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::mkdir(std::uint64_t parent, const std::string& name,
+                    std::uint32_t mode) {
+  FileRequest req;
+  req.op = FileOp::kMkdir;
+  req.parent = parent;
+  req.name = name;
+  req.mode = mode;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::lookup(std::uint64_t parent, const std::string& name) {
+  FileRequest req;
+  req.op = FileOp::kLookup;
+  req.parent = parent;
+  req.name = name;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::resolve(const std::string& path) {
+  FileRequest req;
+  req.op = FileOp::kResolve;
+  req.name = path;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::unlink(std::uint64_t parent, const std::string& name) {
+  // Drop any cached pages of the victim before the namespace disappears.
+  if (host_cache_) {
+    if (Io found = lookup(parent, name); found.ok()) {
+      host_cache_->invalidate_above(found.ino, 0);
+      std::lock_guard lock(size_mu_);
+      size_cache_.erase(found.ino);
+    }
+  }
+  FileRequest req;
+  req.op = FileOp::kUnlink;
+  req.parent = parent;
+  req.name = name;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::rmdir(std::uint64_t parent, const std::string& name) {
+  FileRequest req;
+  req.op = FileOp::kRmdir;
+  req.parent = parent;
+  req.name = name;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::rename(std::uint64_t old_parent, const std::string& old_name,
+                     std::uint64_t new_parent, const std::string& new_name) {
+  FileRequest req;
+  req.op = FileOp::kRename;
+  req.parent = old_parent;
+  req.aux = new_parent;
+  req.name = old_name;
+  req.name2 = new_name;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::link(std::uint64_t ino, std::uint64_t new_parent,
+                   const std::string& name) {
+  FileRequest req;
+  req.op = FileOp::kLink;
+  req.parent = ino;
+  req.aux = new_parent;
+  req.name = name;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::symlink(const std::string& target, std::uint64_t parent,
+                      const std::string& name) {
+  FileRequest req;
+  req.op = FileOp::kSymlink;
+  req.parent = parent;
+  req.name = name;
+  req.name2 = target;
+  return header_call(nvme::DispatchTarget::kStandalone, req, nullptr);
+}
+
+Io DpcSystem::readlink(std::uint64_t ino, std::string* target_out) {
+  DPC_CHECK(target_out != nullptr);
+  FileRequest req;
+  req.op = FileOp::kReadlink;
+  req.parent = ino;
+  FileResponse resp;
+  Io io = header_call(nvme::DispatchTarget::kStandalone, req, &resp);
+  if (io.ok()) {
+    if (resp.entries.empty()) {
+      io.err = EIO;
+      return io;
+    }
+    *target_out = std::move(resp.entries[0].name);
+  }
+  return io;
+}
+
+Io DpcSystem::getattr(std::uint64_t ino, kvfs::Attr* attr_out) {
+  FileRequest req;
+  req.op = FileOp::kGetattr;
+  req.parent = ino;
+  FileResponse resp;
+  Io io = header_call(nvme::DispatchTarget::kStandalone, req, &resp);
+  if (io.ok() && attr_out) {
+    if (!resp.attr) {
+      io.err = EIO;
+      return io;
+    }
+    *attr_out = *resp.attr;
+  }
+  return io;
+}
+
+Io DpcSystem::readdir(std::uint64_t ino, std::vector<kvfs::DirEntry>* out) {
+  DPC_CHECK(out != nullptr);
+  FileRequest req;
+  req.op = FileOp::kReaddir;
+  req.parent = ino;
+  FileResponse resp;
+  Io io = header_call(nvme::DispatchTarget::kStandalone, req, &resp);
+  if (io.ok()) *out = std::move(resp.entries);
+  return io;
+}
+
+// ------------------------------------------------------ standalone data
+
+Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
+                   std::span<std::byte> dst, bool direct) {
+  // The fs-adapter segments I/O larger than one nvme-fs command.
+  if (dst.size() > opts_.max_io) {
+    Io total;
+    total.ino = ino;
+    total.cache_hit = true;
+    for (std::uint64_t at = 0; at < dst.size(); at += opts_.max_io) {
+      const auto n = std::min<std::uint64_t>(opts_.max_io, dst.size() - at);
+      Io part = read(ino, offset + at, dst.subspan(at, n), direct);
+      total.cost += part.cost;
+      total.cache_hit = total.cache_hit && part.cache_hit;
+      if (!part.ok()) {
+        total.err = part.err;
+        return total;
+      }
+      total.bytes += part.bytes;
+      if (part.bytes < n) break;  // EOF
+    }
+    return total;
+  }
+  Io io;
+  io.ino = ino;
+  const bool page_aligned =
+      offset % kCachePage == 0 && dst.size() % kCachePage == 0;
+
+  // fs-adapter: "For file read requests, fs-adapter will first search the
+  // hybrid cache space and then issue the requests to DPU if the cache is
+  // not hit" (§3.1). Hits are clamped to the adapter's size view so reads
+  // past EOF come back short, exactly as the DPU path would return them.
+  if (!direct && host_cache_ && page_aligned && !dst.empty()) {
+    std::uint64_t known_size = 0;
+    bool size_known = false;
+    {
+      std::lock_guard lock(size_mu_);
+      const auto it = size_cache_.find(ino);
+      if (it != size_cache_.end()) {
+        known_size = it->second;
+        size_known = true;
+      }
+    }
+    if (!size_known) {
+      kvfs::Attr attr;
+      if (getattr(ino, &attr).ok()) {
+        known_size = attr.size;
+        size_known = true;
+        std::lock_guard lock(size_mu_);
+        auto& slot = size_cache_[ino];
+        slot = std::max(slot, known_size);
+      }
+    }
+    if (!size_known) {
+      // Unknown file: let the DPU path produce the proper errno.
+      known_size = 0;
+    }
+    const std::uint64_t readable =
+        offset >= known_size ? 0 : known_size - offset;
+    const auto want =
+        static_cast<std::uint64_t>(std::min<std::uint64_t>(dst.size(),
+                                                           readable));
+    bool all_hit = size_known && (want > 0 || readable == 0);
+    for (std::uint64_t at = 0; at < want; at += kCachePage) {
+      const auto span = std::min<std::uint64_t>(kCachePage, want - at);
+      if (span < kCachePage) {
+        // Boundary page: read it whole from the cache, take the prefix.
+        std::vector<std::byte> page(kCachePage);
+        if (!host_cache_->read(ino, (offset + at) / kCachePage, page)) {
+          all_hit = false;
+          break;
+        }
+        std::memcpy(dst.data() + at, page.data(), span);
+      } else if (!host_cache_->read(ino, (offset + at) / kCachePage,
+                                    dst.subspan(at, kCachePage))) {
+        all_hit = false;
+        break;
+      }
+    }
+    if (all_hit) {
+      io.bytes = static_cast<std::uint32_t>(want);
+      io.cache_hit = true;
+      io.cost = sim::calib::kSyscallVfs + sim::calib::kFsAdapterOp;
+      latency_[static_cast<std::size_t>(OpClass::kRead)].record(io.cost);
+      return io;
+    }
+  }
+
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kStandalone;
+  r.inline_op = nvme::InlineOp::kRead;
+  r.inode = ino;
+  r.offset = offset;
+  r.read_data_cap = static_cast<std::uint32_t>(dst.size());
+  const auto res = call(r, r.read_data_cap);
+  io.cost += res.cost;
+  if (res.status == nvme::Status::kFsError) {
+    io.err = static_cast<int>(res.result);
+    return io;
+  }
+  if (res.status != nvme::Status::kSuccess) {
+    io.err = EIO;
+    return io;
+  }
+  io.bytes = res.result;
+  std::memcpy(dst.data(), res.read_payload.data(),
+              std::min<std::size_t>(dst.size(), res.read_payload.size()));
+  if (io.bytes < dst.size())
+    std::memset(dst.data() + io.bytes, 0, dst.size() - io.bytes);
+
+  // Opportunistic clean fill so re-reads hit host memory.
+  if (!direct && host_cache_ && page_aligned) {
+    for (std::uint64_t at = 0; at + kCachePage <= io.bytes; at += kCachePage) {
+      host_cache_->fill_clean(ino, (offset + at) / kCachePage,
+                              dst.subspan(at, kCachePage));
+    }
+  }
+  latency_[static_cast<std::size_t>(OpClass::kRead)].record(io.cost);
+  return io;
+}
+
+Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
+                    std::span<const std::byte> src, bool direct) {
+  if (src.size() > opts_.max_io) {
+    Io total;
+    total.ino = ino;
+    total.cache_hit = true;
+    for (std::uint64_t at = 0; at < src.size(); at += opts_.max_io) {
+      const auto n = std::min<std::uint64_t>(opts_.max_io, src.size() - at);
+      Io part = write(ino, offset + at, src.subspan(at, n), direct);
+      total.cost += part.cost;
+      total.cache_hit = total.cache_hit && part.cache_hit;
+      if (!part.ok()) {
+        total.err = part.err;
+        return total;
+      }
+      total.bytes += part.bytes;
+    }
+    return total;
+  }
+  Io io;
+  io.ino = ino;
+  const bool page_aligned =
+      offset % kCachePage == 0 && src.size() % kCachePage == 0;
+
+  // §3.1: "For write requests, the data will be cached in the hybrid cache
+  // space directly if the DIRECT_IO flag is not specified."
+  if (!direct && host_cache_ && page_aligned && !src.empty()) {
+    bool all_cached = true;
+    for (std::uint64_t at = 0; at < src.size(); at += kCachePage) {
+      const auto wres = host_cache_->write(ino, (offset + at) / kCachePage,
+                                           src.subspan(at, kCachePage));
+      if (wres != cache::HostCachePlane::WriteResult::kOk) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (all_cached) {
+      io.bytes = static_cast<std::uint32_t>(src.size());
+      io.cache_hit = true;
+      io.cost = sim::calib::kSyscallVfs + sim::calib::kFsAdapterOp;
+      // Writes absorbed by host memory still need the file size to grow so
+      // getattr/read bounds stay correct before the flush lands. The
+      // fs-adapter tracks the size it has already published and issues one
+      // truncate only on actual growth.
+      const std::uint64_t end = offset + src.size();
+      bool grow = false;
+      {
+        std::lock_guard lock(size_mu_);
+        auto [it, fresh] = size_cache_.try_emplace(ino, 0);
+        if (fresh) {
+          kvfs::Attr attr;
+          if (getattr(ino, &attr).ok()) it->second = attr.size;
+        }
+        if (end > it->second) {
+          it->second = end;
+          grow = true;
+        }
+      }
+      if (grow) (void)truncate(ino, end);
+      latency_[static_cast<std::size_t>(OpClass::kWrite)].record(io.cost);
+      return io;
+    }
+    // Cache full — the DPU is evicting; fall through to write-through.
+  }
+
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kStandalone;
+  r.inline_op = nvme::InlineOp::kWrite;
+  r.inode = ino;
+  r.offset = offset;
+  r.write_data = src;
+  const auto res = call(r, 0);
+  io.cost += res.cost;
+  if (res.status == nvme::Status::kFsError) {
+    io.err = static_cast<int>(res.result);
+    return io;
+  }
+  if (res.status != nvme::Status::kSuccess) {
+    io.err = EIO;
+    return io;
+  }
+  io.bytes = res.result;
+  {
+    // Write-through grew the file in KVFS directly; keep our size view in
+    // sync so a later cached write can't issue a shrinking truncate.
+    std::lock_guard lock(size_mu_);
+    auto& known = size_cache_[ino];
+    known = std::max(known, offset + src.size());
+  }
+  if (direct && host_cache_ && page_aligned) {
+    // Keep the cache coherent with direct writes.
+    for (std::uint64_t at = 0; at < src.size(); at += kCachePage)
+      host_cache_->invalidate(ino, (offset + at) / kCachePage);
+  }
+  latency_[static_cast<std::size_t>(OpClass::kWrite)].record(io.cost);
+  return io;
+}
+
+Io DpcSystem::truncate(std::uint64_t ino, std::uint64_t new_size) {
+  // Keep the hybrid cache and the adapter's size view coherent: drop pages
+  // fully past the new end and zero the cached boundary page's tail (the
+  // DPU-side truncate zeroes the backend copy).
+  if (host_cache_) {
+    host_cache_->invalidate_above(ino, (new_size + kCachePage - 1) /
+                                           kCachePage);
+    const auto tail = static_cast<std::uint32_t>(new_size % kCachePage);
+    if (tail != 0) host_cache_->zero_tail(ino, new_size / kCachePage, tail);
+  }
+  {
+    std::lock_guard lock(size_mu_);
+    size_cache_[ino] = new_size;
+  }
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kStandalone;
+  r.inline_op = nvme::InlineOp::kTruncate;
+  r.inode = ino;
+  r.offset = new_size;
+  const auto res = call(r, 0);
+  Io io;
+  io.ino = ino;
+  io.cost = res.cost;
+  if (res.status == nvme::Status::kFsError)
+    io.err = static_cast<int>(res.result);
+  else if (res.status != nvme::Status::kSuccess)
+    io.err = EIO;
+  return io;
+}
+
+Io DpcSystem::fsync(std::uint64_t ino) {
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kStandalone;
+  r.inline_op = nvme::InlineOp::kFsync;
+  r.inode = ino;
+  const auto res = call(r, 0);
+  Io io;
+  io.ino = ino;
+  io.cost = res.cost;
+  if (res.status == nvme::Status::kFsError)
+    io.err = static_cast<int>(res.result);
+  else if (res.status != nvme::Status::kSuccess)
+    io.err = EIO;
+  return io;
+}
+
+// --------------------------------------------------------------- DFS ops
+
+Io DpcSystem::dfs_create(const std::string& path, std::uint64_t prealloc) {
+  DPC_CHECK_MSG(dfs_client_ != nullptr, "DpcSystem built without DFS");
+  FileRequest req;
+  req.op = FileOp::kCreate;
+  req.name = path;
+  req.aux = prealloc;
+  return header_call(nvme::DispatchTarget::kDistributed, req, nullptr);
+}
+
+Io DpcSystem::dfs_open(const std::string& path) {
+  DPC_CHECK_MSG(dfs_client_ != nullptr, "DpcSystem built without DFS");
+  FileRequest req;
+  req.op = FileOp::kOpen;
+  req.name = path;
+  return header_call(nvme::DispatchTarget::kDistributed, req, nullptr);
+}
+
+Io DpcSystem::dfs_read(std::uint64_t ino, std::uint64_t offset,
+                       std::span<std::byte> dst) {
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kDistributed;
+  r.inline_op = nvme::InlineOp::kRead;
+  r.inode = ino;
+  r.offset = offset;
+  r.read_data_cap = static_cast<std::uint32_t>(dst.size());
+  const auto res = call(r, r.read_data_cap);
+  Io io;
+  io.ino = ino;
+  io.cost = res.cost;
+  if (res.status == nvme::Status::kFsError) {
+    io.err = static_cast<int>(res.result);
+    return io;
+  }
+  if (res.status != nvme::Status::kSuccess) {
+    io.err = EIO;
+    return io;
+  }
+  io.bytes = res.result;
+  std::memcpy(dst.data(), res.read_payload.data(),
+              std::min<std::size_t>(dst.size(), res.read_payload.size()));
+  return io;
+}
+
+Io DpcSystem::dfs_write(std::uint64_t ino, std::uint64_t offset,
+                        std::span<const std::byte> src) {
+  nvme::IniDriver::Request r;
+  r.target = nvme::DispatchTarget::kDistributed;
+  r.inline_op = nvme::InlineOp::kWrite;
+  r.inode = ino;
+  r.offset = offset;
+  r.write_data = src;
+  const auto res = call(r, 0);
+  Io io;
+  io.ino = ino;
+  io.cost = res.cost;
+  if (res.status == nvme::Status::kFsError) {
+    io.err = static_cast<int>(res.result);
+    return io;
+  }
+  if (res.status != nvme::Status::kSuccess) {
+    io.err = EIO;
+    return io;
+  }
+  io.bytes = res.result;
+  return io;
+}
+
+// ---------------------------------------------------------- introspection
+
+const cache::HostCacheStats* DpcSystem::cache_stats() const {
+  return host_cache_ ? &host_cache_->stats() : nullptr;
+}
+
+const cache::ControlPlaneStats* DpcSystem::control_stats() const {
+  return cache_ctl_ ? &cache_ctl_->stats() : nullptr;
+}
+
+}  // namespace dpc::core

@@ -1,0 +1,209 @@
+// DpcSystem — the full DPC stack of Fig. 3, assembled:
+//
+//   host side:  fs-adapter (this class's public API) + hybrid-cache data
+//               plane + NVME-INI drivers over per-thread nvme-fs queues
+//   link:       counting DmaEngine (PCIe model)
+//   DPU side:   NVME-TGT drivers + IO_Dispatch + KVFS (standalone service)
+//               + offloaded DFS client + hybrid-cache control plane, all
+//               driven by a WorkerPool standing in for the DPU cores
+//   backend:    disaggregated KV store (KVFS) and the DFS cluster
+//
+// The public file API is what the host kernel's fs-adapter exposes to the
+// VFS: reads check the hybrid cache first and only reach the DPU on a miss;
+// non-direct writes land in the hybrid cache and are flushed by the DPU
+// control plane; DIRECT_IO bypasses the cache both ways (§3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/control_plane.hpp"
+#include "cache/host_plane.hpp"
+#include "sim/histogram.hpp"
+#include "core/io_dispatch.hpp"
+#include "dfs/backend.hpp"
+#include "dfs/client.hpp"
+#include "dpu/dpu.hpp"
+#include "dpu/worker_pool.hpp"
+#include "kv/kv_store.hpp"
+#include "kv/remote.hpp"
+#include "kvfs/kvfs.hpp"
+#include "nvme/ini.hpp"
+#include "nvme/queue_pair.hpp"
+#include "nvme/tgt.hpp"
+#include "pcie/dma.hpp"
+
+namespace dpc::core {
+
+struct DpcOptions {
+  int queues = 4;                   ///< nvme-fs queue pairs (multi-queue)
+  std::uint16_t queue_depth = 16;
+  std::uint32_t max_io = 1 << 20;   ///< per-command payload cap (1 MB)
+  bool enable_cache = true;
+  cache::CacheGeometry cache_geo{4096, cache::CacheMode::kWrite, 4096, 256};
+  cache::ControlPlaneConfig cache_ctl{};
+  kvfs::KvfsOptions kvfs{};
+  int kv_shards = 16;
+  bool with_dfs = true;
+  int dpu_workers = 2;
+  /// Mount against an existing disaggregated KV store instead of creating
+  /// a private one — several DPC mounts (application servers) sharing one
+  /// backend, as in the paper's diskless-architecture deployment.
+  kv::KvStore* shared_store = nullptr;
+};
+
+/// Result of one fs-adapter call.
+struct Io {
+  int err = 0;  ///< 0 or positive errno
+  std::uint64_t ino = 0;
+  std::uint32_t bytes = 0;
+  bool cache_hit = false;
+  /// Modelled host-visible latency of this op (transport + backend).
+  sim::Nanos cost{};
+  bool ok() const { return err == 0; }
+};
+
+class DpcSystem {
+ public:
+  explicit DpcSystem(const DpcOptions& opts = {});
+  ~DpcSystem();
+  DpcSystem(const DpcSystem&) = delete;
+  DpcSystem& operator=(const DpcSystem&) = delete;
+
+  /// Spawns the DPU worker threads (TGT pollers + cache control plane).
+  /// Without this, host calls pump the DPU inline — deterministic mode for
+  /// unit tests.
+  void start_dpu();
+  void stop_dpu();
+
+  // ------------------------- standalone (KVFS) file service -------------
+  Io create(std::uint64_t parent, const std::string& name,
+            std::uint32_t mode = 0644);
+  Io mkdir(std::uint64_t parent, const std::string& name,
+           std::uint32_t mode = 0755);
+  Io lookup(std::uint64_t parent, const std::string& name);
+  Io resolve(const std::string& path);
+  Io unlink(std::uint64_t parent, const std::string& name);
+  Io rmdir(std::uint64_t parent, const std::string& name);
+  Io rename(std::uint64_t old_parent, const std::string& old_name,
+            std::uint64_t new_parent, const std::string& new_name);
+  /// Hard link `ino` as `new_parent`/`name`.
+  Io link(std::uint64_t ino, std::uint64_t new_parent,
+          const std::string& name);
+  Io symlink(const std::string& target, std::uint64_t parent,
+             const std::string& name);
+  Io readlink(std::uint64_t ino, std::string* target_out);
+  Io getattr(std::uint64_t ino, kvfs::Attr* attr_out = nullptr);
+  Io readdir(std::uint64_t ino, std::vector<kvfs::DirEntry>* out);
+
+  /// Buffered by default; `direct` = DIRECT_IO (bypass the hybrid cache).
+  Io read(std::uint64_t ino, std::uint64_t offset, std::span<std::byte> dst,
+          bool direct = false);
+  Io write(std::uint64_t ino, std::uint64_t offset,
+           std::span<const std::byte> src, bool direct = false);
+  Io truncate(std::uint64_t ino, std::uint64_t new_size);
+  Io fsync(std::uint64_t ino);
+
+  // --------------------------- distributed (DFS) service ----------------
+  /// Only valid when options.with_dfs; these flow through nvme-fs with the
+  /// dispatch bit set to "distributed".
+  Io dfs_create(const std::string& path, std::uint64_t prealloc = 0);
+  Io dfs_open(const std::string& path);
+  Io dfs_read(std::uint64_t ino, std::uint64_t offset,
+              std::span<std::byte> dst);
+  Io dfs_write(std::uint64_t ino, std::uint64_t offset,
+               std::span<const std::byte> src);
+
+  // ------------------------------ introspection -------------------------
+  const pcie::DmaCounters& dma_counters() const { return dma_->counters(); }
+  pcie::DmaCounters& dma_counters() { return dma_->counters(); }
+  const cache::HostCacheStats* cache_stats() const;
+  const cache::ControlPlaneStats* control_stats() const;
+  const kvfs::KvfsStats& kvfs_stats() const { return kvfs_->stats(); }
+  const DispatchStats& dispatch_stats() const { return dispatch_->stats(); }
+  sim::Nanos mean_backend_cost() const {
+    return dispatch_->mean_backend_cost();
+  }
+  kvfs::Kvfs& kvfs() { return *kvfs_; }
+  kv::KvStore& kv_store() { return remote_kv_->store(); }
+  dfs::MdsCluster* mds() { return mds_.get(); }
+  dfs::DataServers* data_servers() { return data_servers_.get(); }
+  cache::DpuCacheControl* cache_control() { return cache_ctl_.get(); }
+  cache::HostCachePlane* host_cache() { return host_cache_.get(); }
+  const DpcOptions& options() const { return opts_; }
+
+  /// Modelled-latency distributions by op class, recorded per call.
+  enum class OpClass : std::uint8_t { kMeta = 0, kRead, kWrite, kCount_ };
+  const sim::Histogram& latency(OpClass c) const {
+    return latency_[static_cast<std::size_t>(c)];
+  }
+  /// One-line human-readable summary (mean/p50/p99 per class).
+  std::string latency_summary() const;
+
+ private:
+  // One synchronous nvme-fs round trip on this thread's queue.
+  struct CallResult {
+    nvme::Status status = nvme::Status::kSuccess;
+    std::uint32_t result = 0;
+    std::vector<std::byte> read_payload;
+    sim::Nanos cost{};
+  };
+  CallResult call(const nvme::IniDriver::Request& req,
+                  std::uint32_t read_copy_bytes);
+  int queue_for_this_thread();
+  void pump(int q);  // inline DPU processing when no workers run
+
+  Io header_call(nvme::DispatchTarget target, const FileRequest& req,
+                 FileResponse* out);
+
+  DpcOptions opts_;
+
+  // Device complex.
+  std::unique_ptr<pcie::MemoryRegion> host_mem_;
+  std::unique_ptr<pcie::RegionAllocator> host_alloc_;
+  std::unique_ptr<dpu::Dpu> dpu_;
+  std::unique_ptr<pcie::DmaEngine> dma_;
+
+  // Transport.
+  std::vector<std::unique_ptr<nvme::QueuePair>> qps_;
+  std::vector<std::unique_ptr<nvme::IniDriver>> inis_;
+  std::vector<std::unique_ptr<nvme::TgtDriver>> tgts_;
+  std::vector<std::unique_ptr<std::mutex>> pump_mu_;
+
+  // Backends.
+  std::unique_ptr<kv::KvStore> kv_store_;
+  std::unique_ptr<kv::RemoteKv> remote_kv_;
+  std::unique_ptr<kvfs::Kvfs> kvfs_;
+  std::unique_ptr<dfs::MdsCluster> mds_;
+  std::unique_ptr<dfs::DataServers> data_servers_;
+  std::unique_ptr<dfs::DfsClient> dfs_client_;
+
+  // Hybrid cache.
+  std::unique_ptr<cache::CacheLayout> cache_layout_;
+  std::unique_ptr<cache::HostCachePlane> host_cache_;
+  std::unique_ptr<cache::CacheBackend> cache_backend_;
+  std::unique_ptr<cache::DpuCacheControl> cache_ctl_;
+
+  // DPU execution.
+  std::unique_ptr<IoDispatch> dispatch_;
+  std::unique_ptr<dpu::WorkerPool> workers_;
+  std::atomic<bool> workers_running_{false};
+  std::atomic<int> next_queue_{0};
+
+  // fs-adapter's size view: lets buffered writes grow the file without a
+  // DPU round trip per op (one truncate when the size actually grows).
+  std::mutex size_mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> size_cache_;
+
+  // Per-class modelled-latency distributions (thread-safe recording).
+  std::array<sim::Histogram, static_cast<std::size_t>(OpClass::kCount_)>
+      latency_;
+};
+
+}  // namespace dpc::core

@@ -1,0 +1,71 @@
+// IO_Dispatch — the DPU-side module that routes nvme-fs commands to the
+// offloaded stacks (Fig. 3): request-type bit 0 → KVFS (standalone file
+// service), bit 1 → the offloaded DFS client.
+//
+// Data-path commands arrive inline in the SQE (read/write/fsync/truncate);
+// metadata commands carry a FileRequest header in the write payload and
+// return a FileResponse header in the read payload. Read misses are
+// reported to the hybrid-cache control plane so its prefetcher can learn
+// sequential streams (Fig. 8).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cache/control_plane.hpp"
+#include "core/fileproto.hpp"
+#include "dfs/client.hpp"
+#include "kvfs/kvfs.hpp"
+#include "nvme/tgt.hpp"
+
+namespace dpc::core {
+
+struct DispatchStats {
+  std::atomic<std::uint64_t> inline_reads{0};
+  std::atomic<std::uint64_t> inline_writes{0};
+  std::atomic<std::uint64_t> inline_other{0};
+  std::atomic<std::uint64_t> header_ops{0};
+  std::atomic<std::uint64_t> dfs_ops{0};
+  std::atomic<std::uint64_t> errors{0};
+  /// Accumulated modelled backend cost (KV / DFS round trips), for the
+  /// figure benches' demand estimation.
+  std::atomic<std::int64_t> backend_ns{0};
+  std::atomic<std::uint64_t> ops{0};
+};
+
+class IoDispatch {
+ public:
+  /// `dfs_client` and `cache_ctl` may be null (standalone-only setups).
+  IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
+             cache::DpuCacheControl* cache_ctl);
+
+  /// The nvme-fs command handler to register with the TGT driver.
+  nvme::CommandHandler handler();
+
+  const DispatchStats& stats() const { return stats_; }
+  /// Mean modelled backend cost per dispatched op.
+  sim::Nanos mean_backend_cost() const;
+
+ private:
+  nvme::HandlerResult handle(const nvme::NvmeFsCmd& cmd,
+                             std::span<const std::byte> wpayload,
+                             std::span<std::byte> rpayload);
+  nvme::HandlerResult handle_standalone_inline(
+      const nvme::NvmeFsCmd& cmd, std::span<const std::byte> wpayload,
+      std::span<std::byte> rpayload);
+  nvme::HandlerResult handle_header(const nvme::NvmeFsCmd& cmd,
+                                    std::span<const std::byte> wpayload,
+                                    std::span<std::byte> rpayload);
+  nvme::HandlerResult handle_dfs_inline(const nvme::NvmeFsCmd& cmd,
+                                        std::span<const std::byte> wpayload,
+                                        std::span<std::byte> rpayload);
+
+  void charge(sim::Nanos backend_cost);
+
+  kvfs::Kvfs* fs_;
+  dfs::DfsClient* dfs_;
+  cache::DpuCacheControl* cache_ctl_;
+  DispatchStats stats_;
+};
+
+}  // namespace dpc::core

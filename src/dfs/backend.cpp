@@ -1,0 +1,575 @@
+#include "dfs/backend.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "sim/check.hpp"
+
+namespace dpc::dfs {
+
+OpProfile& OpProfile::operator+=(const OpProfile& o) {
+  host_cpu += o.host_cpu;
+  dpu_cpu += o.dpu_cpu;
+  pcie += o.pcie;
+  mds += o.mds;
+  ds += o.ds;
+  net += o.net;
+  mds_ops += o.mds_ops;
+  ds_ops += o.ds_ops;
+  forwards += o.forwards;
+  return *this;
+}
+
+// ------------------------------------------------------------------- Mds
+
+std::optional<Ino> Mds::lookup(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  const auto it = names_.find(path);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<FileMeta> Mds::create(const std::string& path, Ino ino,
+                                    std::uint64_t size,
+                                    const FileMeta* templ) {
+  std::unique_lock lock(mu_);
+  if (!names_.try_emplace(path, ino).second) return std::nullopt;
+  FileMeta meta;
+  if (templ != nullptr) meta = *templ;
+  meta.ino = ino;
+  meta.size = size;
+  meta.delegation = 0;
+  files_[ino] = meta;
+  return meta;
+}
+
+ClientId Mds::delegation_holder(Ino ino) const {
+  std::shared_lock lock(mu_);
+  const auto it = files_.find(ino);
+  return it == files_.end() ? 0 : it->second.delegation;
+}
+
+std::optional<FileMeta> Mds::stat(Ino ino) const {
+  std::shared_lock lock(mu_);
+  const auto it = files_.find(ino);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Mds::update_size(Ino ino, std::uint64_t size) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(ino);
+  if (it == files_.end()) return false;
+  it->second.size = std::max(it->second.size, size);
+  return true;
+}
+
+bool Mds::acquire_delegation(Ino ino, ClientId client) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(ino);
+  if (it == files_.end()) return false;
+  if (it->second.delegation != 0 && it->second.delegation != client)
+    return false;
+  it->second.delegation = client;
+  return true;
+}
+
+void Mds::release_delegation(Ino ino, ClientId client) {
+  std::unique_lock lock(mu_);
+  const auto it = files_.find(ino);
+  if (it != files_.end() && it->second.delegation == client)
+    it->second.delegation = 0;
+}
+
+bool Mds::remove(const std::string& path) {
+  std::unique_lock lock(mu_);
+  const auto it = names_.find(path);
+  if (it == names_.end()) return false;
+  files_.erase(it->second);
+  names_.erase(it);
+  return true;
+}
+
+// ------------------------------------------------------------ MdsCluster
+
+MdsCluster::MdsCluster(int servers) : mds_(static_cast<std::size_t>(servers)) {
+  DPC_CHECK(servers >= 1);
+}
+
+int MdsCluster::home_of(const std::string& path) const {
+  return static_cast<int>(std::hash<std::string>{}(path) % mds_.size());
+}
+
+int MdsCluster::home_of(Ino ino) const {
+  return static_cast<int>((ino * 0x9e3779b97f4a7c15ULL >> 32) % mds_.size());
+}
+
+void MdsCluster::charge(int home, int entry, bool direct,
+                        OpProfile& prof) const {
+  using namespace sim::calib;
+  prof.net += kNetHop * 2;  // client ↔ MDS round trip
+  prof.mds += kMdsOp;
+  ++prof.mds_ops;
+  if (!direct && home != entry) {
+    // Entry-MDS proxying: an extra hop and the forwarding work.
+    prof.net += kNetHop * 2;
+    prof.mds += kMdsForward;
+    ++prof.forwards;
+  }
+}
+
+void MdsCluster::register_recall(ClientId client, RecallFn fn) {
+  std::lock_guard lock(recall_mu_);
+  if (fn) {
+    recalls_[client] = std::move(fn);
+  } else {
+    recalls_.erase(client);
+  }
+}
+
+std::optional<FileMeta> MdsCluster::create(const std::string& path,
+                                           std::uint64_t size, int entry,
+                                           bool direct, OpProfile& prof,
+                                           const FileMeta* templ) {
+  const int home = home_of(path);
+  charge(home, entry, direct, prof);
+  const Ino ino = next_ino_.fetch_add(1, std::memory_order_relaxed);
+  auto meta =
+      mds_[static_cast<std::size_t>(home)].create(path, ino, size, templ);
+  if (!meta) return std::nullopt;
+  // The file's metadata lives with its path's home MDS; ino-keyed requests
+  // that land elsewhere locate it with one extra internal hop (handled by
+  // the scan fallback in stat/update/acquire).
+  if (home_of(ino) != home) prof.net += sim::calib::kNetHop;
+  return meta;
+}
+
+std::optional<Ino> MdsCluster::lookup(const std::string& path, int entry,
+                                      bool direct, OpProfile& prof) {
+  const int home = home_of(path);
+  charge(home, entry, direct, prof);
+  return mds_[static_cast<std::size_t>(home)].lookup(path);
+}
+
+std::optional<FileMeta> MdsCluster::stat(Ino ino, int entry, bool direct,
+                                         OpProfile& prof) {
+  const int home = home_of(ino);
+  charge(home, entry, direct, prof);
+  auto meta = mds_[static_cast<std::size_t>(home)].stat(ino);
+  if (meta) return meta;
+  // Fall back to scanning (metadata created under the path home).
+  for (const auto& m : mds_) {
+    if (auto got = m.stat(ino)) return got;
+  }
+  return std::nullopt;
+}
+
+bool MdsCluster::update_size(Ino ino, std::uint64_t size, int entry,
+                             bool direct, OpProfile& prof) {
+  const int home = home_of(ino);
+  charge(home, entry, direct, prof);
+  if (mds_[static_cast<std::size_t>(home)].update_size(ino, size)) return true;
+  for (auto& m : mds_)
+    if (m.update_size(ino, size)) return true;
+  return false;
+}
+
+bool MdsCluster::acquire_delegation(Ino ino, ClientId client, int entry,
+                                    bool direct, OpProfile& prof) {
+  const int home = home_of(ino);
+  charge(home, entry, direct, prof);
+  auto try_all = [&]() -> std::pair<bool, Mds*> {
+    if (mds_[static_cast<std::size_t>(home)].acquire_delegation(ino, client))
+      return {true, nullptr};
+    for (auto& m : mds_) {
+      if (m.acquire_delegation(ino, client)) return {true, nullptr};
+      if (m.delegation_holder(ino) != 0) return {false, &m};
+    }
+    return {false, nullptr};
+  };
+  auto [ok, owner_mds] = try_all();
+  if (ok) return true;
+  if (owner_mds == nullptr) return false;  // ino unknown
+
+  // Lease recall: ask the current holder to give the delegation back
+  // (NFSv4-style). Costs one extra server→holder round trip.
+  const ClientId holder = owner_mds->delegation_holder(ino);
+  RecallFn recall;
+  {
+    std::lock_guard lock(recall_mu_);
+    const auto it = recalls_.find(holder);
+    if (it != recalls_.end()) recall = it->second;
+  }
+  if (!recall || !recall(ino)) return false;  // holder refused / no lease
+  owner_mds->release_delegation(ino, holder);
+  prof.net += sim::calib::kNetHop * 2;
+  prof.mds += sim::calib::kMdsOp;
+  ++prof.mds_ops;
+  return owner_mds->acquire_delegation(ino, client);
+}
+
+bool MdsCluster::remove(const std::string& path, int entry, bool direct,
+                        OpProfile& prof) {
+  const int home = home_of(path);
+  charge(home, entry, direct, prof);
+  return mds_[static_cast<std::size_t>(home)].remove(path);
+}
+
+std::optional<FileMeta> MdsCluster::find_meta(Ino ino) const {
+  const int home = home_of(ino);
+  if (auto meta = mds_[static_cast<std::size_t>(home)].stat(ino)) return meta;
+  for (const auto& m : mds_)
+    if (auto meta = m.stat(ino)) return meta;
+  return std::nullopt;
+}
+
+bool MdsCluster::server_side_write(DataServers& ds, const ec::ReedSolomon& rs,
+                                   Ino ino, std::uint64_t offset,
+                                   std::span<const std::byte> data, int entry,
+                                   bool direct, OpProfile& prof) {
+  using namespace sim::calib;
+  // Client sends the data to the MDS (packed small-I/O path, §2.1 DIO):
+  // payload rides the metadata message.
+  const int home = home_of(ino);
+  charge(home, entry, direct, prof);
+  prof.net += sim::Nanos{static_cast<std::int64_t>(
+      static_cast<double>(data.size()) / (kDfsWriteGBps * 1e9) * 1e9)};
+
+  auto meta = find_meta(ino);
+  if (!meta) return false;
+  // The home MDS handles the payload (proxy path) and computes EC — server
+  // CPU burns here, not client CPU.
+  prof.mds += sim::calib::kMdsProxyPerOp;
+  if (meta->redundancy == Redundancy::kReplication) {
+    replicated_write(ds, *meta, offset, data, prof);
+  } else {
+    prof.mds += ec::ReedSolomon::host_encode_cost(data.size());
+    striped_write(ds, rs, *meta, offset, data, prof);
+  }
+  // …and lazily updates the size.
+  for (auto& m : mds_) {
+    if (m.update_size(ino, offset + data.size())) break;
+  }
+  return true;
+}
+
+bool MdsCluster::server_side_read(DataServers& ds, Ino ino,
+                                  std::uint64_t offset,
+                                  std::span<std::byte> dst, int entry,
+                                  bool direct, OpProfile& prof) {
+  using namespace sim::calib;
+  const int home = home_of(ino);
+  charge(home, entry, direct, prof);
+  prof.net += sim::Nanos{static_cast<std::int64_t>(
+      static_cast<double>(dst.size()) / (kDfsReadGBps * 1e9) * 1e9)};
+  auto meta = find_meta(ino);
+  if (!meta) return false;
+  prof.mds += sim::calib::kMdsProxyPerOp;  // proxied data path
+  if (meta->redundancy == Redundancy::kReplication)
+    replicated_read(ds, *meta, offset, dst, prof);
+  else
+    striped_read(ds, *meta, offset, dst, prof);
+  return true;
+}
+
+// ------------------------------------------------------------ DataServers
+
+DataServers::DataServers(int servers)
+    : servers_(static_cast<std::size_t>(servers)) {
+  DPC_CHECK(servers >= 1);
+}
+
+int DataServers::server_of(Ino ino, std::uint64_t stripe,
+                           std::uint32_t role) const {
+  // Rotated placement spreads parity load across servers.
+  return static_cast<int>((ino + stripe + role) % servers_.size());
+}
+
+namespace {
+sim::Nanos shard_net_cost(bool is_read, std::size_t bytes) {
+  using namespace sim::calib;
+  const double gbps = is_read ? kDfsReadGBps : kDfsWriteGBps;
+  return kNetHop * 2 + sim::Nanos{static_cast<std::int64_t>(
+                           static_cast<double>(bytes) / (gbps * 1e9) * 1e9)};
+}
+}  // namespace
+
+bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                             std::span<std::byte> dst, OpProfile& prof) {
+  prof.ds += sim::calib::kDataServerOp;
+  prof.net += shard_net_cost(true, dst.size());
+  ++prof.ds_ops;
+  Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  std::shared_lock lock(sv.mu);
+  const auto it = sv.shards.find(Key{ino, stripe, role});
+  if (it == sv.shards.end()) {
+    std::memset(dst.data(), 0, dst.size());
+    return false;
+  }
+  const auto n = std::min(dst.size(), it->second.size());
+  std::memcpy(dst.data(), it->second.data(), n);
+  if (n < dst.size()) std::memset(dst.data() + n, 0, dst.size() - n);
+  return true;
+}
+
+void DataServers::write_shard(Ino ino, std::uint64_t stripe,
+                              std::uint32_t role,
+                              std::span<const std::byte> src,
+                              OpProfile& prof) {
+  prof.ds += sim::calib::kDataServerOp;
+  prof.net += shard_net_cost(false, src.size());
+  ++prof.ds_ops;
+  Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  std::unique_lock lock(sv.mu);
+  sv.shards[Key{ino, stripe, role}].assign(src.begin(), src.end());
+}
+
+void DataServers::purge(Ino ino) {
+  for (auto& sv : servers_) {
+    std::unique_lock lock(sv.mu);
+    for (auto it = sv.shards.begin(); it != sv.shards.end();) {
+      it = it->first.ino == ino ? sv.shards.erase(it) : std::next(it);
+    }
+  }
+}
+
+bool DataServers::drop_shard(Ino ino, std::uint64_t stripe,
+                             std::uint32_t role) {
+  Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  std::unique_lock lock(sv.mu);
+  return sv.shards.erase(Key{ino, stripe, role}) > 0;
+}
+
+bool DataServers::has_shard(Ino ino, std::uint64_t stripe,
+                            std::uint32_t role) const {
+  const Server& sv =
+      servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  std::shared_lock lock(sv.mu);
+  return sv.shards.contains(Key{ino, stripe, role});
+}
+
+// --------------------------------------------------------------- striping
+
+void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
+                   const FileMeta& meta, std::uint64_t offset,
+                   std::span<const std::byte> data, OpProfile& prof) {
+  const std::uint32_t unit = meta.stripe_unit;
+  const int k = meta.k;
+  const int m = meta.m;
+  DPC_CHECK(rs.data_shards() == k && rs.parity_shards() == m);
+  const std::uint64_t stripe_bytes = std::uint64_t{unit} * k;
+
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / stripe_bytes;
+    const std::uint64_t in_stripe = pos % stripe_bytes;
+
+    // Full-stripe fast path: an aligned write covering the whole stripe
+    // encodes parity directly from the new data — k+m writes, zero reads
+    // (the classic full-stripe-write optimization; the RMW below is only
+    // for sub-stripe updates).
+    if (in_stripe == 0 && data.size() - done >= stripe_bytes) {
+      std::vector<std::span<const std::byte>> dviews;
+      dviews.reserve(static_cast<std::size_t>(k));
+      for (int d2 = 0; d2 < k; ++d2) {
+        dviews.push_back(data.subspan(done + static_cast<std::size_t>(d2) * unit, unit));
+      }
+      std::vector<std::vector<std::byte>> parity(
+          static_cast<std::size_t>(m), std::vector<std::byte>(unit));
+      std::vector<std::span<std::byte>> pviews(parity.begin(), parity.end());
+      rs.encode(dviews, pviews);
+      for (int d2 = 0; d2 < k; ++d2)
+        ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(d2),
+                       dviews[static_cast<std::size_t>(d2)], prof);
+      for (int p = 0; p < m; ++p)
+        ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
+                       parity[static_cast<std::size_t>(p)], prof);
+      done += stripe_bytes;
+      continue;
+    }
+
+    const auto d = static_cast<int>(in_stripe / unit);
+    const auto in_shard = static_cast<std::uint32_t>(in_stripe % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(data.size() - done, unit - in_shard));
+
+    // Delta-parity read-modify-write of one data shard.
+    std::vector<std::byte> old_shard(unit);
+    ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), old_shard,
+                  prof);
+    std::vector<std::byte> new_shard = old_shard;
+    std::memcpy(new_shard.data() + in_shard, data.data() + done, chunk);
+
+    std::vector<std::byte> delta(unit);
+    for (std::uint32_t i = 0; i < unit; ++i)
+      delta[i] = old_shard[i] ^ new_shard[i];
+
+    ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), new_shard,
+                   prof);
+    for (int p = 0; p < m; ++p) {
+      std::vector<std::byte> parity(unit);
+      ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
+                    parity, prof);
+      rs.apply_delta(parity, p, d, delta);
+      ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
+                     parity, prof);
+    }
+    done += chunk;
+  }
+}
+
+void striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
+                  std::span<std::byte> dst, OpProfile& prof) {
+  const std::uint32_t unit = meta.stripe_unit;
+  const std::uint64_t stripe_bytes = std::uint64_t{unit} * meta.k;
+  std::size_t done = 0;
+  std::vector<std::byte> shard(unit);
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / stripe_bytes;
+    const std::uint64_t in_stripe = pos % stripe_bytes;
+    const auto d = static_cast<std::uint32_t>(in_stripe / unit);
+    const auto in_shard = static_cast<std::uint32_t>(in_stripe % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dst.size() - done, unit - in_shard));
+    ds.read_shard(meta.ino, stripe, d, shard, prof);
+    std::memcpy(dst.data() + done, shard.data() + in_shard, chunk);
+    done += chunk;
+  }
+}
+
+bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
+                              const FileMeta& meta, std::uint64_t offset,
+                              std::span<std::byte> dst, OpProfile& prof) {
+  const std::uint32_t unit = meta.stripe_unit;
+  const int k = meta.k;
+  const int m = meta.m;
+  const std::uint64_t stripe_bytes = std::uint64_t{unit} * k;
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / stripe_bytes;
+    const std::uint64_t in_stripe = pos % stripe_bytes;
+    const auto d = static_cast<int>(in_stripe / unit);
+    const auto in_shard = static_cast<std::uint32_t>(in_stripe % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dst.size() - done, unit - in_shard));
+
+    if (ds.has_shard(meta.ino, stripe, static_cast<std::uint32_t>(d))) {
+      std::vector<std::byte> shard(unit);
+      ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), shard,
+                    prof);
+      std::memcpy(dst.data() + done, shard.data() + in_shard, chunk);
+    } else {
+      // Degraded: gather every present shard, reconstruct the stripe.
+      const int total = k + m;
+      std::vector<std::vector<std::byte>> shards(
+          static_cast<std::size_t>(total), std::vector<std::byte>(unit));
+      // vector<bool> is not contiguous bools; use a plain buffer for the
+      // span<const bool> API.
+      std::unique_ptr<bool[]> present =
+          std::make_unique<bool[]>(static_cast<std::size_t>(total));
+      int have = 0;
+      for (int r = 0; r < total; ++r) {
+        if (ds.has_shard(meta.ino, stripe, static_cast<std::uint32_t>(r))) {
+          ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
+                        shards[static_cast<std::size_t>(r)], prof);
+          present[static_cast<std::size_t>(r)] = true;
+          ++have;
+        }
+      }
+      if (have < k) return false;
+      std::vector<std::span<std::byte>> views;
+      views.reserve(static_cast<std::size_t>(total));
+      for (auto& s : shards) views.emplace_back(s);
+      rs.reconstruct(views,
+                     std::span<const bool>(present.get(),
+                                           static_cast<std::size_t>(total)));
+      std::memcpy(dst.data() + done,
+                  shards[static_cast<std::size_t>(d)].data() + in_shard,
+                  chunk);
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ replication
+
+void replicated_write(DataServers& ds, const FileMeta& meta,
+                      std::uint64_t offset, std::span<const std::byte> data,
+                      OpProfile& prof) {
+  DPC_CHECK(meta.redundancy == Redundancy::kReplication);
+  const std::uint32_t unit = meta.stripe_unit;
+  std::size_t done = 0;
+  std::vector<std::byte> shard(unit);
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / unit;
+    const auto in_unit = static_cast<std::uint32_t>(pos % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(data.size() - done, unit - in_unit));
+    std::span<const std::byte> payload;
+    if (chunk == unit) {
+      payload = data.subspan(done, unit);
+    } else {
+      // Partial unit: read-merge from the primary copy.
+      ds.read_shard(meta.ino, stripe, 0, shard, prof);
+      std::memcpy(shard.data() + in_unit, data.data() + done, chunk);
+      payload = shard;
+    }
+    for (std::uint32_t r = 0; r < meta.replicas; ++r)
+      ds.write_shard(meta.ino, stripe, r, payload, prof);
+    done += chunk;
+  }
+}
+
+void replicated_read(DataServers& ds, const FileMeta& meta,
+                     std::uint64_t offset, std::span<std::byte> dst,
+                     OpProfile& prof) {
+  DPC_CHECK(meta.redundancy == Redundancy::kReplication);
+  const std::uint32_t unit = meta.stripe_unit;
+  std::size_t done = 0;
+  std::vector<std::byte> shard(unit);
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / unit;
+    const auto in_unit = static_cast<std::uint32_t>(pos % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dst.size() - done, unit - in_unit));
+    ds.read_shard(meta.ino, stripe, 0, shard, prof);  // primary copy
+    std::memcpy(dst.data() + done, shard.data() + in_unit, chunk);
+    done += chunk;
+  }
+}
+
+bool replicated_read_any(DataServers& ds, const FileMeta& meta,
+                         std::uint64_t offset, std::span<std::byte> dst,
+                         OpProfile& prof) {
+  DPC_CHECK(meta.redundancy == Redundancy::kReplication);
+  const std::uint32_t unit = meta.stripe_unit;
+  std::size_t done = 0;
+  std::vector<std::byte> shard(unit);
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / unit;
+    const auto in_unit = static_cast<std::uint32_t>(pos % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dst.size() - done, unit - in_unit));
+    bool got = false;
+    for (std::uint32_t r = 0; r < meta.replicas && !got; ++r) {
+      if (ds.has_shard(meta.ino, stripe, r)) {
+        ds.read_shard(meta.ino, stripe, r, shard, prof);
+        got = true;
+      }
+    }
+    if (!got) return false;
+    std::memcpy(dst.data() + done, shard.data() + in_unit, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+}  // namespace dpc::dfs

@@ -1,0 +1,242 @@
+// DFS backend substrate: a metadata-server cluster and a group of data
+// servers (§2.1's architecture: "metadata server (MDS), data server, and
+// fs-client").
+//
+// Metadata is hash-partitioned across MDSes. A client that has not cached
+// the metadata view sends every request to its *entry* MDS, which forwards
+// to the *home* MDS — the forwarding the optimized client eliminates with
+// client-side routing ("Client-side I/O forwarding", §2.1).
+//
+// File data is striped RS(k,m) across the data servers; erasure coding is
+// computed either by the home MDS (standard path) or by the client /
+// DPC-offloaded client (client-side EC + direct I/O path).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ec/reed_solomon.hpp"
+#include "sim/calib.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::dfs {
+
+using Ino = std::uint64_t;
+using ClientId = std::uint32_t;
+
+class DataServers;
+
+/// Redundancy scheme of a file's data (§2.1: "EC or replication is handled
+/// by the fs-client").
+enum class Redundancy : std::uint8_t {
+  kErasure = 0,      ///< RS(k, m) striping
+  kReplication = 1,  ///< `replicas` full copies of each stripe unit
+};
+
+struct FileMeta {
+  Ino ino = 0;
+  std::uint64_t size = 0;
+  std::uint32_t stripe_unit = 8 * 1024;
+  std::uint8_t k = 4;  ///< data shards (erasure coding)
+  std::uint8_t m = 2;  ///< parity shards
+  Redundancy redundancy = Redundancy::kErasure;
+  std::uint8_t replicas = 3;  ///< used when redundancy == kReplication
+  ClientId delegation = 0;  ///< 0 = none; else exclusive write delegation
+};
+
+/// Cost profile of one backend interaction, accumulated by clients so the
+/// figure benches can build their queueing models from measured hop counts.
+struct OpProfile {
+  sim::Nanos host_cpu{};   ///< host CPU demand
+  sim::Nanos dpu_cpu{};    ///< DPU CPU demand (zero for host-side clients)
+  sim::Nanos pcie{};       ///< host↔DPU transport demand (DPC client only)
+  sim::Nanos mds{};        ///< MDS service demand
+  sim::Nanos ds{};         ///< data-server service demand
+  sim::Nanos net{};        ///< pure network delay (propagation)
+  std::uint32_t mds_ops = 0;
+  std::uint32_t ds_ops = 0;
+  std::uint32_t forwards = 0;  ///< entry→home forwarding hops
+
+  OpProfile& operator+=(const OpProfile& o);
+};
+
+/// One metadata server.
+class Mds {
+ public:
+  std::optional<Ino> lookup(const std::string& path) const;
+  /// Creates the name; returns nullopt if it already exists. `templ`
+  /// optionally supplies the layout (stripe geometry, redundancy scheme).
+  std::optional<FileMeta> create(const std::string& path, Ino ino,
+                                 std::uint64_t size,
+                                 const FileMeta* templ = nullptr);
+  /// Current delegation holder (0 = none / unknown ino).
+  ClientId delegation_holder(Ino ino) const;
+  std::optional<FileMeta> stat(Ino ino) const;
+  bool update_size(Ino ino, std::uint64_t size);
+  /// Grants (or confirms) the exclusive write delegation to `client`.
+  /// Returns false while another client holds it.
+  bool acquire_delegation(Ino ino, ClientId client);
+  void release_delegation(Ino ino, ClientId client);
+  bool remove(const std::string& path);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Ino> names_;
+  std::unordered_map<Ino, FileMeta> files_;
+};
+
+/// The hash-partitioned MDS cluster. All calls take the caller's entry MDS
+/// and whether the caller routes directly (metadata view cached); cost and
+/// forwarding accounting goes into `prof`.
+class MdsCluster {
+ public:
+  explicit MdsCluster(int servers = sim::calib::kMdsServers);
+
+  int servers() const { return static_cast<int>(mds_.size()); }
+  /// Home MDS of a path (namespace ops) / an ino (file ops).
+  int home_of(const std::string& path) const;
+  int home_of(Ino ino) const;
+
+  /// A client's promise to give a delegation back when another client
+  /// wants it. Return true to release.
+  using RecallFn = std::function<bool(Ino)>;
+  /// Registers `client`'s recall handler (lease-style delegations).
+  void register_recall(ClientId client, RecallFn fn);
+
+  /// Namespace & metadata ops. `entry` is the caller's entry MDS index;
+  /// `direct` true = caller routed to the home MDS itself.
+  std::optional<FileMeta> create(const std::string& path, std::uint64_t size,
+                                 int entry, bool direct, OpProfile& prof,
+                                 const FileMeta* templ = nullptr);
+  std::optional<Ino> lookup(const std::string& path, int entry, bool direct,
+                            OpProfile& prof);
+  std::optional<FileMeta> stat(Ino ino, int entry, bool direct,
+                               OpProfile& prof);
+  bool update_size(Ino ino, std::uint64_t size, int entry, bool direct,
+                   OpProfile& prof);
+  bool acquire_delegation(Ino ino, ClientId client, int entry, bool direct,
+                          OpProfile& prof);
+  bool remove(const std::string& path, int entry, bool direct,
+              OpProfile& prof);
+
+  /// Server-side EC write: the home MDS receives the data, encodes, and
+  /// distributes shards (the non-optimized path). Charged to `prof`.
+  bool server_side_write(class DataServers& ds, const ec::ReedSolomon& rs,
+                         Ino ino, std::uint64_t offset,
+                         std::span<const std::byte> data, int entry,
+                         bool direct, OpProfile& prof);
+  /// Server-side read through the MDS proxy.
+  bool server_side_read(class DataServers& ds, Ino ino, std::uint64_t offset,
+                        std::span<std::byte> dst, int entry, bool direct,
+                        OpProfile& prof);
+
+  /// Metadata lookup without charging an RPC (internal plumbing).
+  std::optional<FileMeta> find_meta(Ino ino) const;
+
+ private:
+  /// Adds the cost of one metadata RPC (and the forward if not direct).
+  void charge(int home, int entry, bool direct, OpProfile& prof) const;
+
+  std::vector<Mds> mds_;
+  std::atomic<Ino> next_ino_{1};
+  mutable std::mutex recall_mu_;
+  std::unordered_map<ClientId, RecallFn> recalls_;
+};
+
+// --------------------------------------------------------------- striping
+//
+// RS(k,m) striped I/O shared by the home-MDS (server-side EC) and the
+// client/DPC (client-side EC) paths. Stripe s covers file bytes
+// [s·k·unit, (s+1)·k·unit); data shard d of stripe s holds the d-th unit.
+// Sub-shard updates use delta-parity (read old data + parities, xor in the
+// coefficient-scaled delta) — this is the read-modify-write cost that makes
+// small EC writes expensive wherever they run.
+//
+// These helpers move bytes and charge data-server/network demands into
+// `prof`; the *EC compute* cost is charged by the caller (host CPU, DPU, or
+// MDS — that locus is exactly what the paper's offloading changes).
+
+void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
+                   const FileMeta& meta, std::uint64_t offset,
+                   std::span<const std::byte> data, OpProfile& prof);
+void striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
+                  std::span<std::byte> dst, OpProfile& prof);
+/// Degraded read: reconstructs the requested range even when data shards
+/// are missing, as long as ≥ k shards of each touched stripe survive.
+/// Returns false if a stripe is unrecoverable.
+bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
+                              const FileMeta& meta, std::uint64_t offset,
+                              std::span<std::byte> dst, OpProfile& prof);
+
+// ------------------------------------------------------------ replication
+//
+// Replication alternative (§2.1: "EC or replication"): each stripe-unit is
+// stored as `replicas` full copies on rotated servers (roles 0..r-1).
+
+void replicated_write(DataServers& ds, const FileMeta& meta,
+                      std::uint64_t offset, std::span<const std::byte> data,
+                      OpProfile& prof);
+void replicated_read(DataServers& ds, const FileMeta& meta,
+                     std::uint64_t offset, std::span<std::byte> dst,
+                     OpProfile& prof);
+/// Reads preferring the first *present* replica; false if all copies of a
+/// touched unit are gone.
+bool replicated_read_any(DataServers& ds, const FileMeta& meta,
+                         std::uint64_t offset, std::span<std::byte> dst,
+                         OpProfile& prof);
+
+/// The data-server group. Shards are stored per (ino, stripe, role) where
+/// role 0..k-1 are data shards and k..k+m-1 parity. Shard `role` of stripe
+/// `s` lives on server (s + role) mod N — rotated placement.
+class DataServers {
+ public:
+  explicit DataServers(int servers = sim::calib::kDataServers);
+
+  int servers() const { return static_cast<int>(servers_.size()); }
+  int server_of(Ino ino, std::uint64_t stripe, std::uint32_t role) const;
+
+  /// Reads a whole shard (stripe_unit bytes); absent shards read as zeros
+  /// and return false.
+  bool read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                  std::span<std::byte> dst, OpProfile& prof);
+  void write_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                   std::span<const std::byte> src, OpProfile& prof);
+  /// Deletes every shard of a file (enumeration by stored keys).
+  void purge(Ino ino);
+
+  /// For tests: drop a shard to simulate a lost disk.
+  bool drop_shard(Ino ino, std::uint64_t stripe, std::uint32_t role);
+  /// For tests/fault injection: whether the shard exists.
+  bool has_shard(Ino ino, std::uint64_t stripe, std::uint32_t role) const;
+
+ private:
+  struct Key {
+    Ino ino;
+    std::uint64_t stripe;
+    std::uint32_t role;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.ino * 0x9e3779b97f4a7c15ULL;
+      h ^= k.stripe + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.role + (h << 3);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Server {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, std::vector<std::byte>, KeyHash> shards;
+  };
+  std::vector<Server> servers_;
+};
+
+}  // namespace dpc::dfs

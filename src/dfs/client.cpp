@@ -1,0 +1,278 @@
+#include "dfs/client.hpp"
+
+#include <cerrno>
+
+#include "sim/calib.hpp"
+
+namespace dpc::dfs {
+
+namespace {
+/// nvme-fs transport demand for one offloaded op moving `payload` bytes:
+/// the Fig. 4 walk — SQE fetch + PRP-list fetch + one payload DMA + CQE,
+/// plus the doorbell.
+sim::Nanos nvme_fs_transport(std::uint32_t payload) {
+  using namespace sim::calib;
+  return kDmaSetup * 5 + pcie_transfer(payload);
+}
+}  // namespace
+
+DfsClient::DfsClient(ClientId id, MdsCluster& mds, DataServers& ds,
+                     const ClientConfig& cfg)
+    : id_(id),
+      mds_(&mds),
+      ds_(&ds),
+      cfg_(cfg),
+      entry_mds_(static_cast<int>(id) % mds.servers()),
+      rs_(4, 2) {
+  if (cfg_.delegation_recall && cfg_.delegation_cache) {
+    mds_->register_recall(id_, [this](Ino ino) {
+      std::lock_guard lock(mu_);
+      delegations_.erase(ino);
+      return true;  // lease-abiding client: always give it back
+    });
+  }
+}
+
+DfsClient::~DfsClient() {
+  if (cfg_.delegation_recall && cfg_.delegation_cache)
+    mds_->register_recall(id_, nullptr);
+}
+
+bool DfsClient::holds_delegation(Ino ino) const {
+  std::lock_guard lock(mu_);
+  return delegations_.contains(ino);
+}
+
+void DfsClient::charge_client_cpu(OpProfile& prof, bool data_op,
+                                  std::uint32_t payload_bytes,
+                                  bool is_write) const {
+  using namespace sim::calib;
+  if (cfg_.on_dpu) {
+    // DPC: host pays syscall + fs-adapter + data copy + completion + the
+    // NFS-compat shim; the client stack runs on the DPU.
+    prof.host_cpu += kSyscallVfs + kFsAdapterOp + kHostNvmeCompletion;
+    if (data_op) prof.host_cpu += kHostDataPathOp + kNfsCompatShim;
+    prof.pcie += nvme_fs_transport(data_op ? payload_bytes : 64);
+    prof.dpu_cpu += (data_op && is_write) ? kDpuDfsWriteOp : kDpuDfsReadOp;
+    if (data_op && cfg_.client_ec)
+      prof.dpu_cpu += ec::ReedSolomon::dpu_encode_cost(payload_bytes);
+  } else if (cfg_.client_ec || cfg_.view_routing || cfg_.direct_io ||
+             cfg_.delegation_cache) {
+    // Optimized host client: the "datacenter tax".
+    prof.host_cpu += kSyscallVfs + kNfsClientOp + kOptClientExtraOp;
+    if (data_op && cfg_.client_ec)
+      prof.host_cpu += ec::ReedSolomon::host_encode_cost(payload_bytes);
+  } else {
+    prof.host_cpu += kSyscallVfs + kNfsClientOp;
+  }
+}
+
+std::optional<FileMeta> DfsClient::meta_of(Ino ino, OpProfile& prof) {
+  if (cfg_.view_routing) {
+    std::lock_guard lock(mu_);
+    const auto it = meta_cache_.find(ino);
+    if (it != meta_cache_.end()) return it->second;
+  }
+  auto meta = mds_->stat(ino, entry_mds_, cfg_.view_routing, prof);
+  if (meta && cfg_.view_routing) {
+    std::lock_guard lock(mu_);
+    meta_cache_[ino] = *meta;
+  }
+  return meta;
+}
+
+bool DfsClient::ensure_delegation(Ino ino, OpProfile& prof) {
+  if (cfg_.delegation_cache) {
+    {
+      std::lock_guard lock(mu_);
+      if (delegations_.contains(ino)) return true;  // cached grant: free
+    }
+    if (!mds_->acquire_delegation(ino, id_, entry_mds_, cfg_.view_routing,
+                                  prof))
+      return false;
+    std::lock_guard lock(mu_);
+    delegations_.insert(ino);
+    return true;
+  }
+  // Standard client: lock round trip on every write.
+  return mds_->acquire_delegation(ino, id_, entry_mds_, cfg_.view_routing,
+                                  prof);
+}
+
+IoResult DfsClient::create(const std::string& path,
+                           std::uint64_t prealloc_size) {
+  IoResult res;
+  charge_client_cpu(res.prof, false, 0);
+  FileMeta templ;
+  if (cfg_.use_replication) {
+    templ.redundancy = Redundancy::kReplication;
+    templ.replicas = cfg_.replicas;
+  }
+  auto meta = mds_->create(path, prealloc_size, entry_mds_,
+                           cfg_.view_routing, res.prof,
+                           cfg_.use_replication ? &templ : nullptr);
+  if (!meta) {
+    res.err = EEXIST;
+    return res;
+  }
+  if (cfg_.view_routing) {
+    std::lock_guard lock(mu_);
+    meta_cache_[meta->ino] = *meta;
+  }
+  if (cfg_.on_dpu && cfg_.delegation_cache) {
+    // DPC packs the create and the creator's write delegation into one
+    // metadata message (§2.1's small-I/O packing, applied to metadata), so
+    // the grant costs no extra MDS round trip.
+    OpProfile free_grant;
+    if (mds_->acquire_delegation(meta->ino, id_, entry_mds_,
+                                 cfg_.view_routing, free_grant)) {
+      std::lock_guard lock(mu_);
+      delegations_.insert(meta->ino);
+    }
+  }
+  res.ino = meta->ino;
+  return res;
+}
+
+IoResult DfsClient::open(const std::string& path) {
+  IoResult res;
+  charge_client_cpu(res.prof, false, 0);
+  const auto ino = mds_->lookup(path, entry_mds_, cfg_.view_routing, res.prof);
+  if (!ino) {
+    res.err = ENOENT;
+    return res;
+  }
+  res.ino = *ino;
+  return res;
+}
+
+IoResult DfsClient::stat(Ino ino) {
+  IoResult res;
+  charge_client_cpu(res.prof, false, 0);
+  const auto meta = meta_of(ino, res.prof);
+  if (!meta) {
+    res.err = ENOENT;
+    return res;
+  }
+  res.ino = ino;
+  res.bytes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(meta->size, UINT32_MAX));
+  return res;
+}
+
+IoResult DfsClient::read(Ino ino, std::uint64_t offset,
+                         std::span<std::byte> dst) {
+  IoResult res;
+  res.ino = ino;
+  charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(dst.size()));
+  if (cfg_.direct_io) {
+    const auto meta = meta_of(ino, res.prof);
+    if (!meta) {
+      res.err = ENOENT;
+      return res;
+    }
+    if (meta->redundancy == Redundancy::kReplication)
+      replicated_read(*ds_, *meta, offset, dst, res.prof);
+    else
+      striped_read(*ds_, *meta, offset, dst, res.prof);
+  } else {
+    if (!mds_->server_side_read(*ds_, ino, offset, dst, entry_mds_,
+                                cfg_.view_routing, res.prof)) {
+      res.err = ENOENT;
+      return res;
+    }
+  }
+  res.bytes = static_cast<std::uint32_t>(dst.size());
+  return res;
+}
+
+IoResult DfsClient::write(Ino ino, std::uint64_t offset,
+                          std::span<const std::byte> src) {
+  IoResult res;
+  res.ino = ino;
+  charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(src.size()),
+                    /*is_write=*/true);
+  if (!ensure_delegation(ino, res.prof)) {
+    res.err = EAGAIN;
+    return res;
+  }
+  if (cfg_.direct_io && cfg_.client_ec) {
+    const auto meta = meta_of(ino, res.prof);
+    if (!meta) {
+      res.err = ENOENT;
+      return res;
+    }
+    // EC / replication handled here (compute already charged to the right
+    // CPU), data straight to the data servers.
+    if (meta->redundancy == Redundancy::kReplication)
+      replicated_write(*ds_, *meta, offset, src, res.prof);
+    else
+      striped_write(*ds_, rs_, *meta, offset, src, res.prof);
+    // Size updates are lazy/batched: only needed when the file grows past
+    // the preallocated size.
+    if (offset + src.size() > meta->size) {
+      mds_->update_size(ino, offset + src.size(), entry_mds_,
+                        cfg_.view_routing, res.prof);
+      std::lock_guard lock(mu_);
+      auto it = meta_cache_.find(ino);
+      if (it != meta_cache_.end())
+        it->second.size = offset + src.size();
+    }
+  } else {
+    if (!mds_->server_side_write(*ds_, rs_, ino, offset, src, entry_mds_,
+                                 cfg_.view_routing, res.prof)) {
+      res.err = ENOENT;
+      return res;
+    }
+  }
+  res.bytes = static_cast<std::uint32_t>(src.size());
+  return res;
+}
+
+IoResult DfsClient::remove(const std::string& path) {
+  IoResult res;
+  charge_client_cpu(res.prof, false, 0);
+  auto opened = mds_->lookup(path, entry_mds_, cfg_.view_routing, res.prof);
+  if (!opened) {
+    res.err = ENOENT;
+    return res;
+  }
+  mds_->remove(path, entry_mds_, cfg_.view_routing, res.prof);
+  ds_->purge(*opened);
+  {
+    std::lock_guard lock(mu_);
+    meta_cache_.erase(*opened);
+    delegations_.erase(*opened);
+  }
+  return res;
+}
+
+IoResult DfsClient::read_degraded(Ino ino, std::uint64_t offset,
+                                  std::span<std::byte> dst) {
+  IoResult res;
+  res.ino = ino;
+  charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(dst.size()));
+  const auto meta = meta_of(ino, res.prof);
+  if (!meta) {
+    res.err = ENOENT;
+    return res;
+  }
+  const bool recovered =
+      meta->redundancy == Redundancy::kReplication
+          ? replicated_read_any(*ds_, *meta, offset, dst, res.prof)
+          : striped_read_reconstruct(*ds_, rs_, *meta, offset, dst,
+                                     res.prof);
+  if (!recovered) {
+    res.err = EIO;
+    return res;
+  }
+  // Reconstruction compute lands where the client runs.
+  if (cfg_.on_dpu)
+    res.prof.dpu_cpu += ec::ReedSolomon::dpu_encode_cost(dst.size());
+  else
+    res.prof.host_cpu += ec::ReedSolomon::host_encode_cost(dst.size());
+  res.bytes = static_cast<std::uint32_t>(dst.size());
+  return res;
+}
+
+}  // namespace dpc::dfs

@@ -1,0 +1,134 @@
+#include "dpu/compress.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dpc::dpu {
+
+namespace {
+
+constexpr std::byte kLiteral{0x00};
+constexpr std::byte kMatch{0x01};
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 64 * 1024;
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Returns nullopt on truncated input.
+std::optional<std::uint64_t> get_varint(std::span<const std::byte> src,
+                                        std::size_t& at) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (at < src.size() && shift <= 63) {
+    const auto b = static_cast<std::uint8_t>(src[at++]);
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit table index
+}
+
+}  // namespace
+
+std::size_t lz_compress(std::span<const std::byte> src,
+                        std::vector<std::byte>& dst) {
+  dst.clear();
+  dst.reserve(src.size() / 2 + 16);
+
+  std::array<std::int64_t, 1 << 13> table;
+  table.fill(-1);
+
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    if (end == literal_start) return;
+    dst.push_back(kLiteral);
+    put_varint(dst, end - literal_start);
+    dst.insert(dst.end(), src.begin() + static_cast<std::ptrdiff_t>(literal_start),
+               src.begin() + static_cast<std::ptrdiff_t>(end));
+    literal_start = end;
+  };
+
+  while (i + kMinMatch <= src.size()) {
+    const std::uint32_t h = hash4(src.data() + i);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(i);
+
+    std::size_t match_len = 0;
+    if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kMaxDistance) {
+      const auto c = static_cast<std::size_t>(cand);
+      const std::size_t limit = src.size() - i;
+      while (match_len < limit && src[c + match_len] == src[i + match_len])
+        ++match_len;
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(i);
+      dst.push_back(kMatch);
+      put_varint(dst, match_len);
+      put_varint(dst, i - static_cast<std::size_t>(cand));
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(src.size());
+  return dst.size();
+}
+
+std::optional<std::size_t> lz_decompress(std::span<const std::byte> src,
+                                         std::vector<std::byte>& dst,
+                                         std::size_t max_out) {
+  dst.clear();
+  std::size_t at = 0;
+  while (at < src.size()) {
+    const std::byte tag = src[at++];
+    if (tag == kLiteral) {
+      const auto len = get_varint(src, at);
+      if (!len || at + *len > src.size() || dst.size() + *len > max_out)
+        return std::nullopt;
+      dst.insert(dst.end(), src.begin() + static_cast<std::ptrdiff_t>(at),
+                 src.begin() + static_cast<std::ptrdiff_t>(at + *len));
+      at += *len;
+    } else if (tag == kMatch) {
+      const auto len = get_varint(src, at);
+      const auto dist = get_varint(src, at);
+      if (!len || !dist || *dist == 0 || *dist > dst.size() ||
+          dst.size() + *len > max_out)
+        return std::nullopt;
+      // Byte-by-byte copy: overlapping matches (RLE-style) are legal.
+      std::size_t from = dst.size() - static_cast<std::size_t>(*dist);
+      for (std::uint64_t k = 0; k < *len; ++k) dst.push_back(dst[from + k]);
+    } else {
+      return std::nullopt;  // unknown token
+    }
+  }
+  return dst.size();
+}
+
+sim::Nanos dpu_compress_cost(std::size_t bytes) {
+  // Hardware-assisted engine: ~4 GB/s effective.
+  return sim::Nanos{static_cast<std::int64_t>(bytes * 0.25)};
+}
+
+sim::Nanos host_compress_cost(std::size_t bytes) {
+  // Software LZ on a host core: ~0.8 GB/s.
+  return sim::Nanos{static_cast<std::int64_t>(bytes * 1.25)};
+}
+
+}  // namespace dpc::dpu

@@ -1,0 +1,42 @@
+// DPU compression engine (§3.3 lists compression among the flush-path
+// compute steps; LustreFS-style client-side compression is one of the
+// offloads that motivates DPC).
+//
+// The codec is a real LZ-style byte compressor (greedy hash-chain match +
+// literal runs, format documented below) chosen for zero dependencies and
+// bounded worst-case expansion; the point is a correct, testable data path
+// whose cost the DPU engine model can charge, not competitive ratios.
+//
+// Format: a sequence of tokens.
+//   literal run : 0x00 | varint len | bytes
+//   match       : 0x01 | varint len | varint distance   (len ≥ 4)
+// Varint = LEB128.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dpc::dpu {
+
+/// Compresses `src`; output is appended to `dst` (cleared first). Returns
+/// the compressed size. Worst case ≈ src.size() + src.size()/255 + 16.
+std::size_t lz_compress(std::span<const std::byte> src,
+                        std::vector<std::byte>& dst);
+
+/// Decompresses into `dst` (cleared first). Returns nullopt on malformed
+/// input (never reads past `src`, never writes unbounded output beyond
+/// `max_out`).
+std::optional<std::size_t> lz_decompress(std::span<const std::byte> src,
+                                         std::vector<std::byte>& dst,
+                                         std::size_t max_out);
+
+/// Modelled cost of the DPU's (hardware-assisted) compression engine.
+sim::Nanos dpu_compress_cost(std::size_t bytes);
+/// Host-side software compression cost, for the offload comparison.
+sim::Nanos host_compress_cost(std::size_t bytes);
+
+}  // namespace dpc::dpu

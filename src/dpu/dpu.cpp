@@ -1,0 +1,17 @@
+#include "dpu/dpu.hpp"
+
+namespace dpc::dpu {
+
+Dpu::Dpu(const DpuConfig& cfg)
+    : cfg_(cfg), bar_("dpu-bar", cfg.bar_size), bar_alloc_(bar_) {
+  DPC_CHECK(cfg.cores >= 1);
+}
+
+sim::Nanos Dpu::sched_overhead(int client_threads) {
+  using namespace sim::calib;
+  if (client_threads <= kDpuSchedSweetSpot) return sim::Nanos{0};
+  return kDpuSchedPenaltyPerThread *
+         (client_threads - kDpuSchedSweetSpot);
+}
+
+}  // namespace dpc::dpu

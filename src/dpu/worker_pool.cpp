@@ -1,0 +1,55 @@
+#include "dpu/worker_pool.hpp"
+
+#include <chrono>
+
+#include "sim/check.hpp"
+
+namespace dpc::dpu {
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::add_poller(Poller p) {
+  DPC_CHECK_MSG(!running(), "add_poller after start");
+  DPC_CHECK(p != nullptr);
+  pollers_.push_back(std::move(p));
+}
+
+void WorkerPool::start(int threads) {
+  DPC_CHECK(!running());
+  DPC_CHECK(threads >= 1);
+  DPC_CHECK_MSG(!pollers_.empty(), "no pollers registered");
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    threads_.emplace_back([this, t, threads] { worker_main(t, threads); });
+  }
+}
+
+void WorkerPool::stop() {
+  running_.store(false, std::memory_order_release);
+  threads_.clear();  // jthread joins on destruction
+}
+
+void WorkerPool::worker_main(int worker_id, int worker_count) {
+  // Static partition: worker t owns pollers t, t+N, t+2N, … so that
+  // single-consumer drivers are never run from two threads.
+  std::vector<std::size_t> mine;
+  for (std::size_t i = static_cast<std::size_t>(worker_id);
+       i < pollers_.size(); i += static_cast<std::size_t>(worker_count))
+    mine.push_back(i);
+
+  int idle_rounds = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    int processed = 0;
+    for (const std::size_t i : mine) processed += pollers_[i]();
+    if (processed > 0) {
+      idle_rounds = 0;
+    } else if (++idle_rounds < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+}  // namespace dpc::dpu

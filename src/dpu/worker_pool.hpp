@@ -1,0 +1,47 @@
+// Worker threads standing in for the DPU's cores: each worker repeatedly
+// runs the registered pollers (NVME-TGT queues, the DPFS-HAL, the hybrid
+// cache flusher) with exponential backoff when idle.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpc::dpu {
+
+/// A poller drains some work source; it returns how many items it
+/// processed so the pool can back off when everything is idle.
+using Poller = std::function<int()>;
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Registers a poller. Each poller is owned by exactly one worker thread
+  /// (pollers wrap single-consumer drivers like TgtDriver), assigned
+  /// round-robin at start().
+  void add_poller(Poller p);
+
+  /// Spawns `threads` workers. Must be called after all add_poller calls.
+  void start(int threads);
+
+  /// Stops and joins all workers (also run by the destructor).
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void worker_main(int worker_id, int worker_count);
+
+  std::vector<Poller> pollers_;
+  std::vector<std::jthread> threads_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dpc::dpu

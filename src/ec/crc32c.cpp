@@ -1,0 +1,31 @@
+#include "ec/crc32c.hpp"
+
+#include <array>
+
+namespace dpc::ec {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t crc) {
+  crc = ~crc;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace dpc::ec

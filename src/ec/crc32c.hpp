@@ -1,0 +1,15 @@
+// CRC32C (Castagnoli) — the DIF/checksum computed during the DPU's cache
+// flush path ("performs relevant computing operations (e.g., compression,
+// DIF, EC, etc.)", §3.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dpc::ec {
+
+/// Computes CRC32C over `data`, seeded by `crc` (pass 0 to start; chain
+/// calls with the previous return value to checksum in pieces).
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t crc = 0);
+
+}  // namespace dpc::ec

@@ -1,0 +1,136 @@
+#include "ec/reed_solomon.hpp"
+
+#include "sim/check.hpp"
+
+namespace dpc::ec {
+
+ReedSolomon::ReedSolomon(int k, int m)
+    : k_(k),
+      m_(m),
+      encode_matrix_(GfMatrix::rs_encode_matrix(static_cast<std::size_t>(k),
+                                                static_cast<std::size_t>(m))) {
+  DPC_CHECK(k >= 1 && m >= 1 && k + m <= 255);
+}
+
+void ReedSolomon::encode(
+    std::span<const std::span<const std::byte>> data,
+    std::span<const std::span<std::byte>> parity) const {
+  DPC_CHECK(data.size() == static_cast<std::size_t>(k_));
+  DPC_CHECK(parity.size() == static_cast<std::size_t>(m_));
+  const std::size_t len = data[0].size();
+  for (const auto& s : data) DPC_CHECK(s.size() == len);
+  for (const auto& s : parity) DPC_CHECK(s.size() == len);
+
+  const auto& gf = Gf256::instance();
+  for (int p = 0; p < m_; ++p) {
+    const std::size_t row = static_cast<std::size_t>(k_ + p);
+    gf.mul_set(parity[static_cast<std::size_t>(p)], data[0],
+               encode_matrix_.at(row, 0));
+    for (int d = 1; d < k_; ++d) {
+      gf.mul_acc(parity[static_cast<std::size_t>(p)],
+                 data[static_cast<std::size_t>(d)],
+                 encode_matrix_.at(row, static_cast<std::size_t>(d)));
+    }
+  }
+}
+
+void ReedSolomon::reconstruct(std::span<const std::span<std::byte>> shards,
+                              std::span<const bool> present) const {
+  const auto total = static_cast<std::size_t>(k_ + m_);
+  DPC_CHECK(shards.size() == total && present.size() == total);
+  const std::size_t len = shards[0].size();
+  for (const auto& s : shards) DPC_CHECK(s.size() == len);
+
+  std::size_t have = 0;
+  for (bool p : present) have += p ? 1 : 0;
+  DPC_CHECK_MSG(have >= static_cast<std::size_t>(k_),
+                "need " << k_ << " shards, only " << have << " present");
+  if (have == total) return;
+
+  // Pick the first k present shards; their encode-matrix rows form a k x k
+  // submatrix whose inverse maps them back to the data shards.
+  std::vector<std::size_t> rows;
+  rows.reserve(static_cast<std::size_t>(k_));
+  for (std::size_t i = 0; i < total && rows.size() < static_cast<std::size_t>(k_);
+       ++i)
+    if (present[i]) rows.push_back(i);
+
+  GfMatrix sub(static_cast<std::size_t>(k_), static_cast<std::size_t>(k_));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k_); ++c)
+      sub.at(r, c) = encode_matrix_.at(rows[r], c);
+  const GfMatrix decode = sub.inverted();
+
+  const auto& gf = Gf256::instance();
+  // Rebuild missing *data* shards first.
+  std::vector<std::vector<std::byte>> rebuilt(
+      static_cast<std::size_t>(k_));
+  for (int d = 0; d < k_; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    if (present[di]) continue;
+    rebuilt[di].assign(len, std::byte{0});
+    for (std::size_t j = 0; j < static_cast<std::size_t>(k_); ++j) {
+      gf.mul_acc(rebuilt[di], shards[rows[j]], decode.at(di, j));
+    }
+  }
+  for (int d = 0; d < k_; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    if (!rebuilt[di].empty())
+      std::copy(rebuilt[di].begin(), rebuilt[di].end(), shards[di].begin());
+  }
+
+  // Then re-encode any missing parity from the (now complete) data shards.
+  for (int p = 0; p < m_; ++p) {
+    const auto pi = static_cast<std::size_t>(k_ + p);
+    if (present[pi]) continue;
+    const std::size_t row = pi;
+    gf.mul_set(shards[pi], shards[0], encode_matrix_.at(row, 0));
+    for (int d = 1; d < k_; ++d)
+      gf.mul_acc(shards[pi], shards[static_cast<std::size_t>(d)],
+                 encode_matrix_.at(row, static_cast<std::size_t>(d)));
+  }
+}
+
+bool ReedSolomon::verify(
+    std::span<const std::span<const std::byte>> shards) const {
+  const auto total = static_cast<std::size_t>(k_ + m_);
+  DPC_CHECK(shards.size() == total);
+  const std::size_t len = shards[0].size();
+
+  const auto& gf = Gf256::instance();
+  std::vector<std::byte> expect(len);
+  for (int p = 0; p < m_; ++p) {
+    const std::size_t row = static_cast<std::size_t>(k_ + p);
+    gf.mul_set(expect, shards[0], encode_matrix_.at(row, 0));
+    for (int d = 1; d < k_; ++d)
+      gf.mul_acc(expect, shards[static_cast<std::size_t>(d)],
+                 encode_matrix_.at(row, static_cast<std::size_t>(d)));
+    if (!std::equal(expect.begin(), expect.end(),
+                    shards[row].begin()))
+      return false;
+  }
+  return true;
+}
+
+std::uint8_t ReedSolomon::coeff(int p, int d) const {
+  DPC_CHECK(p >= 0 && p < m_ && d >= 0 && d < k_);
+  return encode_matrix_.at(static_cast<std::size_t>(k_ + p),
+                           static_cast<std::size_t>(d));
+}
+
+void ReedSolomon::apply_delta(std::span<std::byte> parity, int p, int d,
+                              std::span<const std::byte> delta) const {
+  Gf256::instance().mul_acc(parity, delta, coeff(p, d));
+}
+
+sim::Nanos ReedSolomon::host_encode_cost(std::uint64_t stripe_bytes) {
+  return sim::Nanos{static_cast<std::int64_t>(
+      static_cast<double>(stripe_bytes) * sim::calib::kHostEcNsPerByte)};
+}
+
+sim::Nanos ReedSolomon::dpu_encode_cost(std::uint64_t stripe_bytes) {
+  return sim::Nanos{static_cast<std::int64_t>(
+      static_cast<double>(stripe_bytes) * sim::calib::kDpuEcNsPerByte)};
+}
+
+}  // namespace dpc::ec

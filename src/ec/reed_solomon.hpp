@@ -1,0 +1,61 @@
+// Systematic Reed–Solomon erasure coding over GF(2^8).
+//
+// This is the client-side EC calculation the paper offloads from the host
+// fs-client to the DPU (§2.1 "Client-side EC calculation", §4.3). A stripe
+// of k data shards gains m parity shards; any k of the k+m survive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ec/gf256.hpp"
+#include "sim/calib.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::ec {
+
+class ReedSolomon {
+ public:
+  /// k data shards + m parity shards (paper's DFS default: RS(4,2)).
+  ReedSolomon(int k, int m);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  /// Computes the m parity shards from the k data shards. All spans must
+  /// have equal size.
+  void encode(std::span<const std::span<const std::byte>> data,
+              std::span<const std::span<std::byte>> parity) const;
+
+  /// Reconstructs the missing shards in place. `shards` has k+m entries;
+  /// `present[i]` says whether shards[i] currently holds valid bytes. At
+  /// least k must be present. On return every shard is valid.
+  void reconstruct(std::span<const std::span<std::byte>> shards,
+                   std::span<const bool> present) const;
+
+  /// True if `shards` (all present) are parity-consistent.
+  bool verify(std::span<const std::span<const std::byte>> shards) const;
+
+  /// Encode-matrix coefficient linking parity shard `p` (0..m-1) to data
+  /// shard `d` (0..k-1). Used for delta-parity updates: when data shard d
+  /// changes by Δ, parity p changes by coeff(p,d)·Δ.
+  std::uint8_t coeff(int p, int d) const;
+  /// dst ^= coeff(p,d) · delta — the delta-parity primitive.
+  void apply_delta(std::span<std::byte> parity, int p, int d,
+                   std::span<const std::byte> delta) const;
+
+  /// Modelled compute cost of encoding `stripe_bytes` of data (k shards
+  /// worth) on the host CPU vs. the DPU's EC engine — used by the Fig. 1 /
+  /// Fig. 9 CPU accounting.
+  static sim::Nanos host_encode_cost(std::uint64_t stripe_bytes);
+  static sim::Nanos dpu_encode_cost(std::uint64_t stripe_bytes);
+
+ private:
+  int k_, m_;
+  GfMatrix encode_matrix_;  // (k+m) x k systematic
+};
+
+}  // namespace dpc::ec

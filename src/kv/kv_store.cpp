@@ -1,0 +1,151 @@
+#include "kv/kv_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "sim/check.hpp"
+
+namespace dpc::kv {
+
+Bytes to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+Bytes to_bytes(std::span<const std::byte> s) {
+  return Bytes(s.begin(), s.end());
+}
+
+KvStore::KvStore(int shards) : shards_storage_(static_cast<std::size_t>(shards)) {
+  DPC_CHECK(shards >= 1);
+}
+
+KvStore::Shard& KvStore::shard_for(std::string_view key) const {
+  const std::size_t h = std::hash<std::string_view>{}(key);
+  return const_cast<Shard&>(
+      shards_storage_[h % shards_storage_.size()]);
+}
+
+void KvStore::put(std::string_view key, std::span<const std::byte> value) {
+  Shard& sh = shard_for(key);
+  std::unique_lock lock(sh.mu);
+  sh.data.insert_or_assign(std::string(key), to_bytes(value));
+}
+
+bool KvStore::put_if_absent(std::string_view key,
+                            std::span<const std::byte> value) {
+  Shard& sh = shard_for(key);
+  std::unique_lock lock(sh.mu);
+  return sh.data.try_emplace(std::string(key), to_bytes(value)).second;
+}
+
+std::optional<Bytes> KvStore::get(std::string_view key) const {
+  const Shard& sh = shard_for(key);
+  std::shared_lock lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::contains(std::string_view key) const {
+  const Shard& sh = shard_for(key);
+  std::shared_lock lock(sh.mu);
+  return sh.data.find(key) != sh.data.end();
+}
+
+bool KvStore::erase(std::string_view key) {
+  Shard& sh = shard_for(key);
+  std::unique_lock lock(sh.mu);
+  return sh.data.erase(std::string(key)) > 0;
+}
+
+std::optional<std::size_t> KvStore::read_sub(std::string_view key,
+                                             std::uint64_t offset,
+                                             std::span<std::byte> dst) const {
+  const Shard& sh = shard_for(key);
+  std::shared_lock lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) return std::nullopt;
+  const Bytes& v = it->second;
+  if (offset >= v.size()) return 0;
+  const std::size_t n = std::min<std::size_t>(dst.size(), v.size() - offset);
+  std::memcpy(dst.data(), v.data() + offset, n);
+  return n;
+}
+
+void KvStore::write_sub(std::string_view key, std::uint64_t offset,
+                        std::span<const std::byte> src) {
+  Shard& sh = shard_for(key);
+  std::unique_lock lock(sh.mu);
+  Bytes& v = sh.data[std::string(key)];
+  if (v.size() < offset + src.size()) v.resize(offset + src.size());
+  std::memcpy(v.data() + offset, src.data(), src.size());
+}
+
+std::uint64_t KvStore::increment(std::string_view key, std::uint64_t delta) {
+  Shard& sh = shard_for(key);
+  std::unique_lock lock(sh.mu);
+  Bytes& v = sh.data[std::string(key)];
+  if (v.size() != sizeof(std::uint64_t)) v.assign(sizeof(std::uint64_t), std::byte{0});
+  std::uint64_t cur;
+  std::memcpy(&cur, v.data(), sizeof(cur));
+  cur += delta;
+  std::memcpy(v.data(), &cur, sizeof(cur));
+  return cur;
+}
+
+std::optional<std::uint64_t> KvStore::value_size(std::string_view key) const {
+  const Shard& sh = shard_for(key);
+  std::shared_lock lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) return std::nullopt;
+  return it->second.size();
+}
+
+std::size_t KvStore::scan_prefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, const Bytes&)>& fn) const {
+  // Gather matching (key, value) pairs per shard, then merge in key order —
+  // the client-side merge a partitioned KV cluster's scan performs.
+  std::vector<std::pair<std::string, const Bytes*>> hits;
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_storage_.size());
+  for (const auto& sh : shards_storage_) {
+    locks.emplace_back(sh.mu);
+    auto it = sh.data.lower_bound(prefix);
+    for (; it != sh.data.end(); ++it) {
+      const std::string_view k = it->first;
+      if (k.substr(0, prefix.size()) != prefix) break;
+      hits.emplace_back(it->first, &it->second);
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t visited = 0;
+  for (const auto& [k, v] : hits) {
+    ++visited;
+    if (!fn(k, *v)) break;
+  }
+  return visited;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_storage_) {
+    std::shared_lock lock(sh.mu);
+    n += sh.data.size();
+  }
+  return n;
+}
+
+std::uint64_t KvStore::bytes_stored() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_storage_) {
+    std::shared_lock lock(sh.mu);
+    for (const auto& [k, v] : sh.data) n += k.size() + v.size();
+  }
+  return n;
+}
+
+}  // namespace dpc::kv

@@ -1,0 +1,88 @@
+// Disaggregated KV store substrate (§3.4).
+//
+// The paper deliberately treats the disaggregated KV cluster as a given
+// ("this paper does not focus on the design of disaggregated storage") and
+// uses it through four KV types. This module provides that substrate: a
+// sharded, ordered, binary-safe KV store with
+//   * point get/put/delete,
+//   * prefix scans (inode-KV directory listing uses the p_ino key prefix),
+//   * sub-object reads/writes (the 8 KB-granularity in-place updates the
+//     big-file KV needs),
+//   * compare-and-put (used by KVFS for atomic inode allocation).
+// Thread-safe; shards are hash-partitioned like a real KV cluster's
+// partitions, and scans merge across shards in key order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpc::kv {
+
+using Bytes = std::vector<std::byte>;
+
+Bytes to_bytes(std::string_view s);
+Bytes to_bytes(std::span<const std::byte> s);
+
+class KvStore {
+ public:
+  explicit KvStore(int shards = 16);
+
+  /// Inserts or overwrites.
+  void put(std::string_view key, std::span<const std::byte> value);
+
+  /// Inserts only if absent; returns false (leaving the old value) if the
+  /// key exists.
+  bool put_if_absent(std::string_view key, std::span<const std::byte> value);
+
+  std::optional<Bytes> get(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  bool erase(std::string_view key);
+
+  /// Reads `dst.size()` bytes at `offset` within the value. Returns bytes
+  /// copied (short if the value ends early), or nullopt if the key is
+  /// missing.
+  std::optional<std::size_t> read_sub(std::string_view key,
+                                      std::uint64_t offset,
+                                      std::span<std::byte> dst) const;
+
+  /// In-place sub-range write; grows the value if needed. Creates the key
+  /// if absent. This is the primitive behind big-file KV updates.
+  void write_sub(std::string_view key, std::uint64_t offset,
+                 std::span<const std::byte> src);
+
+  /// Returns the value size, or nullopt.
+  std::optional<std::uint64_t> value_size(std::string_view key) const;
+
+  /// Atomically adds `delta` to a little-endian u64 counter value (created
+  /// at zero if absent) and returns the *new* value. The allocation
+  /// primitive shared mounts use for inode/block ids.
+  std::uint64_t increment(std::string_view key, std::uint64_t delta);
+
+  /// Visits all keys with `prefix` in ascending key order. Return false
+  /// from `fn` to stop early. Returns the number of entries visited.
+  std::size_t scan_prefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view key, const Bytes& value)>& fn)
+      const;
+
+  std::size_t size() const;
+  std::uint64_t bytes_stored() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, Bytes, std::less<>> data;
+  };
+  Shard& shard_for(std::string_view key) const;
+
+  std::vector<Shard> shards_storage_;
+};
+
+}  // namespace dpc::kv

@@ -1,0 +1,70 @@
+#include "kv/remote.hpp"
+
+namespace dpc::kv {
+
+sim::Nanos RemoteKv::op_cost(bool is_read, std::uint64_t payload) {
+  using namespace sim::calib;
+  const sim::Nanos transfer =
+      is_read ? kv_read_transfer(payload) : kv_write_transfer(payload);
+  return kNetHop * 2 + kKvServerOp + transfer;
+}
+
+Timed<std::optional<Bytes>> RemoteKv::get(std::string_view key) const {
+  auto v = store_->get(key);
+  const std::uint64_t payload = v ? v->size() : 0;
+  return {std::move(v), op_cost(true, payload)};
+}
+
+Timed<bool> RemoteKv::put(std::string_view key,
+                          std::span<const std::byte> value) {
+  store_->put(key, value);
+  return {true, op_cost(false, value.size())};
+}
+
+Timed<bool> RemoteKv::put_if_absent(std::string_view key,
+                                    std::span<const std::byte> value) {
+  const bool ok = store_->put_if_absent(key, value);
+  return {ok, op_cost(false, value.size())};
+}
+
+Timed<bool> RemoteKv::erase(std::string_view key) {
+  const bool ok = store_->erase(key);
+  return {ok, op_cost(false, 0)};
+}
+
+Timed<std::optional<std::size_t>> RemoteKv::read_sub(
+    std::string_view key, std::uint64_t offset,
+    std::span<std::byte> dst) const {
+  auto n = store_->read_sub(key, offset, dst);
+  return {n, op_cost(true, n.value_or(0))};
+}
+
+Timed<bool> RemoteKv::write_sub(std::string_view key, std::uint64_t offset,
+                                std::span<const std::byte> src) {
+  store_->write_sub(key, offset, src);
+  return {true, op_cost(false, src.size())};
+}
+
+Timed<std::uint64_t> RemoteKv::increment(std::string_view key,
+                                         std::uint64_t delta) {
+  return {store_->increment(key, delta), op_cost(false, 8)};
+}
+
+Timed<std::optional<std::uint64_t>> RemoteKv::value_size(
+    std::string_view key) const {
+  return {store_->value_size(key), op_cost(true, 0)};
+}
+
+Timed<std::size_t> RemoteKv::scan_prefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, const Bytes&)>& fn) const {
+  std::uint64_t payload = 0;
+  const std::size_t n = store_->scan_prefix(
+      prefix, [&](std::string_view k, const Bytes& v) {
+        payload += k.size() + v.size();
+        return fn(k, v);
+      });
+  return {n, op_cost(true, payload)};
+}
+
+}  // namespace dpc::kv

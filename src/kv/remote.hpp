@@ -1,0 +1,53 @@
+// Remote access wrapper for the disaggregated KV store: same operations as
+// KvStore, with each call also reporting its modelled network + server cost
+// (request hop, server service, payload transfer, response hop). The DPU's
+// KVFS talks to the cluster through this wrapper, so every figure that
+// involves KVFS automatically includes realistic backend latency.
+#pragma once
+
+#include <optional>
+
+#include "kv/kv_store.hpp"
+#include "sim/calib.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::kv {
+
+/// A value + the modelled time the remote op took.
+template <typename T>
+struct Timed {
+  T value;
+  sim::Nanos cost{};
+};
+
+class RemoteKv {
+ public:
+  explicit RemoteKv(KvStore& store) : store_(&store) {}
+
+  Timed<std::optional<Bytes>> get(std::string_view key) const;
+  Timed<bool> put(std::string_view key, std::span<const std::byte> value);
+  Timed<bool> put_if_absent(std::string_view key,
+                            std::span<const std::byte> value);
+  Timed<bool> erase(std::string_view key);
+  Timed<std::optional<std::size_t>> read_sub(std::string_view key,
+                                             std::uint64_t offset,
+                                             std::span<std::byte> dst) const;
+  Timed<bool> write_sub(std::string_view key, std::uint64_t offset,
+                        std::span<const std::byte> src);
+  Timed<std::optional<std::uint64_t>> value_size(std::string_view key) const;
+  Timed<std::uint64_t> increment(std::string_view key, std::uint64_t delta);
+  Timed<std::size_t> scan_prefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, const Bytes&)>& fn) const;
+
+  KvStore& store() { return *store_; }
+
+  /// Round-trip cost of a KV op moving `payload` bytes in the given
+  /// direction (read = server→client).
+  static sim::Nanos op_cost(bool is_read, std::uint64_t payload);
+
+ private:
+  KvStore* store_;
+};
+
+}  // namespace dpc::kv

@@ -1,0 +1,71 @@
+// Offline consistency checker for a KVFS keyspace.
+//
+// KVFS spreads one file system across four KV flavors (inode / attribute /
+// small-file / big-file-object + block KVs); a crash mid-operation or a
+// buggy client can leave them disagreeing. Fsck cross-checks every
+// invariant the §3.4 layout implies:
+//
+//   * every dentry points at an existing attribute (no dangling names);
+//   * every attribute except the root is reachable from the root directory
+//     (no orphaned inodes / disconnected subtrees);
+//   * regular files have exactly the data KVs their `big_file` flag says
+//     (small-file KV xor big-file object), and small files respect the
+//     8 KB limit;
+//   * every block id in a file object resolves to a block KV, and no block
+//     or data KV exists without an owner;
+//   * directories carry no data KVs, and their link counts match their
+//     subdirectory counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kv/kv_store.hpp"
+#include "kvfs/types.hpp"
+
+namespace dpc::kvfs {
+
+enum class FsckIssueKind : std::uint8_t {
+  kDanglingDentry,   ///< inode KV names an ino with no attribute KV
+  kUnreachableInode, ///< attribute exists but no path from the root
+  kMissingSmallData, ///< (informational) small file > 0 bytes with no KV
+  kMissingObject,    ///< big_file attr without a file-object KV
+  kMissingBlock,     ///< file object references a block KV that is gone
+  kOrphanData,       ///< small/object KV without a matching attribute
+  kOrphanBlock,      ///< block KV no file object references
+  kBadSmallSize,     ///< small file larger than the 8 KB limit
+  kConflictingData,  ///< both small KV and object KV present
+  kDirectoryHasData, ///< data KVs attached to a directory inode
+  kBadLinkCount,     ///< directory nlink != 2 + subdirectories
+  kBadSymlink,       ///< symlink without / with inconsistent target data
+};
+
+const char* to_string(FsckIssueKind k);
+
+struct FsckIssue {
+  FsckIssueKind kind;
+  Ino ino = 0;
+  std::string detail;
+};
+
+struct FsckReport {
+  std::vector<FsckIssue> issues;
+  std::uint64_t inodes = 0;
+  std::uint64_t directories = 0;
+  std::uint64_t regular_files = 0;
+  std::uint64_t small_files = 0;
+  std::uint64_t big_files = 0;
+  std::uint64_t symlinks = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t data_bytes = 0;
+
+  bool clean() const { return issues.empty(); }
+  std::size_t count(FsckIssueKind k) const;
+};
+
+/// Runs all checks against the raw keyspace (offline: callers must ensure
+/// no concurrent mutation).
+FsckReport fsck(const kv::KvStore& store);
+
+}  // namespace dpc::kvfs

@@ -1,0 +1,885 @@
+#include "kvfs/kvfs.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dpc::kvfs {
+
+namespace {
+bool valid_name(std::string_view name) {
+  return !name.empty() && name.size() <= kMaxNameLen &&
+         name.find('/') == std::string_view::npos && name != "." &&
+         name != "..";
+}
+}  // namespace
+
+Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts)
+    : store_(&store), opts_(opts) {
+  // Install the root directory's attribute if this is a fresh store.
+  sim::Nanos cost{};
+  if (!load_attr(kRootIno, cost)) {
+    Attr root;
+    root.ino = kRootIno;
+    root.type = FileType::kDirectory;
+    root.mode = 0755;
+    root.nlink = 2;
+    root.ctime = root.mtime = root.atime = now();
+    store_attr(root, cost);
+  }
+}
+
+// ----------------------------------------------------------------- helpers
+
+std::mutex& Kvfs::inode_lock(Ino ino) {
+  return stripes_[static_cast<std::size_t>(ino * 0x9e3779b97f4a7c15ULL >>
+                                           32) %
+                  kLockStripes];
+}
+
+/// Locks the stripes of up to two inodes without deadlocking (address
+/// order; a shared stripe is locked once).
+struct Kvfs::DualLock {
+  DualLock(Kvfs& fs, Ino a, Ino b) {
+    std::mutex* ma = &fs.inode_lock(a);
+    std::mutex* mb = &fs.inode_lock(b);
+    if (ma == mb) {
+      ma->lock();
+      first_ = ma;
+    } else {
+      if (ma > mb) std::swap(ma, mb);
+      ma->lock();
+      mb->lock();
+      first_ = ma;
+      second_ = mb;
+    }
+  }
+  ~DualLock() {
+    if (second_) second_->unlock();
+    if (first_) first_->unlock();
+  }
+  DualLock(const DualLock&) = delete;
+  DualLock& operator=(const DualLock&) = delete;
+
+ private:
+  std::mutex* first_ = nullptr;
+  std::mutex* second_ = nullptr;
+};
+
+std::uint64_t Kvfs::now() {
+  return logical_time_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Ino Kvfs::alloc_ino(sim::Nanos& cost) {
+  // Cluster-wide counter in the KV store: several mounts sharing one
+  // backend allocate collision-free ids (root stays 0; ids start at 1).
+  auto r = store_->increment(ino_counter_key(), 1);
+  cost += r.cost;
+  return r.value;
+}
+
+std::uint64_t Kvfs::alloc_block(sim::Nanos& cost) {
+  auto r = store_->increment(block_counter_key(), 1);
+  cost += r.cost;
+  return r.value;
+}
+
+std::optional<Attr> Kvfs::load_attr(Ino ino, sim::Nanos& cost) {
+  if (auto a = cached_attr(ino)) {
+    stats_.attr_hits.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  stats_.attr_misses.fetch_add(1, std::memory_order_relaxed);
+  auto r = store_->get(attr_key(ino));
+  cost += r.cost;
+  if (!r.value) return std::nullopt;
+  Attr a = decode_attr(*r.value);
+  cache_attr(a);
+  return a;
+}
+
+void Kvfs::store_attr(const Attr& a, sim::Nanos& cost) {
+  const auto enc = encode_attr(a);
+  cost += store_->put(attr_key(a.ino), enc).cost;
+  cache_attr(a);
+}
+
+std::optional<Ino> Kvfs::load_dentry(Ino parent, std::string_view name,
+                                     sim::Nanos& cost) {
+  if (auto ino = cached_dentry(parent, name)) {
+    stats_.dentry_hits.fetch_add(1, std::memory_order_relaxed);
+    return ino;
+  }
+  stats_.dentry_misses.fetch_add(1, std::memory_order_relaxed);
+  auto r = store_->get(inode_key(parent, name));
+  cost += r.cost;
+  if (!r.value) return std::nullopt;
+  const Ino ino = decode_ino(*r.value);
+  cache_dentry(parent, name, ino);
+  return ino;
+}
+
+// ------------------------------------------------------------------ caches
+
+void Kvfs::cache_dentry(Ino parent, std::string_view name, Ino ino) {
+  if (!opts_.enable_caches) return;
+  std::unique_lock lock(cache_mu_);
+  if (dentry_cache_.size() >= opts_.dentry_cache_entries)
+    dentry_cache_.clear();  // wholesale drop: simple and rare
+  dentry_cache_[inode_key(parent, name)] = ino;
+}
+
+void Kvfs::uncache_dentry(Ino parent, std::string_view name) {
+  if (!opts_.enable_caches) return;
+  std::unique_lock lock(cache_mu_);
+  dentry_cache_.erase(inode_key(parent, name));
+}
+
+std::optional<Ino> Kvfs::cached_dentry(Ino parent, std::string_view name) {
+  if (!opts_.enable_caches) return std::nullopt;
+  std::shared_lock lock(cache_mu_);
+  const auto it = dentry_cache_.find(inode_key(parent, name));
+  if (it == dentry_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Kvfs::cache_attr(const Attr& a) {
+  if (!opts_.enable_caches) return;
+  std::unique_lock lock(cache_mu_);
+  if (attr_cache_.size() >= opts_.attr_cache_entries) attr_cache_.clear();
+  attr_cache_[a.ino] = a;
+}
+
+void Kvfs::uncache_attr(Ino ino) {
+  if (!opts_.enable_caches) return;
+  std::unique_lock lock(cache_mu_);
+  attr_cache_.erase(ino);
+}
+
+std::optional<Attr> Kvfs::cached_attr(Ino ino) {
+  if (!opts_.enable_caches) return std::nullopt;
+  std::shared_lock lock(cache_mu_);
+  const auto it = attr_cache_.find(ino);
+  if (it == attr_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Kvfs::drop_caches() {
+  std::unique_lock lock(cache_mu_);
+  dentry_cache_.clear();
+  attr_cache_.clear();
+}
+
+// --------------------------------------------------------------- namespace
+
+Result<Ino> Kvfs::make_node(Ino parent, std::string_view name, FileType type,
+                            std::uint32_t mode) {
+  Result<Ino> res;
+  if (!valid_name(name)) {
+    res.err = EINVAL;
+    return res;
+  }
+  std::lock_guard lock(inode_lock(parent));
+  const auto pattr = load_attr(parent, res.cost);
+  if (!pattr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (pattr->type != FileType::kDirectory) {
+    res.err = ENOTDIR;
+    return res;
+  }
+
+  const Ino ino = alloc_ino(res.cost);
+  // put_if_absent on the inode KV is the existence check and the insert in
+  // one atomic step.
+  auto put = store_->put_if_absent(inode_key(parent, name), encode_ino(ino));
+  res.cost += put.cost;
+  if (!put.value) {
+    res.err = EEXIST;
+    return res;
+  }
+
+  Attr a;
+  a.ino = ino;
+  a.type = type;
+  a.mode = mode;
+  a.nlink = type == FileType::kDirectory ? 2 : 1;
+  a.ctime = a.mtime = a.atime = now();
+  store_attr(a, res.cost);
+  cache_dentry(parent, name, ino);
+
+  Attr p = *pattr;
+  p.mtime = now();
+  if (type == FileType::kDirectory) ++p.nlink;
+  store_attr(p, res.cost);
+
+  res.value = ino;
+  return res;
+}
+
+Result<Ino> Kvfs::create(Ino parent, std::string_view name,
+                         std::uint32_t mode) {
+  return make_node(parent, name, FileType::kRegular, mode);
+}
+
+Result<Ino> Kvfs::mkdir(Ino parent, std::string_view name,
+                        std::uint32_t mode) {
+  return make_node(parent, name, FileType::kDirectory, mode);
+}
+
+Result<Ino> Kvfs::lookup(Ino parent, std::string_view name) {
+  Result<Ino> res;
+  if (!valid_name(name)) {
+    res.err = EINVAL;
+    return res;
+  }
+  const auto ino = load_dentry(parent, name, res.cost);
+  if (!ino) {
+    res.err = ENOENT;
+    return res;
+  }
+  res.value = *ino;
+  return res;
+}
+
+Result<Ino> Kvfs::resolve(std::string_view path) {
+  Result<Ino> res;
+  if (path.empty() || path[0] != '/') {
+    res.err = EINVAL;
+    return res;
+  }
+  // "path resolution is done by recursively fetching the inode KVs from the
+  // root to the target inode using p_ino+name as the key" (§3.4), following
+  // symlinks with a loop bound.
+  std::string work(path);
+  Ino cur = kRootIno;
+  std::size_t at = 1;
+  int follows = 0;
+  while (at < work.size()) {
+    const std::size_t slash = work.find('/', at);
+    const std::string_view comp =
+        std::string_view(work).substr(
+            at, slash == std::string::npos ? std::string_view::npos
+                                           : slash - at);
+    const std::size_t next_at =
+        slash == std::string::npos ? work.size() : slash + 1;
+    if (comp.empty()) {
+      at = next_at;
+      continue;
+    }
+    auto step = lookup(cur, comp);
+    res.cost += step.cost;
+    if (!step.ok()) {
+      res.err = step.err;
+      return res;
+    }
+    auto attr = load_attr(step.value, res.cost);
+    if (attr && attr->type == FileType::kSymlink) {
+      if (++follows > kMaxSymlinkFollows) {
+        res.err = ELOOP;
+        return res;
+      }
+      auto target = readlink(step.value);
+      res.cost += target.cost;
+      if (!target.ok()) {
+        res.err = target.err;
+        return res;
+      }
+      const std::string rest = work.substr(next_at);
+      if (!target.value.empty() && target.value[0] == '/') {
+        // Absolute target: restart from the root.
+        work = target.value;
+        if (!rest.empty()) work += "/" + rest;
+        cur = kRootIno;
+        at = 1;
+      } else {
+        // Relative target: resolve against the current directory.
+        work = target.value;
+        if (!rest.empty()) work += "/" + rest;
+        at = 0;
+      }
+      continue;
+    }
+    cur = step.value;
+    at = next_at;
+  }
+  res.value = cur;
+  return res;
+}
+
+bool Kvfs::dir_empty(Ino dir, sim::Nanos& cost) {
+  bool empty = true;
+  auto scan = store_->scan_prefix(
+      inode_key_prefix(dir), [&](std::string_view, const kv::Bytes&) {
+        empty = false;
+        return false;  // stop at the first entry
+      });
+  cost += scan.cost;
+  return empty;
+}
+
+void Kvfs::purge_data(const Attr& a, sim::Nanos& cost) {
+  if (a.big_file) {
+    auto obj_v = store_->get(big_object_key(a.ino));
+    cost += obj_v.cost;
+    if (obj_v.value) {
+      const FileObject obj = decode_file_object(*obj_v.value);
+      for (const std::uint64_t id : obj.blocks) {
+        if (id != 0) cost += store_->erase(block_key(id)).cost;
+      }
+    }
+    cost += store_->erase(big_object_key(a.ino)).cost;
+  } else {
+    cost += store_->erase(small_key(a.ino)).cost;
+  }
+}
+
+Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
+  Result<Unit> res;
+  if (!valid_name(name)) {
+    res.err = EINVAL;
+    return res;
+  }
+  std::lock_guard lock(inode_lock(parent));
+  const auto ino = load_dentry(parent, name, res.cost);
+  if (!ino) {
+    res.err = ENOENT;
+    return res;
+  }
+  // Note: *ino's stripe may equal parent's; use a plain check, data ops on
+  // the victim are excluded by the namespace entry being gone first.
+  const auto attr = load_attr(*ino, res.cost);
+  if (!attr) {
+    res.err = EIO;
+    return res;
+  }
+  if (dir) {
+    if (attr->type != FileType::kDirectory) {
+      res.err = ENOTDIR;
+      return res;
+    }
+    if (!dir_empty(*ino, res.cost)) {
+      res.err = ENOTEMPTY;
+      return res;
+    }
+  } else if (attr->type == FileType::kDirectory) {
+    res.err = EISDIR;
+    return res;
+  }
+
+  // Remove the namespace entry first so concurrent lookups fail fast.
+  res.cost += store_->erase(inode_key(parent, name)).cost;
+  uncache_dentry(parent, name);
+  if (attr->type != FileType::kDirectory && attr->nlink > 1) {
+    // Other hard links remain: drop one reference, keep the data.
+    Attr a = *attr;
+    --a.nlink;
+    a.ctime = now();
+    store_attr(a, res.cost);
+  } else {
+    if (attr->type != FileType::kDirectory) purge_data(*attr, res.cost);
+    res.cost += store_->erase(attr_key(*ino)).cost;
+    uncache_attr(*ino);
+  }
+
+  if (auto pattr = load_attr(parent, res.cost)) {
+    Attr p = *pattr;
+    p.mtime = now();
+    if (dir && p.nlink > 2) --p.nlink;
+    store_attr(p, res.cost);
+  }
+  return res;
+}
+
+Result<Unit> Kvfs::unlink(Ino parent, std::string_view name) {
+  return remove_node(parent, name, /*dir=*/false);
+}
+
+Result<Unit> Kvfs::rmdir(Ino parent, std::string_view name) {
+  return remove_node(parent, name, /*dir=*/true);
+}
+
+Result<Unit> Kvfs::rename(Ino old_parent, std::string_view old_name,
+                          Ino new_parent, std::string_view new_name) {
+  Result<Unit> res;
+  if (!valid_name(old_name) || !valid_name(new_name)) {
+    res.err = EINVAL;
+    return res;
+  }
+  DualLock lock(*this, old_parent, new_parent);
+
+  const auto src = load_dentry(old_parent, old_name, res.cost);
+  if (!src) {
+    res.err = ENOENT;
+    return res;
+  }
+  const auto src_attr = load_attr(*src, res.cost);
+  if (!src_attr) {
+    res.err = EIO;
+    return res;
+  }
+
+  if (const auto dst = load_dentry(new_parent, new_name, res.cost)) {
+    if (*dst == *src) return res;  // rename onto itself: success, no-op
+    const auto dst_attr = load_attr(*dst, res.cost);
+    if (!dst_attr) {
+      res.err = EIO;
+      return res;
+    }
+    // POSIX replace semantics: types must be compatible, dirs must be empty.
+    if (dst_attr->type == FileType::kDirectory) {
+      if (src_attr->type != FileType::kDirectory) {
+        res.err = EISDIR;
+        return res;
+      }
+      if (!dir_empty(*dst, res.cost)) {
+        res.err = ENOTEMPTY;
+        return res;
+      }
+    } else if (src_attr->type == FileType::kDirectory) {
+      res.err = ENOTDIR;
+      return res;
+    }
+    if (dst_attr->type != FileType::kDirectory)
+      purge_data(*dst_attr, res.cost);
+    res.cost += store_->erase(attr_key(*dst)).cost;
+    uncache_attr(*dst);
+  }
+
+  res.cost +=
+      store_->put(inode_key(new_parent, new_name), encode_ino(*src)).cost;
+  res.cost += store_->erase(inode_key(old_parent, old_name)).cost;
+  uncache_dentry(old_parent, old_name);
+  cache_dentry(new_parent, new_name, *src);
+
+  // Moving a directory between parents shifts the ".." back-link.
+  if (src_attr->type == FileType::kDirectory && old_parent != new_parent) {
+    if (auto op = load_attr(old_parent, res.cost)) {
+      Attr p = *op;
+      if (p.nlink > 2) --p.nlink;
+      p.mtime = now();
+      store_attr(p, res.cost);
+    }
+    if (auto np = load_attr(new_parent, res.cost)) {
+      Attr p = *np;
+      ++p.nlink;
+      p.mtime = now();
+      store_attr(p, res.cost);
+    }
+  }
+  return res;
+}
+
+Result<Ino> Kvfs::symlink(std::string_view target, Ino parent,
+                          std::string_view name) {
+  Result<Ino> res;
+  if (target.empty() || target.size() > kMaxNameLen) {
+    res.err = EINVAL;
+    return res;
+  }
+  auto made = make_node(parent, name, FileType::kSymlink, 0777);
+  if (!made.ok()) return made;
+  res = made;
+  // The target rides in the small-file KV; size = target length.
+  const auto* p = reinterpret_cast<const std::byte*>(target.data());
+  res.cost += store_->put(small_key(made.value),
+                          std::span<const std::byte>(p, target.size()))
+                  .cost;
+  sim::Nanos cost{};
+  auto attr = load_attr(made.value, cost);
+  res.cost += cost;
+  DPC_CHECK(attr.has_value());
+  attr->size = target.size();
+  store_attr(*attr, res.cost);
+  return res;
+}
+
+Result<std::string> Kvfs::readlink(Ino ino) {
+  Result<std::string> res;
+  const auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type != FileType::kSymlink) {
+    res.err = EINVAL;
+    return res;
+  }
+  auto v = store_->get(small_key(ino));
+  res.cost += v.cost;
+  if (!v.value) {
+    res.err = EIO;
+    return res;
+  }
+  res.value.assign(reinterpret_cast<const char*>(v.value->data()),
+                   v.value->size());
+  return res;
+}
+
+Result<Unit> Kvfs::link(Ino ino, Ino new_parent, std::string_view name) {
+  Result<Unit> res;
+  if (!valid_name(name)) {
+    res.err = EINVAL;
+    return res;
+  }
+  DualLock lock(*this, ino, new_parent);
+  auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type == FileType::kDirectory) {
+    res.err = EPERM;  // no hard links to directories
+    return res;
+  }
+  const auto pattr = load_attr(new_parent, res.cost);
+  if (!pattr || pattr->type != FileType::kDirectory) {
+    res.err = pattr ? ENOTDIR : ENOENT;
+    return res;
+  }
+  auto put = store_->put_if_absent(inode_key(new_parent, name),
+                                   encode_ino(ino));
+  res.cost += put.cost;
+  if (!put.value) {
+    res.err = EEXIST;
+    return res;
+  }
+  ++attr->nlink;
+  attr->ctime = now();
+  store_attr(*attr, res.cost);
+  cache_dentry(new_parent, name, ino);
+  Attr p = *pattr;
+  p.mtime = now();
+  store_attr(p, res.cost);
+  return res;
+}
+
+Result<std::vector<DirEntry>> Kvfs::readdir(Ino dir) {
+  Result<std::vector<DirEntry>> res;
+  const auto attr = load_attr(dir, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type != FileType::kDirectory) {
+    res.err = ENOTDIR;
+    return res;
+  }
+  // "a prefix-based scan can return all the inode numbers belonging to a
+  // directory specified by the p_ino" (§3.4).
+  auto scan = store_->scan_prefix(
+      inode_key_prefix(dir), [&](std::string_view key, const kv::Bytes& v) {
+        res.value.push_back(
+            {std::string(name_of_inode_key(key)), decode_ino(v)});
+        return true;
+      });
+  res.cost += scan.cost;
+  return res;
+}
+
+// -------------------------------------------------------------- attributes
+
+Result<Attr> Kvfs::getattr(Ino ino) {
+  Result<Attr> res;
+  const auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  res.value = *attr;
+  return res;
+}
+
+Result<Unit> Kvfs::chmod(Ino ino, std::uint32_t mode) {
+  Result<Unit> res;
+  std::lock_guard lock(inode_lock(ino));
+  auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  attr->mode = mode;
+  attr->ctime = now();
+  store_attr(*attr, res.cost);
+  return res;
+}
+
+Result<Unit> Kvfs::chown(Ino ino, std::uint32_t uid, std::uint32_t gid) {
+  Result<Unit> res;
+  std::lock_guard lock(inode_lock(ino));
+  auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  attr->uid = uid;
+  attr->gid = gid;
+  attr->ctime = now();
+  store_attr(*attr, res.cost);
+  return res;
+}
+
+// -------------------------------------------------------------------- data
+
+Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
+                                 std::span<std::byte> dst) {
+  Result<std::uint32_t> res;
+  std::lock_guard lock(inode_lock(ino));
+  const auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type != FileType::kRegular) {
+    res.err = EISDIR;
+    return res;
+  }
+  if (offset >= attr->size || dst.empty()) {
+    res.value = 0;
+    return res;
+  }
+  const auto n = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(dst.size(), attr->size - offset));
+
+  if (!attr->big_file) {
+    auto r = store_->read_sub(small_key(ino), offset, dst.first(n));
+    res.cost += r.cost;
+    const std::size_t got = r.value.value_or(0);
+    // Small files are stored whole; a short read only means trailing
+    // zeros were never materialized.
+    if (got < n)
+      std::memset(dst.data() + got, 0, n - got);
+    res.value = n;
+    return res;
+  }
+
+  auto obj_v = store_->get(big_object_key(ino));
+  res.cost += obj_v.cost;
+  if (!obj_v.value) {
+    res.err = EIO;
+    return res;
+  }
+  const FileObject obj = decode_file_object(*obj_v.value);
+
+  std::uint32_t done = 0;
+  while (done < n) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t logical = pos / kBigBlock;
+    const std::uint32_t in_block = static_cast<std::uint32_t>(pos % kBigBlock);
+    const std::uint32_t chunk =
+        std::min<std::uint32_t>(n - done, kBigBlock - in_block);
+    const std::uint64_t id = obj.block_id(logical);
+    if (id == 0) {
+      std::memset(dst.data() + done, 0, chunk);  // hole
+    } else {
+      auto r = store_->read_sub(block_key(id), in_block,
+                                dst.subspan(done, chunk));
+      res.cost += r.cost;
+      const std::size_t got = r.value.value_or(0);
+      if (got < chunk) std::memset(dst.data() + done + got, 0, chunk - got);
+    }
+    done += chunk;
+  }
+  res.value = n;
+  return res;
+}
+
+void Kvfs::promote_to_big(Attr& a, sim::Nanos& cost) {
+  // §3.4: "When the file size grows bigger than 8KB, KVFS deletes the small
+  // file KV and creates a big file KV."
+  kv::Bytes small;
+  auto r = store_->get(small_key(a.ino));
+  cost += r.cost;
+  if (r.value) small = std::move(*r.value);
+
+  FileObject obj;
+  if (!small.empty()) {
+    const std::uint64_t id = alloc_block(cost);
+    obj.set_block(0, id);
+    cost += store_->put(block_key(id), small).cost;
+  }
+  cost += store_
+              ->put(big_object_key(a.ino), encode_file_object(obj))
+              .cost;
+  cost += store_->erase(small_key(a.ino)).cost;
+  a.big_file = 1;
+  stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
+                                  std::span<const std::byte> src) {
+  Result<std::uint32_t> res;
+  std::lock_guard lock(inode_lock(ino));
+  auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type != FileType::kRegular) {
+    res.err = EISDIR;
+    return res;
+  }
+  if (src.empty()) {
+    res.value = 0;
+    return res;
+  }
+  const std::uint64_t new_size = std::max<std::uint64_t>(
+      attr->size, offset + src.size());
+
+  if (!attr->big_file && new_size <= kSmallFileMax) {
+    // §3.4: "For small files … when updating the file data, we rewrite the
+    // entire KV."
+    kv::Bytes buf;
+    auto cur = store_->get(small_key(ino));
+    res.cost += cur.cost;
+    if (cur.value) buf = std::move(*cur.value);
+    if (buf.size() < new_size) buf.resize(new_size, std::byte{0});
+    std::memcpy(buf.data() + offset, src.data(), src.size());
+    res.cost += store_->put(small_key(ino), buf).cost;
+    stats_.small_rewrites.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (!attr->big_file) promote_to_big(*attr, res.cost);
+
+    auto obj_v = store_->get(big_object_key(ino));
+    res.cost += obj_v.cost;
+    DPC_CHECK(obj_v.value.has_value());
+    FileObject obj = decode_file_object(*obj_v.value);
+    bool obj_changed = false;
+
+    std::uint32_t done = 0;
+    const auto n = static_cast<std::uint32_t>(src.size());
+    while (done < n) {
+      const std::uint64_t pos = offset + done;
+      const std::uint64_t logical = pos / kBigBlock;
+      const auto in_block = static_cast<std::uint32_t>(pos % kBigBlock);
+      const std::uint32_t chunk =
+          std::min<std::uint32_t>(n - done, kBigBlock - in_block);
+      std::uint64_t id = obj.block_id(logical);
+      if (id == 0) {
+        id = alloc_block(res.cost);
+        obj.set_block(logical, id);
+        obj_changed = true;
+        if (in_block != 0) {
+          // Materialize the leading hole bytes of the fresh block.
+          const kv::Bytes zeros(in_block, std::byte{0});
+          res.cost += store_->write_sub(block_key(id), 0, zeros).cost;
+        }
+      }
+      // "updates to large files are written in place to large file KVs at a
+      // granularity of 8K" — write_sub is the in-place primitive.
+      res.cost +=
+          store_->write_sub(block_key(id), in_block, src.subspan(done, chunk))
+              .cost;
+      stats_.big_inplace_writes.fetch_add(1, std::memory_order_relaxed);
+      done += chunk;
+    }
+    if (obj_changed) {
+      res.cost +=
+          store_->put(big_object_key(ino), encode_file_object(obj)).cost;
+    }
+  }
+
+  attr->size = new_size;
+  attr->mtime = now();
+  store_attr(*attr, res.cost);
+  res.value = static_cast<std::uint32_t>(src.size());
+  return res;
+}
+
+Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
+  Result<Unit> res;
+  std::lock_guard lock(inode_lock(ino));
+  auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  if (attr->type != FileType::kRegular) {
+    res.err = EISDIR;
+    return res;
+  }
+  if (new_size == attr->size) return res;
+
+  if (!attr->big_file) {
+    if (new_size > kSmallFileMax) {
+      promote_to_big(*attr, res.cost);
+      // Growth beyond the old size is a hole; nothing else to write.
+    } else {
+      kv::Bytes buf;
+      auto cur = store_->get(small_key(ino));
+      res.cost += cur.cost;
+      if (cur.value) buf = std::move(*cur.value);
+      buf.resize(new_size, std::byte{0});
+      res.cost += store_->put(small_key(ino), buf).cost;
+    }
+  }
+  if (attr->big_file && new_size < attr->size) {
+    // Drop whole blocks past the new end (a file once big stays big — the
+    // paper defines promotion only; we document the asymmetry).
+    auto obj_v = store_->get(big_object_key(ino));
+    res.cost += obj_v.cost;
+    if (obj_v.value) {
+      FileObject obj = decode_file_object(*obj_v.value);
+      const std::uint64_t keep_blocks =
+          (new_size + kBigBlock - 1) / kBigBlock;
+      bool changed = false;
+      for (std::uint64_t b = keep_blocks; b < obj.blocks.size(); ++b) {
+        if (obj.blocks[b] != 0) {
+          res.cost += store_->erase(block_key(obj.blocks[b])).cost;
+          obj.blocks[b] = 0;
+          changed = true;
+        }
+      }
+      if (changed) {
+        obj.blocks.resize(keep_blocks, 0);
+        res.cost +=
+            store_->put(big_object_key(ino), encode_file_object(obj)).cost;
+      }
+      // POSIX: the tail of the boundary block must read as zeros if the
+      // file grows again later.
+      const auto tail = static_cast<std::uint32_t>(new_size % kBigBlock);
+      if (tail != 0) {
+        const std::uint64_t id = obj.block_id(new_size / kBigBlock);
+        if (id != 0) {
+          const kv::Bytes zeros(kBigBlock - tail, std::byte{0});
+          res.cost += store_->write_sub(block_key(id), tail, zeros).cost;
+        }
+      }
+    }
+  }
+
+  attr->size = new_size;
+  attr->mtime = now();
+  store_attr(*attr, res.cost);
+  return res;
+}
+
+Result<Kvfs::StatFs> Kvfs::statfs() {
+  Result<StatFs> res;
+  auto scan = store_->scan_prefix(
+      "A", [&](std::string_view, const kv::Bytes& v) {
+        ++res.value.inodes;
+        res.value.data_bytes += decode_attr(v).size;
+        return true;
+      });
+  res.cost += scan.cost;
+  res.value.kv_count = store_->store().size();
+  return res;
+}
+
+Result<Unit> Kvfs::fsync(Ino ino) {
+  Result<Unit> res;
+  const auto attr = load_attr(ino, res.cost);
+  if (!attr) {
+    res.err = ENOENT;
+    return res;
+  }
+  // The KV store is durable on ack; fsync costs one barrier round trip.
+  res.cost += kv::RemoteKv::op_cost(false, 0);
+  return res;
+}
+
+}  // namespace dpc::kvfs

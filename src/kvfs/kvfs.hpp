@@ -1,0 +1,160 @@
+// KVFS — the POSIX-style standalone file service DPC runs on the DPU
+// (§3.4). Converts file operations into operations on the disaggregated KV
+// store, replacing the local-disk file system of an application server.
+//
+// Layout rules (paper):
+//   * path resolution walks inode KVs from root inode 0 by p_ino + name;
+//   * files ≤ 8 KB live in a small-file KV rewritten whole on update;
+//   * larger files promote to a big-file KV: an extent-indexed file object
+//     whose 8 KB blocks are updated in place;
+//   * directory listing is a prefix scan over the parent's inode-KV prefix;
+//   * an inode (attribute) cache and dentry cache accelerate lookups.
+//
+// Thread safety: operations take a striped per-inode lock; name-space
+// operations (create/unlink/rename/...) additionally serialize on the
+// parent directory's stripe. Errors are positive errno values.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/remote.hpp"
+#include "kvfs/types.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::kvfs {
+
+/// Outcome of a KVFS operation: errno (0 = ok), the value, and the modelled
+/// backend cost the op accumulated (remote KV round trips).
+template <typename T>
+struct Result {
+  int err = 0;
+  T value{};
+  sim::Nanos cost{};
+
+  bool ok() const { return err == 0; }
+};
+
+struct Unit {};
+
+struct KvfsOptions {
+  bool enable_caches = true;  ///< dentry + inode(attr) caches
+  std::size_t dentry_cache_entries = 8192;
+  std::size_t attr_cache_entries = 8192;
+};
+
+struct KvfsStats {
+  std::atomic<std::uint64_t> dentry_hits{0};
+  std::atomic<std::uint64_t> dentry_misses{0};
+  std::atomic<std::uint64_t> attr_hits{0};
+  std::atomic<std::uint64_t> attr_misses{0};
+  std::atomic<std::uint64_t> small_rewrites{0};
+  std::atomic<std::uint64_t> big_inplace_writes{0};
+  std::atomic<std::uint64_t> promotions{0};
+};
+
+class Kvfs {
+ public:
+  explicit Kvfs(kv::RemoteKv& store, const KvfsOptions& opts = {});
+
+  // ------------------------------------------------------------ namespace
+  Result<Ino> create(Ino parent, std::string_view name, std::uint32_t mode);
+  Result<Ino> mkdir(Ino parent, std::string_view name, std::uint32_t mode);
+  Result<Ino> lookup(Ino parent, std::string_view name);
+  /// Resolves an absolute path ("/a/b/c") from the root inode, following
+  /// symlinks (bounded at kMaxSymlinkFollows).
+  Result<Ino> resolve(std::string_view path);
+  static constexpr int kMaxSymlinkFollows = 40;
+  Result<Unit> unlink(Ino parent, std::string_view name);
+  Result<Unit> rmdir(Ino parent, std::string_view name);
+  Result<Unit> rename(Ino old_parent, std::string_view old_name,
+                      Ino new_parent, std::string_view new_name);
+  /// Hard link: a second inode-KV entry naming the same regular file.
+  Result<Unit> link(Ino ino, Ino new_parent, std::string_view name);
+  /// Symbolic link holding `target` (absolute or relative path text).
+  Result<Ino> symlink(std::string_view target, Ino parent,
+                      std::string_view name);
+  Result<std::string> readlink(Ino ino);
+  Result<std::vector<DirEntry>> readdir(Ino dir);
+
+  // ------------------------------------------------------------ attributes
+  Result<Attr> getattr(Ino ino);
+  Result<Unit> chmod(Ino ino, std::uint32_t mode);
+  Result<Unit> chown(Ino ino, std::uint32_t uid, std::uint32_t gid);
+
+  // ------------------------------------------------------------------ data
+  /// Returns bytes read (short reads at EOF; holes read as zeros).
+  Result<std::uint32_t> read(Ino ino, std::uint64_t offset,
+                             std::span<std::byte> dst);
+  /// Returns bytes written (always all of src on success).
+  Result<std::uint32_t> write(Ino ino, std::uint64_t offset,
+                              std::span<const std::byte> src);
+  Result<Unit> truncate(Ino ino, std::uint64_t new_size);
+  Result<Unit> fsync(Ino ino);
+
+  /// Filesystem-wide usage summary (scans the keyspace).
+  struct StatFs {
+    std::uint64_t inodes = 0;
+    std::uint64_t data_bytes = 0;
+    std::uint64_t kv_count = 0;
+  };
+  Result<StatFs> statfs();
+
+  const KvfsStats& stats() const { return stats_; }
+  void drop_caches();
+
+ private:
+  // ---- KV helpers (each adds its remote cost to `cost`) ----
+  std::optional<Attr> load_attr(Ino ino, sim::Nanos& cost);
+  void store_attr(const Attr& a, sim::Nanos& cost);
+  std::optional<Ino> load_dentry(Ino parent, std::string_view name,
+                                 sim::Nanos& cost);
+  Ino alloc_ino(sim::Nanos& cost);
+  std::uint64_t alloc_block(sim::Nanos& cost);
+  std::uint64_t now();
+
+  Result<Ino> make_node(Ino parent, std::string_view name, FileType type,
+                        std::uint32_t mode);
+  Result<Unit> remove_node(Ino parent, std::string_view name, bool dir);
+  /// Deletes all data KVs of a regular file.
+  void purge_data(const Attr& a, sim::Nanos& cost);
+  /// Moves a small file's bytes into a big-file object (§3.4 promotion).
+  void promote_to_big(Attr& a, sim::Nanos& cost);
+  bool dir_empty(Ino dir, sim::Nanos& cost);
+
+  // ---- caches ----
+  void cache_dentry(Ino parent, std::string_view name, Ino ino);
+  void uncache_dentry(Ino parent, std::string_view name);
+  std::optional<Ino> cached_dentry(Ino parent, std::string_view name);
+  void cache_attr(const Attr& a);
+  void uncache_attr(Ino ino);
+  std::optional<Attr> cached_attr(Ino ino);
+
+  // ---- locking ----
+  std::mutex& inode_lock(Ino ino);
+  /// Locks two stripes in address order (no deadlock on rename).
+  struct DualLock;
+
+  kv::RemoteKv* store_;
+  KvfsOptions opts_;
+  KvfsStats stats_;
+
+  std::atomic<std::uint64_t> logical_time_{1};
+
+  static constexpr std::size_t kLockStripes = 64;
+  std::array<std::mutex, kLockStripes> stripes_;
+
+  std::shared_mutex cache_mu_;
+  std::unordered_map<std::string, Ino> dentry_cache_;  // key = inode_key
+  std::unordered_map<Ino, Attr> attr_cache_;
+};
+
+}  // namespace dpc::kvfs

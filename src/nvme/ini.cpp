@@ -1,0 +1,154 @@
+#include "nvme/ini.hpp"
+
+#include <thread>
+
+namespace dpc::nvme {
+
+IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp)
+    : dma_(&dma), qp_(&qp), done_(qp.depth()) {
+  free_cids_.reserve(qp.depth());
+  // NVMe convention: at most depth-1 entries may be in flight so that
+  // head == tail unambiguously means "empty".
+  for (std::uint16_t cid = 0; cid + 1 < qp.depth(); ++cid)
+    free_cids_.push_back(cid);
+}
+
+std::uint16_t IniDriver::alloc_cid_locked() {
+  DPC_CHECK(!free_cids_.empty());
+  const std::uint16_t cid = free_cids_.back();
+  free_cids_.pop_back();
+  return cid;
+}
+
+void IniDriver::build_prp(std::uint64_t buf_off, std::uint32_t len,
+                          std::uint64_t list_off, std::uint64_t& prp1,
+                          std::uint64_t& prp2) {
+  // PRP1 = first page; PRP2 = address of the PRP list page enumerating all
+  // pages (always materialized — see queue_pair.hpp).
+  const std::uint32_t pages = QueuePair::pages_for(len);
+  DPC_CHECK(pages >= 1 && pages <= kPageSize / sizeof(std::uint64_t));
+  prp1 = buf_off;
+  prp2 = list_off;
+  auto& host = dma_->host();
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    host.store<std::uint64_t>(list_off + p * sizeof(std::uint64_t),
+                              buf_off + std::uint64_t{p} * kPageSize);
+  }
+}
+
+IniDriver::Submitted IniDriver::submit(const Request& req) {
+  const std::uint32_t wlen = static_cast<std::uint32_t>(
+      req.write_hdr.size() + req.write_data.size());
+  const std::uint32_t rlen = req.read_hdr_cap + req.read_data_cap;
+  DPC_CHECK(wlen <= qp_->config().max_write);
+  DPC_CHECK(rlen <= qp_->config().max_read);
+  DPC_CHECK(req.write_hdr.size() <= 0xFFFF);
+
+  sim::Nanos cost{};
+  std::unique_lock lock(mu_);
+  while (free_cids_.empty()) {
+    // Queue full: completed-but-unreleased cids belong to other threads;
+    // yield until one of them releases.
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+  const std::uint16_t cid = alloc_cid_locked();
+
+  NvmeFsCmd cmd;
+  cmd.target = req.target;
+  cmd.inline_op = req.inline_op;
+  cmd.cid = cid;
+  cmd.inode = req.inode;
+  cmd.offset = req.offset;
+  cmd.write_len = wlen;
+  cmd.read_len = rlen;
+  cmd.write_hdr_len = static_cast<std::uint16_t>(req.write_hdr.size());
+  cmd.read_hdr_len = req.read_hdr_cap;
+
+  auto& host = dma_->host();
+  if (wlen > 0) {
+    const std::uint64_t wbuf = qp_->write_buf_off(cid);
+    if (!req.write_hdr.empty()) host.write(wbuf, req.write_hdr);
+    if (!req.write_data.empty())
+      host.write(wbuf + req.write_hdr.size(), req.write_data);
+    build_prp(wbuf, wlen, qp_->write_prp_list_off(cid), cmd.prp_write1,
+              cmd.prp_write2);
+  }
+  if (rlen > 0) {
+    build_prp(qp_->read_buf_off(cid), rlen, qp_->read_prp_list_off(cid),
+              cmd.prp_read1, cmd.prp_read2);
+  }
+
+  // Produce the SQE at the SQ tail (host-local store, no PCIe traffic) and
+  // ring the doorbell (one posted MMIO write).
+  host.store(qp_->sqe_off(sq_tail_), encode_nvme_fs(cmd));
+  sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % qp_->depth());
+  cost += dma_->doorbell(qp_->sq_tail_db_off(), sq_tail_);
+
+  return {cid, cost};
+}
+
+std::optional<Completion> IniDriver::poll() {
+  std::lock_guard lock(mu_);
+  auto& host = dma_->host();
+  const std::uint64_t cqe_off = qp_->cqe_off(cq_head_);
+  // The phase tag lives in the CQE's final dword, which the TGT stores with
+  // release ordering; acquire here makes the rest of the entry visible.
+  const std::uint32_t last_dword =
+      host.atomic_u32(cqe_off + 12).load(std::memory_order_acquire);
+  const auto status = static_cast<std::uint16_t>(last_dword >> 16);
+  if (((status & 1u) != 0) != cq_phase_) return std::nullopt;  // not ready
+  Cqe cqe = host.load<Cqe>(cqe_off);
+  cqe.cid = static_cast<std::uint16_t>(last_dword & 0xFFFF);
+  cqe.status = status;
+  cq_head_ = static_cast<std::uint16_t>((cq_head_ + 1) % qp_->depth());
+  if (cq_head_ == 0) cq_phase_ = !cq_phase_;
+  // Publish the new head to the DPU so the TGT can reuse CQ slots.
+  dma_->doorbell(qp_->cq_head_db_off(), cq_head_);
+  Completion c{cqe.cid, status_of(cqe), cqe.result, cqe.dw1};
+  DPC_CHECK(c.cid < qp_->depth());
+  done_[c.cid] = c;
+  return c;
+}
+
+Completion IniDriver::wait(std::uint16_t cid) {
+  DPC_CHECK(cid < qp_->depth());
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (done_[cid].has_value()) {
+        const Completion c = *done_[cid];
+        return c;
+      }
+    }
+    if (!poll().has_value()) std::this_thread::yield();
+  }
+}
+
+std::optional<Completion> IniDriver::try_take(std::uint16_t cid) {
+  DPC_CHECK(cid < qp_->depth());
+  poll();
+  std::lock_guard lock(mu_);
+  return done_[cid];
+}
+
+std::span<const std::byte> IniDriver::read_payload(std::uint16_t cid,
+                                                   std::size_t n) const {
+  const pcie::MemoryRegion& host = dma_->host();
+  return host.bytes(qp_->read_buf_off(cid), n);
+}
+
+void IniDriver::release(std::uint16_t cid) {
+  std::lock_guard lock(mu_);
+  DPC_CHECK_MSG(done_[cid].has_value(), "release of incomplete cid " << cid);
+  done_[cid].reset();
+  free_cids_.push_back(cid);
+}
+
+std::uint16_t IniDriver::inflight() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::uint16_t>(qp_->depth() - 1 - free_cids_.size());
+}
+
+}  // namespace dpc::nvme

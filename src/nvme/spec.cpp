@@ -1,0 +1,88 @@
+#include "nvme/spec.hpp"
+
+namespace dpc::nvme {
+
+namespace {
+constexpr std::uint32_t kReqTypeBit = 1u << 10;
+constexpr std::uint32_t kInlineOpShift = 11;
+constexpr std::uint32_t kInlineOpMask = 0x7u << kInlineOpShift;
+constexpr std::uint32_t kPsdtWriteBit = 1u << 14;
+constexpr std::uint32_t kPsdtReadBit = 1u << 15;
+
+constexpr std::uint64_t join64(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+}
+}  // namespace
+
+Sqe encode_nvme_fs(const NvmeFsCmd& cmd) {
+  Sqe sqe;
+  sqe.dw0 = kNvmeFsOpcode;
+  if (cmd.target == DispatchTarget::kDistributed) sqe.dw0 |= kReqTypeBit;
+  sqe.dw0 |= (static_cast<std::uint32_t>(cmd.inline_op) << kInlineOpShift) &
+             kInlineOpMask;
+  if (cmd.write_psdt == Psdt::kSgl) sqe.dw0 |= kPsdtWriteBit;
+  if (cmd.read_psdt == Psdt::kSgl) sqe.dw0 |= kPsdtReadBit;
+  sqe.dw0 |= static_cast<std::uint32_t>(cmd.cid) << 16;
+  sqe.nsid = static_cast<std::uint32_t>(cmd.inode);
+  sqe.dw12 = static_cast<std::uint32_t>(cmd.inode >> 32);
+  sqe.dw14 = static_cast<std::uint32_t>(cmd.offset);
+  sqe.dw15 = static_cast<std::uint32_t>(cmd.offset >> 32);
+  sqe.prp_write1 = cmd.prp_write1;
+  sqe.prp_write2 = cmd.prp_write2;
+  sqe.prp_read1 = cmd.prp_read1;
+  sqe.prp_read2 = cmd.prp_read2;
+  sqe.write_len = cmd.write_len;
+  sqe.read_len = cmd.read_len;
+  sqe.dw13 = static_cast<std::uint32_t>(cmd.write_hdr_len) |
+             (static_cast<std::uint32_t>(cmd.read_hdr_len) << 16);
+  return sqe;
+}
+
+NvmeFsCmd decode_nvme_fs(const Sqe& sqe) {
+  DPC_CHECK_MSG(is_nvme_fs(sqe), "not an nvme-fs SQE (opcode "
+                                     << +opcode_of(sqe) << ")");
+  NvmeFsCmd cmd;
+  cmd.target = (sqe.dw0 & kReqTypeBit) ? DispatchTarget::kDistributed
+                                       : DispatchTarget::kStandalone;
+  cmd.inline_op =
+      static_cast<InlineOp>((sqe.dw0 & kInlineOpMask) >> kInlineOpShift);
+  cmd.write_psdt = (sqe.dw0 & kPsdtWriteBit) ? Psdt::kSgl : Psdt::kPrp;
+  cmd.read_psdt = (sqe.dw0 & kPsdtReadBit) ? Psdt::kSgl : Psdt::kPrp;
+  cmd.cid = static_cast<std::uint16_t>(sqe.dw0 >> 16);
+  cmd.inode = join64(sqe.nsid, sqe.dw12);
+  cmd.offset = join64(sqe.dw14, sqe.dw15);
+  cmd.prp_write1 = sqe.prp_write1;
+  cmd.prp_write2 = sqe.prp_write2;
+  cmd.prp_read1 = sqe.prp_read1;
+  cmd.prp_read2 = sqe.prp_read2;
+  cmd.write_len = sqe.write_len;
+  cmd.read_len = sqe.read_len;
+  cmd.write_hdr_len = static_cast<std::uint16_t>(sqe.dw13 & 0xFFFF);
+  cmd.read_hdr_len = static_cast<std::uint16_t>(sqe.dw13 >> 16);
+  return cmd;
+}
+
+bool is_nvme_fs(const Sqe& sqe) { return opcode_of(sqe) == kNvmeFsOpcode; }
+
+std::uint8_t opcode_of(const Sqe& sqe) {
+  return static_cast<std::uint8_t>(sqe.dw0 & 0xFF);
+}
+
+std::uint16_t cid_of(const Sqe& sqe) {
+  return static_cast<std::uint16_t>(sqe.dw0 >> 16);
+}
+
+Cqe make_cqe(std::uint16_t cid, Status st, bool phase, std::uint32_t result,
+             std::uint16_t sq_head, std::uint16_t sq_id) {
+  Cqe cqe;
+  cqe.result = result;
+  cqe.sq_head = sq_head;
+  cqe.sq_id = sq_id;
+  cqe.cid = cid;
+  cqe.status = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(st) << 1) | (phase ? 1u : 0u));
+  return cqe;
+}
+
+}  // namespace dpc::nvme

@@ -1,0 +1,71 @@
+#include "pcie/memory.hpp"
+
+namespace dpc::pcie {
+
+MemoryRegion::MemoryRegion(std::string name, std::size_t size)
+    : name_(std::move(name)), storage_((size + 63) / 64 + 1) {
+  mem_ = std::span<std::byte>(storage_.front().b, size);
+}
+
+std::span<std::byte> MemoryRegion::bytes(std::uint64_t offset, std::size_t n) {
+  DPC_CHECK_MSG(offset + n <= mem_.size(),
+                name_ << ": access [" << offset << ", " << offset + n
+                      << ") beyond size " << mem_.size());
+  return mem_.subspan(offset, n);
+}
+
+std::span<const std::byte> MemoryRegion::bytes(std::uint64_t offset,
+                                               std::size_t n) const {
+  DPC_CHECK_MSG(offset + n <= mem_.size(),
+                name_ << ": access [" << offset << ", " << offset + n
+                      << ") beyond size " << mem_.size());
+  return std::span<const std::byte>(mem_).subspan(offset, n);
+}
+
+void MemoryRegion::write(std::uint64_t offset, std::span<const std::byte> src) {
+  auto dst = bytes(offset, src.size());
+  std::memcpy(dst.data(), src.data(), src.size());
+}
+
+void MemoryRegion::read(std::uint64_t offset, std::span<std::byte> dst) const {
+  auto src = bytes(offset, dst.size());
+  std::memcpy(dst.data(), src.data(), dst.size());
+}
+
+std::atomic_ref<std::uint32_t> MemoryRegion::atomic_u32(std::uint64_t offset) {
+  DPC_CHECK_MSG(offset % alignof(std::uint32_t) == 0,
+                name_ << ": unaligned atomic_u32 at " << offset);
+  auto s = bytes(offset, sizeof(std::uint32_t));
+  return std::atomic_ref<std::uint32_t>(
+      *reinterpret_cast<std::uint32_t*>(s.data()));
+}
+
+std::atomic_ref<std::uint64_t> MemoryRegion::atomic_u64(std::uint64_t offset) {
+  DPC_CHECK_MSG(offset % alignof(std::uint64_t) == 0,
+                name_ << ": unaligned atomic_u64 at " << offset);
+  auto s = bytes(offset, sizeof(std::uint64_t));
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(s.data()));
+}
+
+void MemoryRegion::fill(std::byte v) {
+  std::memset(mem_.data(), static_cast<int>(v), mem_.size());
+}
+
+RegionAllocator::RegionAllocator(MemoryRegion& region, std::uint64_t start)
+    : region_(&region), cursor_(start) {
+  DPC_CHECK(start <= region.size());
+}
+
+std::uint64_t RegionAllocator::alloc(std::size_t size, std::size_t align) {
+  DPC_CHECK(align != 0 && (align & (align - 1)) == 0);
+  const std::uint64_t aligned = (cursor_ + align - 1) & ~(align - 1);
+  DPC_CHECK_MSG(aligned + size <= region_->size(),
+                region_->name() << ": allocator exhausted (want " << size
+                                << " at " << aligned << ", size "
+                                << region_->size() << ")");
+  cursor_ = aligned + size;
+  return aligned;
+}
+
+}  // namespace dpc::pcie

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking used across the DPC tree.
+//
+// DPC_CHECK is always on (simulation correctness beats a few branches);
+// DPC_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dpc {
+
+/// Thrown when a DPC_CHECK fails. Derives from logic_error: a failed check is
+/// a programming error in the caller, not an environmental condition.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DPC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace dpc
+
+#define DPC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dpc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DPC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream dpc_check_os_;                              \
+      dpc_check_os_ << msg;                                          \
+      ::dpc::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  dpc_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define DPC_DCHECK(expr) DPC_CHECK(expr)
+#endif

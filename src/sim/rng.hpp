@@ -1,0 +1,68 @@
+// Deterministic, fast PRNG for workload generation (xoshiro256++).
+//
+// Workload generators must be reproducible across runs and platforms, so we
+// avoid std::mt19937 distribution differences and carry our own generator and
+// integer-range reduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dpc::sim {
+
+namespace detail {
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
+
+/// xoshiro256++ — public-domain generator by Blackman & Vigna.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = detail::splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result =
+        detail::rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = detail::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // 128-bit multiply keeps the reduction unbiased enough for workloads.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  constexpr bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dpc::sim

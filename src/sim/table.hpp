@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer used by the figure/table bench binaries
+// to emit paper-style rows (and optional CSV for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpc::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 1);
+  /// Engineering formatting: 1234567 -> "1.23M".
+  static std::string fmt_si(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpc::sim

@@ -1,0 +1,62 @@
+#include "ssd/ssd.hpp"
+
+#include <cstring>
+
+#include "sim/check.hpp"
+
+namespace dpc::ssd {
+
+void SsdModel::read_block(std::uint64_t lba, std::span<std::byte> dst) const {
+  DPC_CHECK(dst.size() <= kBlockSize);
+  const Shard& sh = shard_for(lba);
+  std::shared_lock lock(sh.mu);
+  const auto it = sh.blocks.find(lba);
+  if (it == sh.blocks.end()) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  std::memcpy(dst.data(), it->second.data.data(), dst.size());
+}
+
+void SsdModel::write_block(std::uint64_t lba, std::span<const std::byte> src) {
+  DPC_CHECK(src.size() <= kBlockSize);
+  Shard& sh = shard_for(lba);
+  std::unique_lock lock(sh.mu);
+  Block& b = sh.blocks[lba];
+  if (b.data.size() != kBlockSize) b.data.assign(kBlockSize, std::byte{0});
+  std::memcpy(b.data.data(), src.data(), src.size());
+}
+
+void SsdModel::trim_block(std::uint64_t lba) {
+  Shard& sh = shard_for(lba);
+  std::unique_lock lock(sh.mu);
+  sh.blocks.erase(lba);
+}
+
+std::uint64_t SsdModel::blocks_written() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    std::shared_lock lock(sh.mu);
+    n += sh.blocks.size();
+  }
+  return n;
+}
+
+sim::Nanos SsdModel::random_service(bool is_read, std::uint32_t bytes) {
+  const auto base =
+      is_read ? sim::calib::kSsdReadLat : sim::calib::kSsdWriteLat;
+  const std::uint32_t blocks = (bytes + kBlockSize - 1) / kBlockSize;
+  // First block costs the full access latency; further blocks of the same
+  // request stream at the drive's internal rate.
+  return base + sequential_transfer(is_read,
+                                    std::uint64_t{blocks - 1} * kBlockSize);
+}
+
+sim::Nanos SsdModel::sequential_transfer(bool is_read, std::uint64_t bytes) {
+  const double gbps = is_read ? sim::calib::kSsdSeqReadGBps
+                              : sim::calib::kSsdSeqWriteGBps;
+  return sim::Nanos{static_cast<std::int64_t>(
+      static_cast<double>(bytes) / (gbps * 1e9) * 1e9)};
+}
+
+}  // namespace dpc::ssd

@@ -1,0 +1,43 @@
+#include "virtio/fuse.hpp"
+
+namespace dpc::virtio {
+
+const char* to_string(FuseOpcode op) {
+  switch (op) {
+    case FuseOpcode::kLookup:
+      return "LOOKUP";
+    case FuseOpcode::kGetattr:
+      return "GETATTR";
+    case FuseOpcode::kSetattr:
+      return "SETATTR";
+    case FuseOpcode::kMkdir:
+      return "MKDIR";
+    case FuseOpcode::kUnlink:
+      return "UNLINK";
+    case FuseOpcode::kRmdir:
+      return "RMDIR";
+    case FuseOpcode::kRename:
+      return "RENAME";
+    case FuseOpcode::kOpen:
+      return "OPEN";
+    case FuseOpcode::kRead:
+      return "READ";
+    case FuseOpcode::kWrite:
+      return "WRITE";
+    case FuseOpcode::kRelease:
+      return "RELEASE";
+    case FuseOpcode::kFsync:
+      return "FSYNC";
+    case FuseOpcode::kFlush:
+      return "FLUSH";
+    case FuseOpcode::kReaddir:
+      return "READDIR";
+    case FuseOpcode::kCreate:
+      return "CREATE";
+    case FuseOpcode::kDestroy:
+      return "DESTROY";
+  }
+  return "?";
+}
+
+}  // namespace dpc::virtio

@@ -1,0 +1,235 @@
+#include "cache/control_plane.hpp"
+#include "cache/host_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace dpc::cache {
+namespace {
+
+/// In-memory backend that records flushed pages.
+class MapBackend final : public CacheBackend {
+ public:
+  bool read_page(std::uint64_t inode, std::uint64_t lpn,
+                 std::span<std::byte> dst) override {
+    std::lock_guard lock(mu_);
+    const auto it = pages_.find({inode, lpn});
+    if (it == pages_.end()) return false;
+    std::copy(it->second.begin(), it->second.end(), dst.begin());
+    return true;
+  }
+  void write_page(std::uint64_t inode, std::uint64_t lpn,
+                  std::span<const std::byte> src) override {
+    std::lock_guard lock(mu_);
+    pages_[{inode, lpn}].assign(src.begin(), src.end());
+  }
+
+  std::size_t count() const {
+    std::lock_guard lock(mu_);
+    return pages_.size();
+  }
+  std::optional<std::byte> first_byte(std::uint64_t inode,
+                                      std::uint64_t lpn) const {
+    std::lock_guard lock(mu_);
+    const auto it = pages_.find({inode, lpn});
+    if (it == pages_.end()) return std::nullopt;
+    return it->second[0];
+  }
+  void preload(std::uint64_t inode, std::uint64_t lpn, std::byte fill) {
+    std::lock_guard lock(mu_);
+    pages_[{inode, lpn}].assign(4096, fill);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::byte>>
+      pages_;
+};
+
+struct ControlFixture : ::testing::Test {
+  ControlFixture()
+      : host("host", 64 << 20),
+        alloc(host),
+        dpu("dpu", 1 << 20),
+        dma(host, dpu),
+        layout(CacheGeometry{4096, CacheMode::kWrite, 64, 8}, alloc),
+        plane(host, layout),
+        ctl(dma, layout, backend, std::make_unique<ClockEviction>(),
+            ControlPlaneConfig{4, 8, true}) {}
+
+  std::vector<std::byte> page(std::uint8_t fill) {
+    return std::vector<std::byte>(4096, static_cast<std::byte>(fill));
+  }
+
+  pcie::MemoryRegion host;
+  pcie::RegionAllocator alloc;
+  pcie::MemoryRegion dpu;
+  pcie::DmaEngine dma;
+  CacheLayout layout;
+  HostCachePlane plane;
+  MapBackend backend;
+  DpuCacheControl ctl;
+};
+
+TEST_F(ControlFixture, FlushWritesDirtyPagesToBackend) {
+  ASSERT_EQ(plane.write(1, 0, page(0xAA)), HostCachePlane::WriteResult::kOk);
+  ASSERT_EQ(plane.write(1, 1, page(0xBB)), HostCachePlane::WriteResult::kOk);
+  const auto res = ctl.flush_pass();
+  EXPECT_EQ(res.pages, 2);
+  EXPECT_GT(res.cost.ns, 0);
+  EXPECT_EQ(backend.count(), 2u);
+  EXPECT_EQ(backend.first_byte(1, 0), std::byte{0xAA});
+  EXPECT_EQ(backend.first_byte(1, 1), std::byte{0xBB});
+  EXPECT_EQ(ctl.stats().dif_checksums, 2u);  // DIF ran per page
+
+  // Pages are now clean: host hits still work, second flush is a no-op.
+  std::vector<std::byte> out(4096);
+  EXPECT_TRUE(plane.read(1, 0, out));
+  EXPECT_EQ(ctl.flush_pass().pages, 0);
+}
+
+TEST_F(ControlFixture, FlushUsesPcieAtomicsForLocks) {
+  ASSERT_EQ(plane.write(1, 0, page(1)), HostCachePlane::WriteResult::kOk);
+  const auto atomics_before = dma.counters().ops(pcie::DmaClass::kAtomic);
+  ctl.flush_pass();
+  // Read-lock acquire + status update + unlock ≥ 3 atomics.
+  EXPECT_GE(dma.counters().ops(pcie::DmaClass::kAtomic), atomics_before + 3);
+}
+
+TEST_F(ControlFixture, EvictReclaimsCleanOnly) {
+  ASSERT_EQ(plane.write(1, 0, page(1)), HostCachePlane::WriteResult::kOk);
+  ASSERT_EQ(plane.write(1, 1, page(2)), HostCachePlane::WriteResult::kOk);
+  // Evicting before flush reclaims nothing (both dirty).
+  EXPECT_EQ(ctl.evict(64).pages, 0);
+  ctl.flush_pass();
+  const auto res = ctl.evict(64);
+  EXPECT_EQ(res.pages, 2);
+  EXPECT_EQ(plane.free_pages(), 64u);
+}
+
+TEST_F(ControlFixture, PollServicesNeedEvictFlag) {
+  // Fill one bucket to trigger the flag.
+  const auto target = layout.bucket_of(1, 0);
+  std::vector<std::uint64_t> lpns;
+  for (std::uint64_t lpn = 0; lpns.size() < 9; ++lpn)
+    if (layout.bucket_of(1, lpn) == target) lpns.push_back(lpn);
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_EQ(plane.write(1, lpns[i], page(1)),
+              HostCachePlane::WriteResult::kOk);
+  ASSERT_EQ(plane.write(1, lpns[8], page(1)),
+            HostCachePlane::WriteResult::kNoFreeEntry);
+
+  EXPECT_GT(ctl.poll(), 0);  // flushes + evicts
+  // Flag acknowledged and retry succeeds.
+  EXPECT_EQ(host.atomic_u32(layout.header_field(HeaderOffsets::kNeedEvict))
+                .load(),
+            0u);
+  EXPECT_EQ(plane.write(1, lpns[8], page(1)),
+            HostCachePlane::WriteResult::kOk);
+}
+
+TEST_F(ControlFixture, PrefetchPopulatesCleanPages) {
+  backend.preload(9, 0, std::byte{0x10});
+  backend.preload(9, 1, std::byte{0x11});
+  backend.preload(9, 2, std::byte{0x12});
+  const auto res = ctl.prefetch(9, 0, 3);
+  EXPECT_EQ(res.pages, 3);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(plane.read(9, 1, out));
+  EXPECT_EQ(out[0], std::byte{0x11});
+  EXPECT_EQ(plane.free_pages(), 61u);
+  // Prefetched pages are clean: nothing to flush.
+  EXPECT_EQ(ctl.flush_pass().pages, 0);
+}
+
+TEST_F(ControlFixture, PrefetchSkipsPresentAndMissing) {
+  backend.preload(9, 0, std::byte{1});
+  ASSERT_EQ(plane.write(9, 0, page(0xFF)), HostCachePlane::WriteResult::kOk);
+  // Page 0 cached (dirty), page 1 absent in backend.
+  const auto res = ctl.prefetch(9, 0, 2);
+  EXPECT_EQ(res.pages, 0);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(plane.read(9, 0, out));
+  EXPECT_EQ(out[0], std::byte{0xFF});  // dirty copy untouched
+}
+
+TEST_F(ControlFixture, OnReadMissLearnsSequentialStream) {
+  for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+    backend.preload(5, lpn, static_cast<std::byte>(lpn));
+  // First miss: no prefetch yet. Second sequential miss: window opens.
+  EXPECT_EQ(ctl.on_read_miss(5, 0).pages, 0);
+  const auto res = ctl.on_read_miss(5, 1);
+  EXPECT_GT(res.pages, 0);
+  EXPECT_GT(ctl.stats().pages_prefetched, 0u);
+  std::vector<std::byte> out(4096);
+  EXPECT_TRUE(plane.read(5, 2, out));  // prefetched ahead of the reader
+}
+
+TEST_F(ControlFixture, RandomMissesNeverPrefetch) {
+  for (std::uint64_t lpn = 0; lpn < 64; ++lpn)
+    backend.preload(5, lpn, std::byte{1});
+  EXPECT_EQ(ctl.on_read_miss(5, 10).pages, 0);
+  EXPECT_EQ(ctl.on_read_miss(5, 3).pages, 0);
+  EXPECT_EQ(ctl.on_read_miss(5, 40).pages, 0);
+  EXPECT_EQ(ctl.stats().pages_prefetched, 0u);
+}
+
+TEST_F(ControlFixture, ConcurrentHostWritesDuringFlusher) {
+  // The §3.3 consistency scenario: host writers mutate pages while the DPU
+  // flushes. Locks must keep every flushed page internally consistent.
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ctl.flush_pass();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([this, t] {
+      for (int i = 0; i < 500; ++i) {
+        const auto fill =
+            static_cast<std::uint8_t>((t * 500 + i) % 251 + 1);
+        while (plane.write(static_cast<std::uint64_t>(t), 0, page(fill)) !=
+               HostCachePlane::WriteResult::kOk) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+  ctl.flush_pass();  // final flush
+
+  // Backend holds each inode's page with a uniform fill (no torn pages) —
+  // and it must be the *last* value written.
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    const auto fb = backend.first_byte(t, 0);
+    ASSERT_TRUE(fb.has_value());
+    const auto expect =
+        static_cast<std::byte>((static_cast<int>(t) * 500 + 499) % 251 + 1);
+    EXPECT_EQ(*fb, expect) << "inode " << t;
+  }
+}
+
+TEST_F(ControlFixture, HostReadersNeverBlockFlushIndefinitely) {
+  ASSERT_EQ(plane.write(2, 2, page(0x77)), HostCachePlane::WriteResult::kOk);
+  // A host reader holds a read lock; the flusher's read lock can share it.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::vector<std::byte> out(4096);
+    while (!stop.load()) plane.read(2, 2, out);
+  });
+  int flushed = 0;
+  for (int i = 0; i < 100 && flushed == 0; ++i)
+    flushed = ctl.flush_pass().pages;
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(flushed, 1);
+}
+
+}  // namespace
+}  // namespace dpc::cache

@@ -1,0 +1,95 @@
+// Internal-consistency checks on the calibration constants — relationships
+// the whole reproduction leans on. If someone retunes calib.hpp and breaks
+// a paper-level invariant, this is the test that names it.
+#include <gtest/gtest.h>
+
+#include "sim/calib.hpp"
+#include "ssd/ssd.hpp"
+
+namespace dpc::sim::calib {
+namespace {
+
+TEST(Calib, PcieTransferLinearAndAnchored) {
+  EXPECT_EQ(pcie_transfer(0).ns, 0);
+  // 15.7 GB/s: 1 MB ≈ 66.8 µs.
+  EXPECT_NEAR(pcie_transfer(1 << 20).us(), 66.8, 0.5);
+  EXPECT_NEAR(pcie_transfer(2 << 20).us(), 2 * pcie_transfer(1 << 20).us(),
+              0.01);
+}
+
+TEST(Calib, WireEfficienciesBracketRaw) {
+  // Efficiency-adjusted wire time must exceed the raw transfer, and the
+  // upstream (host→DPU) direction is the less efficient one.
+  const auto raw = pcie_transfer(1 << 20);
+  const auto up = pcie_wire_demand(1 << 20, true);
+  const auto down = pcie_wire_demand(1 << 20, false);
+  EXPECT_GT(up.ns, raw.ns);
+  EXPECT_GT(down.ns, raw.ns);
+  EXPECT_GT(up.ns, down.ns);
+  // The §4.1 bandwidth anchors fall out of these efficiencies.
+  EXPECT_NEAR(kPcieGBps * kPcieUpEfficiency, 14.3, 0.1);
+  EXPECT_NEAR(kPcieGBps * kPcieDownEfficiency, 15.1, 0.1);
+}
+
+TEST(Calib, SsdIopsCapsMatchFig7) {
+  const double read_cap =
+      kSsdReadChannels / (static_cast<double>(kSsdReadLat.ns) / 1e9);
+  const double write_cap =
+      kSsdWriteChannels / (static_cast<double>(kSsdWriteLat.ns) / 1e9);
+  // Fig. 7: Ext4 read ~355K / write ~250K with the 8K second-block stream.
+  EXPECT_NEAR(read_cap, 364e3, 5e3);
+  EXPECT_NEAR(write_cap, 286e3, 5e3);
+  // 8K service > 4K service (streaming term).
+  EXPECT_GT(ssd::SsdModel::random_service(true, 8192).ns,
+            ssd::SsdModel::random_service(true, 4096).ns);
+}
+
+TEST(Calib, DpuKvfsCapsMatchFig7Latency) {
+  // X_max = cores / demand; Fig. 7's 256-thread latencies are N / X_max.
+  const double read_cap =
+      kDpuCores / (static_cast<double>(kDpuKvfsReadOp.ns) / 1e9);
+  const double write_cap =
+      kDpuCores / (static_cast<double>(kDpuKvfsWriteOp.ns) / 1e9);
+  EXPECT_NEAR(256.0 / read_cap * 1e6, 363.0, 5.0);   // µs
+  EXPECT_NEAR(256.0 / write_cap * 1e6, 411.0, 5.0);
+}
+
+TEST(Calib, OffloadMovesWorkOffHostOrdering) {
+  // The whole paper in three inequalities.
+  EXPECT_LT((kSyscallVfs + kFsAdapterOp + kHostNvmeCompletion).ns,
+            (kSyscallVfs + kFuseLayerOp + kVirtioCompletion).ns)
+      << "fs-adapter must be cheaper than the FUSE path";
+  EXPECT_LT((kSyscallVfs + kFsAdapterOp + kHostNvmeCompletion +
+             kHostDataPathOp)
+                .ns,
+            kNfsClientOp.ns)
+      << "DPC host data path must undercut the kernel NFS stack";
+  EXPECT_LT(kDpuEcNsPerByte, kHostEcNsPerByte)
+      << "the DPU EC engine must beat host software EC";
+}
+
+TEST(Calib, KvBackendSlowerButWider) {
+  // KVFS loses at low concurrency (latency) and wins at high (parallelism):
+  // needs kv access latency > SSD latency, kv IOPS capacity > SSD capacity.
+  EXPECT_GT(kKvReadLatency.ns, kSsdReadLat.ns);
+  const double kv_cap =
+      kKvServers / (static_cast<double>(kKvServerOp.ns) / 1e9);
+  const double ssd_cap =
+      kSsdReadChannels / (static_cast<double>(kSsdReadLat.ns) / 1e9);
+  EXPECT_GT(kv_cap, ssd_cap);
+}
+
+TEST(Calib, Table2CapsOrdering) {
+  // KVFS sequential caps (the KV store) must exceed the local drive's.
+  EXPECT_GT(kKvReadGBps, kSsdSeqReadGBps);
+  EXPECT_GT(kKvWriteGBps, kSsdSeqWriteGBps);
+  // And stay under the PCIe link, or the transport would bottleneck first.
+  EXPECT_LT(kKvReadGBps, kPcieGBps);
+}
+
+TEST(Calib, SchedulingSweetSpotIsThirtyTwo) {
+  EXPECT_EQ(kDpuSchedSweetSpot, 32);  // "peak performance … at 32 threads"
+}
+
+}  // namespace
+}  // namespace dpc::sim::calib

@@ -1,0 +1,118 @@
+#include "dpu/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/rng.hpp"
+
+namespace dpc::dpu {
+namespace {
+
+std::vector<std::byte> roundtrip(std::span<const std::byte> src) {
+  std::vector<std::byte> packed, unpacked;
+  lz_compress(src, packed);
+  const auto n = lz_decompress(packed, unpacked, src.size() + 1);
+  EXPECT_TRUE(n.has_value());
+  EXPECT_EQ(*n, src.size());
+  return unpacked;
+}
+
+TEST(Compress, EmptyInput) {
+  std::vector<std::byte> packed, unpacked;
+  EXPECT_EQ(lz_compress({}, packed), 0u);
+  EXPECT_EQ(lz_decompress(packed, unpacked, 100), 0u);
+}
+
+TEST(Compress, ShortLiteralOnly) {
+  const char msg[] = "abc";
+  const auto out = roundtrip(std::as_bytes(std::span{msg, 3}));
+  EXPECT_EQ(std::memcmp(out.data(), msg, 3), 0);
+}
+
+TEST(Compress, RepetitiveDataShrinks) {
+  std::vector<std::byte> src(4096, std::byte{0x55});
+  std::vector<std::byte> packed;
+  const auto n = lz_compress(src, packed);
+  EXPECT_LT(n, src.size() / 10);  // RLE-style overlap match
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+TEST(Compress, TextLikeDataShrinks) {
+  std::string text;
+  for (int i = 0; i < 200; ++i)
+    text += "the quick brown fox jumps over the lazy dog ";
+  std::vector<std::byte> src(text.size());
+  std::memcpy(src.data(), text.data(), text.size());
+  std::vector<std::byte> packed;
+  EXPECT_LT(lz_compress(src, packed), src.size() / 4);
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+TEST(Compress, RandomDataBoundedExpansion) {
+  sim::Rng rng(1);
+  std::vector<std::byte> src(8192);
+  for (auto& b : src) b = static_cast<std::byte>(rng.next_below(256));
+  std::vector<std::byte> packed;
+  const auto n = lz_compress(src, packed);
+  // Incompressible data: tolerate tokenization overhead but no blow-up.
+  EXPECT_LT(n, src.size() + src.size() / 64 + 32);
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+class CompressRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressRoundTrip, MixedContent) {
+  // Property: arbitrary mixtures of runs, patterns and noise round-trip.
+  sim::Rng rng(GetParam());
+  std::vector<std::byte> src;
+  while (src.size() < 32 * 1024) {
+    switch (rng.next_below(3)) {
+      case 0: {  // run
+        const auto b = static_cast<std::byte>(rng.next_below(256));
+        src.insert(src.end(), rng.next_below(500) + 1, b);
+        break;
+      }
+      case 1: {  // repeated phrase
+        const char* phrase = "metadata-view-routing";
+        for (std::uint64_t k = 0; k < rng.next_below(20) + 1; ++k)
+          for (const char* p = phrase; *p; ++p)
+            src.push_back(static_cast<std::byte>(*p));
+        break;
+      }
+      default: {  // noise
+        for (std::uint64_t k = 0; k < rng.next_below(300); ++k)
+          src.push_back(static_cast<std::byte>(rng.next_below(256)));
+      }
+    }
+  }
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Compress, MalformedInputRejected) {
+  std::vector<std::byte> out;
+  // Unknown token.
+  std::vector<std::byte> bad{std::byte{0x7F}};
+  EXPECT_FALSE(lz_decompress(bad, out, 100).has_value());
+  // Truncated literal.
+  bad = {std::byte{0x00}, std::byte{50}, std::byte{'a'}};
+  EXPECT_FALSE(lz_decompress(bad, out, 100).has_value());
+  // Match with impossible distance.
+  bad = {std::byte{0x01}, std::byte{4}, std::byte{200}};
+  EXPECT_FALSE(lz_decompress(bad, out, 100).has_value());
+  // Output-bound respected.
+  std::vector<std::byte> src(1000, std::byte{1});
+  std::vector<std::byte> packed;
+  lz_compress(src, packed);
+  EXPECT_FALSE(lz_decompress(packed, out, 10).has_value());
+}
+
+TEST(Compress, CostModelFavorsDpu) {
+  EXPECT_LT(dpu_compress_cost(1 << 20).ns, host_compress_cost(1 << 20).ns);
+}
+
+}  // namespace
+}  // namespace dpc::dpu

@@ -1,0 +1,224 @@
+#include "dfs/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace dpc::dfs {
+namespace {
+
+std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+  return v;
+}
+
+TEST(Mds, NamespaceBasics) {
+  Mds mds;
+  EXPECT_FALSE(mds.lookup("/f").has_value());
+  ASSERT_TRUE(mds.create("/f", 1, 100).has_value());
+  EXPECT_FALSE(mds.create("/f", 2, 0).has_value());  // duplicate
+  EXPECT_EQ(mds.lookup("/f"), 1u);
+  const auto meta = mds.stat(1);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->size, 100u);
+  EXPECT_TRUE(mds.update_size(1, 200));
+  EXPECT_EQ(mds.stat(1)->size, 200u);
+  EXPECT_TRUE(mds.update_size(1, 50));  // accepted…
+  EXPECT_EQ(mds.stat(1)->size, 200u);   // …but the size never shrinks
+  EXPECT_TRUE(mds.remove("/f"));
+  EXPECT_FALSE(mds.stat(1).has_value());
+}
+
+TEST(Mds, DelegationExclusivity) {
+  Mds mds;
+  mds.create("/f", 1, 0);
+  EXPECT_TRUE(mds.acquire_delegation(1, 10));
+  EXPECT_TRUE(mds.acquire_delegation(1, 10));   // re-acquire by holder ok
+  EXPECT_FALSE(mds.acquire_delegation(1, 20));  // conflicting client
+  mds.release_delegation(1, 20);                // non-holder release ignored
+  EXPECT_FALSE(mds.acquire_delegation(1, 20));
+  mds.release_delegation(1, 10);
+  EXPECT_TRUE(mds.acquire_delegation(1, 20));
+}
+
+TEST(MdsCluster, ForwardingChargedWhenNotDirect) {
+  MdsCluster cluster(4);
+  // Find a path whose home differs from entry MDS 0.
+  std::string path = "/a";
+  while (cluster.home_of(path) == 0) path += "x";
+
+  OpProfile indirect;
+  cluster.create(path, 0, /*entry=*/0, /*direct=*/false, indirect);
+  EXPECT_EQ(indirect.forwards, 1u);
+
+  OpProfile direct;
+  cluster.lookup(path, 0, /*direct=*/true, direct);
+  EXPECT_EQ(direct.forwards, 0u);
+  EXPECT_LT(direct.mds.ns, indirect.mds.ns);
+  EXPECT_LT(direct.net.ns, indirect.net.ns);
+}
+
+TEST(MdsCluster, NoForwardWhenEntryIsHome) {
+  MdsCluster cluster(4);
+  std::string path = "/b";
+  while (cluster.home_of(path) != 2) path += "y";
+  OpProfile prof;
+  cluster.create(path, 0, /*entry=*/2, /*direct=*/false, prof);
+  EXPECT_EQ(prof.forwards, 0u);
+}
+
+TEST(MdsCluster, StatFindsMetaAcrossServers) {
+  MdsCluster cluster(4);
+  OpProfile prof;
+  const auto meta = cluster.create("/file", 4096, 0, false, prof);
+  ASSERT_TRUE(meta.has_value());
+  const auto found = cluster.stat(meta->ino, 1, true, prof);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size, 4096u);
+  EXPECT_TRUE(cluster.find_meta(meta->ino).has_value());
+  EXPECT_FALSE(cluster.find_meta(777).has_value());
+}
+
+TEST(DataServers, ShardPlacementRotates) {
+  DataServers ds(8);
+  // Same stripe, different roles → different servers (rotation).
+  const int s0 = ds.server_of(1, 0, 0);
+  const int s1 = ds.server_of(1, 0, 1);
+  EXPECT_NE(s0, s1);
+  // Deterministic.
+  EXPECT_EQ(ds.server_of(1, 0, 0), s0);
+}
+
+TEST(DataServers, ShardReadWriteAndDrop) {
+  DataServers ds(4);
+  OpProfile prof;
+  const auto data = bytes(8192, 1);
+  ds.write_shard(1, 0, 0, data, prof);
+  EXPECT_EQ(prof.ds_ops, 1u);
+  EXPECT_GT(prof.net.ns, 0);
+
+  std::vector<std::byte> out(8192);
+  EXPECT_TRUE(ds.read_shard(1, 0, 0, out, prof));
+  EXPECT_EQ(out, data);
+  EXPECT_FALSE(ds.read_shard(1, 0, 1, out, prof));  // absent → zeros
+  EXPECT_EQ(out[0], std::byte{0});
+
+  EXPECT_TRUE(ds.has_shard(1, 0, 0));
+  EXPECT_TRUE(ds.drop_shard(1, 0, 0));
+  EXPECT_FALSE(ds.has_shard(1, 0, 0));
+  ds.write_shard(1, 0, 0, data, prof);
+  ds.write_shard(1, 1, 2, data, prof);
+  ds.purge(1);
+  EXPECT_FALSE(ds.has_shard(1, 0, 0));
+  EXPECT_FALSE(ds.has_shard(1, 1, 2));
+}
+
+struct StripeFixture : ::testing::Test {
+  StripeFixture() : ds(8), rs(4, 2) {
+    meta.ino = 42;
+    meta.stripe_unit = 8 * 1024;
+    meta.k = 4;
+    meta.m = 2;
+  }
+  DataServers ds;
+  ec::ReedSolomon rs;
+  FileMeta meta;
+};
+
+TEST_F(StripeFixture, WriteReadRoundTrip) {
+  OpProfile prof;
+  const auto data = bytes(64 * 1024, 2);  // two full stripes
+  striped_write(ds, rs, meta, 0, data, prof);
+  std::vector<std::byte> out(64 * 1024);
+  striped_read(ds, meta, 0, out, prof);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StripeFixture, UnalignedWriteWithinShard) {
+  OpProfile prof;
+  striped_write(ds, rs, meta, 0, bytes(32 * 1024, 3), prof);
+  const auto patch = bytes(100, 4);
+  striped_write(ds, rs, meta, 5000, patch, prof);
+  std::vector<std::byte> out(100);
+  striped_read(ds, meta, 5000, out, prof);
+  EXPECT_EQ(out, patch);
+}
+
+TEST_F(StripeFixture, ParityStaysConsistentAfterPartialUpdates) {
+  OpProfile prof;
+  striped_write(ds, rs, meta, 0, bytes(32 * 1024, 5), prof);
+  // Update shard 2 of stripe 0 (offset 16K..24K).
+  striped_write(ds, rs, meta, 2 * 8192, bytes(8192, 6), prof);
+
+  // Gather the stripe and verify parity algebraically.
+  std::vector<std::vector<std::byte>> shards(6,
+                                             std::vector<std::byte>(8192));
+  for (std::uint32_t r = 0; r < 6; ++r)
+    ds.read_shard(meta.ino, 0, r, shards[r], prof);
+  std::vector<std::span<const std::byte>> views(shards.begin(), shards.end());
+  EXPECT_TRUE(rs.verify(views));
+}
+
+TEST_F(StripeFixture, DegradedReadReconstructs) {
+  OpProfile prof;
+  const auto data = bytes(32 * 1024, 7);  // one full stripe
+  striped_write(ds, rs, meta, 0, data, prof);
+  // Lose two shards (the code tolerance m=2), one of them data shard 1.
+  ASSERT_TRUE(ds.drop_shard(meta.ino, 0, 1));
+  ASSERT_TRUE(ds.drop_shard(meta.ino, 0, 4));
+
+  std::vector<std::byte> out(32 * 1024);
+  ASSERT_TRUE(striped_read_reconstruct(ds, rs, meta, 0, out, prof));
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StripeFixture, TooManyLossesFailCleanly) {
+  OpProfile prof;
+  striped_write(ds, rs, meta, 0, bytes(32 * 1024, 8), prof);
+  ds.drop_shard(meta.ino, 0, 0);
+  ds.drop_shard(meta.ino, 0, 1);
+  ds.drop_shard(meta.ino, 0, 2);
+  std::vector<std::byte> out(8192);
+  EXPECT_FALSE(striped_read_reconstruct(ds, rs, meta, 0, out, prof));
+}
+
+TEST_F(StripeFixture, ServerSideWriteChargesMds) {
+  MdsCluster cluster(4);
+  OpProfile cprof;
+  const auto created = cluster.create("/f", 1 << 20, 0, false, cprof);
+  ASSERT_TRUE(created.has_value());
+
+  OpProfile prof;
+  const auto data = bytes(8192, 9);
+  ASSERT_TRUE(cluster.server_side_write(ds, rs, created->ino, 0, data, 0,
+                                        false, prof));
+  // Server-side EC: the MDS burns the encode cost, not the client.
+  EXPECT_GT(prof.mds.ns, sim::calib::kMdsOp.ns);
+  EXPECT_EQ(prof.host_cpu.ns, 0);
+  EXPECT_GT(prof.ds_ops, 0u);
+
+  std::vector<std::byte> out(8192);
+  OpProfile rprof;
+  ASSERT_TRUE(
+      cluster.server_side_read(ds, created->ino, 0, out, 0, false, rprof));
+  EXPECT_EQ(out, data);
+}
+
+TEST(OpProfile, AccumulatesAllFields) {
+  OpProfile a, b;
+  a.host_cpu = sim::micros(1);
+  a.mds_ops = 1;
+  b.host_cpu = sim::micros(2);
+  b.dpu_cpu = sim::micros(3);
+  b.forwards = 2;
+  a += b;
+  EXPECT_EQ(a.host_cpu.ns, 3000);
+  EXPECT_EQ(a.dpu_cpu.ns, 3000);
+  EXPECT_EQ(a.mds_ops, 1u);
+  EXPECT_EQ(a.forwards, 2u);
+}
+
+}  // namespace
+}  // namespace dpc::dfs

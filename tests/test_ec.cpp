@@ -1,0 +1,234 @@
+#include "ec/crc32c.hpp"
+#include "ec/gf256.hpp"
+#include "ec/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::ec {
+namespace {
+
+TEST(Gf256, FieldAxioms) {
+  const auto& gf = Gf256::instance();
+  // Spot-check closure, identity, inverse over all elements.
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf.mul(ua, 1), ua);
+    EXPECT_EQ(gf.mul(ua, gf.inv(ua)), 1) << "a=" << a;
+    EXPECT_EQ(gf.add(ua, ua), 0);  // char 2
+  }
+  EXPECT_EQ(gf.mul(0, 123), 0);
+  EXPECT_THROW(gf.inv(0), dpc::CheckFailure);
+  EXPECT_THROW(gf.div(1, 0), dpc::CheckFailure);
+}
+
+TEST(Gf256, MulMatchesRussianPeasant) {
+  // Independent implementation to cross-check the tables.
+  auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+    std::uint16_t r = 0, aa = a;
+    while (b) {
+      if (b & 1) r ^= aa;
+      aa <<= 1;
+      if (aa & 0x100) aa ^= 0x11D;
+      b >>= 1;
+    }
+    return static_cast<std::uint8_t>(r);
+  };
+  const auto& gf = Gf256::instance();
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    ASSERT_EQ(gf.mul(a, b), slow_mul(a, b)) << +a << "*" << +b;
+  }
+}
+
+TEST(Gf256, MulAccDistributes) {
+  const auto& gf = Gf256::instance();
+  std::vector<std::byte> dst(64, std::byte{0});
+  std::vector<std::byte> src(64);
+  for (std::size_t i = 0; i < 64; ++i) src[i] = static_cast<std::byte>(i);
+  gf.mul_acc(dst, src, 3);
+  gf.mul_acc(dst, src, 3);
+  // x ^ x = 0.
+  for (auto b : dst) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(GfMatrix, InverseRoundTrip) {
+  const auto& gf = Gf256::instance();
+  GfMatrix m(3, 3);
+  // A known-invertible Vandermonde-ish matrix.
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      m.at(r, c) = gf.pow(gf.exp(static_cast<unsigned>(r + 1)),
+                          static_cast<unsigned>(c));
+  const GfMatrix prod = m.multiplied(m.inverted());
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(prod.at(r, c), r == c ? 1 : 0);
+}
+
+TEST(GfMatrix, SingularDetected) {
+  GfMatrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  EXPECT_THROW(m.inverted(), dpc::CheckFailure);
+}
+
+TEST(ReedSolomon, SystematicEncodePreservesData) {
+  // The top of the encode matrix is the identity → parity-only output.
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::byte>> data(4, std::vector<std::byte>(128));
+  sim::Rng rng(7);
+  for (auto& s : data)
+    for (auto& b : s) b = static_cast<std::byte>(rng.next_below(256));
+  std::vector<std::vector<std::byte>> parity(2,
+                                             std::vector<std::byte>(128));
+  std::vector<std::span<const std::byte>> dv(data.begin(), data.end());
+  std::vector<std::span<std::byte>> pv(parity.begin(), parity.end());
+  rs.encode(dv, pv);
+
+  std::vector<std::span<const std::byte>> all;
+  for (auto& s : data) all.emplace_back(s);
+  for (auto& s : parity) all.emplace_back(s);
+  EXPECT_TRUE(rs.verify(all));
+  // Corrupt a byte → verify fails.
+  parity[0][5] ^= std::byte{1};
+  EXPECT_FALSE(rs.verify(all));
+}
+
+using RsParam = std::tuple<int, int, int>;  // k, m, erasures
+
+class RsReconstruct : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsReconstruct, AnyKSurviveSuffices) {
+  const auto [k, m, erasures] = GetParam();
+  ReedSolomon rs(k, m);
+  const std::size_t len = 256;
+  sim::Rng rng(static_cast<std::uint64_t>(k * 100 + m * 10 + erasures));
+
+  std::vector<std::vector<std::byte>> shards(
+      static_cast<std::size_t>(k + m), std::vector<std::byte>(len));
+  for (int d = 0; d < k; ++d)
+    for (auto& b : shards[static_cast<std::size_t>(d)])
+      b = static_cast<std::byte>(rng.next_below(256));
+  {
+    std::vector<std::span<const std::byte>> dv;
+    for (int d = 0; d < k; ++d) dv.emplace_back(shards[static_cast<std::size_t>(d)]);
+    std::vector<std::span<std::byte>> pv;
+    for (int p = 0; p < m; ++p) pv.emplace_back(shards[static_cast<std::size_t>(k + p)]);
+    rs.encode(dv, pv);
+  }
+  const auto golden = shards;
+
+  // Erase `erasures` random shards.
+  std::vector<bool> present_vec(static_cast<std::size_t>(k + m), true);
+  int erased = 0;
+  while (erased < erasures) {
+    const auto victim = rng.next_below(static_cast<std::uint64_t>(k + m));
+    if (!present_vec[victim]) continue;
+    present_vec[victim] = false;
+    std::fill(shards[victim].begin(), shards[victim].end(), std::byte{0xEE});
+    ++erased;
+  }
+  std::unique_ptr<bool[]> present(new bool[static_cast<std::size_t>(k + m)]);
+  for (int i = 0; i < k + m; ++i)
+    present[static_cast<std::size_t>(i)] = present_vec[static_cast<std::size_t>(i)];
+
+  std::vector<std::span<std::byte>> views(shards.begin(), shards.end());
+  rs.reconstruct(views, std::span<const bool>(present.get(),
+                                              static_cast<std::size_t>(k + m)));
+  for (int i = 0; i < k + m; ++i)
+    EXPECT_EQ(shards[static_cast<std::size_t>(i)],
+              golden[static_cast<std::size_t>(i)])
+        << "shard " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsReconstruct,
+    ::testing::Values(RsParam{4, 2, 1}, RsParam{4, 2, 2}, RsParam{2, 1, 1},
+                      RsParam{6, 3, 3}, RsParam{8, 4, 4}, RsParam{10, 4, 2},
+                      RsParam{3, 2, 2}, RsParam{5, 5, 5}));
+
+TEST(ReedSolomon, TooManyErasuresRejected) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::byte>> shards(6, std::vector<std::byte>(16));
+  std::vector<std::span<std::byte>> views(shards.begin(), shards.end());
+  bool present[6] = {true, true, true, false, false, false};
+  EXPECT_THROW(rs.reconstruct(views, present), dpc::CheckFailure);
+}
+
+TEST(ReedSolomon, DeltaParityMatchesFullReencode) {
+  // Paper path: an 8K write touches one shard; parity is updated via
+  // delta. Must equal re-encoding the full stripe.
+  ReedSolomon rs(4, 2);
+  const std::size_t len = 512;
+  sim::Rng rng(99);
+  std::vector<std::vector<std::byte>> data(4, std::vector<std::byte>(len));
+  for (auto& s : data)
+    for (auto& b : s) b = static_cast<std::byte>(rng.next_below(256));
+  std::vector<std::vector<std::byte>> parity(2, std::vector<std::byte>(len));
+  {
+    std::vector<std::span<const std::byte>> dv(data.begin(), data.end());
+    std::vector<std::span<std::byte>> pv(parity.begin(), parity.end());
+    rs.encode(dv, pv);
+  }
+
+  // Mutate shard 2, apply delta to both parities.
+  std::vector<std::byte> updated(len);
+  for (auto& b : updated) b = static_cast<std::byte>(rng.next_below(256));
+  std::vector<std::byte> delta(len);
+  for (std::size_t i = 0; i < len; ++i) delta[i] = data[2][i] ^ updated[i];
+  data[2] = updated;
+  for (int p = 0; p < 2; ++p) rs.apply_delta(parity[static_cast<std::size_t>(p)], p, 2, delta);
+
+  std::vector<std::vector<std::byte>> expect(2, std::vector<std::byte>(len));
+  {
+    std::vector<std::span<const std::byte>> dv(data.begin(), data.end());
+    std::vector<std::span<std::byte>> pv(expect.begin(), expect.end());
+    rs.encode(dv, pv);
+  }
+  EXPECT_EQ(parity, expect);
+}
+
+TEST(ReedSolomon, CostModelFavorsDpu) {
+  EXPECT_GT(ReedSolomon::host_encode_cost(1 << 20).ns,
+            ReedSolomon::dpu_encode_cost(1 << 20).ns);
+  EXPECT_EQ(ReedSolomon::host_encode_cost(0).ns, 0);
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros → 0x8A9136AA.
+  std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  // "123456789" → 0xE3069283.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32c(std::as_bytes(std::span{digits, 9})), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::vector<std::byte> buf(1000);
+  sim::Rng rng(3);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next_below(256));
+  const auto full = crc32c(buf);
+  // CRC chaining: crc(a||b) computed by seeding with crc(a).
+  const auto part = crc32c(std::span<const std::byte>(buf).subspan(300),
+                           crc32c(std::span<const std::byte>(buf).first(300)));
+  EXPECT_EQ(part, full);
+}
+
+TEST(Crc32c, DetectsBitFlip) {
+  std::vector<std::byte> buf(4096, std::byte{0x5A});
+  const auto a = crc32c(buf);
+  buf[2048] ^= std::byte{0x01};
+  EXPECT_NE(crc32c(buf), a);
+}
+
+}  // namespace
+}  // namespace dpc::ec

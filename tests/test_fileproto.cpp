@@ -1,0 +1,98 @@
+#include "core/fileproto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+
+namespace dpc::core {
+namespace {
+
+TEST(FileProto, RequestRoundTrip) {
+  FileRequest req;
+  req.op = FileOp::kRename;
+  req.parent = 42;
+  req.aux = 99;
+  req.mode = 0755;
+  req.name = "old-name";
+  req.name2 = "new-name";
+  const auto enc = req.encode();
+  const auto back = FileRequest::decode(enc);
+  EXPECT_EQ(back.op, FileOp::kRename);
+  EXPECT_EQ(back.parent, 42u);
+  EXPECT_EQ(back.aux, 99u);
+  EXPECT_EQ(back.mode, 0755u);
+  EXPECT_EQ(back.name, "old-name");
+  EXPECT_EQ(back.name2, "new-name");
+}
+
+TEST(FileProto, EmptyAndLongNames) {
+  FileRequest req;
+  req.name = std::string(1024, 'n');
+  req.name2 = "";
+  const auto back = FileRequest::decode(req.encode());
+  EXPECT_EQ(back.name.size(), 1024u);
+  EXPECT_TRUE(back.name2.empty());
+}
+
+TEST(FileProto, BinaryNamesSurvive) {
+  FileRequest req;
+  req.name = std::string("\x00\xFF\x7F", 3);
+  const auto back = FileRequest::decode(req.encode());
+  EXPECT_EQ(back.name, req.name);
+}
+
+TEST(FileProto, ResponseRoundTripWithAttr) {
+  FileResponse resp;
+  resp.err = 13;
+  resp.ino = 7;
+  kvfs::Attr attr;
+  attr.ino = 7;
+  attr.size = 123456;
+  attr.type = kvfs::FileType::kDirectory;
+  resp.attr = attr;
+  const auto back = FileResponse::decode(resp.encode());
+  EXPECT_EQ(back.err, 13);
+  EXPECT_EQ(back.ino, 7u);
+  ASSERT_TRUE(back.attr.has_value());
+  EXPECT_EQ(back.attr->size, 123456u);
+  EXPECT_EQ(back.attr->type, kvfs::FileType::kDirectory);
+}
+
+TEST(FileProto, ResponseRoundTripWithEntries) {
+  FileResponse resp;
+  resp.entries.push_back({"alpha", 1});
+  resp.entries.push_back({"beta", 2});
+  const auto back = FileResponse::decode(resp.encode());
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].name, "alpha");
+  EXPECT_EQ(back.entries[1].ino, 2u);
+  EXPECT_FALSE(back.attr.has_value());
+}
+
+TEST(FileProto, ShortBufferRejected) {
+  FileRequest req;
+  req.name = "x";
+  auto enc = req.encode();
+  enc.resize(enc.size() - 1);
+  EXPECT_THROW(FileRequest::decode(enc), dpc::CheckFailure);
+  EXPECT_THROW(FileResponse::decode(std::vector<std::byte>(2)),
+               dpc::CheckFailure);
+}
+
+TEST(FileProto, ResponseCapacityCoversWorstCase) {
+  FileResponse resp;
+  resp.attr = kvfs::Attr{};
+  for (int i = 0; i < 100; ++i)
+    resp.entries.push_back({std::string(1024, 'x'),
+                            static_cast<std::uint64_t>(i)});
+  EXPECT_LE(resp.encode().size(), response_capacity(100));
+}
+
+TEST(FileProto, OpNamesComplete) {
+  EXPECT_STREQ(to_string(FileOp::kCreate), "create");
+  EXPECT_STREQ(to_string(FileOp::kReaddir), "readdir");
+  EXPECT_STREQ(to_string(FileOp::kResolve), "resolve");
+}
+
+}  // namespace
+}  // namespace dpc::core

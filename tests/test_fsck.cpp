@@ -1,0 +1,216 @@
+#include "kvfs/fsck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/remote.hpp"
+#include "kvfs/kvfs.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::kvfs {
+namespace {
+
+struct FsckFixture : ::testing::Test {
+  FsckFixture() : remote(store), fs(remote) {}
+
+  std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<std::byte> v(n);
+    for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+    return v;
+  }
+
+  /// Builds a healthy little tree and returns some inos for corruption.
+  struct Handles {
+    Ino dir, small, big;
+  };
+  Handles populate() {
+    Handles h;
+    h.dir = fs.mkdir(kRootIno, "dir", 0755).value;
+    h.small = fs.create(h.dir, "small", 0644).value;
+    EXPECT_TRUE(fs.write(h.small, 0, bytes(100, 1)).ok());
+    h.big = fs.create(h.dir, "big", 0644).value;
+    EXPECT_TRUE(fs.write(h.big, 0, bytes(3 * kBigBlock, 2)).ok());
+    EXPECT_TRUE(fs.create(kRootIno, "empty", 0644).ok());
+    return h;
+  }
+
+  kv::KvStore store;
+  kv::RemoteKv remote;
+  Kvfs fs;
+};
+
+TEST_F(FsckFixture, HealthyFilesystemIsClean) {
+  populate();
+  const auto report = fsck(store);
+  EXPECT_TRUE(report.clean())
+      << report.issues.size() << " issues, first: "
+      << (report.issues.empty()
+              ? ""
+              : std::string(to_string(report.issues[0].kind)) + " " +
+                    report.issues[0].detail);
+  EXPECT_EQ(report.directories, 2u);  // root + dir
+  EXPECT_EQ(report.regular_files, 3u);
+  EXPECT_EQ(report.small_files, 2u);  // small + empty
+  EXPECT_EQ(report.big_files, 1u);
+  EXPECT_EQ(report.blocks, 3u);
+}
+
+TEST_F(FsckFixture, CleanAfterChurn) {
+  auto h = populate();
+  ASSERT_TRUE(fs.rename(h.dir, "small", kRootIno, "moved").ok());
+  ASSERT_TRUE(fs.truncate(h.big, kBigBlock).ok());
+  ASSERT_TRUE(fs.unlink(kRootIno, "empty").ok());
+  const auto sub = fs.mkdir(h.dir, "sub", 0755).value;
+  ASSERT_TRUE(fs.rename(h.dir, "sub", kRootIno, "sub-moved").ok());
+  (void)sub;
+  const auto report = fsck(store);
+  EXPECT_TRUE(report.clean())
+      << (report.issues.empty()
+              ? ""
+              : std::string(to_string(report.issues[0].kind)) + ": " +
+                    report.issues[0].detail);
+}
+
+TEST_F(FsckFixture, DanglingDentryDetected) {
+  const auto h = populate();
+  store.erase(attr_key(h.small));
+  const auto report = fsck(store);
+  EXPECT_GE(report.count(FsckIssueKind::kDanglingDentry), 1u);
+}
+
+TEST_F(FsckFixture, UnreachableInodeDetected) {
+  const auto h = populate();
+  store.erase(inode_key(h.dir, "big"));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kUnreachableInode), 1u);
+  EXPECT_EQ(report.issues[0].ino, h.big);
+}
+
+TEST_F(FsckFixture, MissingObjectDetected) {
+  const auto h = populate();
+  store.erase(big_object_key(h.big));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kMissingObject), 1u);
+  // Its blocks become orphans too.
+  EXPECT_GE(report.count(FsckIssueKind::kOrphanBlock), 3u);
+}
+
+TEST_F(FsckFixture, MissingBlockDetected) {
+  const auto h = populate();
+  const auto obj =
+      decode_file_object(*store.get(big_object_key(h.big)));
+  store.erase(block_key(obj.blocks[1]));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kMissingBlock), 1u);
+}
+
+TEST_F(FsckFixture, OrphanDataDetected) {
+  populate();
+  store.put(small_key(31337), kv::to_bytes("ghost"));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kOrphanData), 1u);
+}
+
+TEST_F(FsckFixture, OrphanBlockDetected) {
+  populate();
+  store.put(block_key(999999), kv::to_bytes("lost block"));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kOrphanBlock), 1u);
+}
+
+TEST_F(FsckFixture, ConflictingDataDetected) {
+  const auto h = populate();
+  // A big file that still has a stale small KV.
+  store.put(small_key(h.big), kv::to_bytes("stale"));
+  const auto report = fsck(store);
+  EXPECT_GE(report.count(FsckIssueKind::kConflictingData), 1u);
+}
+
+TEST_F(FsckFixture, BadSmallSizeDetected) {
+  const auto h = populate();
+  auto attr = decode_attr(*store.get(attr_key(h.small)));
+  attr.size = 1 << 20;  // claims 1 MB while flagged small
+  store.put(attr_key(h.small), encode_attr(attr));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kBadSmallSize), 1u);
+}
+
+TEST_F(FsckFixture, DirectoryWithDataDetected) {
+  const auto h = populate();
+  store.put(small_key(h.dir), kv::to_bytes("dir data?!"));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kDirectoryHasData), 1u);
+}
+
+TEST_F(FsckFixture, BadLinkCountDetected) {
+  const auto h = populate();
+  auto attr = decode_attr(*store.get(attr_key(h.dir)));
+  attr.nlink = 9;
+  store.put(attr_key(h.dir), encode_attr(attr));
+  const auto report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kBadLinkCount), 1u);
+}
+
+TEST_F(FsckFixture, HardLinksCleanAndCounted) {
+  const auto h = populate();
+  ASSERT_TRUE(fs.link(h.small, kRootIno, "alias1").ok());
+  ASSERT_TRUE(fs.link(h.small, h.dir, "alias2").ok());
+  auto report = fsck(store);
+  EXPECT_TRUE(report.clean())
+      << (report.issues.empty()
+              ? ""
+              : std::string(to_string(report.issues[0].kind)) + ": " +
+                    report.issues[0].detail);
+  // Corrupt the link count → flagged.
+  auto attr = decode_attr(*store.get(attr_key(h.small)));
+  attr.nlink = 1;
+  store.put(attr_key(h.small), encode_attr(attr));
+  report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kBadLinkCount), 1u);
+}
+
+TEST_F(FsckFixture, SymlinksCheckedForTargets) {
+  populate();
+  const auto l = fs.symlink("/dir/small", kRootIno, "ln");
+  ASSERT_TRUE(l.ok());
+  auto report = fsck(store);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.symlinks, 1u);
+  // Damage: drop the target-text KV.
+  store.erase(small_key(l.value));
+  report = fsck(store);
+  EXPECT_EQ(report.count(FsckIssueKind::kBadSymlink), 1u);
+}
+
+TEST_F(FsckFixture, StressChurnStaysClean) {
+  sim::Rng rng(7);
+  std::vector<std::pair<Ino, std::string>> files;
+  for (int i = 0; i < 200; ++i) {
+    const auto pick = rng.next_below(100);
+    if (pick < 50 || files.empty()) {
+      const std::string name = "f" + std::to_string(i);
+      const auto c = fs.create(kRootIno, name, 0644);
+      ASSERT_TRUE(c.ok());
+      fs.write(c.value, 0,
+               bytes(rng.next_below(4 * kBigBlock) + 1,
+                     static_cast<std::uint64_t>(i)));
+      files.emplace_back(c.value, name);
+    } else if (pick < 75) {
+      const auto victim = rng.next_below(files.size());
+      ASSERT_TRUE(fs.unlink(kRootIno, files[victim].second).ok());
+      files.erase(files.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const auto victim = rng.next_below(files.size());
+      fs.truncate(files[victim].first, rng.next_below(2 * kBigBlock));
+    }
+  }
+  const auto report = fsck(store);
+  EXPECT_TRUE(report.clean())
+      << (report.issues.empty()
+              ? ""
+              : std::string(to_string(report.issues[0].kind)) + ": " +
+                    report.issues[0].detail);
+}
+
+}  // namespace
+}  // namespace dpc::kvfs

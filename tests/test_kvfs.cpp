@@ -1,0 +1,441 @@
+#include "kvfs/kvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "sim/rng.hpp"
+
+namespace dpc::kvfs {
+namespace {
+
+struct KvfsFixture : ::testing::Test {
+  KvfsFixture() : remote(store), fs(remote) {}
+  kv::KvStore store;
+  kv::RemoteKv remote;
+  Kvfs fs;
+
+  std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<std::byte> v(n);
+    for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+    return v;
+  }
+};
+
+TEST_F(KvfsFixture, RootExists) {
+  const auto attr = fs.getattr(kRootIno);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.type, FileType::kDirectory);
+  EXPECT_EQ(attr.value.ino, kRootIno);
+}
+
+TEST_F(KvfsFixture, CreateLookupGetattr) {
+  const auto c = fs.create(kRootIno, "file.txt", 0644);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c.cost.ns, 0);  // remote KV round trips were modelled
+  const auto l = fs.lookup(kRootIno, "file.txt");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value, c.value);
+  const auto a = fs.getattr(c.value);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value.type, FileType::kRegular);
+  EXPECT_EQ(a.value.size, 0u);
+  EXPECT_EQ(a.value.mode, 0644u);
+}
+
+TEST_F(KvfsFixture, CreateDuplicateFails) {
+  ASSERT_TRUE(fs.create(kRootIno, "x", 0644).ok());
+  EXPECT_EQ(fs.create(kRootIno, "x", 0644).err, EEXIST);
+}
+
+TEST_F(KvfsFixture, LookupMissingIsEnoent) {
+  EXPECT_EQ(fs.lookup(kRootIno, "ghost").err, ENOENT);
+  EXPECT_EQ(fs.getattr(999).err, ENOENT);
+}
+
+TEST_F(KvfsFixture, InvalidNamesRejected) {
+  EXPECT_EQ(fs.create(kRootIno, "", 0644).err, EINVAL);
+  EXPECT_EQ(fs.create(kRootIno, "a/b", 0644).err, EINVAL);
+  EXPECT_EQ(fs.create(kRootIno, ".", 0644).err, EINVAL);
+  EXPECT_EQ(fs.create(kRootIno, std::string(kMaxNameLen + 1, 'x'), 0644).err,
+            EINVAL);
+  // Exactly the 1024-byte limit from §3.4 is allowed.
+  EXPECT_TRUE(fs.create(kRootIno, std::string(kMaxNameLen, 'y'), 0644).ok());
+}
+
+TEST_F(KvfsFixture, SmallFileWholeKvRewrite) {
+  const auto ino = fs.create(kRootIno, "small", 0644).value;
+  const auto data = bytes(100, 1);
+  ASSERT_TRUE(fs.write(ino, 0, data).ok());
+  // §3.4: small files are one KV rewritten whole.
+  EXPECT_EQ(fs.stats().small_rewrites.load(), 1u);
+  EXPECT_TRUE(store.contains(small_key(ino)));
+  EXPECT_FALSE(store.contains(big_object_key(ino)));
+
+  std::vector<std::byte> out(100);
+  const auto r = fs.read(ino, 0, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 100u);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(KvfsFixture, SmallFileSparseWrite) {
+  const auto ino = fs.create(kRootIno, "sparse", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 50, bytes(10, 2)).ok());
+  EXPECT_EQ(fs.getattr(ino).value.size, 60u);
+  std::vector<std::byte> out(60);
+  ASSERT_TRUE(fs.read(ino, 0, out).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], std::byte{0});
+}
+
+TEST_F(KvfsFixture, PromotionAt8K) {
+  const auto ino = fs.create(kRootIno, "grow", 0644).value;
+  const auto small = bytes(kSmallFileMax, 3);
+  ASSERT_TRUE(fs.write(ino, 0, small).ok());
+  EXPECT_EQ(fs.stats().promotions.load(), 0u);  // exactly 8K stays small
+
+  // One more byte → promote: small KV deleted, big object created (§3.4).
+  ASSERT_TRUE(fs.write(ino, kSmallFileMax, bytes(1, 4)).ok());
+  EXPECT_EQ(fs.stats().promotions.load(), 1u);
+  EXPECT_FALSE(store.contains(small_key(ino)));
+  EXPECT_TRUE(store.contains(big_object_key(ino)));
+  EXPECT_EQ(fs.getattr(ino).value.big_file, 1u);
+
+  // Original bytes survive the promotion.
+  std::vector<std::byte> out(kSmallFileMax);
+  ASSERT_TRUE(fs.read(ino, 0, out).ok());
+  EXPECT_EQ(out, small);
+}
+
+TEST_F(KvfsFixture, BigFileInPlaceUpdates) {
+  const auto ino = fs.create(kRootIno, "big", 0644).value;
+  const auto block0 = bytes(kBigBlock, 5);
+  const auto block3 = bytes(kBigBlock, 6);
+  ASSERT_TRUE(fs.write(ino, 0, block0).ok());
+  ASSERT_TRUE(fs.write(ino, 3 * kBigBlock, block3).ok());  // promotes + hole
+  EXPECT_EQ(fs.getattr(ino).value.size, 4u * kBigBlock);
+
+  // Holes read as zeros.
+  std::vector<std::byte> hole(kBigBlock);
+  ASSERT_TRUE(fs.read(ino, kBigBlock, hole).ok());
+  for (auto b : hole) ASSERT_EQ(b, std::byte{0});
+
+  std::vector<std::byte> out(kBigBlock);
+  ASSERT_TRUE(fs.read(ino, 3 * kBigBlock, out).ok());
+  EXPECT_EQ(out, block3);
+
+  // In-place rewrite of one 8K block touches block KVs, not whole files.
+  const auto before = fs.stats().big_inplace_writes.load();
+  ASSERT_TRUE(fs.write(ino, 3 * kBigBlock, block0).ok());
+  EXPECT_GT(fs.stats().big_inplace_writes.load(), before);
+}
+
+TEST_F(KvfsFixture, UnalignedBigWriteSpansBlocks) {
+  const auto ino = fs.create(kRootIno, "span", 0644).value;
+  const auto data = bytes(3 * kBigBlock, 7);
+  ASSERT_TRUE(fs.write(ino, kBigBlock / 2, data).ok());
+  std::vector<std::byte> out(3 * kBigBlock);
+  ASSERT_TRUE(fs.read(ino, kBigBlock / 2, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(KvfsFixture, ReadPastEofShortens) {
+  const auto ino = fs.create(kRootIno, "short", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(10, 8)).ok());
+  std::vector<std::byte> out(100);
+  const auto r = fs.read(ino, 5, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 5u);
+  const auto r2 = fs.read(ino, 100, out);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value, 0u);
+}
+
+TEST_F(KvfsFixture, MkdirReaddirScan) {
+  const auto dir = fs.mkdir(kRootIno, "d", 0755).value;
+  ASSERT_TRUE(fs.create(dir, "b", 0644).ok());
+  ASSERT_TRUE(fs.create(dir, "a", 0644).ok());
+  ASSERT_TRUE(fs.mkdir(dir, "c", 0755).ok());
+  const auto list = fs.readdir(dir);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.value.size(), 3u);
+  // Prefix scan returns entries in name order.
+  EXPECT_EQ(list.value[0].name, "a");
+  EXPECT_EQ(list.value[1].name, "b");
+  EXPECT_EQ(list.value[2].name, "c");
+  EXPECT_EQ(fs.readdir(list.value[0].ino).err, ENOTDIR);
+}
+
+TEST_F(KvfsFixture, ResolveWalksFromRoot) {
+  const auto a = fs.mkdir(kRootIno, "a", 0755).value;
+  const auto b = fs.mkdir(a, "b", 0755).value;
+  const auto f = fs.create(b, "f.txt", 0644).value;
+  EXPECT_EQ(fs.resolve("/a/b/f.txt").value, f);
+  EXPECT_EQ(fs.resolve("/a/b").value, b);
+  EXPECT_EQ(fs.resolve("/").value, kRootIno);
+  EXPECT_EQ(fs.resolve("/a//b/").value, b);  // empty components skipped
+  EXPECT_EQ(fs.resolve("/nope").err, ENOENT);
+  EXPECT_EQ(fs.resolve("relative").err, EINVAL);
+}
+
+TEST_F(KvfsFixture, UnlinkRemovesAllKvs) {
+  const auto ino = fs.create(kRootIno, "gone", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(3 * kBigBlock, 9)).ok());  // big file
+  ASSERT_TRUE(fs.unlink(kRootIno, "gone").ok());
+  EXPECT_EQ(fs.lookup(kRootIno, "gone").err, ENOENT);
+  EXPECT_EQ(fs.getattr(ino).err, ENOENT);
+  // Every KV (inode, attr, object, blocks) is gone: only the root attr and
+  // the two allocation counters remain.
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST_F(KvfsFixture, RmdirSemantics) {
+  const auto dir = fs.mkdir(kRootIno, "dir", 0755).value;
+  ASSERT_TRUE(fs.create(dir, "child", 0644).ok());
+  EXPECT_EQ(fs.rmdir(kRootIno, "dir").err, ENOTEMPTY);
+  ASSERT_TRUE(fs.unlink(dir, "child").ok());
+  EXPECT_TRUE(fs.rmdir(kRootIno, "dir").ok());
+  EXPECT_EQ(fs.rmdir(kRootIno, "dir").err, ENOENT);
+  // rmdir on a file / unlink on a dir.
+  ASSERT_TRUE(fs.create(kRootIno, "f", 0644).ok());
+  EXPECT_EQ(fs.rmdir(kRootIno, "f").err, ENOTDIR);
+  ASSERT_TRUE(fs.mkdir(kRootIno, "d2", 0755).ok());
+  EXPECT_EQ(fs.unlink(kRootIno, "d2").err, EISDIR);
+}
+
+TEST_F(KvfsFixture, RenameMovesAndReplaces) {
+  const auto a = fs.mkdir(kRootIno, "a", 0755).value;
+  const auto b = fs.mkdir(kRootIno, "b", 0755).value;
+  const auto f = fs.create(a, "f", 0644).value;
+  ASSERT_TRUE(fs.write(f, 0, bytes(10, 10)).ok());
+
+  ASSERT_TRUE(fs.rename(a, "f", b, "g").ok());
+  EXPECT_EQ(fs.lookup(a, "f").err, ENOENT);
+  EXPECT_EQ(fs.lookup(b, "g").value, f);
+
+  // Replace an existing destination file.
+  const auto h = fs.create(b, "h", 0644).value;
+  ASSERT_TRUE(fs.write(h, 0, bytes(20, 11)).ok());
+  ASSERT_TRUE(fs.rename(b, "g", b, "h").ok());
+  EXPECT_EQ(fs.lookup(b, "h").value, f);
+  EXPECT_EQ(fs.getattr(h).err, ENOENT);
+
+  // Rename onto itself is a no-op success.
+  EXPECT_TRUE(fs.rename(b, "h", b, "h").ok());
+  // Missing source.
+  EXPECT_EQ(fs.rename(b, "zz", b, "yy").err, ENOENT);
+}
+
+TEST_F(KvfsFixture, TruncateGrowShrink) {
+  const auto ino = fs.create(kRootIno, "t", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(4 * kBigBlock, 12)).ok());
+  ASSERT_TRUE(fs.truncate(ino, kBigBlock + 5).ok());
+  EXPECT_EQ(fs.getattr(ino).value.size, kBigBlock + 5);
+  // Shrink released trailing block KVs.
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(fs.read(ino, kBigBlock + 4, out).value, 1u);
+  // Grow back: the reappearing range is a hole.
+  ASSERT_TRUE(fs.truncate(ino, 3 * kBigBlock).ok());
+  std::vector<std::byte> tail(kBigBlock);
+  ASSERT_TRUE(fs.read(ino, 2 * kBigBlock, tail).ok());
+  for (auto byte : tail) ASSERT_EQ(byte, std::byte{0});
+}
+
+TEST_F(KvfsFixture, SmallTruncatePromotes) {
+  const auto ino = fs.create(kRootIno, "tp", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(100, 13)).ok());
+  ASSERT_TRUE(fs.truncate(ino, 100 * 1024).ok());
+  EXPECT_EQ(fs.getattr(ino).value.big_file, 1u);
+  EXPECT_EQ(fs.getattr(ino).value.size, 100u * 1024);
+}
+
+TEST_F(KvfsFixture, ChmodChown) {
+  const auto ino = fs.create(kRootIno, "perm", 0644).value;
+  ASSERT_TRUE(fs.chmod(ino, 0600).ok());
+  ASSERT_TRUE(fs.chown(ino, 1000, 100).ok());
+  const auto a = fs.getattr(ino).value;
+  EXPECT_EQ(a.mode, 0600u);
+  EXPECT_EQ(a.uid, 1000u);
+  EXPECT_EQ(a.gid, 100u);
+}
+
+TEST_F(KvfsFixture, DentryAndAttrCachesHit) {
+  const auto ino = fs.create(kRootIno, "cached", 0644).value;
+  (void)fs.lookup(kRootIno, "cached");
+  const auto hits_before = fs.stats().dentry_hits.load();
+  (void)fs.lookup(kRootIno, "cached");
+  EXPECT_GT(fs.stats().dentry_hits.load(), hits_before);
+  (void)fs.getattr(ino);
+  const auto attr_hits = fs.stats().attr_hits.load();
+  (void)fs.getattr(ino);
+  EXPECT_GT(fs.stats().attr_hits.load(), attr_hits);
+  fs.drop_caches();
+  const auto misses = fs.stats().dentry_misses.load();
+  (void)fs.lookup(kRootIno, "cached");
+  EXPECT_GT(fs.stats().dentry_misses.load(), misses);
+}
+
+TEST_F(KvfsFixture, WriteToDirectoryFails) {
+  const auto dir = fs.mkdir(kRootIno, "dir", 0755).value;
+  EXPECT_EQ(fs.write(dir, 0, bytes(10, 14)).err, EISDIR);
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(fs.read(dir, 0, out).err, EISDIR);
+  EXPECT_EQ(fs.truncate(dir, 0).err, EISDIR);
+}
+
+TEST_F(KvfsFixture, FsyncOnExistingFile) {
+  const auto ino = fs.create(kRootIno, "sync", 0644).value;
+  EXPECT_TRUE(fs.fsync(ino).ok());
+  EXPECT_EQ(fs.fsync(31337).err, ENOENT);
+}
+
+TEST_F(KvfsFixture, ConcurrentCreatesInOneDirectory) {
+  constexpr int kThreads = 8;
+  constexpr int kFiles = 50;
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([this, t, &errors] {
+      for (int i = 0; i < kFiles; ++i) {
+        const auto res = fs.create(
+            kRootIno, "f" + std::to_string(t) + "_" + std::to_string(i),
+            0644);
+        if (!res.ok()) ++errors;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(fs.readdir(kRootIno).value.size(),
+            static_cast<std::size_t>(kThreads) * kFiles);
+}
+
+TEST_F(KvfsFixture, ConcurrentWritersDistinctFiles) {
+  std::vector<Ino> inos;
+  for (int t = 0; t < 8; ++t)
+    inos.push_back(fs.create(kRootIno, "w" + std::to_string(t), 0644).value);
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([this, &inos, t, &errors] {
+      const auto data = bytes(kBigBlock, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 20; ++i) {
+        if (!fs.write(inos[static_cast<std::size_t>(t)],
+                      static_cast<std::uint64_t>(i) * kBigBlock, data)
+                 .ok())
+          ++errors;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(fs.getattr(inos[static_cast<std::size_t>(t)]).value.size,
+              20u * kBigBlock);
+  }
+}
+
+TEST_F(KvfsFixture, KeyEncodingsAreOrderedAndTagged) {
+  // Big-endian ino keeps lexicographic == numeric order (scan correctness).
+  EXPECT_LT(inode_key_prefix(1), inode_key_prefix(2));
+  EXPECT_LT(inode_key_prefix(255), inode_key_prefix(256));
+  EXPECT_EQ(name_of_inode_key(inode_key(7, "abc")), "abc");
+  // Tags keep the four KV spaces disjoint.
+  EXPECT_NE(attr_key(5)[0], small_key(5)[0]);
+  EXPECT_NE(small_key(5)[0], big_object_key(5)[0]);
+  EXPECT_NE(big_object_key(5)[0], block_key(5)[0]);
+}
+
+TEST_F(KvfsFixture, FileObjectCodecRoundTrip) {
+  FileObject obj;
+  obj.set_block(0, 11);
+  obj.set_block(5, 22);
+  const auto enc = encode_file_object(obj);
+  const auto back = decode_file_object(enc);
+  ASSERT_EQ(back.blocks.size(), 6u);
+  EXPECT_EQ(back.block_id(0), 11u);
+  EXPECT_EQ(back.block_id(3), 0u);
+  EXPECT_EQ(back.block_id(5), 22u);
+  EXPECT_EQ(back.block_id(99), 0u);
+}
+
+TEST_F(KvfsFixture, HardLinkSharesData) {
+  const auto ino = fs.create(kRootIno, "orig", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(100, 20)).ok());
+  ASSERT_TRUE(fs.link(ino, kRootIno, "alias").ok());
+  EXPECT_EQ(fs.getattr(ino).value.nlink, 2u);
+  EXPECT_EQ(fs.lookup(kRootIno, "alias").value, ino);
+  // Writes through one name are visible through the other (same inode).
+  ASSERT_TRUE(fs.write(ino, 0, bytes(50, 21)).ok());
+  std::vector<std::byte> out(50);
+  const auto alias_ino = fs.lookup(kRootIno, "alias").value;
+  ASSERT_TRUE(fs.read(alias_ino, 0, out).ok());
+  EXPECT_EQ(out, bytes(50, 21));
+}
+
+TEST_F(KvfsFixture, UnlinkKeepsDataWhileLinksRemain) {
+  const auto ino = fs.create(kRootIno, "a", 0644).value;
+  ASSERT_TRUE(fs.write(ino, 0, bytes(3 * kBigBlock, 22)).ok());
+  ASSERT_TRUE(fs.link(ino, kRootIno, "b").ok());
+  ASSERT_TRUE(fs.unlink(kRootIno, "a").ok());
+  // Data still there through the surviving link.
+  EXPECT_EQ(fs.getattr(ino).value.nlink, 1u);
+  std::vector<std::byte> out(3 * kBigBlock);
+  ASSERT_TRUE(fs.read(ino, 0, out).ok());
+  EXPECT_EQ(out, bytes(3 * kBigBlock, 22));
+  // Last unlink purges everything.
+  ASSERT_TRUE(fs.unlink(kRootIno, "b").ok());
+  EXPECT_EQ(fs.getattr(ino).err, ENOENT);
+  EXPECT_EQ(store.size(), 3u);  // root attr + 2 counters
+}
+
+TEST_F(KvfsFixture, LinkRejectsDirectoriesAndDuplicates) {
+  const auto dir = fs.mkdir(kRootIno, "d", 0755).value;
+  EXPECT_EQ(fs.link(dir, kRootIno, "dlink").err, EPERM);
+  const auto f = fs.create(kRootIno, "f", 0644).value;
+  EXPECT_EQ(fs.link(f, kRootIno, "f").err, EEXIST);
+  EXPECT_EQ(fs.link(999, kRootIno, "x").err, ENOENT);
+  EXPECT_EQ(fs.link(f, 999, "x").err, ENOENT);
+}
+
+TEST_F(KvfsFixture, SymlinkCreateAndReadlink) {
+  const auto f = fs.create(kRootIno, "real", 0644).value;
+  (void)f;
+  const auto l = fs.symlink("/real", kRootIno, "ln");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(fs.getattr(l.value).value.type, FileType::kSymlink);
+  EXPECT_EQ(fs.readlink(l.value).value, "/real");
+  EXPECT_EQ(fs.readlink(f).err, EINVAL);  // not a symlink
+}
+
+TEST_F(KvfsFixture, ResolveFollowsAbsoluteAndRelative) {
+  const auto dir = fs.mkdir(kRootIno, "data", 0755).value;
+  const auto f = fs.create(dir, "file", 0644).value;
+  ASSERT_TRUE(fs.symlink("/data/file", kRootIno, "abs").ok());
+  ASSERT_TRUE(fs.symlink("file", dir, "rel").ok());
+  ASSERT_TRUE(fs.symlink("/data", kRootIno, "dirlink").ok());
+  EXPECT_EQ(fs.resolve("/abs").value, f);
+  EXPECT_EQ(fs.resolve("/data/rel").value, f);
+  // Symlink in the middle of a path.
+  EXPECT_EQ(fs.resolve("/dirlink/file").value, f);
+  EXPECT_EQ(fs.resolve("/dirlink/rel").value, f);
+}
+
+TEST_F(KvfsFixture, SymlinkLoopsBounded) {
+  ASSERT_TRUE(fs.symlink("/b", kRootIno, "a").ok());
+  ASSERT_TRUE(fs.symlink("/a", kRootIno, "b").ok());
+  EXPECT_EQ(fs.resolve("/a").err, ELOOP);
+}
+
+TEST_F(KvfsFixture, DanglingSymlinkResolvesToEnoent) {
+  ASSERT_TRUE(fs.symlink("/nothing", kRootIno, "dangling").ok());
+  EXPECT_EQ(fs.resolve("/dangling").err, ENOENT);
+  // Unlinking a symlink removes it and its target data KV.
+  ASSERT_TRUE(fs.unlink(kRootIno, "dangling").ok());
+  EXPECT_EQ(store.size(), 2u);  // root attr + the ino counter
+}
+
+}  // namespace
+}  // namespace dpc::kvfs

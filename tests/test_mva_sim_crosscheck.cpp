@@ -1,0 +1,170 @@
+// Cross-validation of the MVA solver against an independent discrete-event
+// simulation of the same closed network. MVA is exact for product-form
+// networks (exponential service, FCFS); the simulator samples exponential
+// service times with our deterministic RNG and must agree on throughput
+// and response time within sampling error. This is the strongest guard we
+// have that the timing backbone of every figure bench is solving the model
+// it claims to solve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "sim/mva.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::sim {
+namespace {
+
+struct SimStation {
+  StationKind kind;
+  int servers;
+  double mean_service_us;
+};
+
+/// Event-driven simulation of N customers cycling through the stations in
+/// order. Returns ops/second over the measured window.
+double simulate(const std::vector<SimStation>& stations, int customers,
+                int warm_ops, int measure_ops, std::uint64_t seed) {
+  Rng rng(seed);
+  auto draw = [&](double mean) {
+    // Exponential via inverse CDF.
+    double u = rng.next_double();
+    if (u <= 1e-12) u = 1e-12;
+    return -mean * std::log(u);
+  };
+
+  struct Event {
+    double time;
+    int customer;
+    bool operator>(const Event& o) const { return time > o.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  const int m = static_cast<int>(stations.size());
+  std::vector<int> stage(static_cast<std::size_t>(customers), m - 1);
+  // Per queueing station: number of busy servers + FIFO of waiting
+  // customers.
+  std::vector<int> busy(stations.size(), 0);
+  std::vector<std::queue<int>> waiting(stations.size());
+
+  double now = 0;
+  long completed = 0;
+  const long target_start = warm_ops;
+  double window_start = 0;
+  long in_window = 0;
+
+  auto enter = [&](int c, int s, double t) {
+    const auto& st = stations[static_cast<std::size_t>(s)];
+    if (st.kind == StationKind::kDelay ||
+        busy[static_cast<std::size_t>(s)] < st.servers) {
+      if (st.kind != StationKind::kDelay) ++busy[static_cast<std::size_t>(s)];
+      events.push({t + draw(st.mean_service_us), c});
+    } else {
+      waiting[static_cast<std::size_t>(s)].push(c);
+    }
+  };
+
+  // All customers start by "completing" stage m-1 at t=0 → begin stage 0.
+  for (int c = 0; c < customers; ++c) events.push({0.0, c});
+
+  const long total_ops = target_start + measure_ops;
+  while (completed < total_ops) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    const int c = ev.customer;
+    const int s = stage[static_cast<std::size_t>(c)];
+    // Release the server and admit the next waiter at this station.
+    if (s >= 0) {
+      const auto& st = stations[static_cast<std::size_t>(s)];
+      if (st.kind != StationKind::kDelay && now > 0) {
+        --busy[static_cast<std::size_t>(s)];
+        if (!waiting[static_cast<std::size_t>(s)].empty()) {
+          const int w = waiting[static_cast<std::size_t>(s)].front();
+          waiting[static_cast<std::size_t>(s)].pop();
+          ++busy[static_cast<std::size_t>(s)];
+          events.push({now + draw(st.mean_service_us), w});
+        }
+      }
+    }
+    // Advance to the next stage; wrapping completes one op.
+    int next = s + 1;
+    if (next == m) {
+      ++completed;
+      if (completed == target_start) window_start = now;
+      if (completed > target_start) ++in_window;
+      next = 0;
+    }
+    stage[static_cast<std::size_t>(c)] = next;
+    enter(c, next, now);
+  }
+  const double window = now - window_start;
+  return static_cast<double>(in_window) / (window / 1e6);  // ops per second
+}
+
+struct Net {
+  std::vector<SimStation> stations;
+  ClosedNetwork mva() const {
+    ClosedNetwork net;
+    for (const auto& s : stations) {
+      if (s.kind == StationKind::kDelay)
+        net.add_delay("d", micros(s.mean_service_us));
+      else
+        net.add_queueing("q", s.servers, micros(s.mean_service_us));
+    }
+    return net;
+  }
+};
+
+class CrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (net, N)
+
+Net make_net(int which) {
+  switch (which) {
+    case 0:  // single bottleneck
+      return {{{StationKind::kQueueing, 1, 10.0}}};
+    case 1:  // cpu + device + network
+      return {{{StationKind::kQueueing, 4, 12.0},
+               {StationKind::kQueueing, 1, 5.0},
+               {StationKind::kDelay, 1, 40.0}}};
+    default:  // the fig6-shaped network
+      return {{{StationKind::kQueueing, 26, 4.0},
+               {StationKind::kQueueing, 8, 4.6},
+               {StationKind::kQueueing, 1, 0.6},
+               {StationKind::kQueueing, 24, 11.8}}};
+  }
+}
+
+TEST_P(CrossCheck, ThroughputAgreesWithSimulation) {
+  const auto [which, customers] = GetParam();
+  const Net net = make_net(which);
+  const auto mva_x = net.mva().solve(customers).throughput_ops;
+
+  // Average three independent simulation seeds.
+  double sim_x = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull})
+    sim_x += simulate(net.stations, customers, 2000, 20000, seed);
+  sim_x /= 3;
+
+  EXPECT_NEAR(mva_x / sim_x, 1.0, 0.08)
+      << "MVA " << mva_x << " ops/s vs simulated " << sim_x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossCheck,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 4, 16, 64)));
+
+TEST(CrossCheckEdge, SaturatedSingleServerExact) {
+  // Deep saturation: both must converge to 1/D regardless of distribution.
+  const Net net = make_net(0);
+  const double sim_x = simulate(net.stations, 64, 2000, 20000, 9);
+  EXPECT_NEAR(sim_x, 1e5, 4e3);
+  EXPECT_NEAR(net.mva().solve(64).throughput_ops, 1e5, 1.0);
+}
+
+}  // namespace
+}  // namespace dpc::sim

@@ -1,0 +1,119 @@
+#include "cache/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+namespace dpc::cache {
+namespace {
+
+struct PageCacheFixture : ::testing::Test {
+  PageCacheFixture() : pc(16, 4096, /*shards=*/1) {}
+
+  PageCache::WritebackFn recorder() {
+    return [this](std::uint64_t ino, std::uint64_t lpn,
+                  std::span<const std::byte> data) {
+      written[{ino, lpn}] = data[0];
+    };
+  }
+  std::vector<std::byte> page(std::uint8_t fill) {
+    return std::vector<std::byte>(4096, static_cast<std::byte>(fill));
+  }
+
+  PageCache pc;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::byte> written;
+};
+
+TEST_F(PageCacheFixture, MissThenHit) {
+  std::vector<std::byte> out(4096);
+  EXPECT_FALSE(pc.read(1, 0, out));
+  EXPECT_EQ(pc.misses(), 1u);
+  pc.write(1, 0, page(5), recorder());
+  EXPECT_TRUE(pc.read(1, 0, out));
+  EXPECT_EQ(out[0], std::byte{5});
+  EXPECT_EQ(pc.hits(), 1u);
+}
+
+TEST_F(PageCacheFixture, FillInsertsClean) {
+  pc.fill(1, 0, page(7), recorder());
+  EXPECT_EQ(pc.flush(recorder()), 0u);  // clean pages don't flush
+  std::vector<std::byte> out(4096);
+  EXPECT_TRUE(pc.read(1, 0, out));
+}
+
+TEST_F(PageCacheFixture, FillNeverClobbersExisting) {
+  pc.write(1, 0, page(1), recorder());
+  pc.fill(1, 0, page(2), recorder());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(pc.read(1, 0, out));
+  EXPECT_EQ(out[0], std::byte{1});
+  EXPECT_EQ(pc.flush(recorder()), 1u);  // still dirty
+}
+
+TEST_F(PageCacheFixture, LruEvictionWritesBackDirty) {
+  for (std::uint64_t lpn = 0; lpn < 16; ++lpn)
+    pc.write(1, lpn, page(static_cast<std::uint8_t>(lpn)), recorder());
+  EXPECT_EQ(pc.resident_pages(), 16u);
+  // One more insert evicts lpn 0 (oldest) with writeback.
+  pc.write(1, 100, page(99), recorder());
+  EXPECT_EQ(pc.resident_pages(), 16u);
+  ASSERT_TRUE(written.contains({1, 0}));
+  EXPECT_EQ(written.at({1, 0}), (std::byte{0}));
+  std::vector<std::byte> out(4096);
+  EXPECT_FALSE(pc.read(1, 0, out));
+}
+
+TEST_F(PageCacheFixture, ReadPromotesAgainstEviction) {
+  for (std::uint64_t lpn = 0; lpn < 16; ++lpn)
+    pc.write(1, lpn, page(1), recorder());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(pc.read(1, 0, out));  // promote the oldest
+  pc.write(1, 100, page(2), recorder());
+  EXPECT_TRUE(pc.read(1, 0, out));    // survived
+  EXPECT_FALSE(pc.read(1, 1, out));   // lpn 1 evicted instead
+}
+
+TEST_F(PageCacheFixture, FlushClearsDirtyBits) {
+  pc.write(1, 0, page(3), recorder());
+  EXPECT_EQ(pc.flush(recorder()), 1u);
+  EXPECT_EQ(pc.flush(recorder()), 0u);
+  EXPECT_EQ(written.at({1, 0}), (std::byte{3}));
+}
+
+TEST_F(PageCacheFixture, InvalidateInodeWritesBackAndDrops) {
+  pc.write(1, 0, page(1), recorder());
+  pc.write(1, 1, page(2), recorder());
+  pc.write(2, 0, page(3), recorder());
+  pc.invalidate_inode(1, recorder());
+  EXPECT_EQ(pc.resident_pages(), 1u);
+  EXPECT_EQ(written.size(), 2u);
+  std::vector<std::byte> out(4096);
+  EXPECT_TRUE(pc.read(2, 0, out));
+}
+
+TEST(PageCacheSharded, ConcurrentAccess) {
+  PageCache pc(1024, 4096, 8);
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  auto noop = [](std::uint64_t, std::uint64_t, std::span<const std::byte>) {};
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&pc, t, &errors, &noop] {
+      std::vector<std::byte> out(4096);
+      for (int i = 0; i < 2000; ++i) {
+        const auto lpn = static_cast<std::uint64_t>(i % 64);
+        pc.write(static_cast<std::uint64_t>(t), lpn,
+                 std::vector<std::byte>(4096, static_cast<std::byte>(t)),
+                 noop);
+        if (pc.read(static_cast<std::uint64_t>(t), lpn, out) &&
+            out[0] != static_cast<std::byte>(t))
+          ++errors;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace dpc::cache

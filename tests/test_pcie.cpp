@@ -1,0 +1,163 @@
+#include "pcie/dma.hpp"
+#include "pcie/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/calib.hpp"
+
+namespace dpc::pcie {
+namespace {
+
+TEST(MemoryRegion, BoundsChecked) {
+  MemoryRegion r("test", 1024);
+  EXPECT_EQ(r.size(), 1024u);
+  EXPECT_NO_THROW(r.bytes(0, 1024));
+  EXPECT_THROW(r.bytes(1, 1024), dpc::CheckFailure);
+  EXPECT_THROW(r.bytes(1025, 0), dpc::CheckFailure);
+}
+
+TEST(MemoryRegion, TypedRoundTrip) {
+  MemoryRegion r("test", 4096);
+  r.store<std::uint64_t>(16, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.load<std::uint64_t>(16), 0xDEADBEEFCAFEBABEULL);
+  struct Pod {
+    int a;
+    double b;
+  };
+  r.store(64, Pod{7, 2.5});
+  const auto p = r.load<Pod>(64);
+  EXPECT_EQ(p.a, 7);
+  EXPECT_EQ(p.b, 2.5);
+}
+
+TEST(MemoryRegion, AtomicViews) {
+  MemoryRegion r("test", 4096);
+  auto w = r.atomic_u32(128);
+  w.store(41);
+  EXPECT_EQ(w.fetch_add(1), 41u);
+  EXPECT_EQ(r.load<std::uint32_t>(128), 42u);
+  EXPECT_THROW(r.atomic_u32(129), dpc::CheckFailure);  // unaligned
+  EXPECT_THROW(r.atomic_u64(132), dpc::CheckFailure);
+}
+
+TEST(MemoryRegion, FillSetsEveryByte) {
+  MemoryRegion r("test", 256);
+  r.fill(std::byte{0xAB});
+  for (auto b : r.bytes(0, 256)) EXPECT_EQ(b, std::byte{0xAB});
+}
+
+TEST(RegionAllocator, AlignsAndExhausts) {
+  MemoryRegion r("test", 4096);
+  RegionAllocator a(r);
+  const auto x = a.alloc(10, 64);
+  const auto y = a.alloc(10, 64);
+  EXPECT_EQ(x % 64, 0u);
+  EXPECT_EQ(y % 64, 0u);
+  EXPECT_GE(y, x + 10);
+  EXPECT_THROW(a.alloc(1 << 20), dpc::CheckFailure);
+}
+
+TEST(DmaEngine, TransfersMoveBytesAndCount) {
+  MemoryRegion host("host", 8192), dpu("dpu", 8192);
+  DmaEngine dma(host, dpu);
+  const char msg[] = "hello, dpu";
+  host.write(100, std::as_bytes(std::span{msg}));
+  const auto cost = dma.transfer(DmaDir::kHostToDpu, 100, 200, sizeof(msg),
+                                 DmaClass::kData);
+  EXPECT_GT(cost.ns, 0);
+  char back[sizeof(msg)];
+  dpu.read(200, std::as_writable_bytes(std::span{back}));
+  EXPECT_STREQ(back, msg);
+  EXPECT_EQ(dma.counters().ops(DmaClass::kData), 1u);
+  EXPECT_EQ(dma.counters().bytes(DmaClass::kData), sizeof(msg));
+  EXPECT_EQ(dma.counters().ops(DmaClass::kDescriptor), 0u);
+}
+
+TEST(DmaEngine, ReadWriteHostScratch) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  std::vector<std::byte> scratch(64, std::byte{0x5A});
+  dma.write_host(512, scratch, DmaClass::kDescriptor);
+  std::vector<std::byte> back(64);
+  dma.read_host(512, back, DmaClass::kDescriptor);
+  EXPECT_EQ(back, scratch);
+  EXPECT_EQ(dma.counters().ops(DmaClass::kDescriptor), 2u);
+}
+
+TEST(DmaEngine, DoorbellVisibleOnDpu) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  dma.doorbell(64, 17);
+  EXPECT_EQ(dpu.atomic_u32(64).load(), 17u);
+  EXPECT_EQ(dma.counters().ops(DmaClass::kDoorbell), 1u);
+}
+
+TEST(DmaEngine, AtomicCasSemantics) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  host.atomic_u32(256).store(0);
+  auto r1 = dma.atomic_cas_host(256, 0, 1);
+  EXPECT_TRUE(r1.success);
+  auto r2 = dma.atomic_cas_host(256, 0, 2);
+  EXPECT_FALSE(r2.success);
+  EXPECT_EQ(r2.observed, 1u);
+  auto r3 = dma.atomic_swap_host(256, 9);
+  EXPECT_EQ(r3.observed, 1u);
+  EXPECT_EQ(dma.atomic_fadd_host(256, 3), 9u);
+  EXPECT_EQ(host.atomic_u32(256).load(), 12u);
+  EXPECT_EQ(dma.counters().ops(DmaClass::kAtomic), 4u);
+}
+
+TEST(DmaEngine, CostModelScalesWithBytes) {
+  MemoryRegion host("host", 1 << 20), dpu("dpu", 1 << 20);
+  DmaEngine dma(host, dpu);
+  const auto small = dma.transfer(DmaDir::kHostToDpu, 0, 0, 64,
+                                  DmaClass::kData);
+  const auto big = dma.transfer(DmaDir::kHostToDpu, 0, 0, 512 * 1024,
+                                DmaClass::kData);
+  EXPECT_GT(big.ns, small.ns);
+  // 512 KB at 15.7 GB/s ≈ 33 µs (+ setup).
+  EXPECT_NEAR(big.us(), 512.0 * 1024 / (sim::calib::kPcieGBps * 1e3) +
+                            sim::calib::kDmaSetup.us(),
+              2.0);
+}
+
+TEST(DmaEngine, ConcurrentAtomicsAreExact) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  host.atomic_u32(0).store(0);
+  constexpr int kThreads = 8, kIters = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) dma.atomic_fadd_host(0, 1);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(host.atomic_u32(0).load(),
+            static_cast<std::uint32_t>(kThreads * kIters));
+}
+
+TEST(DmaScope, MeasuresDelta) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  dma.transfer(DmaDir::kHostToDpu, 0, 0, 64, DmaClass::kData);
+  DmaScope scope(dma.counters());
+  dma.transfer(DmaDir::kHostToDpu, 0, 0, 64, DmaClass::kData);
+  dma.transfer(DmaDir::kDpuToHost, 0, 0, 32, DmaClass::kDescriptor);
+  EXPECT_EQ(scope.ops(), 2u);
+  EXPECT_EQ(scope.bytes(), 96u);
+}
+
+TEST(DmaCounters, ResetClearsAll) {
+  MemoryRegion host("host", 4096), dpu("dpu", 4096);
+  DmaEngine dma(host, dpu);
+  dma.transfer(DmaDir::kHostToDpu, 0, 0, 64, DmaClass::kData);
+  dma.counters().reset();
+  EXPECT_EQ(dma.counters().total_ops(), 0u);
+  EXPECT_EQ(dma.counters().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc::pcie

@@ -1,0 +1,155 @@
+#include "sim/mva.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/check.hpp"
+
+namespace dpc::sim {
+namespace {
+
+TEST(Mva, SingleStationOneCustomer) {
+  // One customer, one queueing station: X = 1/D, R = D.
+  ClosedNetwork net;
+  net.add_queueing("cpu", 1, micros(10));
+  const auto res = net.solve(1);
+  EXPECT_NEAR(res.response.us(), 10.0, 1e-9);
+  EXPECT_NEAR(res.throughput_ops, 1e6 / 10.0, 1.0);
+  EXPECT_NEAR(res.utilization[0], 1.0, 1e-9);
+}
+
+TEST(Mva, SingleStationSaturates) {
+  // With N customers on a single server: X capped at 1/D, R grows as N·D.
+  ClosedNetwork net;
+  net.add_queueing("cpu", 1, micros(10));
+  const auto res = net.solve(32);
+  EXPECT_NEAR(res.throughput_ops, 1e5, 1.0);
+  EXPECT_NEAR(res.response.us(), 320.0, 1e-6);
+}
+
+TEST(Mva, DelayStationNeverQueues) {
+  // Pure delay: X scales linearly with N, R constant.
+  ClosedNetwork net;
+  net.add_delay("net", micros(50));
+  const auto r1 = net.solve(1);
+  const auto r8 = net.solve(8);
+  EXPECT_NEAR(r1.response.us(), 50.0, 1e-9);
+  EXPECT_NEAR(r8.response.us(), 50.0, 1e-9);
+  EXPECT_NEAR(r8.throughput_ops / r1.throughput_ops, 8.0, 1e-6);
+}
+
+TEST(Mva, MultiServerScalesUntilServersBusy) {
+  // 4 servers of demand D: up to 4 customers see ~no queueing.
+  ClosedNetwork net;
+  net.add_queueing("ssd", 4, micros(88));
+  const auto r1 = net.solve(1);
+  const auto r4 = net.solve(4);
+  const auto r32 = net.solve(32);
+  EXPECT_NEAR(r1.response.us(), 88.0, 1.0);
+  // At 4 customers the Seidmann model still has modest queueing.
+  EXPECT_LT(r4.response.us(), 2.0 * 88.0);
+  // Saturated: X = servers/D.
+  EXPECT_NEAR(r32.throughput_ops, 4.0 / 88e-6, 0.02 * 4.0 / 88e-6);
+}
+
+TEST(Mva, BottleneckDominates) {
+  // Two stations; the slower one bounds throughput.
+  ClosedNetwork net;
+  net.add_queueing("fast", 1, micros(1));
+  net.add_queueing("slow", 1, micros(10));
+  const auto res = net.solve(64);
+  EXPECT_NEAR(res.throughput_ops, 1e5, 1e3);
+  EXPECT_GT(res.utilization[1], 0.99);
+  EXPECT_NEAR(res.utilization[0], 0.1, 0.01);
+}
+
+TEST(Mva, ThinkTimeReducesPressure) {
+  ClosedNetwork net;
+  net.add_queueing("cpu", 1, micros(10));
+  net.set_think_time(micros(990));
+  const auto res = net.solve(10);
+  // 10 customers with 1ms cycle: X ≈ 10 ops/ms, utilization ≈ 10%.
+  EXPECT_NEAR(res.throughput_ops, 1e4, 200.0);
+  EXPECT_LT(res.utilization[0], 0.15);
+}
+
+TEST(Mva, LittlesLawHolds) {
+  ClosedNetwork net;
+  net.add_queueing("a", 2, micros(20));
+  net.add_queueing("b", 1, micros(5));
+  net.add_delay("net", micros(30));
+  for (int n : {1, 2, 4, 8, 16, 64}) {
+    const auto res = net.solve(n);
+    // N = X * (R + Z); Z = 0 here. Response is truncated to whole ns, so
+    // allow that rounding.
+    const double n_check =
+        res.throughput_ops * res.response.us() / 1e6;
+    EXPECT_NEAR(n_check, n, n * 1e-3) << "at N=" << n;
+  }
+}
+
+TEST(Mva, ThroughputMonotoneInCustomers) {
+  ClosedNetwork net;
+  net.add_queueing("cpu", 4, micros(12));
+  net.add_delay("link", micros(6));
+  double prev = 0.0;
+  for (int n = 1; n <= 128; n *= 2) {
+    const auto res = net.solve(n);
+    EXPECT_GE(res.throughput_ops, prev - 1e-9) << "at N=" << n;
+    prev = res.throughput_ops;
+  }
+}
+
+TEST(Mva, SweepMatchesIndividualSolves) {
+  ClosedNetwork net;
+  net.add_queueing("cpu", 2, micros(7));
+  const auto sweep = net.solve_sweep({1, 4, 16});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].throughput_ops, net.solve(1).throughput_ops);
+  EXPECT_EQ(sweep[2].throughput_ops, net.solve(16).throughput_ops);
+}
+
+TEST(Mva, CpuUsageHelpers) {
+  // 100K ops/s at 10 µs per op = 1 busy core.
+  EXPECT_NEAR(cpu_busy_cores(1e5, micros(10)), 1.0, 1e-9);
+  EXPECT_NEAR(cpu_usage_fraction(1e5, micros(10), 4), 0.25, 1e-9);
+  // Clamped at 1.
+  EXPECT_EQ(cpu_usage_fraction(1e9, micros(10), 1), 1.0);
+}
+
+TEST(Mva, RejectsBadInput) {
+  ClosedNetwork net;
+  net.add_queueing("cpu", 1, micros(1));
+  EXPECT_THROW(net.solve(0), CheckFailure);
+  EXPECT_THROW(net.add_queueing("bad", 0, micros(1)), CheckFailure);
+  EXPECT_THROW(net.add_queueing("bad", 1, Nanos{-5}), CheckFailure);
+}
+
+/// Property sweep: utilization law U = X·D/m holds for every station.
+class MvaUtilization : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvaUtilization, UtilizationLaw) {
+  ClosedNetwork net;
+  net.add_queueing("cpu", 3, micros(9));
+  net.add_queueing("dev", 8, micros(40));
+  net.add_delay("net", micros(16));
+  const int n = GetParam();
+  const auto res = net.solve(n);
+  for (int i = 0; i < net.station_count(); ++i) {
+    const auto& st = net.station(i);
+    if (st.kind == StationKind::kDelay) continue;
+    const double expect = res.throughput_ops *
+                          static_cast<double>(st.demand.ns) / 1e9 /
+                          st.servers;
+    EXPECT_NEAR(res.utilization[static_cast<std::size_t>(i)], expect, 1e-9);
+    EXPECT_LE(res.utilization[static_cast<std::size_t>(i)], 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, MvaUtilization,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+}  // namespace
+}  // namespace dpc::sim

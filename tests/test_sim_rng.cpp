@@ -1,0 +1,74 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpc::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundRespected) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(1), 0u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng r(42);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[r.next_below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets / 10)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(13);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads, 30000, 1000);
+  Rng r2(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r2.next_bool(0.0));
+    EXPECT_TRUE(r2.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(r.next_u64());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dpc::sim

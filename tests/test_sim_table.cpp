@@ -1,0 +1,51 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace dpc::sim {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "iops"});
+  t.add_row({"nvme-fs", "123456"});
+  t.add_row({"virtio", "42"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("nvme-fs"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtSiUnits) {
+  EXPECT_EQ(Table::fmt_si(1500.0, 1), "1.5K");
+  EXPECT_EQ(Table::fmt_si(2.5e6, 1), "2.5M");
+  EXPECT_EQ(Table::fmt_si(3.2e9, 1), "3.2G");
+  EXPECT_EQ(Table::fmt_si(999.0, 0), "999");
+}
+
+}  // namespace
+}  // namespace dpc::sim

@@ -1,0 +1,106 @@
+#include "ssd/ssd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/calib.hpp"
+
+namespace dpc::ssd {
+namespace {
+
+TEST(Ssd, UnwrittenReadsZero) {
+  SsdModel ssd;
+  std::vector<std::byte> buf(kBlockSize, std::byte{0xFF});
+  ssd.read_block(42, buf);
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Ssd, WriteReadRoundTrip) {
+  SsdModel ssd;
+  std::vector<std::byte> w(kBlockSize);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = static_cast<std::byte>(i & 0xFF);
+  ssd.write_block(7, w);
+  std::vector<std::byte> r(kBlockSize);
+  ssd.read_block(7, r);
+  EXPECT_EQ(r, w);
+  EXPECT_EQ(ssd.blocks_written(), 1u);
+}
+
+TEST(Ssd, PartialWritePreservesRest) {
+  SsdModel ssd;
+  std::vector<std::byte> full(kBlockSize, std::byte{0xAA});
+  ssd.write_block(1, full);
+  std::vector<std::byte> part(8, std::byte{0xBB});
+  ssd.write_block(1, part);
+  std::vector<std::byte> r(kBlockSize);
+  ssd.read_block(1, r);
+  EXPECT_EQ(r[0], std::byte{0xBB});
+  EXPECT_EQ(r[7], std::byte{0xBB});
+  EXPECT_EQ(r[8], std::byte{0xAA});
+}
+
+TEST(Ssd, TrimDiscards) {
+  SsdModel ssd;
+  std::vector<std::byte> w(kBlockSize, std::byte{1});
+  ssd.write_block(5, w);
+  ssd.trim_block(5);
+  EXPECT_EQ(ssd.blocks_written(), 0u);
+  std::vector<std::byte> r(16, std::byte{0xFF});
+  ssd.read_block(5, r);
+  EXPECT_EQ(r[0], std::byte{0});
+}
+
+TEST(Ssd, ServiceTimesMatchDatasheet) {
+  // Table 1: 88 µs read / 14 µs write for one block.
+  EXPECT_EQ(SsdModel::random_service(true, kBlockSize).ns,
+            sim::calib::kSsdReadLat.ns);
+  EXPECT_EQ(SsdModel::random_service(false, kBlockSize).ns,
+            sim::calib::kSsdWriteLat.ns);
+  // Larger I/Os add streaming time.
+  EXPECT_GT(SsdModel::random_service(true, 64 * 1024).ns,
+            sim::calib::kSsdReadLat.ns);
+}
+
+TEST(Ssd, ChannelBoundedIops) {
+  // The Fig. 7 saturation points: read ~364K IOPS, write ~285K IOPS.
+  const double read_iops =
+      SsdModel::channels(true) /
+      (static_cast<double>(sim::calib::kSsdReadLat.ns) / 1e9);
+  const double write_iops =
+      SsdModel::channels(false) /
+      (static_cast<double>(sim::calib::kSsdWriteLat.ns) / 1e9);
+  EXPECT_NEAR(read_iops, 364000, 10000);
+  EXPECT_NEAR(write_iops, 285000, 10000);
+}
+
+TEST(Ssd, SequentialBandwidthCaps) {
+  const auto t = SsdModel::sequential_transfer(true, 1 << 30);
+  EXPECT_NEAR(t.sec(), 1.0 / sim::calib::kSsdSeqReadGBps * 1.0737, 0.02);
+}
+
+TEST(Ssd, ConcurrentDisjointWrites) {
+  SsdModel ssd;
+  constexpr int kThreads = 8;
+  constexpr int kBlocks = 200;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&ssd, t] {
+      std::vector<std::byte> w(kBlockSize, static_cast<std::byte>(t + 1));
+      for (int b = 0; b < kBlocks; ++b)
+        ssd.write_block(static_cast<std::uint64_t>(t) * kBlocks +
+                            static_cast<std::uint64_t>(b),
+                        w);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(ssd.blocks_written(),
+            static_cast<std::uint64_t>(kThreads) * kBlocks);
+  std::vector<std::byte> r(kBlockSize);
+  ssd.read_block(3 * kBlocks + 17, r);
+  EXPECT_EQ(r[0], std::byte{4});
+}
+
+}  // namespace
+}  // namespace dpc::ssd
