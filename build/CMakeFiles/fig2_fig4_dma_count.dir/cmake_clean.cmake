@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fig4_dma_count.dir/bench/fig2_fig4_dma_count.cpp.o"
+  "CMakeFiles/fig2_fig4_dma_count.dir/bench/fig2_fig4_dma_count.cpp.o.d"
+  "bench/fig2_fig4_dma_count"
+  "bench/fig2_fig4_dma_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig4_dma_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_fig4_dma_count.
+# This may be replaced when dependencies are built.

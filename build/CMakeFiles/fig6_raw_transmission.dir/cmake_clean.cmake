@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_raw_transmission.dir/bench/fig6_raw_transmission.cpp.o"
+  "CMakeFiles/fig6_raw_transmission.dir/bench/fig6_raw_transmission.cpp.o.d"
+  "bench/fig6_raw_transmission"
+  "bench/fig6_raw_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_raw_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_standalone.dir/bench/fig7_standalone.cpp.o"
+  "CMakeFiles/fig7_standalone.dir/bench/fig7_standalone.cpp.o.d"
+  "bench/fig7_standalone"
+  "bench/fig7_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

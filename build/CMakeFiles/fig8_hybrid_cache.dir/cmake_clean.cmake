@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hybrid_cache.dir/bench/fig8_hybrid_cache.cpp.o"
+  "CMakeFiles/fig8_hybrid_cache.dir/bench/fig8_hybrid_cache.cpp.o.d"
+  "bench/fig8_hybrid_cache"
+  "bench/fig8_hybrid_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hybrid_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dfs.dir/bench/fig9_dfs.cpp.o"
+  "CMakeFiles/fig9_dfs.dir/bench/fig9_dfs.cpp.o.d"
+  "bench/fig9_dfs"
+  "bench/fig9_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

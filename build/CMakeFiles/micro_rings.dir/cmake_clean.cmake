@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rings.dir/bench/micro_rings.cpp.o"
+  "CMakeFiles/micro_rings.dir/bench/micro_rings.cpp.o.d"
+  "bench/micro_rings"
+  "bench/micro_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_prefetch.dir/cache_prefetch.cpp.o"
+  "CMakeFiles/cache_prefetch.dir/cache_prefetch.cpp.o.d"
+  "cache_prefetch"
+  "cache_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_workload.dir/dfs_workload.cpp.o"
+  "CMakeFiles/dfs_workload.dir/dfs_workload.cpp.o.d"
+  "dfs_workload"
+  "dfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskless_server.dir/diskless_server.cpp.o"
+  "CMakeFiles/diskless_server.dir/diskless_server.cpp.o.d"
+  "diskless_server"
+  "diskless_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskless_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

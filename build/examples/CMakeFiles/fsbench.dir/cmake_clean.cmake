@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsbench.dir/fsbench.cpp.o"
+  "CMakeFiles/fsbench.dir/fsbench.cpp.o.d"
+  "fsbench"
+  "fsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvfsck.dir/kvfsck.cpp.o"
+  "CMakeFiles/kvfsck.dir/kvfsck.cpp.o.d"
+  "kvfsck"
+  "kvfsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvfsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

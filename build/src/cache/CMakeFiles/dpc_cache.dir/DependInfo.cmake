@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/control_plane.cpp" "src/cache/CMakeFiles/dpc_cache.dir/control_plane.cpp.o" "gcc" "src/cache/CMakeFiles/dpc_cache.dir/control_plane.cpp.o.d"
+  "/root/repo/src/cache/host_plane.cpp" "src/cache/CMakeFiles/dpc_cache.dir/host_plane.cpp.o" "gcc" "src/cache/CMakeFiles/dpc_cache.dir/host_plane.cpp.o.d"
+  "/root/repo/src/cache/layout.cpp" "src/cache/CMakeFiles/dpc_cache.dir/layout.cpp.o" "gcc" "src/cache/CMakeFiles/dpc_cache.dir/layout.cpp.o.d"
+  "/root/repo/src/cache/page_cache.cpp" "src/cache/CMakeFiles/dpc_cache.dir/page_cache.cpp.o" "gcc" "src/cache/CMakeFiles/dpc_cache.dir/page_cache.cpp.o.d"
+  "/root/repo/src/cache/policy.cpp" "src/cache/CMakeFiles/dpc_cache.dir/policy.cpp.o" "gcc" "src/cache/CMakeFiles/dpc_cache.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dpc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/dpc_dpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

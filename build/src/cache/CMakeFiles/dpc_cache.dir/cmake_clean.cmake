@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_cache.dir/control_plane.cpp.o"
+  "CMakeFiles/dpc_cache.dir/control_plane.cpp.o.d"
+  "CMakeFiles/dpc_cache.dir/host_plane.cpp.o"
+  "CMakeFiles/dpc_cache.dir/host_plane.cpp.o.d"
+  "CMakeFiles/dpc_cache.dir/layout.cpp.o"
+  "CMakeFiles/dpc_cache.dir/layout.cpp.o.d"
+  "CMakeFiles/dpc_cache.dir/page_cache.cpp.o"
+  "CMakeFiles/dpc_cache.dir/page_cache.cpp.o.d"
+  "CMakeFiles/dpc_cache.dir/policy.cpp.o"
+  "CMakeFiles/dpc_cache.dir/policy.cpp.o.d"
+  "libdpc_cache.a"
+  "libdpc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

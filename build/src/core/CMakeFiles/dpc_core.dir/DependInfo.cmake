@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dpc_system.cpp" "src/core/CMakeFiles/dpc_core.dir/dpc_system.cpp.o" "gcc" "src/core/CMakeFiles/dpc_core.dir/dpc_system.cpp.o.d"
+  "/root/repo/src/core/dpfs_system.cpp" "src/core/CMakeFiles/dpc_core.dir/dpfs_system.cpp.o" "gcc" "src/core/CMakeFiles/dpc_core.dir/dpfs_system.cpp.o.d"
+  "/root/repo/src/core/fileproto.cpp" "src/core/CMakeFiles/dpc_core.dir/fileproto.cpp.o" "gcc" "src/core/CMakeFiles/dpc_core.dir/fileproto.cpp.o.d"
+  "/root/repo/src/core/io_dispatch.cpp" "src/core/CMakeFiles/dpc_core.dir/io_dispatch.cpp.o" "gcc" "src/core/CMakeFiles/dpc_core.dir/io_dispatch.cpp.o.d"
+  "/root/repo/src/core/virtual_client.cpp" "src/core/CMakeFiles/dpc_core.dir/virtual_client.cpp.o" "gcc" "src/core/CMakeFiles/dpc_core.dir/virtual_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/dpc_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/dpc_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvfs/CMakeFiles/dpc_kvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dpc_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/dpc_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dpc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dpc_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

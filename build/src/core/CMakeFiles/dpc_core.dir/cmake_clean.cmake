@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_core.dir/dpc_system.cpp.o"
+  "CMakeFiles/dpc_core.dir/dpc_system.cpp.o.d"
+  "CMakeFiles/dpc_core.dir/dpfs_system.cpp.o"
+  "CMakeFiles/dpc_core.dir/dpfs_system.cpp.o.d"
+  "CMakeFiles/dpc_core.dir/fileproto.cpp.o"
+  "CMakeFiles/dpc_core.dir/fileproto.cpp.o.d"
+  "CMakeFiles/dpc_core.dir/io_dispatch.cpp.o"
+  "CMakeFiles/dpc_core.dir/io_dispatch.cpp.o.d"
+  "CMakeFiles/dpc_core.dir/virtual_client.cpp.o"
+  "CMakeFiles/dpc_core.dir/virtual_client.cpp.o.d"
+  "libdpc_core.a"
+  "libdpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

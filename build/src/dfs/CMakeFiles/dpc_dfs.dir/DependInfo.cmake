@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/backend.cpp" "src/dfs/CMakeFiles/dpc_dfs.dir/backend.cpp.o" "gcc" "src/dfs/CMakeFiles/dpc_dfs.dir/backend.cpp.o.d"
+  "/root/repo/src/dfs/client.cpp" "src/dfs/CMakeFiles/dpc_dfs.dir/client.cpp.o" "gcc" "src/dfs/CMakeFiles/dpc_dfs.dir/client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/dpc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dpc_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_dfs.dir/backend.cpp.o"
+  "CMakeFiles/dpc_dfs.dir/backend.cpp.o.d"
+  "CMakeFiles/dpc_dfs.dir/client.cpp.o"
+  "CMakeFiles/dpc_dfs.dir/client.cpp.o.d"
+  "libdpc_dfs.a"
+  "libdpc_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

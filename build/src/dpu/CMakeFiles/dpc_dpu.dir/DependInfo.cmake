@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpu/compress.cpp" "src/dpu/CMakeFiles/dpc_dpu.dir/compress.cpp.o" "gcc" "src/dpu/CMakeFiles/dpc_dpu.dir/compress.cpp.o.d"
+  "/root/repo/src/dpu/dpu.cpp" "src/dpu/CMakeFiles/dpc_dpu.dir/dpu.cpp.o" "gcc" "src/dpu/CMakeFiles/dpc_dpu.dir/dpu.cpp.o.d"
+  "/root/repo/src/dpu/worker_pool.cpp" "src/dpu/CMakeFiles/dpc_dpu.dir/worker_pool.cpp.o" "gcc" "src/dpu/CMakeFiles/dpc_dpu.dir/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dpc_ec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_dpu.dir/compress.cpp.o"
+  "CMakeFiles/dpc_dpu.dir/compress.cpp.o.d"
+  "CMakeFiles/dpc_dpu.dir/dpu.cpp.o"
+  "CMakeFiles/dpc_dpu.dir/dpu.cpp.o.d"
+  "CMakeFiles/dpc_dpu.dir/worker_pool.cpp.o"
+  "CMakeFiles/dpc_dpu.dir/worker_pool.cpp.o.d"
+  "libdpc_dpu.a"
+  "libdpc_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

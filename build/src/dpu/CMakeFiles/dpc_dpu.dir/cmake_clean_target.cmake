@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpc_dpu.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_ec.dir/crc32c.cpp.o"
+  "CMakeFiles/dpc_ec.dir/crc32c.cpp.o.d"
+  "CMakeFiles/dpc_ec.dir/gf256.cpp.o"
+  "CMakeFiles/dpc_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/dpc_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/dpc_ec.dir/reed_solomon.cpp.o.d"
+  "libdpc_ec.a"
+  "libdpc_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_hostfs.dir/ext4like.cpp.o"
+  "CMakeFiles/dpc_hostfs.dir/ext4like.cpp.o.d"
+  "libdpc_hostfs.a"
+  "libdpc_hostfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_hostfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_kv.dir/kv_store.cpp.o"
+  "CMakeFiles/dpc_kv.dir/kv_store.cpp.o.d"
+  "CMakeFiles/dpc_kv.dir/remote.cpp.o"
+  "CMakeFiles/dpc_kv.dir/remote.cpp.o.d"
+  "libdpc_kv.a"
+  "libdpc_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

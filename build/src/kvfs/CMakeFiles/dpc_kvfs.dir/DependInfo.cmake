@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvfs/fsck.cpp" "src/kvfs/CMakeFiles/dpc_kvfs.dir/fsck.cpp.o" "gcc" "src/kvfs/CMakeFiles/dpc_kvfs.dir/fsck.cpp.o.d"
+  "/root/repo/src/kvfs/kvfs.cpp" "src/kvfs/CMakeFiles/dpc_kvfs.dir/kvfs.cpp.o" "gcc" "src/kvfs/CMakeFiles/dpc_kvfs.dir/kvfs.cpp.o.d"
+  "/root/repo/src/kvfs/types.cpp" "src/kvfs/CMakeFiles/dpc_kvfs.dir/types.cpp.o" "gcc" "src/kvfs/CMakeFiles/dpc_kvfs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/dpc_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_kvfs.dir/fsck.cpp.o"
+  "CMakeFiles/dpc_kvfs.dir/fsck.cpp.o.d"
+  "CMakeFiles/dpc_kvfs.dir/kvfs.cpp.o"
+  "CMakeFiles/dpc_kvfs.dir/kvfs.cpp.o.d"
+  "CMakeFiles/dpc_kvfs.dir/types.cpp.o"
+  "CMakeFiles/dpc_kvfs.dir/types.cpp.o.d"
+  "libdpc_kvfs.a"
+  "libdpc_kvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_kvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

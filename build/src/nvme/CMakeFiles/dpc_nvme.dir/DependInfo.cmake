@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/ini.cpp" "src/nvme/CMakeFiles/dpc_nvme.dir/ini.cpp.o" "gcc" "src/nvme/CMakeFiles/dpc_nvme.dir/ini.cpp.o.d"
+  "/root/repo/src/nvme/queue_pair.cpp" "src/nvme/CMakeFiles/dpc_nvme.dir/queue_pair.cpp.o" "gcc" "src/nvme/CMakeFiles/dpc_nvme.dir/queue_pair.cpp.o.d"
+  "/root/repo/src/nvme/spec.cpp" "src/nvme/CMakeFiles/dpc_nvme.dir/spec.cpp.o" "gcc" "src/nvme/CMakeFiles/dpc_nvme.dir/spec.cpp.o.d"
+  "/root/repo/src/nvme/tgt.cpp" "src/nvme/CMakeFiles/dpc_nvme.dir/tgt.cpp.o" "gcc" "src/nvme/CMakeFiles/dpc_nvme.dir/tgt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_nvme.dir/ini.cpp.o"
+  "CMakeFiles/dpc_nvme.dir/ini.cpp.o.d"
+  "CMakeFiles/dpc_nvme.dir/queue_pair.cpp.o"
+  "CMakeFiles/dpc_nvme.dir/queue_pair.cpp.o.d"
+  "CMakeFiles/dpc_nvme.dir/spec.cpp.o"
+  "CMakeFiles/dpc_nvme.dir/spec.cpp.o.d"
+  "CMakeFiles/dpc_nvme.dir/tgt.cpp.o"
+  "CMakeFiles/dpc_nvme.dir/tgt.cpp.o.d"
+  "libdpc_nvme.a"
+  "libdpc_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

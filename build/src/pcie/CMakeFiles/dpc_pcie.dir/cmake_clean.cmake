@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_pcie.dir/dma.cpp.o"
+  "CMakeFiles/dpc_pcie.dir/dma.cpp.o.d"
+  "CMakeFiles/dpc_pcie.dir/memory.cpp.o"
+  "CMakeFiles/dpc_pcie.dir/memory.cpp.o.d"
+  "libdpc_pcie.a"
+  "libdpc_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/histogram.cpp" "src/sim/CMakeFiles/dpc_sim.dir/histogram.cpp.o" "gcc" "src/sim/CMakeFiles/dpc_sim.dir/histogram.cpp.o.d"
+  "/root/repo/src/sim/mva.cpp" "src/sim/CMakeFiles/dpc_sim.dir/mva.cpp.o" "gcc" "src/sim/CMakeFiles/dpc_sim.dir/mva.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/dpc_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/dpc_sim.dir/table.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/dpc_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/dpc_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

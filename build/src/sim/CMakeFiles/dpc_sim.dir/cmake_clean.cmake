@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_sim.dir/histogram.cpp.o"
+  "CMakeFiles/dpc_sim.dir/histogram.cpp.o.d"
+  "CMakeFiles/dpc_sim.dir/mva.cpp.o"
+  "CMakeFiles/dpc_sim.dir/mva.cpp.o.d"
+  "CMakeFiles/dpc_sim.dir/table.cpp.o"
+  "CMakeFiles/dpc_sim.dir/table.cpp.o.d"
+  "CMakeFiles/dpc_sim.dir/workload.cpp.o"
+  "CMakeFiles/dpc_sim.dir/workload.cpp.o.d"
+  "libdpc_sim.a"
+  "libdpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_ssd.dir/ssd.cpp.o"
+  "CMakeFiles/dpc_ssd.dir/ssd.cpp.o.d"
+  "libdpc_ssd.a"
+  "libdpc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

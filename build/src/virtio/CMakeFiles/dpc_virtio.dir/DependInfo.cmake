@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virtio/fuse.cpp" "src/virtio/CMakeFiles/dpc_virtio.dir/fuse.cpp.o" "gcc" "src/virtio/CMakeFiles/dpc_virtio.dir/fuse.cpp.o.d"
+  "/root/repo/src/virtio/virtio_fs.cpp" "src/virtio/CMakeFiles/dpc_virtio.dir/virtio_fs.cpp.o" "gcc" "src/virtio/CMakeFiles/dpc_virtio.dir/virtio_fs.cpp.o.d"
+  "/root/repo/src/virtio/virtqueue.cpp" "src/virtio/CMakeFiles/dpc_virtio.dir/virtqueue.cpp.o" "gcc" "src/virtio/CMakeFiles/dpc_virtio.dir/virtqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

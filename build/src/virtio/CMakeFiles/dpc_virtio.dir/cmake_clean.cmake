@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_virtio.dir/fuse.cpp.o"
+  "CMakeFiles/dpc_virtio.dir/fuse.cpp.o.d"
+  "CMakeFiles/dpc_virtio.dir/virtio_fs.cpp.o"
+  "CMakeFiles/dpc_virtio.dir/virtio_fs.cpp.o.d"
+  "CMakeFiles/dpc_virtio.dir/virtqueue.cpp.o"
+  "CMakeFiles/dpc_virtio.dir/virtqueue.cpp.o.d"
+  "libdpc_virtio.a"
+  "libdpc_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

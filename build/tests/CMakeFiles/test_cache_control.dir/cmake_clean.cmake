@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_control.dir/test_cache_control.cpp.o"
+  "CMakeFiles/test_cache_control.dir/test_cache_control.cpp.o.d"
+  "test_cache_control"
+  "test_cache_control.pdb"
+  "test_cache_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_host.dir/test_cache_host.cpp.o"
+  "CMakeFiles/test_cache_host.dir/test_cache_host.cpp.o.d"
+  "test_cache_host"
+  "test_cache_host.pdb"
+  "test_cache_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_layout.dir/test_cache_layout.cpp.o"
+  "CMakeFiles/test_cache_layout.dir/test_cache_layout.cpp.o.d"
+  "test_cache_layout"
+  "test_cache_layout.pdb"
+  "test_cache_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_policy.dir/test_cache_policy.cpp.o"
+  "CMakeFiles/test_cache_policy.dir/test_cache_policy.cpp.o.d"
+  "test_cache_policy"
+  "test_cache_policy.pdb"
+  "test_cache_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

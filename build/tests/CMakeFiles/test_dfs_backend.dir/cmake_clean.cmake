@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_backend.dir/test_dfs_backend.cpp.o"
+  "CMakeFiles/test_dfs_backend.dir/test_dfs_backend.cpp.o.d"
+  "test_dfs_backend"
+  "test_dfs_backend.pdb"
+  "test_dfs_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

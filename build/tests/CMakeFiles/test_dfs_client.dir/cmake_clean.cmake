@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_client.dir/test_dfs_client.cpp.o"
+  "CMakeFiles/test_dfs_client.dir/test_dfs_client.cpp.o.d"
+  "test_dfs_client"
+  "test_dfs_client.pdb"
+  "test_dfs_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

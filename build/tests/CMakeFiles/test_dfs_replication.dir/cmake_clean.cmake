@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_replication.dir/test_dfs_replication.cpp.o"
+  "CMakeFiles/test_dfs_replication.dir/test_dfs_replication.cpp.o.d"
+  "test_dfs_replication"
+  "test_dfs_replication.pdb"
+  "test_dfs_replication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

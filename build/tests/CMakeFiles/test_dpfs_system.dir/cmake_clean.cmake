@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpfs_system.dir/test_dpfs_system.cpp.o"
+  "CMakeFiles/test_dpfs_system.dir/test_dpfs_system.cpp.o.d"
+  "test_dpfs_system"
+  "test_dpfs_system.pdb"
+  "test_dpfs_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpfs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpu.dir/test_dpu.cpp.o"
+  "CMakeFiles/test_dpu.dir/test_dpu.cpp.o.d"
+  "test_dpu"
+  "test_dpu.pdb"
+  "test_dpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fileproto.dir/test_fileproto.cpp.o"
+  "CMakeFiles/test_fileproto.dir/test_fileproto.cpp.o.d"
+  "test_fileproto"
+  "test_fileproto.pdb"
+  "test_fileproto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fileproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostfs.dir/test_hostfs.cpp.o"
+  "CMakeFiles/test_hostfs.dir/test_hostfs.cpp.o.d"
+  "test_hostfs"
+  "test_hostfs.pdb"
+  "test_hostfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kvfs.cpp" "tests/CMakeFiles/test_kvfs.dir/test_kvfs.cpp.o" "gcc" "tests/CMakeFiles/test_kvfs.dir/test_kvfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/dpc_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostfs/CMakeFiles/dpc_hostfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvfs/CMakeFiles/dpc_kvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/dpc_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dpc_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/dpc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dpc_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/dpc_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/dpc_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dpc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvfs.dir/test_kvfs.cpp.o"
+  "CMakeFiles/test_kvfs.dir/test_kvfs.cpp.o.d"
+  "test_kvfs"
+  "test_kvfs.pdb"
+  "test_kvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimount.dir/test_multimount.cpp.o"
+  "CMakeFiles/test_multimount.dir/test_multimount.cpp.o.d"
+  "test_multimount"
+  "test_multimount.pdb"
+  "test_multimount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mva_sim_crosscheck.dir/test_mva_sim_crosscheck.cpp.o"
+  "CMakeFiles/test_mva_sim_crosscheck.dir/test_mva_sim_crosscheck.cpp.o.d"
+  "test_mva_sim_crosscheck"
+  "test_mva_sim_crosscheck.pdb"
+  "test_mva_sim_crosscheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mva_sim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

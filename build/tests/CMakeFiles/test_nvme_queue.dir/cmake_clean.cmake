@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_queue.dir/test_nvme_queue.cpp.o"
+  "CMakeFiles/test_nvme_queue.dir/test_nvme_queue.cpp.o.d"
+  "test_nvme_queue"
+  "test_nvme_queue.pdb"
+  "test_nvme_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_spec.dir/test_nvme_spec.cpp.o"
+  "CMakeFiles/test_nvme_spec.dir/test_nvme_spec.cpp.o.d"
+  "test_nvme_spec"
+  "test_nvme_spec.pdb"
+  "test_nvme_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

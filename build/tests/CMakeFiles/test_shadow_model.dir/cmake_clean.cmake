@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_model.dir/test_shadow_model.cpp.o"
+  "CMakeFiles/test_shadow_model.dir/test_shadow_model.cpp.o.d"
+  "test_shadow_model"
+  "test_shadow_model.pdb"
+  "test_shadow_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_histogram.dir/test_sim_histogram.cpp.o"
+  "CMakeFiles/test_sim_histogram.dir/test_sim_histogram.cpp.o.d"
+  "test_sim_histogram"
+  "test_sim_histogram.pdb"
+  "test_sim_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

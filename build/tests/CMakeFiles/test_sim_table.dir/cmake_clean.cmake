@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_table.dir/test_sim_table.cpp.o"
+  "CMakeFiles/test_sim_table.dir/test_sim_table.cpp.o.d"
+  "test_sim_table"
+  "test_sim_table.pdb"
+  "test_sim_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

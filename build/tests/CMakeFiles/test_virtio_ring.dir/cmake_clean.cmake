@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_ring.dir/test_virtio_ring.cpp.o"
+  "CMakeFiles/test_virtio_ring.dir/test_virtio_ring.cpp.o.d"
+  "test_virtio_ring"
+  "test_virtio_ring.pdb"
+  "test_virtio_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
