@@ -17,6 +17,10 @@ namespace {
 
 using namespace dpc;
 
+/// Bench-wide metrics registry: the ablation clients pool their counters
+/// here, emitted as BENCH_ablation_offload.json.
+obs::Registry g_registry;
+
 std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
   sim::Rng rng(seed);
   std::vector<std::byte> v(n);
@@ -32,7 +36,8 @@ void redundancy_ablation(const bench::BenchArgs& args) {
   auto run = [&](const char* name, const dfs::ClientConfig& cfg,
                  std::uint32_t io, std::uint64_t off, sim::Table& t) {
     static int seq = 0;
-    dfs::DfsClient client(static_cast<dfs::ClientId>(++seq), mds, ds, cfg);
+    dfs::DfsClient client(static_cast<dfs::ClientId>(++seq), mds, ds,
+                          cfg, &g_registry);
     const auto c =
         client.create("/abl-" + std::to_string(seq), 1 << 20);
     const auto data = bytes(io, 1);
@@ -114,5 +119,6 @@ int main(int argc, char** argv) {
   redundancy_ablation(args);
   compression_ablation(args);
   ec_locus_ablation(args);
+  bench::emit_metrics_json(g_registry, "ablation_offload");
   return 0;
 }

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/calib.hpp"
 #include "sim/mva.hpp"
 #include "sim/table.hpp"
@@ -37,6 +39,22 @@ inline void print_table(const sim::Table& t, const BenchArgs& args) {
 inline void headline(const std::string& title, const std::string& paper_ref) {
   std::cout << "=== " << title << " ===\n"
             << "    reproduces: " << paper_ref << "\n\n";
+}
+
+/// Writes the registry snapshot to BENCH_<name>.json in the working
+/// directory so every figure bench leaves a machine-readable metrics trail
+/// (counters + p50/p95/p99 of each latency histogram) next to its table.
+inline void emit_metrics_json(const obs::Registry& reg,
+                              const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  reg.to_json(out);
+  out << '\n';
+  std::cout << "[metrics] wrote " << path << '\n';
 }
 
 /// Modelled cost of `dma_ops` link transactions moving `bytes` of payload:

@@ -15,6 +15,10 @@ constexpr std::uint32_t kIoSize = 8 * 1024;
 constexpr int kThreads = 32;
 constexpr int kMeasureOps = 400;
 
+/// Bench-wide metrics registry: every measured client pools its counters
+/// here, emitted as BENCH_fig1_motivation.json.
+dpc::obs::Registry g_registry;
+
 struct ClientRun {
   MeanProfile read_prof;
   MeanProfile write_prof;
@@ -22,7 +26,7 @@ struct ClientRun {
 
 ClientRun measure_client(dfs::MdsCluster& mds, dfs::DataServers& ds,
                          const dfs::ClientConfig& cfg, dfs::ClientId id) {
-  dfs::DfsClient client(id, mds, ds, cfg);
+  dfs::DfsClient client(id, mds, ds, cfg, &g_registry);
   // Several files so entry-MDS → home-MDS forwarding averages over homes.
   constexpr int kFiles = 8;
   std::vector<dfs::Ino> inos;
@@ -118,5 +122,6 @@ int main(int argc, char** argv) {
   }
   bench::print_table(t, args);
   std::cout << "paper: optimized client ~4x IOPS, ~4-6x CPU cores\n";
+  bench::emit_metrics_json(g_registry, "fig1_motivation");
   return 0;
 }

@@ -97,5 +97,21 @@ int main(int argc, char** argv) {
                        static_cast<double>(n8.total()),
                    2)
             << "x)\n";
+
+  // Metrics trail: one harness, a batch of 8K ops, so the JSON carries the
+  // per-stage trace histograms (submit→fetch→dispatch→backend→cqe→reap).
+  {
+    core::NvmeRawHarness::Options o;
+    o.queues = 1;
+    o.depth = 8;
+    o.max_io = 1 << 20;
+    core::NvmeRawHarness h(o);
+    std::vector<std::byte> buf(8192, std::byte{0x5A});
+    for (int i = 0; i < 64; ++i) {
+      h.do_write(0, buf);
+      h.do_read(0, buf);
+    }
+    bench::emit_metrics_json(h.metrics(), "fig2_fig4_dma_count");
+  }
   return 0;
 }

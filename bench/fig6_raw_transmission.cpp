@@ -151,5 +151,21 @@ int main(int argc, char** argv) {
     }
   }
   bench::print_table(bw, args);
+
+  // Metrics trail: a batch of raw 8K round trips on one harness, so the
+  // JSON carries the per-stage trace histograms alongside the tables.
+  {
+    core::NvmeRawHarness::Options o;
+    o.queues = 1;
+    o.depth = 8;
+    o.max_io = 2 << 20;
+    core::NvmeRawHarness h(o);
+    std::vector<std::byte> buf(8192);
+    for (int i = 0; i < 64; ++i) {
+      h.do_write(0, buf);
+      h.do_read(0, buf);
+    }
+    bench::emit_metrics_json(h.metrics(), "fig6_raw_transmission");
+  }
   return 0;
 }

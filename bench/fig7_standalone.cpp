@@ -90,6 +90,7 @@ MeasuredProfiles run_functional() {
                   (2.0 * kOps);
   m.dpc_wire_bytes =
       static_cast<double>(c.bytes(pcie::DmaClass::kData)) / (2.0 * kOps);
+  bench::emit_metrics_json(sys.metrics(), "fig7_standalone");
   return m;
 }
 

@@ -96,7 +96,7 @@ Rates run_functional() {
       sys.write(f2, static_cast<std::uint64_t>(mb) << 20, big, true);
     const auto h0 = sys.cache_stats()->read_hits.load();
     const auto m0 = sys.cache_stats()->read_misses.load();
-    const auto pf0 = sys.control_stats()->pages_prefetched;
+    const auto pf0 = sys.control_stats()->pages_prefetched.load();
     const int seq_ops = (64 << 20) / static_cast<int>(kIoSize);
     for (int i = 0; i < seq_ops; ++i)
       sys.read(f2, static_cast<std::uint64_t>(i) * kIoSize, out, false);
@@ -109,6 +109,7 @@ Rates run_functional() {
     r.prefetch_overfetch =
         pf > 0 ? static_cast<double>(pf) / pages_consumed : 1.0;
     sys.stop_dpu();
+    bench::emit_metrics_json(sys.metrics(), "fig8_hybrid_cache");
   }
 
   // ---------- Ext4 / kernel page cache ----------

@@ -64,6 +64,7 @@ void run_functional() {
         sys.read(kino, static_cast<std::uint64_t>(mb) * kMB, out, true).ok());
     DPC_CHECK(out == buf);
   }
+  bench::emit_metrics_json(sys.metrics(), "table2_bandwidth");
 }
 
 double ext4_gbps(bool write, int threads) {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + tests, then a ThreadSanitizer build + tests.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== tsan build ==="
+cmake -B build-tsan -S . -DDPC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "=== ci OK ==="

@@ -15,13 +15,20 @@ DpuCacheControl::DpuCacheControl(pcie::DmaEngine& dma,
                                  const CacheLayout& layout,
                                  CacheBackend& backend,
                                  std::unique_ptr<EvictionPolicy> policy,
-                                 const ControlPlaneConfig& cfg)
+                                 const ControlPlaneConfig& cfg,
+                                 obs::Registry* registry)
     : dma_(&dma),
       layout_(&layout),
       backend_(&backend),
       policy_(std::move(policy)),
       cfg_(cfg),
       prefetcher_(cfg.prefetch_max_window),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      stats_(*registry_),
+      flush_pass_ns_(&registry_->histogram("cache.ctl/flush_pass_ns")),
+      prefetch_pass_ns_(&registry_->histogram("cache.ctl/prefetch_pass_ns")),
       scratch_(layout.geometry().page_size) {
   DPC_CHECK(policy_ != nullptr);
 }
@@ -190,6 +197,9 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
     ++res.pages;
     ++stats_.pages_flushed;
   }
+  // Idle poller passes that flushed nothing would drown the distribution in
+  // snapshot-scan costs; record only passes that moved pages.
+  if (res.pages > 0) flush_pass_ns_->record(res.cost);
   return res;
 }
 
@@ -319,6 +329,7 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
     ++res.pages;
     ++stats_.pages_prefetched;
   }
+  if (res.pages > 0) prefetch_pass_ns_->record(res.cost);
   return res;
 }
 
@@ -355,10 +366,14 @@ int DpuCacheControl::poll() {
           .atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
           .load(std::memory_order_acquire);
   if (ra_seq != last_ra_seq_.exchange(ra_seq, std::memory_order_acq_rel)) {
-    const auto hint_ino = dma_->host().load<std::uint64_t>(
-        layout_->header_field(HeaderOffsets::kRaInode));
-    const auto hint_lpn = dma_->host().load<std::uint64_t>(
-        layout_->header_field(HeaderOffsets::kRaLpn));
+    const auto hint_ino =
+        dma_->host()
+            .atomic_u64(layout_->header_field(HeaderOffsets::kRaInode))
+            .load(std::memory_order_relaxed);
+    const auto hint_lpn =
+        dma_->host()
+            .atomic_u64(layout_->header_field(HeaderOffsets::kRaLpn))
+            .load(std::memory_order_relaxed);
     SequentialPrefetcher::Advice advice;
     {
       std::lock_guard lock(pass_mu_);

@@ -25,6 +25,7 @@
 #include "cache/backend.hpp"
 #include "cache/layout.hpp"
 #include "cache/policy.hpp"
+#include "obs/metrics.hpp"
 #include "pcie/dma.hpp"
 #include "sim/time.hpp"
 
@@ -43,23 +44,37 @@ struct ControlPlaneConfig {
   std::uint32_t prefetch_max_window = 256;
 };
 
+/// DPU control-plane counters, registry-backed ("cache.ctl/…") so every
+/// flush/evict/prefetch shows up in metrics JSON snapshots.
 struct ControlPlaneStats {
-  std::uint64_t pages_flushed = 0;
-  std::uint64_t pages_evicted = 0;
-  std::uint64_t pages_prefetched = 0;
-  std::uint64_t flush_lock_conflicts = 0;
-  std::uint64_t dif_checksums = 0;
+  explicit ControlPlaneStats(obs::Registry& reg)
+      : pages_flushed(reg.counter("cache.ctl/pages_flushed")),
+        pages_evicted(reg.counter("cache.ctl/pages_evicted")),
+        pages_prefetched(reg.counter("cache.ctl/pages_prefetched")),
+        flush_lock_conflicts(reg.counter("cache.ctl/flush_lock_conflicts")),
+        dif_checksums(reg.counter("cache.ctl/dif_checksums")),
+        compress_in_bytes(reg.counter("cache.ctl/compress_in_bytes")),
+        compress_out_bytes(reg.counter("cache.ctl/compress_out_bytes")) {}
+
+  obs::Counter& pages_flushed;
+  obs::Counter& pages_evicted;
+  obs::Counter& pages_prefetched;
+  obs::Counter& flush_lock_conflicts;
+  obs::Counter& dif_checksums;
   /// Flush-path compression accounting (bytes before/after).
-  std::uint64_t compress_in_bytes = 0;
-  std::uint64_t compress_out_bytes = 0;
+  obs::Counter& compress_in_bytes;
+  obs::Counter& compress_out_bytes;
 };
 
 class DpuCacheControl {
  public:
+  /// `registry` hosts the control-plane counters and the flush/prefetch
+  /// pass-cost histograms; when null a private registry is created.
   DpuCacheControl(pcie::DmaEngine& dma, const CacheLayout& layout,
                   CacheBackend& backend,
                   std::unique_ptr<EvictionPolicy> policy,
-                  const ControlPlaneConfig& cfg = {});
+                  const ControlPlaneConfig& cfg = {},
+                  obs::Registry* registry = nullptr);
 
   /// One flusher iteration: flush up to `max_pages` dirty pages.
   struct PassResult {
@@ -110,7 +125,12 @@ class DpuCacheControl {
   std::unique_ptr<EvictionPolicy> policy_;
   ControlPlaneConfig cfg_;
   SequentialPrefetcher prefetcher_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
+  obs::Registry* registry_;
   ControlPlaneStats stats_;
+  /// Modelled cost distributions of flush and prefetch passes.
+  sim::Histogram* flush_pass_ns_;
+  sim::Histogram* prefetch_pass_ns_;
   std::vector<std::byte> scratch_;  // one page of DPU DRAM
   /// Serializes control-plane passes: the flusher poller and fsync-driven
   /// flushes may come from different DPU workers.

@@ -13,8 +13,13 @@ constexpr auto kLockWrite = static_cast<std::uint32_t>(LockState::kWrite);
 }  // namespace
 
 HostCachePlane::HostCachePlane(pcie::MemoryRegion& host,
-                               const CacheLayout& layout)
-    : host_(&host), layout_(&layout) {}
+                               const CacheLayout& layout,
+                               obs::Registry* registry)
+    : host_(&host),
+      layout_(&layout),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      stats_(registry != nullptr ? *registry : *owned_registry_) {}
 
 void HostCachePlane::lock_bucket(std::uint32_t bucket) {
   auto word = host_->atomic_u32(layout_->bucket_lock_off(bucket));
@@ -149,12 +154,13 @@ bool HostCachePlane::read(std::uint64_t inode, std::uint64_t lpn,
   host_->read(layout_->page_off(entry), dst);
   read_unlock(entry);
   stats_.read_hits.fetch_add(1, std::memory_order_relaxed);
-  // Post the readahead hint (plain stores; seq bumped last with release so
-  // the DPU reads a consistent pair often enough — it is only a hint).
-  host_->store<std::uint64_t>(layout_->header_field(HeaderOffsets::kRaInode),
-                              inode);
-  host_->store<std::uint64_t>(layout_->header_field(HeaderOffsets::kRaLpn),
-                              lpn);
+  // Post the readahead hint (relaxed word stores — concurrent readers may
+  // interleave pairs; seq bumped last with release so the DPU reads a
+  // consistent pair often enough — it is only a hint).
+  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaInode))
+      .store(inode, std::memory_order_relaxed);
+  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaLpn))
+      .store(lpn, std::memory_order_relaxed);
   host_->atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
       .fetch_add(1, std::memory_order_release);
   return true;

@@ -13,21 +13,30 @@
 // by raising the header's need-evict flag and reporting kNoFreeEntry.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "cache/layout.hpp"
+#include "obs/metrics.hpp"
 #include "pcie/memory.hpp"
 
 namespace dpc::cache {
 
+/// Host data-plane counters, registry-backed ("cache.host/…") so they land
+/// in metrics JSON snapshots; the atomic-style accessors (.load()) are kept.
 struct HostCacheStats {
-  std::atomic<std::uint64_t> read_hits{0};
-  std::atomic<std::uint64_t> read_misses{0};
-  std::atomic<std::uint64_t> writes_cached{0};
-  std::atomic<std::uint64_t> write_stalls{0};  ///< kNoFreeEntry occurrences
+  explicit HostCacheStats(obs::Registry& reg)
+      : read_hits(reg.counter("cache.host/read_hits")),
+        read_misses(reg.counter("cache.host/read_misses")),
+        writes_cached(reg.counter("cache.host/writes_cached")),
+        write_stalls(reg.counter("cache.host/write_stalls")) {}
+
+  obs::Counter& read_hits;
+  obs::Counter& read_misses;
+  obs::Counter& writes_cached;
+  obs::Counter& write_stalls;  ///< kNoFreeEntry occurrences
 
   void reset() {
     read_hits = 0;
@@ -39,7 +48,10 @@ struct HostCacheStats {
 
 class HostCachePlane {
  public:
-  HostCachePlane(pcie::MemoryRegion& host, const CacheLayout& layout);
+  /// `registry` hosts the data-plane counters; when null a private registry
+  /// is created (standalone/unit-test construction).
+  HostCachePlane(pcie::MemoryRegion& host, const CacheLayout& layout,
+                 obs::Registry* registry = nullptr);
 
   /// Cache-hit read: copies the page into `dst` under a read lock.
   /// Returns false on miss (caller then issues the nvme-fs read to the DPU).
@@ -100,6 +112,7 @@ class HostCachePlane {
 
   pcie::MemoryRegion* host_;
   const CacheLayout* layout_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   HostCacheStats stats_;
 };
 

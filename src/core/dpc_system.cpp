@@ -60,7 +60,13 @@ class KvfsCacheBackend final : public cache::CacheBackend {
 
 }  // namespace
 
-DpcSystem::DpcSystem(const DpcOptions& opts) : opts_(opts) {
+DpcSystem::DpcSystem(const DpcOptions& opts)
+    : opts_(opts),
+      latency_{&registry_.histogram("latency/meta_ns"),
+               &registry_.histogram("latency/read_ns"),
+               &registry_.histogram("latency/write_ns")},
+      cache_hit_path_ns_(&registry_.histogram("cache/hit_path_ns")),
+      cache_miss_path_ns_(&registry_.histogram("cache/miss_path_ns")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
 
   host_mem_ = std::make_unique<pcie::MemoryRegion>("host-dram",
@@ -76,29 +82,30 @@ DpcSystem::DpcSystem(const DpcOptions& opts) : opts_(opts) {
   kv::KvStore& store =
       opts.shared_store != nullptr ? *opts.shared_store : *kv_store_;
   remote_kv_ = std::make_unique<kv::RemoteKv>(store);
-  kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, opts.kvfs);
+  kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, opts.kvfs, &registry_);
   if (opts.with_dfs) {
     mds_ = std::make_unique<dfs::MdsCluster>();
     data_servers_ = std::make_unique<dfs::DataServers>();
     dfs_client_ = std::make_unique<dfs::DfsClient>(
-        1, *mds_, *data_servers_, dfs::ClientConfig::dpc_offloaded());
+        1, *mds_, *data_servers_, dfs::ClientConfig::dpc_offloaded(),
+        &registry_);
   }
 
   // Hybrid cache.
   if (opts.enable_cache) {
     cache_layout_ =
         std::make_unique<cache::CacheLayout>(opts.cache_geo, *host_alloc_);
-    host_cache_ =
-        std::make_unique<cache::HostCachePlane>(*host_mem_, *cache_layout_);
+    host_cache_ = std::make_unique<cache::HostCachePlane>(
+        *host_mem_, *cache_layout_, &registry_);
     cache_backend_ = std::make_unique<KvfsCacheBackend>(*kvfs_);
     cache_ctl_ = std::make_unique<cache::DpuCacheControl>(
         *dma_, *cache_layout_, *cache_backend_,
-        std::make_unique<cache::ClockEviction>(), opts.cache_ctl);
+        std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_);
   }
 
   // Dispatch + transport.
   dispatch_ = std::make_unique<IoDispatch>(*kvfs_, dfs_client_.get(),
-                                           cache_ctl_.get());
+                                           cache_ctl_.get(), &registry_);
   for (int q = 0; q < opts.queues; ++q) {
     nvme::QpConfig qc;
     qc.qid = static_cast<std::uint16_t>(q);
@@ -107,9 +114,12 @@ DpcSystem::DpcSystem(const DpcOptions& opts) : opts_(opts) {
     qc.max_read = opts.max_io + 4096;
     qps_.push_back(std::make_unique<nvme::QueuePair>(qc, *host_alloc_,
                                                      dpu_->bar_alloc()));
-    inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back()));
-    tgts_.push_back(std::make_unique<nvme::TgtDriver>(*dma_, *qps_.back(),
-                                                      dispatch_->handler()));
+    qtraces_.push_back(
+        std::make_unique<obs::QueueTraces>(registry_, opts.queue_depth));
+    inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back(),
+                                                      qtraces_.back().get()));
+    tgts_.push_back(std::make_unique<nvme::TgtDriver>(
+        *dma_, *qps_.back(), dispatch_->handler(), qtraces_.back().get()));
     pump_mu_.push_back(std::make_unique<std::mutex>());
   }
 }
@@ -196,7 +206,7 @@ std::string DpcSystem::latency_summary() const {
   static const char* names[] = {"meta", "read", "write"};
   std::string out;
   for (std::size_t c = 0; c < latency_.size(); ++c) {
-    const auto& h = latency_[c];
+    const auto& h = *latency_[c];
     if (h.count() == 0) continue;
     out += std::string(names[c]) + ": n=" + std::to_string(h.count()) +
            " mean=" + std::to_string(h.mean().us()) +
@@ -236,7 +246,7 @@ Io DpcSystem::header_call(nvme::DispatchTarget target, const FileRequest& req,
   io.err = resp.err;
   io.ino = resp.ino;
   if (out) *out = std::move(resp);
-  latency_[static_cast<std::size_t>(OpClass::kMeta)].record(io.cost);
+  latency_[static_cast<std::size_t>(OpClass::kMeta)]->record(io.cost);
   return io;
 }
 
@@ -459,7 +469,8 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
       io.bytes = static_cast<std::uint32_t>(want);
       io.cache_hit = true;
       io.cost = sim::calib::kSyscallVfs + sim::calib::kFsAdapterOp;
-      latency_[static_cast<std::size_t>(OpClass::kRead)].record(io.cost);
+      latency_[static_cast<std::size_t>(OpClass::kRead)]->record(io.cost);
+      cache_hit_path_ns_->record(io.cost);
       return io;
     }
   }
@@ -492,8 +503,9 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
       host_cache_->fill_clean(ino, (offset + at) / kCachePage,
                               dst.subspan(at, kCachePage));
     }
+    cache_miss_path_ns_->record(io.cost);
   }
-  latency_[static_cast<std::size_t>(OpClass::kRead)].record(io.cost);
+  latency_[static_cast<std::size_t>(OpClass::kRead)]->record(io.cost);
   return io;
 }
 
@@ -556,7 +568,8 @@ Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
         }
       }
       if (grow) (void)truncate(ino, end);
-      latency_[static_cast<std::size_t>(OpClass::kWrite)].record(io.cost);
+      latency_[static_cast<std::size_t>(OpClass::kWrite)]->record(io.cost);
+      cache_hit_path_ns_->record(io.cost);
       return io;
     }
     // Cache full — the DPU is evicting; fall through to write-through.
@@ -591,7 +604,7 @@ Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
     for (std::uint64_t at = 0; at < src.size(); at += kCachePage)
       host_cache_->invalidate(ino, (offset + at) / kCachePage);
   }
-  latency_[static_cast<std::size_t>(OpClass::kWrite)].record(io.cost);
+  latency_[static_cast<std::size_t>(OpClass::kWrite)]->record(io.cost);
   return io;
 }
 

@@ -25,6 +25,8 @@
 
 #include "cache/control_plane.hpp"
 #include "cache/host_plane.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/histogram.hpp"
 #include "core/io_dispatch.hpp"
 #include "dfs/backend.hpp"
@@ -138,10 +140,16 @@ class DpcSystem {
   cache::HostCachePlane* host_cache() { return host_cache_.get(); }
   const DpcOptions& options() const { return opts_; }
 
+  /// The system-wide metrics registry: every subsystem's counters and
+  /// histograms (dispatch/…, cache.*/…, kvfs/…, nvme.*/…, trace/…) live
+  /// here; snapshot with metrics().to_json().
+  obs::Registry& metrics() { return registry_; }
+  const obs::Registry& metrics() const { return registry_; }
+
   /// Modelled-latency distributions by op class, recorded per call.
   enum class OpClass : std::uint8_t { kMeta = 0, kRead, kWrite, kCount_ };
   const sim::Histogram& latency(OpClass c) const {
-    return latency_[static_cast<std::size_t>(c)];
+    return *latency_[static_cast<std::size_t>(c)];
   }
   /// One-line human-readable summary (mean/p50/p99 per class).
   std::string latency_summary() const;
@@ -164,14 +172,20 @@ class DpcSystem {
 
   DpcOptions opts_;
 
+  /// System-wide metrics registry. Declared before every subsystem so the
+  /// counters/histograms they resolve at construction outlive them.
+  obs::Registry registry_;
+
   // Device complex.
   std::unique_ptr<pcie::MemoryRegion> host_mem_;
   std::unique_ptr<pcie::RegionAllocator> host_alloc_;
   std::unique_ptr<dpu::Dpu> dpu_;
   std::unique_ptr<pcie::DmaEngine> dma_;
 
-  // Transport.
+  // Transport. Each queue pair shares one QueueTraces between its INI and
+  // TGT drivers so per-op stage stamps line up across the "link".
   std::vector<std::unique_ptr<nvme::QueuePair>> qps_;
+  std::vector<std::unique_ptr<obs::QueueTraces>> qtraces_;
   std::vector<std::unique_ptr<nvme::IniDriver>> inis_;
   std::vector<std::unique_ptr<nvme::TgtDriver>> tgts_;
   std::vector<std::unique_ptr<std::mutex>> pump_mu_;
@@ -201,9 +215,12 @@ class DpcSystem {
   std::mutex size_mu_;
   std::unordered_map<std::uint64_t, std::uint64_t> size_cache_;
 
-  // Per-class modelled-latency distributions (thread-safe recording).
-  std::array<sim::Histogram, static_cast<std::size_t>(OpClass::kCount_)>
+  // Per-class modelled-latency distributions ("latency/…" in the registry;
+  // thread-safe recording) plus the cache hit/miss host-path split.
+  std::array<sim::Histogram*, static_cast<std::size_t>(OpClass::kCount_)>
       latency_;
+  sim::Histogram* cache_hit_path_ns_;
+  sim::Histogram* cache_miss_path_ns_;
 };
 
 }  // namespace dpc::core

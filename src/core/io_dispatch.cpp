@@ -18,8 +18,16 @@ nvme::HandlerResult fs_error(int err) {
 }  // namespace
 
 IoDispatch::IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
-                       cache::DpuCacheControl* cache_ctl)
-    : fs_(&fs), dfs_(dfs_client), cache_ctl_(cache_ctl) {}
+                       cache::DpuCacheControl* cache_ctl,
+                       obs::Registry* registry)
+    : fs_(&fs),
+      dfs_(dfs_client),
+      cache_ctl_(cache_ctl),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      stats_(*registry_),
+      backend_cost_hist_(&registry_->histogram("dispatch/backend_cost_ns")) {}
 
 nvme::CommandHandler IoDispatch::handler() {
   return [this](const nvme::NvmeFsCmd& cmd,
@@ -30,15 +38,17 @@ nvme::CommandHandler IoDispatch::handler() {
 }
 
 void IoDispatch::charge(sim::Nanos backend_cost) {
-  stats_.backend_ns.fetch_add(backend_cost.ns, std::memory_order_relaxed);
+  stats_.backend_ns.fetch_add(static_cast<std::uint64_t>(backend_cost.ns),
+                              std::memory_order_relaxed);
   stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  backend_cost_hist_->record(backend_cost);
 }
 
 sim::Nanos IoDispatch::mean_backend_cost() const {
   const auto ops = stats_.ops.load(std::memory_order_relaxed);
   if (ops == 0) return sim::Nanos{0};
-  return sim::Nanos{stats_.backend_ns.load(std::memory_order_relaxed) /
-                    static_cast<std::int64_t>(ops)};
+  return sim::Nanos{static_cast<std::int64_t>(
+      stats_.backend_ns.load(std::memory_order_relaxed) / ops)};
 }
 
 nvme::HandlerResult IoDispatch::handle(const nvme::NvmeFsCmd& cmd,

@@ -9,35 +9,52 @@
 // sequential streams (Fig. 8).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "cache/control_plane.hpp"
 #include "core/fileproto.hpp"
 #include "dfs/client.hpp"
 #include "kvfs/kvfs.hpp"
 #include "nvme/tgt.hpp"
+#include "obs/metrics.hpp"
 
 namespace dpc::core {
 
+/// Dispatch counters, registry-backed: the members are named counters in
+/// the owning obs::Registry ("dispatch/…"), so they appear in every metrics
+/// JSON snapshot while keeping the legacy accessor API (.load()).
 struct DispatchStats {
-  std::atomic<std::uint64_t> inline_reads{0};
-  std::atomic<std::uint64_t> inline_writes{0};
-  std::atomic<std::uint64_t> inline_other{0};
-  std::atomic<std::uint64_t> header_ops{0};
-  std::atomic<std::uint64_t> dfs_ops{0};
-  std::atomic<std::uint64_t> errors{0};
+  explicit DispatchStats(obs::Registry& reg)
+      : inline_reads(reg.counter("dispatch/inline_reads")),
+        inline_writes(reg.counter("dispatch/inline_writes")),
+        inline_other(reg.counter("dispatch/inline_other")),
+        header_ops(reg.counter("dispatch/header_ops")),
+        dfs_ops(reg.counter("dispatch/dfs_ops")),
+        errors(reg.counter("dispatch/errors")),
+        backend_ns(reg.counter("dispatch/backend_ns")),
+        ops(reg.counter("dispatch/ops")) {}
+
+  obs::Counter& inline_reads;
+  obs::Counter& inline_writes;
+  obs::Counter& inline_other;
+  obs::Counter& header_ops;
+  obs::Counter& dfs_ops;
+  obs::Counter& errors;
   /// Accumulated modelled backend cost (KV / DFS round trips), for the
   /// figure benches' demand estimation.
-  std::atomic<std::int64_t> backend_ns{0};
-  std::atomic<std::uint64_t> ops{0};
+  obs::Counter& backend_ns;
+  obs::Counter& ops;
 };
 
 class IoDispatch {
  public:
   /// `dfs_client` and `cache_ctl` may be null (standalone-only setups).
+  /// `registry` hosts the dispatch counters and per-op-class backend
+  /// histograms; when null, a private registry is created.
   IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
-             cache::DpuCacheControl* cache_ctl);
+             cache::DpuCacheControl* cache_ctl,
+             obs::Registry* registry = nullptr);
 
   /// The nvme-fs command handler to register with the TGT driver.
   nvme::CommandHandler handler();
@@ -65,7 +82,11 @@ class IoDispatch {
   kvfs::Kvfs* fs_;
   dfs::DfsClient* dfs_;
   cache::DpuCacheControl* cache_ctl_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
+  obs::Registry* registry_;
   DispatchStats stats_;
+  /// Modelled backend cost distribution per dispatched op.
+  sim::Histogram* backend_cost_hist_;
 };
 
 }  // namespace dpc::core

@@ -63,9 +63,12 @@ NvmeRawHarness::NvmeRawHarness(const Options& opts)
     qc.max_read = opts.max_io;
     qps_.push_back(std::make_unique<nvme::QueuePair>(qc, *host_alloc_,
                                                      dpu_->bar_alloc()));
-    inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back()));
-    tgts_.push_back(
-        std::make_unique<nvme::TgtDriver>(*dma_, *qps_.back(), handler));
+    qtraces_.push_back(
+        std::make_unique<obs::QueueTraces>(registry_, opts.depth));
+    inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back(),
+                                                      qtraces_.back().get()));
+    tgts_.push_back(std::make_unique<nvme::TgtDriver>(
+        *dma_, *qps_.back(), handler, qtraces_.back().get()));
     pump_mu_.push_back(std::make_unique<std::mutex>());
   }
 }

@@ -16,6 +16,8 @@
 #include "nvme/ini.hpp"
 #include "nvme/queue_pair.hpp"
 #include "nvme/tgt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pcie/dma.hpp"
 #include "virtio/virtio_fs.hpp"
 
@@ -47,9 +49,13 @@ class NvmeRawHarness {
   pcie::DmaCounters& counters() { return dma_->counters(); }
   nvme::IniDriver& ini(int q) { return *inis_[static_cast<std::size_t>(q)]; }
   nvme::TgtDriver& tgt(int q) { return *tgts_[static_cast<std::size_t>(q)]; }
+  /// Harness-wide metrics: nvme.ini/tgt counters + trace/… histograms.
+  obs::Registry& metrics() { return registry_; }
 
  private:
   Options opts_;
+  obs::Registry registry_;  // before the drivers that resolve instruments
+  std::vector<std::unique_ptr<obs::QueueTraces>> qtraces_;
   std::unique_ptr<pcie::MemoryRegion> host_mem_;
   std::unique_ptr<pcie::RegionAllocator> host_alloc_;
   std::unique_ptr<dpu::Dpu> dpu_;

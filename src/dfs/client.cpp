@@ -17,13 +17,19 @@ sim::Nanos nvme_fs_transport(std::uint32_t payload) {
 }  // namespace
 
 DfsClient::DfsClient(ClientId id, MdsCluster& mds, DataServers& ds,
-                     const ClientConfig& cfg)
+                     const ClientConfig& cfg, obs::Registry* registry)
     : id_(id),
       mds_(&mds),
       ds_(&ds),
       cfg_(cfg),
       entry_mds_(static_cast<int>(id) % mds.servers()),
-      rs_(4, 2) {
+      rs_(4, 2),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      stats_(registry != nullptr ? *registry : *owned_registry_),
+      backend_ns_(registry != nullptr
+                      ? &registry->histogram("dfs.client/backend_ns")
+                      : &owned_registry_->histogram("dfs.client/backend_ns")) {
   if (cfg_.delegation_recall && cfg_.delegation_cache) {
     mds_->register_recall(id_, [this](Ino ino) {
       std::lock_guard lock(mu_);
@@ -99,9 +105,19 @@ bool DfsClient::ensure_delegation(Ino ino, OpProfile& prof) {
                                   prof);
 }
 
+void DfsClient::account(obs::Counter& op_counter, const IoResult& io) {
+  op_counter.add();
+  if (io.err != 0) stats_.errors.add();
+  stats_.mds_ops.add(io.prof.mds_ops);
+  stats_.ds_ops.add(io.prof.ds_ops);
+  stats_.forwards.add(io.prof.forwards);
+  backend_ns_->record(io.prof.mds + io.prof.ds + io.prof.net);
+}
+
 IoResult DfsClient::create(const std::string& path,
                            std::uint64_t prealloc_size) {
   IoResult res;
+  OpAccount acct{this, &stats_.meta_ops, &res};
   charge_client_cpu(res.prof, false, 0);
   FileMeta templ;
   if (cfg_.use_replication) {
@@ -136,6 +152,7 @@ IoResult DfsClient::create(const std::string& path,
 
 IoResult DfsClient::open(const std::string& path) {
   IoResult res;
+  OpAccount acct{this, &stats_.meta_ops, &res};
   charge_client_cpu(res.prof, false, 0);
   const auto ino = mds_->lookup(path, entry_mds_, cfg_.view_routing, res.prof);
   if (!ino) {
@@ -148,6 +165,7 @@ IoResult DfsClient::open(const std::string& path) {
 
 IoResult DfsClient::stat(Ino ino) {
   IoResult res;
+  OpAccount acct{this, &stats_.meta_ops, &res};
   charge_client_cpu(res.prof, false, 0);
   const auto meta = meta_of(ino, res.prof);
   if (!meta) {
@@ -163,6 +181,7 @@ IoResult DfsClient::stat(Ino ino) {
 IoResult DfsClient::read(Ino ino, std::uint64_t offset,
                          std::span<std::byte> dst) {
   IoResult res;
+  OpAccount acct{this, &stats_.reads, &res};
   res.ino = ino;
   charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(dst.size()));
   if (cfg_.direct_io) {
@@ -189,6 +208,7 @@ IoResult DfsClient::read(Ino ino, std::uint64_t offset,
 IoResult DfsClient::write(Ino ino, std::uint64_t offset,
                           std::span<const std::byte> src) {
   IoResult res;
+  OpAccount acct{this, &stats_.writes, &res};
   res.ino = ino;
   charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(src.size()),
                     /*is_write=*/true);
@@ -231,6 +251,7 @@ IoResult DfsClient::write(Ino ino, std::uint64_t offset,
 
 IoResult DfsClient::remove(const std::string& path) {
   IoResult res;
+  OpAccount acct{this, &stats_.meta_ops, &res};
   charge_client_cpu(res.prof, false, 0);
   auto opened = mds_->lookup(path, entry_mds_, cfg_.view_routing, res.prof);
   if (!opened) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 
 #include "dfs/backend.hpp"
 #include "ec/reed_solomon.hpp"
+#include "obs/metrics.hpp"
 
 namespace dpc::dfs {
 
@@ -63,10 +65,33 @@ struct IoResult {
   bool ok() const { return err == 0; }
 };
 
+/// DFS client counters, registry-backed ("dfs.client/…"); mds/ds/forward
+/// totals mirror the OpProfile fields the figure benches sum by hand.
+struct DfsClientStats {
+  explicit DfsClientStats(obs::Registry& reg)
+      : meta_ops(reg.counter("dfs.client/meta_ops")),
+        reads(reg.counter("dfs.client/reads")),
+        writes(reg.counter("dfs.client/writes")),
+        errors(reg.counter("dfs.client/errors")),
+        mds_ops(reg.counter("dfs.client/mds_ops")),
+        ds_ops(reg.counter("dfs.client/ds_ops")),
+        forwards(reg.counter("dfs.client/forwards")) {}
+
+  obs::Counter& meta_ops;  ///< create/open/stat/remove
+  obs::Counter& reads;
+  obs::Counter& writes;
+  obs::Counter& errors;
+  obs::Counter& mds_ops;
+  obs::Counter& ds_ops;
+  obs::Counter& forwards;  ///< entry→home MDS forwarding hops
+};
+
 class DfsClient {
  public:
+  /// `registry` hosts the client counters and the per-op backend-cost
+  /// histogram; when null a private registry is created.
   DfsClient(ClientId id, MdsCluster& mds, DataServers& ds,
-            const ClientConfig& cfg);
+            const ClientConfig& cfg, obs::Registry* registry = nullptr);
   ~DfsClient();
   DfsClient(const DfsClient&) = delete;
   DfsClient& operator=(const DfsClient&) = delete;
@@ -90,7 +115,19 @@ class DfsClient {
   IoResult read_degraded(Ino ino, std::uint64_t offset,
                          std::span<std::byte> dst);
 
+  const DfsClientStats& stats() const { return stats_; }
+
  private:
+  /// Folds one finished op into the registry (op counter + OpProfile sums +
+  /// backend-cost histogram).
+  void account(obs::Counter& op_counter, const IoResult& io);
+  /// Scope guard running account() on every exit path of a public op.
+  struct OpAccount {
+    DfsClient* c;
+    obs::Counter* ctr;
+    const IoResult* io;
+    ~OpAccount() { c->account(*ctr, *io); }
+  };
   /// Charges the per-op client-stack CPU to the right place.
   void charge_client_cpu(OpProfile& prof, bool data_op,
                          std::uint32_t payload_bytes,
@@ -105,6 +142,10 @@ class DfsClient {
   ClientConfig cfg_;
   int entry_mds_;
   ec::ReedSolomon rs_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
+  DfsClientStats stats_;
+  /// Modelled backend (mds+ds+net) cost per finished op.
+  sim::Histogram* backend_ns_;
 
   mutable std::mutex mu_;
   std::unordered_map<Ino, FileMeta> meta_cache_;

@@ -15,22 +15,41 @@ void WorkerPool::add_poller(Poller p) {
 }
 
 void WorkerPool::start(int threads) {
-  DPC_CHECK(!running());
+  std::lock_guard lock(lifecycle_mu_);
+  DPC_CHECK_MSG(threads_.empty(), "start on a running pool");
   DPC_CHECK(threads >= 1);
   DPC_CHECK_MSG(!pollers_.empty(), "no pollers registered");
+  run_token_ = std::make_shared<std::atomic<bool>>(true);
   running_.store(true, std::memory_order_release);
   threads_.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    threads_.emplace_back([this, t, threads] { worker_main(t, threads); });
+    threads_.emplace_back([this, run = run_token_, t, threads] {
+      worker_main(std::move(run), t, threads);
+    });
   }
 }
 
 void WorkerPool::stop() {
-  running_.store(false, std::memory_order_release);
-  threads_.clear();  // jthread joins on destruction
+  // Claim the thread set under the lock, join outside it: concurrent
+  // stop()s (or stop() racing the destructor) each swap at most once, so
+  // the jthreads are cleared exactly once and nobody joins while another
+  // caller mutates threads_. After stop() the pool is restartable — a
+  // restart mints a fresh run token, so workers of this generation exit
+  // even if start() wins the lock before our join finishes.
+  std::vector<std::jthread> to_join;
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    if (run_token_ != nullptr)
+      run_token_->store(false, std::memory_order_release);
+    run_token_.reset();
+    running_.store(false, std::memory_order_release);
+    to_join.swap(threads_);
+  }
+  to_join.clear();  // jthread joins on destruction
 }
 
-void WorkerPool::worker_main(int worker_id, int worker_count) {
+void WorkerPool::worker_main(std::shared_ptr<const std::atomic<bool>> run,
+                             int worker_id, int worker_count) {
   // Static partition: worker t owns pollers t, t+N, t+2N, … so that
   // single-consumer drivers are never run from two threads.
   std::vector<std::size_t> mine;
@@ -39,7 +58,7 @@ void WorkerPool::worker_main(int worker_id, int worker_count) {
     mine.push_back(i);
 
   int idle_rounds = 0;
-  while (running_.load(std::memory_order_acquire)) {
+  while (run->load(std::memory_order_acquire)) {
     int processed = 0;
     for (const std::size_t i : mine) processed += pollers_[i]();
     if (processed > 0) {

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,22 +26,31 @@ class WorkerPool {
 
   /// Registers a poller. Each poller is owned by exactly one worker thread
   /// (pollers wrap single-consumer drivers like TgtDriver), assigned
-  /// round-robin at start().
+  /// round-robin at start(). Only legal while the pool is stopped.
   void add_poller(Poller p);
 
   /// Spawns `threads` workers. Must be called after all add_poller calls.
+  /// A stopped pool can be started again (pollers are retained).
   void start(int threads);
 
-  /// Stops and joins all workers (also run by the destructor).
+  /// Stops and joins all workers (also run by the destructor). Idempotent
+  /// and safe to call concurrently — including a stop() racing the
+  /// destructor's — exactly one caller joins the threads.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
-  void worker_main(int worker_id, int worker_count);
+  void worker_main(std::shared_ptr<const std::atomic<bool>> run,
+                   int worker_id, int worker_count);
 
   std::vector<Poller> pollers_;
+  /// Guards the thread-set lifecycle (start/stop); never held while joining.
+  std::mutex lifecycle_mu_;
   std::vector<std::jthread> threads_;
+  /// Per-generation run flag: workers loop on *their* token, so a restart
+  /// racing a still-joining stop() can never resurrect the old generation.
+  std::shared_ptr<std::atomic<bool>> run_token_;
   std::atomic<bool> running_{false};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 #include "sim/check.hpp"
 
@@ -16,8 +17,13 @@ bool valid_name(std::string_view name) {
 }
 }  // namespace
 
-Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts)
-    : store_(&store), opts_(opts) {
+Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
+           obs::Registry* registry)
+    : store_(&store),
+      opts_(opts),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      stats_(registry != nullptr ? *registry : *owned_registry_) {
   // Install the root directory's attribute if this is a fresh store.
   sim::Nanos cost{};
   if (!load_attr(kRootIno, cost)) {

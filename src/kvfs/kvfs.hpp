@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -28,6 +29,7 @@
 
 #include "kv/remote.hpp"
 #include "kvfs/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::kvfs {
@@ -51,19 +53,33 @@ struct KvfsOptions {
   std::size_t attr_cache_entries = 8192;
 };
 
+/// KVFS counters, registry-backed ("kvfs/…") so cache hit rates and the
+/// small/big write split show up in metrics JSON snapshots.
 struct KvfsStats {
-  std::atomic<std::uint64_t> dentry_hits{0};
-  std::atomic<std::uint64_t> dentry_misses{0};
-  std::atomic<std::uint64_t> attr_hits{0};
-  std::atomic<std::uint64_t> attr_misses{0};
-  std::atomic<std::uint64_t> small_rewrites{0};
-  std::atomic<std::uint64_t> big_inplace_writes{0};
-  std::atomic<std::uint64_t> promotions{0};
+  explicit KvfsStats(obs::Registry& reg)
+      : dentry_hits(reg.counter("kvfs/dentry_hits")),
+        dentry_misses(reg.counter("kvfs/dentry_misses")),
+        attr_hits(reg.counter("kvfs/attr_hits")),
+        attr_misses(reg.counter("kvfs/attr_misses")),
+        small_rewrites(reg.counter("kvfs/small_rewrites")),
+        big_inplace_writes(reg.counter("kvfs/big_inplace_writes")),
+        promotions(reg.counter("kvfs/promotions")) {}
+
+  obs::Counter& dentry_hits;
+  obs::Counter& dentry_misses;
+  obs::Counter& attr_hits;
+  obs::Counter& attr_misses;
+  obs::Counter& small_rewrites;
+  obs::Counter& big_inplace_writes;
+  obs::Counter& promotions;
 };
 
 class Kvfs {
  public:
-  explicit Kvfs(kv::RemoteKv& store, const KvfsOptions& opts = {});
+  /// `registry` hosts the KVFS counters; when null a private registry is
+  /// created (standalone/unit-test construction).
+  explicit Kvfs(kv::RemoteKv& store, const KvfsOptions& opts = {},
+                obs::Registry* registry = nullptr);
 
   // ------------------------------------------------------------ namespace
   Result<Ino> create(Ino parent, std::string_view name, std::uint32_t mode);
@@ -145,6 +161,7 @@ class Kvfs {
 
   kv::RemoteKv* store_;
   KvfsOptions opts_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   KvfsStats stats_;
 
   std::atomic<std::uint64_t> logical_time_{1};

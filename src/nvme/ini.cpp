@@ -4,13 +4,21 @@
 
 namespace dpc::nvme {
 
-IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp)
-    : dma_(&dma), qp_(&qp), done_(qp.depth()) {
+IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp,
+                     obs::QueueTraces* traces)
+    : dma_(&dma), qp_(&qp), traces_(traces), done_(qp.depth()) {
   free_cids_.reserve(qp.depth());
   // NVMe convention: at most depth-1 entries may be in flight so that
   // head == tail unambiguously means "empty".
   for (std::uint16_t cid = 0; cid + 1 < qp.depth(); ++cid)
     free_cids_.push_back(cid);
+  if (traces_ != nullptr) {
+    auto& reg = traces_->registry();
+    submits_ = &reg.counter("nvme.ini/submits");
+    queue_full_waits_ = &reg.counter("nvme.ini/queue_full_waits");
+    cq_doorbells_ = &reg.counter("nvme.ini/cq_doorbells");
+    reaps_ = &reg.counter("nvme.ini/reaps");
+  }
 }
 
 std::uint16_t IniDriver::alloc_cid_locked() {
@@ -46,14 +54,16 @@ IniDriver::Submitted IniDriver::submit(const Request& req) {
 
   sim::Nanos cost{};
   std::unique_lock lock(mu_);
-  while (free_cids_.empty()) {
-    // Queue full: completed-but-unreleased cids belong to other threads;
-    // yield until one of them releases.
-    lock.unlock();
-    std::this_thread::yield();
-    lock.lock();
+  if (free_cids_.empty()) {
+    // Queue full: completed-but-unreleased cids belong to other threads.
+    // Sleep on the cv until release() frees a slot — deterministic wakeup,
+    // and no yield() spin that could starve pollers of the core.
+    if (queue_full_waits_ != nullptr) queue_full_waits_->add();
+    free_cv_.wait(lock, [this] { return !free_cids_.empty(); });
   }
   const std::uint16_t cid = alloc_cid_locked();
+  if (traces_ != nullptr) traces_->stamp(cid, obs::Stage::kHostSubmit);
+  if (submits_ != nullptr) submits_->add();
 
   NvmeFsCmd cmd;
   cmd.target = req.target;
@@ -89,27 +99,49 @@ IniDriver::Submitted IniDriver::submit(const Request& req) {
   return {cid, cost};
 }
 
+std::optional<Completion> IniDriver::drain_locked() {
+  auto& host = dma_->host();
+  std::optional<Completion> first;
+  int consumed = 0;
+  for (;;) {
+    const std::uint64_t cqe_off = qp_->cqe_off(cq_head_);
+    // The phase tag lives in the CQE's final dword, which the TGT stores
+    // with release ordering; acquire here makes the rest of the entry
+    // visible.
+    const std::uint32_t last_dword =
+        host.atomic_u32(cqe_off + 12).load(std::memory_order_acquire);
+    const auto status = static_cast<std::uint16_t>(last_dword >> 16);
+    if (((status & 1u) != 0) != cq_phase_) break;  // not ready
+    Cqe cqe = host.load<Cqe>(cqe_off);
+    cqe.cid = static_cast<std::uint16_t>(last_dword & 0xFFFF);
+    cqe.status = status;
+    cq_head_ = static_cast<std::uint16_t>((cq_head_ + 1) % qp_->depth());
+    if (cq_head_ == 0) cq_phase_ = !cq_phase_;
+    Completion c{cqe.cid, status_of(cqe), cqe.result, cqe.dw1};
+    DPC_CHECK(c.cid < qp_->depth());
+    done_[c.cid] = c;
+    if (traces_ != nullptr) {
+      traces_->stamp(c.cid, obs::Stage::kHostReap);
+      traces_->finish(c.cid);
+    }
+    if (!first.has_value()) first = c;
+    ++consumed;
+  }
+  if (consumed > 0) {
+    // Publish the new head to the DPU so the TGT can reuse CQ slots — one
+    // doorbell (one modelled MMIO) per drained batch, not per CQE, matching
+    // how real NVMe drivers coalesce the CQ-head update.
+    dma_->doorbell(qp_->cq_head_db_off(), cq_head_);
+    if (cq_doorbells_ != nullptr) cq_doorbells_->add();
+    if (reaps_ != nullptr)
+      reaps_->add(static_cast<std::uint64_t>(consumed));
+  }
+  return first;
+}
+
 std::optional<Completion> IniDriver::poll() {
   std::lock_guard lock(mu_);
-  auto& host = dma_->host();
-  const std::uint64_t cqe_off = qp_->cqe_off(cq_head_);
-  // The phase tag lives in the CQE's final dword, which the TGT stores with
-  // release ordering; acquire here makes the rest of the entry visible.
-  const std::uint32_t last_dword =
-      host.atomic_u32(cqe_off + 12).load(std::memory_order_acquire);
-  const auto status = static_cast<std::uint16_t>(last_dword >> 16);
-  if (((status & 1u) != 0) != cq_phase_) return std::nullopt;  // not ready
-  Cqe cqe = host.load<Cqe>(cqe_off);
-  cqe.cid = static_cast<std::uint16_t>(last_dword & 0xFFFF);
-  cqe.status = status;
-  cq_head_ = static_cast<std::uint16_t>((cq_head_ + 1) % qp_->depth());
-  if (cq_head_ == 0) cq_phase_ = !cq_phase_;
-  // Publish the new head to the DPU so the TGT can reuse CQ slots.
-  dma_->doorbell(qp_->cq_head_db_off(), cq_head_);
-  Completion c{cqe.cid, status_of(cqe), cqe.result, cqe.dw1};
-  DPC_CHECK(c.cid < qp_->depth());
-  done_[c.cid] = c;
-  return c;
+  return drain_locked();
 }
 
 Completion IniDriver::wait(std::uint16_t cid) {
@@ -128,8 +160,8 @@ Completion IniDriver::wait(std::uint16_t cid) {
 
 std::optional<Completion> IniDriver::try_take(std::uint16_t cid) {
   DPC_CHECK(cid < qp_->depth());
-  poll();
   std::lock_guard lock(mu_);
+  drain_locked();
   return done_[cid];
 }
 
@@ -140,10 +172,15 @@ std::span<const std::byte> IniDriver::read_payload(std::uint16_t cid,
 }
 
 void IniDriver::release(std::uint16_t cid) {
-  std::lock_guard lock(mu_);
-  DPC_CHECK_MSG(done_[cid].has_value(), "release of incomplete cid " << cid);
-  done_[cid].reset();
-  free_cids_.push_back(cid);
+  {
+    std::lock_guard lock(mu_);
+    DPC_CHECK_MSG(done_[cid].has_value(),
+                  "release of incomplete cid " << cid);
+    done_[cid].reset();
+    free_cids_.push_back(cid);
+  }
+  // One slot freed → one waiter can make progress.
+  free_cv_.notify_one();
 }
 
 std::uint16_t IniDriver::inflight() const {

@@ -7,6 +7,7 @@
 // scaling the paper contrasts with virtio-fs's single queue.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "nvme/queue_pair.hpp"
 #include "nvme/spec.hpp"
+#include "obs/trace.hpp"
 #include "pcie/dma.hpp"
 #include "sim/time.hpp"
 
@@ -30,7 +32,11 @@ struct Completion {
 
 class IniDriver {
  public:
-  IniDriver(pcie::DmaEngine& dma, const QueuePair& qp);
+  /// `traces` (optional) attaches per-op latency tracing + driver counters;
+  /// share the same QueueTraces with this queue's TgtDriver so DPU-side
+  /// stages land in the same per-cid slot.
+  IniDriver(pcie::DmaEngine& dma, const QueuePair& qp,
+            obs::QueueTraces* traces = nullptr);
 
   /// Everything needed to issue one nvme-fs command. Payload spans may be
   /// empty. `write_hdr` and `write_data` are copied back-to-back into the
@@ -51,25 +57,30 @@ class IniDriver {
     sim::Nanos cost{};  ///< modelled host-side submission cost (doorbell DMA)
   };
 
-  /// Enqueues a command. Blocks (spins) only if all cids are in flight.
+  /// Enqueues a command. Blocks on a condition variable (signalled by
+  /// release()) only if all cids are in flight.
   Submitted submit(const Request& req);
 
-  /// Non-blocking completion reap; returns std::nullopt if the CQ is empty.
+  /// Non-blocking completion reap. Drains every ready CQE into the per-cid
+  /// completion buffer and rings the CQ-head doorbell once per drained
+  /// batch; returns the first reaped completion, or std::nullopt if the CQ
+  /// was empty.
   std::optional<Completion> poll();
 
   /// Spins until command `cid` completes (reaping others along the way).
   Completion wait(std::uint16_t cid);
 
-  /// Non-blocking: reaps at most one CQE, then reports `cid`'s completion
-  /// if it has been recorded (by this or any other caller's poll).
+  /// Non-blocking: reaps ready CQEs, then reports `cid`'s completion if it
+  /// has been recorded (by this or any other caller's poll).
   std::optional<Completion> try_take(std::uint16_t cid);
 
   /// View of the read buffer payload after completion (`n` bytes).
   std::span<const std::byte> read_payload(std::uint16_t cid,
                                           std::size_t n) const;
 
-  /// Returns the cid's slot to the free pool. Must be called once per
-  /// completed command before the cid can be reused.
+  /// Returns the cid's slot to the free pool and wakes one queue-full
+  /// waiter. Must be called once per completed command before the cid can
+  /// be reused.
   void release(std::uint16_t cid);
 
   std::uint16_t inflight() const;
@@ -79,11 +90,20 @@ class IniDriver {
   void build_prp(std::uint64_t buf_off, std::uint32_t len,
                  std::uint64_t list_off, std::uint64_t& prp1,
                  std::uint64_t& prp2);
+  std::optional<Completion> drain_locked();
 
   pcie::DmaEngine* dma_;
   const QueuePair* qp_;
+  obs::QueueTraces* traces_;
+
+  // Registry instruments (null when no traces attached).
+  obs::Counter* submits_ = nullptr;
+  obs::Counter* queue_full_waits_ = nullptr;
+  obs::Counter* cq_doorbells_ = nullptr;
+  obs::Counter* reaps_ = nullptr;
 
   mutable std::mutex mu_;
+  std::condition_variable free_cv_;  // signalled by release()
   std::vector<std::uint16_t> free_cids_;
   std::vector<std::optional<Completion>> done_;  // per-cid completion buffer
   std::uint16_t sq_tail_ = 0;

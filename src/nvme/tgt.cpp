@@ -3,13 +3,20 @@
 namespace dpc::nvme {
 
 TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
-                     CommandHandler handler)
+                     CommandHandler handler, obs::QueueTraces* traces)
     : dma_(&dma),
       qp_(&qp),
       handler_(std::move(handler)),
+      traces_(traces),
       wscratch_(qp.config().max_write),
       rscratch_(qp.config().max_read) {
   DPC_CHECK(handler_ != nullptr);
+  if (traces_ != nullptr) {
+    auto& reg = traces_->registry();
+    cmds_ = &reg.counter("nvme.tgt/cmds");
+    cqe_posts_ = &reg.counter("nvme.tgt/cqe_posts");
+    rejects_ = &reg.counter("nvme.tgt/rejects");
+  }
 }
 
 bool TgtDriver::has_work() const {
@@ -46,15 +53,19 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
                              std::as_writable_bytes(std::span{&sqe, 1}),
                              pcie::DmaClass::kDescriptor);
   sq_head_ = static_cast<std::uint16_t>((sq_head_ + 1) % qp_->depth());
+  if (traces_ != nullptr) traces_->stamp(cid_of(sqe), obs::Stage::kTgtFetch);
+  if (cmds_ != nullptr) cmds_->add();
 
   HandlerResult hres;
   if (!is_nvme_fs(sqe)) {
     hres.status = Status::kInvalidOpcode;
+    if (rejects_ != nullptr) rejects_->add();
   } else {
     const NvmeFsCmd cmd = decode_nvme_fs(sqe);
     if (cmd.write_psdt == Psdt::kSgl || cmd.read_psdt == Psdt::kSgl) {
       // This reproduction implements the PRP default only (§3.2).
       hres.status = Status::kInvalidField;
+      if (rejects_ != nullptr) rejects_->add();
     } else {
       std::span<const std::byte> wpayload{};
       if (cmd.write_len > 0) {
@@ -78,7 +89,10 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
       }
 
       std::span<std::byte> rpayload{rscratch_.data(), cmd.read_len};
+      if (traces_ != nullptr) traces_->stamp(cmd.cid, obs::Stage::kDispatch);
       hres = handler_(cmd, wpayload, rpayload);
+      if (traces_ != nullptr)
+        traces_->stamp(cmd.cid, obs::Stage::kBackendDone);
 
       if (cmd.read_len > 0 && hres.read_bytes > 0) {
         DPC_CHECK(hres.read_bytes <= cmd.read_len);
@@ -116,7 +130,11 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
   const std::uint32_t last_dword =
       static_cast<std::uint32_t>(cqe.cid) |
       (static_cast<std::uint32_t>(cqe.status) << 16);
+  // Stamp CQE-post before the release store: the INI reads the slot only
+  // after acquiring the phase tag, so the stamp is ordered-visible at reap.
+  if (traces_ != nullptr) traces_->stamp(cqe.cid, obs::Stage::kCqePost);
   host.atomic_u32(cqe_off + 12).store(last_dword, std::memory_order_release);
+  if (cqe_posts_ != nullptr) cqe_posts_->add();
   st.cost +=
       dma_->note_transaction(pcie::DmaClass::kDescriptor, sizeof(Cqe));
   cq_tail_ = static_cast<std::uint16_t>((cq_tail_ + 1) % qp_->depth());

@@ -17,6 +17,7 @@
 
 #include "nvme/queue_pair.hpp"
 #include "nvme/spec.hpp"
+#include "obs/trace.hpp"
 #include "pcie/dma.hpp"
 #include "sim/time.hpp"
 
@@ -42,7 +43,10 @@ using CommandHandler = std::function<HandlerResult(
 
 class TgtDriver {
  public:
-  TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp, CommandHandler handler);
+  /// `traces` (optional) must be the same QueueTraces handed to this
+  /// queue's IniDriver so the DPU-side stage stamps join the host's.
+  TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp, CommandHandler handler,
+            obs::QueueTraces* traces = nullptr);
 
   struct ProcessStats {
     int processed = 0;
@@ -61,6 +65,10 @@ class TgtDriver {
   pcie::DmaEngine* dma_;
   const QueuePair* qp_;
   CommandHandler handler_;
+  obs::QueueTraces* traces_;
+  obs::Counter* cmds_ = nullptr;        // registry instruments (null when
+  obs::Counter* cqe_posts_ = nullptr;   // no traces attached)
+  obs::Counter* rejects_ = nullptr;
 
   std::uint16_t sq_head_ = 0;
   std::uint16_t cq_tail_ = 0;

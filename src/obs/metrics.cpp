@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
+namespace dpc::obs {
+
+namespace {
+
+/// Minimal JSON string escape — metric names are ASCII identifiers, but be
+/// safe against quotes/backslashes in user-supplied names.
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+template <typename Map, typename Emit>
+void json_object(std::ostream& os, const Map& m, Emit emit) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, inst] : m) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ':';
+    emit(*inst);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = counters_.find(name); it != counters_.end())
+      return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = gauges_.find(name); it != gauges_.end())
+      return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+sim::Histogram& Registry::histogram(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = hists_.find(name); it != hists_.end())
+      return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = hists_[std::string(name)];
+  if (!slot) slot = std::make_unique<sim::Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, c] : counters_) *c = 0;
+  for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : hists_) h->reset();
+}
+
+void Registry::to_json(std::ostream& os) const {
+  std::shared_lock lock(mu_);
+  os << "{\"counters\":";
+  json_object(os, counters_,
+              [&os](const Counter& c) { os << c.load(); });
+  os << ",\"gauges\":";
+  json_object(os, gauges_, [&os](const Gauge& g) { os << g.load(); });
+  os << ",\"histograms\":";
+  json_object(os, hists_, [&os](const sim::Histogram& h) {
+    os << "{\"count\":" << h.count() << ",\"min_ns\":" << h.min().ns
+       << ",\"mean_ns\":" << h.mean().ns
+       << ",\"p50_ns\":" << h.percentile(50).ns
+       << ",\"p95_ns\":" << h.percentile(95).ns
+       << ",\"p99_ns\":" << h.percentile(99).ns
+       << ",\"max_ns\":" << h.max().ns << '}';
+  });
+  os << '}';
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
+}  // namespace dpc::obs

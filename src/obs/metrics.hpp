@@ -1,0 +1,106 @@
+// Unified observability substrate: a lock-cheap registry of named counters,
+// gauges, and latency histograms shared by every layer of the DPC stack.
+//
+// Hot paths resolve their instruments once (get-or-create under a shared
+// lock) and then touch plain relaxed atomics; the registry lock is only
+// taken exclusively when a new name is first registered. A JSON snapshot
+// (`Registry::to_json`) is what the figure benches emit as BENCH_*.json so
+// per-stage latency trajectories accumulate across PRs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "sim/histogram.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::obs {
+
+/// Monotonic counter. API is a drop-in for the std::atomic<uint64_t> members
+/// it replaces in the per-module stats structs (fetch_add/load), so the
+/// migration onto the registry does not disturb existing call sites.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t fetch_add(
+      std::uint64_t n, std::memory_order = std::memory_order_relaxed) {
+    return v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t load(std::memory_order = std::memory_order_relaxed) const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return load(); }
+  operator std::uint64_t() const { return load(); }
+  Counter& operator++() {
+    add(1);
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    add(n);
+    return *this;
+  }
+  /// Reset-style assignment (stats().reset() in the cache planes).
+  Counter& operator=(std::uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed instantaneous value (queue depths, free-page counts).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Named-instrument registry. Instrument references are stable for the
+/// registry's lifetime; names use "scope/metric" convention (e.g.
+/// "nvme.ini/submits", "trace/submit_to_reap_ns").
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  sim::Histogram& histogram(std::string_view name);
+
+  /// Zeroes every registered instrument (names stay registered).
+  void reset();
+
+  /// Snapshot as JSON: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count","min_ns","mean_ns","p50_ns","p95_ns","p99_ns",
+  /// "max_ns"},...}}. Keys are sorted, so diffs are stable.
+  void to_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<sim::Histogram>, std::less<>> hists_;
+};
+
+}  // namespace dpc::obs

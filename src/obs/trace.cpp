@@ -1,0 +1,56 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "sim/check.hpp"
+
+namespace dpc::obs {
+
+QueueTraces::QueueTraces(Registry& registry, std::uint16_t depth)
+    : registry_(&registry),
+      slots_(depth),
+      submit_to_reap_(&registry.histogram("trace/submit_to_reap_ns")),
+      submit_to_fetch_(&registry.histogram("trace/submit_to_fetch_ns")),
+      fetch_to_dispatch_(&registry.histogram("trace/fetch_to_dispatch_ns")),
+      dispatch_to_backend_(
+          &registry.histogram("trace/dispatch_to_backend_ns")),
+      backend_to_cqe_(&registry.histogram("trace/backend_to_cqe_ns")),
+      cqe_to_reap_(&registry.histogram("trace/cqe_to_reap_ns")) {
+  DPC_CHECK(depth >= 1);
+}
+
+std::int64_t QueueTraces::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void QueueTraces::stamp(std::uint16_t cid, Stage s) {
+  if (cid >= slots_.size()) return;  // malformed cid: drop, don't trace
+  slots_[cid].at[static_cast<std::size_t>(s)].store(
+      now_ns(), std::memory_order_relaxed);
+}
+
+void QueueTraces::finish(std::uint16_t cid) {
+  if (cid >= slots_.size()) return;
+  auto& at = slots_[cid].at;
+  std::array<std::int64_t, static_cast<std::size_t>(Stage::kCount_)> t;
+  for (std::size_t s = 0; s < t.size(); ++s)
+    t[s] = at[s].exchange(0, std::memory_order_relaxed);
+
+  const auto rec = [&t](sim::Histogram* h, Stage a, Stage b) {
+    const std::int64_t ta = t[static_cast<std::size_t>(a)];
+    const std::int64_t tb = t[static_cast<std::size_t>(b)];
+    // A stage may be missing (e.g. no TGT tracing attached, or an op
+    // rejected before dispatch); record only spans with both endpoints.
+    if (ta != 0 && tb != 0 && tb >= ta) h->record(sim::Nanos{tb - ta});
+  };
+  rec(submit_to_reap_, Stage::kHostSubmit, Stage::kHostReap);
+  rec(submit_to_fetch_, Stage::kHostSubmit, Stage::kTgtFetch);
+  rec(fetch_to_dispatch_, Stage::kTgtFetch, Stage::kDispatch);
+  rec(dispatch_to_backend_, Stage::kDispatch, Stage::kBackendDone);
+  rec(backend_to_cqe_, Stage::kBackendDone, Stage::kCqePost);
+  rec(cqe_to_reap_, Stage::kCqePost, Stage::kHostReap);
+}
+
+}  // namespace dpc::obs

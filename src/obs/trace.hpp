@@ -1,0 +1,73 @@
+// Per-op latency tracing for the nvme-fs path.
+//
+// One QueueTraces rides with each queue pair and is shared by that queue's
+// INI (host) and TGT (DPU) drivers: the slot for a cid collects wall-clock
+// timestamps at each stage of the op's life —
+//
+//   host submit → TGT SQE fetch → dispatch entry → backend done → CQE post
+//   → host reap
+//
+// — and on reap folds the stage deltas into registry histograms, answering
+// "where did the nanoseconds go" for the real (executed, not modelled)
+// pipeline. Stamping is two relaxed atomic ops; the CQE phase-tag
+// release/acquire pair that already orders the completion also orders the
+// cross-side stamps, so reading them at reap is race-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dpc::obs {
+
+/// Trace stages in pipeline order. kHostSubmit..kHostReap are stamped by
+/// the INI (host side) and TGT (DPU side) drivers.
+enum class Stage : std::uint8_t {
+  kHostSubmit = 0,  ///< INI allocated the cid and is about to ring the SQ
+  kTgtFetch,        ///< TGT pulled the SQE off the ring
+  kDispatch,        ///< TGT is handing the command to IO_Dispatch
+  kBackendDone,     ///< the handler (KVFS/DFS/cache) returned
+  kCqePost,         ///< TGT published the CQE (phase-tag store)
+  kHostReap,        ///< INI consumed the CQE
+  kCount_,
+};
+
+class QueueTraces {
+ public:
+  /// `depth` = queue depth (one slot per cid). All QueueTraces built over
+  /// the same registry share histograms, so multi-queue systems aggregate.
+  QueueTraces(Registry& registry, std::uint16_t depth);
+
+  /// Monotonic wall-clock nanoseconds.
+  static std::int64_t now_ns();
+
+  void stamp(std::uint16_t cid, Stage s);
+
+  /// Called at host reap: records every stage delta with both endpoints
+  /// present into the trace histograms, then clears the slot for cid reuse.
+  void finish(std::uint16_t cid);
+
+  Registry& registry() { return *registry_; }
+
+ private:
+  struct Slot {
+    std::array<std::atomic<std::int64_t>,
+               static_cast<std::size_t>(Stage::kCount_)>
+        at{};  // 0 = not stamped
+  };
+
+  Registry* registry_;
+  std::vector<Slot> slots_;
+  // Pre-resolved stage-delta histograms (shared names across queues).
+  sim::Histogram* submit_to_reap_;
+  sim::Histogram* submit_to_fetch_;
+  sim::Histogram* fetch_to_dispatch_;
+  sim::Histogram* dispatch_to_backend_;
+  sim::Histogram* backend_to_cqe_;
+  sim::Histogram* cqe_to_reap_;
+};
+
+}  // namespace dpc::obs

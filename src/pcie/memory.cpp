@@ -1,6 +1,39 @@
 #include "pcie/memory.hpp"
 
+#if defined(__SANITIZE_THREAD__)
+#define DPC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPC_TSAN 1
+#endif
+#endif
+
 namespace dpc::pcie {
+
+namespace {
+
+// Bulk copies model DMA bursts: real devices may legally overlap a burst
+// with live CPU stores to the same range (the device observes some word
+// interleaving — callers own overlap discipline). memcpy racing a store is
+// nonetheless UB to ThreadSanitizer, so under TSan the burst degrades to
+// byte-wise relaxed atomics: same observable semantics, race-free copy.
+#ifdef DPC_TSAN
+void dma_copy(std::byte* dst, const std::byte* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // atomic_ref<const T> is C++26; the cast only relaxes qualification.
+    const std::byte b =
+        std::atomic_ref<std::byte>(const_cast<std::byte&>(src[i]))
+            .load(std::memory_order_relaxed);
+    std::atomic_ref<std::byte>(dst[i]).store(b, std::memory_order_relaxed);
+  }
+}
+#else
+void dma_copy(std::byte* dst, const std::byte* src, std::size_t n) {
+  std::memcpy(dst, src, n);
+}
+#endif
+
+}  // namespace
 
 MemoryRegion::MemoryRegion(std::string name, std::size_t size)
     : name_(std::move(name)), storage_((size + 63) / 64 + 1) {
@@ -24,12 +57,12 @@ std::span<const std::byte> MemoryRegion::bytes(std::uint64_t offset,
 
 void MemoryRegion::write(std::uint64_t offset, std::span<const std::byte> src) {
   auto dst = bytes(offset, src.size());
-  std::memcpy(dst.data(), src.data(), src.size());
+  dma_copy(dst.data(), src.data(), src.size());
 }
 
 void MemoryRegion::read(std::uint64_t offset, std::span<std::byte> dst) const {
   auto src = bytes(offset, dst.size());
-  std::memcpy(dst.data(), src.data(), dst.size());
+  dma_copy(dst.data(), src.data(), dst.size());
 }
 
 std::atomic_ref<std::uint32_t> MemoryRegion::atomic_u32(std::uint64_t offset) {

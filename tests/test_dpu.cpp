@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "sim/check.hpp"
 
@@ -85,6 +87,56 @@ TEST(WorkerPool, GuardsMisuse) {
   pool.start(1);
   EXPECT_THROW(pool.add_poller([] { return 0; }), dpc::CheckFailure);
   pool.stop();
+}
+
+TEST(WorkerPool, StopIsIdempotent) {
+  WorkerPool pool;
+  std::atomic<int> count{0};
+  pool.add_poller([&count] {
+    count.fetch_add(1);
+    return 1;
+  });
+  pool.start(2);
+  while (count.load() < 10) std::this_thread::yield();
+  pool.stop();
+  pool.stop();  // second stop is a no-op, not a crash/deadlock
+  pool.stop();
+  EXPECT_FALSE(pool.running());
+}
+
+TEST(WorkerPool, ConcurrentStopsRaceSafely) {
+  WorkerPool pool;
+  std::atomic<int> count{0};
+  pool.add_poller([&count] {
+    count.fetch_add(1);
+    return 1;
+  });
+  pool.start(4);
+  while (count.load() < 10) std::this_thread::yield();
+  std::array<std::thread, 4> stoppers;
+  for (auto& t : stoppers) t = std::thread([&pool] { pool.stop(); });
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(pool.running());
+}
+
+TEST(WorkerPool, RestartableAfterStop) {
+  WorkerPool pool;
+  std::atomic<int> count{0};
+  pool.add_poller([&count] {
+    count.fetch_add(1);
+    return 1;
+  });
+  pool.start(2);
+  while (count.load() < 10) std::this_thread::yield();
+  pool.stop();
+  const int between = count.load();
+
+  pool.start(2);  // pollers retained across the stop
+  EXPECT_TRUE(pool.running());
+  while (count.load() < between + 10) std::this_thread::yield();
+  pool.stop();
+  EXPECT_FALSE(pool.running());
+  EXPECT_GE(count.load(), between + 10);
 }
 
 TEST(WorkerPool, DestructorJoins) {

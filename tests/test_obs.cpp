@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace dpc {
+namespace {
+
+TEST(ObsRegistry, CounterGetOrCreateIsStable) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x/ops");
+  obs::Counter& b = reg.counter("x/ops");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.load(), 3u);
+}
+
+TEST(ObsRegistry, CounterIsAtomicDropIn) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("x/ops");
+  c.fetch_add(2, std::memory_order_relaxed);
+  ++c;
+  c += 4;
+  EXPECT_EQ(c.load(std::memory_order_relaxed), 7u);
+  EXPECT_EQ(static_cast<std::uint64_t>(c), 7u);
+  c = 0;
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsDontLose) {
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&reg] {
+      // Each thread resolves the instrument itself: exercises the
+      // shared-lock fast path racing the exclusive-create path.
+      obs::Counter& c = reg.counter("race/hits");
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(reg.counter("race/hits").load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, GaugeTracksSignedValues) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("q/depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.load(), 7);
+}
+
+TEST(ObsRegistry, HistogramPercentiles) {
+  obs::Registry reg;
+  sim::Histogram& h = reg.histogram("lat_ns");
+  for (int i = 1; i <= 1000; ++i) h.record(sim::Nanos{i * 1000});
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed percentiles are approximate: p50 within a bucket of 500us.
+  const auto p50 = h.percentile(50).ns;
+  EXPECT_GE(p50, 250 * 1000);
+  EXPECT_LE(p50, 1000 * 1000);
+  EXPECT_GE(h.percentile(99).ns, h.percentile(50).ns);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsNames) {
+  obs::Registry reg;
+  reg.counter("a").add(5);
+  reg.histogram("h").record(sim::Nanos{100});
+  reg.reset();
+  EXPECT_EQ(reg.counter("a").load(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(ObsRegistry, JsonSnapshotShape) {
+  obs::Registry reg;
+  reg.counter("nvme.ini/submits").add(2);
+  reg.gauge("cache/free_pages").set(7);
+  reg.histogram("trace/submit_to_reap_ns").record(sim::Nanos{1234});
+  const std::string j = reg.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"nvme.ini/submits\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"cache/free_pages\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"trace/submit_to_reap_ns\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"p99_ns\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check without a JSON parser).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(ObsRegistry, JsonEscapesStrings) {
+  obs::Registry reg;
+  reg.counter("weird\"name\\x").add(1);
+  const std::string j = reg.to_json();
+  EXPECT_NE(j.find("weird\\\"name\\\\x"), std::string::npos);
+}
+
+TEST(ObsTrace, StagesProduceSpans) {
+  obs::Registry reg;
+  obs::QueueTraces traces(reg, /*depth=*/4);
+  const std::uint16_t cid = 2;
+  traces.stamp(cid, obs::Stage::kHostSubmit);
+  traces.stamp(cid, obs::Stage::kTgtFetch);
+  traces.stamp(cid, obs::Stage::kDispatch);
+  traces.stamp(cid, obs::Stage::kBackendDone);
+  traces.stamp(cid, obs::Stage::kCqePost);
+  traces.stamp(cid, obs::Stage::kHostReap);
+  traces.finish(cid);
+  EXPECT_EQ(reg.histogram("trace/submit_to_reap_ns").count(), 1u);
+  EXPECT_EQ(reg.histogram("trace/dispatch_to_backend_ns").count(), 1u);
+  // finish() clears the slot: a second finish records nothing.
+  traces.finish(cid);
+  EXPECT_EQ(reg.histogram("trace/submit_to_reap_ns").count(), 1u);
+}
+
+TEST(ObsTrace, PartialStampsRecordOnlyCompleteSpans) {
+  obs::Registry reg;
+  obs::QueueTraces traces(reg, 4);
+  traces.stamp(1, obs::Stage::kHostSubmit);
+  traces.stamp(1, obs::Stage::kHostReap);  // no DPU-side stamps
+  traces.finish(1);
+  EXPECT_EQ(reg.histogram("trace/submit_to_reap_ns").count(), 1u);
+  EXPECT_EQ(reg.histogram("trace/submit_to_fetch_ns").count(), 0u);
+  EXPECT_EQ(reg.histogram("trace/dispatch_to_backend_ns").count(), 0u);
+}
+
+TEST(ObsTrace, OutOfRangeCidIsDropped) {
+  obs::Registry reg;
+  obs::QueueTraces traces(reg, 2);
+  traces.stamp(9, obs::Stage::kHostSubmit);  // beyond depth: no-op
+  traces.finish(9);
+  EXPECT_EQ(reg.histogram("trace/submit_to_reap_ns").count(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc
