@@ -1,0 +1,129 @@
+// Chaos/recovery bench: the standalone DPC stack under injected fault
+// rates of 0/1/2/5% at every site, 8K ops through the full nvme-fs →
+// IO_Dispatch → KVFS path (pump mode, deterministic).
+//
+// Reports per-rate goodput (app-level op success after the stack's bounded
+// retries), the modelled mean latency including retry/backoff/timeout
+// charges, and the recovery counters. The 0% row doubles as the
+// no-overhead baseline: with the injector disarmed the failure path costs
+// one null-pointer compare per op.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/dpc_system.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace dpc;
+
+constexpr std::uint32_t kIoSize = 8 * 1024;
+constexpr int kFiles = 8;
+constexpr int kOpsPerFile = 40;
+
+struct RatePoint {
+  double fail_pct = 0;
+  double goodput_pct = 0;
+  double mean_cost_us = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t flush_fails = 0;
+};
+
+RatePoint run_rate(double p, std::uint64_t seed) {
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(seed, &fault_reg);
+
+  core::DpcOptions opts;
+  opts.queues = 2;
+  opts.queue_depth = 8;
+  opts.max_io = 128 * 1024;
+  opts.with_dfs = false;
+  opts.fault = p > 0 ? &fi : nullptr;  // p == 0: injector fully absent
+  opts.nvme_retry.max_attempts = 6;
+  opts.kv_retry.max_attempts = 6;
+  opts.kv_breaker.failure_threshold = 64;
+  core::DpcSystem sys(opts);
+
+  if (p > 0) {
+    fi.arm(nvme::kFaultTgtDropCqe, p * 0.5);  // drops are the pricy half
+    fi.arm(nvme::kFaultTgtErrorCqe, p);
+    fi.arm(kv::RemoteKv::kFaultSite, p);
+    fi.arm(cache::kFaultFlushWritePage, p);
+  }
+
+  sim::Rng rng(seed);
+  std::vector<std::byte> buf(kIoSize);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next_below(256));
+
+  int ops = 0, ok = 0;
+  sim::Nanos total_cost{};
+  std::vector<std::uint64_t> inos;
+  for (int f = 0; f < kFiles; ++f) {
+    const auto c = sys.create(kvfs::kRootIno, "f" + std::to_string(f));
+    if (c.ok()) inos.push_back(c.ino);
+  }
+  for (int i = 0; i < kOpsPerFile && !inos.empty(); ++i) {
+    for (const auto ino : inos) {
+      const std::uint64_t off =
+          (rng.next_below(16)) * static_cast<std::uint64_t>(kIoSize);
+      const auto w = sys.write(ino, off, buf, /*direct=*/true);
+      ++ops;
+      ok += w.ok() ? 1 : 0;
+      total_cost += w.cost;
+      std::vector<std::byte> out(kIoSize);
+      const auto r = sys.read(ino, off, out, /*direct=*/true);
+      ++ops;
+      ok += r.ok() ? 1 : 0;
+      total_cost += r.cost;
+    }
+  }
+  for (const auto ino : inos) (void)sys.fsync(ino);
+
+  RatePoint pt;
+  pt.fail_pct = p * 100.0;
+  pt.goodput_pct = ops > 0 ? 100.0 * ok / ops : 0;
+  pt.mean_cost_us =
+      ops > 0 ? sim::Nanos{total_cost.ns / ops}.us() : 0;
+  pt.injected = fault_reg.counter("fault/injected").value();
+  pt.retries = sys.metrics().counter("retry/attempts").value();
+  pt.timeouts = sys.metrics().counter("nvme.ini/timeouts").value();
+  pt.flush_fails = sys.metrics().counter("cache.ctl/flush_fails").value();
+  if (p > 0) {
+    // The injector counts into its own registry (it outlives no system);
+    // fold its counters into the snapshot so the JSON is self-contained.
+    sys.metrics().counter("fault/injected").add(pt.injected);
+    sys.metrics().counter("fault/checks").add(
+        fault_reg.counter("fault/checks").value());
+    bench::emit_metrics_json(sys.metrics(), "chaos_recovery");
+  }
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::headline(
+      "Chaos recovery — goodput and latency vs injected fault rate",
+      "bounded retries + backoff absorb low-rate faults with ~100% goodput; "
+      "latency grows with rate (timeout + backoff charges); 0% = baseline");
+
+  const std::uint64_t seed = fault::FaultInjector::seed_from_env(42);
+  std::cout << "fault seed: " << seed << " (override with DPC_FAULT_SEED)\n\n";
+
+  sim::Table t({"fault-rate%", "goodput%", "mean-cost(us)", "injected",
+                "retries", "nvme-timeouts", "flush-fails"});
+  for (const double p : {0.0, 0.01, 0.02, 0.05}) {
+    const auto pt = run_rate(p, seed);
+    t.add_row({sim::Table::fmt(pt.fail_pct, 0), sim::Table::fmt(pt.goodput_pct),
+               sim::Table::fmt(pt.mean_cost_us),
+               std::to_string(pt.injected), std::to_string(pt.retries),
+               std::to_string(pt.timeouts), std::to_string(pt.flush_fails)});
+  }
+  bench::print_table(t, args);
+  return 0;
+}

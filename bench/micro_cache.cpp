@@ -19,8 +19,10 @@ struct NullBackend final : CacheBackend {
     std::fill(dst.begin(), dst.end(), std::byte{0x11});
     return true;
   }
-  void write_page(std::uint64_t, std::uint64_t,
-                  std::span<const std::byte>) override {}
+  bool write_page(std::uint64_t, std::uint64_t,
+                  std::span<const std::byte>) override {
+    return true;
+  }
 };
 
 struct Rig {

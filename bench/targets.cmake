@@ -6,7 +6,8 @@ function(dpc_bench name)
   add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     dpc_core dpc_dfs dpc_hostfs dpc_kvfs dpc_cache dpc_dpu dpc_kv dpc_ssd
-    dpc_ec dpc_virtio dpc_nvme dpc_pcie dpc_sim Threads::Threads)
+    dpc_ec dpc_virtio dpc_nvme dpc_pcie dpc_fault dpc_obs dpc_sim
+    Threads::Threads)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -15,7 +16,7 @@ function(dpc_microbench name)
   add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     dpc_core dpc_dfs dpc_hostfs dpc_kvfs dpc_cache dpc_dpu dpc_kv dpc_ssd
-    dpc_ec dpc_virtio dpc_nvme dpc_pcie dpc_sim
+    dpc_ec dpc_virtio dpc_nvme dpc_pcie dpc_fault dpc_obs dpc_sim
     benchmark::benchmark benchmark::benchmark_main Threads::Threads)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -34,3 +35,4 @@ dpc_microbench(micro_ec)
 dpc_microbench(micro_kv)
 dpc_microbench(micro_cache)
 dpc_bench(ablation_offload)
+dpc_bench(chaos_recovery)

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, then a ThreadSanitizer build + tests.
+# CI entry point: plain build + tests, then a ThreadSanitizer build + tests,
+# then the chaos stage: fault-injection tests swept over several seeds in
+# both builds (the schedules are deterministic per seed).
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+CHAOS_SEEDS=(1 7 1337)
 
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
@@ -16,5 +19,15 @@ echo "=== tsan build ==="
 cmake -B build-tsan -S . -DDPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "=== chaos stage ==="
+for seed in "${CHAOS_SEEDS[@]}"; do
+  echo "--- chaos seed $seed (plain) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build --output-on-failure \
+    -j "$JOBS" -R 'Chaos|Fault'
+  echo "--- chaos seed $seed (tsan) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build-tsan --output-on-failure \
+    -j "$JOBS" -R 'Chaos|Fault'
+done
 
 echo "=== ci OK ==="

@@ -19,8 +19,10 @@ class CacheBackend {
                          std::span<std::byte> dst) = 0;
 
   /// Persists one page (called by the flusher with the page read-locked, so
-  /// the content is stable for the duration).
-  virtual void write_page(std::uint64_t inode, std::uint64_t lpn,
+  /// the content is stable for the duration). Returns false on a transient
+  /// backend failure — the flusher keeps the page dirty and retries on a
+  /// later pass instead of dropping the data.
+  virtual bool write_page(std::uint64_t inode, std::uint64_t lpn,
                           std::span<const std::byte> src) = 0;
 };
 

@@ -16,10 +16,12 @@ DpuCacheControl::DpuCacheControl(pcie::DmaEngine& dma,
                                  CacheBackend& backend,
                                  std::unique_ptr<EvictionPolicy> policy,
                                  const ControlPlaneConfig& cfg,
-                                 obs::Registry* registry)
+                                 obs::Registry* registry,
+                                 fault::FaultInjector* fault)
     : dma_(&dma),
       layout_(&layout),
       backend_(&backend),
+      fault_(fault),
       policy_(std::move(policy)),
       cfg_(cfg),
       prefetcher_(cfg.prefetch_max_window),
@@ -186,7 +188,16 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
       stats_.compress_out_bytes += packed_size;
       res.cost += dpu::dpu_compress_cost(scratch_.size());
     }
-    backend_->write_page(e.inode, e.lpn, scratch_);
+    const bool flushed =
+        !(fault_ != nullptr && fault_->should_fail(kFaultFlushWritePage)) &&
+        backend_->write_page(e.inode, e.lpn, scratch_);
+    if (!flushed) {
+      // Transient backend failure: drop the read lock but leave the page
+      // dirty — it is re-queued, never lost, and a later pass retries it.
+      ++stats_.flush_fails;
+      read_unlock(i, res.cost);
+      continue;
+    }
     // "After completing flushing, DPU releases the read locks … and updates
     // their status to clean".
     set_status(i, PageStatus::kClean, res.cost);

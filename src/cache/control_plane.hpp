@@ -25,11 +25,17 @@
 #include "cache/backend.hpp"
 #include "cache/layout.hpp"
 #include "cache/policy.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "pcie/dma.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::cache {
+
+/// Fault-injection site: one draw per flushed page; a hit makes the backend
+/// write fail, leaving the page dirty for a later pass.
+inline constexpr std::string_view kFaultFlushWritePage =
+    "cache.flush/write_page";
 
 struct ControlPlaneConfig {
   /// Refill eviction until at least this many pages are free.
@@ -54,7 +60,8 @@ struct ControlPlaneStats {
         flush_lock_conflicts(reg.counter("cache.ctl/flush_lock_conflicts")),
         dif_checksums(reg.counter("cache.ctl/dif_checksums")),
         compress_in_bytes(reg.counter("cache.ctl/compress_in_bytes")),
-        compress_out_bytes(reg.counter("cache.ctl/compress_out_bytes")) {}
+        compress_out_bytes(reg.counter("cache.ctl/compress_out_bytes")),
+        flush_fails(reg.counter("cache.ctl/flush_fails")) {}
 
   obs::Counter& pages_flushed;
   obs::Counter& pages_evicted;
@@ -64,6 +71,8 @@ struct ControlPlaneStats {
   /// Flush-path compression accounting (bytes before/after).
   obs::Counter& compress_in_bytes;
   obs::Counter& compress_out_bytes;
+  /// Backend write_page failures — the page stays dirty and is re-queued.
+  obs::Counter& flush_fails;
 };
 
 class DpuCacheControl {
@@ -74,7 +83,8 @@ class DpuCacheControl {
                   CacheBackend& backend,
                   std::unique_ptr<EvictionPolicy> policy,
                   const ControlPlaneConfig& cfg = {},
-                  obs::Registry* registry = nullptr);
+                  obs::Registry* registry = nullptr,
+                  fault::FaultInjector* fault = nullptr);
 
   /// One flusher iteration: flush up to `max_pages` dirty pages.
   struct PassResult {
@@ -122,6 +132,7 @@ class DpuCacheControl {
   pcie::DmaEngine* dma_;
   const CacheLayout* layout_;
   CacheBackend* backend_;
+  fault::FaultInjector* fault_;
   std::unique_ptr<EvictionPolicy> policy_;
   ControlPlaneConfig cfg_;
   SequentialPrefetcher prefetcher_;

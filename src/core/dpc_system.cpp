@@ -1,6 +1,7 @@
 #include "core/dpc_system.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -41,7 +42,7 @@ class KvfsCacheBackend final : public cache::CacheBackend {
     auto res = fs_->read(inode, lpn * kCachePage, dst);
     return res.ok() && res.value > 0;
   }
-  void write_page(std::uint64_t inode, std::uint64_t lpn,
+  bool write_page(std::uint64_t inode, std::uint64_t lpn,
                   std::span<const std::byte> src) override {
     // Note on ordering: a flush may land before the adapter's async size
     // update and transiently grow the file to the page boundary; the
@@ -50,8 +51,10 @@ class KvfsCacheBackend final : public cache::CacheBackend {
     // adapter also drops/zeroes cached pages *before* issuing a truncate,
     // so no stale page can regrow the file afterwards.
     auto res = fs_->write(inode, lpn * kCachePage, src);
-    if (res.err == ENOENT) return;  // racing unlink: drop the page
-    DPC_CHECK_MSG(res.ok(), "cache flush write failed: errno " << res.err);
+    if (res.err == ENOENT) return true;  // racing unlink: drop the page
+    // Transient KVFS failure (injected or real): report it so the flusher
+    // keeps the page dirty and retries on a later pass.
+    return res.ok();
   }
 
  private:
@@ -66,7 +69,9 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
                &registry_.histogram("latency/read_ns"),
                &registry_.histogram("latency/write_ns")},
       cache_hit_path_ns_(&registry_.histogram("cache/hit_path_ns")),
-      cache_miss_path_ns_(&registry_.histogram("cache/miss_path_ns")) {
+      cache_miss_path_ns_(&registry_.histogram("cache/miss_path_ns")),
+      nvme_retries_(&registry_.counter("retry/attempts")),
+      nvme_retry_exhausted_(&registry_.counter("retry/exhausted")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
 
   host_mem_ = std::make_unique<pcie::MemoryRegion>("host-dram",
@@ -81,11 +86,13 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
   }
   kv::KvStore& store =
       opts.shared_store != nullptr ? *opts.shared_store : *kv_store_;
-  remote_kv_ = std::make_unique<kv::RemoteKv>(store);
+  remote_kv_ = std::make_unique<kv::RemoteKv>(store, opts.fault, &registry_,
+                                              opts.kv_retry, opts.kv_breaker);
   kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, opts.kvfs, &registry_);
   if (opts.with_dfs) {
     mds_ = std::make_unique<dfs::MdsCluster>();
-    data_servers_ = std::make_unique<dfs::DataServers>();
+    data_servers_ = std::make_unique<dfs::DataServers>(
+        sim::calib::kDataServers, opts.fault, &registry_);
     dfs_client_ = std::make_unique<dfs::DfsClient>(
         1, *mds_, *data_servers_, dfs::ClientConfig::dpc_offloaded(),
         &registry_);
@@ -100,7 +107,8 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
     cache_backend_ = std::make_unique<KvfsCacheBackend>(*kvfs_);
     cache_ctl_ = std::make_unique<cache::DpuCacheControl>(
         *dma_, *cache_layout_, *cache_backend_,
-        std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_);
+        std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_,
+        opts.fault);
   }
 
   // Dispatch + transport.
@@ -119,7 +127,8 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
     inis_.push_back(std::make_unique<nvme::IniDriver>(*dma_, *qps_.back(),
                                                       qtraces_.back().get()));
     tgts_.push_back(std::make_unique<nvme::TgtDriver>(
-        *dma_, *qps_.back(), dispatch_->handler(), qtraces_.back().get()));
+        *dma_, *qps_.back(), dispatch_->handler(), qtraces_.back().get(),
+        opts.fault));
     pump_mu_.push_back(std::make_unique<std::mutex>());
   }
 }
@@ -155,10 +164,12 @@ int DpcSystem::queue_for_this_thread() {
   return tl_queue;
 }
 
-void DpcSystem::pump(int q) {
+int DpcSystem::pump(int q) {
   std::lock_guard lock(*pump_mu_[static_cast<std::size_t>(q)]);
-  tgts_[static_cast<std::size_t>(q)]->process_available(64);
+  const int n =
+      tgts_[static_cast<std::size_t>(q)]->process_available(64).processed;
   if (cache_ctl_) cache_ctl_->poll();
+  return n;
 }
 
 DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
@@ -167,39 +178,71 @@ DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
   nvme::IniDriver& ini = *inis_[static_cast<std::size_t>(q)];
 
   CallResult out;
-  const auto submitted = ini.submit(req);
-  out.cost += submitted.cost;
   out.cost += sim::calib::kSyscallVfs + sim::calib::kFsAdapterOp;
+  const std::uint64_t salt = call_seq_.fetch_add(1, std::memory_order_relaxed);
 
-  // Synchronous completion: poll; pump the DPU inline when no workers run.
-  const bool workers = workers_running_.load(std::memory_order_acquire);
-  nvme::Completion done;
-  for (;;) {
-    if (auto c = ini.try_take(submitted.cid)) {
-      done = *c;
-      break;
-    }
+  for (int attempt = 1;; ++attempt) {
+    const auto submitted = ini.submit(req);
+    out.cost += submitted.cost;
+
+    // Synchronous completion: poll with a deadline; pump the DPU inline
+    // when no workers run.
+    const bool workers = workers_running_.load(std::memory_order_acquire);
+    std::optional<nvme::Completion> got;
     if (!workers) {
-      pump(q);
+      // Inline pump: this thread services the TGT itself. Once the SQ
+      // drains with the completion still absent, the CQE was dropped on
+      // the device — deterministic loss detection, no wall clock needed.
+      int idle = 0;
+      while (idle < 2) {
+        if ((got = ini.try_take(submitted.cid))) break;
+        idle = pump(q) == 0 ? idle + 1 : 0;
+      }
+      if (!got) got = ini.try_take(submitted.cid);
     } else {
-      std::this_thread::yield();
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(opts_.nvme_timeout_ms);
+      for (;;) {
+        if ((got = ini.try_take(submitted.cid))) break;
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        std::this_thread::yield();
+      }
     }
-  }
 
-  out.status = done.status;
-  out.result = done.result;
-  // Device-reported service time (transport DMAs + backend) + host-side
-  // completion handling complete the op's modelled latency.
-  out.cost += sim::Nanos{done.service_ns} + sim::calib::kHostNvmeCompletion;
-  if (read_copy_bytes > 0 && done.status == nvme::Status::kSuccess) {
-    const std::uint32_t n = std::min(read_copy_bytes, done.result);
-    if (n > 0) {
-      auto payload = ini.read_payload(submitted.cid, n);
-      out.read_payload.assign(payload.begin(), payload.end());
+    // Timed out / lost: reclaim the CID. abort() returns a completion that
+    // raced in, else synthesizes kAbortedByRequest; any CQE landing after
+    // that is discarded by the driver's late-CQE guard, so releasing the
+    // CID below cannot mis-deliver a stale completion (the sim TGT either
+    // posts promptly or drops permanently).
+    const nvme::Completion done = got ? *got : ini.abort(submitted.cid);
+    if (!got) out.cost += sim::calib::kNvmeCommandTimeout;
+
+    if (nvme::is_retryable(done.status)) {
+      if (attempt < opts_.nvme_retry.max_attempts) {
+        ini.release(submitted.cid);
+        nvme_retries_->add();
+        out.cost += opts_.nvme_retry.backoff(attempt, salt);
+        continue;
+      }
+      nvme_retry_exhausted_->add();
     }
+
+    out.status = done.status;
+    out.result = done.result;
+    // Device-reported service time (transport DMAs + backend) + host-side
+    // completion handling complete the op's modelled latency.
+    out.cost += sim::Nanos{done.service_ns} + sim::calib::kHostNvmeCompletion;
+    if (read_copy_bytes > 0 && done.status == nvme::Status::kSuccess) {
+      const std::uint32_t n = std::min(read_copy_bytes, done.result);
+      if (n > 0) {
+        auto payload = ini.read_payload(submitted.cid, n);
+        out.read_payload.assign(payload.begin(), payload.end());
+      }
+    }
+    ini.release(submitted.cid);
+    return out;
   }
-  ini.release(submitted.cid);
-  return out;
 }
 
 std::string DpcSystem::latency_summary() const {

@@ -32,6 +32,8 @@
 #include "dfs/backend.hpp"
 #include "dfs/client.hpp"
 #include "dpu/dpu.hpp"
+#include "fault/injector.hpp"
+#include "fault/retry.hpp"
 #include "dpu/worker_pool.hpp"
 #include "kv/kv_store.hpp"
 #include "kv/remote.hpp"
@@ -58,6 +60,21 @@ struct DpcOptions {
   /// a private one — several DPC mounts (application servers) sharing one
   /// backend, as in the paper's diskless-architecture deployment.
   kv::KvStore* shared_store = nullptr;
+
+  // ---- failure model (all off by default: null injector = zero overhead)
+  /// Central fault injector threaded through every layer (TGT CQE
+  /// drop/error, remote-KV timeouts, data-server shard faults, cache-flush
+  /// failures). Must outlive the system.
+  fault::FaultInjector* fault = nullptr;
+  /// Retry budget for NVMe commands that time out or complete with a
+  /// retryable status (kAbortedByRequest / kDataTransferError).
+  fault::RetryPolicy nvme_retry{};
+  /// Wall-clock deadline per NVMe command when DPU workers run (the pump
+  /// path detects loss deterministically and ignores this).
+  int nvme_timeout_ms = 100;
+  /// Retry/backoff policy for remote-KV ops and the KV circuit breaker.
+  fault::RetryPolicy kv_retry{};
+  fault::CircuitBreaker::Config kv_breaker{};
 };
 
 /// Result of one fs-adapter call.
@@ -165,7 +182,7 @@ class DpcSystem {
   CallResult call(const nvme::IniDriver::Request& req,
                   std::uint32_t read_copy_bytes);
   int queue_for_this_thread();
-  void pump(int q);  // inline DPU processing when no workers run
+  int pump(int q);  // inline DPU processing; returns TGT commands processed
 
   Io header_call(nvme::DispatchTarget target, const FileRequest& req,
                  FileResponse* out);
@@ -221,6 +238,11 @@ class DpcSystem {
       latency_;
   sim::Histogram* cache_hit_path_ns_;
   sim::Histogram* cache_miss_path_ns_;
+
+  // NVMe command retry accounting + deterministic backoff-jitter salt.
+  obs::Counter* nvme_retries_;
+  obs::Counter* nvme_retry_exhausted_;
+  std::atomic<std::uint64_t> call_seq_{0};
 };
 
 }  // namespace dpc::core

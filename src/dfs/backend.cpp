@@ -242,10 +242,10 @@ bool MdsCluster::server_side_write(DataServers& ds, const ec::ReedSolomon& rs,
   // CPU burns here, not client CPU.
   prof.mds += sim::calib::kMdsProxyPerOp;
   if (meta->redundancy == Redundancy::kReplication) {
-    replicated_write(ds, *meta, offset, data, prof);
+    if (!replicated_write(ds, *meta, offset, data, prof)) return false;
   } else {
     prof.mds += ec::ReedSolomon::host_encode_cost(data.size());
-    striped_write(ds, rs, *meta, offset, data, prof);
+    if (!striped_write(ds, rs, *meta, offset, data, prof)) return false;
   }
   // …and lazily updates the size.
   for (auto& m : mds_) {
@@ -266,25 +266,22 @@ bool MdsCluster::server_side_read(DataServers& ds, Ino ino,
   auto meta = find_meta(ino);
   if (!meta) return false;
   prof.mds += sim::calib::kMdsProxyPerOp;  // proxied data path
-  if (meta->redundancy == Redundancy::kReplication)
-    replicated_read(ds, *meta, offset, dst, prof);
-  else
-    striped_read(ds, *meta, offset, dst, prof);
+  if (meta->redundancy == Redundancy::kReplication) {
+    if (!replicated_read(ds, *meta, offset, dst, prof) &&
+        !replicated_read_any(ds, *meta, offset, dst, prof))
+      return false;
+  } else if (!striped_read(ds, *meta, offset, dst, prof)) {
+    // Degraded path: the MDS reconstructs from surviving shards + parity
+    // and burns the decode cost server-side (it proxies this I/O).
+    prof.mds += ec::ReedSolomon::host_encode_cost(dst.size());
+    if (!striped_read_reconstruct(ds, ec::ReedSolomon(meta->k, meta->m),
+                                  *meta, offset, dst, prof))
+      return false;
+  }
   return true;
 }
 
 // ------------------------------------------------------------ DataServers
-
-DataServers::DataServers(int servers)
-    : servers_(static_cast<std::size_t>(servers)) {
-  DPC_CHECK(servers >= 1);
-}
-
-int DataServers::server_of(Ino ino, std::uint64_t stripe,
-                           std::uint32_t role) const {
-  // Rotated placement spreads parity load across servers.
-  return static_cast<int>((ino + stripe + role) % servers_.size());
-}
 
 namespace {
 sim::Nanos shard_net_cost(bool is_read, std::size_t bytes) {
@@ -295,12 +292,92 @@ sim::Nanos shard_net_cost(bool is_read, std::size_t bytes) {
 }
 }  // namespace
 
+DataServers::DataServers(int servers, fault::FaultInjector* fault,
+                         obs::Registry* registry,
+                         fault::CircuitBreaker::Config breaker_cfg)
+    : servers_(static_cast<std::size_t>(servers)), fault_(fault) {
+  DPC_CHECK(servers >= 1);
+  breakers_.reserve(static_cast<std::size_t>(servers));
+  for (int s = 0; s < servers; ++s) {
+    breakers_.push_back(
+        std::make_unique<fault::CircuitBreaker>(breaker_cfg, registry));
+  }
+  if (registry != nullptr) {
+    failed_reads_ = &registry->counter("dfs.ds/failed_reads");
+    failed_writes_ = &registry->counter("dfs.ds/failed_writes");
+  }
+}
+
+void DataServers::fail_server(int server) {
+  servers_[static_cast<std::size_t>(server)].failed.store(
+      true, std::memory_order_release);
+  any_failed_.store(true, std::memory_order_release);
+}
+
+void DataServers::heal_server(int server) {
+  // any_failed_ stays set: the gate keeps running (cheap) and the server's
+  // breaker closes itself on the first successful probe.
+  servers_[static_cast<std::size_t>(server)].failed.store(
+      false, std::memory_order_release);
+}
+
+bool DataServers::server_failed(int server) const {
+  return servers_[static_cast<std::size_t>(server)].failed.load(
+      std::memory_order_acquire);
+}
+
+bool DataServers::access_fails(int server, std::string_view site,
+                               bool is_read, std::size_t bytes,
+                               OpProfile& prof, bool& fast_failed) {
+  fast_failed = false;
+  fault::CircuitBreaker& br = *breakers_[static_cast<std::size_t>(server)];
+  if (!br.allow()) {
+    // Circuit open: fail immediately without burning a network round trip
+    // or server slot — the whole point of the breaker.
+    fast_failed = true;
+    return true;
+  }
+  const bool down =
+      servers_[static_cast<std::size_t>(server)].failed.load(
+          std::memory_order_acquire) ||
+      (fault_ != nullptr && fault_->should_fail(site));
+  if (down) {
+    // The attempt went to the wire and timed out: charge it.
+    prof.ds += sim::calib::kDataServerOp;
+    prof.net += shard_net_cost(is_read, bytes);
+    ++prof.ds_ops;
+    br.on_failure();
+    return true;
+  }
+  br.on_success();
+  return false;
+}
+
+int DataServers::server_of(Ino ino, std::uint64_t stripe,
+                           std::uint32_t role) const {
+  // Rotated placement spreads parity load across servers.
+  return static_cast<int>((ino + stripe + role) % servers_.size());
+}
+
 bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
-                             std::span<std::byte> dst, OpProfile& prof) {
+                             std::span<std::byte> dst, OpProfile& prof,
+                             bool* failed) {
+  if (failed != nullptr) *failed = false;
+  const int server = server_of(ino, stripe, role);
+  if (gated()) {
+    bool fast = false;
+    if (access_fails(server, kFaultDsReadShard, /*is_read=*/true, dst.size(),
+                     prof, fast)) {
+      if (failed_reads_ != nullptr) failed_reads_->add();
+      if (failed != nullptr) *failed = true;
+      std::memset(dst.data(), 0, dst.size());
+      return false;
+    }
+  }
   prof.ds += sim::calib::kDataServerOp;
   prof.net += shard_net_cost(true, dst.size());
   ++prof.ds_ops;
-  Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  Server& sv = servers_[static_cast<std::size_t>(server)];
   std::shared_lock lock(sv.mu);
   const auto it = sv.shards.find(Key{ino, stripe, role});
   if (it == sv.shards.end()) {
@@ -317,10 +394,25 @@ void DataServers::write_shard(Ino ino, std::uint64_t stripe,
                               std::uint32_t role,
                               std::span<const std::byte> src,
                               OpProfile& prof) {
+  const int server = server_of(ino, stripe, role);
+  Server& sv = servers_[static_cast<std::size_t>(server)];
+  if (gated()) {
+    bool fast = false;
+    if (access_fails(server, kFaultDsWriteShard, /*is_read=*/false,
+                     src.size(), prof, fast)) {
+      if (failed_writes_ != nullptr) failed_writes_->add();
+      // The new version never reached the server, so its old copy is now a
+      // stale version. Invalidate it (models per-shard version checks):
+      // a degraded read must reconstruct the new bytes from the surviving
+      // shards, never serve the outdated ones.
+      std::unique_lock lock(sv.mu);
+      sv.shards.erase(Key{ino, stripe, role});
+      return;
+    }
+  }
   prof.ds += sim::calib::kDataServerOp;
   prof.net += shard_net_cost(false, src.size());
   ++prof.ds_ops;
-  Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
   std::unique_lock lock(sv.mu);
   sv.shards[Key{ino, stripe, role}].assign(src.begin(), src.end());
 }
@@ -351,7 +443,7 @@ bool DataServers::has_shard(Ino ino, std::uint64_t stripe,
 
 // --------------------------------------------------------------- striping
 
-void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
+bool striped_write(DataServers& ds, const ec::ReedSolomon& rs,
                    const FileMeta& meta, std::uint64_t offset,
                    std::span<const std::byte> data, OpProfile& prof) {
   const std::uint32_t unit = meta.stripe_unit;
@@ -395,10 +487,23 @@ void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(data.size() - done, unit - in_shard));
 
-    // Delta-parity read-modify-write of one data shard.
+    // Delta-parity read-modify-write of one data shard. All reads happen
+    // before any write: computing a delta against zeros from a *failed*
+    // read (rather than the true old bytes) would silently corrupt parity,
+    // so a read failure aborts the op with the stripe untouched.
+    bool rfail = false;
     std::vector<std::byte> old_shard(unit);
     ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), old_shard,
-                  prof);
+                  prof, &rfail);
+    if (rfail) return false;
+    std::vector<std::vector<std::byte>> parity(
+        static_cast<std::size_t>(m), std::vector<std::byte>(unit));
+    for (int p = 0; p < m; ++p) {
+      ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
+                    parity[static_cast<std::size_t>(p)], prof, &rfail);
+      if (rfail) return false;
+    }
+
     std::vector<std::byte> new_shard = old_shard;
     std::memcpy(new_shard.data() + in_shard, data.data() + done, chunk);
 
@@ -409,18 +514,16 @@ void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
     ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), new_shard,
                    prof);
     for (int p = 0; p < m; ++p) {
-      std::vector<std::byte> parity(unit);
-      ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
-                    parity, prof);
-      rs.apply_delta(parity, p, d, delta);
+      rs.apply_delta(parity[static_cast<std::size_t>(p)], p, d, delta);
       ds.write_shard(meta.ino, stripe, static_cast<std::uint32_t>(k + p),
-                     parity, prof);
+                     parity[static_cast<std::size_t>(p)], prof);
     }
     done += chunk;
   }
+  return true;
 }
 
-void striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
+bool striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
                   std::span<std::byte> dst, OpProfile& prof) {
   const std::uint32_t unit = meta.stripe_unit;
   const std::uint64_t stripe_bytes = std::uint64_t{unit} * meta.k;
@@ -434,10 +537,13 @@ void striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
     const auto in_shard = static_cast<std::uint32_t>(in_stripe % unit);
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(dst.size() - done, unit - in_shard));
-    ds.read_shard(meta.ino, stripe, d, shard, prof);
+    bool rfail = false;
+    ds.read_shard(meta.ino, stripe, d, shard, prof, &rfail);
+    if (rfail) return false;  // outage — caller falls back to degraded read
     std::memcpy(dst.data() + done, shard.data() + in_shard, chunk);
     done += chunk;
   }
+  return true;
 }
 
 bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
@@ -457,13 +563,15 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(dst.size() - done, unit - in_shard));
 
-    if (ds.has_shard(meta.ino, stripe, static_cast<std::uint32_t>(d))) {
-      std::vector<std::byte> shard(unit);
-      ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), shard,
-                    prof);
+    bool rfail = false;
+    std::vector<std::byte> shard(unit);
+    if (ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(d), shard,
+                      prof, &rfail)) {
       std::memcpy(dst.data() + done, shard.data() + in_shard, chunk);
     } else {
-      // Degraded: gather every present shard, reconstruct the stripe.
+      // Degraded: the shard is absent or its server is unreachable. Gather
+      // every shard that still *reads back* (an existing shard on a failed
+      // server counts as lost) and reconstruct the stripe.
       const int total = k + m;
       std::vector<std::vector<std::byte>> shards(
           static_cast<std::size_t>(total), std::vector<std::byte>(unit));
@@ -473,9 +581,9 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
           std::make_unique<bool[]>(static_cast<std::size_t>(total));
       int have = 0;
       for (int r = 0; r < total; ++r) {
-        if (ds.has_shard(meta.ino, stripe, static_cast<std::uint32_t>(r))) {
-          ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
-                        shards[static_cast<std::size_t>(r)], prof);
+        if (ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
+                          shards[static_cast<std::size_t>(r)], prof,
+                          &rfail)) {
           present[static_cast<std::size_t>(r)] = true;
           ++have;
         }
@@ -498,7 +606,7 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
 
 // ------------------------------------------------------------ replication
 
-void replicated_write(DataServers& ds, const FileMeta& meta,
+bool replicated_write(DataServers& ds, const FileMeta& meta,
                       std::uint64_t offset, std::span<const std::byte> data,
                       OpProfile& prof) {
   DPC_CHECK(meta.redundancy == Redundancy::kReplication);
@@ -515,8 +623,17 @@ void replicated_write(DataServers& ds, const FileMeta& meta,
     if (chunk == unit) {
       payload = data.subspan(done, unit);
     } else {
-      // Partial unit: read-merge from the primary copy.
-      ds.read_shard(meta.ino, stripe, 0, shard, prof);
+      // Partial unit: read-merge. Try every replica — merging into zeros
+      // from a failed read would wipe the rest of the unit.
+      bool merged = false;
+      for (std::uint32_t r = 0; r < meta.replicas && !merged; ++r) {
+        bool rfail = false;
+        if (ds.read_shard(meta.ino, stripe, r, shard, prof, &rfail))
+          merged = true;
+        else if (!rfail)
+          merged = true;  // genuinely absent everywhere ⇒ zeros are right
+      }
+      if (!merged) return false;
       std::memcpy(shard.data() + in_unit, data.data() + done, chunk);
       payload = shard;
     }
@@ -524,9 +641,10 @@ void replicated_write(DataServers& ds, const FileMeta& meta,
       ds.write_shard(meta.ino, stripe, r, payload, prof);
     done += chunk;
   }
+  return true;
 }
 
-void replicated_read(DataServers& ds, const FileMeta& meta,
+bool replicated_read(DataServers& ds, const FileMeta& meta,
                      std::uint64_t offset, std::span<std::byte> dst,
                      OpProfile& prof) {
   DPC_CHECK(meta.redundancy == Redundancy::kReplication);
@@ -539,10 +657,13 @@ void replicated_read(DataServers& ds, const FileMeta& meta,
     const auto in_unit = static_cast<std::uint32_t>(pos % unit);
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(dst.size() - done, unit - in_unit));
-    ds.read_shard(meta.ino, stripe, 0, shard, prof);  // primary copy
+    bool rfail = false;
+    ds.read_shard(meta.ino, stripe, 0, shard, prof, &rfail);  // primary copy
+    if (rfail) return false;  // caller falls back to replicated_read_any
     std::memcpy(dst.data() + done, shard.data() + in_unit, chunk);
     done += chunk;
   }
+  return true;
 }
 
 bool replicated_read_any(DataServers& ds, const FileMeta& meta,
@@ -558,12 +679,12 @@ bool replicated_read_any(DataServers& ds, const FileMeta& meta,
     const auto in_unit = static_cast<std::uint32_t>(pos % unit);
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(dst.size() - done, unit - in_unit));
+    // Prefer the first replica that *reads back* — a copy sitting on a
+    // failed server is as good as gone.
     bool got = false;
     for (std::uint32_t r = 0; r < meta.replicas && !got; ++r) {
-      if (ds.has_shard(meta.ino, stripe, r)) {
-        ds.read_shard(meta.ino, stripe, r, shard, prof);
-        got = true;
-      }
+      bool rfail = false;
+      if (ds.read_shard(meta.ino, stripe, r, shard, prof, &rfail)) got = true;
     }
     if (!got) return false;
     std::memcpy(dst.data() + done, shard.data() + in_unit, chunk);

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <functional>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -24,10 +25,18 @@
 #include <vector>
 
 #include "ec/reed_solomon.hpp"
+#include "fault/injector.hpp"
+#include "fault/retry.hpp"
+#include "obs/metrics.hpp"
 #include "sim/calib.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::dfs {
+
+/// Fault-injection sites on the data-server wire (see src/fault/): a fired
+/// read/write behaves as if the target server did not answer in time.
+inline constexpr std::string_view kFaultDsReadShard = "dfs.ds/read_shard";
+inline constexpr std::string_view kFaultDsWriteShard = "dfs.ds/write_shard";
 
 using Ino = std::uint64_t;
 using ClientId = std::uint32_t;
@@ -164,10 +173,16 @@ class MdsCluster {
 // `prof`; the *EC compute* cost is charged by the caller (host CPU, DPU, or
 // MDS — that locus is exactly what the paper's offloading changes).
 
-void striped_write(DataServers& ds, const ec::ReedSolomon& rs,
+/// Returns false if a constituent shard *read* failed (server down /
+/// injected) before any write was issued — the stripe is left untouched so
+/// the caller can retry. Shard *writes* to a failed server invalidate that
+/// shard (see DataServers::write_shard), which degraded reads recover from.
+bool striped_write(DataServers& ds, const ec::ReedSolomon& rs,
                    const FileMeta& meta, std::uint64_t offset,
                    std::span<const std::byte> data, OpProfile& prof);
-void striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
+/// Returns false if any shard read *failed* (absent shards still read as
+/// zeros and succeed — they are holes, not failures).
+bool striped_read(DataServers& ds, const FileMeta& meta, std::uint64_t offset,
                   std::span<std::byte> dst, OpProfile& prof);
 /// Degraded read: reconstructs the requested range even when data shards
 /// are missing, as long as ≥ k shards of each touched stripe survive.
@@ -181,10 +196,13 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
 // Replication alternative (§2.1: "EC or replication"): each stripe-unit is
 // stored as `replicas` full copies on rotated servers (roles 0..r-1).
 
-void replicated_write(DataServers& ds, const FileMeta& meta,
+/// Returns false if a read-merge of a partial unit failed (see
+/// striped_write's contract).
+bool replicated_write(DataServers& ds, const FileMeta& meta,
                       std::uint64_t offset, std::span<const std::byte> data,
                       OpProfile& prof);
-void replicated_read(DataServers& ds, const FileMeta& meta,
+/// Returns false if the primary copy's read *failed*.
+bool replicated_read(DataServers& ds, const FileMeta& meta,
                      std::uint64_t offset, std::span<std::byte> dst,
                      OpProfile& prof);
 /// Reads preferring the first *present* replica; false if all copies of a
@@ -198,19 +216,38 @@ bool replicated_read_any(DataServers& ds, const FileMeta& meta,
 /// `s` lives on server (s + role) mod N — rotated placement.
 class DataServers {
  public:
-  explicit DataServers(int servers = sim::calib::kDataServers);
+  /// With a FaultInjector, shard reads/writes can fail at the
+  /// kFaultDsReadShard / kFaultDsWriteShard sites; per-server circuit
+  /// breakers (counters in `registry`) fast-fail a server that keeps
+  /// timing out. Both optional — defaults behave exactly as before.
+  explicit DataServers(int servers = sim::calib::kDataServers,
+                       fault::FaultInjector* fault = nullptr,
+                       obs::Registry* registry = nullptr,
+                       fault::CircuitBreaker::Config breaker_cfg = {});
 
   int servers() const { return static_cast<int>(servers_.size()); }
   int server_of(Ino ino, std::uint64_t stripe, std::uint32_t role) const;
 
   /// Reads a whole shard (stripe_unit bytes); absent shards read as zeros
-  /// and return false.
+  /// and return false. A *failed* read (server marked down, breaker open,
+  /// or injected fault) also zero-fills and returns false, with `*failed`
+  /// set — pass `failed` wherever holes and outages must be told apart.
   bool read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
-                  std::span<std::byte> dst, OpProfile& prof);
+                  std::span<std::byte> dst, OpProfile& prof,
+                  bool* failed = nullptr);
+  /// Writes a shard. On a failed server (or injected fault) the write is
+  /// lost AND the server's stale copy is invalidated — a later degraded
+  /// read must reconstruct the new version, never resurrect the old one.
   void write_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
                    std::span<const std::byte> src, OpProfile& prof);
   /// Deletes every shard of a file (enumeration by stored keys).
   void purge(Ino ino);
+
+  /// Marks a whole data server unreachable (crash / network partition);
+  /// reads and writes against it fail until heal_server().
+  void fail_server(int server);
+  void heal_server(int server);
+  bool server_failed(int server) const;
 
   /// For tests: drop a shard to simulate a lost disk.
   bool drop_shard(Ino ino, std::uint64_t stripe, std::uint32_t role);
@@ -235,8 +272,25 @@ class DataServers {
   struct Server {
     mutable std::shared_mutex mu;
     std::unordered_map<Key, std::vector<std::byte>, KeyHash> shards;
+    std::atomic<bool> failed{false};
   };
+
+  /// True if the failure gate must run for server `s`; false is the
+  /// zero-overhead happy path (no injector, no server ever failed).
+  bool gated() const {
+    return fault_ != nullptr || any_failed_.load(std::memory_order_relaxed);
+  }
+  /// Whether this access fails, charging the wasted attempt and driving
+  /// the server's breaker. `fast_failed` = breaker rejected it outright.
+  bool access_fails(int server, std::string_view site, bool is_read,
+                    std::size_t bytes, OpProfile& prof, bool& fast_failed);
+
   std::vector<Server> servers_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers_;
+  std::atomic<bool> any_failed_{false};
+  obs::Counter* failed_reads_ = nullptr;
+  obs::Counter* failed_writes_ = nullptr;
 };
 
 }  // namespace dpc::dfs

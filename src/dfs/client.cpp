@@ -190,10 +190,39 @@ IoResult DfsClient::read(Ino ino, std::uint64_t offset,
       res.err = ENOENT;
       return res;
     }
-    if (meta->redundancy == Redundancy::kReplication)
-      replicated_read(*ds_, *meta, offset, dst, res.prof);
-    else
-      striped_read(*ds_, *meta, offset, dst, res.prof);
+    bool done;
+    if (meta->redundancy == Redundancy::kReplication) {
+      done = replicated_read(*ds_, *meta, offset, dst, res.prof) ||
+             replicated_read_any(*ds_, *meta, offset, dst, res.prof);
+    } else {
+      done = striped_read(*ds_, *meta, offset, dst, res.prof);
+      if (!done) {
+        // Degraded read: a data shard is unreachable — reconstruct it from
+        // the survivors (k of k+m shards) with a bounded retry budget.
+        stats_.degraded_reads.add();
+        const std::uint64_t salt =
+            op_seq_.fetch_add(1, std::memory_order_relaxed);
+        for (int attempt = 1; attempt <= cfg_.retry.max_attempts; ++attempt) {
+          done = striped_read_reconstruct(*ds_, rs_, *meta, offset, dst,
+                                          res.prof);
+          if (done) {
+            // Decode compute lands where the client runs.
+            if (cfg_.on_dpu)
+              res.prof.dpu_cpu += ec::ReedSolomon::dpu_encode_cost(dst.size());
+            else
+              res.prof.host_cpu +=
+                  ec::ReedSolomon::host_encode_cost(dst.size());
+            break;
+          }
+          res.prof.net += cfg_.retry.backoff(attempt, salt);
+        }
+      }
+    }
+    if (!done) {
+      res.err = EIO;
+      res.transient = fault::Transient::kTimeout;
+      return res;
+    }
   } else {
     if (!mds_->server_side_read(*ds_, ino, offset, dst, entry_mds_,
                                 cfg_.view_routing, res.prof)) {
@@ -212,9 +241,25 @@ IoResult DfsClient::write(Ino ino, std::uint64_t offset,
   res.ino = ino;
   charge_client_cpu(res.prof, true, static_cast<std::uint32_t>(src.size()),
                     /*is_write=*/true);
+  // Delegation contention is transient by nature: the holder may release
+  // (or be recalled) any moment. Retry with backoff instead of bouncing a
+  // hard EAGAIN straight to the application.
   if (!ensure_delegation(ino, res.prof)) {
-    res.err = EAGAIN;
-    return res;
+    bool granted = false;
+    const std::uint64_t salt = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    for (int attempt = 1; attempt < cfg_.retry.max_attempts; ++attempt) {
+      stats_.delegation_retries.add();
+      res.prof.net += cfg_.retry.backoff(attempt, salt);
+      if (ensure_delegation(ino, res.prof)) {
+        granted = true;
+        break;
+      }
+    }
+    if (!granted) {
+      res.err = EAGAIN;
+      res.transient = fault::Transient::kBusy;
+      return res;
+    }
   }
   if (cfg_.direct_io && cfg_.client_ec) {
     const auto meta = meta_of(ino, res.prof);
@@ -224,10 +269,15 @@ IoResult DfsClient::write(Ino ino, std::uint64_t offset,
     }
     // EC / replication handled here (compute already charged to the right
     // CPU), data straight to the data servers.
-    if (meta->redundancy == Redundancy::kReplication)
-      replicated_write(*ds_, *meta, offset, src, res.prof);
-    else
-      striped_write(*ds_, rs_, *meta, offset, src, res.prof);
+    const bool stored =
+        meta->redundancy == Redundancy::kReplication
+            ? replicated_write(*ds_, *meta, offset, src, res.prof)
+            : striped_write(*ds_, rs_, *meta, offset, src, res.prof);
+    if (!stored) {
+      res.err = EIO;
+      res.transient = fault::Transient::kTimeout;
+      return res;
+    }
     // Size updates are lazy/batched: only needed when the file grows past
     // the preallocated size.
     if (offset + src.size() > meta->size) {
@@ -278,6 +328,8 @@ IoResult DfsClient::read_degraded(Ino ino, std::uint64_t offset,
     res.err = ENOENT;
     return res;
   }
+  if (meta->redundancy != Redundancy::kReplication)
+    stats_.degraded_reads.add();
   const bool recovered =
       meta->redundancy == Redundancy::kReplication
           ? replicated_read_any(*ds_, *meta, offset, dst, res.prof)
@@ -285,6 +337,7 @@ IoResult DfsClient::read_degraded(Ino ino, std::uint64_t offset,
                                      res.prof);
   if (!recovered) {
     res.err = EIO;
+    res.transient = fault::Transient::kTimeout;
     return res;
   }
   // Reconstruction compute lands where the client runs.

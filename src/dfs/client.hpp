@@ -17,6 +17,7 @@
 // paper's list of client-side optimizations, so ablations fall out for free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,7 @@
 
 #include "dfs/backend.hpp"
 #include "ec/reed_solomon.hpp"
+#include "fault/retry.hpp"
 #include "obs/metrics.hpp"
 
 namespace dpc::dfs {
@@ -43,6 +45,9 @@ struct ClientConfig {
   /// Participate in lease-style delegation recall: give delegations back
   /// when another client asks, instead of forcing it to fail with EAGAIN.
   bool delegation_recall = false;
+  /// Retry budget for transient failures (delegation contention, failed
+  /// shard reads); backoff is folded into the op's modelled net cost.
+  fault::RetryPolicy retry{};
 
   static ClientConfig standard_nfs() { return {}; }
   static ClientConfig optimized() {
@@ -62,7 +67,13 @@ struct IoResult {
   Ino ino = 0;
   std::uint32_t bytes = 0;
   OpProfile prof;
+  /// Failure class for err != 0: transient errors are worth retrying at the
+  /// caller (the client already spent its own bounded retry budget).
+  fault::Transient transient = fault::Transient::kNone;
   bool ok() const { return err == 0; }
+  bool retryable() const {
+    return err != 0 && transient != fault::Transient::kNone;
+  }
 };
 
 /// DFS client counters, registry-backed ("dfs.client/…"); mds/ds/forward
@@ -75,7 +86,9 @@ struct DfsClientStats {
         errors(reg.counter("dfs.client/errors")),
         mds_ops(reg.counter("dfs.client/mds_ops")),
         ds_ops(reg.counter("dfs.client/ds_ops")),
-        forwards(reg.counter("dfs.client/forwards")) {}
+        forwards(reg.counter("dfs.client/forwards")),
+        degraded_reads(reg.counter("ec/degraded_reads")),
+        delegation_retries(reg.counter("dfs.client/delegation_retries")) {}
 
   obs::Counter& meta_ops;  ///< create/open/stat/remove
   obs::Counter& reads;
@@ -84,6 +97,8 @@ struct DfsClientStats {
   obs::Counter& mds_ops;
   obs::Counter& ds_ops;
   obs::Counter& forwards;  ///< entry→home MDS forwarding hops
+  obs::Counter& degraded_reads;      ///< reads served via EC reconstruction
+  obs::Counter& delegation_retries;  ///< delegation acquire retries
 };
 
 class DfsClient {
@@ -146,6 +161,8 @@ class DfsClient {
   DfsClientStats stats_;
   /// Modelled backend (mds+ds+net) cost per finished op.
   sim::Histogram* backend_ns_;
+  /// Per-op sequence number: deterministic backoff-jitter salt.
+  std::atomic<std::uint64_t> op_seq_{0};
 
   mutable std::mutex mu_;
   std::unordered_map<Ino, FileMeta> meta_cache_;

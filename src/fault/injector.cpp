@@ -1,0 +1,105 @@
+#include "fault/injector.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::fault {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from (seed, site, draw index) — stateless, so
+/// the schedule is a pure function of the three inputs.
+double draw_uniform(std::uint64_t seed, std::uint64_t site_hash,
+                    std::uint64_t idx) {
+  std::uint64_t x = seed ^ site_hash ^ (idx * 0x9e3779b97f4a7c15ULL);
+  (void)sim::detail::splitmix64(x);  // two rounds for avalanche
+  const std::uint64_t z = sim::detail::splitmix64(x);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, obs::Registry* registry)
+    : seed_(seed) {
+  if (registry != nullptr) {
+    injected_ = &registry->counter("fault/injected");
+    checks_ = &registry->counter("fault/checks");
+  }
+}
+
+void FaultInjector::arm(std::string_view site, double probability) {
+  DPC_CHECK(probability >= 0.0 && probability <= 1.0);
+  std::unique_lock lock(mu_);
+  auto& slot = sites_[std::string(site)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Site>();
+    slot->name_hash = fnv1a(site);
+  }
+  slot->p = probability;
+  slot->enabled = true;
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::unique_lock lock(mu_);
+  sites_.erase(std::string(site));
+}
+
+void FaultInjector::set_enabled(std::string_view site, bool enabled) {
+  std::unique_lock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it != sites_.end()) it->second->enabled = enabled;
+}
+
+FaultInjector::Site* FaultInjector::find(std::string_view site) const {
+  std::shared_lock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+bool FaultInjector::armed(std::string_view site) const {
+  const Site* s = find(site);
+  return s != nullptr && s->enabled;
+}
+
+double FaultInjector::probability(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0.0 : s->p;
+}
+
+std::uint64_t FaultInjector::draws(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0 : s->draws.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(std::string_view site) {
+  Site* s = find(site);
+  if (s == nullptr || !s->enabled || s->p <= 0.0) return false;
+  const std::uint64_t idx = s->draws.fetch_add(1, std::memory_order_relaxed);
+  if (checks_ != nullptr) checks_->add();
+  if (draw_uniform(seed_, s->name_hash, idx) >= s->p) return false;
+  if (injected_ != nullptr) injected_->add();
+  return true;
+}
+
+std::uint64_t FaultInjector::seed_from_env(std::uint64_t fallback) {
+  const char* v = std::getenv("DPC_FAULT_SEED");
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace dpc::fault

@@ -1,0 +1,80 @@
+// Deterministic, centrally-configured fault injection (the failure model's
+// single knob — see DESIGN.md "Failure model").
+//
+// A FaultInjector is keyed by *site name* ("nvme.tgt/drop_cqe",
+// "kv.remote/op", …): each subsystem that can fail holds an optional
+// injector pointer and asks `should_fail(site)` at the moment the failure
+// would physically occur. Sites are armed per run with a probability; an
+// unarmed site never fires, and a null injector (the default everywhere)
+// costs one pointer compare on the happy path.
+//
+// Determinism: draw n at site s under master seed S is a pure function
+// hash(S, fnv1a(s), n) — the per-site draw counter is the only state — so
+// the same seed yields the same per-site fault schedule regardless of how
+// threads interleave across *different* sites. (Within one site, concurrent
+// callers race for draw indices; the multiset of outcomes is still
+// seed-stable, which is what the chaos tests rely on.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace dpc::fault {
+
+class FaultInjector {
+ public:
+  /// `registry` (optional) hosts the "fault/injected" and "fault/checks"
+  /// counters so injected faults show up in BENCH snapshots.
+  explicit FaultInjector(std::uint64_t seed = 0x5eed,
+                         obs::Registry* registry = nullptr);
+
+  /// Arms (or re-arms) a site with a Bernoulli fire probability in [0, 1].
+  void arm(std::string_view site, double probability);
+  /// Removes the site entirely (draw counter included).
+  void disarm(std::string_view site);
+  /// Keeps the site's configuration and draw counter but gates firing.
+  void set_enabled(std::string_view site, bool enabled);
+
+  bool armed(std::string_view site) const;
+  double probability(std::string_view site) const;
+  /// Draws consumed at the site so far.
+  std::uint64_t draws(std::string_view site) const;
+
+  /// One Bernoulli draw at `site`. Unarmed/disabled sites never fire and
+  /// consume no draw.
+  bool should_fail(std::string_view site);
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Seed from the DPC_FAULT_SEED environment variable (decimal), or
+  /// `fallback` when unset/unparsable — how the CI chaos stage sweeps seeds.
+  static std::uint64_t seed_from_env(std::uint64_t fallback = 0x5eed);
+
+ private:
+  struct Site {
+    double p = 0.0;
+    bool enabled = true;
+    std::uint64_t name_hash = 0;
+    std::atomic<std::uint64_t> draws{0};
+  };
+
+  Site* find(std::string_view site) const;
+
+  std::uint64_t seed_;
+  obs::Counter* injected_ = nullptr;  // null without a registry
+  obs::Counter* checks_ = nullptr;
+
+  mutable std::shared_mutex mu_;
+  // unique_ptr values keep Site addresses (and their atomics) stable across
+  // rehashes, so should_fail can drop the map lock before drawing.
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace dpc::fault

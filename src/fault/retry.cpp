@@ -1,0 +1,93 @@
+#include "fault/retry.hpp"
+
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::fault {
+
+sim::Nanos RetryPolicy::backoff(int attempt, std::uint64_t salt) const {
+  DPC_CHECK(attempt >= 1);
+  double b = static_cast<double>(base_backoff.ns);
+  for (int i = 1; i < attempt; ++i) b *= multiplier;
+  if (jitter > 0.0) {
+    std::uint64_t x = salt ^ (0xa0761d6478bd642fULL * static_cast<std::uint64_t>(attempt));
+    const std::uint64_t z = sim::detail::splitmix64(x);
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+    b *= 1.0 + jitter * (u - 0.5);
+  }
+  return sim::Nanos{static_cast<std::int64_t>(b)};
+}
+
+CircuitBreaker::CircuitBreaker(Config cfg, obs::Registry* registry)
+    : cfg_(cfg) {
+  DPC_CHECK(cfg_.failure_threshold >= 1);
+  DPC_CHECK(cfg_.probe_interval >= 1);
+  if (registry != nullptr) {
+    opens_ = &registry->counter("breaker/opens");
+    closes_ = &registry->counter("breaker/closes");
+    probes_ = &registry->counter("breaker/probes");
+    fast_fails_ = &registry->counter("breaker/fast_fails");
+  }
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      // Let every probe_interval-th gated call through as a probe; the rest
+      // fast-fail so a dead backend doesn't eat full timeouts per op.
+      const std::uint64_t n = ++gated_calls_;
+      if (n % static_cast<std::uint64_t>(cfg_.probe_interval) == 0) {
+        state_ = State::kHalfOpen;
+        if (probes_ != nullptr) probes_->add();
+        return true;
+      }
+      if (fast_fails_ != nullptr) fast_fails_->add();
+      return false;
+    }
+    case State::kHalfOpen:
+      // A probe is already in flight; don't pile on.
+      if (fast_fails_ != nullptr) fast_fails_->add();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mu_);
+  if (state_ != State::kClosed) {
+    state_ = State::kClosed;
+    gated_calls_ = 0;
+    if (closes_ != nullptr) closes_->add();
+  }
+  failures_ = 0;
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard lock(mu_);
+  ++failures_;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;  // probe failed: stay open, no new open event
+    return;
+  }
+  if (state_ == State::kClosed &&
+      failures_ >= static_cast<std::uint64_t>(cfg_.failure_threshold)) {
+    state_ = State::kOpen;
+    gated_calls_ = 0;
+    if (opens_ != nullptr) opens_->add();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard lock(mu_);
+  return failures_;
+}
+
+}  // namespace dpc::fault

@@ -1,0 +1,91 @@
+// Retry policy (exponential backoff + deterministic jitter) and a
+// circuit breaker — the two recovery primitives every layer shares.
+//
+// Both are modelled-time constructs: backoff returns a sim::Nanos charge the
+// caller folds into the op's cost, and the breaker probes on a gated-call
+// count rather than wall-clock, so recovery behaviour is deterministic and
+// testable without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::fault {
+
+/// What kind of transient condition made an op fail (or retry). Carried on
+/// results so callers can distinguish "retry later" from hard errors.
+enum class Transient : std::uint8_t {
+  kNone = 0,     // not a transient failure
+  kTimeout,      // deadline expired (possibly after retries)
+  kUnavailable,  // backend fast-failed (circuit open)
+  kBusy,         // resource contention (e.g. delegation recall refused)
+};
+
+constexpr std::string_view to_string(Transient t) {
+  switch (t) {
+    case Transient::kNone: return "none";
+    case Transient::kTimeout: return "timeout";
+    case Transient::kUnavailable: return "unavailable";
+    case Transient::kBusy: return "busy";
+  }
+  return "?";
+}
+
+/// Bounded exponential backoff with deterministic jitter. Stateless: the
+/// jitter for (attempt, salt) is a pure hash, so identical runs charge
+/// identical backoff costs.
+struct RetryPolicy {
+  int max_attempts = 4;                      // total tries, not re-tries
+  sim::Nanos base_backoff = sim::micros(50.0);
+  double multiplier = 2.0;
+  double jitter = 0.5;  // backoff scaled by uniform [1-j/2, 1+j/2]
+
+  /// Modelled wait before try `attempt` (1-based count of *failed* tries so
+  /// far). `salt` decorrelates concurrent retriers (use a cid, ino, …).
+  sim::Nanos backoff(int attempt, std::uint64_t salt) const;
+};
+
+/// Per-backend circuit breaker: Closed → (threshold consecutive failures) →
+/// Open → (every probe_interval-th gated call probes) → HalfOpen →
+/// success closes / failure reopens. Probing is op-count based so the
+/// breaker works in modelled time.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    int failure_threshold = 8;  // consecutive failures before opening
+    int probe_interval = 16;    // while open, let every Nth call through
+  };
+
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+  explicit CircuitBreaker(Config cfg, obs::Registry* registry = nullptr);
+
+  /// True if the caller may attempt the operation; false = fast-fail.
+  bool allow();
+  void on_success();
+  void on_failure();
+
+  State state() const;
+  std::uint64_t consecutive_failures() const;
+
+ private:
+  Config cfg_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::uint64_t failures_ = 0;     // consecutive, reset on success
+  std::uint64_t gated_calls_ = 0;  // calls rejected-or-probed while open
+
+  // Registry counters are shared across breaker instances by name — the
+  // acceptance criterion reads the aggregate "breaker/opens".
+  obs::Counter* opens_ = nullptr;
+  obs::Counter* closes_ = nullptr;
+  obs::Counter* probes_ = nullptr;
+  obs::Counter* fast_fails_ = nullptr;
+};
+
+}  // namespace dpc::fault

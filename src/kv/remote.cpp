@@ -2,6 +2,17 @@
 
 namespace dpc::kv {
 
+RemoteKv::RemoteKv(KvStore& store, fault::FaultInjector* fault,
+                   obs::Registry* registry, const fault::RetryPolicy& retry,
+                   const fault::CircuitBreaker::Config& breaker)
+    : store_(&store), fault_(fault), retry_(retry),
+      breaker_(breaker, registry) {
+  if (registry != nullptr) {
+    retry_attempts_ = &registry->counter("retry/attempts");
+    retry_exhausted_ = &registry->counter("retry/exhausted");
+  }
+}
+
 sim::Nanos RemoteKv::op_cost(bool is_read, std::uint64_t payload) {
   using namespace sim::calib;
   const sim::Nanos transfer =
@@ -9,62 +20,131 @@ sim::Nanos RemoteKv::op_cost(bool is_read, std::uint64_t payload) {
   return kNetHop * 2 + kKvServerOp + transfer;
 }
 
+RemoteErr RemoteKv::begin_op(bool is_read, sim::Nanos& cost) const {
+  if (fault_ == nullptr) return RemoteErr::kOk;  // failure path disabled
+  if (!breaker_.allow()) return RemoteErr::kUnavailable;  // fast-fail
+
+  const std::uint64_t salt =
+      op_seq_.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 1;; ++attempt) {
+    if (!fault_->should_fail(kFaultSite)) {
+      breaker_.on_success();
+      return RemoteErr::kOk;
+    }
+    // Attempt timed out: charge the full wire round trip plus the modelled
+    // deadline the client waited before giving up on it.
+    cost += op_cost(is_read, 0) + sim::calib::kKvOpTimeout;
+    breaker_.on_failure();
+    if (attempt >= retry_.max_attempts) {
+      if (retry_exhausted_ != nullptr) retry_exhausted_->add();
+      return RemoteErr::kTimeout;
+    }
+    if (!breaker_.allow()) {
+      // Our own failures (plus concurrent ones) opened the circuit
+      // mid-retry; don't keep hammering a declared-dead backend.
+      if (retry_exhausted_ != nullptr) retry_exhausted_->add();
+      return RemoteErr::kUnavailable;
+    }
+    if (retry_attempts_ != nullptr) retry_attempts_->add();
+    cost += retry_.backoff(attempt, salt);
+  }
+}
+
 Timed<std::optional<Bytes>> RemoteKv::get(std::string_view key) const {
-  auto v = store_->get(key);
-  const std::uint64_t payload = v ? v->size() : 0;
-  return {std::move(v), op_cost(true, payload)};
+  Timed<std::optional<Bytes>> out{std::nullopt};
+  out.err = begin_op(true, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->get(key);
+  out.cost += op_cost(true, out.value ? out.value->size() : 0);
+  return out;
 }
 
 Timed<bool> RemoteKv::put(std::string_view key,
                           std::span<const std::byte> value) {
+  Timed<bool> out{false};
+  out.err = begin_op(false, out.cost);
+  if (!out.ok()) return out;
   store_->put(key, value);
-  return {true, op_cost(false, value.size())};
+  out.value = true;
+  out.cost += op_cost(false, value.size());
+  return out;
 }
 
 Timed<bool> RemoteKv::put_if_absent(std::string_view key,
                                     std::span<const std::byte> value) {
-  const bool ok = store_->put_if_absent(key, value);
-  return {ok, op_cost(false, value.size())};
+  Timed<bool> out{false};
+  out.err = begin_op(false, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->put_if_absent(key, value);
+  out.cost += op_cost(false, value.size());
+  return out;
 }
 
 Timed<bool> RemoteKv::erase(std::string_view key) {
-  const bool ok = store_->erase(key);
-  return {ok, op_cost(false, 0)};
+  Timed<bool> out{false};
+  out.err = begin_op(false, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->erase(key);
+  out.cost += op_cost(false, 0);
+  return out;
 }
 
 Timed<std::optional<std::size_t>> RemoteKv::read_sub(
     std::string_view key, std::uint64_t offset,
     std::span<std::byte> dst) const {
-  auto n = store_->read_sub(key, offset, dst);
-  return {n, op_cost(true, n.value_or(0))};
+  Timed<std::optional<std::size_t>> out{std::nullopt};
+  out.err = begin_op(true, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->read_sub(key, offset, dst);
+  out.cost += op_cost(true, out.value.value_or(0));
+  return out;
 }
 
 Timed<bool> RemoteKv::write_sub(std::string_view key, std::uint64_t offset,
                                 std::span<const std::byte> src) {
+  Timed<bool> out{false};
+  out.err = begin_op(false, out.cost);
+  if (!out.ok()) return out;
   store_->write_sub(key, offset, src);
-  return {true, op_cost(false, src.size())};
+  out.value = true;
+  out.cost += op_cost(false, src.size());
+  return out;
 }
 
 Timed<std::uint64_t> RemoteKv::increment(std::string_view key,
                                          std::uint64_t delta) {
-  return {store_->increment(key, delta), op_cost(false, 8)};
+  Timed<std::uint64_t> out{0};
+  out.err = begin_op(false, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->increment(key, delta);
+  out.cost += op_cost(false, 8);
+  return out;
 }
 
 Timed<std::optional<std::uint64_t>> RemoteKv::value_size(
     std::string_view key) const {
-  return {store_->value_size(key), op_cost(true, 0)};
+  Timed<std::optional<std::uint64_t>> out{std::nullopt};
+  out.err = begin_op(true, out.cost);
+  if (!out.ok()) return out;
+  out.value = store_->value_size(key);
+  out.cost += op_cost(true, 0);
+  return out;
 }
 
 Timed<std::size_t> RemoteKv::scan_prefix(
     std::string_view prefix,
     const std::function<bool(std::string_view, const Bytes&)>& fn) const {
+  Timed<std::size_t> out{0};
+  out.err = begin_op(true, out.cost);
+  if (!out.ok()) return out;
   std::uint64_t payload = 0;
-  const std::size_t n = store_->scan_prefix(
+  out.value = store_->scan_prefix(
       prefix, [&](std::string_view k, const Bytes& v) {
         payload += k.size() + v.size();
         return fn(k, v);
       });
-  return {n, op_cost(true, payload)};
+  out.cost += op_cost(true, payload);
+  return out;
 }
 
 }  // namespace dpc::kv

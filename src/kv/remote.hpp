@@ -3,26 +3,58 @@
 // (request hop, server service, payload transfer, response hop). The DPU's
 // KVFS talks to the cluster through this wrapper, so every figure that
 // involves KVFS automatically includes realistic backend latency.
+//
+// Failure model (see DESIGN.md "Failure model"): with a FaultInjector
+// attached, each op may suffer injectable transient failures at the
+// "kv.remote/op" site. Failed attempts are retried internally with
+// exponential backoff (cost folded into the op's Timed cost); a run of
+// consecutive failures opens a circuit breaker that fast-fails subsequent
+// ops until a probe succeeds. Ops that exhaust the budget (or hit an open
+// breaker) report RemoteErr — callers must check Timed::ok() before
+// trusting the value.
 #pragma once
 
+#include <atomic>
 #include <optional>
+#include <string_view>
 
+#include "fault/injector.hpp"
+#include "fault/retry.hpp"
 #include "kv/kv_store.hpp"
+#include "obs/metrics.hpp"
 #include "sim/calib.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::kv {
 
-/// A value + the modelled time the remote op took.
+/// Transient failure class of a remote KV op.
+enum class RemoteErr : std::uint8_t {
+  kOk = 0,
+  kTimeout,      ///< retry budget exhausted, every attempt timed out
+  kUnavailable,  ///< circuit open — fast-failed without touching the wire
+};
+
+/// A value + the modelled time the remote op took (including any retries).
 template <typename T>
 struct Timed {
   T value;
   sim::Nanos cost{};
+  RemoteErr err = RemoteErr::kOk;
+
+  bool ok() const { return err == RemoteErr::kOk; }
 };
 
 class RemoteKv {
  public:
-  explicit RemoteKv(KvStore& store) : store_(&store) {}
+  /// `fault` == nullptr (the default) disables the entire failure path —
+  /// ops cannot fail and the happy path costs one pointer compare.
+  explicit RemoteKv(KvStore& store, fault::FaultInjector* fault = nullptr,
+                    obs::Registry* registry = nullptr,
+                    const fault::RetryPolicy& retry = {},
+                    const fault::CircuitBreaker::Config& breaker = {});
+
+  /// Fault-injection site for every remote op's wire round trip.
+  static constexpr std::string_view kFaultSite = "kv.remote/op";
 
   Timed<std::optional<Bytes>> get(std::string_view key) const;
   Timed<bool> put(std::string_view key, std::span<const std::byte> value);
@@ -41,13 +73,28 @@ class RemoteKv {
       const std::function<bool(std::string_view, const Bytes&)>& fn) const;
 
   KvStore& store() { return *store_; }
+  fault::CircuitBreaker::State breaker_state() const {
+    return breaker_.state();
+  }
 
   /// Round-trip cost of a KV op moving `payload` bytes in the given
   /// direction (read = server→client).
   static sim::Nanos op_cost(bool is_read, std::uint64_t payload);
 
  private:
+  /// Runs the injectable pre-flight of one op: breaker gate + failed
+  /// attempts + backoff. On kOk the caller performs the real store access;
+  /// on error the op's value is meaningless. Accumulates all modelled retry
+  /// latency into `cost`.
+  RemoteErr begin_op(bool is_read, sim::Nanos& cost) const;
+
   KvStore* store_;
+  fault::FaultInjector* fault_;
+  fault::RetryPolicy retry_;
+  mutable fault::CircuitBreaker breaker_;
+  mutable std::atomic<std::uint64_t> op_seq_{0};  // jitter salt
+  obs::Counter* retry_attempts_ = nullptr;
+  obs::Counter* retry_exhausted_ = nullptr;
 };
 
 }  // namespace dpc::kv

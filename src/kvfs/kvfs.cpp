@@ -81,15 +81,16 @@ std::uint64_t Kvfs::now() {
 Ino Kvfs::alloc_ino(sim::Nanos& cost) {
   // Cluster-wide counter in the KV store: several mounts sharing one
   // backend allocate collision-free ids (root stays 0; ids start at 1).
+  // A transient KV failure yields 0, which callers map to EIO.
   auto r = store_->increment(ino_counter_key(), 1);
   cost += r.cost;
-  return r.value;
+  return r.ok() ? r.value : 0;
 }
 
 std::uint64_t Kvfs::alloc_block(sim::Nanos& cost) {
   auto r = store_->increment(block_counter_key(), 1);
   cost += r.cost;
-  return r.value;
+  return r.ok() ? r.value : 0;
 }
 
 std::optional<Attr> Kvfs::load_attr(Ino ino, sim::Nanos& cost) {
@@ -108,7 +109,14 @@ std::optional<Attr> Kvfs::load_attr(Ino ino, sim::Nanos& cost) {
 
 void Kvfs::store_attr(const Attr& a, sim::Nanos& cost) {
   const auto enc = encode_attr(a);
-  cost += store_->put(attr_key(a.ino), enc).cost;
+  auto r = store_->put(attr_key(a.ino), enc);
+  cost += r.cost;
+  if (!r.ok()) {
+    // The put never reached the store: invalidate rather than cache a
+    // version the backend doesn't hold, so the next load re-fetches truth.
+    uncache_attr(a.ino);
+    return;
+  }
   cache_attr(a);
 }
 
@@ -199,10 +207,18 @@ Result<Ino> Kvfs::make_node(Ino parent, std::string_view name, FileType type,
   }
 
   const Ino ino = alloc_ino(res.cost);
+  if (ino == 0) {
+    res.err = EIO;
+    return res;
+  }
   // put_if_absent on the inode KV is the existence check and the insert in
   // one atomic step.
   auto put = store_->put_if_absent(inode_key(parent, name), encode_ino(ino));
   res.cost += put.cost;
+  if (!put.ok()) {
+    res.err = EIO;  // transient KV failure, not a name collision
+    return res;
+  }
   if (!put.value) {
     res.err = EEXIST;
     return res;
@@ -324,6 +340,9 @@ bool Kvfs::dir_empty(Ino dir, sim::Nanos& cost) {
         return false;  // stop at the first entry
       });
   cost += scan.cost;
+  // If the scan failed we can't prove emptiness — answer "not empty" so
+  // rmdir/rename fail safe (ENOTEMPTY) instead of deleting a live tree.
+  if (!scan.ok()) return false;
   return empty;
 }
 
@@ -376,8 +395,15 @@ Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
     return res;
   }
 
-  // Remove the namespace entry first so concurrent lookups fail fast.
-  res.cost += store_->erase(inode_key(parent, name)).cost;
+  // Remove the namespace entry first so concurrent lookups fail fast. If
+  // the erase itself fails, abort before touching the attr/data: deleting
+  // those while the dentry survives would leave a dangling name.
+  auto del = store_->erase(inode_key(parent, name));
+  res.cost += del.cost;
+  if (!del.ok()) {
+    res.err = EIO;
+    return res;
+  }
   uncache_dentry(parent, name);
   if (attr->type != FileType::kDirectory && attr->nlink > 1) {
     // Other hard links remain: drop one reference, keep the data.
@@ -455,8 +481,12 @@ Result<Unit> Kvfs::rename(Ino old_parent, std::string_view old_name,
     uncache_attr(*dst);
   }
 
-  res.cost +=
-      store_->put(inode_key(new_parent, new_name), encode_ino(*src)).cost;
+  auto ins = store_->put(inode_key(new_parent, new_name), encode_ino(*src));
+  res.cost += ins.cost;
+  if (!ins.ok()) {
+    res.err = EIO;  // nothing moved yet; the source entry is intact
+    return res;
+  }
   res.cost += store_->erase(inode_key(old_parent, old_name)).cost;
   uncache_dentry(old_parent, old_name);
   cache_dentry(new_parent, new_name, *src);
@@ -491,9 +521,13 @@ Result<Ino> Kvfs::symlink(std::string_view target, Ino parent,
   res = made;
   // The target rides in the small-file KV; size = target length.
   const auto* p = reinterpret_cast<const std::byte*>(target.data());
-  res.cost += store_->put(small_key(made.value),
-                          std::span<const std::byte>(p, target.size()))
-                  .cost;
+  auto put = store_->put(small_key(made.value),
+                         std::span<const std::byte>(p, target.size()));
+  res.cost += put.cost;
+  if (!put.ok()) {
+    res.err = EIO;  // node exists but dangles; readlink reports EIO
+    return res;
+  }
   sim::Nanos cost{};
   auto attr = load_attr(made.value, cost);
   res.cost += cost;
@@ -549,6 +583,10 @@ Result<Unit> Kvfs::link(Ino ino, Ino new_parent, std::string_view name) {
   auto put = store_->put_if_absent(inode_key(new_parent, name),
                                    encode_ino(ino));
   res.cost += put.cost;
+  if (!put.ok()) {
+    res.err = EIO;  // transient KV failure, not a name collision
+    return res;
+  }
   if (!put.value) {
     res.err = EEXIST;
     return res;
@@ -653,6 +691,11 @@ Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
   if (!attr->big_file) {
     auto r = store_->read_sub(small_key(ino), offset, dst.first(n));
     res.cost += r.cost;
+    if (!r.ok()) {
+      // Never return unfetched bytes as data — fail the read instead.
+      res.err = EIO;
+      return res;
+    }
     const std::size_t got = r.value.value_or(0);
     // Small files are stored whole; a short read only means trailing
     // zeros were never materialized.
@@ -684,6 +727,10 @@ Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
       auto r = store_->read_sub(block_key(id), in_block,
                                 dst.subspan(done, chunk));
       res.cost += r.cost;
+      if (!r.ok()) {
+        res.err = EIO;
+        return res;
+      }
       const std::size_t got = r.value.value_or(0);
       if (got < chunk) std::memset(dst.data() + done + got, 0, chunk - got);
     }
@@ -693,26 +740,33 @@ Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
   return res;
 }
 
-void Kvfs::promote_to_big(Attr& a, sim::Nanos& cost) {
+bool Kvfs::promote_to_big(Attr& a, sim::Nanos& cost) {
   // §3.4: "When the file size grows bigger than 8KB, KVFS deletes the small
   // file KV and creates a big file KV."
   kv::Bytes small;
   auto r = store_->get(small_key(a.ino));
   cost += r.cost;
+  if (!r.ok()) return false;  // can't read the bytes we're about to move
   if (r.value) small = std::move(*r.value);
 
   FileObject obj;
   if (!small.empty()) {
     const std::uint64_t id = alloc_block(cost);
+    if (id == 0) return false;
     obj.set_block(0, id);
-    cost += store_->put(block_key(id), small).cost;
+    auto blk = store_->put(block_key(id), small);
+    cost += blk.cost;
+    if (!blk.ok()) return false;
   }
-  cost += store_
-              ->put(big_object_key(a.ino), encode_file_object(obj))
-              .cost;
+  auto put = store_->put(big_object_key(a.ino), encode_file_object(obj));
+  cost += put.cost;
+  if (!put.ok()) return false;
+  // A failed erase only leaves the (now shadowed) small KV as garbage; the
+  // big object is already authoritative, so the promotion stands.
   cost += store_->erase(small_key(a.ino)).cost;
   a.big_file = 1;
   stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
@@ -741,17 +795,34 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
     kv::Bytes buf;
     auto cur = store_->get(small_key(ino));
     res.cost += cur.cost;
+    if (!cur.ok()) {
+      // Rewriting the whole KV from a failed read would wipe the bytes we
+      // couldn't fetch — abort instead.
+      res.err = EIO;
+      return res;
+    }
     if (cur.value) buf = std::move(*cur.value);
     if (buf.size() < new_size) buf.resize(new_size, std::byte{0});
     std::memcpy(buf.data() + offset, src.data(), src.size());
-    res.cost += store_->put(small_key(ino), buf).cost;
+    auto put = store_->put(small_key(ino), buf);
+    res.cost += put.cost;
+    if (!put.ok()) {
+      res.err = EIO;
+      return res;
+    }
     stats_.small_rewrites.fetch_add(1, std::memory_order_relaxed);
   } else {
-    if (!attr->big_file) promote_to_big(*attr, res.cost);
+    if (!attr->big_file && !promote_to_big(*attr, res.cost)) {
+      res.err = EIO;  // small KV still authoritative, nothing lost
+      return res;
+    }
 
     auto obj_v = store_->get(big_object_key(ino));
     res.cost += obj_v.cost;
-    DPC_CHECK(obj_v.value.has_value());
+    if (!obj_v.ok() || !obj_v.value.has_value()) {
+      res.err = EIO;
+      return res;
+    }
     FileObject obj = decode_file_object(*obj_v.value);
     bool obj_changed = false;
 
@@ -766,25 +837,44 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
       std::uint64_t id = obj.block_id(logical);
       if (id == 0) {
         id = alloc_block(res.cost);
+        if (id == 0) {
+          res.err = EIO;
+          return res;
+        }
         obj.set_block(logical, id);
         obj_changed = true;
         if (in_block != 0) {
           // Materialize the leading hole bytes of the fresh block.
           const kv::Bytes zeros(in_block, std::byte{0});
-          res.cost += store_->write_sub(block_key(id), 0, zeros).cost;
+          auto z = store_->write_sub(block_key(id), 0, zeros);
+          res.cost += z.cost;
+          if (!z.ok()) {
+            res.err = EIO;
+            return res;
+          }
         }
       }
       // "updates to large files are written in place to large file KVs at a
       // granularity of 8K" — write_sub is the in-place primitive.
-      res.cost +=
-          store_->write_sub(block_key(id), in_block, src.subspan(done, chunk))
-              .cost;
+      auto w =
+          store_->write_sub(block_key(id), in_block, src.subspan(done, chunk));
+      res.cost += w.cost;
+      if (!w.ok()) {
+        // Blocks already written stay (in-place overwrite is idempotent);
+        // the size/mtime update below is skipped so a retry redoes the op.
+        res.err = EIO;
+        return res;
+      }
       stats_.big_inplace_writes.fetch_add(1, std::memory_order_relaxed);
       done += chunk;
     }
     if (obj_changed) {
-      res.cost +=
-          store_->put(big_object_key(ino), encode_file_object(obj)).cost;
+      auto put = store_->put(big_object_key(ino), encode_file_object(obj));
+      res.cost += put.cost;
+      if (!put.ok()) {
+        res.err = EIO;  // fresh blocks leak; the old object stays coherent
+        return res;
+      }
     }
   }
 
@@ -811,15 +901,27 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
 
   if (!attr->big_file) {
     if (new_size > kSmallFileMax) {
-      promote_to_big(*attr, res.cost);
+      if (!promote_to_big(*attr, res.cost)) {
+        res.err = EIO;
+        return res;
+      }
       // Growth beyond the old size is a hole; nothing else to write.
     } else {
       kv::Bytes buf;
       auto cur = store_->get(small_key(ino));
       res.cost += cur.cost;
+      if (!cur.ok()) {
+        res.err = EIO;  // don't rewrite from bytes we couldn't fetch
+        return res;
+      }
       if (cur.value) buf = std::move(*cur.value);
       buf.resize(new_size, std::byte{0});
-      res.cost += store_->put(small_key(ino), buf).cost;
+      auto put = store_->put(small_key(ino), buf);
+      res.cost += put.cost;
+      if (!put.ok()) {
+        res.err = EIO;
+        return res;
+      }
     }
   }
   if (attr->big_file && new_size < attr->size) {
@@ -827,6 +929,10 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
     // paper defines promotion only; we document the asymmetry).
     auto obj_v = store_->get(big_object_key(ino));
     res.cost += obj_v.cost;
+    if (!obj_v.ok()) {
+      res.err = EIO;  // don't record the shrink without dropping blocks
+      return res;
+    }
     if (obj_v.value) {
       FileObject obj = decode_file_object(*obj_v.value);
       const std::uint64_t keep_blocks =
@@ -851,7 +957,12 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
         const std::uint64_t id = obj.block_id(new_size / kBigBlock);
         if (id != 0) {
           const kv::Bytes zeros(kBigBlock - tail, std::byte{0});
-          res.cost += store_->write_sub(block_key(id), tail, zeros).cost;
+          auto z = store_->write_sub(block_key(id), tail, zeros);
+          res.cost += z.cost;
+          if (!z.ok()) {
+            res.err = EIO;  // retrying the truncate re-zeroes the tail
+            return res;
+          }
         }
       }
     }

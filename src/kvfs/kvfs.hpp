@@ -143,7 +143,9 @@ class Kvfs {
   /// Deletes all data KVs of a regular file.
   void purge_data(const Attr& a, sim::Nanos& cost);
   /// Moves a small file's bytes into a big-file object (§3.4 promotion).
-  void promote_to_big(Attr& a, sim::Nanos& cost);
+  /// Returns false if a transient KV failure aborted the promotion before
+  /// the big object existed (the small KV is still authoritative).
+  bool promote_to_big(Attr& a, sim::Nanos& cost);
   bool dir_empty(Ino dir, sim::Nanos& cost);
 
   // ---- caches ----

@@ -18,6 +18,8 @@ IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp,
     queue_full_waits_ = &reg.counter("nvme.ini/queue_full_waits");
     cq_doorbells_ = &reg.counter("nvme.ini/cq_doorbells");
     reaps_ = &reg.counter("nvme.ini/reaps");
+    timeouts_ = &reg.counter("nvme.ini/timeouts");
+    late_cqes_ = &reg.counter("nvme.ini/late_cqes");
   }
 }
 
@@ -119,6 +121,15 @@ std::optional<Completion> IniDriver::drain_locked() {
     if (cq_head_ == 0) cq_phase_ = !cq_phase_;
     Completion c{cqe.cid, status_of(cqe), cqe.result, cqe.dw1};
     DPC_CHECK(c.cid < qp_->depth());
+    if (done_[c.cid].has_value()) {
+      // A CQE arrived for a cid that already holds an unconsumed completion
+      // (e.g. an abort() raced a slow CQE). Never clobber the recorded one —
+      // the slot may already belong to a resubmitted command. Count it so
+      // the "aborted cids are permanently dead" invariant is auditable.
+      if (late_cqes_ != nullptr) late_cqes_->add();
+      ++consumed;
+      continue;
+    }
     done_[c.cid] = c;
     if (traces_ != nullptr) {
       traces_->stamp(c.cid, obs::Stage::kHostReap);
@@ -169,6 +180,20 @@ std::span<const std::byte> IniDriver::read_payload(std::uint16_t cid,
                                                    std::size_t n) const {
   const pcie::MemoryRegion& host = dma_->host();
   return host.bytes(qp_->read_buf_off(cid), n);
+}
+
+Completion IniDriver::abort(std::uint16_t cid) {
+  DPC_CHECK(cid < qp_->depth());
+  std::lock_guard lock(mu_);
+  drain_locked();  // last chance: the completion may have just landed
+  if (done_[cid].has_value()) return *done_[cid];
+  const Completion c{cid, Status::kAbortedByRequest, 0, 0};
+  done_[cid] = c;
+  if (timeouts_ != nullptr) timeouts_->add();
+  // Clear any half-recorded trace stamps so the cid's next command starts
+  // from a clean slot (finish() only records spans with both endpoints).
+  if (traces_ != nullptr) traces_->finish(cid);
+  return c;
 }
 
 void IniDriver::release(std::uint16_t cid) {

@@ -78,6 +78,15 @@ class IniDriver {
   std::span<const std::byte> read_payload(std::uint16_t cid,
                                           std::size_t n) const;
 
+  /// Host-side abort of a command that never completed (deadline expired).
+  /// If a completion raced in, it is returned unchanged; otherwise a
+  /// synthetic kAbortedByRequest completion is recorded for the cid so the
+  /// normal release() path reclaims the slot. In this reproduction the TGT
+  /// either posts a CQE or drops it permanently — a dropped command's CQE
+  /// can never arrive later — so reclaiming the cid here is safe; the
+  /// "nvme.ini/late_cqes" counter guards that invariant.
+  Completion abort(std::uint16_t cid);
+
   /// Returns the cid's slot to the free pool and wakes one queue-full
   /// waiter. Must be called once per completed command before the cid can
   /// be reused.
@@ -101,6 +110,8 @@ class IniDriver {
   obs::Counter* queue_full_waits_ = nullptr;
   obs::Counter* cq_doorbells_ = nullptr;
   obs::Counter* reaps_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* late_cqes_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable free_cv_;  // signalled by release()

@@ -71,9 +71,17 @@ enum class Status : std::uint16_t {
   kSuccess = 0,
   kInvalidOpcode = 1,
   kInvalidField = 2,
+  kDataTransferError = 4,   ///< transient transfer fault — retryable
   kInternalError = 6,
+  kAbortedByRequest = 7,    ///< host-initiated abort (timeout) — retryable
   kFsError = 0x80,  ///< file-level error; CQE result carries -errno
 };
+
+/// True for statuses that indicate a transient transport/device condition
+/// where resubmitting the same command is safe and may succeed.
+constexpr bool is_retryable(Status st) {
+  return st == Status::kDataTransferError || st == Status::kAbortedByRequest;
+}
 
 /// Which offloaded stack IO_Dispatch should route the request to (DW0[10]).
 enum class DispatchTarget : std::uint8_t {

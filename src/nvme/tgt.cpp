@@ -3,11 +3,13 @@
 namespace dpc::nvme {
 
 TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
-                     CommandHandler handler, obs::QueueTraces* traces)
+                     CommandHandler handler, obs::QueueTraces* traces,
+                     fault::FaultInjector* fault)
     : dma_(&dma),
       qp_(&qp),
       handler_(std::move(handler)),
       traces_(traces),
+      fault_(fault),
       wscratch_(qp.config().max_write),
       rscratch_(qp.config().max_read) {
   DPC_CHECK(handler_ != nullptr);
@@ -16,6 +18,8 @@ TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
     cmds_ = &reg.counter("nvme.tgt/cmds");
     cqe_posts_ = &reg.counter("nvme.tgt/cqe_posts");
     rejects_ = &reg.counter("nvme.tgt/rejects");
+    dropped_cqes_ = &reg.counter("nvme.tgt/dropped_cqes");
+    error_cqes_ = &reg.counter("nvme.tgt/error_cqes");
   }
 }
 
@@ -56,6 +60,16 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
   if (traces_ != nullptr) traces_->stamp(cid_of(sqe), obs::Stage::kTgtFetch);
   if (cmds_ != nullptr) cmds_->add();
 
+  // Injection: lose the command after the SQE fetch. The handler never
+  // runs and no CQE is ever posted for this cid, so the host's only way
+  // out is a timeout + abort — exactly the failure a dead link produces.
+  // Because the handler is skipped, a host resubmit cannot double-apply.
+  if (fault_ != nullptr && fault_->should_fail(kFaultTgtDropCqe)) {
+    if (dropped_cqes_ != nullptr) dropped_cqes_->add();
+    st.processed = 1;
+    return st;
+  }
+
   HandlerResult hres;
   if (!is_nvme_fs(sqe)) {
     hres.status = Status::kInvalidOpcode;
@@ -66,6 +80,11 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
       // This reproduction implements the PRP default only (§3.2).
       hres.status = Status::kInvalidField;
       if (rejects_ != nullptr) rejects_->add();
+    } else if (fault_ != nullptr && fault_->should_fail(kFaultTgtErrorCqe)) {
+      // Injection: transient transfer fault before any payload moves or the
+      // handler runs — completes with a retryable error, nothing applied.
+      hres.status = Status::kDataTransferError;
+      if (error_cqes_ != nullptr) error_cqes_->add();
     } else {
       std::span<const std::byte> wpayload{};
       if (cmd.write_len > 0) {

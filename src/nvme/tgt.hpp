@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "nvme/queue_pair.hpp"
 #include "nvme/spec.hpp"
 #include "obs/trace.hpp"
@@ -22,6 +23,13 @@
 #include "sim/time.hpp"
 
 namespace dpc::nvme {
+
+/// Fault-injection sites in the TGT command path (see src/fault/).
+/// drop_cqe: command vanishes after SQE fetch — no handler run, no CQE ever
+/// posted; the host must time out and abort. error_cqe: command fails before
+/// the handler with a retryable kDataTransferError completion.
+inline constexpr std::string_view kFaultTgtDropCqe = "nvme.tgt/drop_cqe";
+inline constexpr std::string_view kFaultTgtErrorCqe = "nvme.tgt/error_cqe";
 
 /// What a command handler produced.
 struct HandlerResult {
@@ -46,7 +54,8 @@ class TgtDriver {
   /// `traces` (optional) must be the same QueueTraces handed to this
   /// queue's IniDriver so the DPU-side stage stamps join the host's.
   TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp, CommandHandler handler,
-            obs::QueueTraces* traces = nullptr);
+            obs::QueueTraces* traces = nullptr,
+            fault::FaultInjector* fault = nullptr);
 
   struct ProcessStats {
     int processed = 0;
@@ -66,9 +75,12 @@ class TgtDriver {
   const QueuePair* qp_;
   CommandHandler handler_;
   obs::QueueTraces* traces_;
+  fault::FaultInjector* fault_;
   obs::Counter* cmds_ = nullptr;        // registry instruments (null when
   obs::Counter* cqe_posts_ = nullptr;   // no traces attached)
   obs::Counter* rejects_ = nullptr;
+  obs::Counter* dropped_cqes_ = nullptr;
+  obs::Counter* error_cqes_ = nullptr;
 
   std::uint16_t sq_head_ = 0;
   std::uint16_t cq_tail_ = 0;

@@ -191,6 +191,15 @@ inline constexpr Nanos kDpuFlushPage = micros(6.0);
 /// Host-side cost of a cache-hit read / absorbed write (hash, lock, copy).
 inline constexpr Nanos kHostCacheHitOp = micros(0.55);
 
+// ------------------------------------------------------------ failure model
+/// Modelled deadline charged per KV attempt that times out / fast-fails:
+/// the client waits this long before declaring the attempt dead.
+inline constexpr Nanos kKvOpTimeout = micros(500.0);
+/// Modelled deadline charged for an nvme-fs command the host had to abort
+/// (per lost attempt). Real hosts use multi-second NVMe timeouts; the model
+/// uses 1 ms so chaos benches stay in a realistic latency regime.
+inline constexpr Nanos kNvmeCommandTimeout = millis(1.0);
+
 constexpr Nanos kv_read_transfer(std::uint64_t bytes) {
   return Nanos{static_cast<std::int64_t>(
       static_cast<double>(bytes) / (kKvReadGBps * 1e9) * 1e9)};

@@ -21,10 +21,11 @@ class MapBackend final : public CacheBackend {
     std::copy(it->second.begin(), it->second.end(), dst.begin());
     return true;
   }
-  void write_page(std::uint64_t inode, std::uint64_t lpn,
+  bool write_page(std::uint64_t inode, std::uint64_t lpn,
                   std::span<const std::byte> src) override {
     std::lock_guard lock(mu_);
     pages_[{inode, lpn}].assign(src.begin(), src.end());
+    return true;
   }
 
   std::size_t count() const {

@@ -67,6 +67,25 @@ TEST(NvmeSpec, CqePhaseAndStatus) {
   EXPECT_FALSE(phase_of(cqe2));
 }
 
+TEST(NvmeSpec, ErrorStatusesRoundTripThroughCqe) {
+  // The failure model's two transient statuses survive encode/decode.
+  const Cqe a = make_cqe(7, Status::kDataTransferError, true, 0, 0, 0);
+  EXPECT_EQ(status_of(a), Status::kDataTransferError);
+  const Cqe b = make_cqe(8, Status::kAbortedByRequest, true, 0, 0, 0);
+  EXPECT_EQ(status_of(b), Status::kAbortedByRequest);
+}
+
+TEST(NvmeSpec, RetryableStatusClassification) {
+  // Transient transport faults and host-initiated aborts are retryable;
+  // success, FS-level errors, and malformed-command rejections are not.
+  EXPECT_TRUE(is_retryable(Status::kDataTransferError));
+  EXPECT_TRUE(is_retryable(Status::kAbortedByRequest));
+  EXPECT_FALSE(is_retryable(Status::kSuccess));
+  EXPECT_FALSE(is_retryable(Status::kFsError));
+  EXPECT_FALSE(is_retryable(Status::kInvalidOpcode));
+  EXPECT_FALSE(is_retryable(Status::kInvalidField));
+}
+
 using RoundTripParam =
     std::tuple<DispatchTarget, InlineOp, std::uint64_t, std::uint64_t>;
 
