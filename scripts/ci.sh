@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: plain build + tests, then a ThreadSanitizer build + tests,
-# then the chaos stage: fault-injection tests swept over several seeds in
-# both builds (the schedules are deterministic per seed).
+# then the chaos stage (fault-injection tests swept over several seeds in
+# both builds — the schedules are deterministic per seed), then the crash
+# stage: the crash-point chaos harness swept over a wider seed set in both
+# builds, plus the crash-restart recovery bench emitting
+# BENCH_crash_recovery.json.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -9,6 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS=(1 7 1337)
+CRASH_SEEDS=(1 2 3 5 7 11 13 1337)
 
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
@@ -29,5 +33,18 @@ for seed in "${CHAOS_SEEDS[@]}"; do
   DPC_FAULT_SEED="$seed" ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -R 'Chaos|Fault'
 done
+
+echo "=== crash stage ==="
+for seed in "${CRASH_SEEDS[@]}"; do
+  echo "--- crash seed $seed (plain) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build --output-on-failure \
+    -j "$JOBS" -R 'CrashChaos'
+  echo "--- crash seed $seed (tsan) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build-tsan --output-on-failure \
+    -j "$JOBS" -R 'CrashChaos'
+done
+echo "--- crash-restart recovery bench ---"
+(cd build && ./bench/chaos_recovery --csv >/dev/null)
+test -f build/BENCH_crash_recovery.json
 
 echo "=== ci OK ==="

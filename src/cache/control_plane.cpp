@@ -149,6 +149,7 @@ std::vector<PageStatus> DpuCacheControl::snapshot_status(sim::Nanos& cost) {
 }
 
 DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
+  if (fault_ != nullptr && fault_->crashed()) return {};
   std::lock_guard lock(pass_mu_);
   PassResult res;
   auto status = snapshot_status(res.cost);
@@ -198,6 +199,10 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
       read_unlock(i, res.cost);
       continue;
     }
+    // Crash window: the backend write is durable but the meta still says
+    // dirty and this side still holds the read lock. Propagates — the TGT
+    // absorbs it on the fsync path, poll() absorbs it on the flusher path.
+    fault::crash_point(fault_, kFaultFlushCrashBeforeClean);
     // "After completing flushing, DPU releases the read locks … and updates
     // their status to clean".
     set_status(i, PageStatus::kClean, res.cost);
@@ -215,6 +220,7 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
 }
 
 DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
+  if (fault_ != nullptr && fault_->crashed()) return {};
   std::lock_guard lock(pass_mu_);
   PassResult res;
   const std::uint32_t free_now = free_pages_seen();
@@ -247,6 +253,7 @@ DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
 DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
                                                       std::uint64_t start_lpn,
                                                       std::uint32_t pages) {
+  if (fault_ != nullptr && fault_->crashed()) return {};
   std::lock_guard lock(pass_mu_);
   PassResult res;
   const std::uint32_t epb = layout_->entries_per_bucket();
@@ -357,6 +364,18 @@ DpuCacheControl::PassResult DpuCacheControl::on_read_miss(std::uint64_t inode,
 }
 
 int DpuCacheControl::poll() {
+  if (fault_ != nullptr && fault_->crashed()) return 0;
+  try {
+    return poll_impl();
+  } catch (const fault::CrashException&) {
+    // The DPU core died mid-pass (flush crash point, or a KVFS crash point
+    // under the cache backend). The crashed() latch is set; every poller
+    // goes inert until DpcSystem::restart_dpu() clears it.
+    return 0;
+  }
+}
+
+int DpuCacheControl::poll_impl() {
   int acted = 0;
   // Control hints (need-evict flag, dirty count, free count) are modelled
   // as shadow registers the host pushes with posted MMIO writes, so the
@@ -412,6 +431,72 @@ int DpuCacheControl::poll() {
     acted += flush_pass(static_cast<int>(cfg_.evict_batch)).pages;
   }
   return acted;
+}
+
+DpuCacheControl::PassResult DpuCacheControl::rebuild() {
+  std::lock_guard lock(pass_mu_);
+  PassResult res;
+  const std::uint32_t total = layout_->geometry().total_pages;
+  // The data plane (meta + pages) lives in host DRAM and survives the DPU
+  // dying; everything DPU-side (lock holdings, cached counts, prefetch
+  // cursor) is gone. Scan the surviving meta area and rebuild from it.
+  std::vector<CacheEntry> entries(total);
+  constexpr std::uint32_t kChunk = 128;  // entries per DMA
+  for (std::uint32_t at = 0; at < total; at += kChunk) {
+    const std::uint32_t n = std::min(kChunk, total - at);
+    res.cost += dma_->read_host(
+        layout_->entry_off(at),
+        std::as_writable_bytes(std::span{entries.data() + at, n}),
+        pcie::DmaClass::kDescriptor);
+  }
+  auto& host = dma_->host();
+  std::uint32_t free_count = 0;
+  std::uint32_t dirty_count = 0;
+  std::uint32_t survivors = 0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    // The dead DPU (or a host thread it stranded) may still hold this
+    // entry's lock; both planes are quiesced now, so force it open.
+    if (entries[i].lock != kLockNone) {
+      host.atomic_u32(layout_->entry_field_off(i,
+                                               CacheLayout::EntryField::kLock))
+          .store(kLockNone, std::memory_order_release);
+      res.cost += sim::calib::kPcieAtomic;
+    }
+    switch (static_cast<PageStatus>(entries[i].status)) {
+      case PageStatus::kFree:
+        ++free_count;
+        break;
+      case PageStatus::kDirty:
+        ++dirty_count;
+        ++survivors;
+        break;
+      default:
+        ++survivors;
+        break;
+    }
+  }
+  for (std::uint32_t b = 0; b < layout_->geometry().buckets; ++b) {
+    host.atomic_u32(layout_->bucket_lock_off(b))
+        .store(0, std::memory_order_release);
+  }
+  res.cost += sim::calib::kPcieAtomic;  // bucket sweep, one posted batch
+  // Recompute the header's shadow registers from ground truth and drop any
+  // pre-crash eviction request (poll() re-derives it from the counts).
+  host.atomic_u32(layout_->header_field(HeaderOffsets::kFree))
+      .store(free_count, std::memory_order_release);
+  host.atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
+      .store(dirty_count, std::memory_order_release);
+  host.atomic_u32(layout_->header_field(HeaderOffsets::kNeedEvict))
+      .store(0, std::memory_order_release);
+  res.cost += sim::calib::kPcieAtomic * 3;
+  // Resync the readahead cursor so a stale pre-crash hint isn't replayed.
+  last_ra_seq_.store(
+      host.atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
+          .load(std::memory_order_acquire),
+      std::memory_order_release);
+  res.pages = static_cast<int>(survivors);
+  stats_.rebuild_pages += survivors;
+  return res;
 }
 
 std::uint32_t DpuCacheControl::free_pages_seen() const {

@@ -36,6 +36,13 @@ namespace dpc::cache {
 /// write fail, leaving the page dirty for a later pass.
 inline constexpr std::string_view kFaultFlushWritePage =
     "cache.flush/write_page";
+/// Crash point between a successful backend write and the clean-status
+/// update: the DPU dies still holding the entry's read lock, with the page
+/// durable in the backend but dirty in the meta area. rebuild() clears the
+/// orphaned lock on restart; the post-restart flush re-writes the page
+/// (idempotent).
+inline constexpr std::string_view kFaultFlushCrashBeforeClean =
+    "cache.flush/crash_before_clean";
 
 struct ControlPlaneConfig {
   /// Refill eviction until at least this many pages are free.
@@ -61,7 +68,8 @@ struct ControlPlaneStats {
         dif_checksums(reg.counter("cache.ctl/dif_checksums")),
         compress_in_bytes(reg.counter("cache.ctl/compress_in_bytes")),
         compress_out_bytes(reg.counter("cache.ctl/compress_out_bytes")),
-        flush_fails(reg.counter("cache.ctl/flush_fails")) {}
+        flush_fails(reg.counter("cache.ctl/flush_fails")),
+        rebuild_pages(reg.counter("cache.ctl/rebuild_pages")) {}
 
   obs::Counter& pages_flushed;
   obs::Counter& pages_evicted;
@@ -73,6 +81,8 @@ struct ControlPlaneStats {
   obs::Counter& compress_out_bytes;
   /// Backend write_page failures — the page stays dirty and is re-queued.
   obs::Counter& flush_fails;
+  /// Pages adopted from the surviving host data plane during rebuild().
+  obs::Counter& rebuild_pages;
 };
 
 class DpuCacheControl {
@@ -109,13 +119,29 @@ class DpuCacheControl {
                           std::uint32_t span = 1);
 
   /// WorkerPool poller: services the need-evict flag and flushes a batch.
-  /// Returns the number of pages it acted on.
+  /// Returns the number of pages it acted on. Inert while the fault
+  /// injector reports `crashed()`; a CrashException from a crash point in
+  /// the flush path (or the KVFS backend underneath it) is absorbed here —
+  /// the DPU core dies mid-pass and the poller goes quiet until restart.
   int poll();
+
+  /// Crash-recovery: rebuilds the DPU-side view of the cache by scanning
+  /// the surviving host-DRAM meta area. Clears every entry and bucket lock
+  /// word the dead DPU may still hold, recomputes the header's free/dirty
+  /// counts from entry status, drops a pending need-evict request, and
+  /// resyncs the readahead-hint cursor. Returns the number of non-free
+  /// pages adopted ("cache.ctl/rebuild_pages"). Run only while both planes
+  /// are quiesced (DPU pollers stopped, host threads blocked on aborted
+  /// NVMe commands); the caller re-flushes dirty pages afterwards with
+  /// flush_pass().
+  PassResult rebuild();
 
   const ControlPlaneStats& stats() const { return stats_; }
   std::uint32_t free_pages_seen() const;
 
  private:
+  int poll_impl();
+
   /// DMA-reads the status word of every entry (chunked) for policy input.
   std::vector<PageStatus> snapshot_status(sim::Nanos& cost);
 

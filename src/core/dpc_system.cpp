@@ -88,7 +88,9 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
       opts.shared_store != nullptr ? *opts.shared_store : *kv_store_;
   remote_kv_ = std::make_unique<kv::RemoteKv>(store, opts.fault, &registry_,
                                               opts.kv_retry, opts.kv_breaker);
-  kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, opts.kvfs, &registry_);
+  kvfs::KvfsOptions kvfs_opts = opts.kvfs;
+  if (kvfs_opts.fault == nullptr) kvfs_opts.fault = opts.fault;
+  kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, kvfs_opts, &registry_);
   if (opts.with_dfs) {
     mds_ = std::make_unique<dfs::MdsCluster>();
     data_servers_ = std::make_unique<dfs::DataServers>(
@@ -154,6 +156,41 @@ void DpcSystem::stop_dpu() {
   if (!workers_running_.load(std::memory_order_acquire)) return;
   workers_running_.store(false, std::memory_order_release);
   workers_.reset();
+}
+
+DpcSystem::RestartReport DpcSystem::restart_dpu() {
+  RestartReport rep;
+  const bool was_running = workers_running_.load(std::memory_order_acquire);
+  stop_dpu();
+  // ① Controller reset, per queue pair. TGT first — it rewinds the ring
+  // indices the INI's doorbell zeroing would otherwise desynchronize — then
+  // the INI aborts every in-flight cid so blocked callers requeue through
+  // the normal retry path.
+  for (std::size_t q = 0; q < tgts_.size(); ++q) {
+    tgts_[q]->reset();
+    rep.aborted_cids = static_cast<std::uint16_t>(rep.aborted_cids +
+                                                  inis_[q]->reset());
+    ++rep.queues_reset;
+  }
+  // ② Lift the crash latch so the recovery passes below can run.
+  if (opts_.fault != nullptr) opts_.fault->clear_crash();
+  // ③ Square the keyspace: intent-journal replay, then fsck repair as the
+  // backstop for anything the journal couldn't see.
+  rep.fs = kvfs_->recover();
+  rep.cost += rep.fs.cost;
+  // ④ Rebuild the DPU-side cache control state from the surviving
+  // host-DRAM data plane, then push down whatever was dirty at the crash.
+  if (cache_ctl_) {
+    const auto rebuilt = cache_ctl_->rebuild();
+    rep.rebuilt_pages = static_cast<std::uint32_t>(rebuilt.pages);
+    rep.cost += rebuilt.cost;
+    const auto flushed = cache_ctl_->flush_pass();
+    rep.reflushed_pages = flushed.pages;
+    rep.cost += flushed.cost;
+  }
+  registry_.histogram("recovery/restart_ns").record(rep.cost);
+  if (was_running) start_dpu();
+  return rep;
 }
 
 int DpcSystem::queue_for_this_thread() {

@@ -101,6 +101,27 @@ class DpcSystem {
   void start_dpu();
   void stop_dpu();
 
+  /// What a DPU power-cycle recovered.
+  struct RestartReport {
+    int queues_reset = 0;           ///< nvme-fs queue pairs re-initialized
+    std::uint16_t aborted_cids = 0; ///< in-flight commands aborted to host
+    kvfs::Kvfs::RecoveryReport fs;  ///< journal replay + fsck repair
+    std::uint32_t rebuilt_pages = 0;  ///< cache pages adopted from host DRAM
+    int reflushed_pages = 0;          ///< dirty pages pushed down post-crash
+    sim::Nanos cost{};  ///< modelled recovery time (also "recovery/restart_ns")
+    bool clean() const { return fs.clean(); }
+  };
+
+  /// Models a DPU power-cycle after a fault-injected crash (§ robustness):
+  /// quiesces the workers, resets every nvme-fs controller pair (TGT rings
+  /// rewound, in-flight host commands aborted so their waiters requeue),
+  /// clears the crash latch, rolls the KVFS keyspace forward (intent-journal
+  /// replay + fsck repair), rebuilds the DPU-side cache control state from
+  /// the surviving host-DRAM data plane and re-flushes dirty pages, then
+  /// restarts the workers if they were running. The fs-adapter's size view
+  /// survives deliberately — the host never crashed.
+  RestartReport restart_dpu();
+
   // ------------------------- standalone (KVFS) file service -------------
   Io create(std::uint64_t parent, const std::string& name,
             std::uint32_t mode = 0644);

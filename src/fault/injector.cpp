@@ -36,6 +36,7 @@ FaultInjector::FaultInjector(std::uint64_t seed, obs::Registry* registry)
   if (registry != nullptr) {
     injected_ = &registry->counter("fault/injected");
     checks_ = &registry->counter("fault/checks");
+    crashes_ = &registry->counter("fault/crashes");
   }
 }
 
@@ -91,6 +92,48 @@ bool FaultInjector::should_fail(std::string_view site) {
   if (draw_uniform(seed_, s->name_hash, idx) >= s->p) return false;
   if (injected_ != nullptr) injected_->add();
   return true;
+}
+
+void FaultInjector::arm_crash(std::string_view site, std::uint64_t skip) {
+  std::unique_lock lock(mu_);
+  auto& slot = crash_sites_[std::string(site)];
+  if (slot == nullptr) slot = std::make_unique<CrashSite>();
+  slot->skip = skip;
+  slot->arrivals.store(0, std::memory_order_relaxed);
+  slot->armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm_crash(std::string_view site) {
+  std::unique_lock lock(mu_);
+  crash_sites_.erase(std::string(site));
+}
+
+FaultInjector::CrashSite* FaultInjector::find_crash(
+    std::string_view site) const {
+  std::shared_lock lock(mu_);
+  const auto it = crash_sites_.find(std::string(site));
+  return it == crash_sites_.end() ? nullptr : it->second.get();
+}
+
+bool FaultInjector::at_crash_point(std::string_view site) {
+  if (crashed_.load(std::memory_order_acquire)) return false;
+  CrashSite* s = find_crash(site);
+  if (s == nullptr || !s->armed.load(std::memory_order_acquire)) return false;
+  const std::uint64_t n = s->arrivals.fetch_add(1, std::memory_order_relaxed);
+  if (n < s->skip) return false;
+  // One-shot: the first arrival past the skip count wins; racers lose.
+  bool expected = true;
+  if (!s->armed.compare_exchange_strong(expected, false,
+                                        std::memory_order_acq_rel))
+    return false;
+  crashed_.store(true, std::memory_order_release);
+  if (crashes_ != nullptr) crashes_->add();
+  return true;
+}
+
+std::uint64_t FaultInjector::crash_arrivals(std::string_view site) const {
+  const CrashSite* s = find_crash(site);
+  return s == nullptr ? 0 : s->arrivals.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FaultInjector::seed_from_env(std::uint64_t fallback) {

@@ -28,6 +28,13 @@
 
 namespace dpc::fault {
 
+/// Thrown by `crash_point()` when an armed crash site fires: models the DPU
+/// halting mid-operation. It is caught at the DPU entry boundaries only (the
+/// TGT command loop, the cache control-plane passes) — never by the layer
+/// that crashed, so no further mutation happens on the crashed path. The
+/// host side observes the crash purely as lost completions.
+struct CrashException {};
+
 class FaultInjector {
  public:
   /// `registry` (optional) hosts the "fault/injected" and "fault/checks"
@@ -51,6 +58,29 @@ class FaultInjector {
   /// consume no draw.
   bool should_fail(std::string_view site);
 
+  // ---- crash outcomes (kCrash) -------------------------------------------
+  //
+  // Unlike the Bernoulli sites above, a crash site is one-shot: it fires on
+  // its (skip+1)-th arrival, marks the whole injector `crashed()`, and
+  // disarms itself. Once crashed, every crash point and DPU poller gated on
+  // `crashed()` goes quiet until `clear_crash()` — the restart path's job.
+
+  /// Arms `site` to crash on its (skip+1)-th arrival. Re-arming resets the
+  /// arrival count.
+  void arm_crash(std::string_view site, std::uint64_t skip = 0);
+  void disarm_crash(std::string_view site);
+  /// One arrival at a crash point. Returns true exactly once per arming —
+  /// when the skip count is exhausted — and latches `crashed()`. Arrivals
+  /// while already crashed never fire (a halted DPU executes nothing).
+  bool at_crash_point(std::string_view site);
+  /// True between a crash firing and clear_crash().
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  /// Restart path: the DPU is back; crash points may be re-armed and fire
+  /// again.
+  void clear_crash() { crashed_.store(false, std::memory_order_release); }
+  /// Arrivals recorded at a crash site so far (0 if never armed).
+  std::uint64_t crash_arrivals(std::string_view site) const;
+
   std::uint64_t seed() const { return seed_; }
 
   /// Seed from the DPC_FAULT_SEED environment variable (decimal), or
@@ -65,16 +95,34 @@ class FaultInjector {
     std::atomic<std::uint64_t> draws{0};
   };
 
+  struct CrashSite {
+    std::uint64_t skip = 0;
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<bool> armed{false};
+  };
+
   Site* find(std::string_view site) const;
+  CrashSite* find_crash(std::string_view site) const;
 
   std::uint64_t seed_;
   obs::Counter* injected_ = nullptr;  // null without a registry
   obs::Counter* checks_ = nullptr;
+  obs::Counter* crashes_ = nullptr;
+
+  std::atomic<bool> crashed_{false};
 
   mutable std::shared_mutex mu_;
   // unique_ptr values keep Site addresses (and their atomics) stable across
   // rehashes, so should_fail can drop the map lock before drawing.
   std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+  std::unordered_map<std::string, std::unique_ptr<CrashSite>> crash_sites_;
 };
+
+/// Placed at every named crash point on the DPU side: throws CrashException
+/// when the injector says this arrival is the one that crashes. A null
+/// injector costs one pointer compare (same contract as should_fail).
+inline void crash_point(FaultInjector* fi, std::string_view site) {
+  if (fi != nullptr && fi->at_crash_point(site)) throw CrashException{};
+}
 
 }  // namespace dpc::fault

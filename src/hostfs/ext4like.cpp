@@ -6,12 +6,41 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "ec/crc32c.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::hostfs {
 
 namespace {
 constexpr std::uint32_t kDirentSize = 264;
+
+// Journal-lite WAL record: 64 bytes, magic + sequence up front, CRC32C over
+// the first 60 bytes in the last 4 — the jbd2-style self-describing block
+// that lets a mount distinguish live records from stale or torn ones.
+constexpr char kJournalMagic[4] = {'D', 'P', 'C', 'J'};
+constexpr std::size_t kJournalRecSize = 64;
+
+void seal_journal_record(std::span<std::byte, kJournalRecSize> rec,
+                         std::uint64_t seq) {
+  std::memcpy(rec.data(), kJournalMagic, sizeof(kJournalMagic));
+  std::memcpy(rec.data() + 4, &seq, sizeof(seq));
+  const std::uint32_t crc = ec::crc32c(rec.first(kJournalRecSize - 4));
+  std::memcpy(rec.data() + kJournalRecSize - 4, &crc, sizeof(crc));
+}
+
+/// Returns the record's sequence number, or nullopt if magic/CRC disagree.
+std::optional<std::uint64_t> check_journal_record(
+    std::span<const std::byte, kJournalRecSize> rec) {
+  if (std::memcmp(rec.data(), kJournalMagic, sizeof(kJournalMagic)) != 0)
+    return std::nullopt;
+  std::uint32_t stored;
+  std::memcpy(&stored, rec.data() + kJournalRecSize - 4, sizeof(stored));
+  if (stored != ec::crc32c(rec.first(kJournalRecSize - 4)))
+    return std::nullopt;
+  std::uint64_t seq;
+  std::memcpy(&seq, rec.data() + 4, sizeof(seq));
+  return seq;
+}
 
 std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
@@ -69,6 +98,22 @@ Ext4like::Ext4like(ssd::SsdModel& disk, const Ext4likeOptions& opts)
   block_bitmap_.assign(div_ceil(opts.total_blocks, 64), 0);
   inode_used_.assign(opts.max_inodes, false);
   free_blocks_ = opts.total_blocks - data_start_;
+
+  // Mount-time journal scan: count CRC-valid WAL records a previous
+  // incarnation left on this device, and resume the sequence above the
+  // highest survivor so new records always supersede old ones.
+  if (opts.journal_enabled) {
+    std::vector<std::byte> block(kBlockSize);
+    for (std::uint32_t j = 0; j < opts.journal_blocks; ++j) {
+      disk_->read_block(journal_start_ + j, block);
+      const auto seq = check_journal_record(
+          std::span<const std::byte, kJournalRecSize>{block.data(),
+                                                      kJournalRecSize});
+      if (!seq.has_value()) continue;
+      ++journal_valid_on_mount_;
+      journal_seq_ = std::max(journal_seq_, *seq + 1);
+    }
+  }
 
   // mkfs: superblock + root inode + root (empty) directory.
   OpCost c;
@@ -139,7 +184,9 @@ void Ext4like::dev_write(std::uint64_t lba, std::span<const std::byte> src,
 
 void Ext4like::journal(OpCost& c) {
   if (!opts_.journal_enabled) return;
-  std::array<std::byte, 64> rec{};  // WAL descriptor record
+  std::array<std::byte, kJournalRecSize> rec{};  // WAL descriptor record
+  seal_journal_record(std::span<std::byte, kJournalRecSize>{rec},
+                      journal_seq_++);
   const std::uint64_t lba = journal_start_ + journal_cursor_;
   journal_cursor_ = (journal_cursor_ + 1) % opts_.journal_blocks;
   dev_write(lba, rec, c);

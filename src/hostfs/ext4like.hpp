@@ -112,6 +112,13 @@ class Ext4like {
 
   std::uint64_t free_blocks() const { return free_blocks_; }
   const cache::PageCache& page_cache() const { return pcache_; }
+  /// CRC-valid WAL records found in the journal region at mount time —
+  /// survivors of a previous incarnation on the same device (zero on a
+  /// fresh disk). A real ext4 would replay these; the baseline only needs
+  /// to count them for the crash-consistency comparison.
+  std::uint32_t journal_valid_on_mount() const {
+    return journal_valid_on_mount_;
+  }
 
  private:
   // On-disk structures (block-sized serialization).
@@ -202,6 +209,8 @@ class Ext4like {
   std::uint64_t itable_start_ = 0;
   std::uint64_t journal_start_ = 0;
   std::uint32_t journal_cursor_ = 0;
+  std::uint64_t journal_seq_ = 1;
+  std::uint32_t journal_valid_on_mount_ = 0;
   std::uint64_t time_ = 1;
 };
 

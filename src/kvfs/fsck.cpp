@@ -1,10 +1,13 @@
 #include "kvfs/fsck.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
+#include "kv/remote.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::kvfs {
@@ -47,8 +50,14 @@ std::size_t FsckReport::count(FsckIssueKind k) const {
 
 FsckReport fsck(const kv::KvStore& store) {
   FsckReport report;
-  auto add = [&](FsckIssueKind kind, Ino ino, std::string detail) {
-    report.issues.push_back({kind, ino, std::move(detail)});
+  auto add = [&](FsckIssueKind kind, Ino ino,
+                 std::string detail) -> FsckIssue& {
+    FsckIssue is;
+    is.kind = kind;
+    is.ino = ino;
+    is.detail = std::move(detail);
+    report.issues.push_back(std::move(is));
+    return report.issues.back();
   };
 
   // ---- gather the keyspace by flavor ----
@@ -94,9 +103,12 @@ FsckReport fsck(const kv::KvStore& store) {
   std::map<Ino, std::uint32_t> ref_count;
   for (const auto& d : dentries) {
     if (!attrs.contains(d.ino)) {
-      add(FsckIssueKind::kDanglingDentry, d.ino,
+      FsckIssue& is = add(
+          FsckIssueKind::kDanglingDentry, d.ino,
           "entry '" + d.name + "' in dir " + std::to_string(d.parent) +
               " names a missing inode");
+      is.parent = d.parent;
+      is.name = d.name;
       continue;
     }
     children[d.parent].push_back(&d);
@@ -142,7 +154,7 @@ FsckReport fsck(const kv::KvStore& store) {
       if (attr.nlink != expect) {
         std::ostringstream os;
         os << "nlink " << attr.nlink << ", expected " << expect;
-        add(FsckIssueKind::kBadLinkCount, ino, os.str());
+        add(FsckIssueKind::kBadLinkCount, ino, os.str()).aux = expect;
       }
       continue;
     }
@@ -162,7 +174,7 @@ FsckReport fsck(const kv::KvStore& store) {
       if (attr.nlink != lrefs) {
         std::ostringstream os;
         os << "symlink nlink " << attr.nlink << ", " << lrefs << " entries";
-        add(FsckIssueKind::kBadLinkCount, ino, os.str());
+        add(FsckIssueKind::kBadLinkCount, ino, os.str()).aux = lrefs;
       }
       continue;
     }
@@ -174,7 +186,7 @@ FsckReport fsck(const kv::KvStore& store) {
       std::ostringstream os;
       os << "file nlink " << attr.nlink << ", " << refs
          << " directory entries reference it";
-      add(FsckIssueKind::kBadLinkCount, ino, os.str());
+      add(FsckIssueKind::kBadLinkCount, ino, os.str()).aux = refs;
     }
     if (has_small && has_object)
       add(FsckIssueKind::kConflictingData, ino,
@@ -197,7 +209,8 @@ FsckReport fsck(const kv::KvStore& store) {
         referenced_blocks.insert(id);
         if (!block_sizes.contains(id)) {
           add(FsckIssueKind::kMissingBlock, ino,
-              "block " + std::to_string(id) + " referenced but absent");
+              "block " + std::to_string(id) + " referenced but absent")
+              .aux = id;
         }
       }
     } else {
@@ -209,7 +222,8 @@ FsckReport fsck(const kv::KvStore& store) {
       if (attr.size > 0 && !has_small) {
         // Legal for fully-sparse files, but worth surfacing.
         add(FsckIssueKind::kMissingSmallData, ino,
-            "non-empty small file without a data KV (sparse?)");
+            "non-empty small file without a data KV (sparse?)")
+            .aux = attr.size;
       }
     }
   }
@@ -236,6 +250,297 @@ FsckReport fsck(const kv::KvStore& store) {
   }
 
   return report;
+}
+
+// ----------------------------------------------------------------- repair
+
+namespace {
+
+/// Repair-side store access: fixes charge modelled remote round trips even
+/// though recovery talks to the raw store (below fault injection).
+struct Fixer {
+  kv::KvStore& kv;
+  FsckRepairReport& rep;
+
+  std::optional<Attr> attr(Ino ino) {
+    rep.cost += kv::RemoteKv::op_cost(true, sizeof(Attr));
+    const auto v = kv.get(attr_key(ino));
+    if (!v) return std::nullopt;
+    return decode_attr(*v);
+  }
+  void put_attr(const Attr& a) {
+    rep.cost += kv::RemoteKv::op_cost(false, sizeof(Attr));
+    kv.put(attr_key(a.ino), encode_attr(a));
+    ++rep.repairs;
+  }
+  void erase(const std::string& key) {
+    rep.cost += kv::RemoteKv::op_cost(false, 0);
+    if (kv.erase(key)) ++rep.repairs;
+  }
+  /// Drops the object KV and every block it references.
+  void erase_object(Ino ino) {
+    rep.cost += kv::RemoteKv::op_cost(true, 0);
+    const auto v = kv.get(big_object_key(ino));
+    if (!v) return;
+    for (const std::uint64_t b : decode_file_object(*v).blocks)
+      if (b != 0) erase(block_key(b));
+    erase(big_object_key(ino));
+  }
+};
+
+/// Finds or creates /lost+found for reattaching orphan subtrees. Returns 0
+/// when the name is taken by a non-directory (fix skipped; the operator
+/// must intervene — never overwrite live data to make room).
+Ino ensure_lost_found(Fixer& fx) {
+  static constexpr std::string_view kName = "lost+found";
+  fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+  if (const auto v = fx.kv.get(inode_key(kRootIno, kName))) {
+    const Ino ino = decode_ino(*v);
+    const auto a = fx.attr(ino);
+    return a && a->type == FileType::kDirectory ? ino : 0;
+  }
+  fx.rep.cost += kv::RemoteKv::op_cost(false, 0);
+  const Ino ino = fx.kv.increment(ino_counter_key(), 1);
+  Attr a;
+  a.ino = ino;
+  a.type = FileType::kDirectory;
+  a.mode = 0700;
+  a.nlink = 2;  // next pass recomputes against reattached subdirs
+  fx.put_attr(a);
+  fx.rep.cost += kv::RemoteKv::op_cost(false, 0);
+  fx.kv.put(inode_key(kRootIno, kName), encode_ino(ino));
+  ++fx.rep.repairs;
+  return ino;
+}
+
+/// Applies the fix for one issue. Every fix re-probes the live keyspace
+/// first: fixes earlier in the same pass may have already resolved (or
+/// reshaped) the problem, and a stale fix must never touch a healthy inode.
+void apply_fix(Fixer& fx, const FsckIssue& is,
+               const std::set<Ino>& referenced) {
+  kv::KvStore& kv = fx.kv;
+  switch (is.kind) {
+    case FsckIssueKind::kDanglingDentry: {
+      const std::string key = inode_key(is.parent, is.name);
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+      const auto v = kv.get(key);
+      if (v && decode_ino(*v) == is.ino && !kv.contains(attr_key(is.ino)))
+        fx.erase(key);
+      return;
+    }
+
+    case FsckIssueKind::kUnreachableInode: {
+      const auto a = fx.attr(is.ino);
+      if (!a) return;
+      // An unreachable inode some dentry still names sits inside an orphan
+      // subtree: reattaching the subtree's *root* (which nothing names)
+      // restores the whole tree, so leave the interior alone.
+      if (referenced.contains(is.ino)) return;
+      const bool empty_file = a->type == FileType::kRegular && a->size == 0 &&
+                              !kv.contains(small_key(is.ino)) &&
+                              !kv.contains(big_object_key(is.ino));
+      if (empty_file) {
+        fx.erase(attr_key(is.ino));
+        return;
+      }
+      const Ino lf = ensure_lost_found(fx);
+      if (lf == 0) return;
+      fx.rep.cost += kv::RemoteKv::op_cost(false, 0);
+      if (kv.put_if_absent(inode_key(lf, "ino" + std::to_string(is.ino)),
+                           encode_ino(is.ino)))
+        ++fx.rep.repairs;
+      return;
+    }
+
+    case FsckIssueKind::kMissingSmallData: {
+      auto a = fx.attr(is.ino);
+      if (!a || a->big_file || a->size == 0 || kv.contains(small_key(is.ino)))
+        return;
+      // The bytes are unrecoverable; materialize the zeros reads already
+      // return so the state is self-describing.
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(a->size, kSmallFileMax));
+      const kv::Bytes zeros(n, std::byte{0});
+      fx.rep.cost += kv::RemoteKv::op_cost(false, n);
+      kv.put(small_key(is.ino), zeros);
+      ++fx.rep.repairs;
+      return;
+    }
+
+    case FsckIssueKind::kMissingObject: {
+      auto a = fx.attr(is.ino);
+      if (!a || !a->big_file || kv.contains(big_object_key(is.ino))) return;
+      a->big_file = 0;
+      a->size = 0;  // extent index gone: the data is unreachable anyway
+      fx.put_attr(*a);
+      return;
+    }
+
+    case FsckIssueKind::kMissingBlock: {
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+      const auto v = kv.get(big_object_key(is.ino));
+      if (!v || kv.contains(block_key(is.aux))) return;
+      FileObject obj = decode_file_object(*v);
+      bool changed = false;
+      for (auto& b : obj.blocks) {
+        if (b == is.aux) {
+          b = 0;  // dead reference becomes a hole (reads as zeros)
+          changed = true;
+        }
+      }
+      if (!changed) return;
+      fx.rep.cost += kv::RemoteKv::op_cost(false, v->size());
+      kv.put(big_object_key(is.ino), encode_file_object(obj));
+      ++fx.rep.repairs;
+      return;
+    }
+
+    case FsckIssueKind::kOrphanData: {
+      if (kv.contains(attr_key(is.ino))) return;
+      fx.erase(small_key(is.ino));
+      fx.erase_object(is.ino);
+      return;
+    }
+
+    case FsckIssueKind::kOrphanBlock: {
+      // `ino` holds the block id for this kind. A same-pass fix can
+      // resurrect references (the conflicting-data fix completing an
+      // interrupted promotion re-arms the owner's big_file flag), so
+      // re-probe the live object space before erasing.
+      bool referenced = false;
+      kv.scan_prefix("O", [&](std::string_view, const kv::Bytes& v) {
+        const FileObject obj = decode_file_object(v);
+        for (const std::uint64_t id : obj.blocks) {
+          if (id == is.ino) {
+            referenced = true;
+            return false;
+          }
+        }
+        return true;
+      });
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+      if (!referenced) fx.erase(block_key(is.ino));
+      return;
+    }
+
+    case FsckIssueKind::kBadSmallSize: {
+      auto a = fx.attr(is.ino);
+      if (!a || a->big_file || a->size <= kSmallFileMax) return;
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+      if (auto v = kv.get(small_key(is.ino));
+          v && v->size() > kSmallFileMax) {
+        v->resize(kSmallFileMax);
+        fx.rep.cost += kv::RemoteKv::op_cost(false, v->size());
+        kv.put(small_key(is.ino), *v);
+        ++fx.rep.repairs;
+      }
+      a->size = kSmallFileMax;
+      fx.put_attr(*a);
+      return;
+    }
+
+    case FsckIssueKind::kConflictingData: {
+      auto a = fx.attr(is.ino);
+      if (!a) return;
+      const bool has_small = kv.contains(small_key(is.ino));
+      const bool has_object = kv.contains(big_object_key(is.ino));
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0) * 2;
+      if (a->type == FileType::kSymlink) {
+        if (has_object) fx.erase_object(is.ino);  // never legal on symlinks
+        return;
+      }
+      if (has_small && has_object) {
+        // Both present: the big_file flag says which one readers use; the
+        // other is shadowed garbage.
+        if (a->big_file)
+          fx.erase(small_key(is.ino));
+        else
+          fx.erase_object(is.ino);
+      } else if (has_object && !a->big_file) {
+        // Tail of an interrupted promotion: the object took over but the
+        // flag flip never landed. Flip it (the small KV is already gone).
+        a->big_file = 1;
+        fx.put_attr(*a);
+      } else if (has_small && a->big_file && !has_object) {
+        // Promotion that never built its object: the small KV is still
+        // the only data. Un-promote.
+        a->big_file = 0;
+        a->size = std::min<std::uint64_t>(a->size, kSmallFileMax);
+        fx.put_attr(*a);
+      }
+      return;
+    }
+
+    case FsckIssueKind::kDirectoryHasData: {
+      const auto a = fx.attr(is.ino);
+      if (!a || a->type != FileType::kDirectory) return;
+      fx.erase(small_key(is.ino));
+      fx.erase_object(is.ino);
+      return;
+    }
+
+    case FsckIssueKind::kBadLinkCount: {
+      auto a = fx.attr(is.ino);
+      if (!a || a->nlink == is.aux) return;
+      a->nlink = static_cast<std::uint32_t>(is.aux);
+      fx.put_attr(*a);
+      return;
+    }
+
+    case FsckIssueKind::kBadSymlink: {
+      auto a = fx.attr(is.ino);
+      if (!a || a->type != FileType::kSymlink) return;
+      fx.rep.cost += kv::RemoteKv::op_cost(true, 0);
+      const auto v = kv.get(small_key(is.ino));
+      if (v && !v->empty()) {
+        if (a->size != v->size()) {
+          a->size = v->size();
+          fx.put_attr(*a);
+        }
+        return;
+      }
+      // Target text is gone — the symlink is unrecoverable. Reap it; its
+      // dentries turn dangling and the next pass drops them.
+      fx.erase(small_key(is.ino));
+      fx.erase(attr_key(is.ino));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FsckRepairReport fsck_repair(kv::KvStore& store, obs::Registry* registry) {
+  FsckRepairReport rep;
+  // Fixes cascade across at most a few passes (reattach → recount links →
+  // verify); the budget only guards against a pathological keyspace.
+  constexpr std::uint32_t kMaxPasses = 8;
+  Fixer fx{store, rep};
+
+  while (rep.passes < kMaxPasses) {
+    ++rep.passes;
+    const FsckReport r = fsck(store);
+    rep.cost += kv::RemoteKv::op_cost(true, 0) * store.size();
+    if (r.clean()) {
+      rep.clean = true;
+      break;
+    }
+    // Which inodes some dentry still names — reattachment's guard against
+    // flattening orphan subtrees into /lost+found.
+    std::set<Ino> referenced;
+    store.scan_prefix("D", [&](std::string_view, const kv::Bytes& v) {
+      referenced.insert(decode_ino(v));
+      return true;
+    });
+
+    const std::uint64_t before = rep.repairs;
+    for (const FsckIssue& is : r.issues) apply_fix(fx, is, referenced);
+    if (rep.repairs == before) break;  // stuck: don't spin on the unfixable
+  }
+
+  if (registry != nullptr && rep.repairs > 0)
+    registry->counter("fsck/repairs").add(rep.repairs);
+  return rep;
 }
 
 }  // namespace dpc::kvfs

@@ -23,6 +23,8 @@
 
 #include "kv/kv_store.hpp"
 #include "kvfs/types.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
 
 namespace dpc::kvfs {
 
@@ -44,9 +46,14 @@ enum class FsckIssueKind : std::uint8_t {
 const char* to_string(FsckIssueKind k);
 
 struct FsckIssue {
-  FsckIssueKind kind;
-  Ino ino = 0;
+  FsckIssueKind kind = FsckIssueKind::kDanglingDentry;
+  Ino ino = 0;  ///< the affected inode (the block id for kOrphanBlock)
   std::string detail;
+  // Repair-mode context — lets fsck_repair act on an issue without
+  // re-deriving global state:
+  Ino parent = 0;          ///< dangling dentry: directory holding the entry
+  std::string name;        ///< dangling dentry: entry name
+  std::uint64_t aux = 0;   ///< expected nlink / referenced block id / size
 };
 
 struct FsckReport {
@@ -67,5 +74,31 @@ struct FsckReport {
 /// Runs all checks against the raw keyspace (offline: callers must ensure
 /// no concurrent mutation).
 FsckReport fsck(const kv::KvStore& store);
+
+struct FsckRepairReport {
+  std::uint64_t repairs = 0;  ///< individual fixes applied (all passes)
+  std::uint32_t passes = 0;   ///< fsck+fix rounds run
+  bool clean = false;         ///< final fsck pass found nothing
+  sim::Nanos cost{};          ///< modelled remote-KV cost of scans + fixes
+};
+
+/// Repair mode: iterates fsck + fixes until the keyspace is clean (or the
+/// pass budget runs out — pathological keyspaces only). Every FsckIssueKind
+/// has a fix:
+///   * dangling dentries are dropped;
+///   * unreachable subtree roots are reattached under /lost+found (created
+///     on demand); unreachable *empty* regular files are reaped;
+///   * missing data is neutralized (zero-fill small files, clear big_file /
+///     zero dead block ids) and orphan data/blocks are erased;
+///   * conflicting data trusts the big_file flag — except an object with
+///     the flag still clear, which is the tail of an interrupted promotion
+///     and gets the flag set (the small KV was already superseded);
+///   * link counts are recomputed, symlink sizes resynced (target-less
+///     symlinks are reaped).
+/// Fixes are re-guarded against the live keyspace before applying, so the
+/// healthy remainder of the tree is never touched. Offline, like fsck.
+/// `registry` (optional) feeds the "fsck/repairs" counter.
+FsckRepairReport fsck_repair(kv::KvStore& store,
+                             obs::Registry* registry = nullptr);
 
 }  // namespace dpc::kvfs

@@ -23,7 +23,15 @@ Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
       opts_(opts),
       owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                           : nullptr),
-      stats_(registry != nullptr ? *registry : *owned_registry_) {
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      stats_(*registry_) {
+  if (opts_.journal) {
+    journal_ = std::make_unique<IntentJournal>(store, *registry_,
+                                               opts_.fault);
+    // Mount-time replay: roll any interrupted mutation (ours from a prior
+    // incarnation, or a crashed peer's) forward or backward before serving.
+    mount_replay_ = IntentJournal::replay(store.store(), registry_);
+  }
   // Install the root directory's attribute if this is a fresh store.
   sim::Nanos cost{};
   if (!load_attr(kRootIno, cost)) {
@@ -35,6 +43,19 @@ Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
     root.ctime = root.mtime = root.atime = now();
     store_attr(root, cost);
   }
+}
+
+Kvfs::RecoveryReport Kvfs::recover() {
+  RecoveryReport rep;
+  // Volatile caches may hold state from before the crash (entries the
+  // interrupted op cached but never durably completed) — drop them so every
+  // post-recovery read refetches truth.
+  drop_caches();
+  if (journal_ != nullptr)
+    rep.journal = IntentJournal::replay(store_->store(), registry_);
+  rep.fsck = fsck_repair(store_->store(), registry_);
+  rep.cost = rep.journal.cost + rep.fsck.cost;
+  return rep;
 }
 
 // ----------------------------------------------------------------- helpers
@@ -189,7 +210,8 @@ void Kvfs::drop_caches() {
 // --------------------------------------------------------------- namespace
 
 Result<Ino> Kvfs::make_node(Ino parent, std::string_view name, FileType type,
-                            std::uint32_t mode) {
+                            std::uint32_t mode,
+                            std::string_view symlink_target) {
   Result<Ino> res;
   if (!valid_name(name)) {
     res.err = EINVAL;
@@ -211,32 +233,76 @@ Result<Ino> Kvfs::make_node(Ino parent, std::string_view name, FileType type,
     res.err = EIO;
     return res;
   }
+
+  // Write-ahead intent: if the record can't be made durable, abort before
+  // anything mutates.
+  std::uint64_t rec_id = 0;
+  if (journal_ != nullptr) {
+    JournalRecord rec;
+    rec.op = JournalOp::kCreate;
+    rec.type = type;
+    rec.ino = ino;
+    rec.parent = parent;
+    rec.name = name;
+    rec.name2 = symlink_target;
+    rec_id = journal_->begin(rec, res.cost);
+    if (rec_id == 0) {
+      res.err = EIO;
+      return res;
+    }
+  }
+  const auto commit = [&] {
+    if (journal_ != nullptr) journal_->commit(rec_id, res.cost);
+  };
+
   // put_if_absent on the inode KV is the existence check and the insert in
   // one atomic step.
   auto put = store_->put_if_absent(inode_key(parent, name), encode_ino(ino));
   res.cost += put.cost;
   if (!put.ok()) {
+    commit();       // nothing mutated
     res.err = EIO;  // transient KV failure, not a name collision
     return res;
   }
   if (!put.value) {
+    commit();  // lost the name race; the winner's state is untouched
     res.err = EEXIST;
     return res;
   }
+  fault::crash_point(opts_.fault, "kvfs.create/crash_after_dentry");
 
   Attr a;
   a.ino = ino;
   a.type = type;
   a.mode = mode;
   a.nlink = type == FileType::kDirectory ? 2 : 1;
+  a.size = symlink_target.size();  // 0 except for symlinks
   a.ctime = a.mtime = a.atime = now();
   store_attr(a, res.cost);
+  fault::crash_point(opts_.fault, "kvfs.create/crash_after_attr");
   cache_dentry(parent, name, ino);
+
+  if (type == FileType::kSymlink) {
+    // The target rides in the small-file KV, inside the journaled atom
+    // (replay re-materializes it from the record's name2).
+    const auto* tp = reinterpret_cast<const std::byte*>(symlink_target.data());
+    auto tput = store_->put(
+        small_key(ino), std::span<const std::byte>(tp, symlink_target.size()));
+    res.cost += tput.cost;
+    if (!tput.ok()) {
+      // Leave the record open: the node dangles now (readlink EIO) but the
+      // next replay completes it.
+      res.err = EIO;
+      return res;
+    }
+    fault::crash_point(opts_.fault, "kvfs.symlink/crash_after_data");
+  }
 
   Attr p = *pattr;
   p.mtime = now();
   if (type == FileType::kDirectory) ++p.nlink;
   store_attr(p, res.cost);
+  commit();
 
   res.value = ino;
   return res;
@@ -244,12 +310,12 @@ Result<Ino> Kvfs::make_node(Ino parent, std::string_view name, FileType type,
 
 Result<Ino> Kvfs::create(Ino parent, std::string_view name,
                          std::uint32_t mode) {
-  return make_node(parent, name, FileType::kRegular, mode);
+  return make_node(parent, name, FileType::kRegular, mode, {});
 }
 
 Result<Ino> Kvfs::mkdir(Ino parent, std::string_view name,
                         std::uint32_t mode) {
-  return make_node(parent, name, FileType::kDirectory, mode);
+  return make_node(parent, name, FileType::kDirectory, mode, {});
 }
 
 Result<Ino> Kvfs::lookup(Ino parent, std::string_view name) {
@@ -395,16 +461,37 @@ Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
     return res;
   }
 
+  // Write-ahead intent: nlink_before and big_file let replay finish a
+  // half-done removal (decrement exactly once, or purge the right flavor).
+  std::uint64_t rec_id = 0;
+  if (journal_ != nullptr) {
+    JournalRecord rec;
+    rec.op = JournalOp::kRemove;
+    rec.type = attr->type;
+    rec.ino = *ino;
+    rec.parent = parent;
+    rec.name = name;
+    rec.nlink_before = attr->nlink;
+    rec.big_file = static_cast<std::uint8_t>(attr->big_file != 0);
+    rec_id = journal_->begin(rec, res.cost);
+    if (rec_id == 0) {
+      res.err = EIO;
+      return res;
+    }
+  }
+
   // Remove the namespace entry first so concurrent lookups fail fast. If
   // the erase itself fails, abort before touching the attr/data: deleting
   // those while the dentry survives would leave a dangling name.
   auto del = store_->erase(inode_key(parent, name));
   res.cost += del.cost;
   if (!del.ok()) {
+    if (journal_ != nullptr) journal_->commit(rec_id, res.cost);
     res.err = EIO;
     return res;
   }
   uncache_dentry(parent, name);
+  fault::crash_point(opts_.fault, "kvfs.remove/crash_after_dentry");
   if (attr->type != FileType::kDirectory && attr->nlink > 1) {
     // Other hard links remain: drop one reference, keep the data.
     Attr a = *attr;
@@ -416,6 +503,7 @@ Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
     res.cost += store_->erase(attr_key(*ino)).cost;
     uncache_attr(*ino);
   }
+  fault::crash_point(opts_.fault, "kvfs.remove/crash_after_attr");
 
   if (auto pattr = load_attr(parent, res.cost)) {
     Attr p = *pattr;
@@ -423,6 +511,7 @@ Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
     if (dir && p.nlink > 2) --p.nlink;
     store_attr(p, res.cost);
   }
+  if (journal_ != nullptr) journal_->commit(rec_id, res.cost);
   return res;
 }
 
@@ -454,9 +543,10 @@ Result<Unit> Kvfs::rename(Ino old_parent, std::string_view old_name,
     return res;
   }
 
+  std::optional<Attr> dst_attr;
   if (const auto dst = load_dentry(new_parent, new_name, res.cost)) {
     if (*dst == *src) return res;  // rename onto itself: success, no-op
-    const auto dst_attr = load_attr(*dst, res.cost);
+    dst_attr = load_attr(*dst, res.cost);
     if (!dst_attr) {
       res.err = EIO;
       return res;
@@ -475,18 +565,48 @@ Result<Unit> Kvfs::rename(Ino old_parent, std::string_view old_name,
       res.err = ENOTDIR;
       return res;
     }
+  }
+
+  // Write-ahead intent. Replay always rolls a rename *forward*: once the
+  // destination purge may have started, completing the move is the only
+  // consistent end state. On a mid-op transient failure below, the record
+  // is deliberately left open so the next recovery finishes the move.
+  std::uint64_t rec_id = 0;
+  if (journal_ != nullptr) {
+    JournalRecord rec;
+    rec.op = JournalOp::kRename;
+    rec.type = src_attr->type;
+    rec.ino = *src;
+    rec.parent = old_parent;
+    rec.name = old_name;
+    rec.new_parent = new_parent;
+    rec.name2 = new_name;
+    if (dst_attr) {
+      rec.replaced_ino = dst_attr->ino;
+      rec.replaced_big = static_cast<std::uint8_t>(dst_attr->big_file != 0);
+    }
+    rec_id = journal_->begin(rec, res.cost);
+    if (rec_id == 0) {
+      res.err = EIO;
+      return res;
+    }
+  }
+
+  if (dst_attr) {
     if (dst_attr->type != FileType::kDirectory)
       purge_data(*dst_attr, res.cost);
-    res.cost += store_->erase(attr_key(*dst)).cost;
-    uncache_attr(*dst);
+    res.cost += store_->erase(attr_key(dst_attr->ino)).cost;
+    uncache_attr(dst_attr->ino);
+    fault::crash_point(opts_.fault, "kvfs.rename/crash_after_purge");
   }
 
   auto ins = store_->put(inode_key(new_parent, new_name), encode_ino(*src));
   res.cost += ins.cost;
   if (!ins.ok()) {
-    res.err = EIO;  // nothing moved yet; the source entry is intact
+    res.err = EIO;  // record stays open: recovery completes the move
     return res;
   }
+  fault::crash_point(opts_.fault, "kvfs.rename/crash_after_insert");
   res.cost += store_->erase(inode_key(old_parent, old_name)).cost;
   uncache_dentry(old_parent, old_name);
   cache_dentry(new_parent, new_name, *src);
@@ -506,35 +626,20 @@ Result<Unit> Kvfs::rename(Ino old_parent, std::string_view old_name,
       store_attr(p, res.cost);
     }
   }
+  if (journal_ != nullptr) journal_->commit(rec_id, res.cost);
   return res;
 }
 
 Result<Ino> Kvfs::symlink(std::string_view target, Ino parent,
                           std::string_view name) {
-  Result<Ino> res;
   if (target.empty() || target.size() > kMaxNameLen) {
+    Result<Ino> res;
     res.err = EINVAL;
     return res;
   }
-  auto made = make_node(parent, name, FileType::kSymlink, 0777);
-  if (!made.ok()) return made;
-  res = made;
-  // The target rides in the small-file KV; size = target length.
-  const auto* p = reinterpret_cast<const std::byte*>(target.data());
-  auto put = store_->put(small_key(made.value),
-                         std::span<const std::byte>(p, target.size()));
-  res.cost += put.cost;
-  if (!put.ok()) {
-    res.err = EIO;  // node exists but dangles; readlink reports EIO
-    return res;
-  }
-  sim::Nanos cost{};
-  auto attr = load_attr(made.value, cost);
-  res.cost += cost;
-  DPC_CHECK(attr.has_value());
-  attr->size = target.size();
-  store_attr(*attr, res.cost);
-  return res;
+  // Target storage happens inside make_node so the whole symlink (dentry +
+  // attr + target text) is one journaled atom.
+  return make_node(parent, name, FileType::kSymlink, 0777, target);
 }
 
 Result<std::string> Kvfs::readlink(Ino ino) {
@@ -740,27 +845,51 @@ Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
   return res;
 }
 
-bool Kvfs::promote_to_big(Attr& a, sim::Nanos& cost) {
+bool Kvfs::promote_to_big(Attr& a, sim::Nanos& cost,
+                          std::uint64_t& journal_rec) {
   // §3.4: "When the file size grows bigger than 8KB, KVFS deletes the small
   // file KV and creates a big file KV."
+  journal_rec = 0;
   kv::Bytes small;
   auto r = store_->get(small_key(a.ino));
   cost += r.cost;
   if (!r.ok()) return false;  // can't read the bytes we're about to move
   if (r.value) small = std::move(*r.value);
 
+  // Allocate the landing block first (a burned counter value is harmless),
+  // then journal the intent: replay treats the object put as the commit
+  // point — object present rolls forward (erase small, set the flag),
+  // absent rolls back (reclaim the block).
   FileObject obj;
+  std::uint64_t block_id = 0;
   if (!small.empty()) {
-    const std::uint64_t id = alloc_block(cost);
-    if (id == 0) return false;
-    obj.set_block(0, id);
-    auto blk = store_->put(block_key(id), small);
+    block_id = alloc_block(cost);
+    if (block_id == 0) return false;
+    obj.set_block(0, block_id);
+  }
+  if (journal_ != nullptr) {
+    JournalRecord rec;
+    rec.op = JournalOp::kPromote;
+    rec.ino = a.ino;
+    if (block_id != 0) rec.blocks.push_back(block_id);
+    journal_rec = journal_->begin(rec, cost);
+    if (journal_rec == 0) return false;
+  }
+  // Failures from here on return with the record still open; the next
+  // recovery rolls the half-promotion back (or forward past the object
+  // put). The caller commits `journal_rec` only after storing the attr
+  // with big_file set, so a crash before that still flips the flag.
+
+  if (block_id != 0) {
+    auto blk = store_->put(block_key(block_id), small);
     cost += blk.cost;
     if (!blk.ok()) return false;
+    fault::crash_point(opts_.fault, "kvfs.promote/crash_after_block");
   }
   auto put = store_->put(big_object_key(a.ino), encode_file_object(obj));
   cost += put.cost;
   if (!put.ok()) return false;
+  fault::crash_point(opts_.fault, "kvfs.promote/crash_after_object");
   // A failed erase only leaves the (now shadowed) small KV as garbage; the
   // big object is already authoritative, so the promotion stands.
   cost += store_->erase(small_key(a.ino)).cost;
@@ -789,6 +918,11 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
   const std::uint64_t new_size = std::max<std::uint64_t>(
       attr->size, offset + src.size());
 
+  // Open intent records for this op (0 = none); committed after the final
+  // attr store so replay can finish whatever tail a crash cuts off.
+  std::uint64_t promote_rec = 0;
+  std::uint64_t extent_rec = 0;
+
   if (!attr->big_file && new_size <= kSmallFileMax) {
     // §3.4: "For small files … when updating the file data, we rewrite the
     // entire KV."
@@ -812,7 +946,7 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
     }
     stats_.small_rewrites.fetch_add(1, std::memory_order_relaxed);
   } else {
-    if (!attr->big_file && !promote_to_big(*attr, res.cost)) {
+    if (!attr->big_file && !promote_to_big(*attr, res.cost, promote_rec)) {
       res.err = EIO;  // small KV still authoritative, nothing lost
       return res;
     }
@@ -824,34 +958,59 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
       return res;
     }
     FileObject obj = decode_file_object(*obj_v.value);
-    bool obj_changed = false;
+
+    // Pre-allocate every block the range is missing, then journal the whole
+    // extent update as one intent *before* any data lands. Replay treats
+    // the object put below as the commit point: an object referencing the
+    // new ids rolls forward, otherwise the ids are reclaimed. (Data writes
+    // into pre-existing blocks are in-place and per-8 KB-block atomic — the
+    // documented crash granularity for overwrites.)
+    const auto n = static_cast<std::uint32_t>(src.size());
+    std::vector<std::uint64_t> new_blocks;
+    for (std::uint64_t logical = offset / kBigBlock;
+         logical <= (offset + n - 1) / kBigBlock; ++logical) {
+      if (obj.block_id(logical) != 0) continue;
+      const std::uint64_t id = alloc_block(res.cost);
+      if (id == 0) {
+        res.err = EIO;  // nothing mutated yet; burned ids are harmless
+        return res;
+      }
+      obj.set_block(logical, id);
+      new_blocks.push_back(id);
+    }
+    const bool obj_changed = !new_blocks.empty();
+    if (journal_ != nullptr && obj_changed) {
+      JournalRecord rec;
+      rec.op = JournalOp::kExtent;
+      rec.ino = ino;
+      rec.blocks = new_blocks;
+      extent_rec = journal_->begin(rec, res.cost);
+      if (extent_rec == 0) {
+        res.err = EIO;
+        return res;
+      }
+    }
+    const auto is_new = [&](std::uint64_t id) {
+      return std::find(new_blocks.begin(), new_blocks.end(), id) !=
+             new_blocks.end();
+    };
 
     std::uint32_t done = 0;
-    const auto n = static_cast<std::uint32_t>(src.size());
     while (done < n) {
       const std::uint64_t pos = offset + done;
       const std::uint64_t logical = pos / kBigBlock;
       const auto in_block = static_cast<std::uint32_t>(pos % kBigBlock);
       const std::uint32_t chunk =
           std::min<std::uint32_t>(n - done, kBigBlock - in_block);
-      std::uint64_t id = obj.block_id(logical);
-      if (id == 0) {
-        id = alloc_block(res.cost);
-        if (id == 0) {
-          res.err = EIO;
+      const std::uint64_t id = obj.block_id(logical);
+      if (in_block != 0 && is_new(id)) {
+        // Materialize the leading hole bytes of the fresh block.
+        const kv::Bytes zeros(in_block, std::byte{0});
+        auto z = store_->write_sub(block_key(id), 0, zeros);
+        res.cost += z.cost;
+        if (!z.ok()) {
+          res.err = EIO;  // extent record stays open; recovery reclaims
           return res;
-        }
-        obj.set_block(logical, id);
-        obj_changed = true;
-        if (in_block != 0) {
-          // Materialize the leading hole bytes of the fresh block.
-          const kv::Bytes zeros(in_block, std::byte{0});
-          auto z = store_->write_sub(block_key(id), 0, zeros);
-          res.cost += z.cost;
-          if (!z.ok()) {
-            res.err = EIO;
-            return res;
-          }
         }
       }
       // "updates to large files are written in place to large file KVs at a
@@ -868,11 +1027,12 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
       stats_.big_inplace_writes.fetch_add(1, std::memory_order_relaxed);
       done += chunk;
     }
+    fault::crash_point(opts_.fault, "kvfs.write/crash_after_blocks");
     if (obj_changed) {
       auto put = store_->put(big_object_key(ino), encode_file_object(obj));
       res.cost += put.cost;
       if (!put.ok()) {
-        res.err = EIO;  // fresh blocks leak; the old object stays coherent
+        res.err = EIO;  // fresh blocks leak until recovery reclaims them
         return res;
       }
     }
@@ -881,6 +1041,10 @@ Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
   attr->size = new_size;
   attr->mtime = now();
   store_attr(*attr, res.cost);
+  if (journal_ != nullptr) {
+    if (extent_rec != 0) journal_->commit(extent_rec, res.cost);
+    if (promote_rec != 0) journal_->commit(promote_rec, res.cost);
+  }
   res.value = static_cast<std::uint32_t>(src.size());
   return res;
 }
@@ -899,9 +1063,12 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
   }
   if (new_size == attr->size) return res;
 
+  // Truncate itself is not journaled (documented limitation — fsck repair
+  // normalizes a torn shrink), but a growth-triggered promotion still is.
+  std::uint64_t promote_rec = 0;
   if (!attr->big_file) {
     if (new_size > kSmallFileMax) {
-      if (!promote_to_big(*attr, res.cost)) {
+      if (!promote_to_big(*attr, res.cost, promote_rec)) {
         res.err = EIO;
         return res;
       }
@@ -971,6 +1138,8 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
   attr->size = new_size;
   attr->mtime = now();
   store_attr(*attr, res.cost);
+  if (journal_ != nullptr && promote_rec != 0)
+    journal_->commit(promote_rec, res.cost);
   return res;
 }
 

@@ -27,7 +27,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "kv/remote.hpp"
+#include "kvfs/fsck.hpp"
+#include "kvfs/journal.hpp"
 #include "kvfs/types.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
@@ -51,6 +54,15 @@ struct KvfsOptions {
   bool enable_caches = true;  ///< dentry + inode(attr) caches
   std::size_t dentry_cache_entries = 8192;
   std::size_t attr_cache_entries = 8192;
+  /// Write-ahead intent journaling for multi-KV mutations (crash
+  /// consistency; see journal.hpp). On by default: every create/remove/
+  /// rename/promote/extent-update logs an intent record first, and mount
+  /// replays survivors. `truncate` and `link` are NOT journaled (documented
+  /// limitation) — fsck repair normalizes what they can tear.
+  bool journal = true;
+  /// Crash-point injector for the DPU-side mutation paths (null = no crash
+  /// points, zero overhead).
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// KVFS counters, registry-backed ("kvfs/…") so cache hit rates and the
@@ -124,6 +136,26 @@ class Kvfs {
   };
   Result<StatFs> statfs();
 
+  // ------------------------------------------------------------- recovery
+  /// Outcome of a full recovery pass (DPU restart / explicit fsck-repair).
+  struct RecoveryReport {
+    JournalReplayReport journal;  ///< intent-log replay
+    FsckRepairReport fsck;        ///< backstop repair pass
+    sim::Nanos cost{};
+
+    bool clean() const { return fsck.clean; }
+  };
+
+  /// Full recovery: drops volatile caches, replays the intent journal
+  /// (rolling each interrupted op forward or backward), then runs repairing
+  /// fsck as the backstop. Call with no concurrent mutating traffic — the
+  /// DPU restart path quiesces the queues first.
+  RecoveryReport recover();
+
+  /// What mount-time journal replay found (every ctor replays when
+  /// journaling is enabled — a crashed peer's records roll on our mount).
+  const JournalReplayReport& mount_replay() const { return mount_replay_; }
+
   const KvfsStats& stats() const { return stats_; }
   void drop_caches();
 
@@ -137,15 +169,20 @@ class Kvfs {
   std::uint64_t alloc_block(sim::Nanos& cost);
   std::uint64_t now();
 
+  /// `symlink_target` (symlinks only) rides in the intent record and the
+  /// small-file KV, making symlink creation one journaled atom.
   Result<Ino> make_node(Ino parent, std::string_view name, FileType type,
-                        std::uint32_t mode);
+                        std::uint32_t mode, std::string_view symlink_target);
   Result<Unit> remove_node(Ino parent, std::string_view name, bool dir);
   /// Deletes all data KVs of a regular file.
   void purge_data(const Attr& a, sim::Nanos& cost);
   /// Moves a small file's bytes into a big-file object (§3.4 promotion).
   /// Returns false if a transient KV failure aborted the promotion before
-  /// the big object existed (the small KV is still authoritative).
-  bool promote_to_big(Attr& a, sim::Nanos& cost);
+  /// the big object existed (the small KV is still authoritative). On
+  /// success `journal_rec` holds the open kPromote record id (0 when
+  /// journaling is off); the caller commits it after storing the attr with
+  /// big_file set, so replay can finish the flag flip.
+  bool promote_to_big(Attr& a, sim::Nanos& cost, std::uint64_t& journal_rec);
   bool dir_empty(Ino dir, sim::Nanos& cost);
 
   // ---- caches ----
@@ -164,7 +201,10 @@ class Kvfs {
   kv::RemoteKv* store_;
   KvfsOptions opts_;
   std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
+  obs::Registry* registry_;                        // whichever is active
   KvfsStats stats_;
+  std::unique_ptr<IntentJournal> journal_;  // null when opts_.journal off
+  JournalReplayReport mount_replay_;
 
   std::atomic<std::uint64_t> logical_time_{1};
 

@@ -78,6 +78,10 @@ std::string big_object_key(Ino ino) { return tagged_key('O', ino); }
 std::string block_key(std::uint64_t block_id) {
   return tagged_key('B', block_id);
 }
+std::string journal_key(std::uint64_t record_id) {
+  return tagged_key('J', record_id);
+}
+std::string journal_key_prefix() { return "J"; }
 
 kv::Bytes encode_ino(Ino ino) {
   kv::Bytes v(sizeof(Ino));

@@ -20,6 +20,7 @@ IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp,
     reaps_ = &reg.counter("nvme.ini/reaps");
     timeouts_ = &reg.counter("nvme.ini/timeouts");
     late_cqes_ = &reg.counter("nvme.ini/late_cqes");
+    resets_ = &reg.counter("nvme.ini/resets");
   }
 }
 
@@ -206,6 +207,46 @@ void IniDriver::release(std::uint16_t cid) {
   }
   // One slot freed → one waiter can make progress.
   free_cv_.notify_one();
+}
+
+std::uint16_t IniDriver::reset() {
+  std::uint16_t aborted = 0;
+  {
+    std::lock_guard lock(mu_);
+    // The TGT has already been rewound, so no CQE will ever arrive for the
+    // commands currently in flight. Synthesize aborts for them; the normal
+    // try_take → release path reclaims each slot and the retry loop
+    // resubmits onto the freshly reset queue.
+    std::vector<bool> is_free(qp_->depth(), false);
+    for (const std::uint16_t cid : free_cids_) is_free[cid] = true;
+    for (std::uint16_t cid = 0; cid + 1 < qp_->depth(); ++cid) {
+      if (is_free[cid] || done_[cid].has_value()) continue;
+      done_[cid] = Completion{cid, Status::kAbortedByRequest, 0, 0};
+      if (traces_ != nullptr) traces_->finish(cid);
+      ++aborted;
+    }
+    // Zero every CQE's phase-carrying dword. The ring restarts at phase 1,
+    // so a stale entry left with its phase bit set would otherwise read as
+    // a fresh completion the first time the head sweeps past it.
+    auto& host = dma_->host();
+    for (std::uint16_t i = 0; i < qp_->depth(); ++i) {
+      host.atomic_u32(qp_->cqe_off(i) + 12).store(0,
+                                                  std::memory_order_release);
+    }
+    sq_tail_ = 0;
+    cq_head_ = 0;
+    cq_phase_ = true;
+    dma_->doorbell(qp_->sq_tail_db_off(), 0);
+    dma_->doorbell(qp_->cq_head_db_off(), 0);
+    if (resets_ != nullptr) resets_->add();
+    if (timeouts_ != nullptr && aborted > 0)
+      timeouts_->add(static_cast<std::uint64_t>(aborted));
+  }
+  // Aborted completions unblock wait()/try_take() callers, whose release()
+  // will signal free_cv_ — but wake queue-full waiters now in case the
+  // reset itself is what frees the queue for them.
+  free_cv_.notify_all();
+  return aborted;
 }
 
 std::uint16_t IniDriver::inflight() const {

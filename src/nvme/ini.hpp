@@ -92,6 +92,16 @@ class IniDriver {
   /// be reused.
   void release(std::uint16_t cid);
 
+  /// Host-side half of a controller reset after a DPU crash. Every cid
+  /// still in flight (allocated, no completion recorded) gets a synthetic
+  /// kAbortedByRequest completion so its waiter unblocks and requeues
+  /// through the normal retry path; the CQ ring's phase tags are zeroed so
+  /// stale entries can't read as valid once the phase wraps back to 1; the
+  /// SQ/CQ indices, phase, and both doorbells return to their power-on
+  /// state. Run *after* TgtDriver::reset() and only while the DPU pollers
+  /// are quiesced. Returns the number of commands aborted.
+  std::uint16_t reset();
+
   std::uint16_t inflight() const;
 
  private:
@@ -112,6 +122,7 @@ class IniDriver {
   obs::Counter* reaps_ = nullptr;
   obs::Counter* timeouts_ = nullptr;
   obs::Counter* late_cqes_ = nullptr;
+  obs::Counter* resets_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable free_cv_;  // signalled by release()

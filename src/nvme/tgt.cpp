@@ -30,9 +30,18 @@ bool TgtDriver::has_work() const {
   return tail != sq_head_;
 }
 
+void TgtDriver::reset() {
+  sq_head_ = 0;
+  cq_tail_ = 0;
+  cq_phase_ = true;
+}
+
 TgtDriver::ProcessStats TgtDriver::process_available(int max) {
   ProcessStats total;
   while (total.processed < max && has_work()) {
+    // A crashed DPU executes nothing until the restart path clears the
+    // latch — commands sit in the SQ and the host times out on them.
+    if (fault_ != nullptr && fault_->crashed()) break;
     // Don't overrun CQ slots the host hasn't consumed yet.
     const std::uint32_t cq_head =
         dma_->dpu().atomic_u32(qp_->cq_head_db_off()).load(
@@ -109,7 +118,17 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
 
       std::span<std::byte> rpayload{rscratch_.data(), cmd.read_len};
       if (traces_ != nullptr) traces_->stamp(cmd.cid, obs::Stage::kDispatch);
-      hres = handler_(cmd, wpayload, rpayload);
+      try {
+        hres = handler_(cmd, wpayload, rpayload);
+      } catch (const fault::CrashException&) {
+        // The DPU died inside the backend (a kvfs/cache crash point).
+        // Whatever the handler durably applied before the crash point
+        // stays applied; no CQE is ever posted, so the host sees only a
+        // lost completion. Recovery (journal replay + fsck) squares the
+        // keyspace when the DPU restarts.
+        st.processed = 1;
+        return st;
+      }
       if (traces_ != nullptr)
         traces_->stamp(cmd.cid, obs::Stage::kBackendDone);
 
@@ -131,6 +150,17 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
             pcie::DmaClass::kData);
       }
     }
+  }
+
+  // Crash point: the DPU dies after the handler fully applied the
+  // operation (and any read payload went back over PCIe) but before the
+  // CQE is posted. The op is durable yet unacked — the strictest
+  // "present but never acknowledged" case the chaos harness exercises.
+  try {
+    fault::crash_point(fault_, kFaultTgtCrashBeforeCqe);
+  } catch (const fault::CrashException&) {
+    st.processed = 1;
+    return st;
   }
 
   // ④ Post the CQE at the CQ tail. The final dword carries the phase tag

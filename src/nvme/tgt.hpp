@@ -30,6 +30,12 @@ namespace dpc::nvme {
 /// the handler with a retryable kDataTransferError completion.
 inline constexpr std::string_view kFaultTgtDropCqe = "nvme.tgt/drop_cqe";
 inline constexpr std::string_view kFaultTgtErrorCqe = "nvme.tgt/error_cqe";
+/// Crash point between the handler finishing (op applied, payload DMA'd
+/// back) and the CQE post: the one window where a crashed DPU leaves an
+/// *applied but unacknowledged* command — the "present" arm of the chaos
+/// harness's all-or-nothing check.
+inline constexpr std::string_view kFaultTgtCrashBeforeCqe =
+    "nvme.tgt/crash_before_cqe";
 
 /// What a command handler produced.
 struct HandlerResult {
@@ -63,10 +69,20 @@ class TgtDriver {
   };
 
   /// Drains up to `max` pending SQEs (doorbell-delimited). Non-blocking.
+  /// Inert while the fault injector reports `crashed()` — a halted DPU
+  /// executes nothing. A CrashException escaping the handler (or the
+  /// crash-before-CQE site) is absorbed here: the in-progress command dies
+  /// without a CQE, exactly like a controller losing power mid-op.
   ProcessStats process_available(int max = 1 << 30);
 
   /// True if the SQ doorbell indicates pending work.
   bool has_work() const;
+
+  /// Controller-reset half of the DPU restart sequence: rewinds the SQ
+  /// consumer and CQ producer to slot 0 / phase 1. Run before
+  /// IniDriver::reset() (which zeroes the doorbells this side reads) and
+  /// only while the DPU pollers are quiesced.
+  void reset();
 
  private:
   ProcessStats process_one();

@@ -1,0 +1,441 @@
+// Crash-point chaos: halt the DPU at every crash site under a mixed
+// metadata + data workload, power-cycle it with DpcSystem::restart_dpu(),
+// and hold the crash-consistency contract:
+//
+//   (a) recovery leaves the keyspace fsck-clean (journal replay + repair),
+//   (b) no acknowledged write is ever lost or corrupted,
+//   (c) the operation in flight at the crash is atomically absent or
+//       atomically present — never half-applied.
+//
+// "In flight" ops get exactly the POSIX crash guarantees and no more: a
+// write that was never acknowledged may land partially at block
+// granularity (each byte reads as old or new, never garbage), and a file
+// whose unlink/replacement was in flight may be gone. The golden model
+// below encodes precisely that contract.
+//
+// The master seed comes from DPC_FAULT_SEED (CI sweeps several); it varies
+// the file contents and, in the deep-crash test, how far into the workload
+// the DPU dies.
+#include "core/dpc_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/control_plane.hpp"
+#include "fault/injector.hpp"
+#include "kvfs/fsck.hpp"
+#include "kvfs/journal.hpp"
+#include "nvme/tgt.hpp"
+#include "sim/rng.hpp"
+
+namespace dpc::core {
+namespace {
+
+std::uint64_t chaos_seed() {
+  return fault::FaultInjector::seed_from_env(42);
+}
+
+std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+  return v;
+}
+
+/// Every crash site wired into the stack. The kvfs.* sites sit between the
+/// individual KV mutations of one logical operation (the torn states fsck
+/// classifies); the cache site dies mid-flush with the page durable but
+/// still marked dirty; the tgt site dies with the op fully applied but the
+/// completion never posted.
+constexpr std::string_view kCrashSites[] = {
+    kvfs::kCrashAfterAppend,
+    "kvfs.create/crash_after_dentry",
+    "kvfs.create/crash_after_attr",
+    "kvfs.symlink/crash_after_data",
+    "kvfs.remove/crash_after_dentry",
+    "kvfs.remove/crash_after_attr",
+    "kvfs.rename/crash_after_purge",
+    "kvfs.rename/crash_after_insert",
+    "kvfs.promote/crash_after_block",
+    "kvfs.promote/crash_after_object",
+    "kvfs.write/crash_after_blocks",
+    cache::kFaultFlushCrashBeforeClean,
+    nvme::kFaultTgtCrashBeforeCqe,
+};
+
+DpcOptions crash_opts(fault::FaultInjector* fi) {
+  DpcOptions o;
+  o.queues = 2;
+  o.queue_depth = 8;
+  o.max_io = 128 * 1024;
+  o.cache_geo = {4096, cache::CacheMode::kWrite, 64, 8};
+  o.cache_ctl.evict_low_water = 4;
+  o.cache_ctl.evict_batch = 8;
+  o.with_dfs = false;
+  o.fault = fi;
+  o.nvme_retry.max_attempts = 4;
+  return o;
+}
+
+/// Shared state of one chaos run: the system under test, the injector, and
+/// the golden copy of every byte the application saw acknowledged.
+struct State {
+  DpcSystem& sys;
+  fault::FaultInjector& fi;
+  std::map<std::uint64_t, std::vector<std::byte>> golden;
+  int restarts = 0;
+  /// Set when the armed site is a kvfs.* one: the crash tears a journaled
+  /// multi-KV mutation, so the first recovery must find its intent record.
+  bool expect_journal_record = false;
+  /// The one write currently in flight (not yet acknowledged). Bytes in
+  /// its range may read as old or new after a crash — POSIX write
+  /// semantics are block-atomic, not call-atomic.
+  std::uint64_t pending_ino = 0;
+  std::uint64_t pending_off = 0;
+  std::vector<std::byte> pending_data;
+};
+
+/// Invariant (b): every acknowledged byte reads back exactly — except
+/// inside the range of the one unacknowledged in-flight write, where each
+/// byte may be old or new (but never anything else).
+void verify_golden(State& st, bool direct) {
+  for (const auto& [ino, data] : st.golden) {
+    std::vector<std::byte> out(data.size());
+    const Io r = st.sys.read(ino, 0, out, direct);
+    ASSERT_TRUE(r.ok()) << "read failed, ino " << ino << ", err " << r.err
+                        << ", restarts " << st.restarts;
+    if (ino != st.pending_ino) {
+      ASSERT_EQ(out, data) << "acked data lost, ino " << ino
+                           << (direct ? " (direct)" : " (buffered)");
+      continue;
+    }
+    const std::uint64_t plo = st.pending_off;
+    const std::uint64_t phi = st.pending_off + st.pending_data.size();
+    for (std::uint64_t i = 0; i < data.size(); ++i) {
+      if (out[i] == data[i]) continue;
+      const bool in_flight =
+          i >= plo && i < phi && out[i] == st.pending_data[i - plo];
+      ASSERT_TRUE(in_flight)
+          << "byte " << i << " of ino " << ino
+          << " is neither the acked nor the in-flight value";
+    }
+  }
+}
+
+/// Invariant (a): if the op just attempted crashed the DPU, power-cycle it
+/// and check recovery left the system clean and lost nothing acked.
+void recover_if_crashed(State& st) {
+  if (!st.fi.crashed()) return;
+  const auto rep = st.sys.restart_dpu();
+  ++st.restarts;
+  EXPECT_TRUE(rep.clean()) << "fsck not clean after restart " << st.restarts
+                           << " (repairs=" << rep.fs.fsck.repairs
+                           << ", passes=" << rep.fs.fsck.passes << ")";
+  EXPECT_EQ(rep.queues_reset, st.sys.options().queues);
+  if (st.expect_journal_record && st.restarts == 1) {
+    EXPECT_GE(rep.fs.journal.scanned, 1u)
+        << "crash tore a journaled mutation but no intent record survived";
+  }
+  verify_golden(st, /*direct=*/false);
+}
+
+/// Runs one op attempt and handles a crash it may have triggered. Callers
+/// loop over this, converging idempotently.
+template <typename Fn>
+Io attempt(State& st, Fn&& op) {
+  const Io r = op();
+  recover_if_crashed(st);
+  return r;
+}
+
+constexpr int kMaxAttempts = 8;
+
+/// Crash-aware lookup for post-op verification: a crash can fire during
+/// the verification command itself, so retry through recovery until the
+/// answer is definitive (found or ENOENT).
+Io stable_lookup(State& st, std::uint64_t parent, const std::string& name) {
+  Io l{};
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    l = attempt(st, [&] { return st.sys.lookup(parent, name); });
+    if (l.ok() || l.err == ENOENT) return l;
+  }
+  return l;
+}
+
+/// create: after a crash either the name is absent (create succeeds on
+/// retry) or fully present (EEXIST and lookup resolves — a dangling
+/// dentry would fail the lookup). Both are atomic outcomes.
+std::uint64_t chaos_create(State& st, std::uint64_t parent,
+                           const std::string& name) {
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io c = attempt(st, [&] { return st.sys.create(parent, name); });
+    if (c.ok()) return c.ino;
+    if (c.err == EEXIST) {
+      const Io l = stable_lookup(st, parent, name);
+      EXPECT_TRUE(l.ok()) << "dangling dentry survived recovery: " << name;
+      if (l.ok()) return l.ino;
+    }
+  }
+  ADD_FAILURE() << "create never converged: " << name;
+  return 0;
+}
+
+std::uint64_t chaos_mkdir(State& st, std::uint64_t parent,
+                          const std::string& name) {
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io c = attempt(st, [&] { return st.sys.mkdir(parent, name); });
+    if (c.ok()) return c.ino;
+    if (c.err == EEXIST) {
+      const Io l = stable_lookup(st, parent, name);
+      EXPECT_TRUE(l.ok()) << "dangling dentry survived recovery: " << name;
+      if (l.ok()) return l.ino;
+    }
+  }
+  ADD_FAILURE() << "mkdir never converged: " << name;
+  return 0;
+}
+
+void chaos_symlink(State& st, const std::string& target, std::uint64_t parent,
+                   const std::string& name) {
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io c =
+        attempt(st, [&] { return st.sys.symlink(target, parent, name); });
+    if (c.ok() || c.err == EEXIST) {
+      // Present: the link must be whole — name, attr, and target text.
+      const Io l = stable_lookup(st, parent, name);
+      ASSERT_TRUE(l.ok()) << "symlink dentry dangling: " << name;
+      std::string got;
+      Io rl = attempt(st, [&] { return st.sys.readlink(l.ino, &got); });
+      for (int b = 1; b < kMaxAttempts && !rl.ok(); ++b)
+        rl = attempt(st, [&] { return st.sys.readlink(l.ino, &got); });
+      ASSERT_TRUE(rl.ok()) << "readlink never converged: " << name;
+      EXPECT_EQ(got, target) << "symlink target torn: " << name;
+      return;
+    }
+  }
+  ADD_FAILURE() << "symlink never converged: " << name;
+}
+
+/// write: golden is updated only when the stack acknowledged the write —
+/// the definition of invariant (b). While unacknowledged, the write is
+/// "pending": verify_golden tolerates old-or-new bytes in its range.
+void chaos_write(State& st, std::uint64_t ino, std::uint64_t off,
+                 const std::vector<std::byte>& src, bool direct) {
+  st.pending_ino = ino;
+  st.pending_off = off;
+  st.pending_data = src;
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io w =
+        attempt(st, [&] { return st.sys.write(ino, off, src, direct); });
+    if (!w.ok()) continue;
+    auto& g = st.golden[ino];
+    if (g.size() < off + src.size()) g.resize(off + src.size());
+    std::copy(src.begin(), src.end(),
+              g.begin() + static_cast<std::ptrdiff_t>(off));
+    st.pending_ino = 0;
+    st.pending_data.clear();
+    return;
+  }
+  st.pending_ino = 0;
+  st.pending_data.clear();
+  ADD_FAILURE() << "write never converged, ino " << ino;
+}
+
+/// unlink: the file's bytes stop being guaranteed the moment the delete is
+/// issued (pending delete), and after convergence the name must be gone —
+/// absent-after-crash (ENOENT, journal rolled the remove forward) and
+/// present-after-crash (retry succeeds) are both atomic outcomes.
+void chaos_unlink(State& st, std::uint64_t parent, const std::string& name,
+                  std::uint64_t ino) {
+  st.golden.erase(ino);
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io u = attempt(st, [&] { return st.sys.unlink(parent, name); });
+    if (u.ok() || u.err == ENOENT) {
+      EXPECT_EQ(stable_lookup(st, parent, name).err, ENOENT);
+      return;
+    }
+  }
+  ADD_FAILURE() << "unlink never converged: " << name;
+}
+
+/// rename: the file must always be reachable under exactly one of the two
+/// names. The intent journal is what rules out the third state (purged
+/// from the old name, not yet inserted at the new one). A pre-existing
+/// destination becomes a pending delete (POSIX replace semantics).
+void chaos_rename(State& st, std::uint64_t parent, const std::string& from,
+                  const std::string& to, std::uint64_t ino) {
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io existing = stable_lookup(st, parent, to);
+    if (existing.ok() && existing.ino != ino) st.golden.erase(existing.ino);
+    const Io r = attempt(
+        st, [&] { return st.sys.rename(parent, from, parent, to); });
+    const Io at_new = stable_lookup(st, parent, to);
+    const Io at_old = stable_lookup(st, parent, from);
+    if (at_new.ok() && at_new.ino == ino) {
+      EXPECT_EQ(at_old.err, ENOENT)
+          << "rename left the file under both names: " << from;
+      return;
+    }
+    ASSERT_TRUE(at_old.ok() && at_old.ino == ino)
+        << "rename made the file unreachable: " << from << " -> " << to
+        << " (err " << r.err << ")";
+  }
+  ADD_FAILURE() << "rename never converged: " << from;
+}
+
+void chaos_fsync(State& st, std::uint64_t ino) {
+  for (int a = 0; a < kMaxAttempts; ++a) {
+    const Io f = attempt(st, [&] { return st.sys.fsync(ino); });
+    if (f.ok()) return;
+  }
+  ADD_FAILURE() << "fsync never converged, ino " << ino;
+}
+
+/// The mixed workload. Reaches every crash site at least once: journaled
+/// namespace ops (create/mkdir/symlink/rename/unlink, plus a rename over
+/// an existing destination — the only path that purges a replaced file),
+/// a small->big promotion plus in-place big-file extents, buffered pages
+/// flushed by fsync, and plenty of nvme-fs commands for the transport
+/// site.
+void run_crash_workload(State& st, std::uint64_t seed) {
+  const auto dir = chaos_mkdir(st, kvfs::kRootIno, "d");
+  ASSERT_NE(dir, 0u);
+
+  std::vector<std::uint64_t> files;
+  for (int i = 0; i < 4; ++i) {
+    const auto ino = chaos_create(st, dir, "f" + std::to_string(i));
+    ASSERT_NE(ino, 0u);
+    files.push_back(ino);
+    // Whole 4K pages buffered (exact cache view) alternating with direct.
+    chaos_write(st, ino, 0, bytes(4096, seed ^ static_cast<unsigned>(i)),
+                /*direct=*/i % 2 == 0);
+  }
+
+  // Small file grown past kSmallFileMax: promotion to the big-file KV
+  // (crash sites between block writes, object store, and the flag flip),
+  // then an in-place extent update inside the promoted object.
+  const auto big = chaos_create(st, dir, "big");
+  ASSERT_NE(big, 0u);
+  chaos_write(st, big, 0, bytes(4096, seed ^ 100), true);
+  chaos_write(st, big, 0, bytes(24 * 1024, seed ^ 101), true);
+  chaos_write(st, big, 8192, bytes(4096, seed ^ 102), true);
+
+  chaos_symlink(st, "d/f0", dir, "ln");
+  chaos_rename(st, dir, "f1", "f1-renamed", files[1]);
+  // Rename over an existing destination: exercises the replaced-file purge
+  // (rename/crash_after_purge can only fire here).
+  const auto victim = chaos_create(st, dir, "victim");
+  ASSERT_NE(victim, 0u);
+  chaos_write(st, victim, 0, bytes(4096, seed ^ 200), false);
+  chaos_rename(st, dir, "f3", "victim", files[3]);
+  chaos_unlink(st, dir, "f2", files[2]);
+
+  // Flush every dirty page (drives the mid-flush crash site).
+  for (const auto ino : files)
+    if (ino != files[2]) chaos_fsync(st, ino);
+  chaos_fsync(st, big);
+
+  // Invariant (b), both views: the coherent cache view and — after the
+  // fsyncs above — the backend itself via DIRECT_IO.
+  verify_golden(st, /*direct=*/false);
+  verify_golden(st, /*direct=*/true);
+}
+
+class CrashChaosEverySite : public ::testing::TestWithParam<std::string_view> {
+};
+
+/// The tentpole sweep: one full workload per crash site, DPU halted at the
+/// site's first arrival, power-cycled, and the three invariants checked.
+TEST_P(CrashChaosEverySite, RecoversConsistentlyPumpMode) {
+  const std::string_view site = GetParam();
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed(), &fault_reg);
+  DpcSystem sys(crash_opts(&fi));
+  State st{sys, fi, {}, 0, false, 0, 0, {}};
+  st.expect_journal_record = site.rfind("kvfs.", 0) == 0;
+
+  // Arm only after construction so mkfs runs clean.
+  fi.arm_crash(site, /*skip=*/0);
+  run_crash_workload(st, chaos_seed() ^ std::hash<std::string_view>{}(site));
+
+  EXPECT_GE(st.restarts, 1) << "site never crashed the DPU: " << site;
+  EXPECT_GE(fi.crash_arrivals(site), 1u);
+  EXPECT_EQ(fault_reg.counter("fault/crashes").value(),
+            static_cast<std::uint64_t>(st.restarts));
+  EXPECT_EQ(sys.metrics().counter("nvme.ini/resets").value(),
+            static_cast<std::uint64_t>(st.restarts * sys.options().queues));
+  EXPECT_GE(sys.metrics().histogram("recovery/restart_ns").count(),
+            static_cast<std::uint64_t>(st.restarts));
+  // A final verification pass directly against the store agrees: clean.
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, CrashChaosEverySite, ::testing::ValuesIn(kCrashSites),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      std::string name(info.param);
+      for (char& c : name)
+        if (c == '.' || c == '/') c = '_';
+      return name;
+    });
+
+/// Crash depth sweep: the DPU dies progressively deeper into the workload
+/// (skip = arrivals survived before the halt), including repeated
+/// crash/restart cycles within one system lifetime. Seed shifts the depths.
+TEST(CrashChaos, RepeatedCrashesDeeperIntoWorkload) {
+  const std::uint64_t seed = chaos_seed();
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(seed, &fault_reg);
+  DpcSystem sys(crash_opts(&fi));
+  State st{sys, fi, {}, 0, false, 0, 0, {}};
+
+  // The transport site sees every nvme-fs command, so any skip depth is
+  // reachable; re-arm deeper after each recovery.
+  int armed = 0;
+  for (const std::uint64_t skip : {seed % 7, 20 + seed % 13, 60 + seed % 17}) {
+    fi.arm_crash(nvme::kFaultTgtCrashBeforeCqe, skip);
+    ++armed;
+    run_crash_workload(st, seed ^ static_cast<std::uint64_t>(armed));
+    // Each round's workload reuses names; converging wrappers absorb the
+    // EEXIST/ENOENT outcomes from earlier rounds.
+  }
+  EXPECT_GE(st.restarts, 2) << "repeated crash cycles did not all fire";
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+/// Worker-mode smoke: real DPU poller threads, a crash mid-run, wall-clock
+/// timeouts detecting the dead controller, and a restart that brings the
+/// worker pool back.
+TEST(CrashChaos, WorkerModeCrashAndRestart) {
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed() ^ 0x777, &fault_reg);
+  auto opts = crash_opts(&fi);
+  opts.dpu_workers = 2;
+  opts.nvme_timeout_ms = 20;  // keep dead-DPU detection cheap in the test
+  DpcSystem sys(opts);
+  sys.start_dpu();
+  State st{sys, fi, {}, 0, false, 0, 0, {}};
+
+  fi.arm_crash(nvme::kFaultTgtCrashBeforeCqe, /*skip=*/3);
+  run_crash_workload(st, chaos_seed() ^ 0x777);
+
+  EXPECT_GE(st.restarts, 1);
+  // The restart resumed worker mode: ops below run without pump fallback.
+  const auto post = bytes(4096, 0xabcd);
+  const auto ino = chaos_create(st, kvfs::kRootIno, "post-restart");
+  ASSERT_NE(ino, 0u);
+  chaos_write(st, ino, 0, post, true);
+  std::vector<std::byte> out(post.size());
+  ASSERT_TRUE(sys.read(ino, 0, out, true).ok());
+  EXPECT_EQ(out, post);
+  sys.stop_dpu();
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+}  // namespace
+}  // namespace dpc::core

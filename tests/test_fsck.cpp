@@ -212,5 +212,189 @@ TEST_F(FsckFixture, StressChurnStaysClean) {
                     report.issues[0].detail);
 }
 
+// ---------------------------------------------------------- repair mode
+//
+// One test per FsckIssueKind: corrupt, repair, assert the keyspace ends
+// clean and the healthy remainder survived.
+
+struct FsckRepairTest : FsckFixture {
+  FsckRepairReport repair() {
+    const auto rep = fsck_repair(store);
+    EXPECT_TRUE(rep.clean) << "repair left issues after " << rep.passes
+                           << " passes";
+    EXPECT_TRUE(fsck(store).clean());
+    // Repair rewrote the raw keyspace under the live mount; drop its
+    // volatile dentry/attr caches as recover() would.
+    fs.drop_caches();
+    return rep;
+  }
+};
+
+TEST_F(FsckRepairTest, DanglingDentryDropped) {
+  const auto h = populate();
+  store.erase(attr_key(h.small));
+  const auto rep = repair();
+  EXPECT_GE(rep.repairs, 1u);
+  EXPECT_FALSE(fs.lookup(h.dir, "small").ok());
+  // The healthy sibling survived.
+  EXPECT_TRUE(fs.lookup(h.dir, "big").ok());
+}
+
+TEST_F(FsckRepairTest, UnreachableInodeReattachedToLostFound) {
+  const auto h = populate();
+  store.erase(inode_key(h.dir, "big"));
+  repair();
+  const auto lf = fs.lookup(kRootIno, "lost+found");
+  ASSERT_TRUE(lf.ok());
+  const auto back = fs.lookup(lf.value, "ino" + std::to_string(h.big));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value, h.big);
+  // Data rides along with the reattached inode.
+  std::vector<std::byte> buf(3 * kBigBlock);
+  const auto r = fs.read(h.big, 0, buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 3 * kBigBlock);
+  EXPECT_EQ(buf, bytes(3 * kBigBlock, 2));
+}
+
+TEST_F(FsckRepairTest, UnreachableEmptyFileReaped) {
+  populate();
+  const auto e = fs.lookup(kRootIno, "empty");
+  ASSERT_TRUE(e.ok());
+  store.erase(inode_key(kRootIno, "empty"));
+  repair();
+  // A zero-byte orphan carries no data worth salvaging: reaped, not moved.
+  EXPECT_FALSE(store.contains(attr_key(e.value)));
+}
+
+TEST_F(FsckRepairTest, MissingSmallDataZeroFilled) {
+  const auto h = populate();
+  store.erase(small_key(h.small));
+  repair();
+  std::vector<std::byte> buf(100);
+  const auto r = fs.read(h.small, 0, buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 100u);
+  EXPECT_EQ(buf, std::vector<std::byte>(100));  // zeros, size preserved
+}
+
+TEST_F(FsckRepairTest, MissingObjectNeutralized) {
+  const auto h = populate();
+  store.erase(big_object_key(h.big));
+  repair();
+  const auto attr = decode_attr(*store.get(attr_key(h.big)));
+  EXPECT_EQ(attr.big_file, 0u);
+  EXPECT_EQ(attr.size, 0u);
+}
+
+TEST_F(FsckRepairTest, MissingBlockZeroedInObject) {
+  const auto h = populate();
+  const auto obj = decode_file_object(*store.get(big_object_key(h.big)));
+  store.erase(block_key(obj.blocks[1]));
+  repair();
+  // The dead reference is gone; the untouched blocks still read back.
+  std::vector<std::byte> buf(3 * kBigBlock);
+  ASSERT_TRUE(fs.read(h.big, 0, buf).ok());
+  const auto want = bytes(3 * kBigBlock, 2);
+  EXPECT_TRUE(std::equal(buf.begin(), buf.begin() + kBigBlock, want.begin()));
+  EXPECT_TRUE(std::all_of(buf.begin() + kBigBlock,
+                          buf.begin() + 2 * kBigBlock,
+                          [](std::byte b) { return b == std::byte{0}; }));
+}
+
+TEST_F(FsckRepairTest, OrphanDataErased) {
+  populate();
+  store.put(small_key(31337), kv::to_bytes("ghost"));
+  repair();
+  EXPECT_FALSE(store.contains(small_key(31337)));
+}
+
+TEST_F(FsckRepairTest, OrphanBlockErased) {
+  populate();
+  store.put(block_key(999999), kv::to_bytes("lost block"));
+  repair();
+  EXPECT_FALSE(store.contains(block_key(999999)));
+}
+
+TEST_F(FsckRepairTest, BadSmallSizeClamped) {
+  const auto h = populate();
+  auto attr = decode_attr(*store.get(attr_key(h.small)));
+  attr.size = 1 << 20;
+  store.put(attr_key(h.small), encode_attr(attr));
+  repair();
+  EXPECT_LE(decode_attr(*store.get(attr_key(h.small))).size, kSmallFileMax);
+}
+
+TEST_F(FsckRepairTest, ConflictingDataTrustsFlag) {
+  const auto h = populate();
+  store.put(small_key(h.big), kv::to_bytes("stale"));
+  repair();
+  EXPECT_FALSE(store.contains(small_key(h.big)));
+  EXPECT_TRUE(store.contains(big_object_key(h.big)));
+}
+
+TEST_F(FsckRepairTest, InterruptedPromotionCompleted) {
+  const auto h = populate();
+  // Object exists but the flag never flipped — the tail of a promotion the
+  // crash interrupted. Repair finishes the flip instead of dropping data.
+  auto attr = decode_attr(*store.get(attr_key(h.big)));
+  attr.big_file = 0;
+  store.put(attr_key(h.big), encode_attr(attr));
+  repair();
+  EXPECT_EQ(decode_attr(*store.get(attr_key(h.big))).big_file, 1u);
+  std::vector<std::byte> buf(3 * kBigBlock);
+  ASSERT_TRUE(fs.read(h.big, 0, buf).ok());
+  EXPECT_EQ(buf, bytes(3 * kBigBlock, 2));
+}
+
+TEST_F(FsckRepairTest, DirectoryDataErased) {
+  const auto h = populate();
+  store.put(small_key(h.dir), kv::to_bytes("dir data?!"));
+  repair();
+  EXPECT_FALSE(store.contains(small_key(h.dir)));
+  EXPECT_TRUE(fs.lookup(h.dir, "small").ok());
+}
+
+TEST_F(FsckRepairTest, BadLinkCountRecomputed) {
+  const auto h = populate();
+  auto attr = decode_attr(*store.get(attr_key(h.dir)));
+  attr.nlink = 9;
+  store.put(attr_key(h.dir), encode_attr(attr));
+  repair();
+  EXPECT_EQ(decode_attr(*store.get(attr_key(h.dir))).nlink, 2u);
+}
+
+TEST_F(FsckRepairTest, BadSymlinkReaped) {
+  populate();
+  const auto l = fs.symlink("/dir/small", kRootIno, "ln");
+  ASSERT_TRUE(l.ok());
+  store.erase(small_key(l.value));
+  repair();
+  EXPECT_FALSE(fs.lookup(kRootIno, "ln").ok());
+}
+
+TEST_F(FsckRepairTest, CompoundCorruptionConverges) {
+  const auto h = populate();
+  store.erase(attr_key(h.small));                        // dangling + orphan
+  store.erase(inode_key(h.dir, "big"));                  // unreachable
+  store.put(block_key(999999), kv::to_bytes("lost"));    // orphan block
+  store.put(small_key(h.dir), kv::to_bytes("dir data")); // dir data
+  auto attr = decode_attr(*store.get(attr_key(h.dir)));
+  attr.nlink = 9;
+  store.put(attr_key(h.dir), encode_attr(attr));         // bad link count
+  const auto rep = repair();
+  EXPECT_GE(rep.repairs, 5u);
+  EXPECT_LE(rep.passes, 8u);
+}
+
+TEST_F(FsckRepairTest, CleanKeyspaceIsUntouched) {
+  populate();
+  const auto before = store.size();
+  const auto rep = repair();
+  EXPECT_EQ(rep.repairs, 0u);
+  EXPECT_EQ(rep.passes, 1u);
+  EXPECT_EQ(store.size(), before);
+}
+
 }  // namespace
 }  // namespace dpc::kvfs

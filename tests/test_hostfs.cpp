@@ -216,5 +216,53 @@ TEST_F(HostfsFixture, WriteToDirectoryRejected) {
   EXPECT_EQ(fs.read(d, 0, buf, true).err, EISDIR);
 }
 
+/// Journal-lite WAL records survive an unclean unmount: a second mount on
+/// the same device scans the journal region, CRC32C-validates each record,
+/// and rejects torn ones.
+TEST(HostfsJournal, MountScanCountsSurvivorsAndRejectsCorruptRecords) {
+  ssd::SsdModel disk;
+  const auto o = HostfsFixture::opts();
+  {
+    Ext4like fs1(disk, o);
+    EXPECT_EQ(fs1.journal_valid_on_mount(), 0u) << "fresh disk has no WAL";
+    ASSERT_TRUE(fs1.create(kRootIno, "a", 0644).ok());
+    ASSERT_TRUE(fs1.mkdir(kRootIno, "d", 0755).ok());
+    ASSERT_TRUE(fs1.rename(kRootIno, "a", kRootIno, "b").ok());
+  }  // torn down without journal truncation — models a host crash
+
+  Ext4like fs2(disk, o);
+  const std::uint32_t survivors = fs2.journal_valid_on_mount();
+  EXPECT_GE(survivors, 3u) << "every metadata mutation logs one record";
+
+  // Flip one byte inside a record's sequence field: the CRC must reject
+  // exactly that record on the next mount. Records are located by their
+  // on-disk magic so the test stays independent of private layout math.
+  std::vector<std::byte> block(kBlockSize);
+  bool corrupted = false;
+  for (std::uint64_t lba = 1; lba < 4096 && !corrupted; ++lba) {
+    disk.read_block(lba, block);
+    if (block[0] == std::byte{'D'} && block[1] == std::byte{'P'} &&
+        block[2] == std::byte{'C'} && block[3] == std::byte{'J'}) {
+      block[8] ^= std::byte{0x40};
+      disk.write_block(lba, block);
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no WAL record found on the raw device";
+  Ext4like fs3(disk, o);
+  EXPECT_EQ(fs3.journal_valid_on_mount(), survivors - 1);
+
+  // With journaling off, mutations leave no new records behind.
+  auto noj = o;
+  noj.journal_enabled = false;
+  ssd::SsdModel disk2;
+  {
+    Ext4like fs4(disk2, noj);
+    ASSERT_TRUE(fs4.create(kRootIno, "x", 0644).ok());
+  }
+  Ext4like fs5(disk2, o);
+  EXPECT_EQ(fs5.journal_valid_on_mount(), 0u);
+}
+
 }  // namespace
 }  // namespace dpc::hostfs

@@ -85,6 +85,71 @@ TEST(NvmeIniStress, SubmitBlocksOnCidExhaustionUntilRelease) {
   EXPECT_EQ(reg.counter("nvme.ini/reaps").load(), 3u);
 }
 
+/// Controller reset with commands in every state: completed-unreleased,
+/// in-flight without a CQE, and free. reset() must abort exactly the
+/// in-flight ones, never clobber a recorded completion, leak no cid, and
+/// leave the rings usable (phase protocol restarts cleanly at slot 0).
+TEST(NvmeIniStress, ResetAbortsInflightAndRingsRestartClean) {
+  pcie::MemoryRegion host("host", 8 << 20);
+  pcie::RegionAllocator halloc(host);
+  pcie::MemoryRegion dpu("dpu", 1 << 20);
+  pcie::RegionAllocator dalloc(dpu);
+  pcie::DmaEngine dma(host, dpu);
+
+  nvme::QpConfig qc;
+  qc.depth = 4;  // 3 usable cids
+  nvme::QueuePair qp(qc, halloc, dalloc);
+  obs::Registry reg;
+  obs::QueueTraces traces(reg, qc.depth);
+  nvme::IniDriver ini(dma, qp, &traces);
+  nvme::TgtDriver tgt(dma, qp,
+                      [](const nvme::NvmeFsCmd&, std::span<const std::byte>,
+                         std::span<std::byte>) {
+                        return nvme::HandlerResult{};
+                      },
+                      &traces);
+
+  nvme::IniDriver::Request req;
+  req.inline_op = nvme::InlineOp::kFsync;
+  const auto s1 = ini.submit(req);
+  const auto s2 = ini.submit(req);
+  const auto s3 = ini.submit(req);
+  tgt.process_available(1);  // only s1's SQE is consumed and completed
+  const auto done1 = ini.wait(s1.cid);
+  EXPECT_EQ(done1.status, nvme::Status::kSuccess);
+
+  // "DPU power-cycle": TGT rewinds first, then the host side aborts.
+  tgt.reset();
+  EXPECT_EQ(ini.reset(), 2) << "exactly the two unacked commands abort";
+  EXPECT_EQ(reg.counter("nvme.ini/resets").load(), 1u);
+
+  // s1's recorded completion survived the reset unclobbered.
+  const auto after1 = ini.try_take(s1.cid);
+  ASSERT_TRUE(after1.has_value());
+  EXPECT_EQ(after1->status, nvme::Status::kSuccess);
+  for (const std::uint16_t cid : {s2.cid, s3.cid}) {
+    const auto c = ini.try_take(cid);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->status, nvme::Status::kAbortedByRequest);
+    EXPECT_TRUE(nvme::is_retryable(c->status));
+  }
+  ini.release(s1.cid);
+  ini.release(s2.cid);
+  ini.release(s3.cid);
+  EXPECT_EQ(ini.inflight(), 0) << "no leaked cids after reset";
+
+  // The reset rings serve fresh traffic: every cid usable, completions
+  // land, and no stale CQE is mistaken for a new one.
+  for (int round = 0; round < 6; ++round) {
+    const auto s = ini.submit(req);
+    tgt.process_available();
+    const auto c = ini.wait(s.cid);
+    EXPECT_EQ(c.status, nvme::Status::kSuccess) << "round " << round;
+    ini.release(s.cid);
+  }
+  EXPECT_EQ(reg.counter("nvme.ini/late_cqes").load(), 0u);
+}
+
 /// 8 threads hammer one depth-4 queue: cid starvation is constant, the CQ
 /// phase bit wraps hundreds of times, and every op must still complete
 /// correctly with exact counter accounting.
