@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, then a ThreadSanitizer build + tests,
-# then the chaos stage (fault-injection tests swept over several seeds in
-# both builds — the schedules are deterministic per seed), then the crash
-# stage: the crash-point chaos harness swept over a wider seed set in both
-# builds, plus the crash-restart recovery bench emitting
-# BENCH_crash_recovery.json.
+# CI entry point.
+#
+# Stages, in order:
+#   lint   — scripts/dpc_lint.py (protocol linter, always), then clang-tidy
+#            and a clang-format check when the clang tools are installed
+#            (they are optional in the build container; the configs in
+#            .clang-tidy / .clang-format are authoritative where they run).
+#   plain  — RelWithDebInfo build + full test suite (lock-rank detector
+#            compiled out; NDEBUG).
+#   tsan   — ThreadSanitizer build + full test suite. DPC_LOCKRANK defaults
+#            on under TSan, so this leg also runs the runtime lock-order
+#            detector across every test.
+#   ubsan  — UndefinedBehaviorSanitizer build + full test suite.
+#   chaos  — fault-injection tests swept over several seeds (plain + tsan).
+#   crash  — crash-point chaos over a wider seed set (plain + tsan), plus
+#            the crash-restart recovery bench (BENCH_crash_recovery.json).
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -14,15 +24,40 @@ JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS=(1 7 1337)
 CRASH_SEEDS=(1 2 3 5 7 11 13 1337)
 
+echo "=== lint stage ==="
+python3 scripts/dpc_lint.py
+
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# clang-tidy wants compile_commands.json, which the plain configure exports.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "--- clang-tidy ---"
+  mapfile -t TIDY_SRCS < <(find src -name '*.cpp' | sort)
+  clang-tidy -p build --quiet "${TIDY_SRCS[@]}"
+else
+  echo "--- clang-tidy not installed; skipping (config: .clang-tidy) ---"
+fi
+if command -v clang-format >/dev/null 2>&1; then
+  echo "--- clang-format check (src/sim + lint-era files) ---"
+  clang-format --dry-run --Werror \
+    src/sim/thread_annotations.hpp src/sim/lockrank.hpp \
+    src/sim/lockrank.cpp tests/test_lockrank.cpp
+else
+  echo "--- clang-format not installed; skipping (config: .clang-format) ---"
+fi
+
 echo "=== tsan build ==="
 cmake -B build-tsan -S . -DDPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "=== ubsan build ==="
+cmake -B build-ubsan -S . -DDPC_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo "=== chaos stage ==="
 for seed in "${CHAOS_SEEDS[@]}"; do

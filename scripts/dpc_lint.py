@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""dpc_lint — AST-free protocol linter for the DPC tree.
+
+Checks invariants that neither the compiler nor clang-tidy can see because
+they are conventions of this codebase, not of C++:
+
+  raw-mutex         std::mutex / std::shared_mutex declared outside the
+                    annotated wrappers (sim/thread_annotations.hpp). Raw
+                    mutexes bypass both the Clang thread-safety annotations
+                    and the runtime lock-rank detector.
+  raw-guard         std::lock_guard / std::unique_lock / std::shared_lock /
+                    std::scoped_lock outside the wrapper header. The sim::
+                    guards carry the SCOPED_CAPABILITY annotations; the std
+                    ones are invisible to the analysis.
+  doorbell-fence    a doorbell MMIO (`->doorbell(`) with no preceding
+                    publish in the lookback window — a plain or release
+                    store / DMA write of the descriptor the doorbell
+                    advertises. Producer-side doorbells that follow this
+                    protocol are readable at a glance; consumer-side ones
+                    (CQ head updates) must say so with a suppression.
+  sqe-encode        writes to SQE fields outside the encode_*/decode_*
+                    helpers in nvme/spec.cpp. All wire-format knowledge
+                    lives in one file.
+  hot-path-lookup   registry name-lookups fused with a record/add call
+                    (`registry.histogram("x").record(...)`): each lookup
+                    takes the registry's shared lock and hashes the name.
+                    Hot paths must cache the instrument pointer at
+                    construction. Recovery-only paths may suppress.
+  wall-clock        std::chrono::system_clock / high_resolution_clock
+                    anywhere (the simulation is Date-free; modelled time is
+                    sim::Nanos), and steady_clock inside src/sim/ itself —
+                    the time model must not read real clocks.
+
+Suppression: append `// dpc-lint: ok(<rule>) <reason>` to the offending
+line, or place it on the line directly above.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Files that are allowed to spell std::mutex / std guards: the wrapper layer
+# itself and the detector underneath it.
+WRAPPER_FILES = {
+    "src/sim/thread_annotations.hpp",
+    "src/sim/lockrank.hpp",
+    "src/sim/lockrank.cpp",
+}
+
+SUPPRESS_RE = re.compile(r"//\s*dpc-lint:\s*ok\((?P<rules>[\w ,-]+)\)")
+
+RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_)?(?:shared_|timed_)?mutex\b")
+RAW_GUARD_RE = re.compile(
+    r"\bstd::(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b")
+DOORBELL_RE = re.compile(r"(?:->|\.)doorbell\(")
+# A "publish" before the doorbell: any store into host/guest memory, a
+# release-ordered atomic store, or an explicit fence.
+PUBLISH_RE = re.compile(
+    r"\.store\(|\.store<|host\.write\(|write_host\(|atomic_thread_fence")
+DOORBELL_LOOKBACK = 15
+SQE_WRITE_RE = re.compile(r"\bsqe(?:\.|->)\w+\s*(?:[|&+-]?=)[^=]")
+HOT_LOOKUP_RE = re.compile(
+    r"\b(?:histogram|counter|gauge)\(\s*\"[^\"]*\"\s*\)\s*\.\s*"
+    r"(?:record|add|inc|set)\s*\(")
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system_clock|high_resolution_clock)\b")
+SIM_STEADY_RE = re.compile(r"\bstd::chrono::steady_clock\b")
+
+ALL_RULES = (
+    "raw-mutex",
+    "raw-guard",
+    "doorbell-fence",
+    "sqe-encode",
+    "hot-path-lookup",
+    "wall-clock",
+)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def suppressed(lines: list[str], idx: int, rule: str) -> bool:
+    """True if line `idx` (0-based) carries or follows an ok(<rule>)."""
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = SUPPRESS_RE.search(lines[probe])
+        if m and rule in [r.strip() for r in m.group("rules").split(",")]:
+            return True
+    return False
+
+
+def strip_comment(line: str) -> str:
+    """Drops // comments so commented-out code is not linted."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def lint_file(path: Path, findings: list[Finding]) -> None:
+    rel = str(path.relative_to(REPO))
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_wrapper = rel in WRAPPER_FILES
+    in_sim = rel.startswith("src/sim/")
+
+    for i, raw in enumerate(lines):
+        line = strip_comment(raw)
+        n = i + 1
+
+        if not in_wrapper:
+            if RAW_MUTEX_RE.search(line) and not suppressed(lines, i,
+                                                            "raw-mutex"):
+                findings.append(Finding(
+                    path, n, "raw-mutex",
+                    "raw std::mutex — use sim::AnnotatedMutex / "
+                    "sim::AnnotatedSharedMutex so the thread-safety "
+                    "annotations and the lock-rank detector see it"))
+            if RAW_GUARD_RE.search(line) and not suppressed(lines, i,
+                                                            "raw-guard"):
+                findings.append(Finding(
+                    path, n, "raw-guard",
+                    "std guard — use sim::LockGuard / sim::UniqueLock / "
+                    "sim::SharedLockGuard (SCOPED_CAPABILITY-annotated)"))
+
+        if (rel != "src/pcie/dma.cpp" and DOORBELL_RE.search(line)
+                and not suppressed(lines, i, "doorbell-fence")):
+            lo = max(0, i - DOORBELL_LOOKBACK)
+            window = [strip_comment(l) for l in lines[lo:i]]
+            if not any(PUBLISH_RE.search(w) for w in window):
+                findings.append(Finding(
+                    path, n, "doorbell-fence",
+                    "doorbell with no preceding publish (store / "
+                    "release-store / DMA write) in the prior "
+                    f"{DOORBELL_LOOKBACK} lines — the device may see the "
+                    "ring update before the descriptor"))
+
+        if (rel != "src/nvme/spec.cpp" and SQE_WRITE_RE.search(line)
+                and not suppressed(lines, i, "sqe-encode")):
+            findings.append(Finding(
+                path, n, "sqe-encode",
+                "SQE field written outside nvme/spec.cpp encode_*/decode_* "
+                "helpers — wire-format knowledge lives in one file"))
+
+        if (rel != "src/kvfs/fsck.cpp" and HOT_LOOKUP_RE.search(line)
+                and not suppressed(lines, i, "hot-path-lookup")):
+            findings.append(Finding(
+                path, n, "hot-path-lookup",
+                "registry name-lookup fused with record/add — cache the "
+                "instrument pointer at construction (lookup takes the "
+                "registry lock and hashes the name per call)"))
+
+        if WALL_CLOCK_RE.search(line) and not suppressed(lines, i,
+                                                         "wall-clock"):
+            findings.append(Finding(
+                path, n, "wall-clock",
+                "wall-clock read — modelled time is sim::Nanos; real "
+                "clocks make runs non-reproducible"))
+        if in_sim and SIM_STEADY_RE.search(line) and not suppressed(
+                lines, i, "wall-clock"):
+            findings.append(Finding(
+                path, n, "wall-clock",
+                "steady_clock inside the time model — src/sim/ must be "
+                "clock-free"))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in ALL_RULES:
+            print(r)
+        return 0
+
+    roots = [Path(p).resolve() for p in args.paths] if args.paths else [SRC]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.hpp")))
+            files.extend(sorted(root.rglob("*.cpp")))
+        else:
+            print(f"dpc_lint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        lint_file(f, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"dpc_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"dpc_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

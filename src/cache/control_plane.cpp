@@ -3,6 +3,28 @@
 #include "dpu/compress.hpp"
 #include "ec/crc32c.hpp"
 #include "sim/check.hpp"
+#include "sim/lockrank.hpp"
+
+namespace {
+// Lock-rank key for a PCIe lock word: the word's stable backing address in
+// host DRAM — shared with the host plane's hooks, so cross-plane ordering
+// bugs land in one graph.
+const void* word_key(dpc::pcie::MemoryRegion& host, std::uint64_t off) {
+  return host.bytes(off, sizeof(std::uint32_t)).data();
+}
+
+// Drops the thread's lock-rank record for a PCIe lock word if the pass
+// unwinds on a CrashException: the lock *word* deliberately stays set in
+// host DRAM (rebuild() clears it after the restart), but the surviving
+// thread no longer logically holds it and must not be blamed for the dead
+// DPU core's lock on its next acquisition. On the normal path the unlock
+// helper has already released the record, making the destructor's second
+// release a tolerated no-op.
+struct ReleaseRecordOnUnwind {
+  const void* key;
+  ~ReleaseRecordOnUnwind() { dpc::sim::lockrank::release(key); }
+};
+}  // namespace
 
 namespace dpc::cache {
 
@@ -24,13 +46,13 @@ DpuCacheControl::DpuCacheControl(pcie::DmaEngine& dma,
       fault_(fault),
       policy_(std::move(policy)),
       cfg_(cfg),
-      prefetcher_(cfg.prefetch_max_window),
       owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                           : nullptr),
       registry_(registry != nullptr ? registry : owned_registry_.get()),
       stats_(*registry_),
       flush_pass_ns_(&registry_->histogram("cache.ctl/flush_pass_ns")),
       prefetch_pass_ns_(&registry_->histogram("cache.ctl/prefetch_pass_ns")),
+      prefetcher_(cfg.prefetch_max_window),
       scratch_(layout.geometry().page_size) {
   DPC_CHECK(policy_ != nullptr);
 }
@@ -62,7 +84,12 @@ bool DpuCacheControl::try_read_lock(std::uint32_t index, sim::Nanos& cost) {
     }
     const auto res = dma_->atomic_cas_host(off, cur, next);
     cost += res.cost;
-    if (res.success) return true;
+    if (res.success) {
+      sim::lockrank::acquire(word_key(dma_->host(), off),
+                             sim::LockRank::kCacheEntry, "cache.entry",
+                             /*shared=*/true);
+      return true;
+    }
   }
   return false;
 }
@@ -83,22 +110,32 @@ void DpuCacheControl::read_unlock(std::uint32_t index, sim::Nanos& cost) {
         layout_->entry_field_off(index, CacheLayout::EntryField::kLock), cur,
         next);
     cost += res.cost;
-    if (res.success) return;
+    if (res.success) {
+      sim::lockrank::release(word_key(
+          dma_->host(),
+          layout_->entry_field_off(index, CacheLayout::EntryField::kLock)));
+      return;
+    }
   }
 }
 
 bool DpuCacheControl::try_write_lock(std::uint32_t index, sim::Nanos& cost) {
-  const auto res = dma_->atomic_cas_host(
-      layout_->entry_field_off(index, CacheLayout::EntryField::kLock),
-      kLockNone, kLockWrite);
+  const std::uint64_t off =
+      layout_->entry_field_off(index, CacheLayout::EntryField::kLock);
+  const auto res = dma_->atomic_cas_host(off, kLockNone, kLockWrite);
   cost += res.cost;
+  if (res.success) {
+    sim::lockrank::acquire(word_key(dma_->host(), off),
+                           sim::LockRank::kCacheEntry, "cache.entry");
+  }
   return res.success;
 }
 
 void DpuCacheControl::write_unlock(std::uint32_t index, sim::Nanos& cost) {
-  const auto res = dma_->atomic_swap_host(
-      layout_->entry_field_off(index, CacheLayout::EntryField::kLock),
-      kLockNone);
+  const std::uint64_t off =
+      layout_->entry_field_off(index, CacheLayout::EntryField::kLock);
+  sim::lockrank::release(word_key(dma_->host(), off));
+  const auto res = dma_->atomic_swap_host(off, kLockNone);
   cost += res.cost;
   DPC_CHECK(res.observed == kLockWrite);
 }
@@ -115,10 +152,17 @@ bool DpuCacheControl::lock_bucket(std::uint32_t bucket, sim::Nanos& cost) {
   const auto res =
       dma_->atomic_cas_host(layout_->bucket_lock_off(bucket), 0, 1);
   cost += res.cost;
+  if (res.success) {
+    sim::lockrank::acquire(
+        word_key(dma_->host(), layout_->bucket_lock_off(bucket)),
+        sim::LockRank::kCacheBucket, "cache.bucket");
+  }
   return res.success;
 }
 
 void DpuCacheControl::unlock_bucket(std::uint32_t bucket, sim::Nanos& cost) {
+  sim::lockrank::release(
+      word_key(dma_->host(), layout_->bucket_lock_off(bucket)));
   const auto res = dma_->atomic_swap_host(layout_->bucket_lock_off(bucket), 0);
   cost += res.cost;
   DPC_CHECK(res.observed == 1);
@@ -150,7 +194,7 @@ std::vector<PageStatus> DpuCacheControl::snapshot_status(sim::Nanos& cost) {
 
 DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
   if (fault_ != nullptr && fault_->crashed()) return {};
-  std::lock_guard lock(pass_mu_);
+  sim::LockGuard lock(pass_mu_);
   PassResult res;
   auto status = snapshot_status(res.cost);
   for (std::uint32_t i = 0; i < status.size() && res.pages < max_pages; ++i) {
@@ -161,6 +205,11 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
       ++stats_.flush_lock_conflicts;
       continue;
     }
+    // The backend write below and the crash point after it may throw
+    // CrashException while this entry's read lock is held.
+    ReleaseRecordOnUnwind rank_record{word_key(
+        dma_->host(),
+        layout_->entry_field_off(i, CacheLayout::EntryField::kLock))};
     const CacheEntry e = fetch_entry(i, res.cost);
     if (static_cast<PageStatus>(e.status) != PageStatus::kDirty) {
       read_unlock(i, res.cost);  // raced with an invalidate
@@ -221,7 +270,7 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
 
 DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
   if (fault_ != nullptr && fault_->crashed()) return {};
-  std::lock_guard lock(pass_mu_);
+  sim::LockGuard lock(pass_mu_);
   PassResult res;
   const std::uint32_t free_now = free_pages_seen();
   res.cost += sim::calib::kDmaSetup;  // header read
@@ -254,7 +303,7 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
                                                       std::uint64_t start_lpn,
                                                       std::uint32_t pages) {
   if (fault_ != nullptr && fault_->crashed()) return {};
-  std::lock_guard lock(pass_mu_);
+  sim::LockGuard lock(pass_mu_);
   PassResult res;
   const std::uint32_t epb = layout_->entries_per_bucket();
   for (std::uint32_t k = 0; k < pages; ++k) {
@@ -356,7 +405,7 @@ DpuCacheControl::PassResult DpuCacheControl::on_read_miss(std::uint64_t inode,
                                                           std::uint32_t span) {
   SequentialPrefetcher::Advice advice;
   {
-    std::lock_guard lock(pass_mu_);
+    sim::LockGuard lock(pass_mu_);
     advice = prefetcher_.on_miss(inode, lpn, span);
   }
   if (advice.pages == 0) return {};
@@ -406,7 +455,7 @@ int DpuCacheControl::poll_impl() {
             .load(std::memory_order_relaxed);
     SequentialPrefetcher::Advice advice;
     {
-      std::lock_guard lock(pass_mu_);
+      sim::LockGuard lock(pass_mu_);
       advice = prefetcher_.on_hit(hint_ino, hint_lpn);
     }
     if (advice.pages > 0)
@@ -434,7 +483,7 @@ int DpuCacheControl::poll_impl() {
 }
 
 DpuCacheControl::PassResult DpuCacheControl::rebuild() {
-  std::lock_guard lock(pass_mu_);
+  sim::LockGuard lock(pass_mu_);
   PassResult res;
   const std::uint32_t total = layout_->geometry().total_pages;
   // The data plane (meta + pages) lives in host DRAM and survives the DPU

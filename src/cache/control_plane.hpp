@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "pcie/dma.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::cache {
@@ -146,6 +146,9 @@ class DpuCacheControl {
   std::vector<PageStatus> snapshot_status(sim::Nanos& cost);
 
   CacheEntry fetch_entry(std::uint32_t index, sim::Nanos& cost);
+  // Entry/bucket lock words are PCIe atomics, not mutexes; successful
+  // acquisitions still feed the lock-rank detector (ranks kCacheEntry /
+  // kCacheBucket) via manual hooks keyed by the word's backing address.
   bool try_read_lock(std::uint32_t index, sim::Nanos& cost);
   void read_unlock(std::uint32_t index, sim::Nanos& cost);
   bool try_write_lock(std::uint32_t index, sim::Nanos& cost);
@@ -159,19 +162,21 @@ class DpuCacheControl {
   const CacheLayout* layout_;
   CacheBackend* backend_;
   fault::FaultInjector* fault_;
-  std::unique_ptr<EvictionPolicy> policy_;
+  /// Consulted only inside an eviction pass (replacement is single-flight).
+  std::unique_ptr<EvictionPolicy> policy_ PT_GUARDED_BY(pass_mu_);
   ControlPlaneConfig cfg_;
-  SequentialPrefetcher prefetcher_;
   std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   obs::Registry* registry_;
   ControlPlaneStats stats_;
   /// Modelled cost distributions of flush and prefetch passes.
   sim::Histogram* flush_pass_ns_;
   sim::Histogram* prefetch_pass_ns_;
-  std::vector<std::byte> scratch_;  // one page of DPU DRAM
   /// Serializes control-plane passes: the flusher poller and fsync-driven
   /// flushes may come from different DPU workers.
-  std::mutex pass_mu_;
+  sim::AnnotatedMutex pass_mu_{"cache.pass", sim::LockRank::kCachePass};
+  SequentialPrefetcher prefetcher_ GUARDED_BY(pass_mu_);
+  /// One page of DPU DRAM, used only inside a pass.
+  std::vector<std::byte> scratch_ GUARDED_BY(pass_mu_);
   /// Last readahead-hint sequence consumed (hint loss is benign).
   std::atomic<std::uint32_t> last_ra_seq_{0};
   /// Monotonic fill counter stamped into prefetched entries so replacement

@@ -4,6 +4,15 @@
 #include <thread>
 
 #include "sim/check.hpp"
+#include "sim/lockrank.hpp"
+
+namespace {
+// Lock-rank key for a PCIe lock word: the word's stable backing address in
+// host DRAM — shared with the DPU control plane's hooks.
+const void* word_key(dpc::pcie::MemoryRegion& host, std::uint64_t off) {
+  return host.bytes(off, sizeof(std::uint32_t)).data();
+}
+}  // namespace
 
 namespace dpc::cache {
 
@@ -25,23 +34,34 @@ void HostCachePlane::lock_bucket(std::uint32_t bucket) {
   auto word = host_->atomic_u32(layout_->bucket_lock_off(bucket));
   for (;;) {
     std::uint32_t expected = 0;
-    if (word.compare_exchange_weak(expected, 1, std::memory_order_acquire))
+    if (word.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+      sim::lockrank::acquire(
+          word_key(*host_, layout_->bucket_lock_off(bucket)),
+          sim::LockRank::kCacheBucket, "cache.bucket");
       return;
+    }
     std::this_thread::yield();
   }
 }
 
 void HostCachePlane::unlock_bucket(std::uint32_t bucket) {
+  sim::lockrank::release(word_key(*host_, layout_->bucket_lock_off(bucket)));
   host_->atomic_u32(layout_->bucket_lock_off(bucket))
       .store(0, std::memory_order_release);
 }
 
 bool HostCachePlane::try_write_lock(std::uint32_t entry) {
-  auto word = host_->atomic_u32(
-      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock));
+  const std::uint64_t off =
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock);
+  auto word = host_->atomic_u32(off);
   std::uint32_t expected = kLockNone;
-  return word.compare_exchange_strong(expected, kLockWrite,
-                                      std::memory_order_acquire);
+  if (!word.compare_exchange_strong(expected, kLockWrite,
+                                    std::memory_order_acquire)) {
+    return false;
+  }
+  sim::lockrank::acquire(word_key(*host_, off), sim::LockRank::kCacheEntry,
+                         "cache.entry");
+  return true;
 }
 
 void HostCachePlane::write_lock(std::uint32_t entry) {
@@ -49,27 +69,35 @@ void HostCachePlane::write_lock(std::uint32_t entry) {
 }
 
 void HostCachePlane::write_unlock(std::uint32_t entry) {
+  sim::lockrank::release(word_key(
+      *host_, layout_->entry_field_off(entry, CacheLayout::EntryField::kLock)));
   host_->atomic_u32(
            layout_->entry_field_off(entry, CacheLayout::EntryField::kLock))
       .store(kLockNone, std::memory_order_release);
 }
 
 void HostCachePlane::read_lock(std::uint32_t entry) {
-  auto word = host_->atomic_u32(
-      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock));
+  const std::uint64_t off =
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kLock);
+  auto word = host_->atomic_u32(off);
   for (;;) {
     std::uint32_t cur = word.load(std::memory_order_relaxed);
+    bool locked = false;
     if (cur == kLockNone) {
-      if (word.compare_exchange_weak(cur, read_lock_word(1),
-                                     std::memory_order_acquire))
-        return;
+      locked = word.compare_exchange_weak(cur, read_lock_word(1),
+                                          std::memory_order_acquire);
     } else if (is_read_locked(cur)) {
-      if (word.compare_exchange_weak(
-              cur, read_lock_word(read_lock_holders(cur) + 1),
-              std::memory_order_acquire))
-        return;
+      locked = word.compare_exchange_weak(
+          cur, read_lock_word(read_lock_holders(cur) + 1),
+          std::memory_order_acquire);
     } else {
       std::this_thread::yield();  // write-locked or invalid; wait
+    }
+    if (locked) {
+      sim::lockrank::acquire(word_key(*host_, off),
+                             sim::LockRank::kCacheEntry, "cache.entry",
+                             /*shared=*/true);
+      return;
     }
   }
 }
@@ -83,8 +111,12 @@ void HostCachePlane::read_unlock(std::uint32_t entry) {
     const std::uint32_t holders = read_lock_holders(cur);
     const std::uint32_t next =
         holders <= 1 ? kLockNone : read_lock_word(holders - 1);
-    if (word.compare_exchange_weak(cur, next, std::memory_order_release))
+    if (word.compare_exchange_weak(cur, next, std::memory_order_release)) {
+      sim::lockrank::release(word_key(
+          *host_,
+          layout_->entry_field_off(entry, CacheLayout::EntryField::kLock)));
       return;
+    }
   }
 }
 

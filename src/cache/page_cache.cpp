@@ -21,7 +21,7 @@ bool PageCache::read(std::uint64_t inode, std::uint64_t lpn,
   DPC_CHECK(dst.size() <= page_size_);
   const Key k{inode, lpn};
   Shard& sh = shard_for(k);
-  std::lock_guard lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   const auto it = sh.pages.find(k);
   if (it == sh.pages.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -71,7 +71,7 @@ void PageCache::write(std::uint64_t inode, std::uint64_t lpn,
   DPC_CHECK(src.size() <= page_size_);
   const Key k{inode, lpn};
   Shard& sh = shard_for(k);
-  std::lock_guard lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   insert_locked(sh, k, src, /*dirty=*/true, writeback);
 }
 
@@ -81,7 +81,7 @@ void PageCache::fill(std::uint64_t inode, std::uint64_t lpn,
   DPC_CHECK(src.size() <= page_size_);
   const Key k{inode, lpn};
   Shard& sh = shard_for(k);
-  std::lock_guard lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   if (sh.pages.contains(k)) return;  // don't clobber a dirtier copy
   insert_locked(sh, k, src, /*dirty=*/false, writeback);
 }
@@ -90,7 +90,7 @@ std::size_t PageCache::flush(const WritebackFn& writeback) {
   DPC_CHECK(writeback != nullptr);
   std::size_t flushed = 0;
   for (auto& sh : shards_) {
-    std::lock_guard lock(sh.mu);
+    sim::LockGuard lock(sh.mu);
     for (auto& [k, p] : sh.pages) {
       if (!p.dirty) continue;
       writeback(k.inode, k.lpn, p.data);
@@ -104,7 +104,7 @@ std::size_t PageCache::flush(const WritebackFn& writeback) {
 void PageCache::invalidate_inode(std::uint64_t inode,
                                  const WritebackFn& writeback) {
   for (auto& sh : shards_) {
-    std::lock_guard lock(sh.mu);
+    sim::LockGuard lock(sh.mu);
     for (auto it = sh.pages.begin(); it != sh.pages.end();) {
       if (it->first.inode != inode) {
         ++it;
@@ -123,7 +123,7 @@ void PageCache::invalidate_inode(std::uint64_t inode,
 std::size_t PageCache::resident_pages() const {
   std::size_t n = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard lock(sh.mu);
+    sim::LockGuard lock(sh.mu);
     n += sh.pages.size();
   }
   return n;

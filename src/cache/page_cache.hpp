@@ -8,10 +8,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::cache {
 
@@ -67,17 +68,18 @@ class PageCache {
     std::list<Key>::iterator lru_it;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Page, KeyHash> pages;
-    std::list<Key> lru;  // front = most recent
+    mutable sim::AnnotatedMutex mu{"pcache.shard", sim::LockRank::kDriver};
+    std::unordered_map<Key, Page, KeyHash> pages GUARDED_BY(mu);
+    std::list<Key> lru GUARDED_BY(mu);  // front = most recent
   };
 
   Shard& shard_for(const Key& k) {
     return shards_[KeyHash{}(k) % shards_.size()];
   }
   void insert_locked(Shard& sh, const Key& k, std::span<const std::byte> src,
-                     bool dirty, const WritebackFn& writeback);
-  void evict_locked(Shard& sh, const WritebackFn& writeback);
+                     bool dirty, const WritebackFn& writeback)
+      REQUIRES(sh.mu);
+  void evict_locked(Shard& sh, const WritebackFn& writeback) REQUIRES(sh.mu);
 
   std::uint32_t per_shard_capacity_;
   std::uint32_t page_size_;

@@ -70,6 +70,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
                &registry_.histogram("latency/write_ns")},
       cache_hit_path_ns_(&registry_.histogram("cache/hit_path_ns")),
       cache_miss_path_ns_(&registry_.histogram("cache/miss_path_ns")),
+      restart_ns_(&registry_.histogram("recovery/restart_ns")),
       nvme_retries_(&registry_.counter("retry/attempts")),
       nvme_retry_exhausted_(&registry_.counter("retry/exhausted")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
@@ -131,7 +132,8 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
     tgts_.push_back(std::make_unique<nvme::TgtDriver>(
         *dma_, *qps_.back(), dispatch_->handler(), qtraces_.back().get(),
         opts.fault));
-    pump_mu_.push_back(std::make_unique<std::mutex>());
+    pump_mu_.push_back(std::make_unique<sim::AnnotatedMutex>(
+        "dpc.pump", sim::LockRank::kSystem));
   }
 }
 
@@ -158,18 +160,24 @@ void DpcSystem::stop_dpu() {
   workers_.reset();
 }
 
-DpcSystem::RestartReport DpcSystem::restart_dpu() {
+// Pointer-loop locking over pump_mu_ — opt the definition out of the
+// static analysis; the runtime lock-rank detector still covers it.
+DpcSystem::RestartReport DpcSystem::restart_dpu() NO_THREAD_SAFETY_ANALYSIS {
   RestartReport rep;
   const bool was_running = workers_running_.load(std::memory_order_acquire);
   stop_dpu();
-  // ① Controller reset, per queue pair. TGT first — it rewinds the ring
-  // indices the INI's doorbell zeroing would otherwise desynchronize — then
-  // the INI aborts every in-flight cid so blocked callers requeue through
-  // the normal retry path.
+  // Freeze pump-mode callers for the whole power cycle: hold every pump
+  // lock, in index order (same rank, consistent order — acyclic). Without
+  // this, a pump-mode caller could drive its TgtDriver mid-reset and replay
+  // stale SQEs against a half-rewound ring.
+  for (auto& mu : pump_mu_) mu->lock();
+  // ① Controller reset, per queue pair — TGT side only for now. It rewinds
+  // the ring indices the INI's doorbell zeroing would otherwise
+  // desynchronize. The INI aborts come *last* (step ⑤): aborted waiters
+  // retry immediately, and they must wake into a recovered controller, not
+  // one whose keyspace repair is still in flight.
   for (std::size_t q = 0; q < tgts_.size(); ++q) {
     tgts_[q]->reset();
-    rep.aborted_cids = static_cast<std::uint16_t>(rep.aborted_cids +
-                                                  inis_[q]->reset());
     ++rep.queues_reset;
   }
   // ② Lift the crash latch so the recovery passes below can run.
@@ -188,7 +196,14 @@ DpcSystem::RestartReport DpcSystem::restart_dpu() {
     rep.reflushed_pages = flushed.pages;
     rep.cost += flushed.cost;
   }
-  registry_.histogram("recovery/restart_ns").record(rep.cost);
+  // ⑤ Host-side controller reset: every in-flight cid gets a synthetic
+  // abort so blocked callers requeue through the normal retry path.
+  for (auto& ini : inis_)
+    rep.aborted_cids =
+        static_cast<std::uint16_t>(rep.aborted_cids + ini->reset());
+  restart_ns_->record(rep.cost);
+  for (auto it = pump_mu_.rbegin(); it != pump_mu_.rend(); ++it)
+    (*it)->unlock();
   if (was_running) start_dpu();
   return rep;
 }
@@ -202,7 +217,7 @@ int DpcSystem::queue_for_this_thread() {
 }
 
 int DpcSystem::pump(int q) {
-  std::lock_guard lock(*pump_mu_[static_cast<std::size_t>(q)]);
+  sim::LockGuard lock(*pump_mu_[static_cast<std::size_t>(q)]);
   const int n =
       tgts_[static_cast<std::size_t>(q)]->process_available(64).processed;
   if (cache_ctl_) cache_ctl_->poll();
@@ -372,7 +387,7 @@ Io DpcSystem::unlink(std::uint64_t parent, const std::string& name) {
   if (host_cache_) {
     if (Io found = lookup(parent, name); found.ok()) {
       host_cache_->invalidate_above(found.ino, 0);
-      std::lock_guard lock(size_mu_);
+      sim::LockGuard lock(size_mu_);
       size_cache_.erase(found.ino);
     }
   }
@@ -502,7 +517,7 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
     std::uint64_t known_size = 0;
     bool size_known = false;
     {
-      std::lock_guard lock(size_mu_);
+      sim::LockGuard lock(size_mu_);
       const auto it = size_cache_.find(ino);
       if (it != size_cache_.end()) {
         known_size = it->second;
@@ -514,7 +529,7 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
       if (getattr(ino, &attr).ok()) {
         known_size = attr.size;
         size_known = true;
-        std::lock_guard lock(size_mu_);
+        sim::LockGuard lock(size_mu_);
         auto& slot = size_cache_[ino];
         slot = std::max(slot, known_size);
       }
@@ -572,8 +587,12 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
     return io;
   }
   io.bytes = res.result;
-  std::memcpy(dst.data(), res.read_payload.data(),
-              std::min<std::size_t>(dst.size(), res.read_payload.size()));
+  // A read at/past EOF completes with an empty payload whose data() is
+  // null; memcpy's nonnull contract forbids that even at length zero.
+  if (const std::size_t got =
+          std::min<std::size_t>(dst.size(), res.read_payload.size());
+      got > 0)
+    std::memcpy(dst.data(), res.read_payload.data(), got);
   if (io.bytes < dst.size())
     std::memset(dst.data() + io.bytes, 0, dst.size() - io.bytes);
 
@@ -636,7 +655,7 @@ Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
       const std::uint64_t end = offset + src.size();
       bool grow = false;
       {
-        std::lock_guard lock(size_mu_);
+        sim::LockGuard lock(size_mu_);
         auto [it, fresh] = size_cache_.try_emplace(ino, 0);
         if (fresh) {
           kvfs::Attr attr;
@@ -675,7 +694,7 @@ Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
   {
     // Write-through grew the file in KVFS directly; keep our size view in
     // sync so a later cached write can't issue a shrinking truncate.
-    std::lock_guard lock(size_mu_);
+    sim::LockGuard lock(size_mu_);
     auto& known = size_cache_[ino];
     known = std::max(known, offset + src.size());
   }
@@ -699,7 +718,7 @@ Io DpcSystem::truncate(std::uint64_t ino, std::uint64_t new_size) {
     if (tail != 0) host_cache_->zero_tail(ino, new_size / kCachePage, tail);
   }
   {
-    std::lock_guard lock(size_mu_);
+    sim::LockGuard lock(size_mu_);
     size_cache_[ino] = new_size;
   }
   nvme::IniDriver::Request r;
@@ -774,8 +793,12 @@ Io DpcSystem::dfs_read(std::uint64_t ino, std::uint64_t offset,
     return io;
   }
   io.bytes = res.result;
-  std::memcpy(dst.data(), res.read_payload.data(),
-              std::min<std::size_t>(dst.size(), res.read_payload.size()));
+  // A read at/past EOF completes with an empty payload whose data() is
+  // null; memcpy's nonnull contract forbids that even at length zero.
+  if (const std::size_t got =
+          std::min<std::size_t>(dst.size(), res.read_payload.size());
+      got > 0)
+    std::memcpy(dst.data(), res.read_payload.data(), got);
   return io;
 }
 

@@ -17,7 +17,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -42,6 +41,7 @@
 #include "nvme/queue_pair.hpp"
 #include "nvme/tgt.hpp"
 #include "pcie/dma.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::core {
 
@@ -226,7 +226,10 @@ class DpcSystem {
   std::vector<std::unique_ptr<obs::QueueTraces>> qtraces_;
   std::vector<std::unique_ptr<nvme::IniDriver>> inis_;
   std::vector<std::unique_ptr<nvme::TgtDriver>> tgts_;
-  std::vector<std::unique_ptr<std::mutex>> pump_mu_;
+  /// Per-queue pump locks (pump-mode only): serialize inline TGT servicing
+  /// for one queue. restart_dpu() holds all of them, in index order, for
+  /// the whole power cycle (same rank, consistent order — acyclic).
+  std::vector<std::unique_ptr<sim::AnnotatedMutex>> pump_mu_;
 
   // Backends.
   std::unique_ptr<kv::KvStore> kv_store_;
@@ -250,8 +253,10 @@ class DpcSystem {
 
   // fs-adapter's size view: lets buffered writes grow the file without a
   // DPU round trip per op (one truncate when the size actually grows).
-  std::mutex size_mu_;
-  std::unordered_map<std::uint64_t, std::uint64_t> size_cache_;
+  // Outranks everything: writers hold it across call() (pump locks, INI).
+  sim::AnnotatedMutex size_mu_{"dpc.size", sim::LockRank::kAdapter};
+  std::unordered_map<std::uint64_t, std::uint64_t> size_cache_
+      GUARDED_BY(size_mu_);
 
   // Per-class modelled-latency distributions ("latency/…" in the registry;
   // thread-safe recording) plus the cache hit/miss host-path split.
@@ -259,6 +264,9 @@ class DpcSystem {
       latency_;
   sim::Histogram* cache_hit_path_ns_;
   sim::Histogram* cache_miss_path_ns_;
+  /// Resolved at construction — restart_dpu() must not do registry name
+  /// lookups (shared-lock + hash) while the whole transport is frozen.
+  sim::Histogram* restart_ns_;
 
   // NVMe command retry accounting + deterministic backoff-jitter salt.
   obs::Counter* nvme_retries_;

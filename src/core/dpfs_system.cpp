@@ -166,7 +166,7 @@ void DpfsSystem::start_hal() {
   if (hal_running_.load(std::memory_order_acquire)) return;
   hal_thread_ = std::make_unique<dpu::WorkerPool>();
   hal_thread_->add_poller([this] {
-    std::lock_guard lock(pump_mu_);
+    sim::LockGuard lock(pump_mu_);
     return hal_->process_available(64).processed;
   });
   // "DPFS can only employ a single DPFS-HAL thread" — exactly one worker.
@@ -181,7 +181,7 @@ void DpfsSystem::stop_hal() {
 }
 
 int DpfsSystem::pump() {
-  std::lock_guard lock(pump_mu_);
+  sim::LockGuard lock(pump_mu_);
   return hal_->process_available(64).processed;
 }
 

@@ -17,6 +17,7 @@
 #include "kv/remote.hpp"
 #include "kvfs/kvfs.hpp"
 #include "pcie/dma.hpp"
+#include "sim/thread_annotations.hpp"
 #include "virtio/virtio_fs.hpp"
 
 namespace dpc::core {
@@ -85,7 +86,7 @@ class DpfsSystem {
   std::unique_ptr<virtio::VirtqueueLayout> layout_;
   std::unique_ptr<virtio::VirtioFsGuest> guest_;
   std::unique_ptr<virtio::DpfsHal> hal_;
-  std::mutex pump_mu_;
+  sim::AnnotatedMutex pump_mu_{"dpfs.pump", sim::LockRank::kSystem};
 
   std::unique_ptr<kv::KvStore> kv_store_;
   std::unique_ptr<kv::RemoteKv> remote_kv_;

@@ -69,7 +69,8 @@ NvmeRawHarness::NvmeRawHarness(const Options& opts)
                                                       qtraces_.back().get()));
     tgts_.push_back(std::make_unique<nvme::TgtDriver>(
         *dma_, *qps_.back(), handler, qtraces_.back().get()));
-    pump_mu_.push_back(std::make_unique<std::mutex>());
+    pump_mu_.push_back(std::make_unique<sim::AnnotatedMutex>(
+        "virtual.pump", sim::LockRank::kSystem));
   }
 }
 
@@ -114,7 +115,7 @@ bool NvmeRawHarness::do_read(int q, std::span<std::byte> dst) {
 }
 
 int NvmeRawHarness::pump(int q) {
-  std::lock_guard lock(*pump_mu_[static_cast<std::size_t>(q)]);
+  sim::LockGuard lock(*pump_mu_[static_cast<std::size_t>(q)]);
   return tgts_[static_cast<std::size_t>(q)]->process_available(64).processed;
 }
 
@@ -207,7 +208,7 @@ bool VirtioRawHarness::do_read(std::span<std::byte> dst) {
 }
 
 int VirtioRawHarness::pump() {
-  std::lock_guard lock(pump_mu_);
+  sim::LockGuard lock(pump_mu_);
   return hal_->process_available(64).processed;
 }
 

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "dpu/dpu.hpp"
@@ -19,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pcie/dma.hpp"
+#include "sim/thread_annotations.hpp"
 #include "virtio/virtio_fs.hpp"
 
 namespace dpc::core {
@@ -63,7 +63,7 @@ class NvmeRawHarness {
   std::vector<std::unique_ptr<nvme::QueuePair>> qps_;
   std::vector<std::unique_ptr<nvme::IniDriver>> inis_;
   std::vector<std::unique_ptr<nvme::TgtDriver>> tgts_;
-  std::vector<std::unique_ptr<std::mutex>> pump_mu_;  // TGT is 1-consumer
+  std::vector<std::unique_ptr<sim::AnnotatedMutex>> pump_mu_;  // TGT is 1-consumer
   std::vector<std::byte> pattern_;  // DPU-resident data served to reads
 };
 
@@ -96,7 +96,8 @@ class VirtioRawHarness {
   std::unique_ptr<virtio::VirtqueueLayout> layout_;
   std::unique_ptr<virtio::VirtioFsGuest> guest_;
   std::unique_ptr<virtio::DpfsHal> hal_;
-  std::mutex pump_mu_;  // the HAL is single-threaded by design
+  sim::AnnotatedMutex pump_mu_{"virtio.pump",
+                               sim::LockRank::kSystem};  // 1-thread HAL
   std::vector<std::byte> pattern_;
 };
 

@@ -24,7 +24,7 @@ OpProfile& OpProfile::operator+=(const OpProfile& o) {
 // ------------------------------------------------------------------- Mds
 
 std::optional<Ino> Mds::lookup(const std::string& path) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   const auto it = names_.find(path);
   if (it == names_.end()) return std::nullopt;
   return it->second;
@@ -33,7 +33,7 @@ std::optional<Ino> Mds::lookup(const std::string& path) const {
 std::optional<FileMeta> Mds::create(const std::string& path, Ino ino,
                                     std::uint64_t size,
                                     const FileMeta* templ) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   if (!names_.try_emplace(path, ino).second) return std::nullopt;
   FileMeta meta;
   if (templ != nullptr) meta = *templ;
@@ -45,20 +45,20 @@ std::optional<FileMeta> Mds::create(const std::string& path, Ino ino,
 }
 
 ClientId Mds::delegation_holder(Ino ino) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   const auto it = files_.find(ino);
   return it == files_.end() ? 0 : it->second.delegation;
 }
 
 std::optional<FileMeta> Mds::stat(Ino ino) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   const auto it = files_.find(ino);
   if (it == files_.end()) return std::nullopt;
   return it->second;
 }
 
 bool Mds::update_size(Ino ino, std::uint64_t size) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   const auto it = files_.find(ino);
   if (it == files_.end()) return false;
   it->second.size = std::max(it->second.size, size);
@@ -66,7 +66,7 @@ bool Mds::update_size(Ino ino, std::uint64_t size) {
 }
 
 bool Mds::acquire_delegation(Ino ino, ClientId client) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   const auto it = files_.find(ino);
   if (it == files_.end()) return false;
   if (it->second.delegation != 0 && it->second.delegation != client)
@@ -76,14 +76,14 @@ bool Mds::acquire_delegation(Ino ino, ClientId client) {
 }
 
 void Mds::release_delegation(Ino ino, ClientId client) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   const auto it = files_.find(ino);
   if (it != files_.end() && it->second.delegation == client)
     it->second.delegation = 0;
 }
 
 bool Mds::remove(const std::string& path) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   const auto it = names_.find(path);
   if (it == names_.end()) return false;
   files_.erase(it->second);
@@ -120,7 +120,7 @@ void MdsCluster::charge(int home, int entry, bool direct,
 }
 
 void MdsCluster::register_recall(ClientId client, RecallFn fn) {
-  std::lock_guard lock(recall_mu_);
+  sim::LockGuard lock(recall_mu_);
   if (fn) {
     recalls_[client] = std::move(fn);
   } else {
@@ -197,7 +197,7 @@ bool MdsCluster::acquire_delegation(Ino ino, ClientId client, int entry,
   const ClientId holder = owner_mds->delegation_holder(ino);
   RecallFn recall;
   {
-    std::lock_guard lock(recall_mu_);
+    sim::LockGuard lock(recall_mu_);
     const auto it = recalls_.find(holder);
     if (it != recalls_.end()) recall = it->second;
   }
@@ -378,7 +378,7 @@ bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
   prof.net += shard_net_cost(true, dst.size());
   ++prof.ds_ops;
   Server& sv = servers_[static_cast<std::size_t>(server)];
-  std::shared_lock lock(sv.mu);
+  sim::SharedLockGuard lock(sv.mu);
   const auto it = sv.shards.find(Key{ino, stripe, role});
   if (it == sv.shards.end()) {
     std::memset(dst.data(), 0, dst.size());
@@ -405,7 +405,7 @@ void DataServers::write_shard(Ino ino, std::uint64_t stripe,
       // stale version. Invalidate it (models per-shard version checks):
       // a degraded read must reconstruct the new bytes from the surviving
       // shards, never serve the outdated ones.
-      std::unique_lock lock(sv.mu);
+      sim::LockGuard lock(sv.mu);
       sv.shards.erase(Key{ino, stripe, role});
       return;
     }
@@ -413,13 +413,13 @@ void DataServers::write_shard(Ino ino, std::uint64_t stripe,
   prof.ds += sim::calib::kDataServerOp;
   prof.net += shard_net_cost(false, src.size());
   ++prof.ds_ops;
-  std::unique_lock lock(sv.mu);
+  sim::LockGuard lock(sv.mu);
   sv.shards[Key{ino, stripe, role}].assign(src.begin(), src.end());
 }
 
 void DataServers::purge(Ino ino) {
   for (auto& sv : servers_) {
-    std::unique_lock lock(sv.mu);
+    sim::LockGuard lock(sv.mu);
     for (auto it = sv.shards.begin(); it != sv.shards.end();) {
       it = it->first.ino == ino ? sv.shards.erase(it) : std::next(it);
     }
@@ -429,7 +429,7 @@ void DataServers::purge(Ino ino) {
 bool DataServers::drop_shard(Ino ino, std::uint64_t stripe,
                              std::uint32_t role) {
   Server& sv = servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
-  std::unique_lock lock(sv.mu);
+  sim::LockGuard lock(sv.mu);
   return sv.shards.erase(Key{ino, stripe, role}) > 0;
 }
 
@@ -437,7 +437,7 @@ bool DataServers::has_shard(Ino ino, std::uint64_t stripe,
                             std::uint32_t role) const {
   const Server& sv =
       servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
-  std::shared_lock lock(sv.mu);
+  sim::SharedLockGuard lock(sv.mu);
   return sv.shards.contains(Key{ino, stripe, role});
 }
 

@@ -16,9 +16,7 @@
 #include <functional>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -28,6 +26,7 @@
 #include "fault/injector.hpp"
 #include "fault/retry.hpp"
 #include "obs/metrics.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/calib.hpp"
 #include "sim/time.hpp"
 
@@ -97,9 +96,9 @@ class Mds {
   bool remove(const std::string& path);
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Ino> names_;
-  std::unordered_map<Ino, FileMeta> files_;
+  mutable sim::AnnotatedSharedMutex mu_{"mds.meta", sim::LockRank::kShard};
+  std::unordered_map<std::string, Ino> names_ GUARDED_BY(mu_);
+  std::unordered_map<Ino, FileMeta> files_ GUARDED_BY(mu_);
 };
 
 /// The hash-partitioned MDS cluster. All calls take the caller's entry MDS
@@ -156,8 +155,9 @@ class MdsCluster {
 
   std::vector<Mds> mds_;
   std::atomic<Ino> next_ino_{1};
-  mutable std::mutex recall_mu_;
-  std::unordered_map<ClientId, RecallFn> recalls_;
+  mutable sim::AnnotatedMutex recall_mu_{"mds.recall",
+                                         sim::LockRank::kShard};
+  std::unordered_map<ClientId, RecallFn> recalls_ GUARDED_BY(recall_mu_);
 };
 
 // --------------------------------------------------------------- striping
@@ -270,8 +270,10 @@ class DataServers {
     }
   };
   struct Server {
-    mutable std::shared_mutex mu;
-    std::unordered_map<Key, std::vector<std::byte>, KeyHash> shards;
+    mutable sim::AnnotatedSharedMutex mu{"dfs.server",
+                                         sim::LockRank::kStore};
+    std::unordered_map<Key, std::vector<std::byte>, KeyHash> shards
+        GUARDED_BY(mu);
     std::atomic<bool> failed{false};
   };
 

@@ -32,7 +32,7 @@ DfsClient::DfsClient(ClientId id, MdsCluster& mds, DataServers& ds,
                       : &owned_registry_->histogram("dfs.client/backend_ns")) {
   if (cfg_.delegation_recall && cfg_.delegation_cache) {
     mds_->register_recall(id_, [this](Ino ino) {
-      std::lock_guard lock(mu_);
+      sim::LockGuard lock(mu_);
       delegations_.erase(ino);
       return true;  // lease-abiding client: always give it back
     });
@@ -45,7 +45,7 @@ DfsClient::~DfsClient() {
 }
 
 bool DfsClient::holds_delegation(Ino ino) const {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return delegations_.contains(ino);
 }
 
@@ -75,13 +75,13 @@ void DfsClient::charge_client_cpu(OpProfile& prof, bool data_op,
 
 std::optional<FileMeta> DfsClient::meta_of(Ino ino, OpProfile& prof) {
   if (cfg_.view_routing) {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     const auto it = meta_cache_.find(ino);
     if (it != meta_cache_.end()) return it->second;
   }
   auto meta = mds_->stat(ino, entry_mds_, cfg_.view_routing, prof);
   if (meta && cfg_.view_routing) {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     meta_cache_[ino] = *meta;
   }
   return meta;
@@ -90,13 +90,13 @@ std::optional<FileMeta> DfsClient::meta_of(Ino ino, OpProfile& prof) {
 bool DfsClient::ensure_delegation(Ino ino, OpProfile& prof) {
   if (cfg_.delegation_cache) {
     {
-      std::lock_guard lock(mu_);
+      sim::LockGuard lock(mu_);
       if (delegations_.contains(ino)) return true;  // cached grant: free
     }
     if (!mds_->acquire_delegation(ino, id_, entry_mds_, cfg_.view_routing,
                                   prof))
       return false;
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     delegations_.insert(ino);
     return true;
   }
@@ -132,7 +132,7 @@ IoResult DfsClient::create(const std::string& path,
     return res;
   }
   if (cfg_.view_routing) {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     meta_cache_[meta->ino] = *meta;
   }
   if (cfg_.on_dpu && cfg_.delegation_cache) {
@@ -142,7 +142,7 @@ IoResult DfsClient::create(const std::string& path,
     OpProfile free_grant;
     if (mds_->acquire_delegation(meta->ino, id_, entry_mds_,
                                  cfg_.view_routing, free_grant)) {
-      std::lock_guard lock(mu_);
+      sim::LockGuard lock(mu_);
       delegations_.insert(meta->ino);
     }
   }
@@ -283,7 +283,7 @@ IoResult DfsClient::write(Ino ino, std::uint64_t offset,
     if (offset + src.size() > meta->size) {
       mds_->update_size(ino, offset + src.size(), entry_mds_,
                         cfg_.view_routing, res.prof);
-      std::lock_guard lock(mu_);
+      sim::LockGuard lock(mu_);
       auto it = meta_cache_.find(ino);
       if (it != meta_cache_.end())
         it->second.size = offset + src.size();
@@ -311,7 +311,7 @@ IoResult DfsClient::remove(const std::string& path) {
   mds_->remove(path, entry_mds_, cfg_.view_routing, res.prof);
   ds_->purge(*opened);
   {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     meta_cache_.erase(*opened);
     delegations_.erase(*opened);
   }

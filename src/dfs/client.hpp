@@ -20,7 +20,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,6 +28,7 @@
 #include "ec/reed_solomon.hpp"
 #include "fault/retry.hpp"
 #include "obs/metrics.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::dfs {
 
@@ -164,9 +164,9 @@ class DfsClient {
   /// Per-op sequence number: deterministic backoff-jitter salt.
   std::atomic<std::uint64_t> op_seq_{0};
 
-  mutable std::mutex mu_;
-  std::unordered_map<Ino, FileMeta> meta_cache_;
-  std::unordered_set<Ino> delegations_;
+  mutable sim::AnnotatedMutex mu_{"dfs.client", sim::LockRank::kFs};
+  std::unordered_map<Ino, FileMeta> meta_cache_ GUARDED_BY(mu_);
+  std::unordered_set<Ino> delegations_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpc::dfs

@@ -9,13 +9,17 @@ namespace dpc::dpu {
 WorkerPool::~WorkerPool() { stop(); }
 
 void WorkerPool::add_poller(Poller p) {
-  DPC_CHECK_MSG(!running(), "add_poller after start");
+  // Registration is serialized against start()/stop() by the lifecycle
+  // lock; checking threads_ (not the running_ flag) closes the window where
+  // a concurrent start() had set running_ but not yet spawned workers.
+  sim::LockGuard lock(lifecycle_mu_);
+  DPC_CHECK_MSG(threads_.empty(), "add_poller after start");
   DPC_CHECK(p != nullptr);
   pollers_.push_back(std::move(p));
 }
 
 void WorkerPool::start(int threads) {
-  std::lock_guard lock(lifecycle_mu_);
+  sim::LockGuard lock(lifecycle_mu_);
   DPC_CHECK_MSG(threads_.empty(), "start on a running pool");
   DPC_CHECK(threads >= 1);
   DPC_CHECK_MSG(!pollers_.empty(), "no pollers registered");
@@ -38,7 +42,7 @@ void WorkerPool::stop() {
   // even if start() wins the lock before our join finishes.
   std::vector<std::jthread> to_join;
   {
-    std::lock_guard lock(lifecycle_mu_);
+    sim::LockGuard lock(lifecycle_mu_);
     if (run_token_ != nullptr)
       run_token_->store(false, std::memory_order_release);
     run_token_.reset();
@@ -48,8 +52,12 @@ void WorkerPool::stop() {
   to_join.clear();  // jthread joins on destruction
 }
 
+// Lock-free read of pollers_: the vector is frozen between start() (which
+// happens-before the spawn of this thread) and the join of this generation,
+// and add_poller() refuses to run while threads_ is non-empty.
 void WorkerPool::worker_main(std::shared_ptr<const std::atomic<bool>> run,
-                             int worker_id, int worker_count) {
+                             int worker_id,
+                             int worker_count) NO_THREAD_SAFETY_ANALYSIS {
   // Static partition: worker t owns pollers t, t+N, t+2N, … so that
   // single-consumer drivers are never run from two threads.
   std::vector<std::size_t> mine;

@@ -6,9 +6,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::dpu {
 
@@ -27,16 +28,16 @@ class WorkerPool {
   /// Registers a poller. Each poller is owned by exactly one worker thread
   /// (pollers wrap single-consumer drivers like TgtDriver), assigned
   /// round-robin at start(). Only legal while the pool is stopped.
-  void add_poller(Poller p);
+  void add_poller(Poller p) EXCLUDES(lifecycle_mu_);
 
   /// Spawns `threads` workers. Must be called after all add_poller calls.
   /// A stopped pool can be started again (pollers are retained).
-  void start(int threads);
+  void start(int threads) EXCLUDES(lifecycle_mu_);
 
   /// Stops and joins all workers (also run by the destructor). Idempotent
   /// and safe to call concurrently — including a stop() racing the
   /// destructor's — exactly one caller joins the threads.
-  void stop();
+  void stop() EXCLUDES(lifecycle_mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -44,13 +45,17 @@ class WorkerPool {
   void worker_main(std::shared_ptr<const std::atomic<bool>> run,
                    int worker_id, int worker_count);
 
-  std::vector<Poller> pollers_;
-  /// Guards the thread-set lifecycle (start/stop); never held while joining.
-  std::mutex lifecycle_mu_;
-  std::vector<std::jthread> threads_;
+  /// Guards the thread-set lifecycle (start/stop) and poller registration;
+  /// never held while joining. Workers read pollers_ without it — the
+  /// vector is immutable from start() (which publishes it via the thread
+  /// spawn) until the last worker of that generation has been joined.
+  sim::AnnotatedMutex lifecycle_mu_{"worker_pool.lifecycle",
+                                    sim::LockRank::kSystem};
+  std::vector<Poller> pollers_ GUARDED_BY(lifecycle_mu_);
+  std::vector<std::jthread> threads_ GUARDED_BY(lifecycle_mu_);
   /// Per-generation run flag: workers loop on *their* token, so a restart
   /// racing a still-joining stop() can never resurrect the old generation.
-  std::shared_ptr<std::atomic<bool>> run_token_;
+  std::shared_ptr<std::atomic<bool>> run_token_ GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> running_{false};
 };
 

@@ -1,7 +1,6 @@
 #include "fault/injector.hpp"
 
 #include <cstdlib>
-#include <mutex>
 
 #include "sim/check.hpp"
 #include "sim/rng.hpp"
@@ -42,7 +41,7 @@ FaultInjector::FaultInjector(std::uint64_t seed, obs::Registry* registry)
 
 void FaultInjector::arm(std::string_view site, double probability) {
   DPC_CHECK(probability >= 0.0 && probability <= 1.0);
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& slot = sites_[std::string(site)];
   if (slot == nullptr) {
     slot = std::make_unique<Site>();
@@ -53,18 +52,18 @@ void FaultInjector::arm(std::string_view site, double probability) {
 }
 
 void FaultInjector::disarm(std::string_view site) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   sites_.erase(std::string(site));
 }
 
 void FaultInjector::set_enabled(std::string_view site, bool enabled) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   const auto it = sites_.find(std::string(site));
   if (it != sites_.end()) it->second->enabled = enabled;
 }
 
 FaultInjector::Site* FaultInjector::find(std::string_view site) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   const auto it = sites_.find(std::string(site));
   return it == sites_.end() ? nullptr : it->second.get();
 }
@@ -95,7 +94,7 @@ bool FaultInjector::should_fail(std::string_view site) {
 }
 
 void FaultInjector::arm_crash(std::string_view site, std::uint64_t skip) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& slot = crash_sites_[std::string(site)];
   if (slot == nullptr) slot = std::make_unique<CrashSite>();
   slot->skip = skip;
@@ -104,13 +103,13 @@ void FaultInjector::arm_crash(std::string_view site, std::uint64_t skip) {
 }
 
 void FaultInjector::disarm_crash(std::string_view site) {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   crash_sites_.erase(std::string(site));
 }
 
 FaultInjector::CrashSite* FaultInjector::find_crash(
     std::string_view site) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   const auto it = crash_sites_.find(std::string(site));
   return it == crash_sites_.end() ? nullptr : it->second.get();
 }

@@ -19,12 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::fault {
 
@@ -111,11 +111,14 @@ class FaultInjector {
 
   std::atomic<bool> crashed_{false};
 
-  mutable std::shared_mutex mu_;
+  mutable sim::AnnotatedSharedMutex mu_{"fault.injector",
+                                        sim::LockRank::kLeaf};
   // unique_ptr values keep Site addresses (and their atomics) stable across
   // rehashes, so should_fail can drop the map lock before drawing.
-  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
-  std::unordered_map<std::string, std::unique_ptr<CrashSite>> crash_sites_;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_
+      GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<CrashSite>> crash_sites_
+      GUARDED_BY(mu_);
 };
 
 /// Placed at every named crash point on the DPU side: throws CrashException

@@ -31,7 +31,7 @@ CircuitBreaker::CircuitBreaker(Config cfg, obs::Registry* registry)
 }
 
 bool CircuitBreaker::allow() {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -56,7 +56,7 @@ bool CircuitBreaker::allow() {
 }
 
 void CircuitBreaker::on_success() {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (state_ != State::kClosed) {
     state_ = State::kClosed;
     gated_calls_ = 0;
@@ -66,7 +66,7 @@ void CircuitBreaker::on_success() {
 }
 
 void CircuitBreaker::on_failure() {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   ++failures_;
   if (state_ == State::kHalfOpen) {
     state_ = State::kOpen;  // probe failed: stay open, no new open event
@@ -81,12 +81,12 @@ void CircuitBreaker::on_failure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return state_;
 }
 
 std::uint64_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return failures_;
 }
 

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::fault {
@@ -75,10 +75,11 @@ class CircuitBreaker {
 
  private:
   Config cfg_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  std::uint64_t failures_ = 0;     // consecutive, reset on success
-  std::uint64_t gated_calls_ = 0;  // calls rejected-or-probed while open
+  mutable sim::AnnotatedMutex mu_{"fault.breaker", sim::LockRank::kLeaf};
+  State state_ GUARDED_BY(mu_) = State::kClosed;
+  // consecutive failures (reset on success) / calls gated while open
+  std::uint64_t failures_ GUARDED_BY(mu_) = 0;
+  std::uint64_t gated_calls_ GUARDED_BY(mu_) = 0;
 
   // Registry counters are shared across breaker instances by name — the
   // acceptance criterion reads the aggregate "breaker/opens".

@@ -69,11 +69,14 @@ struct MetaBlockCache {
 // The cache is per-filesystem; stash it in a map keyed by `this` to avoid
 // widening the header. (One Ext4like per test/bench; trivial contention.)
 namespace {
-std::mutex g_meta_mu;
+// Taken under pcache shard locks on the writeback path; pure leaf
+// (momentary map lookup, never acquires anything while held).
+dpc::sim::AnnotatedMutex g_meta_mu{"ext4like.meta_cache",
+                                  dpc::sim::LockRank::kLeaf};
 std::unordered_map<const Ext4like*, MetaBlockCache> g_meta_caches;
 
 MetaBlockCache& meta_cache_of(const Ext4like* fs) {
-  std::lock_guard lock(g_meta_mu);
+  dpc::sim::LockGuard lock(g_meta_mu);
   return g_meta_caches[fs];
 }
 }  // namespace
@@ -135,7 +138,7 @@ Ext4like::Ext4like(ssd::SsdModel& disk, const Ext4likeOptions& opts)
 }
 
 Ext4like::~Ext4like() {
-  std::lock_guard lock(g_meta_mu);
+  dpc::sim::LockGuard lock(g_meta_mu);
   g_meta_caches.erase(this);
 }
 
@@ -533,7 +536,7 @@ FsResult<Ino> Ext4like::make_node(Ino parent, std::string_view name,
     res.err = EINVAL;
     return res;
   }
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (parent == 0 || parent >= opts_.max_inodes || !inode_used_[parent]) {
     res.err = ENOENT;
     return res;
@@ -580,7 +583,7 @@ FsResult<Ino> Ext4like::mkdir(Ino parent, std::string_view name,
 
 FsResult<Ino> Ext4like::lookup(Ino parent, std::string_view name) {
   FsResult<Ino> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (parent == 0 || parent >= opts_.max_inodes || !inode_used_[parent]) {
     res.err = ENOENT;
     return res;
@@ -633,7 +636,7 @@ FsResult<Ino> Ext4like::resolve(std::string_view path) {
 FsResult<FsUnit> Ext4like::remove_node(Ino parent, std::string_view name,
                                        bool dir) {
   FsResult<FsUnit> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (parent == 0 || parent >= opts_.max_inodes || !inode_used_[parent]) {
     res.err = ENOENT;
     return res;
@@ -685,7 +688,7 @@ FsResult<FsUnit> Ext4like::rmdir(Ino parent, std::string_view name) {
 FsResult<FsUnit> Ext4like::rename(Ino old_parent, std::string_view old_name,
                                   Ino new_parent, std::string_view new_name) {
   FsResult<FsUnit> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   DiskInode opdi = read_inode(old_parent, res.cost);
   const auto src = dir_find(opdi, old_name, res.cost);
   if (!src) {
@@ -726,7 +729,7 @@ FsResult<FsUnit> Ext4like::rename(Ino old_parent, std::string_view old_name,
 
 FsResult<std::vector<DirEntry>> Ext4like::readdir(Ino dir) {
   FsResult<std::vector<DirEntry>> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (dir == 0 || dir >= opts_.max_inodes || !inode_used_[dir]) {
     res.err = ENOENT;
     return res;
@@ -750,7 +753,7 @@ FsResult<std::vector<DirEntry>> Ext4like::readdir(Ino dir) {
 
 FsResult<Stat> Ext4like::getattr(Ino ino) {
   FsResult<Stat> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (ino == 0 || ino >= opts_.max_inodes || !inode_used_[ino]) {
     res.err = ENOENT;
     return res;
@@ -776,7 +779,7 @@ cache::PageCache::WritebackFn Ext4like::writeback_fn() {
 FsResult<std::uint32_t> Ext4like::read(Ino ino, std::uint64_t offset,
                                        std::span<std::byte> dst, bool direct) {
   FsResult<std::uint32_t> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (ino == 0 || ino >= opts_.max_inodes || !inode_used_[ino]) {
     res.err = ENOENT;
     return res;
@@ -825,7 +828,7 @@ FsResult<std::uint32_t> Ext4like::write(Ino ino, std::uint64_t offset,
                                         std::span<const std::byte> src,
                                         bool direct) {
   FsResult<std::uint32_t> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (ino == 0 || ino >= opts_.max_inodes || !inode_used_[ino]) {
     res.err = ENOENT;
     return res;
@@ -886,7 +889,7 @@ FsResult<std::uint32_t> Ext4like::write(Ino ino, std::uint64_t offset,
 
 FsResult<FsUnit> Ext4like::truncate(Ino ino, std::uint64_t new_size) {
   FsResult<FsUnit> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (ino == 0 || ino >= opts_.max_inodes || !inode_used_[ino]) {
     res.err = ENOENT;
     return res;
@@ -936,7 +939,7 @@ FsResult<FsUnit> Ext4like::truncate(Ino ino, std::uint64_t new_size) {
 
 FsResult<FsUnit> Ext4like::fsync(Ino ino) {
   FsResult<FsUnit> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (ino == 0 || ino >= opts_.max_inodes || !inode_used_[ino]) {
     res.err = ENOENT;
     return res;
@@ -951,7 +954,7 @@ FsResult<FsUnit> Ext4like::fsync(Ino ino) {
 
 FsResult<FsUnit> Ext4like::sync() {
   FsResult<FsUnit> res;
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   pcache_.flush(writeback_fn());
   res.cost.total += sim::calib::kSsdWriteLat;
   return res;

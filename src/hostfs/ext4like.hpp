@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -27,6 +26,7 @@
 #include <vector>
 
 #include "cache/page_cache.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 #include "ssd/ssd.hpp"
 
@@ -198,7 +198,8 @@ class Ext4like {
   Ext4likeOptions opts_;
   cache::PageCache pcache_;
 
-  mutable std::mutex mu_;
+  /// One big metadata lock (allocator mirrors + inode table).
+  mutable sim::AnnotatedMutex mu_{"ext4like.meta", sim::LockRank::kFs};
   // In-memory mirrors of the allocator state (bitmap blocks are still
   // written through to disk for the write-amplification accounting).
   std::vector<std::uint64_t> block_bitmap_;

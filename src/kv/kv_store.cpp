@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 
 #include "sim/check.hpp"
 
@@ -29,20 +28,20 @@ KvStore::Shard& KvStore::shard_for(std::string_view key) const {
 
 void KvStore::put(std::string_view key, std::span<const std::byte> value) {
   Shard& sh = shard_for(key);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   sh.data.insert_or_assign(std::string(key), to_bytes(value));
 }
 
 bool KvStore::put_if_absent(std::string_view key,
                             std::span<const std::byte> value) {
   Shard& sh = shard_for(key);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   return sh.data.try_emplace(std::string(key), to_bytes(value)).second;
 }
 
 std::optional<Bytes> KvStore::get(std::string_view key) const {
   const Shard& sh = shard_for(key);
-  std::shared_lock lock(sh.mu);
+  sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
   return it->second;
@@ -50,13 +49,13 @@ std::optional<Bytes> KvStore::get(std::string_view key) const {
 
 bool KvStore::contains(std::string_view key) const {
   const Shard& sh = shard_for(key);
-  std::shared_lock lock(sh.mu);
+  sim::SharedLockGuard lock(sh.mu);
   return sh.data.find(key) != sh.data.end();
 }
 
 bool KvStore::erase(std::string_view key) {
   Shard& sh = shard_for(key);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   return sh.data.erase(std::string(key)) > 0;
 }
 
@@ -64,7 +63,7 @@ std::optional<std::size_t> KvStore::read_sub(std::string_view key,
                                              std::uint64_t offset,
                                              std::span<std::byte> dst) const {
   const Shard& sh = shard_for(key);
-  std::shared_lock lock(sh.mu);
+  sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
   const Bytes& v = it->second;
@@ -77,7 +76,7 @@ std::optional<std::size_t> KvStore::read_sub(std::string_view key,
 void KvStore::write_sub(std::string_view key, std::uint64_t offset,
                         std::span<const std::byte> src) {
   Shard& sh = shard_for(key);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   Bytes& v = sh.data[std::string(key)];
   if (v.size() < offset + src.size()) v.resize(offset + src.size());
   std::memcpy(v.data() + offset, src.data(), src.size());
@@ -85,7 +84,7 @@ void KvStore::write_sub(std::string_view key, std::uint64_t offset,
 
 std::uint64_t KvStore::increment(std::string_view key, std::uint64_t delta) {
   Shard& sh = shard_for(key);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   Bytes& v = sh.data[std::string(key)];
   if (v.size() != sizeof(std::uint64_t)) v.assign(sizeof(std::uint64_t), std::byte{0});
   std::uint64_t cur;
@@ -97,7 +96,7 @@ std::uint64_t KvStore::increment(std::string_view key, std::uint64_t delta) {
 
 std::optional<std::uint64_t> KvStore::value_size(std::string_view key) const {
   const Shard& sh = shard_for(key);
-  std::shared_lock lock(sh.mu);
+  sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
   return it->second.size();
@@ -109,7 +108,7 @@ std::size_t KvStore::scan_prefix(
   // Gather matching (key, value) pairs per shard, then merge in key order —
   // the client-side merge a partitioned KV cluster's scan performs.
   std::vector<std::pair<std::string, const Bytes*>> hits;
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  std::vector<sim::SharedLock<sim::AnnotatedSharedMutex>> locks;
   locks.reserve(shards_storage_.size());
   for (const auto& sh : shards_storage_) {
     locks.emplace_back(sh.mu);
@@ -133,7 +132,7 @@ std::size_t KvStore::scan_prefix(
 std::size_t KvStore::size() const {
   std::size_t n = 0;
   for (const auto& sh : shards_storage_) {
-    std::shared_lock lock(sh.mu);
+    sim::SharedLockGuard lock(sh.mu);
     n += sh.data.size();
   }
   return n;
@@ -142,7 +141,7 @@ std::size_t KvStore::size() const {
 std::uint64_t KvStore::bytes_stored() const {
   std::uint64_t n = 0;
   for (const auto& sh : shards_storage_) {
-    std::shared_lock lock(sh.mu);
+    sim::SharedLockGuard lock(sh.mu);
     for (const auto& [k, v] : sh.data) n += k.size() + v.size();
   }
   return n;

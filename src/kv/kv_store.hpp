@@ -17,11 +17,12 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::kv {
 
@@ -77,8 +78,9 @@ class KvStore {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::map<std::string, Bytes, std::less<>> data;
+    mutable sim::AnnotatedSharedMutex mu{"kv.shard",
+                                         sim::LockRank::kStore};
+    std::map<std::string, Bytes, std::less<>> data GUARDED_BY(mu);
   };
   Shard& shard_for(std::string_view key) const;
 

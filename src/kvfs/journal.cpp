@@ -374,8 +374,12 @@ JournalReplayReport IntentJournal::replay(kv::KvStore& raw_store,
   rep.cost = raw.cost;
 
   if (registry != nullptr && rep.scanned > 0) {
+    // Recovery path — runs once per DPU restart, not per op.
+    // dpc-lint: ok(hot-path-lookup) recovery-only
     registry->counter("kvfs.journal/replays").add(rep.rolled_forward);
+    // dpc-lint: ok(hot-path-lookup) recovery-only
     registry->counter("kvfs.journal/rollbacks").add(rep.rolled_back);
+    // dpc-lint: ok(hot-path-lookup) recovery-only
     registry->counter("kvfs.journal/corrupt").add(rep.corrupt);
   }
   return rep;

@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "sim/thread_annotations.hpp"
 
 #include "fault/injector.hpp"
 #include "kv/remote.hpp"
@@ -194,7 +194,7 @@ class Kvfs {
   std::optional<Attr> cached_attr(Ino ino);
 
   // ---- locking ----
-  std::mutex& inode_lock(Ino ino);
+  sim::AnnotatedMutex& inode_lock(Ino ino);
   /// Locks two stripes in address order (no deadlock on rename).
   struct DualLock;
 
@@ -209,11 +209,18 @@ class Kvfs {
   std::atomic<std::uint64_t> logical_time_{1};
 
   static constexpr std::size_t kLockStripes = 64;
-  std::array<std::mutex, kLockStripes> stripes_;
+  /// Wrapper so the annotated mutex (no default ctor) can live in an array.
+  struct Stripe {
+    sim::AnnotatedMutex mu{"kvfs.stripe", sim::LockRank::kShard};
+  };
+  std::array<Stripe, kLockStripes> stripes_;
 
-  std::shared_mutex cache_mu_;
-  std::unordered_map<std::string, Ino> dentry_cache_;  // key = inode_key
-  std::unordered_map<Ino, Attr> attr_cache_;
+  /// Leaf rank: taken under a stripe on every cached lookup, never holds
+  /// anything itself.
+  sim::AnnotatedSharedMutex cache_mu_{"kvfs.cache", sim::LockRank::kLeaf};
+  /// Key = inode_key.
+  std::unordered_map<std::string, Ino> dentry_cache_ GUARDED_BY(cache_mu_);
+  std::unordered_map<Ino, Attr> attr_cache_ GUARDED_BY(cache_mu_);
 };
 
 }  // namespace dpc::kvfs

@@ -56,7 +56,7 @@ IniDriver::Submitted IniDriver::submit(const Request& req) {
   DPC_CHECK(req.write_hdr.size() <= 0xFFFF);
 
   sim::Nanos cost{};
-  std::unique_lock lock(mu_);
+  sim::UniqueLock lock(mu_);
   if (free_cids_.empty()) {
     // Queue full: completed-but-unreleased cids belong to other threads.
     // Sleep on the cv until release() frees a slot — deterministic wakeup,
@@ -142,7 +142,9 @@ std::optional<Completion> IniDriver::drain_locked() {
   if (consumed > 0) {
     // Publish the new head to the DPU so the TGT can reuse CQ slots — one
     // doorbell (one modelled MMIO) per drained batch, not per CQE, matching
-    // how real NVMe drivers coalesce the CQ-head update.
+    // how real NVMe drivers coalesce the CQ-head update. Consumer-side:
+    // nothing to publish before it, the head only frees slots.
+    // dpc-lint: ok(doorbell-fence) consumer-side CQ head update
     dma_->doorbell(qp_->cq_head_db_off(), cq_head_);
     if (cq_doorbells_ != nullptr) cq_doorbells_->add();
     if (reaps_ != nullptr)
@@ -152,7 +154,7 @@ std::optional<Completion> IniDriver::drain_locked() {
 }
 
 std::optional<Completion> IniDriver::poll() {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return drain_locked();
 }
 
@@ -160,7 +162,7 @@ Completion IniDriver::wait(std::uint16_t cid) {
   DPC_CHECK(cid < qp_->depth());
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      sim::LockGuard lock(mu_);
       if (done_[cid].has_value()) {
         const Completion c = *done_[cid];
         return c;
@@ -172,7 +174,7 @@ Completion IniDriver::wait(std::uint16_t cid) {
 
 std::optional<Completion> IniDriver::try_take(std::uint16_t cid) {
   DPC_CHECK(cid < qp_->depth());
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   drain_locked();
   return done_[cid];
 }
@@ -185,7 +187,7 @@ std::span<const std::byte> IniDriver::read_payload(std::uint16_t cid,
 
 Completion IniDriver::abort(std::uint16_t cid) {
   DPC_CHECK(cid < qp_->depth());
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   drain_locked();  // last chance: the completion may have just landed
   if (done_[cid].has_value()) return *done_[cid];
   const Completion c{cid, Status::kAbortedByRequest, 0, 0};
@@ -199,7 +201,7 @@ Completion IniDriver::abort(std::uint16_t cid) {
 
 void IniDriver::release(std::uint16_t cid) {
   {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     DPC_CHECK_MSG(done_[cid].has_value(),
                   "release of incomplete cid " << cid);
     done_[cid].reset();
@@ -212,7 +214,7 @@ void IniDriver::release(std::uint16_t cid) {
 std::uint16_t IniDriver::reset() {
   std::uint16_t aborted = 0;
   {
-    std::lock_guard lock(mu_);
+    sim::LockGuard lock(mu_);
     // The TGT has already been rewound, so no CQE will ever arrive for the
     // commands currently in flight. Synthesize aborts for them; the normal
     // try_take → release path reclaims each slot and the retry loop
@@ -250,7 +252,7 @@ std::uint16_t IniDriver::reset() {
 }
 
 std::uint16_t IniDriver::inflight() const {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return static_cast<std::uint16_t>(qp_->depth() - 1 - free_cids_.size());
 }
 

@@ -9,7 +9,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "nvme/spec.hpp"
 #include "obs/trace.hpp"
 #include "pcie/dma.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::nvme {
@@ -105,11 +105,11 @@ class IniDriver {
   std::uint16_t inflight() const;
 
  private:
-  std::uint16_t alloc_cid_locked();
+  std::uint16_t alloc_cid_locked() REQUIRES(mu_);
   void build_prp(std::uint64_t buf_off, std::uint32_t len,
                  std::uint64_t list_off, std::uint64_t& prp1,
                  std::uint64_t& prp2);
-  std::optional<Completion> drain_locked();
+  std::optional<Completion> drain_locked() REQUIRES(mu_);
 
   pcie::DmaEngine* dma_;
   const QueuePair* qp_;
@@ -124,13 +124,17 @@ class IniDriver {
   obs::Counter* late_cqes_ = nullptr;
   obs::Counter* resets_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable free_cv_;  // signalled by release()
-  std::vector<std::uint16_t> free_cids_;
-  std::vector<std::optional<Completion>> done_;  // per-cid completion buffer
-  std::uint16_t sq_tail_ = 0;
-  std::uint16_t cq_head_ = 0;
-  bool cq_phase_ = true;  // expected phase tag of the next valid CQE
+  mutable sim::AnnotatedMutex mu_{"nvme.ini", sim::LockRank::kDriver};
+  // condition_variable_any: the annotated UniqueLock is BasicLockable but
+  // not std::unique_lock<std::mutex>.
+  std::condition_variable_any free_cv_;  // signalled by release()
+  std::vector<std::uint16_t> free_cids_ GUARDED_BY(mu_);
+  /// Per-cid completion buffer.
+  std::vector<std::optional<Completion>> done_ GUARDED_BY(mu_);
+  std::uint16_t sq_tail_ GUARDED_BY(mu_) = 0;
+  std::uint16_t cq_head_ GUARDED_BY(mu_) = 0;
+  /// Expected phase tag of the next valid CQE.
+  bool cq_phase_ GUARDED_BY(mu_) = true;
 };
 
 }  // namespace dpc::nvme

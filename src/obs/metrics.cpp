@@ -1,7 +1,6 @@
 #include "obs/metrics.hpp"
 
 #include <iomanip>
-#include <mutex>
 #include <sstream>
 
 namespace dpc::obs {
@@ -50,11 +49,11 @@ void json_object(std::ostream& os, const Map& m, Emit emit) {
 
 Counter& Registry::counter(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    sim::SharedLockGuard lock(mu_);
     if (const auto it = counters_.find(name); it != counters_.end())
       return *it->second;
   }
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& slot = counters_[std::string(name)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -62,11 +61,11 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    sim::SharedLockGuard lock(mu_);
     if (const auto it = gauges_.find(name); it != gauges_.end())
       return *it->second;
   }
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& slot = gauges_[std::string(name)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -74,25 +73,25 @@ Gauge& Registry::gauge(std::string_view name) {
 
 sim::Histogram& Registry::histogram(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    sim::SharedLockGuard lock(mu_);
     if (const auto it = hists_.find(name); it != hists_.end())
       return *it->second;
   }
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& slot = hists_[std::string(name)];
   if (!slot) slot = std::make_unique<sim::Histogram>();
   return *slot;
 }
 
 void Registry::reset() {
-  std::unique_lock lock(mu_);
+  sim::LockGuard lock(mu_);
   for (auto& [name, c] : counters_) *c = 0;
   for (auto& [name, g] : gauges_) g->set(0);
   for (auto& [name, h] : hists_) h->reset();
 }
 
 void Registry::to_json(std::ostream& os) const {
-  std::shared_lock lock(mu_);
+  sim::SharedLockGuard lock(mu_);
   os << "{\"counters\":";
   json_object(os, counters_,
               [&os](const Counter& c) { os << c.load(); });

@@ -13,10 +13,10 @@
 #include <map>
 #include <memory>
 #include <ostream>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
+#include "sim/thread_annotations.hpp"
 #include "sim/histogram.hpp"
 #include "sim/time.hpp"
 
@@ -97,10 +97,14 @@ class Registry {
   std::string to_json() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<sim::Histogram>, std::less<>> hists_;
+  mutable sim::AnnotatedSharedMutex mu_{"obs.registry",
+                                        sim::LockRank::kLeaf};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<sim::Histogram>, std::less<>> hists_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace dpc::obs

@@ -1,0 +1,260 @@
+// Clang thread-safety annotation macros and annotated lock wrappers.
+//
+// Under Clang the macros expand to the capability-analysis attributes so the
+// tree builds with -Wthread-safety -Werror; under GCC (which has no such
+// analysis) they expand to nothing. The wrappers additionally feed the
+// runtime lock-rank detector (lockrank.hpp) in Debug/TSan builds, so every
+// AnnotatedMutex declares its deadlock rank exactly once, at construction.
+//
+// Conventions used across the tree:
+//   * members:      Type field GUARDED_BY(mu_);
+//   * helpers:      void drain_locked() REQUIRES(mu_);
+//   * shared reads: Value load() const REQUIRES_SHARED(mu_);
+//   * lock-free:    functions that intentionally bypass a mutex (immutable
+//     post-start state, single-consumer rings) carry
+//     NO_THREAD_SAFETY_ANALYSIS plus a comment saying why.
+//
+// Use the LockGuard/UniqueLock/SharedLockGuard/SharedLock RAII types below
+// instead of std::lock_guard/std::unique_lock/std::shared_lock: the std
+// types are not annotated, so Clang cannot see their acquire/release.
+// UniqueLock/SharedLock satisfy BasicLockable and work with
+// std::condition_variable_any.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "sim/lockrank.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DPC_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef DPC_TSA
+#define DPC_TSA(x)  // no-op: GCC and pre-capability Clang
+#endif
+
+#define CAPABILITY(x) DPC_TSA(capability(x))
+#define SCOPED_CAPABILITY DPC_TSA(scoped_lockable)
+#define GUARDED_BY(x) DPC_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) DPC_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) DPC_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DPC_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) DPC_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) DPC_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) DPC_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) DPC_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DPC_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) DPC_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) DPC_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) DPC_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DPC_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) DPC_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) DPC_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) DPC_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) DPC_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS DPC_TSA(no_thread_safety_analysis)
+
+namespace dpc::sim {
+
+/// std::mutex with a thread-safety capability and a declared deadlock rank.
+/// Drop-in for std::mutex members; construct with a stable name and the
+/// lock's tier from the rank table in lockrank.hpp.
+class CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  explicit AnnotatedMutex(const char* name, LockRank rank)
+      : name_(name), rank_(rank) {}
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    // Rank check first: a violation must throw with the mutex untouched,
+    // so the error is reportable instead of wedging later unlocks.
+    lockrank::acquire(this, rank_, name_);
+    mu_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    try {
+      lockrank::acquire(this, rank_, name_);
+    } catch (...) {
+      mu_.unlock();
+      throw;
+    }
+    return true;
+  }
+  void unlock() RELEASE() {
+    lockrank::release(this);
+    mu_.unlock();
+  }
+
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+
+  /// For negative annotations on `this` in const contexts.
+  const AnnotatedMutex& operator!() const { return *this; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  LockRank rank_;
+};
+
+/// std::shared_mutex analogue. Shared acquisitions participate in the rank
+/// and acquired-before checks exactly like exclusive ones.
+class CAPABILITY("shared_mutex") AnnotatedSharedMutex {
+ public:
+  explicit AnnotatedSharedMutex(const char* name, LockRank rank)
+      : name_(name), rank_(rank) {}
+  AnnotatedSharedMutex(const AnnotatedSharedMutex&) = delete;
+  AnnotatedSharedMutex& operator=(const AnnotatedSharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    // Rank check first: a violation must throw with the mutex untouched,
+    // so the error is reportable instead of wedging later unlocks.
+    lockrank::acquire(this, rank_, name_);
+    mu_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    try {
+      lockrank::acquire(this, rank_, name_);
+    } catch (...) {
+      mu_.unlock();
+      throw;
+    }
+    return true;
+  }
+  void unlock() RELEASE() {
+    lockrank::release(this);
+    mu_.unlock();
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+    lockrank::acquire(this, rank_, name_, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    try {
+      lockrank::acquire(this, rank_, name_, /*shared=*/true);
+    } catch (...) {
+      mu_.unlock_shared();
+      throw;
+    }
+    return true;
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    lockrank::release(this);
+    mu_.unlock_shared();
+  }
+
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+
+  const AnnotatedSharedMutex& operator!() const { return *this; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_;
+  LockRank rank_;
+};
+
+/// Annotated std::lock_guard: locks in the constructor, unlocks in the
+/// destructor, no release before scope exit.
+template <typename Mutex>
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::unique_lock: movable-free minimal variant supporting
+/// deferred construction, manual lock/unlock, and condition_variable_any
+/// (it satisfies BasicLockable).
+template <typename Mutex>
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+    held_ = true;
+  }
+  struct defer_t {};
+  UniqueLock(Mutex& mu, defer_t) EXCLUDES(mu) : mu_(&mu) {}
+  ~UniqueLock() RELEASE() {
+    if (held_) mu_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    mu_->unlock();
+    held_ = false;
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  Mutex* mu_;
+  bool held_ = false;
+};
+
+/// Annotated shared (reader) guard over AnnotatedSharedMutex.
+template <typename Mutex>
+class SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(Mutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLockGuard() RELEASE_GENERIC() { mu_.unlock_shared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::shared_lock: manual lock/unlock shared variant (used where
+/// reader locks are collected into containers or released early).
+template <typename Mutex>
+class SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(Mutex& mu) ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->lock_shared();
+    held_ = true;
+  }
+  SharedLock() = default;
+  ~SharedLock() RELEASE_GENERIC() {
+    if (held_) mu_->unlock_shared();
+  }
+  SharedLock(SharedLock&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
+      : mu_(other.mu_), held_(other.held_) {
+    other.held_ = false;
+    other.mu_ = nullptr;
+  }
+  SharedLock& operator=(SharedLock&&) = delete;
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+  void unlock() RELEASE_GENERIC() {
+    mu_->unlock_shared();
+    held_ = false;
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  Mutex* mu_ = nullptr;
+  bool held_ = false;
+};
+
+}  // namespace dpc::sim

@@ -9,7 +9,7 @@ namespace dpc::ssd {
 void SsdModel::read_block(std::uint64_t lba, std::span<std::byte> dst) const {
   DPC_CHECK(dst.size() <= kBlockSize);
   const Shard& sh = shard_for(lba);
-  std::shared_lock lock(sh.mu);
+  sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.blocks.find(lba);
   if (it == sh.blocks.end()) {
     std::memset(dst.data(), 0, dst.size());
@@ -21,7 +21,7 @@ void SsdModel::read_block(std::uint64_t lba, std::span<std::byte> dst) const {
 void SsdModel::write_block(std::uint64_t lba, std::span<const std::byte> src) {
   DPC_CHECK(src.size() <= kBlockSize);
   Shard& sh = shard_for(lba);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   Block& b = sh.blocks[lba];
   if (b.data.size() != kBlockSize) b.data.assign(kBlockSize, std::byte{0});
   std::memcpy(b.data.data(), src.data(), src.size());
@@ -29,14 +29,14 @@ void SsdModel::write_block(std::uint64_t lba, std::span<const std::byte> src) {
 
 void SsdModel::trim_block(std::uint64_t lba) {
   Shard& sh = shard_for(lba);
-  std::unique_lock lock(sh.mu);
+  sim::LockGuard lock(sh.mu);
   sh.blocks.erase(lba);
 }
 
 std::uint64_t SsdModel::blocks_written() const {
   std::uint64_t n = 0;
   for (const auto& sh : shards_) {
-    std::shared_lock lock(sh.mu);
+    sim::SharedLockGuard lock(sh.mu);
     n += sh.blocks.size();
   }
   return n;

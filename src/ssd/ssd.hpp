@@ -10,12 +10,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
 #include "sim/calib.hpp"
 #include "sim/time.hpp"
 
@@ -54,8 +53,9 @@ class SsdModel {
   // Sharded by low LBA bits to keep concurrent threads off one lock.
   static constexpr std::size_t kShards = 16;
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::uint64_t, Block> blocks;
+    mutable sim::AnnotatedSharedMutex mu{"ssd.shard",
+                                         sim::LockRank::kDevice};
+    std::unordered_map<std::uint64_t, Block> blocks GUARDED_BY(mu);
   };
   Shard& shard_for(std::uint64_t lba) const {
     return shards_[lba % kShards];

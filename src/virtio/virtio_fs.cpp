@@ -39,7 +39,7 @@ VirtioFsGuest::Submitted VirtioFsGuest::submit(
   DPC_CHECK(data_in.size() <= cfg_.max_data);
   DPC_CHECK(data_out_cap <= cfg_.max_data);
 
-  std::unique_lock lock(mu_);
+  sim::UniqueLock lock(mu_);
   while (free_slots_.empty()) {
     lock.unlock();
     std::this_thread::yield();
@@ -96,7 +96,7 @@ VirtioFsGuest::Submitted VirtioFsGuest::submit(
 
 std::optional<FuseTicket> VirtioFsGuest::poll() {
   const auto used = queue_.poll_used();
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   if (used) stashed_used_.push_back(*used);
   for (std::size_t k = 0; k < stashed_used_.size(); ++k) {
     const auto id = static_cast<std::uint16_t>(stashed_used_[k].id);
@@ -115,7 +115,7 @@ std::optional<FuseTicket> VirtioFsGuest::poll() {
 
 bool VirtioFsGuest::try_wait(const FuseTicket& ticket, FuseReplyView* out) {
   poll();
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   const Slot& slot = slots_[ticket.slot];
   DPC_CHECK(slot.busy && slot.unique == ticket.unique);
   if (!slot.done) return false;
@@ -142,7 +142,7 @@ FuseReplyView VirtioFsGuest::wait(const FuseTicket& ticket) {
 }
 
 void VirtioFsGuest::release(const FuseTicket& ticket) {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   Slot& slot = slots_[ticket.slot];
   DPC_CHECK(slot.busy && slot.done && slot.unique == ticket.unique);
   queue_.recycle(slot.chain_head);

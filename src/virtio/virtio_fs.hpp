@@ -14,13 +14,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "virtio/fuse.hpp"
 #include "virtio/virtqueue.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace dpc::virtio {
 
@@ -101,11 +101,11 @@ class VirtioFsGuest {
   VirtqueueGuest queue_;
   VirtioFsConfig cfg_;
 
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint16_t> free_slots_;
-  std::vector<VringUsedElem> stashed_used_;
-  std::uint64_t next_unique_ = 1;
+  mutable sim::AnnotatedMutex mu_{"virtio.fs", sim::LockRank::kDriver};
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  std::vector<std::uint16_t> free_slots_ GUARDED_BY(mu_);
+  std::vector<VringUsedElem> stashed_used_ GUARDED_BY(mu_);
+  std::uint64_t next_unique_ GUARDED_BY(mu_) = 1;
 };
 
 /// Result a FUSE handler returns to the HAL.

@@ -49,7 +49,7 @@ VirtqueueGuest::VirtqueueGuest(pcie::DmaEngine& dma,
 VirtqueueGuest::AddResult VirtqueueGuest::add_chain(
     const std::vector<ChainSegment>& segments, bool notify) {
   DPC_CHECK(!segments.empty());
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   DPC_CHECK_MSG(free_.size() >= segments.size(), "virtqueue out of descriptors");
 
   auto& host = dma_->host();
@@ -94,7 +94,7 @@ VirtqueueGuest::AddResult VirtqueueGuest::add_chain(
 }
 
 std::optional<VringUsedElem> VirtqueueGuest::poll_used() {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& host = dma_->host();
   const auto used_idx = static_cast<std::uint16_t>(
       host.atomic_u32(layout_->used_idx_off() & ~3ULL)
@@ -108,7 +108,7 @@ std::optional<VringUsedElem> VirtqueueGuest::poll_used() {
 }
 
 void VirtqueueGuest::recycle(std::uint16_t head) {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   auto& host = dma_->host();
   std::uint16_t idx = head;
   std::uint16_t remaining = chain_len_[head];
@@ -123,7 +123,7 @@ void VirtqueueGuest::recycle(std::uint16_t head) {
 }
 
 std::uint16_t VirtqueueGuest::free_descriptors() const {
-  std::lock_guard lock(mu_);
+  sim::LockGuard lock(mu_);
   return static_cast<std::uint16_t>(free_.size());
 }
 

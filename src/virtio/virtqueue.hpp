@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "pcie/dma.hpp"
 #include "pcie/memory.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dpc::virtio {
@@ -100,11 +100,11 @@ class VirtqueueGuest {
   pcie::DmaEngine* dma_;
   const VirtqueueLayout* layout_;
 
-  mutable std::mutex mu_;
-  std::vector<std::uint16_t> free_;          // free descriptor indices
-  std::vector<std::uint16_t> chain_len_;     // per-head chain length
-  std::uint16_t avail_idx_ = 0;              // next avail ring index (mod 2^16)
-  std::uint16_t last_used_ = 0;              // next used ring index to reap
+  mutable sim::AnnotatedMutex mu_{"virtio.queue", sim::LockRank::kDriver};
+  std::vector<std::uint16_t> free_ GUARDED_BY(mu_);       // free desc idx
+  std::vector<std::uint16_t> chain_len_ GUARDED_BY(mu_);  // per-head len
+  std::uint16_t avail_idx_ GUARDED_BY(mu_) = 0;  // next avail (mod 2^16)
+  std::uint16_t last_used_ GUARDED_BY(mu_) = 0;  // next used to reap
   std::atomic<std::uint32_t> kicks_{0};      // notify doorbell sequence
 };
 
