@@ -92,4 +92,18 @@ void BM_Crc32c(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(64 * 1024);
 
+// The bit-at-a-time reference next to the slice-by-8 production path: the
+// ratio is the payoff of the table kernel, and a regression here means the
+// integrity envelope's per-4K stamp/verify tax (SSD blocks, KV values,
+// nvme-fs payload trailers) grew across the whole stack.
+void BM_Crc32cBytewise(benchmark::State& state) {
+  const auto data = shards(1, static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::crc32c_bytewise(data[0]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cBytewise)->Arg(4096)->Arg(64 * 1024);
+
 }  // namespace

@@ -15,6 +15,10 @@
 #   chaos  — fault-injection tests swept over several seeds (plain + tsan).
 #   crash  — crash-point chaos over a wider seed set (plain + tsan), plus
 #            the crash-restart recovery bench (BENCH_crash_recovery.json).
+#   scrub  — data-corruption sweep: the integrity-envelope chaos tests and
+#            scrubber tests over several seeds (plain + tsan), plus the
+#            corruption-recovery bench (BENCH_scrub_recovery.json with its
+#            detected == repaired + unrecoverable invariant).
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -23,6 +27,7 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS=(1 7 1337)
 CRASH_SEEDS=(1 2 3 5 7 11 13 1337)
+SCRUB_SEEDS=(1 7 42 1337 90210)
 
 echo "=== lint stage ==="
 python3 scripts/dpc_lint.py
@@ -81,5 +86,16 @@ done
 echo "--- crash-restart recovery bench ---"
 (cd build && ./bench/chaos_recovery --csv >/dev/null)
 test -f build/BENCH_crash_recovery.json
+
+echo "=== scrub stage ==="
+for seed in "${SCRUB_SEEDS[@]}"; do
+  echo "--- scrub seed $seed (plain) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build --output-on-failure \
+    -j "$JOBS" -R 'Scrub|SilentCorruption'
+  echo "--- scrub seed $seed (tsan) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build-tsan --output-on-failure \
+    -j "$JOBS" -R 'Scrub|SilentCorruption'
+done
+test -f build/BENCH_scrub_recovery.json  # emitted by chaos_recovery above
 
 echo "=== ci OK ==="

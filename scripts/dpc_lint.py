@@ -30,6 +30,14 @@ they are conventions of this codebase, not of C++:
                     anywhere (the simulation is Date-free; modelled time is
                     sim::Nanos), and steady_clock inside src/sim/ itself —
                     the time model must not read real clocks.
+  checksum-stamp    inside the checksummed stores (ssd/ssd.cpp,
+                    kv/kv_store.cpp, dfs/backend.cpp): a memcpy whose
+                    *destination* is a stored object's payload (`….data`)
+                    with no CRC restamp (`stamp_*_crc` / `.crc =`) within a
+                    few lines. Mutating stored bytes without restamping
+                    makes the integrity envelope read the write back as
+                    bit-rot — every payload mutation goes through the stamp
+                    helper.
 
 Suppression: append `// dpc-lint: ok(<rule>) <reason>` to the offending
 line, or place it on the line directly above.
@@ -74,6 +82,17 @@ WALL_CLOCK_RE = re.compile(
     r"\bstd::chrono::(?:system_clock|high_resolution_clock)\b")
 SIM_STEADY_RE = re.compile(r"\bstd::chrono::steady_clock\b")
 
+# The files whose stored payloads carry CRCs, and the restamp idioms.
+CHECKSUM_STORE_FILES = {
+    "src/ssd/ssd.cpp",
+    "src/kv/kv_store.cpp",
+    "src/dfs/backend.cpp",
+}
+MEMCPY_CALL_RE = re.compile(r"\bmemcpy\(\s*(?P<dest>[^,]*)")
+STORED_PAYLOAD_RE = re.compile(r"\.\s*data\s*\.\s*data\s*\(")
+STAMP_RE = re.compile(r"\bstamp_\w+_crc\b|\.crc\s*=")
+STAMP_WINDOW = 4
+
 ALL_RULES = (
     "raw-mutex",
     "raw-guard",
@@ -81,6 +100,7 @@ ALL_RULES = (
     "sqe-encode",
     "hot-path-lookup",
     "wall-clock",
+    "checksum-stamp",
 )
 
 
@@ -177,6 +197,21 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                 path, n, "wall-clock",
                 "steady_clock inside the time model — src/sim/ must be "
                 "clock-free"))
+
+        if rel in CHECKSUM_STORE_FILES:
+            m = MEMCPY_CALL_RE.search(line)
+            if (m and STORED_PAYLOAD_RE.search(m.group("dest"))
+                    and not suppressed(lines, i, "checksum-stamp")):
+                lo = max(0, i - STAMP_WINDOW)
+                hi = min(len(lines), i + STAMP_WINDOW + 1)
+                window = [strip_comment(l) for l in lines[lo:hi]]
+                if not any(STAMP_RE.search(w) for w in window):
+                    findings.append(Finding(
+                        path, n, "checksum-stamp",
+                        "payload memcpy into a checksummed store with no "
+                        f"CRC restamp within {STAMP_WINDOW} lines — route "
+                        "the mutation through the stamp_*_crc helper or "
+                        "the write path that calls it"))
 
 
 def main(argv: list[str]) -> int:

@@ -219,10 +219,31 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
     res.cost += dma_->read_host(layout_->page_off(i), scratch_,
                                 pcie::DmaClass::kData);
     // "…and performs relevant computing operations (e.g., compression,
-    // DIF, EC, etc.)".
+    // DIF, EC, etc.)". The DIF stamp is taken at the pull — it is the
+    // checksum of the host-DRAM truth the DMA engine carried over.
+    std::uint32_t dif_stamp = 0;
     if (cfg_.dif_enabled) {
-      (void)ec::crc32c(scratch_);
+      dif_stamp = ec::crc32c(scratch_);
       ++stats_.dif_checksums;
+    }
+    // Injection: the DPU-DRAM copy is damaged after the pull (DMA glitch
+    // or DRAM bit flip) — the window the DIF verify below closes.
+    if (fault_ != nullptr) {
+      std::uint64_t entropy = 0;
+      if (fault_->should_fail(kFaultFlushCorruptPage, &entropy) &&
+          !scratch_.empty()) {
+        const std::uint64_t bit = entropy % (scratch_.size() * 8);
+        scratch_[bit / 8] ^=
+            std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+      }
+    }
+    if (cfg_.dif_enabled && ec::crc32c(scratch_) != dif_stamp) {
+      // The copy about to hit the backend is provably not what the host
+      // wrote. Never flush it: leave the page dirty — the next pass pulls
+      // a fresh (intact) copy from host DRAM, so recovery is free.
+      ++stats_.flush_integrity_fails;
+      read_unlock(i, res.cost);
+      continue;
     }
     if (cfg_.compress_enabled) {
       // Compress for the network hop to the disaggregated store, verify

@@ -43,6 +43,14 @@ inline constexpr std::string_view kFaultFlushWritePage =
 /// (idempotent).
 inline constexpr std::string_view kFaultFlushCrashBeforeClean =
     "cache.flush/crash_before_clean";
+/// Data-corruption site: one draw per flushed page; a hit flips one bit in
+/// the DPU-DRAM copy after the pull — damage in the DMA or in DPU DRAM.
+/// With dif_enabled the stamp-then-verify pair catches it and the page
+/// stays dirty (a later pass re-pulls the intact host copy); with DIF off
+/// the damage would reach the backend, which is exactly the exposure the
+/// DIF step exists to close.
+inline constexpr std::string_view kFaultFlushCorruptPage =
+    "cache.flush/corrupt_page";
 
 struct ControlPlaneConfig {
   /// Refill eviction until at least this many pages are free.
@@ -69,6 +77,8 @@ struct ControlPlaneStats {
         compress_in_bytes(reg.counter("cache.ctl/compress_in_bytes")),
         compress_out_bytes(reg.counter("cache.ctl/compress_out_bytes")),
         flush_fails(reg.counter("cache.ctl/flush_fails")),
+        flush_integrity_fails(
+            reg.counter("cache.ctl/flush_integrity_fails")),
         rebuild_pages(reg.counter("cache.ctl/rebuild_pages")) {}
 
   obs::Counter& pages_flushed;
@@ -81,6 +91,10 @@ struct ControlPlaneStats {
   obs::Counter& compress_out_bytes;
   /// Backend write_page failures — the page stays dirty and is re-queued.
   obs::Counter& flush_fails;
+  /// DIF verification failures on the flush path: the DPU-DRAM copy no
+  /// longer matches the checksum stamped at the pull, so the page is NOT
+  /// written to the backend and stays dirty for a clean re-pull.
+  obs::Counter& flush_integrity_fails;
   /// Pages adopted from the surviving host data plane during rebuild().
   obs::Counter& rebuild_pages;
 };

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "ec/crc32c.hpp"
 #include "sim/calib.hpp"
 #include "sim/check.hpp"
 
@@ -18,8 +19,11 @@ std::uint64_t page_round(std::uint64_t n) { return (n + 4095) / 4096 * 4096; }
 
 /// Host memory needed for the queue slots, rings and the hybrid cache.
 std::size_t host_region_size(const DpcOptions& o) {
+  // wbuf + rbuf (each max_write/max_read = max_io + header page, plus the
+  // integrity trailer, page-rounded) + 2 PRP list pages — mirrors
+  // QueuePair's slot layout.
   const std::uint64_t slot =
-      page_round(o.max_io) * 2 + 2 * 4096;  // wbuf + rbuf + PRP lists
+      page_round(o.max_io + 4096 + nvme::kPayloadCrcBytes) * 2 + 2 * 4096;
   std::uint64_t total = std::uint64_t{static_cast<std::uint64_t>(o.queues)} *
                         o.queue_depth * slot;
   total += std::uint64_t{static_cast<std::uint64_t>(o.queues)} *
@@ -72,7 +76,9 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
       cache_miss_path_ns_(&registry_.histogram("cache/miss_path_ns")),
       restart_ns_(&registry_.histogram("recovery/restart_ns")),
       nvme_retries_(&registry_.counter("retry/attempts")),
-      nvme_retry_exhausted_(&registry_.counter("retry/exhausted")) {
+      nvme_retry_exhausted_(&registry_.counter("retry/exhausted")),
+      host_integrity_errors_(
+          &registry_.counter("nvme.host/integrity_errors")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
 
   host_mem_ = std::make_unique<pcie::MemoryRegion>("host-dram",
@@ -87,6 +93,10 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
   }
   kv::KvStore& store =
       opts.shared_store != nullptr ? *opts.shared_store : *kv_store_;
+  // Corruption sites (bit-rot / torn writes) fire inside the store we own;
+  // a shared store's owner decides its own injector.
+  if (kv_store_ != nullptr && opts.fault != nullptr)
+    kv_store_->attach_fault(opts.fault);
   remote_kv_ = std::make_unique<kv::RemoteKv>(store, opts.fault, &registry_,
                                               opts.kv_retry, opts.kv_breaker);
   kvfs::KvfsOptions kvfs_opts = opts.kvfs;
@@ -112,6 +122,14 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
         *dma_, *cache_layout_, *cache_backend_,
         std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_,
         opts.fault);
+  }
+
+  // Background integrity scrubber (DPU-side poller once start_dpu runs).
+  if (opts.enable_scrubber) {
+    scrubber_ =
+        std::make_unique<dpu::Scrubber>(opts.scrub, registry_, opts.fault);
+    scrubber_->attach_kv(&store);
+    if (opts.with_dfs) scrubber_->attach_dfs(data_servers_.get(), mds_.get());
   }
 
   // Dispatch + transport.
@@ -149,6 +167,10 @@ void DpcSystem::start_dpu() {
   if (cache_ctl_) {
     cache::DpuCacheControl* ctl = cache_ctl_.get();
     workers_->add_poller([ctl] { return ctl->poll(); });
+  }
+  if (scrubber_) {
+    dpu::Scrubber* s = scrubber_.get();
+    workers_->add_poller([s] { return s->poll(); });
   }
   workers_->start(opts_.dpu_workers);
   workers_running_.store(true, std::memory_order_release);
@@ -288,8 +310,25 @@ DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
     if (read_copy_bytes > 0 && done.status == nvme::Status::kSuccess) {
       const std::uint32_t n = std::min(read_copy_bytes, done.result);
       if (n > 0) {
-        auto payload = ini.read_payload(submitted.cid, n);
-        out.read_payload.assign(payload.begin(), payload.end());
+        // Host half of the integrity envelope: the TGT stamped a CRC32C
+        // trailer right behind the payload (same data DMA). Verify it
+        // before a single payload byte escapes; a mismatch is surfaced as
+        // the typed integrity status, which is never retried — transport
+        // bit-rot is indistinguishable from damage at rest, so recovery is
+        // pushed up to redundancy (EC reconstruct) or the caller's EIO.
+        auto wire = ini.read_payload(submitted.cid,
+                                     done.result + nvme::kPayloadCrcBytes);
+        std::uint32_t want = 0;
+        std::memcpy(&want, wire.data() + done.result,
+                    nvme::kPayloadCrcBytes);
+        if (ec::crc32c(wire.first(done.result)) != want) {
+          host_integrity_errors_->add();
+          out.status = nvme::Status::kDataIntegrityError;
+          out.result = 0;
+        } else {
+          out.read_payload.assign(wire.begin(),
+                                  wire.begin() + std::ptrdiff_t{n});
+        }
       }
     }
     ini.release(submitted.cid);

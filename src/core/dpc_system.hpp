@@ -33,6 +33,7 @@
 #include "dpu/dpu.hpp"
 #include "fault/injector.hpp"
 #include "fault/retry.hpp"
+#include "dpu/scrubber.hpp"
 #include "dpu/worker_pool.hpp"
 #include "kv/kv_store.hpp"
 #include "kv/remote.hpp"
@@ -75,6 +76,14 @@ struct DpcOptions {
   /// Retry/backoff policy for remote-KV ops and the KV circuit breaker.
   fault::RetryPolicy kv_retry{};
   fault::CircuitBreaker::Config kv_breaker{};
+
+  // ---- background integrity scrub
+  /// Runs the DPU-side scrubber as a WorkerPool poller: walks the KV store
+  /// (and the DFS shards when with_dfs), re-verifying checksums at
+  /// `scrub.items_per_pass` per paced pass and repairing EC shards from
+  /// parity. Off by default — zero overhead.
+  bool enable_scrubber = false;
+  dpu::ScrubberConfig scrub{};
 };
 
 /// Result of one fs-adapter call.
@@ -175,6 +184,8 @@ class DpcSystem {
   dfs::MdsCluster* mds() { return mds_.get(); }
   dfs::DataServers* data_servers() { return data_servers_.get(); }
   cache::DpuCacheControl* cache_control() { return cache_ctl_.get(); }
+  /// Null unless options.enable_scrubber.
+  dpu::Scrubber* scrubber() { return scrubber_.get(); }
   cache::HostCachePlane* host_cache() { return host_cache_.get(); }
   const DpcOptions& options() const { return opts_; }
 
@@ -246,6 +257,7 @@ class DpcSystem {
   std::unique_ptr<cache::DpuCacheControl> cache_ctl_;
 
   // DPU execution.
+  std::unique_ptr<dpu::Scrubber> scrubber_;
   std::unique_ptr<IoDispatch> dispatch_;
   std::unique_ptr<dpu::WorkerPool> workers_;
   std::atomic<bool> workers_running_{false};
@@ -271,6 +283,7 @@ class DpcSystem {
   // NVMe command retry accounting + deterministic backoff-jitter salt.
   obs::Counter* nvme_retries_;
   obs::Counter* nvme_retry_exhausted_;
+  obs::Counter* host_integrity_errors_;
   std::atomic<std::uint64_t> call_seq_{0};
 };
 

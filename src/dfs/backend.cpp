@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "ec/crc32c.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::dfs {
@@ -290,6 +291,19 @@ sim::Nanos shard_net_cost(bool is_read, std::size_t bytes) {
   return kNetHop * 2 + sim::Nanos{static_cast<std::int64_t>(
                            static_cast<double>(bytes) / (gbps * 1e9) * 1e9)};
 }
+
+/// The checksum stamp helper: CRC32C over the shard bytes, salted with the
+/// shard's full identity so a shard that surfaces under the wrong
+/// (ino, stripe, role) — a misdirected or crossed-wire write — fails
+/// verification exactly like rotted bytes.
+std::uint32_t stamp_shard_crc(Ino ino, std::uint64_t stripe,
+                              std::uint32_t role,
+                              std::span<const std::byte> data) {
+  std::uint32_t seed = ec::crc32c_u64(ino);
+  seed = ec::crc32c_u64(stripe, seed);
+  seed = ec::crc32c_u64(role, seed);
+  return ec::crc32c(data, seed);
+}
 }  // namespace
 
 DataServers::DataServers(int servers, fault::FaultInjector* fault,
@@ -305,6 +319,8 @@ DataServers::DataServers(int servers, fault::FaultInjector* fault,
   if (registry != nullptr) {
     failed_reads_ = &registry->counter("dfs.ds/failed_reads");
     failed_writes_ = &registry->counter("dfs.ds/failed_writes");
+    corrupt_reads_ = &registry->counter("dfs.ds/corrupt_reads");
+    shard_repairs_ = &registry->counter("dfs.ds/shard_repairs");
   }
 }
 
@@ -361,8 +377,9 @@ int DataServers::server_of(Ino ino, std::uint64_t stripe,
 
 bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
                              std::span<std::byte> dst, OpProfile& prof,
-                             bool* failed) {
+                             bool* failed, bool* corrupt) {
   if (failed != nullptr) *failed = false;
+  if (corrupt != nullptr) *corrupt = false;
   const int server = server_of(ino, stripe, role);
   if (gated()) {
     bool fast = false;
@@ -384,8 +401,19 @@ bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
     std::memset(dst.data(), 0, dst.size());
     return false;
   }
-  const auto n = std::min(dst.size(), it->second.size());
-  std::memcpy(dst.data(), it->second.data(), n);
+  if (stamp_shard_crc(ino, stripe, role, it->second.data) !=
+      it->second.crc) {
+    // Damaged at rest. Report a *failure*, not a hole: zeros here would be
+    // silently wrong data, and "absent" semantics would let a reconstruct
+    // treat the rot as an erasure it can't tell from a legitimate hole.
+    if (corrupt_reads_ != nullptr) corrupt_reads_->add();
+    if (failed != nullptr) *failed = true;
+    if (corrupt != nullptr) *corrupt = true;
+    std::memset(dst.data(), 0, dst.size());
+    return false;
+  }
+  const auto n = std::min(dst.size(), it->second.data.size());
+  std::memcpy(dst.data(), it->second.data.data(), n);
   if (n < dst.size()) std::memset(dst.data() + n, 0, dst.size() - n);
   return true;
 }
@@ -414,7 +442,17 @@ void DataServers::write_shard(Ino ino, std::uint64_t stripe,
   prof.net += shard_net_cost(false, src.size());
   ++prof.ds_ops;
   sim::LockGuard lock(sv.mu);
-  sv.shards[Key{ino, stripe, role}].assign(src.begin(), src.end());
+  StoredShard& st = sv.shards[Key{ino, stripe, role}];
+  st.data.assign(src.begin(), src.end());
+  st.crc = stamp_shard_crc(ino, stripe, role, st.data);
+}
+
+void DataServers::repair_shard(Ino ino, std::uint64_t stripe,
+                               std::uint32_t role,
+                               std::span<const std::byte> src,
+                               OpProfile& prof) {
+  write_shard(ino, stripe, role, src, prof);
+  if (shard_repairs_ != nullptr) shard_repairs_->add();
 }
 
 void DataServers::purge(Ino ino) {
@@ -439,6 +477,41 @@ bool DataServers::has_shard(Ino ino, std::uint64_t stripe,
       servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
   sim::SharedLockGuard lock(sv.mu);
   return sv.shards.contains(Key{ino, stripe, role});
+}
+
+bool DataServers::corrupt_shard(Ino ino, std::uint64_t stripe,
+                                std::uint32_t role, std::uint32_t bit) {
+  Server& sv =
+      servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  sim::LockGuard lock(sv.mu);
+  const auto it = sv.shards.find(Key{ino, stripe, role});
+  if (it == sv.shards.end() || it->second.data.empty()) return false;
+  bit %= static_cast<std::uint32_t>(it->second.data.size() * 8);
+  it->second.data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  return true;
+}
+
+ShardState DataServers::verify_shard(Ino ino, std::uint64_t stripe,
+                                     std::uint32_t role) const {
+  const Server& sv =
+      servers_[static_cast<std::size_t>(server_of(ino, stripe, role))];
+  sim::SharedLockGuard lock(sv.mu);
+  const auto it = sv.shards.find(Key{ino, stripe, role});
+  if (it == sv.shards.end()) return ShardState::kAbsent;
+  return stamp_shard_crc(ino, stripe, role, it->second.data) ==
+                 it->second.crc
+             ? ShardState::kOk
+             : ShardState::kCorrupt;
+}
+
+std::vector<ShardId> DataServers::stored_shards() const {
+  std::vector<ShardId> out;
+  for (const auto& sv : servers_) {
+    sim::SharedLockGuard lock(sv.mu);
+    for (const auto& [key, shard] : sv.shards)
+      out.push_back({key.ino, key.stripe, key.role});
+  }
+  return out;
 }
 
 // --------------------------------------------------------------- striping
@@ -569,9 +642,10 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
                       prof, &rfail)) {
       std::memcpy(dst.data() + done, shard.data() + in_shard, chunk);
     } else {
-      // Degraded: the shard is absent or its server is unreachable. Gather
-      // every shard that still *reads back* (an existing shard on a failed
-      // server counts as lost) and reconstruct the stripe.
+      // Degraded: the shard is absent, corrupt, or its server is
+      // unreachable. Gather every shard that still *reads back clean* (an
+      // existing shard on a failed server counts as lost) and reconstruct
+      // the stripe.
       const int total = k + m;
       std::vector<std::vector<std::byte>> shards(
           static_cast<std::size_t>(total), std::vector<std::byte>(unit));
@@ -579,14 +653,18 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
       // span<const bool> API.
       std::unique_ptr<bool[]> present =
           std::make_unique<bool[]>(static_cast<std::size_t>(total));
+      std::unique_ptr<bool[]> rotted =
+          std::make_unique<bool[]>(static_cast<std::size_t>(total));
       int have = 0;
       for (int r = 0; r < total; ++r) {
+        bool shard_corrupt = false;
         if (ds.read_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
-                          shards[static_cast<std::size_t>(r)], prof,
-                          &rfail)) {
+                          shards[static_cast<std::size_t>(r)], prof, &rfail,
+                          &shard_corrupt)) {
           present[static_cast<std::size_t>(r)] = true;
           ++have;
         }
+        rotted[static_cast<std::size_t>(r)] = shard_corrupt;
       }
       if (have < k) return false;
       std::vector<std::span<std::byte>> views;
@@ -595,6 +673,15 @@ bool striped_read_reconstruct(DataServers& ds, const ec::ReedSolomon& rs,
       rs.reconstruct(views,
                      std::span<const bool>(present.get(),
                                            static_cast<std::size_t>(total)));
+      // Repair-in-place: only shards that *provably* rotted are rewritten.
+      // Absent shards stay absent — materializing them would turn holes
+      // (and invalidated stale versions) into data behind the MDS's back.
+      for (int r = 0; r < total; ++r) {
+        if (rotted[static_cast<std::size_t>(r)]) {
+          ds.repair_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
+                          shards[static_cast<std::size_t>(r)], prof);
+        }
+      }
       std::memcpy(dst.data() + done,
                   shards[static_cast<std::size_t>(d)].data() + in_shard,
                   chunk);

@@ -211,9 +211,25 @@ bool replicated_read_any(DataServers& ds, const FileMeta& meta,
                          std::uint64_t offset, std::span<std::byte> dst,
                          OpProfile& prof);
 
+/// Identity of one stored shard (scrubber enumeration / targeted repair).
+struct ShardId {
+  Ino ino = 0;
+  std::uint64_t stripe = 0;
+  std::uint32_t role = 0;
+};
+
+/// Verification state of a stored shard.
+enum class ShardState : std::uint8_t { kOk, kAbsent, kCorrupt };
+
 /// The data-server group. Shards are stored per (ino, stripe, role) where
 /// role 0..k-1 are data shards and k..k+m-1 parity. Shard `role` of stripe
 /// `s` lives on server (s + role) mod N — rotated placement.
+///
+/// Every shard carries a CRC32C stamped at write time and salted with
+/// (ino, stripe, role), so a shard surfacing under the wrong identity is as
+/// detectable as rotted bytes. Reads verify before returning: a corrupt
+/// shard reads back as *failed* (never as silent data or a hole), which
+/// pushes the caller onto the degraded/reconstruct path.
 class DataServers {
  public:
   /// With a FaultInjector, shard reads/writes can fail at the
@@ -232,9 +248,12 @@ class DataServers {
   /// and return false. A *failed* read (server marked down, breaker open,
   /// or injected fault) also zero-fills and returns false, with `*failed`
   /// set — pass `failed` wherever holes and outages must be told apart.
+  /// A shard that fails its CRC also zero-fills with `*failed` set (it must
+  /// not be mistaken for a hole) and additionally sets `*corrupt` — the
+  /// reconstruct path uses that to rewrite the damaged shard in place.
   bool read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
                   std::span<std::byte> dst, OpProfile& prof,
-                  bool* failed = nullptr);
+                  bool* failed = nullptr, bool* corrupt = nullptr);
   /// Writes a shard. On a failed server (or injected fault) the write is
   /// lost AND the server's stale copy is invalidated — a later degraded
   /// read must reconstruct the new version, never resurrect the old one.
@@ -249,10 +268,25 @@ class DataServers {
   void heal_server(int server);
   bool server_failed(int server) const;
 
+  /// Rewrites a shard that verification proved damaged (reconstruct path /
+  /// scrubber). Same motion as write_shard plus a repair counter tick.
+  void repair_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                    std::span<const std::byte> src, OpProfile& prof);
+
   /// For tests: drop a shard to simulate a lost disk.
   bool drop_shard(Ino ino, std::uint64_t stripe, std::uint32_t role);
   /// For tests/fault injection: whether the shard exists.
   bool has_shard(Ino ino, std::uint64_t stripe, std::uint32_t role) const;
+  /// For tests/chaos: flip one stored bit so the shard's CRC no longer
+  /// matches (bit-rot at rest). False if the shard does not exist.
+  bool corrupt_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                     std::uint32_t bit = 0);
+  /// Media-only CRC check of one shard — no network/server cost, no
+  /// breaker interaction (the scrubber's primitive).
+  ShardState verify_shard(Ino ino, std::uint64_t stripe,
+                          std::uint32_t role) const;
+  /// Snapshot of every stored shard's identity (scrubber walk order).
+  std::vector<ShardId> stored_shards() const;
 
  private:
   struct Key {
@@ -269,11 +303,14 @@ class DataServers {
       return static_cast<std::size_t>(h);
     }
   };
+  struct StoredShard {
+    std::vector<std::byte> data;
+    std::uint32_t crc = 0;  ///< CRC32C salted with (ino, stripe, role)
+  };
   struct Server {
     mutable sim::AnnotatedSharedMutex mu{"dfs.server",
                                          sim::LockRank::kStore};
-    std::unordered_map<Key, std::vector<std::byte>, KeyHash> shards
-        GUARDED_BY(mu);
+    std::unordered_map<Key, StoredShard, KeyHash> shards GUARDED_BY(mu);
     std::atomic<bool> failed{false};
   };
 
@@ -293,6 +330,8 @@ class DataServers {
   std::atomic<bool> any_failed_{false};
   obs::Counter* failed_reads_ = nullptr;
   obs::Counter* failed_writes_ = nullptr;
+  obs::Counter* corrupt_reads_ = nullptr;
+  obs::Counter* shard_repairs_ = nullptr;
 };
 
 }  // namespace dpc::dfs

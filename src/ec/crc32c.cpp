@@ -7,25 +7,70 @@ namespace dpc::ec {
 namespace {
 constexpr std::uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> t{};
+// kTables[0] is the classic byte-at-a-time table; kTables[k] advances a
+// byte k positions further through the shift register, so eight lookups
+// (one per table) consume eight input bytes at once.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
-    t[i] = c;
+    t[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+    }
   }
   return t;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+inline std::uint32_t step(std::uint32_t crc, std::byte b) {
+  return kTables[0][(crc ^ static_cast<std::uint8_t>(b)) & 0xFF] ^
+         (crc >> 8);
+}
 }  // namespace
 
 std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t crc) {
   crc = ~crc;
-  for (const std::byte b : data) {
-    crc = kTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFF] ^ (crc >> 8);
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Byte-wise loads keep the fold endian-independent (the simulation has
+    // no alignment guarantee on payload spans either).
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               static_cast<std::uint32_t>(p[1]) << 8 |
+               static_cast<std::uint32_t>(p[2]) << 16 |
+               static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+          kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+          kTables[3][static_cast<std::uint8_t>(p[4])] ^
+          kTables[2][static_cast<std::uint8_t>(p[5])] ^
+          kTables[1][static_cast<std::uint8_t>(p[6])] ^
+          kTables[0][static_cast<std::uint8_t>(p[7])];
+    p += 8;
+    n -= 8;
   }
+  while (n-- > 0) crc = step(crc, *p++);
   return ~crc;
+}
+
+std::uint32_t crc32c_bytewise(std::span<const std::byte> data,
+                              std::uint32_t crc) {
+  crc = ~crc;
+  for (const std::byte b : data) crc = step(crc, b);
+  return ~crc;
+}
+
+std::uint32_t crc32c_u64(std::uint64_t v, std::uint32_t crc) {
+  std::byte b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::byte>(v >> (8 * i));
+  }
+  return crc32c(std::span<const std::byte>(b, 8), crc);
 }
 
 }  // namespace dpc::ec

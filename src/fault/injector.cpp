@@ -19,12 +19,16 @@ std::uint64_t fnv1a(std::string_view s) {
 }
 
 /// Uniform double in [0, 1) from (seed, site, draw index) — stateless, so
-/// the schedule is a pure function of the three inputs.
+/// the schedule is a pure function of the three inputs. `entropy_out`
+/// (optional) receives a third splitmix round: independent bits from the
+/// same tuple, used by corruption sites to choose what to damage.
 double draw_uniform(std::uint64_t seed, std::uint64_t site_hash,
-                    std::uint64_t idx) {
+                    std::uint64_t idx,
+                    std::uint64_t* entropy_out = nullptr) {
   std::uint64_t x = seed ^ site_hash ^ (idx * 0x9e3779b97f4a7c15ULL);
   (void)sim::detail::splitmix64(x);  // two rounds for avalanche
   const std::uint64_t z = sim::detail::splitmix64(x);
+  if (entropy_out != nullptr) *entropy_out = sim::detail::splitmix64(x);
   return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
@@ -84,11 +88,18 @@ std::uint64_t FaultInjector::draws(std::string_view site) const {
 }
 
 bool FaultInjector::should_fail(std::string_view site) {
+  return should_fail(site, nullptr);
+}
+
+bool FaultInjector::should_fail(std::string_view site,
+                                std::uint64_t* entropy_out) {
   Site* s = find(site);
   if (s == nullptr || !s->enabled || s->p <= 0.0) return false;
   const std::uint64_t idx = s->draws.fetch_add(1, std::memory_order_relaxed);
   if (checks_ != nullptr) checks_->add();
-  if (draw_uniform(seed_, s->name_hash, idx) >= s->p) return false;
+  std::uint64_t entropy = 0;
+  if (draw_uniform(seed_, s->name_hash, idx, &entropy) >= s->p) return false;
+  if (entropy_out != nullptr) *entropy_out = entropy;
   if (injected_ != nullptr) injected_->add();
   return true;
 }

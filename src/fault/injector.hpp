@@ -58,6 +58,14 @@ class FaultInjector {
   /// consume no draw.
   bool should_fail(std::string_view site);
 
+  /// Like should_fail(), but on a firing draw also fills `*entropy_out`
+  /// with 64 deterministic bits derived from the same (seed, site, draw)
+  /// tuple. Data-corruption sites use this to pick *which* byte/bit to rot
+  /// or where to tear a write, so a given seed reproduces the exact same
+  /// damage — not merely the same fault schedule. Untouched when the draw
+  /// does not fire.
+  bool should_fail(std::string_view site, std::uint64_t* entropy_out);
+
   // ---- crash outcomes (kCrash) -------------------------------------------
   //
   // Unlike the Bernoulli sites above, a crash site is one-shot: it fires on

@@ -5,20 +5,27 @@
 
 namespace dpc::fault {
 
+sim::Nanos jittered(sim::Nanos base, double jitter, int step,
+                    std::uint64_t salt) {
+  if (jitter <= 0.0) return base;
+  std::uint64_t x =
+      salt ^ (0xa0761d6478bd642fULL * static_cast<std::uint64_t>(step));
+  const std::uint64_t z = sim::detail::splitmix64(x);
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+  const double b = static_cast<double>(base.ns) * (1.0 + jitter * (u - 0.5));
+  return sim::Nanos{static_cast<std::int64_t>(b)};
+}
+
 sim::Nanos RetryPolicy::backoff(int attempt, std::uint64_t salt) const {
   DPC_CHECK(attempt >= 1);
   double b = static_cast<double>(base_backoff.ns);
   for (int i = 1; i < attempt; ++i) b *= multiplier;
-  if (jitter > 0.0) {
-    std::uint64_t x = salt ^ (0xa0761d6478bd642fULL * static_cast<std::uint64_t>(attempt));
-    const std::uint64_t z = sim::detail::splitmix64(x);
-    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
-    b *= 1.0 + jitter * (u - 0.5);
-  }
-  return sim::Nanos{static_cast<std::int64_t>(b)};
+  return jittered(sim::Nanos{static_cast<std::int64_t>(b)}, jitter, attempt,
+                  salt);
 }
 
-CircuitBreaker::CircuitBreaker(Config cfg, obs::Registry* registry)
+CircuitBreaker::CircuitBreaker(Config cfg, obs::Registry* registry,
+                               std::string_view gauge_name)
     : cfg_(cfg) {
   DPC_CHECK(cfg_.failure_threshold >= 1);
   DPC_CHECK(cfg_.probe_interval >= 1);
@@ -27,6 +34,8 @@ CircuitBreaker::CircuitBreaker(Config cfg, obs::Registry* registry)
     closes_ = &registry->counter("breaker/closes");
     probes_ = &registry->counter("breaker/probes");
     fast_fails_ = &registry->counter("breaker/fast_fails");
+    state_gauge_ = &registry->gauge(gauge_name);
+    state_gauge_->set(static_cast<std::int64_t>(State::kClosed));
   }
 }
 
@@ -42,6 +51,8 @@ bool CircuitBreaker::allow() {
       if (n % static_cast<std::uint64_t>(cfg_.probe_interval) == 0) {
         state_ = State::kHalfOpen;
         if (probes_ != nullptr) probes_->add();
+        if (state_gauge_ != nullptr)
+          state_gauge_->set(static_cast<std::int64_t>(state_));
         return true;
       }
       if (fast_fails_ != nullptr) fast_fails_->add();
@@ -61,6 +72,8 @@ void CircuitBreaker::on_success() {
     state_ = State::kClosed;
     gated_calls_ = 0;
     if (closes_ != nullptr) closes_->add();
+    if (state_gauge_ != nullptr)
+      state_gauge_->set(static_cast<std::int64_t>(state_));
   }
   failures_ = 0;
 }
@@ -70,6 +83,8 @@ void CircuitBreaker::on_failure() {
   ++failures_;
   if (state_ == State::kHalfOpen) {
     state_ = State::kOpen;  // probe failed: stay open, no new open event
+    if (state_gauge_ != nullptr)
+      state_gauge_->set(static_cast<std::int64_t>(state_));
     return;
   }
   if (state_ == State::kClosed &&
@@ -77,6 +92,8 @@ void CircuitBreaker::on_failure() {
     state_ = State::kOpen;
     gated_calls_ = 0;
     if (opens_ != nullptr) opens_->add();
+    if (state_gauge_ != nullptr)
+      state_gauge_->set(static_cast<std::int64_t>(state_));
   }
 }
 

@@ -35,6 +35,13 @@ constexpr std::string_view to_string(Transient t) {
   return "?";
 }
 
+/// Deterministic jitter: scales `base` by uniform [1-j/2, 1+j/2] drawn from
+/// a pure hash of (step, salt). The one jitter derivation shared by every
+/// pacer — RetryPolicy::backoff and the scrubber's inter-pass spacing —
+/// instead of each call site re-rolling its own hash.
+sim::Nanos jittered(sim::Nanos base, double jitter, int step,
+                    std::uint64_t salt);
+
 /// Bounded exponential backoff with deterministic jitter. Stateless: the
 /// jitter for (attempt, salt) is a pure hash, so identical runs charge
 /// identical backoff costs.
@@ -62,8 +69,13 @@ class CircuitBreaker {
     int probe_interval = 16;    // while open, let every Nth call through
   };
 
+  /// `gauge_name` is the registry gauge mirroring the breaker's state
+  /// (0 = closed, 1 = open, 2 = half-open) so BENCH snapshots show where
+  /// the breaker sat when the json was cut, not just the open/close edge
+  /// counts. Like the counters it is shared by name across instances.
   CircuitBreaker() : CircuitBreaker(Config{}) {}
-  explicit CircuitBreaker(Config cfg, obs::Registry* registry = nullptr);
+  explicit CircuitBreaker(Config cfg, obs::Registry* registry = nullptr,
+                          std::string_view gauge_name = "breaker/state");
 
   /// True if the caller may attempt the operation; false = fast-fail.
   bool allow();
@@ -87,6 +99,7 @@ class CircuitBreaker {
   obs::Counter* closes_ = nullptr;
   obs::Counter* probes_ = nullptr;
   obs::Counter* fast_fails_ = nullptr;
+  obs::Gauge* state_gauge_ = nullptr;
 };
 
 }  // namespace dpc::fault

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ec/crc32c.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::kv {
+
+namespace {
+/// The checksum stamp helper: CRC32C over the value, seeded with the CRC of
+/// the key, so a value that migrates to the wrong key (misdirected put)
+/// fails verification there.
+std::uint32_t stamp_value_crc(std::string_view key,
+                              std::span<const std::byte> value) {
+  const auto* kp = reinterpret_cast<const std::byte*>(key.data());
+  const std::uint32_t salt =
+      ec::crc32c(std::span<const std::byte>(kp, key.size()));
+  return ec::crc32c(value, salt);
+}
+}  // namespace
 
 Bytes to_bytes(std::string_view s) {
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
@@ -27,16 +41,28 @@ KvStore::Shard& KvStore::shard_for(std::string_view key) const {
 }
 
 void KvStore::put(std::string_view key, std::span<const std::byte> value) {
+  std::uint64_t rot = 0;
+  const bool rotted =
+      fault_ != nullptr && fault_->should_fail(kFaultKvBitRot, &rot);
   Shard& sh = shard_for(key);
   sim::LockGuard lock(sh.mu);
-  sh.data.insert_or_assign(std::string(key), to_bytes(value));
+  Value& v = sh.data[std::string(key)];
+  v.data = to_bytes(value);
+  v.crc = stamp_value_crc(key, v.data);
+  if (rotted && !v.data.empty()) {
+    const std::uint64_t bit = rot % (v.data.size() * 8);
+    v.data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
 }
 
 bool KvStore::put_if_absent(std::string_view key,
                             std::span<const std::byte> value) {
   Shard& sh = shard_for(key);
   sim::LockGuard lock(sh.mu);
-  return sh.data.try_emplace(std::string(key), to_bytes(value)).second;
+  Value v;
+  v.data = to_bytes(value);
+  v.crc = stamp_value_crc(key, v.data);
+  return sh.data.try_emplace(std::string(key), std::move(v)).second;
 }
 
 std::optional<Bytes> KvStore::get(std::string_view key) const {
@@ -44,7 +70,25 @@ std::optional<Bytes> KvStore::get(std::string_view key) const {
   sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
-  return it->second;
+  return it->second.data;
+}
+
+std::optional<Bytes> KvStore::get_checked(std::string_view key,
+                                          ValueCheck* check) const {
+  const Shard& sh = shard_for(key);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) {
+    if (check != nullptr) *check = ValueCheck::kAbsent;
+    return std::nullopt;
+  }
+  const Value& v = it->second;
+  if (stamp_value_crc(key, v.data) != v.crc) {
+    if (check != nullptr) *check = ValueCheck::kCorrupt;
+    return std::nullopt;
+  }
+  if (check != nullptr) *check = ValueCheck::kOk;
+  return v.data;
 }
 
 bool KvStore::contains(std::string_view key) const {
@@ -66,31 +110,108 @@ std::optional<std::size_t> KvStore::read_sub(std::string_view key,
   sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
-  const Bytes& v = it->second;
+  const Bytes& v = it->second.data;
   if (offset >= v.size()) return 0;
   const std::size_t n = std::min<std::size_t>(dst.size(), v.size() - offset);
   std::memcpy(dst.data(), v.data() + offset, n);
   return n;
 }
 
+std::optional<std::size_t> KvStore::read_sub_checked(std::string_view key,
+                                                     std::uint64_t offset,
+                                                     std::span<std::byte> dst,
+                                                     ValueCheck* check) const {
+  const Shard& sh = shard_for(key);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) {
+    if (check != nullptr) *check = ValueCheck::kAbsent;
+    return std::nullopt;
+  }
+  const Value& v = it->second;
+  if (stamp_value_crc(key, v.data) != v.crc) {
+    if (check != nullptr) *check = ValueCheck::kCorrupt;
+    return std::nullopt;
+  }
+  if (check != nullptr) *check = ValueCheck::kOk;
+  if (offset >= v.data.size()) return 0;
+  const std::size_t n =
+      std::min<std::size_t>(dst.size(), v.data.size() - offset);
+  std::memcpy(dst.data(), v.data.data() + offset, n);
+  return n;
+}
+
 void KvStore::write_sub(std::string_view key, std::uint64_t offset,
                         std::span<const std::byte> src) {
+  std::uint64_t tear = 0;
+  std::size_t persisted = src.size();
+  if (fault_ != nullptr && !src.empty() &&
+      fault_->should_fail(kFaultKvTornWrite, &tear)) {
+    persisted = tear % src.size();  // prefix lands, tail is lost
+  }
+  std::uint64_t rot = 0;
+  const bool rotted =
+      fault_ != nullptr && fault_->should_fail(kFaultKvBitRot, &rot);
   Shard& sh = shard_for(key);
   sim::LockGuard lock(sh.mu);
-  Bytes& v = sh.data[std::string(key)];
-  if (v.size() < offset + src.size()) v.resize(offset + src.size());
-  std::memcpy(v.data() + offset, src.data(), src.size());
+  Value& v = sh.data[std::string(key)];
+  if (v.data.size() < offset + src.size()) v.data.resize(offset + src.size());
+  // The stamp covers the *intended* value; a torn write persists only a
+  // prefix of the payload after the CRC was cut, so verification fails.
+  std::memcpy(v.data.data() + offset, src.data(), src.size());
+  v.crc = stamp_value_crc(key, v.data);
+  if (persisted < src.size()) {
+    // The lost tail reads back as zeroed cells, not the intended bytes.
+    std::memset(v.data.data() + offset + persisted, 0,
+                src.size() - persisted);
+  }
+  if (rotted && !v.data.empty()) {
+    const std::uint64_t bit = rot % (v.data.size() * 8);
+    v.data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+}
+
+ValueCheck KvStore::verify_value(std::string_view key) const {
+  const Shard& sh = shard_for(key);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end()) return ValueCheck::kAbsent;
+  const Value& v = it->second;
+  return stamp_value_crc(key, v.data) == v.crc ? ValueCheck::kOk
+                                               : ValueCheck::kCorrupt;
+}
+
+bool KvStore::corrupt_value(std::string_view key, std::uint64_t bit) {
+  Shard& sh = shard_for(key);
+  sim::LockGuard lock(sh.mu);
+  const auto it = sh.data.find(key);
+  if (it == sh.data.end() || it->second.data.empty()) return false;
+  Bytes& d = it->second.data;
+  bit %= d.size() * 8;
+  d[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  return true;
+}
+
+std::vector<std::string> KvStore::keys() const {
+  std::vector<std::string> out;
+  for (const auto& sh : shards_storage_) {
+    sim::SharedLockGuard lock(sh.mu);
+    for (const auto& [k, v] : sh.data) out.push_back(k);
+  }
+  return out;
 }
 
 std::uint64_t KvStore::increment(std::string_view key, std::uint64_t delta) {
   Shard& sh = shard_for(key);
   sim::LockGuard lock(sh.mu);
-  Bytes& v = sh.data[std::string(key)];
-  if (v.size() != sizeof(std::uint64_t)) v.assign(sizeof(std::uint64_t), std::byte{0});
+  Value& v = sh.data[std::string(key)];
+  if (v.data.size() != sizeof(std::uint64_t))
+    v.data.assign(sizeof(std::uint64_t), std::byte{0});
   std::uint64_t cur;
-  std::memcpy(&cur, v.data(), sizeof(cur));
+  std::memcpy(&cur, v.data.data(), sizeof(cur));
   cur += delta;
-  std::memcpy(v.data(), &cur, sizeof(cur));
+  std::memcpy(v.data.data(), &cur, sizeof(cur));
+  v.crc = stamp_value_crc(key, v.data);
   return cur;
 }
 
@@ -99,7 +220,7 @@ std::optional<std::uint64_t> KvStore::value_size(std::string_view key) const {
   sim::SharedLockGuard lock(sh.mu);
   const auto it = sh.data.find(key);
   if (it == sh.data.end()) return std::nullopt;
-  return it->second.size();
+  return it->second.data.size();
 }
 
 std::size_t KvStore::scan_prefix(
@@ -116,7 +237,7 @@ std::size_t KvStore::scan_prefix(
     for (; it != sh.data.end(); ++it) {
       const std::string_view k = it->first;
       if (k.substr(0, prefix.size()) != prefix) break;
-      hits.emplace_back(it->first, &it->second);
+      hits.emplace_back(it->first, &it->second.data);
     }
   }
   std::sort(hits.begin(), hits.end(),
@@ -142,7 +263,7 @@ std::uint64_t KvStore::bytes_stored() const {
   std::uint64_t n = 0;
   for (const auto& sh : shards_storage_) {
     sim::SharedLockGuard lock(sh.mu);
-    for (const auto& [k, v] : sh.data) n += k.size() + v.size();
+    for (const auto& [k, v] : sh.data) n += k.size() + v.data.size();
   }
   return n;
 }

@@ -9,8 +9,10 @@
 //   * sub-object reads/writes (the 8 KB-granularity in-place updates the
 //     big-file KV needs),
 //   * compare-and-put (used by KVFS for atomic inode allocation).
-// Thread-safe; shards are hash-partitioned like a real KV cluster's
-// partitions, and scans merge across shards in key order.
+// Every value carries a key-salted CRC32C stamped on mutation; checked
+// reads and the scrubber verify it so bit-rot and torn sub-writes surface
+// as typed corruption. Thread-safe; shards are hash-partitioned like a
+// real KV cluster's partitions, and scans merge across shards in key order.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "sim/thread_annotations.hpp"
 
 namespace dpc::kv {
@@ -31,9 +34,21 @@ using Bytes = std::vector<std::byte>;
 Bytes to_bytes(std::string_view s);
 Bytes to_bytes(std::span<const std::byte> s);
 
+/// Data-corruption injection sites: one draw per mutating op; the entropy
+/// picks the rotted bit / tear point deterministically per seed.
+inline constexpr std::string_view kFaultKvBitRot = "kv.store/bit_rot";
+inline constexpr std::string_view kFaultKvTornWrite = "kv.store/torn_write";
+
+/// Verification outcome of a checked value access.
+enum class ValueCheck : std::uint8_t { kOk, kAbsent, kCorrupt };
+
 class KvStore {
  public:
   explicit KvStore(int shards = 16);
+
+  /// Attaches the corruption injector (null = pristine store). Must outlive
+  /// the store.
+  void attach_fault(fault::FaultInjector* fi) { fault_ = fi; }
 
   /// Inserts or overwrites.
   void put(std::string_view key, std::span<const std::byte> value);
@@ -58,6 +73,25 @@ class KvStore {
   void write_sub(std::string_view key, std::uint64_t offset,
                  std::span<const std::byte> src);
 
+  // ---- integrity ----------------------------------------------------
+  /// get() + CRC verification under one lock. nullopt with
+  /// `*check == kCorrupt` means the value exists but fails its checksum —
+  /// corrupt bytes never leave the store.
+  std::optional<Bytes> get_checked(std::string_view key,
+                                   ValueCheck* check) const;
+  /// read_sub() + CRC verification of the whole value under one lock.
+  std::optional<std::size_t> read_sub_checked(std::string_view key,
+                                              std::uint64_t offset,
+                                              std::span<std::byte> dst,
+                                              ValueCheck* check) const;
+  /// Re-verifies one stored value in place — the scrubber's probe.
+  ValueCheck verify_value(std::string_view key) const;
+  /// Flips one bit of a stored value without restamping (deterministic
+  /// corruption hook for tests/benches). False if absent or empty.
+  bool corrupt_value(std::string_view key, std::uint64_t bit = 0);
+  /// Snapshot of every stored key, unordered — the scrubber's walk list.
+  std::vector<std::string> keys() const;
+
   /// Returns the value size, or nullopt.
   std::optional<std::uint64_t> value_size(std::string_view key) const;
 
@@ -77,14 +111,19 @@ class KvStore {
   std::uint64_t bytes_stored() const;
 
  private:
+  struct Value {
+    Bytes data;
+    std::uint32_t crc = 0;  ///< CRC32C of data, seeded with the key's CRC
+  };
   struct Shard {
     mutable sim::AnnotatedSharedMutex mu{"kv.shard",
                                          sim::LockRank::kStore};
-    std::map<std::string, Bytes, std::less<>> data GUARDED_BY(mu);
+    std::map<std::string, Value, std::less<>> data GUARDED_BY(mu);
   };
   Shard& shard_for(std::string_view key) const;
 
   std::vector<Shard> shards_storage_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace dpc::kv

@@ -10,6 +10,7 @@ RemoteKv::RemoteKv(KvStore& store, fault::FaultInjector* fault,
   if (registry != nullptr) {
     retry_attempts_ = &registry->counter("retry/attempts");
     retry_exhausted_ = &registry->counter("retry/exhausted");
+    corrupt_reads_ = &registry->counter("kv.remote/corrupt_reads");
   }
 }
 
@@ -54,7 +55,15 @@ Timed<std::optional<Bytes>> RemoteKv::get(std::string_view key) const {
   Timed<std::optional<Bytes>> out{std::nullopt};
   out.err = begin_op(true, out.cost);
   if (!out.ok()) return out;
-  out.value = store_->get(key);
+  // Server-side verification before the value crosses the wire: a value
+  // that fails its CRC is withheld as a typed integrity error, which is
+  // not retryable (re-reading rotted cells returns the same bytes).
+  ValueCheck check = ValueCheck::kOk;
+  out.value = store_->get_checked(key, &check);
+  if (check == ValueCheck::kCorrupt) {
+    out.err = RemoteErr::kCorrupt;
+    if (corrupt_reads_ != nullptr) corrupt_reads_->add();
+  }
   out.cost += op_cost(true, out.value ? out.value->size() : 0);
   return out;
 }
@@ -95,7 +104,12 @@ Timed<std::optional<std::size_t>> RemoteKv::read_sub(
   Timed<std::optional<std::size_t>> out{std::nullopt};
   out.err = begin_op(true, out.cost);
   if (!out.ok()) return out;
-  out.value = store_->read_sub(key, offset, dst);
+  ValueCheck check = ValueCheck::kOk;
+  out.value = store_->read_sub_checked(key, offset, dst, &check);
+  if (check == ValueCheck::kCorrupt) {
+    out.err = RemoteErr::kCorrupt;
+    if (corrupt_reads_ != nullptr) corrupt_reads_->add();
+  }
   out.cost += op_cost(true, out.value.value_or(0));
   return out;
 }

@@ -32,6 +32,7 @@ enum class RemoteErr : std::uint8_t {
   kOk = 0,
   kTimeout,      ///< retry budget exhausted, every attempt timed out
   kUnavailable,  ///< circuit open — fast-failed without touching the wire
+  kCorrupt,      ///< value failed its CRC — not transient, never retried
 };
 
 /// A value + the modelled time the remote op took (including any retries).
@@ -73,6 +74,7 @@ class RemoteKv {
       const std::function<bool(std::string_view, const Bytes&)>& fn) const;
 
   KvStore& store() { return *store_; }
+  const KvStore& store() const { return *store_; }
   fault::CircuitBreaker::State breaker_state() const {
     return breaker_.state();
   }
@@ -95,6 +97,7 @@ class RemoteKv {
   mutable std::atomic<std::uint64_t> op_seq_{0};  // jitter salt
   obs::Counter* retry_attempts_ = nullptr;
   obs::Counter* retry_exhausted_ = nullptr;
+  obs::Counter* corrupt_reads_ = nullptr;
 };
 
 }  // namespace dpc::kv

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "ec/crc32c.hpp"
+
 namespace dpc::nvme {
 
 IniDriver::IniDriver(pcie::DmaEngine& dma, const QueuePair& qp,
@@ -85,12 +87,19 @@ IniDriver::Submitted IniDriver::submit(const Request& req) {
     if (!req.write_hdr.empty()) host.write(wbuf, req.write_hdr);
     if (!req.write_data.empty())
       host.write(wbuf + req.write_hdr.size(), req.write_data);
-    build_prp(wbuf, wlen, qp_->write_prp_list_off(cid), cmd.prp_write1,
-              cmd.prp_write2);
+    // Integrity envelope: stamp a CRC32C trailer right after the payload.
+    // It rides inside the same data DMA (the PRP list below covers it), so
+    // the TGT can verify the bytes it pulled without extra transactions.
+    const std::uint32_t crc =
+        ec::crc32c(req.write_data, ec::crc32c(req.write_hdr));
+    host.store<std::uint32_t>(wbuf + wlen, crc);
+    build_prp(wbuf, wlen + kPayloadCrcBytes, qp_->write_prp_list_off(cid),
+              cmd.prp_write1, cmd.prp_write2);
   }
   if (rlen > 0) {
-    build_prp(qp_->read_buf_off(cid), rlen, qp_->read_prp_list_off(cid),
-              cmd.prp_read1, cmd.prp_read2);
+    // +kPayloadCrcBytes: the TGT appends the read-payload trailer.
+    build_prp(qp_->read_buf_off(cid), rlen + kPayloadCrcBytes,
+              qp_->read_prp_list_off(cid), cmd.prp_read1, cmd.prp_read2);
   }
 
   // Produce the SQE at the SQ tail (host-local store, no PCIe traffic) and

@@ -19,8 +19,12 @@ QueuePair::QueuePair(const QpConfig& cfg, pcie::RegionAllocator& host,
   sq_db_ = dpu.alloc(sizeof(std::uint32_t), 64);
   cq_db_ = dpu.alloc(sizeof(std::uint32_t), 64);
 
-  wbuf_cap_ = static_cast<std::uint32_t>(page_round(cfg_.max_write));
-  rbuf_cap_ = static_cast<std::uint32_t>(page_round(cfg_.max_read));
+  // +kPayloadCrcBytes: a full-size payload still has room for the CRC32C
+  // trailer the integrity envelope appends inside the same data DMA.
+  wbuf_cap_ = static_cast<std::uint32_t>(
+      page_round(cfg_.max_write + kPayloadCrcBytes));
+  rbuf_cap_ = static_cast<std::uint32_t>(
+      page_round(cfg_.max_read + kPayloadCrcBytes));
   // Slot: [write buf | read buf | write PRP list page | read PRP list page]
   slot_stride_ = std::uint64_t{wbuf_cap_} + rbuf_cap_ + 2 * kPageSize;
   slots_base_ = host.alloc(slot_stride_ * cfg_.depth, kPageSize);

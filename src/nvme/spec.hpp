@@ -74,14 +74,26 @@ enum class Status : std::uint16_t {
   kDataTransferError = 4,   ///< transient transfer fault — retryable
   kInternalError = 6,
   kAbortedByRequest = 7,    ///< host-initiated abort (timeout) — retryable
+  /// Payload failed its end-to-end CRC32C (the 4-byte trailer the INI
+  /// appends inside the data DMA). Deliberately NOT retryable: the bytes
+  /// are provably damaged at rest or in the buffers, so resubmitting reads
+  /// the same damage — recovery goes through redundancy (EC reconstruct)
+  /// or surfaces EIO.
+  kDataIntegrityError = 8,
   kFsError = 0x80,  ///< file-level error; CQE result carries -errno
 };
 
 /// True for statuses that indicate a transient transport/device condition
 /// where resubmitting the same command is safe and may succeed.
+/// kDataIntegrityError is excluded by design — see its comment.
 constexpr bool is_retryable(Status st) {
   return st == Status::kDataTransferError || st == Status::kAbortedByRequest;
 }
+
+/// Bytes of the CRC32C trailer the INI appends to the write payload and the
+/// TGT appends to the read payload — rides inside the same data DMA, so the
+/// Fig. 4 DMA count is unchanged by the integrity envelope.
+inline constexpr std::uint32_t kPayloadCrcBytes = 4;
 
 /// Which offloaded stack IO_Dispatch should route the request to (DW0[10]).
 enum class DispatchTarget : std::uint8_t {

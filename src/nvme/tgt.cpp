@@ -1,6 +1,20 @@
 #include "nvme/tgt.hpp"
 
+#include <cstring>
+
+#include "ec/crc32c.hpp"
+
 namespace dpc::nvme {
+
+namespace {
+/// Flips one deterministically chosen bit inside `buf` (entropy comes from
+/// the fault injector's firing draw, so the damaged bit is seed-stable).
+void flip_bit(std::span<std::byte> buf, std::uint64_t entropy) {
+  if (buf.empty()) return;
+  const std::uint64_t bit = entropy % (buf.size() * 8);
+  buf[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+}
+}  // namespace
 
 TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
                      CommandHandler handler, obs::QueueTraces* traces,
@@ -10,8 +24,8 @@ TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
       handler_(std::move(handler)),
       traces_(traces),
       fault_(fault),
-      wscratch_(qp.config().max_write),
-      rscratch_(qp.config().max_read) {
+      wscratch_(qp.config().max_write + kPayloadCrcBytes),
+      rscratch_(qp.config().max_read + kPayloadCrcBytes) {
   DPC_CHECK(handler_ != nullptr);
   if (traces_ != nullptr) {
     auto& reg = traces_->registry();
@@ -20,6 +34,7 @@ TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
     rejects_ = &reg.counter("nvme.tgt/rejects");
     dropped_cqes_ = &reg.counter("nvme.tgt/dropped_cqes");
     error_cqes_ = &reg.counter("nvme.tgt/error_cqes");
+    integrity_errors_ = &reg.counter("nvme.tgt/integrity_errors");
   }
 }
 
@@ -96,9 +111,12 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
       if (error_cqes_ != nullptr) error_cqes_->add();
     } else {
       std::span<const std::byte> wpayload{};
+      bool envelope_ok = true;
       if (cmd.write_len > 0) {
-        // ② Fetch the write-side PRP list to locate the buffer.
-        const std::uint32_t pages = QueuePair::pages_for(cmd.write_len);
+        // ② Fetch the write-side PRP list to locate the buffer. The pulled
+        //    extent is payload + CRC32C trailer (same data DMA).
+        const std::uint32_t wire_len = cmd.write_len + kPayloadCrcBytes;
+        const std::uint32_t pages = QueuePair::pages_for(wire_len);
         std::vector<std::uint64_t> prps(pages);
         st.cost += dma_->read_host(
             cmd.prp_write2,
@@ -111,31 +129,70 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
         //    as the paper's Fig. 4 does).
         st.cost += dma_->read_host(
             cmd.prp_write1,
-            std::span{wscratch_.data(), cmd.write_len},
+            std::span{wscratch_.data(), wire_len},
             pcie::DmaClass::kData);
+        // Injection: a bit flips somewhere in the host→DPU transfer.
+        std::uint64_t entropy = 0;
+        if (fault_ != nullptr &&
+            fault_->should_fail(kFaultTgtCorruptWrite, &entropy)) {
+          flip_bit(std::span{wscratch_.data(), wire_len}, entropy);
+        }
+        // Verify the trailer BEFORE the handler sees a byte: a damaged
+        // payload must never be applied to the store. Not retryable — the
+        // host cannot tell in-flight damage from a rotted source buffer, so
+        // recovery is the application's (or scrubber's) job.
+        std::uint32_t want = 0;
+        std::memcpy(&want, wscratch_.data() + cmd.write_len,
+                    kPayloadCrcBytes);
+        const std::uint32_t got =
+            ec::crc32c(std::span{wscratch_.data(), cmd.write_len});
+        if (got != want) {
+          envelope_ok = false;
+          hres = HandlerResult{};
+          hres.status = Status::kDataIntegrityError;
+          if (integrity_errors_ != nullptr) integrity_errors_->add();
+        }
         wpayload = std::span{wscratch_.data(), cmd.write_len};
       }
 
-      std::span<std::byte> rpayload{rscratch_.data(), cmd.read_len};
-      if (traces_ != nullptr) traces_->stamp(cmd.cid, obs::Stage::kDispatch);
-      try {
-        hres = handler_(cmd, wpayload, rpayload);
-      } catch (const fault::CrashException&) {
-        // The DPU died inside the backend (a kvfs/cache crash point).
-        // Whatever the handler durably applied before the crash point
-        // stays applied; no CQE is ever posted, so the host sees only a
-        // lost completion. Recovery (journal replay + fsck) squares the
-        // keyspace when the DPU restarts.
-        st.processed = 1;
-        return st;
+      if (envelope_ok) {
+        std::span<std::byte> rpayload{rscratch_.data(), cmd.read_len};
+        if (traces_ != nullptr)
+          traces_->stamp(cmd.cid, obs::Stage::kDispatch);
+        try {
+          hres = handler_(cmd, wpayload, rpayload);
+        } catch (const fault::CrashException&) {
+          // The DPU died inside the backend (a kvfs/cache crash point).
+          // Whatever the handler durably applied before the crash point
+          // stays applied; no CQE is ever posted, so the host sees only a
+          // lost completion. Recovery (journal replay + fsck) squares the
+          // keyspace when the DPU restarts.
+          st.processed = 1;
+          return st;
+        }
+        if (traces_ != nullptr)
+          traces_->stamp(cmd.cid, obs::Stage::kBackendDone);
       }
-      if (traces_ != nullptr)
-        traces_->stamp(cmd.cid, obs::Stage::kBackendDone);
 
-      if (cmd.read_len > 0 && hres.read_bytes > 0) {
+      if (envelope_ok && cmd.read_len > 0 && hres.read_bytes > 0) {
         DPC_CHECK(hres.read_bytes <= cmd.read_len);
+        // Stamp the read-payload trailer right behind the produced bytes;
+        // it rides back in the same data DMA and the host verifies it in
+        // DpcSystem::call before trusting the payload.
+        const std::uint32_t crc =
+            ec::crc32c(std::span{rscratch_.data(), hres.read_bytes});
+        std::memcpy(rscratch_.data() + hres.read_bytes, &crc,
+                    kPayloadCrcBytes);
+        const std::uint32_t wire_len = hres.read_bytes + kPayloadCrcBytes;
+        // Injection: a bit flips somewhere in the DPU→host transfer.
+        std::uint64_t entropy = 0;
+        if (fault_ != nullptr &&
+            fault_->should_fail(kFaultTgtCorruptRead, &entropy)) {
+          flip_bit(std::span{rscratch_.data(), wire_len}, entropy);
+        }
         // ② (read direction) locate the read buffer…
-        const std::uint32_t pages = QueuePair::pages_for(cmd.read_len);
+        const std::uint32_t pages =
+            QueuePair::pages_for(cmd.read_len + kPayloadCrcBytes);
         std::vector<std::uint64_t> prps(pages);
         st.cost += dma_->read_host(
             cmd.prp_read2,
@@ -146,7 +203,7 @@ TgtDriver::ProcessStats TgtDriver::process_one() {
         // ③ …and push the produced bytes back with one data DMA.
         st.cost += dma_->write_host(
             cmd.prp_read1,
-            std::span{rscratch_.data(), hres.read_bytes},
+            std::span{rscratch_.data(), wire_len},
             pcie::DmaClass::kData);
       }
     }

@@ -36,6 +36,16 @@ inline constexpr std::string_view kFaultTgtErrorCqe = "nvme.tgt/error_cqe";
 /// harness's all-or-nothing check.
 inline constexpr std::string_view kFaultTgtCrashBeforeCqe =
     "nvme.tgt/crash_before_cqe";
+/// Data-corruption sites on the transport itself: a bit flips inside the
+/// payload DMA (write direction: host→DPU before the TGT verifies the
+/// trailer; read direction: DPU→host after the TGT stamps it). Both are
+/// caught by the CRC32C envelope — the write side completes with
+/// kDataIntegrityError before the handler runs, the read side fails the
+/// host's trailer check in DpcSystem::call.
+inline constexpr std::string_view kFaultTgtCorruptWrite =
+    "nvme.transport/corrupt_write";
+inline constexpr std::string_view kFaultTgtCorruptRead =
+    "nvme.transport/corrupt_read";
 
 /// What a command handler produced.
 struct HandlerResult {
@@ -97,6 +107,7 @@ class TgtDriver {
   obs::Counter* rejects_ = nullptr;
   obs::Counter* dropped_cqes_ = nullptr;
   obs::Counter* error_cqes_ = nullptr;
+  obs::Counter* integrity_errors_ = nullptr;
 
   std::uint16_t sq_head_ = 0;
   std::uint16_t cq_tail_ = 0;

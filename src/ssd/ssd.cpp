@@ -2,9 +2,20 @@
 
 #include <cstring>
 
+#include "ec/crc32c.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::ssd {
+
+namespace {
+/// The checksum stamp helper: CRC32C over the full 4 KB image, seeded with
+/// the block's LBA so a block that lands at the wrong address (misdirected
+/// write) fails verification at the address it aliased.
+std::uint32_t stamp_block_crc(std::uint64_t lba,
+                              std::span<const std::byte> image) {
+  return ec::crc32c(image, ec::crc32c_u64(lba));
+}
+}  // namespace
 
 void SsdModel::read_block(std::uint64_t lba, std::span<std::byte> dst) const {
   DPC_CHECK(dst.size() <= kBlockSize);
@@ -18,19 +29,123 @@ void SsdModel::read_block(std::uint64_t lba, std::span<std::byte> dst) const {
   std::memcpy(dst.data(), it->second.data.data(), dst.size());
 }
 
+BlockRead SsdModel::read_block_checked(std::uint64_t lba,
+                                       std::span<std::byte> dst) const {
+  DPC_CHECK(dst.size() <= kBlockSize);
+  const Shard& sh = shard_for(lba);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.blocks.find(lba);
+  if (it == sh.blocks.end()) {
+    std::memset(dst.data(), 0, dst.size());
+    return BlockRead::kAbsent;
+  }
+  const Block& b = it->second;
+  if (stamp_block_crc(lba, b.data) != b.crc) {
+    std::memset(dst.data(), 0, dst.size());
+    return BlockRead::kCorrupt;
+  }
+  std::memcpy(dst.data(), b.data.data(), dst.size());
+  return BlockRead::kOk;
+}
+
 void SsdModel::write_block(std::uint64_t lba, std::span<const std::byte> src) {
   DPC_CHECK(src.size() <= kBlockSize);
+  // The FTL acks the *intended* write: CRC over the full 4 KB image at the
+  // intended LBA. A sub-block write is read-modify-write — the image keeps
+  // the block's existing tail. Injected damage below diverges the stored
+  // state from that ack, which is exactly what verification must catch.
+  std::vector<std::byte> image(kBlockSize, std::byte{0});
+  if (src.size() < kBlockSize) {
+    const Shard& sh = shard_for(lba);
+    sim::SharedLockGuard lock(sh.mu);
+    const auto it = sh.blocks.find(lba);
+    if (it != sh.blocks.end())
+      std::memcpy(image.data(), it->second.data.data(), kBlockSize);
+  }
+  std::memcpy(image.data(), src.data(), src.size());
+  const std::uint32_t crc = stamp_block_crc(lba, image);
+
+  std::size_t persisted = kBlockSize;
+  std::uint32_t rot_bit = 0;
+  bool rot = false;
+  if (fault_ != nullptr) {
+    std::uint64_t e = 0;
+    if (fault_->should_fail(kFaultSsdMisdirectedWrite, &e)) {
+      // The flash program lands on a nearby aliased block while the FTL
+      // map records the intended address: the victim holds data stamped
+      // for the wrong LBA (salt mismatch) and the intended slot's mapping
+      // points at data that never arrived (CRC of the new image over the
+      // old bytes). Both sides fail verification — no stale-read escape.
+      const std::uint64_t victim = lba ^ (1 + e % 7);
+      {
+        Shard& vs = shard_for(victim);
+        sim::LockGuard vlock(vs.mu);
+        Block& vb = vs.blocks[victim];
+        vb.data = image;
+        vb.crc = crc;
+      }
+      Shard& sh = shard_for(lba);
+      sim::LockGuard lock(sh.mu);
+      Block& b = sh.blocks[lba];
+      if (b.data.size() != kBlockSize) b.data.assign(kBlockSize, std::byte{0});
+      b.crc = crc;
+      return;
+    }
+    if (fault_->should_fail(kFaultSsdTornWrite, &e)) {
+      persisted = e % kBlockSize;  // prefix persists, tail is lost
+    }
+    if (fault_->should_fail(kFaultSsdBitRot, &e)) {
+      rot = true;
+      rot_bit = static_cast<std::uint32_t>(e % (kBlockSize * 8));
+    }
+  }
+
   Shard& sh = shard_for(lba);
   sim::LockGuard lock(sh.mu);
   Block& b = sh.blocks[lba];
   if (b.data.size() != kBlockSize) b.data.assign(kBlockSize, std::byte{0});
-  std::memcpy(b.data.data(), src.data(), src.size());
+  // Torn write (persisted < kBlockSize): the ack'd CRC covers the intended
+  // image, but only a prefix reaches the media — the tail keeps old bytes.
+  std::memcpy(b.data.data(), image.data(), persisted);
+  b.crc = crc;
+  if (rot) {
+    b.data[rot_bit / 8] ^= static_cast<std::byte>(1u << (rot_bit % 8));
+  }
 }
 
 void SsdModel::trim_block(std::uint64_t lba) {
   Shard& sh = shard_for(lba);
   sim::LockGuard lock(sh.mu);
   sh.blocks.erase(lba);
+}
+
+BlockRead SsdModel::verify_block(std::uint64_t lba) const {
+  const Shard& sh = shard_for(lba);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.blocks.find(lba);
+  if (it == sh.blocks.end()) return BlockRead::kAbsent;
+  const Block& b = it->second;
+  return stamp_block_crc(lba, b.data) == b.crc ? BlockRead::kOk
+                                               : BlockRead::kCorrupt;
+}
+
+bool SsdModel::corrupt_block(std::uint64_t lba, std::uint32_t bit) {
+  Shard& sh = shard_for(lba);
+  sim::LockGuard lock(sh.mu);
+  const auto it = sh.blocks.find(lba);
+  if (it == sh.blocks.end()) return false;
+  bit %= kBlockSize * 8;
+  it->second.data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  return true;
+}
+
+std::vector<std::uint64_t> SsdModel::stored_lbas() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& sh : shards_) {
+    sim::SharedLockGuard lock(sh.mu);
+    for (const auto& [lba, b] : sh.blocks) out.push_back(lba);
+  }
+  return out;
 }
 
 std::uint64_t SsdModel::blocks_written() const {

@@ -2,10 +2,13 @@
 // baseline.
 //
 // Functional layer: a sparse, thread-safe 4 KB block store so the Ext4-like
-// file system above it really round-trips bytes. Timing layer: per-op
-// service times (88 µs read / 14 µs write) with bounded channel parallelism
-// — the reason local Ext4 stops scaling past 32 threads in Fig. 7 — plus
-// sequential-bandwidth caps for Table 2.
+// file system above it really round-trips bytes. Every stored block carries
+// an LBA-salted CRC32C stamped at write time; checked reads and the
+// background scrubber verify it, so bit-rot, torn writes and misdirected
+// writes surface as typed corruption instead of silent bad data. Timing
+// layer: per-op service times (88 µs read / 14 µs write) with bounded
+// channel parallelism — the reason local Ext4 stops scaling past 32 threads
+// in Fig. 7 — plus sequential-bandwidth caps for Table 2.
 #pragma once
 
 #include <array>
@@ -14,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "sim/thread_annotations.hpp"
 #include "sim/calib.hpp"
 #include "sim/time.hpp"
@@ -22,16 +26,47 @@ namespace dpc::ssd {
 
 inline constexpr std::uint32_t kBlockSize = 4096;
 
+/// Data-corruption injection sites, one draw per write_block(). The draw's
+/// entropy picks the damaged bit / tear point / aliased LBA, so a seed
+/// reproduces the exact same corruption.
+inline constexpr std::string_view kFaultSsdBitRot = "ssd/bit_rot";
+inline constexpr std::string_view kFaultSsdTornWrite = "ssd/torn_write";
+inline constexpr std::string_view kFaultSsdMisdirectedWrite =
+    "ssd/misdirected_write";
+
+/// Verification outcome of a checked block read.
+enum class BlockRead : std::uint8_t { kOk, kAbsent, kCorrupt };
+
 class SsdModel {
  public:
   SsdModel() = default;
 
-  /// Reads one 4 KB block. Unwritten blocks read as zeros.
+  /// Attaches the corruption injector (null = pristine drive). Must outlive
+  /// the model.
+  void attach_fault(fault::FaultInjector* fi) { fault_ = fi; }
+
+  /// Reads one 4 KB block. Unwritten blocks read as zeros. Unchecked: the
+  /// legacy path for callers that predate the integrity envelope.
   void read_block(std::uint64_t lba, std::span<std::byte> dst) const;
-  /// Writes one 4 KB block.
+  /// Reads one block and verifies its stored CRC32C against the whole 4 KB
+  /// image (salted with `lba`, so an aliased block from a misdirected write
+  /// also fails). On kCorrupt `dst` is zeroed — corrupt bytes never leave
+  /// the device model.
+  BlockRead read_block_checked(std::uint64_t lba,
+                               std::span<std::byte> dst) const;
+  /// Writes one 4 KB block (short `src` is zero-padded) and stamps its CRC.
   void write_block(std::uint64_t lba, std::span<const std::byte> src);
   /// Discards a block (TRIM).
   void trim_block(std::uint64_t lba);
+
+  /// Re-verifies a stored block in place — the scrubber's probe. kAbsent
+  /// for holes.
+  BlockRead verify_block(std::uint64_t lba) const;
+  /// Flips one payload bit of a stored block without restamping the CRC
+  /// (deterministic corruption hook for tests/benches). False if absent.
+  bool corrupt_block(std::uint64_t lba, std::uint32_t bit = 0);
+  /// Snapshot of every stored LBA, unordered — the scrubber's walk list.
+  std::vector<std::uint64_t> stored_lbas() const;
 
   std::uint64_t blocks_written() const;
 
@@ -49,6 +84,7 @@ class SsdModel {
  private:
   struct Block {
     std::vector<std::byte> data;
+    std::uint32_t crc = 0;  ///< CRC32C of data, seeded with the block's LBA
   };
   // Sharded by low LBA bits to keep concurrent threads off one lock.
   static constexpr std::size_t kShards = 16;
@@ -61,6 +97,7 @@ class SsdModel {
     return shards_[lba % kShards];
   }
   mutable std::array<Shard, kShards> shards_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace dpc::ssd

@@ -72,7 +72,9 @@ TEST(NvmeQueue, PayloadBytesMatchTransfer) {
   std::vector<std::byte> data(12345, std::byte{7});
   h.counters().reset();
   ASSERT_TRUE(h.do_write(0, data));
-  EXPECT_EQ(h.counters().bytes(pcie::DmaClass::kData), 12345u);
+  // Payload + the CRC32C integrity trailer that rides in the same DMA.
+  EXPECT_EQ(h.counters().bytes(pcie::DmaClass::kData),
+            12345u + nvme::kPayloadCrcBytes);
 }
 
 TEST(NvmeQueue, ManySequentialOpsWrapTheRings) {

@@ -1,0 +1,326 @@
+// Background scrubber: detect → repair → re-verify on corrupted media.
+//
+// The contract under test (see dpu/scrubber.hpp): every distinct corrupt
+// item is counted exactly once, detected == repaired + unrecoverable at
+// every instant, EC/replicated shards are rewritten clean from redundancy,
+// and media without redundancy is quarantined for the read path to EIO.
+#include "dpu/scrubber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dpc_system.hpp"
+#include "dfs/backend.hpp"
+#include "dfs/client.hpp"
+#include "kv/kv_store.hpp"
+#include "obs/metrics.hpp"
+#include "sim/calib.hpp"
+#include "sim/rng.hpp"
+#include "ssd/ssd.hpp"
+
+namespace dpc::dpu {
+namespace {
+
+std::vector<std::byte> bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_below(256));
+  return v;
+}
+
+ScrubberConfig fast_cfg() {
+  ScrubberConfig cfg;
+  cfg.items_per_pass = 1024;
+  cfg.pace = sim::nanos(0);
+  return cfg;
+}
+
+// ------------------------------------------------------------- EC repair
+
+TEST(Scrub, RepairsCorruptDataShardFromParity) {
+  obs::Registry reg;
+  dfs::MdsCluster mds;
+  dfs::DataServers ds(sim::calib::kDataServers, nullptr, &reg);
+  dfs::DfsClient client(1, mds, ds, dfs::ClientConfig::optimized(), &reg);
+
+  const auto c = client.create("/scrub-ec", 64 * 1024);
+  ASSERT_TRUE(c.ok());
+  const auto data = bytes(64 * 1024, 0x5c1);
+  ASSERT_TRUE(client.write(c.ino, 0, data).ok());
+
+  // Rot one *data* shard at rest.
+  const auto all = ds.stored_shards();
+  const dfs::ShardId* victim = nullptr;
+  for (const auto& id : all)
+    if (id.ino == c.ino && id.role == 1) {
+      victim = &id;
+      break;
+    }
+  ASSERT_NE(victim, nullptr);
+  ASSERT_TRUE(ds.corrupt_shard(victim->ino, victim->stripe, victim->role));
+  ASSERT_EQ(ds.verify_shard(victim->ino, victim->stripe, victim->role),
+            dfs::ShardState::kCorrupt);
+
+  Scrubber scrub(fast_cfg(), reg);
+  scrub.attach_dfs(&ds, &mds);
+  EXPECT_GT(scrub.scrub_all(), 0);
+
+  const auto t = scrub.totals();
+  EXPECT_EQ(t.detected, 1u);
+  EXPECT_EQ(t.repaired, 1u);
+  EXPECT_EQ(t.unrecoverable, 0u);
+  EXPECT_EQ(t.detected, t.repaired + t.unrecoverable);
+
+  // Repaired in place: the shard re-verifies and the file reads back exact
+  // without needing the degraded path.
+  EXPECT_EQ(ds.verify_shard(victim->ino, victim->stripe, victim->role),
+            dfs::ShardState::kOk);
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(client.read(c.ino, 0, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(reg.counter("dfs.ds/shard_repairs").value(), 0u);
+
+  // A rescan of now-clean media counts nothing new.
+  scrub.scrub_all();
+  const auto t2 = scrub.totals();
+  EXPECT_EQ(t2.detected, 1u);
+  EXPECT_EQ(t2.repaired, 1u);
+}
+
+TEST(Scrub, RepairsCorruptParityShard) {
+  obs::Registry reg;
+  dfs::MdsCluster mds;
+  dfs::DataServers ds(sim::calib::kDataServers, nullptr, &reg);
+  dfs::DfsClient client(1, mds, ds, dfs::ClientConfig::optimized(), &reg);
+
+  const auto c = client.create("/scrub-parity", 64 * 1024);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(client.write(c.ino, 0, bytes(64 * 1024, 0x9a7)).ok());
+  const auto meta = mds.find_meta(c.ino);
+  ASSERT_TRUE(meta.has_value());
+
+  // Rot a parity shard — the degraded *read* path never touches parity
+  // unless a data shard fails, so only the scrubber finds this.
+  const std::uint32_t parity_role = meta->k;  // first parity shard
+  ASSERT_TRUE(ds.corrupt_shard(c.ino, 0, parity_role));
+
+  Scrubber scrub(fast_cfg(), reg);
+  scrub.attach_dfs(&ds, &mds);
+  scrub.scrub_all();
+
+  const auto t = scrub.totals();
+  EXPECT_EQ(t.detected, 1u);
+  EXPECT_EQ(t.repaired, 1u);
+  EXPECT_EQ(ds.verify_shard(c.ino, 0, parity_role), dfs::ShardState::kOk);
+}
+
+TEST(Scrub, TooFewSurvivorsIsUnrecoverable) {
+  obs::Registry reg;
+  dfs::MdsCluster mds;
+  dfs::DataServers ds(sim::calib::kDataServers, nullptr, &reg);
+  dfs::DfsClient client(1, mds, ds, dfs::ClientConfig::optimized(), &reg);
+
+  const auto c = client.create("/scrub-dead", 32 * 1024);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(client.write(c.ino, 0, bytes(32 * 1024, 0xdead)).ok());
+  const auto meta = mds.find_meta(c.ino);
+  ASSERT_TRUE(meta.has_value());
+
+  // Rot m+1 shards of stripe 0: any gather sees at most k-1 clean shards,
+  // so every rotted shard is genuinely unrecoverable at rest.
+  const std::uint32_t rotted = static_cast<std::uint32_t>(meta->m) + 1;
+  for (std::uint32_t r = 0; r < rotted; ++r)
+    ASSERT_TRUE(ds.corrupt_shard(c.ino, 0, r));
+
+  Scrubber scrub(fast_cfg(), reg);
+  scrub.attach_dfs(&ds, &mds);
+  scrub.scrub_all();
+
+  const auto t = scrub.totals();
+  EXPECT_EQ(t.detected, rotted);
+  EXPECT_EQ(t.repaired, 0u);
+  EXPECT_EQ(t.unrecoverable, rotted);
+  // Quarantined: rescans don't recount the same dead shards.
+  scrub.scrub_all();
+  EXPECT_EQ(scrub.totals().unrecoverable, rotted);
+}
+
+TEST(Scrub, DefersWhileStripeUnreadableThenRepairsAfterHeal) {
+  obs::Registry reg;
+  dfs::MdsCluster mds;
+  dfs::DataServers ds(sim::calib::kDataServers, nullptr, &reg);
+  dfs::DfsClient client(1, mds, ds, dfs::ClientConfig::optimized(), &reg);
+
+  const auto c = client.create("/scrub-defer", 32 * 1024);
+  ASSERT_TRUE(c.ok());
+  const auto data = bytes(32 * 1024, 0xde5e);
+  ASSERT_TRUE(client.write(c.ino, 0, data).ok());
+
+  const auto all = ds.stored_shards();
+  const dfs::ShardId* victim = nullptr;
+  for (const auto& id : all)
+    if (id.ino == c.ino && id.role == 0) victim = &id;
+  ASSERT_NE(victim, nullptr);
+  ASSERT_TRUE(ds.corrupt_shard(victim->ino, victim->stripe, victim->role));
+
+  // Blackout every server except the victim's: the gather can't reach k
+  // survivors, and the failures are transient — the scrubber must defer,
+  // counting *nothing* (the invariant holds at every instant).
+  const int home = ds.server_of(victim->ino, victim->stripe, victim->role);
+  for (int s = 0; s < ds.servers(); ++s)
+    if (s != home) ds.fail_server(s);
+  {
+    Scrubber scrub(fast_cfg(), reg);
+    scrub.attach_dfs(&ds, &mds);
+    scrub.scrub_pass(1u << 20);
+    const auto t = scrub.totals();
+    EXPECT_EQ(t.detected, 0u);
+    EXPECT_EQ(t.repaired, 0u);
+    EXPECT_EQ(t.unrecoverable, 0u);
+
+    // Servers heal: the deferred shard is found again and repaired.
+    for (int s = 0; s < ds.servers(); ++s) ds.heal_server(s);
+    scrub.scrub_all();
+    const auto t2 = scrub.totals();
+    EXPECT_EQ(t2.detected, 1u);
+    EXPECT_EQ(t2.repaired, 1u);
+    EXPECT_EQ(t2.unrecoverable, 0u);
+  }
+
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(client.read(c.ino, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+// ------------------------------------------- unrecoverable media (KV/SSD)
+
+TEST(Scrub, CorruptKvValueIsDetectedOnceAndLeftForEio) {
+  obs::Registry reg;
+  kv::KvStore store(4);
+  const auto v = bytes(512, 7);
+  store.put("extent/B1", v);
+  store.put("extent/B2", v);
+  ASSERT_TRUE(store.corrupt_value("extent/B1", 100));
+
+  Scrubber scrub(fast_cfg(), reg);
+  scrub.attach_kv(&store);
+  scrub.scrub_all();
+
+  auto t = scrub.totals();
+  EXPECT_EQ(t.scanned, 2u);
+  EXPECT_EQ(t.detected, 1u);
+  EXPECT_EQ(t.repaired, 0u);
+  EXPECT_EQ(t.unrecoverable, 1u);
+
+  // The damage stays typed, never silent: checked reads say kCorrupt.
+  kv::ValueCheck check{};
+  EXPECT_FALSE(store.get_checked("extent/B1", &check).has_value());
+  EXPECT_EQ(check, kv::ValueCheck::kCorrupt);
+
+  // Rescan: quarantined, not recounted.
+  scrub.scrub_all();
+  EXPECT_EQ(scrub.totals().detected, 1u);
+
+  // The workload rewrites the value: quarantine clears, and a *new* rot of
+  // the same key is a new detection.
+  store.put("extent/B1", v);
+  scrub.scrub_all();
+  EXPECT_EQ(scrub.totals().detected, 1u);
+  ASSERT_TRUE(store.corrupt_value("extent/B1", 3));
+  scrub.scrub_all();
+  EXPECT_EQ(scrub.totals().detected, 2u);
+  EXPECT_EQ(scrub.totals().unrecoverable, 2u);
+}
+
+TEST(Scrub, CorruptSsdBlockIsDetectedOnce) {
+  obs::Registry reg;
+  ssd::SsdModel ssd;
+  ssd.write_block(3, bytes(ssd::kBlockSize, 1));
+  ssd.write_block(9, bytes(ssd::kBlockSize, 2));
+  ASSERT_TRUE(ssd.corrupt_block(9, 17));
+
+  Scrubber scrub(fast_cfg(), reg);
+  scrub.attach_ssd(&ssd);
+  scrub.scrub_all();
+
+  const auto t = scrub.totals();
+  EXPECT_EQ(t.scanned, 2u);
+  EXPECT_EQ(t.detected, 1u);
+  EXPECT_EQ(t.unrecoverable, 1u);
+  std::vector<std::byte> out(ssd::kBlockSize);
+  EXPECT_EQ(ssd.read_block_checked(9, out), ssd::BlockRead::kCorrupt);
+
+  scrub.scrub_all();
+  EXPECT_EQ(scrub.totals().detected, 1u);
+}
+
+// --------------------------------------------------------- pacing / gates
+
+TEST(Scrub, PollIsInertWhileCrashedAndPaced) {
+  obs::Registry reg;
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(1, &fault_reg);
+  kv::KvStore store(4);
+  store.put("k", bytes(64, 1));
+
+  ScrubberConfig cfg;
+  cfg.items_per_pass = 8;
+  cfg.pace = sim::millis(60'000.0);  // effectively "once"
+  Scrubber scrub(cfg, reg, &fi);
+  scrub.attach_kv(&store);
+
+  fi.arm_crash("x");
+  EXPECT_TRUE(fi.at_crash_point("x"));  // latch the crash
+  ASSERT_TRUE(fi.crashed());
+  EXPECT_EQ(scrub.poll(), 0);  // crashed ⇒ inert
+
+  fi.clear_crash();
+  EXPECT_EQ(scrub.poll(), 1);  // first pass runs immediately
+  EXPECT_EQ(scrub.poll(), 0);  // paced out for the next minute
+  EXPECT_EQ(scrub.totals().scanned, 1u);
+}
+
+// ----------------------------------------------------- full-system wiring
+
+TEST(Scrub, DpcSystemScrubberRepairsDfsShard) {
+  using core::DpcOptions;
+  using core::DpcSystem;
+  DpcOptions o;
+  o.queues = 1;
+  o.with_dfs = true;
+  o.enable_scrubber = true;
+  o.scrub.items_per_pass = 4096;
+  DpcSystem sys(o);
+  ASSERT_NE(sys.scrubber(), nullptr);
+
+  const auto c = sys.dfs_create("/scrubbed", 64 * 1024);
+  ASSERT_TRUE(c.ok());
+  const auto data = bytes(64 * 1024, 0x515);
+  ASSERT_TRUE(sys.dfs_write(c.ino, 0, data).ok());
+
+  auto* ds = sys.data_servers();
+  const auto all = ds->stored_shards();
+  ASSERT_FALSE(all.empty());
+  const auto& victim = all.front();
+  ASSERT_TRUE(ds->corrupt_shard(victim.ino, victim.stripe, victim.role));
+
+  sys.scrubber()->scrub_all();
+  const auto t = sys.scrubber()->totals();
+  EXPECT_EQ(t.detected, 1u);
+  EXPECT_EQ(t.repaired, 1u);
+  EXPECT_EQ(ds->verify_shard(victim.ino, victim.stripe, victim.role),
+            dfs::ShardState::kOk);
+
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(sys.dfs_read(c.ino, 0, out).ok());
+  EXPECT_EQ(out, data);
+
+  // Registry carries the scrub counters (the bench JSON contract).
+  EXPECT_EQ(sys.metrics().counter("scrub/detected").value(),
+            sys.metrics().counter("scrub/repaired").value() +
+                sys.metrics().counter("scrub/unrecoverable").value());
+}
+
+}  // namespace
+}  // namespace dpc::dpu
