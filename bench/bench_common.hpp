@@ -3,6 +3,7 @@
 // helpers that turn measured op counts into MVA station demands.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -15,6 +16,58 @@
 #include "sim/time.hpp"
 
 namespace dpc::bench {
+
+// ------------------------------------------------------------ determinism
+//
+// Every micro-bench registration is *pinned*: fixed iteration count, fixed
+// repetition count. Two runs therefore execute byte-identical work (all
+// data is seeded from fixed sim::Rng seeds), and the regress gate
+// (bench/regress) compares the best-of-repetitions (min time / max rate)
+// against a committed baseline instead of trusting gbench's adaptive
+// sampling, which varies the iteration count run-to-run. Best-of is the
+// noise-robust statistic for wall-clock benches on a shared machine: the
+// minimum converges to the true cost as repetitions grow, while the median
+// still moves with background load.
+
+/// Repetitions per pinned benchmark; regress compares the best repetition.
+inline constexpr int kBenchRepetitions = 5;
+/// Iteration tiers by per-op cost. Pick the tier that keeps one repetition
+/// at tens of milliseconds or more — a repetition short enough to fit in a
+/// scheduler quantum can lose *entirely* to background load, defeating the
+/// best-of-repetitions statistic.
+inline constexpr std::int64_t kItersFast = 524288;  ///< sub-µs ops
+inline constexpr std::int64_t kItersMid = 16384;    ///< ~1–20 µs ops
+inline constexpr std::int64_t kItersSlow = 512;     ///< ≥100 µs ops
+
+/// Pins a registration; chain it after BENCHMARK(...)->Arg(...):
+///   BENCHMARK(BM_X)->Arg(4096) DPC_BENCH_PIN(dpc::bench::kItersMid);
+/// A macro (not a function) because BENCHMARK() expands to a static
+/// declaration that cannot be wrapped; expands to ->Apply(...), so it only
+/// references gbench types at the expansion site.
+// DisplayAggregatesOnly keeps the console readable but still writes every
+// repetition to --benchmark_out, which is where regress takes its min.
+#define DPC_BENCH_PIN(iters)                           \
+  ->Apply(+[](::benchmark::internal::Benchmark* b) {   \
+    b->Iterations(iters)                               \
+        ->Repetitions(::dpc::bench::kBenchRepetitions) \
+        ->DisplayAggregatesOnly(true);                 \
+  })
+
+/// Deliberate-slowdown hook for validating the regress gate: when the
+/// DPC_BENCH_SABOTAGE env var is set to N (>1), participating benchmarks
+/// run their measured body N times per iteration, so time/iter grows ~N×
+/// and `bench/regress` MUST fail against a clean baseline. Unset (the
+/// default and the only configuration baselines may be recorded under)
+/// this returns 1 and the loop is a plain single pass.
+inline int sabotage_factor() {
+  static const int factor = [] {
+    const char* env = std::getenv("DPC_BENCH_SABOTAGE");
+    if (env == nullptr) return 1;
+    const int n = std::atoi(env);
+    return n > 1 ? n : 1;
+  }();
+  return factor;
+}
 
 struct BenchArgs {
   bool csv = false;

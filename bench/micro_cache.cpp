@@ -4,6 +4,8 @@
 // baseline for comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "cache/control_plane.hpp"
 #include "cache/host_plane.hpp"
 #include "cache/page_cache.hpp"
@@ -50,13 +52,16 @@ void BM_HostCacheHitRead(benchmark::State& state) {
   std::vector<std::byte> page(4096, std::byte{1});
   rig.plane.write(1, 0, page);
   std::vector<std::byte> out(4096);
+  const int sabotage = dpc::bench::sabotage_factor();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rig.plane.read(1, 0, out));
+    for (int s = 0; s < sabotage; ++s)
+      benchmark::DoNotOptimize(rig.plane.read(1, 0, out));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           4096);
 }
-BENCHMARK(BM_HostCacheHitRead);
+BENCHMARK(BM_HostCacheHitRead)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 void BM_HostCacheWriteAbsorb(benchmark::State& state) {
   Rig rig;
@@ -69,7 +74,8 @@ void BM_HostCacheWriteAbsorb(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           4096);
 }
-BENCHMARK(BM_HostCacheWriteAbsorb);
+BENCHMARK(BM_HostCacheWriteAbsorb)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 void BM_HostCacheMissLookup(benchmark::State& state) {
   Rig rig;
@@ -79,7 +85,8 @@ void BM_HostCacheMissLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(rig.plane.read(99, lpn++, out));
   }
 }
-BENCHMARK(BM_HostCacheMissLookup);
+BENCHMARK(BM_HostCacheMissLookup)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 void BM_DpuFlushPassPerPage(benchmark::State& state) {
   Rig rig;
@@ -94,7 +101,8 @@ void BM_DpuFlushPassPerPage(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           256);
 }
-BENCHMARK(BM_DpuFlushPassPerPage);
+BENCHMARK(BM_DpuFlushPassPerPage)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_DpuPrefetchPerPage(benchmark::State& state) {
   Rig rig;
@@ -112,7 +120,8 @@ void BM_DpuPrefetchPerPage(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
-BENCHMARK(BM_DpuPrefetchPerPage);
+BENCHMARK(BM_DpuPrefetchPerPage)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_PcieAtomicLockUnlock(benchmark::State& state) {
   Rig rig;
@@ -124,7 +133,8 @@ void BM_PcieAtomicLockUnlock(benchmark::State& state) {
   }
   (void)cost;
 }
-BENCHMARK(BM_PcieAtomicLockUnlock);
+BENCHMARK(BM_PcieAtomicLockUnlock)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 void BM_PageCacheHit(benchmark::State& state) {
   PageCache pc(4096, 4096);
@@ -138,6 +148,7 @@ void BM_PageCacheHit(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           4096);
 }
-BENCHMARK(BM_PageCacheHit);
+BENCHMARK(BM_PageCacheHit)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 }  // namespace

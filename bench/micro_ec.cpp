@@ -5,6 +5,8 @@
 // ablation on client-side vs server-side EC.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "ec/crc32c.hpp"
 #include "ec/reed_solomon.hpp"
 #include "sim/rng.hpp"
@@ -43,7 +45,8 @@ BENCHMARK(BM_RsEncode)
     ->Args({4, 2, 8 * 1024})
     ->Args({4, 2, 64 * 1024})
     ->Args({8, 4, 8 * 1024})
-    ->Args({10, 4, 64 * 1024});
+    ->Args({10, 4, 64 * 1024})
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_RsDeltaParity(benchmark::State& state) {
   const auto len = static_cast<std::size_t>(state.range(0));
@@ -57,7 +60,8 @@ void BM_RsDeltaParity(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(len));
 }
-BENCHMARK(BM_RsDeltaParity)->Arg(8 * 1024)->Arg(64 * 1024);
+BENCHMARK(BM_RsDeltaParity)->Arg(8 * 1024)->Arg(64 * 1024)
+    DPC_BENCH_PIN(dpc::bench::kItersMid);
 
 void BM_RsReconstructTwoLost(benchmark::State& state) {
   const auto len = static_cast<std::size_t>(state.range(0));
@@ -80,17 +84,21 @@ void BM_RsReconstructTwoLost(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 6 *
                           static_cast<std::int64_t>(len));
 }
-BENCHMARK(BM_RsReconstructTwoLost)->Arg(8 * 1024)->Arg(64 * 1024);
+BENCHMARK(BM_RsReconstructTwoLost)->Arg(8 * 1024)->Arg(64 * 1024)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_Crc32c(benchmark::State& state) {
   const auto data = shards(1, static_cast<std::size_t>(state.range(0)), 6);
+  const int sabotage = dpc::bench::sabotage_factor();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ec::crc32c(data[0]));
+    for (int s = 0; s < sabotage; ++s)
+      benchmark::DoNotOptimize(ec::crc32c(data[0]));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(64 * 1024);
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(64 * 1024)
+    DPC_BENCH_PIN(dpc::bench::kItersMid);
 
 // The bit-at-a-time reference next to the slice-by-8 production path: the
 // ratio is the payoff of the table kernel, and a regression here means the
@@ -104,6 +112,7 @@ void BM_Crc32cBytewise(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_Crc32cBytewise)->Arg(4096)->Arg(64 * 1024);
+BENCHMARK(BM_Crc32cBytewise)->Arg(4096)->Arg(64 * 1024)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 }  // namespace

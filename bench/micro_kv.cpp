@@ -3,6 +3,8 @@
 // of 8 KB: whole-KV rewrite below it, in-place 8K block updates above).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "kv/kv_store.hpp"
 #include "kv/remote.hpp"
 #include "kvfs/kvfs.hpp"
@@ -23,15 +25,19 @@ void BM_KvPutGet(benchmark::State& state) {
   kv::KvStore kv;
   const auto val = bytes(static_cast<std::size_t>(state.range(0)), 1);
   std::uint64_t i = 0;
+  const int sabotage = dpc::bench::sabotage_factor();
   for (auto _ : state) {
-    const std::string key = "k" + std::to_string(i++ % 1024);
-    kv.put(key, val);
-    benchmark::DoNotOptimize(kv.get(key));
+    for (int s = 0; s < sabotage; ++s) {
+      const std::string key = "k" + std::to_string(i++ % 1024);
+      kv.put(key, val);
+      benchmark::DoNotOptimize(kv.get(key));
+    }
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_KvPutGet)->Arg(256)->Arg(8192);
+BENCHMARK(BM_KvPutGet)->Arg(256)->Arg(8192)
+    DPC_BENCH_PIN(dpc::bench::kItersMid);
 
 void BM_KvPrefixScan(benchmark::State& state) {
   kv::KvStore kv;
@@ -49,7 +55,8 @@ void BM_KvPrefixScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_KvPrefixScan)->Arg(64)->Arg(1024);
+BENCHMARK(BM_KvPrefixScan)->Arg(64)->Arg(1024)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_KvSubWrite(benchmark::State& state) {
   kv::KvStore kv;
@@ -63,7 +70,8 @@ void BM_KvSubWrite(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           8192);
 }
-BENCHMARK(BM_KvSubWrite);
+BENCHMARK(BM_KvSubWrite)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 /// The 8 KB small/big cutoff ablation: overwrite cost per write size.
 /// Below the cutoff the whole KV is rewritten; above it, only the touched
@@ -85,10 +93,11 @@ void BM_KvfsOverwrite(benchmark::State& state) {
                           4096);
 }
 BENCHMARK(BM_KvfsOverwrite)
-    ->Arg(4 * 1024)     // small-file KV: whole rewrite
-    ->Arg(8 * 1024)     // at the cutoff
-    ->Arg(256 * 1024)   // big-file KV: in-place blocks
-    ->Arg(4 << 20);
+    ->Arg(4 * 1024)    // small-file KV: whole rewrite
+    ->Arg(8 * 1024)    // at the cutoff
+    ->Arg(256 * 1024)  // big-file KV: in-place blocks
+    ->Arg(4 << 20)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_KvfsPathResolution(benchmark::State& state) {
   kv::KvStore store;
@@ -112,7 +121,8 @@ BENCHMARK(BM_KvfsPathResolution)
     ->Args({2, 0})
     ->Args({2, 1})
     ->Args({8, 0})
-    ->Args({8, 1});  // dentry cache on/off: the §3.4 lookup acceleration
+    ->Args({8, 1})  // dentry cache on/off: the §3.4 lookup acceleration
+    DPC_BENCH_PIN(dpc::bench::kItersMid);
 
 void BM_KvfsCreateUnlink(benchmark::State& state) {
   kv::KvStore store;
@@ -125,6 +135,7 @@ void BM_KvfsCreateUnlink(benchmark::State& state) {
     benchmark::DoNotOptimize(fs.unlink(kvfs::kRootIno, name).ok());
   }
 }
-BENCHMARK(BM_KvfsCreateUnlink);
+BENCHMARK(BM_KvfsCreateUnlink)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 }  // namespace

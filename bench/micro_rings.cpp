@@ -5,6 +5,8 @@
 // DESIGN.md ablation notes on protocol overhead.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/virtual_client.hpp"
 
 namespace {
@@ -29,7 +31,8 @@ void BM_NvmeFsWrite(benchmark::State& state) {
        h.counters().ops(pcie::DmaClass::kData)) /
       static_cast<double>(state.iterations()));
 }
-BENCHMARK(BM_NvmeFsWrite)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_NvmeFsWrite)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_NvmeFsRead(benchmark::State& state) {
   core::NvmeRawHarness::Options o;
@@ -44,7 +47,8 @@ void BM_NvmeFsRead(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_NvmeFsRead)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_NvmeFsRead)->Arg(4096)->Arg(65536)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_VirtioFsWrite(benchmark::State& state) {
   core::VirtioRawHarness::Options o;
@@ -64,7 +68,9 @@ void BM_VirtioFsWrite(benchmark::State& state) {
        h.counters().ops(pcie::DmaClass::kData)) /
       static_cast<double>(state.iterations()));
 }
-BENCHMARK(BM_VirtioFsWrite)->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_VirtioFsWrite)
+    ->Arg(4096)->Arg(8192)->Arg(65536)->Arg(1 << 20)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_VirtioFsRead(benchmark::State& state) {
   core::VirtioRawHarness::Options o;
@@ -79,7 +85,32 @@ void BM_VirtioFsRead(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_VirtioFsRead)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_VirtioFsRead)->Arg(4096)->Arg(65536)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
+
+// Batched submission (IniDriver::submit_batch): one SQ doorbell per run of
+// N commands, one SQE-batch fetch and one coalesced CQE transaction on the
+// TGT. Compare time/op against BM_NvmeFsWrite to see the per-op doorbell +
+// descriptor-DMA amortization.
+void BM_NvmeFsWriteBatched(benchmark::State& state) {
+  core::NvmeRawHarness::Options o;
+  o.queues = 1;
+  o.depth = 64;  // > the widest Arg: the batch must fit the depth-1 pool
+  o.max_io = 1 << 20;
+  core::NvmeRawHarness h(o);
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<std::byte> buf(4096, std::byte{0x5A});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.do_write_batch(0, batch, buf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+  state.counters["doorbells/op"] = static_cast<double>(
+      h.counters().ops(pcie::DmaClass::kDoorbell) /
+      static_cast<double>(state.iterations() * batch));
+}
+BENCHMARK(BM_NvmeFsWriteBatched)->Arg(8)->Arg(32)
+    DPC_BENCH_PIN(dpc::bench::kItersSlow);
 
 void BM_SqeEncodeDecode(benchmark::State& state) {
   nvme::NvmeFsCmd cmd;
@@ -92,6 +123,7 @@ void BM_SqeEncodeDecode(benchmark::State& state) {
     benchmark::DoNotOptimize(nvme::decode_nvme_fs(sqe));
   }
 }
-BENCHMARK(BM_SqeEncodeDecode);
+BENCHMARK(BM_SqeEncodeDecode)
+    DPC_BENCH_PIN(dpc::bench::kItersFast);
 
 }  // namespace

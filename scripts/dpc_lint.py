@@ -38,6 +38,14 @@ they are conventions of this codebase, not of C++:
                     makes the integrity envelope read the write back as
                     bit-rot — every payload mutation goes through the stamp
                     helper.
+  lockfree-mutex    a mutex acquisition (sim:: or std:: guard, or a bare
+                    .lock()/lock_bucket() call) inside a region marked
+                    `// dpc-lint: lockfree-begin(<tag>)` ...
+                    `// dpc-lint: lockfree-end(<tag>)`. Those regions are
+                    the converted seqlock read paths; reintroducing a lock
+                    there silently reverts the optimization and can invert
+                    lock ordering relative to the locked fallback below the
+                    region.
 
 Suppression: append `// dpc-lint: ok(<rule>) <reason>` to the offending
 line, or place it on the line directly above.
@@ -93,6 +101,16 @@ STORED_PAYLOAD_RE = re.compile(r"\.\s*data\s*\.\s*data\s*\(")
 STAMP_RE = re.compile(r"\bstamp_\w+_crc\b|\.crc\s*=")
 STAMP_WINDOW = 4
 
+# Lock-free region markers and what counts as "taking a lock" inside one:
+# the annotated sim:: guards, the std:: guards (already flagged elsewhere,
+# but doubly wrong here), and bare .lock()/lock_bucket()-style calls.
+LOCKFREE_BEGIN_RE = re.compile(r"//\s*dpc-lint:\s*lockfree-begin\((?P<tag>[\w-]+)\)")
+LOCKFREE_END_RE = re.compile(r"//\s*dpc-lint:\s*lockfree-end\((?P<tag>[\w-]+)\)")
+LOCK_ACQUIRE_RE = re.compile(
+    r"\bsim::(?:LockGuard|UniqueLock|SharedLockGuard)\b"
+    r"|\bstd::(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b"
+    r"|(?:\.|->)lock\s*\(|\block_bucket\s*\(|\block_entry\s*\(")
+
 ALL_RULES = (
     "raw-mutex",
     "raw-guard",
@@ -101,6 +119,7 @@ ALL_RULES = (
     "hot-path-lookup",
     "wall-clock",
     "checksum-stamp",
+    "lockfree-mutex",
 )
 
 
@@ -138,10 +157,40 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
     lines = path.read_text(encoding="utf-8").splitlines()
     in_wrapper = rel in WRAPPER_FILES
     in_sim = rel.startswith("src/sim/")
+    lockfree_tag: str | None = None
+    lockfree_open_line = 0
 
     for i, raw in enumerate(lines):
         line = strip_comment(raw)
         n = i + 1
+
+        # Region tracking reads the *raw* line: the markers are comments.
+        begin = LOCKFREE_BEGIN_RE.search(raw)
+        end = LOCKFREE_END_RE.search(raw)
+        if begin:
+            if lockfree_tag is not None:
+                findings.append(Finding(
+                    path, n, "lockfree-mutex",
+                    f"lockfree-begin({begin.group('tag')}) while "
+                    f"{lockfree_tag!r} (opened line {lockfree_open_line}) "
+                    "is still open — regions must not nest"))
+            lockfree_tag = begin.group("tag")
+            lockfree_open_line = n
+        elif end:
+            if lockfree_tag != end.group("tag"):
+                findings.append(Finding(
+                    path, n, "lockfree-mutex",
+                    f"lockfree-end({end.group('tag')}) does not match the "
+                    f"open region {lockfree_tag!r}"))
+            lockfree_tag = None
+        elif (lockfree_tag is not None and LOCK_ACQUIRE_RE.search(line)
+                and not suppressed(lines, i, "lockfree-mutex")):
+            findings.append(Finding(
+                path, n, "lockfree-mutex",
+                f"lock acquisition inside lockfree region "
+                f"({lockfree_tag!r}, opened line {lockfree_open_line}) — "
+                "the seqlock read path must stay lock-free; move the "
+                "locked fallback below lockfree-end"))
 
         if not in_wrapper:
             if RAW_MUTEX_RE.search(line) and not suppressed(lines, i,
@@ -212,6 +261,12 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                         f"CRC restamp within {STAMP_WINDOW} lines — route "
                         "the mutation through the stamp_*_crc helper or "
                         "the write path that calls it"))
+
+    if lockfree_tag is not None:
+        findings.append(Finding(
+            path, lockfree_open_line, "lockfree-mutex",
+            f"lockfree-begin({lockfree_tag}) never closed by a matching "
+            "lockfree-end"))
 
 
 def main(argv: list[str]) -> int:

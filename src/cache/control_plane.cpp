@@ -148,6 +148,27 @@ void DpuCacheControl::set_status(std::uint32_t index, PageStatus s,
   cost += res.cost;
 }
 
+void DpuCacheControl::seq_write_begin(std::uint32_t index, sim::Nanos& cost) {
+  auto seq = dma_->host().atomic_u32(
+      layout_->entry_field_off(index, CacheLayout::EntryField::kSeq));
+  // Exclusive writer (entry write lock held via PCIe atomics): bump to odd,
+  // release-fence so no mutation is ordered before the odd mark.
+  seq.store(seq.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  cost += dma_->note_transaction(pcie::DmaClass::kAtomic,
+                                 sizeof(std::uint32_t));
+}
+
+void DpuCacheControl::seq_write_end(std::uint32_t index, sim::Nanos& cost) {
+  auto seq = dma_->host().atomic_u32(
+      layout_->entry_field_off(index, CacheLayout::EntryField::kSeq));
+  seq.store(seq.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+  cost += dma_->note_transaction(pcie::DmaClass::kAtomic,
+                                 sizeof(std::uint32_t));
+}
+
 bool DpuCacheControl::lock_bucket(std::uint32_t bucket, sim::Nanos& cost) {
   const auto res =
       dma_->atomic_cas_host(layout_->bucket_lock_off(bucket), 0, 1);
@@ -304,7 +325,9 @@ DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
     if (!try_write_lock(i, res.cost)) continue;  // in use; skip
     const CacheEntry e = fetch_entry(i, res.cost);
     if (static_cast<PageStatus>(e.status) == PageStatus::kClean) {
+      seq_write_begin(i, res.cost);
       set_status(i, PageStatus::kFree, res.cost);
+      seq_write_end(i, res.cost);
       bump_free(1, res.cost);
       ++res.pages;
       ++stats_.pages_evicted;
@@ -353,9 +376,9 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
         // Prefer the oldest fill (entries the control plane stamped with
         // its fill sequence; host-filled entries read 0 → evicted first).
         if (clean_victim == kEndOfList ||
-            entries[j].reserved <
+            entries[j].fill <
                 entries[clean_victim - layout_->bucket_head_entry(bucket)]
-                    .reserved) {
+                    .fill) {
           clean_victim = abs;
         }
       }
@@ -393,11 +416,14 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
       unlock_bucket(bucket, res.cost);
       continue;  // past EOF / hole
     }
-    // Fill the identity fields, push the page, publish as clean.
+    // Fill the identity fields, push the page, publish as clean — all
+    // inside the entry's seqlock window so a concurrent lock-free host
+    // reader discards any half-filled view.
     CacheEntry e = entries[free_slot - layout_->bucket_head_entry(bucket)];
     e.inode = inode;
     e.lpn = lpn;
-    e.reserved = fill_seq_.fetch_add(1, std::memory_order_relaxed);
+    e.fill = fill_seq_.fetch_add(1, std::memory_order_relaxed);
+    seq_write_begin(free_slot, res.cost);
     res.cost += dma_->write_host(
         layout_->entry_field_off(free_slot, CacheLayout::EntryField::kLpn),
         std::as_bytes(std::span{&e.lpn, 1}), pcie::DmaClass::kDescriptor);
@@ -405,12 +431,13 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
         layout_->entry_field_off(free_slot, CacheLayout::EntryField::kInode),
         std::as_bytes(std::span{&e.inode, 1}), pcie::DmaClass::kDescriptor);
     res.cost += dma_->write_host(
-        layout_->entry_off(free_slot) + 12,
-        std::as_bytes(std::span{&e.reserved, 1}), pcie::DmaClass::kDescriptor);
+        layout_->entry_field_off(free_slot, CacheLayout::EntryField::kFill),
+        std::as_bytes(std::span{&e.fill, 1}), pcie::DmaClass::kDescriptor);
     res.cost +=
         dma_->write_host(layout_->page_off(free_slot), scratch_,
                          pcie::DmaClass::kData);
     set_status(free_slot, PageStatus::kClean, res.cost);
+    seq_write_end(free_slot, res.cost);
     if (!reused) bump_free(-1, res.cost);
     write_unlock(free_slot, res.cost);
     unlock_bucket(bucket, res.cost);
@@ -530,6 +557,15 @@ DpuCacheControl::PassResult DpuCacheControl::rebuild() {
       host.atomic_u32(layout_->entry_field_off(i,
                                                CacheLayout::EntryField::kLock))
           .store(kLockNone, std::memory_order_release);
+      res.cost += sim::calib::kPcieAtomic;
+    }
+    // A writer that died mid-mutation leaves the seqlock word odd, which
+    // would make lock-free readers retry forever; round it up to even (the
+    // entry's contents were re-derived above, so the generation is stable).
+    if ((entries[i].seq & 1u) != 0) {
+      host.atomic_u32(layout_->entry_field_off(i,
+                                               CacheLayout::EntryField::kSeq))
+          .store(entries[i].seq + 1, std::memory_order_release);
       res.cost += sim::calib::kPcieAtomic;
     }
     switch (static_cast<PageStatus>(entries[i].status)) {

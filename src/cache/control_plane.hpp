@@ -168,6 +168,11 @@ class DpuCacheControl {
   bool try_write_lock(std::uint32_t index, sim::Nanos& cost);
   void write_unlock(std::uint32_t index, sim::Nanos& cost);
   void set_status(std::uint32_t index, PageStatus s, sim::Nanos& cost);
+  // Seqlock window around entry mutations (identity/page/status→free), so
+  // the host's lock-free read path can detect DPU-side rewrites. Posted
+  // 4-byte writes to the entry's seq word, counted as kAtomic traffic.
+  void seq_write_begin(std::uint32_t index, sim::Nanos& cost);
+  void seq_write_end(std::uint32_t index, sim::Nanos& cost);
   bool lock_bucket(std::uint32_t bucket, sim::Nanos& cost);
   void unlock_bucket(std::uint32_t bucket, sim::Nanos& cost);
   void bump_free(std::int32_t delta, sim::Nanos& cost);

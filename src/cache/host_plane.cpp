@@ -19,6 +19,11 @@ namespace dpc::cache {
 namespace {
 constexpr auto kLockNone = static_cast<std::uint32_t>(LockState::kNone);
 constexpr auto kLockWrite = static_cast<std::uint32_t>(LockState::kWrite);
+
+// Lock-free read probes before giving up and taking the locks. Retries are
+// cheap (a few loads); a small budget rides out a single in-flight writer
+// without ever spinning unboundedly against a writer storm.
+constexpr int kLockFreeReadAttempts = 4;
 }  // namespace
 
 HostCachePlane::HostCachePlane(pcie::MemoryRegion& host,
@@ -120,6 +125,24 @@ void HostCachePlane::read_unlock(std::uint32_t entry) {
   }
 }
 
+void HostCachePlane::seq_write_begin(std::uint32_t entry) {
+  auto seq = host_->atomic_u32(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kSeq));
+  // Exclusive writer (entry write lock held): a plain bump to odd, then a
+  // release fence so no mutation is ordered before the odd mark.
+  seq.store(seq.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void HostCachePlane::seq_write_end(std::uint32_t entry) {
+  auto seq = host_->atomic_u32(
+      layout_->entry_field_off(entry, CacheLayout::EntryField::kSeq));
+  // Release store back to even publishes every mutation before it.
+  seq.store(seq.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+}
+
 PageStatus HostCachePlane::status_of(std::uint32_t entry) const {
   return static_cast<PageStatus>(
       host_->atomic_u32(
@@ -161,10 +184,93 @@ std::optional<std::uint32_t> HostCachePlane::find_free_locked(
   return std::nullopt;
 }
 
+void HostCachePlane::post_readahead_hint(std::uint64_t inode,
+                                         std::uint64_t lpn) {
+  // Relaxed word stores — concurrent readers may interleave pairs; seq
+  // bumped last with release so the DPU reads a consistent pair often
+  // enough — it is only a hint.
+  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaInode))
+      .store(inode, std::memory_order_relaxed);
+  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaLpn))
+      .store(lpn, std::memory_order_relaxed);
+  host_->atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
+      .fetch_add(1, std::memory_order_release);
+}
+
+HostCachePlane::FastRead HostCachePlane::try_read_lockfree(
+    std::uint32_t bucket, std::uint64_t inode, std::uint64_t lpn,
+    std::span<std::byte> dst) {
+  // The bucket chain is structurally immutable after CacheLayout init
+  // (entry i ↔ page i, `next` links set once), so the walk itself needs no
+  // bucket lock; only per-entry *contents* can change, and every mutator
+  // wraps its changes in the entry's seqlock window.
+  std::uint32_t idx = layout_->bucket_head_entry(bucket);
+  while (idx != kEndOfList) {
+    const auto seq_off =
+        layout_->entry_field_off(idx, CacheLayout::EntryField::kSeq);
+    const std::uint32_t s1 =
+        host_->atomic_u32(seq_off).load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) return FastRead::kRetry;  // writer mid-flight
+    const auto st = static_cast<PageStatus>(
+        host_->atomic_u32(layout_->entry_field_off(
+                              idx, CacheLayout::EntryField::kStatus))
+            .load(std::memory_order_acquire));
+    const auto e_inode =
+        host_->atomic_u64(layout_->entry_field_off(
+                              idx, CacheLayout::EntryField::kInode))
+            .load(std::memory_order_relaxed);
+    const auto e_lpn =
+        host_->atomic_u64(layout_->entry_field_off(
+                              idx, CacheLayout::EntryField::kLpn))
+            .load(std::memory_order_relaxed);
+    if (st != PageStatus::kFree && e_inode == inode && e_lpn == lpn) {
+      if (st != PageStatus::kClean && st != PageStatus::kDirty) {
+        // Claimed but data not yet valid (host write or DPU prefetch is
+        // filling it). The locked fallback waits for the fill to finish.
+        return FastRead::kRetry;
+      }
+      host_->read(layout_->page_off(idx), dst);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint32_t s2 =
+          host_->atomic_u32(seq_off).load(std::memory_order_relaxed);
+      if (s2 != s1) return FastRead::kRetry;  // torn copy — discard
+      return FastRead::kHit;
+    }
+    // Non-matching entry: the identity words may themselves have torn
+    // under a concurrent claim; trust the no-match verdict only if the
+    // entry stayed stable across the reads.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (host_->atomic_u32(seq_off).load(std::memory_order_relaxed) != s1)
+      return FastRead::kRetry;
+    idx = host_->load<std::uint32_t>(
+        layout_->entry_field_off(idx, CacheLayout::EntryField::kNext));
+  }
+  return FastRead::kMiss;
+}
+
 bool HostCachePlane::read(std::uint64_t inode, std::uint64_t lpn,
                           std::span<std::byte> dst) {
   DPC_CHECK(dst.size() <= layout_->geometry().page_size);
   const std::uint32_t bucket = layout_->bucket_of(inode, lpn);
+  // dpc-lint: lockfree-begin(cache-read)
+  for (int attempt = 0; attempt < kLockFreeReadAttempts; ++attempt) {
+    const FastRead r = try_read_lockfree(bucket, inode, lpn, dst);
+    if (r == FastRead::kHit) {
+      stats_.read_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
+      post_readahead_hint(inode, lpn);
+      return true;
+    }
+    if (r == FastRead::kMiss) {
+      stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stats_.seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+  // dpc-lint: lockfree-end(cache-read)
+  // Writer churn kept the probe unstable — take the locks and wait it out.
+  stats_.locked_fallbacks.fetch_add(1, std::memory_order_relaxed);
   lock_bucket(bucket);
   const auto found = find_locked(bucket, inode, lpn);
   if (!found) {
@@ -186,15 +292,7 @@ bool HostCachePlane::read(std::uint64_t inode, std::uint64_t lpn,
   host_->read(layout_->page_off(entry), dst);
   read_unlock(entry);
   stats_.read_hits.fetch_add(1, std::memory_order_relaxed);
-  // Post the readahead hint (relaxed word stores — concurrent readers may
-  // interleave pairs; seq bumped last with release so the DPU reads a
-  // consistent pair often enough — it is only a hint).
-  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaInode))
-      .store(inode, std::memory_order_relaxed);
-  host_->atomic_u64(layout_->header_field(HeaderOffsets::kRaLpn))
-      .store(lpn, std::memory_order_relaxed);
-  host_->atomic_u32(layout_->header_field(HeaderOffsets::kRaSeq))
-      .fetch_add(1, std::memory_order_release);
+  post_readahead_hint(inode, lpn);
   return true;
 }
 
@@ -209,6 +307,7 @@ HostCachePlane::WriteResult HostCachePlane::write(
   if (const auto found = find_locked(bucket, inode, lpn)) {
     entry = *found;
     write_lock(entry);  // §3.3: lock atomically before touching the page
+    seq_write_begin(entry);
   } else if (const auto free_entry = find_free_locked(bucket)) {
     entry = *free_entry;
     write_lock(entry);
@@ -220,11 +319,13 @@ HostCachePlane::WriteResult HostCachePlane::write(
       return write(inode, lpn, src);
     }
     fresh = true;
-    host_->store<std::uint64_t>(
-        layout_->entry_field_off(entry, CacheLayout::EntryField::kInode),
-        inode);
-    host_->store<std::uint64_t>(
-        layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn), lpn);
+    seq_write_begin(entry);
+    host_->atomic_u64(
+             layout_->entry_field_off(entry, CacheLayout::EntryField::kInode))
+        .store(inode, std::memory_order_relaxed);
+    host_->atomic_u64(
+             layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn))
+        .store(lpn, std::memory_order_relaxed);
     set_status(entry, PageStatus::kInvalid);  // claimed, data not yet valid
   } else {
     // No free entry in this bucket: raise the need-evict flag for the DPU
@@ -241,9 +342,9 @@ HostCachePlane::WriteResult HostCachePlane::write(
   // Pad the remainder of a partial page write with zeros so flushes are
   // whole-page.
   if (src.size() < layout_->geometry().page_size) {
-    auto rest = host_->bytes(layout_->page_off(entry) + src.size(),
-                             layout_->geometry().page_size - src.size());
-    std::fill(rest.begin(), rest.end(), std::byte{0});
+    host_->fill_bytes(layout_->page_off(entry) + src.size(),
+                      layout_->geometry().page_size - src.size(),
+                      std::byte{0});
   }
   const PageStatus prev = status_of(entry);  // stable: we hold the lock
   set_status(entry, PageStatus::kDirty);
@@ -251,6 +352,7 @@ HostCachePlane::WriteResult HostCachePlane::write(
     host_->atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
         .fetch_add(1, std::memory_order_acq_rel);
   }
+  seq_write_end(entry);
   write_unlock(entry);
   if (fresh) {
     host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
@@ -281,20 +383,24 @@ void HostCachePlane::fill_clean(std::uint64_t inode, std::uint64_t lpn,
     unlock_bucket(bucket);
     return;
   }
-  host_->store<std::uint64_t>(
-      layout_->entry_field_off(entry, CacheLayout::EntryField::kInode), inode);
-  host_->store<std::uint64_t>(
-      layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn), lpn);
+  seq_write_begin(entry);
+  host_->atomic_u64(
+           layout_->entry_field_off(entry, CacheLayout::EntryField::kInode))
+      .store(inode, std::memory_order_relaxed);
+  host_->atomic_u64(
+           layout_->entry_field_off(entry, CacheLayout::EntryField::kLpn))
+      .store(lpn, std::memory_order_relaxed);
   set_status(entry, PageStatus::kInvalid);
   unlock_bucket(bucket);
 
   host_->write(layout_->page_off(entry), src);
   if (src.size() < layout_->geometry().page_size) {
-    auto rest = host_->bytes(layout_->page_off(entry) + src.size(),
-                             layout_->geometry().page_size - src.size());
-    std::fill(rest.begin(), rest.end(), std::byte{0});
+    host_->fill_bytes(layout_->page_off(entry) + src.size(),
+                      layout_->geometry().page_size - src.size(),
+                      std::byte{0});
   }
   set_status(entry, PageStatus::kClean);
+  seq_write_end(entry);
   write_unlock(entry);
   host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
       .fetch_sub(1, std::memory_order_acq_rel);
@@ -312,7 +418,9 @@ bool HostCachePlane::invalidate(std::uint64_t inode, std::uint64_t lpn) {
   write_lock(entry);
   unlock_bucket(bucket);
   const PageStatus prev = status_of(entry);
+  seq_write_begin(entry);
   set_status(entry, PageStatus::kFree);
+  seq_write_end(entry);
   write_unlock(entry);
   host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
       .fetch_add(1, std::memory_order_acq_rel);
@@ -339,8 +447,10 @@ void HostCachePlane::zero_tail(std::uint64_t inode, std::uint64_t lpn,
   unlock_bucket(bucket);
   const PageStatus st = status_of(entry);
   if (st == PageStatus::kClean || st == PageStatus::kDirty) {
-    auto tail = host_->bytes(layout_->page_off(entry) + from, page - from);
-    std::fill(tail.begin(), tail.end(), std::byte{0});
+    seq_write_begin(entry);
+    host_->fill_bytes(layout_->page_off(entry) + from, page - from,
+                      std::byte{0});
+    seq_write_end(entry);
   }
   write_unlock(entry);
 }

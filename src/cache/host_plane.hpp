@@ -31,18 +31,27 @@ struct HostCacheStats {
       : read_hits(reg.counter("cache.host/read_hits")),
         read_misses(reg.counter("cache.host/read_misses")),
         writes_cached(reg.counter("cache.host/writes_cached")),
-        write_stalls(reg.counter("cache.host/write_stalls")) {}
+        write_stalls(reg.counter("cache.host/write_stalls")),
+        lockfree_hits(reg.counter("cache.host/lockfree_hits")),
+        seqlock_retries(reg.counter("cache.host/seqlock_retries")),
+        locked_fallbacks(reg.counter("cache.host/locked_fallbacks")) {}
 
   obs::Counter& read_hits;
   obs::Counter& read_misses;
   obs::Counter& writes_cached;
   obs::Counter& write_stalls;  ///< kNoFreeEntry occurrences
+  obs::Counter& lockfree_hits;     ///< hits served without any lock word
+  obs::Counter& seqlock_retries;   ///< unstable-seq observations (retried)
+  obs::Counter& locked_fallbacks;  ///< reads that fell back to the locks
 
   void reset() {
     read_hits = 0;
     read_misses = 0;
     writes_cached = 0;
     write_stalls = 0;
+    lockfree_hits = 0;
+    seqlock_retries = 0;
+    locked_fallbacks = 0;
   }
 };
 
@@ -53,7 +62,9 @@ class HostCachePlane {
   HostCachePlane(pcie::MemoryRegion& host, const CacheLayout& layout,
                  obs::Registry* registry = nullptr);
 
-  /// Cache-hit read: copies the page into `dst` under a read lock.
+  /// Cache-hit read. Fast path: a lock-free seqlock-validated copy that
+  /// touches no lock word at all; falls back to the bucket/entry-lock path
+  /// after repeated seq instability (writer storm on the bucket).
   /// Returns false on miss (caller then issues the nvme-fs read to the DPU).
   bool read(std::uint64_t inode, std::uint64_t lpn, std::span<std::byte> dst);
 
@@ -98,6 +109,20 @@ class HostCachePlane {
   void write_unlock(std::uint32_t entry);
   void read_lock(std::uint32_t entry);   // spins; shared
   void read_unlock(std::uint32_t entry);
+
+  // Seqlock generation word (CacheEntry::seq). Writers — always under the
+  // entry write lock — wrap every entry mutation in begin/end; readers
+  // validate the word around lock-free copies (see DESIGN.md §"Hot paths").
+  void seq_write_begin(std::uint32_t entry);  // even → odd, release-fenced
+  void seq_write_end(std::uint32_t entry);    // odd → even, release store
+
+  /// One lock-free probe of the bucket chain for <inode,lpn>.
+  enum class FastRead { kHit, kMiss, kRetry };
+  FastRead try_read_lockfree(std::uint32_t bucket, std::uint64_t inode,
+                             std::uint64_t lpn, std::span<std::byte> dst);
+
+  /// Posts the consumed <inode,lpn> readahead hint for the DPU poller.
+  void post_readahead_hint(std::uint64_t inode, std::uint64_t lpn);
 
   /// Walks the bucket list; returns the entry index holding <inode,lpn>
   /// (any non-free status), or nullopt. Caller holds the bucket lock.

@@ -1,8 +1,20 @@
 #include "cache/layout.hpp"
 
+#include <cstddef>
+
 #include "sim/check.hpp"
 
 namespace dpc::cache {
+
+// The EntryField offsets are the wire contract both planes (and the torn-
+// read tests) poke at directly — pin them to the struct layout.
+static_assert(offsetof(CacheEntry, lock) == CacheLayout::EntryField::kLock);
+static_assert(offsetof(CacheEntry, status) == CacheLayout::EntryField::kStatus);
+static_assert(offsetof(CacheEntry, next) == CacheLayout::EntryField::kNext);
+static_assert(offsetof(CacheEntry, fill) == CacheLayout::EntryField::kFill);
+static_assert(offsetof(CacheEntry, lpn) == CacheLayout::EntryField::kLpn);
+static_assert(offsetof(CacheEntry, inode) == CacheLayout::EntryField::kInode);
+static_assert(offsetof(CacheEntry, seq) == CacheLayout::EntryField::kSeq);
 
 CacheLayout::CacheLayout(const CacheGeometry& geo,
                          pcie::RegionAllocator& host_alloc)

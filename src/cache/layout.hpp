@@ -49,16 +49,24 @@ enum class PageStatus : std::uint32_t {
 
 enum class CacheMode : std::uint32_t { kRead = 0, kWrite = 1 };
 
-/// On-"wire" cache entry — 32 bytes in the meta area.
+/// On-"wire" cache entry — one 64-byte cache line in the meta area.
+///
+/// Grown from 32 to 64 bytes for the lock-free read path: `seq` is the
+/// entry's seqlock generation word (even = stable, odd = writer in flight;
+/// see DESIGN.md §"Hot paths & perf gate"), and padding the entry out to a
+/// full line keeps adjacent entries' hot lock/seq words off each other's
+/// cache lines (no false sharing between neighbouring buckets).
 struct CacheEntry {
   std::uint32_t lock = 0;    ///< LockState; read-lock holders in bits ≥2
   std::uint32_t status = 0;  ///< PageStatus
   std::uint32_t next = 0;    ///< next entry index in bucket list (kEndOfList)
-  std::uint32_t reserved = 0;
-  std::uint64_t lpn = 0;
-  std::uint64_t inode = 0;
+  std::uint32_t fill = 0;    ///< prefetch fill-sequence stamp (age hint)
+  std::uint64_t lpn = 0;     ///< logical page number within the file
+  std::uint64_t inode = 0;   ///< owning file
+  std::uint32_t seq = 0;     ///< seqlock generation (even=stable, odd=writing)
+  std::uint32_t pad[7] = {}; ///< line padding; reserved for future fields
 };
-static_assert(sizeof(CacheEntry) == 32);
+static_assert(sizeof(CacheEntry) == 64);
 
 inline constexpr std::uint32_t kEndOfList = 0xFFFFFFFFu;
 
@@ -118,8 +126,10 @@ class CacheLayout {
     static constexpr std::uint64_t kLock = 0;
     static constexpr std::uint64_t kStatus = 4;
     static constexpr std::uint64_t kNext = 8;
+    static constexpr std::uint64_t kFill = 12;
     static constexpr std::uint64_t kLpn = 16;
     static constexpr std::uint64_t kInode = 24;
+    static constexpr std::uint64_t kSeq = 32;
   };
 
   std::uint32_t bucket_of(std::uint64_t inode, std::uint64_t lpn) const;

@@ -15,12 +15,25 @@
 namespace dpc::ec {
 
 /// Computes CRC32C over `data`, seeded by `crc` (pass 0 to start; chain
-/// calls with the previous return value to checksum in pieces). Slice-by-8:
-/// eight table lookups fold eight input bytes per iteration.
+/// calls with the previous return value to checksum in pieces).
+/// Runtime-dispatched: uses the SSE4.2 `crc32` instruction when the CPU has
+/// it (detected once, at first use), else the slice-by-8 table fold. All
+/// backends produce bit-identical results.
 std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t crc = 0);
 
+/// Name of the backend crc32c() dispatched to: "sse4.2" (hardware) or
+/// "slice8" (portable table fold). For logs, benches, and tests that want
+/// to know whether the hardware path is actually under test.
+const char* crc32c_backend();
+
+/// The portable slice-by-8 table fold — eight lookups consume eight input
+/// bytes per iteration. Always available regardless of dispatch; exposed so
+/// tests and benches can compare it against the hardware path directly.
+std::uint32_t crc32c_slice8(std::span<const std::byte> data,
+                            std::uint32_t crc = 0);
+
 /// Reference byte-at-a-time implementation. Same result as crc32c(); kept
-/// for the micro-bench (quantifies the slice-by-8 speedup that bounds
+/// for the micro-bench (quantifies the slice-by-8/SIMD speedup that bounds
 /// scrub overhead) and for cross-checking in tests.
 std::uint32_t crc32c_bytewise(std::span<const std::byte> data,
                               std::uint32_t crc = 0);

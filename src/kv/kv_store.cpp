@@ -1,7 +1,9 @@
 #include "kv/kv_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <thread>
 
 #include "ec/crc32c.hpp"
 #include "sim/check.hpp"
@@ -30,14 +32,32 @@ Bytes to_bytes(std::span<const std::byte> s) {
   return Bytes(s.begin(), s.end());
 }
 
-KvStore::KvStore(int shards) : shards_storage_(static_cast<std::size_t>(shards)) {
-  DPC_CHECK(shards >= 1);
+namespace {
+std::size_t pick_shard_count(int shards) {
+  std::size_t want;
+  if (shards <= 0) {
+    // Per-core sharding: one shard per hardware thread keeps independent
+    // client threads on distinct locks; min 16 preserves spread on small
+    // machines and matches the pre-sharded default.
+    const unsigned hw = std::thread::hardware_concurrency();
+    want = std::max<std::size_t>(16, hw == 0 ? 16 : hw);
+  } else {
+    want = static_cast<std::size_t>(shards);
+  }
+  return std::bit_ceil(want);  // pow2 so shard_for is a mask, not a div
+}
+}  // namespace
+
+KvStore::KvStore(int shards) : shards_storage_(pick_shard_count(shards)) {
+  shard_mask_ = shards_storage_.size() - 1;
 }
 
 KvStore::Shard& KvStore::shard_for(std::string_view key) const {
   const std::size_t h = std::hash<std::string_view>{}(key);
+  // Fibonacci remix before masking: std::hash for short strings can be
+  // low-entropy in the bottom bits, and the mask only sees those.
   return const_cast<Shard&>(
-      shards_storage_[h % shards_storage_.size()]);
+      shards_storage_[(h * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_]);
 }
 
 void KvStore::put(std::string_view key, std::span<const std::byte> value) {

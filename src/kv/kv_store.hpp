@@ -44,7 +44,11 @@ enum class ValueCheck : std::uint8_t { kOk, kAbsent, kCorrupt };
 
 class KvStore {
  public:
-  explicit KvStore(int shards = 16);
+  /// `shards` ≤ 0 sizes the shard array per-core (hardware_concurrency
+  /// rounded up to a power of two, min 16) so independent client threads
+  /// land on distinct shard locks; explicit counts are rounded up to the
+  /// next power of two so shard selection is a mask, not a division.
+  explicit KvStore(int shards = 0);
 
   /// Attaches the corruption injector (null = pristine store). Must outlive
   /// the store.
@@ -115,7 +119,9 @@ class KvStore {
     Bytes data;
     std::uint32_t crc = 0;  ///< CRC32C of data, seeded with the key's CRC
   };
-  struct Shard {
+  // Cache-line aligned so neighbouring shards' mutexes and map headers
+  // never share a line (false sharing on the hot shard locks).
+  struct alignas(64) Shard {
     mutable sim::AnnotatedSharedMutex mu{"kv.shard",
                                          sim::LockRank::kStore};
     std::map<std::string, Value, std::less<>> data GUARDED_BY(mu);
@@ -123,6 +129,7 @@ class KvStore {
   Shard& shard_for(std::string_view key) const;
 
   std::vector<Shard> shards_storage_;
+  std::size_t shard_mask_ = 0;  ///< shards_storage_.size() - 1 (pow2 count)
   fault::FaultInjector* fault_ = nullptr;
 };
 

@@ -1,9 +1,11 @@
 #include "kvfs/kvfs.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <thread>
 
 #include "sim/check.hpp"
 
@@ -15,6 +17,13 @@ bool valid_name(std::string_view name) {
          name.find('/') == std::string_view::npos && name != "." &&
          name != "..";
 }
+
+// Per-core metadata-cache sharding: one shard per hardware thread (pow2 so
+// shard selection is a mask), min 16 to keep spread on small machines.
+std::size_t cache_shard_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::bit_ceil(std::max<std::size_t>(16, hw == 0 ? 16 : hw));
+}
 }  // namespace
 
 Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
@@ -24,7 +33,9 @@ Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
       owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                           : nullptr),
       registry_(registry != nullptr ? registry : owned_registry_.get()),
-      stats_(*registry_) {
+      stats_(*registry_),
+      cache_shards_(cache_shard_count()),
+      cache_shard_mask_(cache_shards_.size() - 1) {
   if (opts_.journal) {
     journal_ = std::make_unique<IntentJournal>(store, *registry_,
                                                opts_.fault);
@@ -162,53 +173,79 @@ std::optional<Ino> Kvfs::load_dentry(Ino parent, std::string_view name,
 
 // ------------------------------------------------------------------ caches
 
+Kvfs::CacheShard& Kvfs::dentry_shard(Ino parent, std::string_view name) {
+  // Mix the parent into the name hash so hot directories still spread their
+  // entries across shards.
+  std::uint64_t h = std::hash<std::string_view>{}(name);
+  h ^= parent * 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return cache_shards_[(h >> 32) & cache_shard_mask_];
+}
+
+Kvfs::CacheShard& Kvfs::attr_shard(Ino ino) {
+  return cache_shards_[(ino * 0x9E3779B97F4A7C15ull >> 32) &
+                       cache_shard_mask_];
+}
+
+std::size_t Kvfs::cache_shard_cap(std::size_t total_entries) const {
+  return std::max<std::size_t>(1, total_entries / cache_shards_.size());
+}
+
 void Kvfs::cache_dentry(Ino parent, std::string_view name, Ino ino) {
   if (!opts_.enable_caches) return;
-  sim::LockGuard lock(cache_mu_);
-  if (dentry_cache_.size() >= opts_.dentry_cache_entries)
-    dentry_cache_.clear();  // wholesale drop: simple and rare
-  dentry_cache_[inode_key(parent, name)] = ino;
+  CacheShard& sh = dentry_shard(parent, name);
+  sim::LockGuard lock(sh.mu);
+  if (sh.dentry.size() >= cache_shard_cap(opts_.dentry_cache_entries))
+    sh.dentry.clear();  // wholesale per-shard drop: simple and rare
+  sh.dentry[inode_key(parent, name)] = ino;
 }
 
 void Kvfs::uncache_dentry(Ino parent, std::string_view name) {
   if (!opts_.enable_caches) return;
-  sim::LockGuard lock(cache_mu_);
-  dentry_cache_.erase(inode_key(parent, name));
+  CacheShard& sh = dentry_shard(parent, name);
+  sim::LockGuard lock(sh.mu);
+  sh.dentry.erase(inode_key(parent, name));
 }
 
 std::optional<Ino> Kvfs::cached_dentry(Ino parent, std::string_view name) {
   if (!opts_.enable_caches) return std::nullopt;
-  sim::SharedLockGuard lock(cache_mu_);
-  const auto it = dentry_cache_.find(inode_key(parent, name));
-  if (it == dentry_cache_.end()) return std::nullopt;
+  CacheShard& sh = dentry_shard(parent, name);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.dentry.find(inode_key(parent, name));
+  if (it == sh.dentry.end()) return std::nullopt;
   return it->second;
 }
 
 void Kvfs::cache_attr(const Attr& a) {
   if (!opts_.enable_caches) return;
-  sim::LockGuard lock(cache_mu_);
-  if (attr_cache_.size() >= opts_.attr_cache_entries) attr_cache_.clear();
-  attr_cache_[a.ino] = a;
+  CacheShard& sh = attr_shard(a.ino);
+  sim::LockGuard lock(sh.mu);
+  if (sh.attr.size() >= cache_shard_cap(opts_.attr_cache_entries))
+    sh.attr.clear();
+  sh.attr[a.ino] = a;
 }
 
 void Kvfs::uncache_attr(Ino ino) {
   if (!opts_.enable_caches) return;
-  sim::LockGuard lock(cache_mu_);
-  attr_cache_.erase(ino);
+  CacheShard& sh = attr_shard(ino);
+  sim::LockGuard lock(sh.mu);
+  sh.attr.erase(ino);
 }
 
 std::optional<Attr> Kvfs::cached_attr(Ino ino) {
   if (!opts_.enable_caches) return std::nullopt;
-  sim::SharedLockGuard lock(cache_mu_);
-  const auto it = attr_cache_.find(ino);
-  if (it == attr_cache_.end()) return std::nullopt;
+  CacheShard& sh = attr_shard(ino);
+  sim::SharedLockGuard lock(sh.mu);
+  const auto it = sh.attr.find(ino);
+  if (it == sh.attr.end()) return std::nullopt;
   return it->second;
 }
 
 void Kvfs::drop_caches() {
-  sim::LockGuard lock(cache_mu_);
-  dentry_cache_.clear();
-  attr_cache_.clear();
+  for (CacheShard& sh : cache_shards_) {
+    sim::LockGuard lock(sh.mu);
+    sh.dentry.clear();
+    sh.attr.clear();
+  }
 }
 
 // --------------------------------------------------------------- namespace

@@ -215,12 +215,23 @@ class Kvfs {
   };
   std::array<Stripe, kLockStripes> stripes_;
 
-  /// Leaf rank: taken under a stripe on every cached lookup, never holds
-  /// anything itself.
-  sim::AnnotatedSharedMutex cache_mu_{"kvfs.cache", sim::LockRank::kLeaf};
-  /// Key = inode_key.
-  std::unordered_map<std::string, Ino> dentry_cache_ GUARDED_BY(cache_mu_);
-  std::unordered_map<Ino, Attr> attr_cache_ GUARDED_BY(cache_mu_);
+  /// Per-core sharded metadata caches: each shard owns its slice of the
+  /// dentry map (key = inode_key) and the attr map under its own shared
+  /// mutex (leaf rank: taken under a stripe on every cached lookup, never
+  /// holds anything itself). Cache-line aligned so hot shard locks on
+  /// neighbouring shards never false-share. Capacity caps and wholesale
+  /// drops apply per shard.
+  struct alignas(64) CacheShard {
+    mutable sim::AnnotatedSharedMutex mu{"kvfs.cache", sim::LockRank::kLeaf};
+    std::unordered_map<std::string, Ino> dentry GUARDED_BY(mu);
+    std::unordered_map<Ino, Attr> attr GUARDED_BY(mu);
+  };
+  CacheShard& dentry_shard(Ino parent, std::string_view name);
+  CacheShard& attr_shard(Ino ino);
+  std::size_t cache_shard_cap(std::size_t total_entries) const;
+
+  std::vector<CacheShard> cache_shards_;
+  std::size_t cache_shard_mask_ = 0;  ///< size - 1 (power-of-two count)
 };
 
 }  // namespace dpc::kvfs

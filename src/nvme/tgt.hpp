@@ -8,6 +8,12 @@
 //   ④ post the CQE.
 // A bidirectional command (write payload out + read payload back) performs
 // the ②③ pair once per direction.
+//
+// Batching: a drain cycle fetches the whole doorbell-delimited run of SQEs
+// with ONE descriptor DMA (①×N coalesced) and accounts the run's CQE posts
+// as ONE descriptor transaction (④×N coalesced) — the DPU-side twin of the
+// INI's one-doorbell-per-batch submit. A single-command drain therefore
+// costs exactly the same four DMAs as before.
 #pragma once
 
 #include <cstdint>
@@ -95,7 +101,10 @@ class TgtDriver {
   void reset();
 
  private:
-  ProcessStats process_one();
+  /// Executes one already-fetched SQE (②③④ of Fig. 4). Bumps `cqes_posted`
+  /// if a CQE landed — the caller settles the batch's coalesced CQE wire
+  /// cost once per drain run.
+  ProcessStats process_one(const Sqe& sqe, int& cqes_posted);
 
   pcie::DmaEngine* dma_;
   const QueuePair* qp_;
@@ -108,12 +117,15 @@ class TgtDriver {
   obs::Counter* dropped_cqes_ = nullptr;
   obs::Counter* error_cqes_ = nullptr;
   obs::Counter* integrity_errors_ = nullptr;
+  obs::Counter* sqe_fetch_bursts_ = nullptr;
+  obs::Counter* cqe_post_bursts_ = nullptr;
 
   std::uint16_t sq_head_ = 0;
   std::uint16_t cq_tail_ = 0;
   bool cq_phase_ = true;
   std::vector<std::byte> wscratch_;
   std::vector<std::byte> rscratch_;
+  std::vector<Sqe> sqe_batch_;  ///< scratch for the contiguous-run fetch
 };
 
 }  // namespace dpc::nvme

@@ -25,7 +25,11 @@ namespace dpc::obs {
 /// Monotonic counter. API is a drop-in for the std::atomic<uint64_t> members
 /// it replaces in the per-module stats structs (fetch_add/load), so the
 /// migration onto the registry does not disturb existing call sites.
-class Counter {
+/// Cache-line sized: counters are individually heap-allocated by the
+/// registry and hammered from many threads; without the padding, allocator
+/// neighbours (often two hot counters registered back-to-back) share a line
+/// and every add() ping-pongs it.
+class alignas(64) Counter {
  public:
   Counter() = default;
   Counter(const Counter&) = delete;
@@ -60,7 +64,8 @@ class Counter {
 };
 
 /// Signed instantaneous value (queue depths, free-page counts).
-class Gauge {
+/// Cache-line sized for the same false-sharing reason as Counter.
+class alignas(64) Gauge {
  public:
   Gauge() = default;
   Gauge(const Gauge&) = delete;
@@ -73,6 +78,9 @@ class Gauge {
  private:
   std::atomic<std::int64_t> v_{0};
 };
+
+static_assert(sizeof(Counter) == 64 && alignof(Counter) == 64);
+static_assert(sizeof(Gauge) == 64 && alignof(Gauge) == 64);
 
 /// Named-instrument registry. Instrument references are stable for the
 /// registry's lifetime; names use "scope/metric" convention (e.g.

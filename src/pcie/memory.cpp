@@ -85,6 +85,17 @@ void MemoryRegion::fill(std::byte v) {
   std::memset(mem_.data(), static_cast<int>(v), mem_.size());
 }
 
+void MemoryRegion::fill_bytes(std::uint64_t offset, std::size_t n,
+                              std::byte v) {
+  auto dst = bytes(offset, n);
+#ifdef DPC_TSAN
+  for (std::size_t i = 0; i < n; ++i)
+    std::atomic_ref<std::byte>(dst[i]).store(v, std::memory_order_relaxed);
+#else
+  std::memset(dst.data(), static_cast<int>(v), n);
+#endif
+}
+
 RegionAllocator::RegionAllocator(MemoryRegion& region, std::uint64_t start)
     : region_(&region), cursor_(start) {
   DPC_CHECK(start <= region.size());

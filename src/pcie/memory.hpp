@@ -58,6 +58,11 @@ class MemoryRegion {
 
   void fill(std::byte v);
 
+  /// Fills [offset, offset+n) with `v` through the DMA-burst copy path —
+  /// under TSan this degrades to byte-wise relaxed atomics like write(), so
+  /// it may legally overlap seqlock-validated lock-free readers.
+  void fill_bytes(std::uint64_t offset, std::size_t n, std::byte v);
+
  private:
   std::string name_;
   // 64-byte alignment so atomic_ref targets never straddle cache lines.

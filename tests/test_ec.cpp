@@ -230,5 +230,33 @@ TEST(Crc32c, DetectsBitFlip) {
   EXPECT_NE(crc32c(buf), a);
 }
 
+TEST(Crc32c, BackendNameIsKnown) {
+  const std::string name = crc32c_backend();
+  EXPECT_TRUE(name == "sse4.2" || name == "slice8") << name;
+}
+
+TEST(Crc32c, AllBackendsAgreeAcrossSizesAndSeeds) {
+  // Cross-check the dispatched backend (hardware when the CPU has SSE4.2)
+  // against both software paths, across every 8-byte-remainder class, with
+  // unaligned starts and nonzero seeds.
+  sim::Rng rng(7);
+  std::vector<std::byte> buf(4096 + 64);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next_below(256));
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17,
+                               63, 64, 65, 511, 512, 1000, 4096};
+  for (const std::size_t size : sizes) {
+    for (const std::size_t align : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{5}}) {
+      const auto s =
+          std::span<const std::byte>(buf).subspan(align, size);
+      for (const std::uint32_t seed : {0u, 1u, 0xDEADBEEFu}) {
+        const auto ref = crc32c_bytewise(s, seed);
+        EXPECT_EQ(crc32c(s, seed), ref) << size << "+" << align;
+        EXPECT_EQ(crc32c_slice8(s, seed), ref) << size << "+" << align;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dpc::ec
