@@ -36,3 +36,4 @@ dpc_microbench(micro_kv)
 dpc_microbench(micro_cache)
 dpc_bench(ablation_offload)
 dpc_bench(chaos_recovery)
+dpc_bench(qos_antagonist)

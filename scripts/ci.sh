@@ -23,6 +23,10 @@
 #            scrubber tests over several seeds (plain + tsan), plus the
 #            corruption-recovery bench (BENCH_scrub_recovery.json with its
 #            detected == repaired + unrecoverable invariant).
+#   qos    — overload robustness: the per-tenant QoS tests (plain + tsan)
+#            and the antagonist bench (BENCH_qos.json), which asserts the
+#            isolation SLO internally: victim p99 ≤ 2× solo with isolation
+#            on, ≥ 5× degradation with it off.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -109,5 +113,16 @@ for seed in "${SCRUB_SEEDS[@]}"; do
     -j "$JOBS" -R 'Scrub|SilentCorruption'
 done
 test -f build/BENCH_scrub_recovery.json  # emitted by chaos_recovery above
+
+echo "=== qos stage ==="
+echo "--- qos tests (plain) ---"
+ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Qos'
+echo "--- qos tests (tsan) ---"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R 'Qos'
+echo "--- qos antagonist bench ---"
+# The bench DPC_CHECKs its own isolation SLO (victim p99 ≤ 2× solo with
+# QoS on, ≥ 5× degradation with it off) and aborts non-zero on violation.
+(cd build && ./bench/qos_antagonist --csv >/dev/null)
+test -f build/BENCH_qos.json
 
 echo "=== ci OK ==="

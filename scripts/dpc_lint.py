@@ -46,6 +46,13 @@ they are conventions of this codebase, not of C++:
                     there silently reverts the optimization and can invert
                     lock ordering relative to the locked fallback below the
                     region.
+  tenant-id         a default-constructed NvmeFsCmd / IniDriver::Request
+                    with no `.tenant` assignment in the following lines.
+                    Every nvme-fs command carries the issuing tenant in
+                    DW10[31:24]; a site that forgets the stamp silently
+                    bills its I/O to tenant 0 and escapes QoS accounting.
+                    Deliberately single-tenant sites stamp `.tenant = 0`
+                    with a comment (or suppress).
 
 Suppression: append `// dpc-lint: ok(<rule>) <reason>` to the offending
 line, or place it on the line directly above.
@@ -111,6 +118,13 @@ LOCK_ACQUIRE_RE = re.compile(
     r"|\bstd::(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b"
     r"|(?:\.|->)lock\s*\(|\block_bucket\s*\(|\block_entry\s*\(")
 
+# Default-constructed command/request objects that carry a tenant id on the
+# wire. The stamp must appear within the window (the spec.cpp decode helper
+# fills every field and lands its tenant line 15 rows below the decl).
+TENANT_DECL_RE = re.compile(
+    r"\b(?:nvme::)?(?:NvmeFsCmd|IniDriver::Request)\s+(?P<var>\w+)\s*;")
+TENANT_WINDOW = 16
+
 ALL_RULES = (
     "raw-mutex",
     "raw-guard",
@@ -120,6 +134,7 @@ ALL_RULES = (
     "wall-clock",
     "checksum-stamp",
     "lockfree-mutex",
+    "tenant-id",
 )
 
 
@@ -246,6 +261,21 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                 path, n, "wall-clock",
                 "steady_clock inside the time model — src/sim/ must be "
                 "clock-free"))
+
+        tenant_decl = TENANT_DECL_RE.search(line)
+        if tenant_decl and not suppressed(lines, i, "tenant-id"):
+            var = tenant_decl.group("var")
+            stamp = re.compile(r"\b" + re.escape(var) + r"\s*\.\s*tenant\s*=")
+            hi = min(len(lines), i + TENANT_WINDOW + 1)
+            window = [strip_comment(l) for l in lines[i:hi]]
+            if not any(stamp.search(w) for w in window):
+                findings.append(Finding(
+                    path, n, "tenant-id",
+                    f"'{var}' is encoded/dispatched without a .tenant stamp "
+                    f"within {TENANT_WINDOW} lines — the command will bill "
+                    "to tenant 0 and dodge QoS accounting; stamp the "
+                    "issuing tenant (or an explicit `.tenant = 0` for a "
+                    "deliberately single-tenant site)"))
 
         if rel in CHECKSUM_STORE_FILES:
             m = MEMCPY_CALL_RE.search(line)

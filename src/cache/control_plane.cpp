@@ -1,6 +1,7 @@
 #include "cache/control_plane.hpp"
 
 #include "dpu/compress.hpp"
+#include "dpu/qos.hpp"
 #include "ec/crc32c.hpp"
 #include "sim/check.hpp"
 #include "sim/lockrank.hpp"
@@ -450,14 +451,20 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
 
 DpuCacheControl::PassResult DpuCacheControl::on_read_miss(std::uint64_t inode,
                                                           std::uint64_t lpn,
-                                                          std::uint32_t span) {
+                                                          std::uint32_t span,
+                                                          std::uint8_t tenant) {
   SequentialPrefetcher::Advice advice;
   {
     sim::LockGuard lock(pass_mu_);
     advice = prefetcher_.on_miss(inode, lpn, span);
   }
   if (advice.pages == 0) return {};
-  return prefetch(inode, advice.start_lpn, advice.pages);
+  const PassResult res = prefetch(inode, advice.start_lpn, advice.pages);
+  // Speculative backend work is charged to the tenant whose miss caused it.
+  if (qos_ != nullptr && res.pages > 0)
+    qos_->count_prefetch_pages(tenant,
+                               static_cast<std::uint64_t>(res.pages));
+  return res;
 }
 
 int DpuCacheControl::poll() {

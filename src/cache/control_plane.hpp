@@ -30,6 +30,10 @@
 #include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
+namespace dpc::dpu {
+class QosManager;
+}
+
 namespace dpc::cache {
 
 /// Fault-injection site: one draw per flushed page; a hit makes the backend
@@ -128,9 +132,14 @@ class DpuCacheControl {
 
   /// Reports a host read miss (one request spanning `span` cache pages) so
   /// the prefetcher can learn the stream; runs any advised prefetch
-  /// immediately. Returns its cost.
+  /// immediately. Returns its cost. `tenant` attributes the triggered
+  /// prefetch pages when a QoS manager is attached.
   PassResult on_read_miss(std::uint64_t inode, std::uint64_t lpn,
-                          std::uint32_t span = 1);
+                          std::uint32_t span = 1, std::uint8_t tenant = 0);
+
+  /// Attaches the DPU QoS manager for per-tenant prefetch attribution
+  /// ("qos/t<i>/prefetch_pages"). Set during system wiring, before traffic.
+  void attach_qos(dpu::QosManager* qos) { qos_ = qos; }
 
   /// WorkerPool poller: services the need-evict flag and flushes a batch.
   /// Returns the number of pages it acted on. Inert while the fault
@@ -181,6 +190,7 @@ class DpuCacheControl {
   const CacheLayout* layout_;
   CacheBackend* backend_;
   fault::FaultInjector* fault_;
+  dpu::QosManager* qos_ = nullptr;  ///< per-tenant prefetch attribution
   /// Consulted only inside an eviction pass (replacement is single-flight).
   std::unique_ptr<EvictionPolicy> policy_ PT_GUARDED_BY(pass_mu_);
   ControlPlaneConfig cfg_;

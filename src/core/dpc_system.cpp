@@ -15,6 +15,11 @@ namespace {
 
 constexpr std::uint32_t kCachePage = 4096;
 
+/// Tenant identity of this host thread, stamped into every Request it
+/// builds. Thread-local (not per-call) so the fs-adapter API stays
+/// unchanged for the common single-tenant case.
+thread_local nvme::TenantId tl_tenant = 0;
+
 std::uint64_t page_round(std::uint64_t n) { return (n + 4095) / 4096 * 4096; }
 
 /// Host memory needed for the queue slots, rings and the hybrid cache.
@@ -77,9 +82,13 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
       restart_ns_(&registry_.histogram("recovery/restart_ns")),
       nvme_retries_(&registry_.counter("retry/attempts")),
       nvme_retry_exhausted_(&registry_.counter("retry/exhausted")),
+      nvme_throttled_(&registry_.counter("retry/throttled")),
       host_integrity_errors_(
           &registry_.counter("nvme.host/integrity_errors")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
+
+  if (opts.qos.enabled)
+    qos_ = std::make_unique<dpu::QosManager>(opts.qos, registry_);
 
   host_mem_ = std::make_unique<pcie::MemoryRegion>("host-dram",
                                                    host_region_size(opts));
@@ -102,6 +111,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
   kvfs::KvfsOptions kvfs_opts = opts.kvfs;
   if (kvfs_opts.fault == nullptr) kvfs_opts.fault = opts.fault;
   kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, kvfs_opts, &registry_);
+  if (qos_) kvfs_->attach_qos(qos_.get());
   if (opts.with_dfs) {
     mds_ = std::make_unique<dfs::MdsCluster>();
     data_servers_ = std::make_unique<dfs::DataServers>(
@@ -122,6 +132,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
         *dma_, *cache_layout_, *cache_backend_,
         std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_,
         opts.fault);
+    if (qos_) cache_ctl_->attach_qos(qos_.get());
   }
 
   // Background integrity scrubber (DPU-side poller once start_dpu runs).
@@ -130,11 +141,13 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
         std::make_unique<dpu::Scrubber>(opts.scrub, registry_, opts.fault);
     scrubber_->attach_kv(&store);
     if (opts.with_dfs) scrubber_->attach_dfs(data_servers_.get(), mds_.get());
+    if (qos_) scrubber_->attach_qos(qos_.get());
   }
 
   // Dispatch + transport.
   dispatch_ = std::make_unique<IoDispatch>(*kvfs_, dfs_client_.get(),
-                                           cache_ctl_.get(), &registry_);
+                                           cache_ctl_.get(), &registry_,
+                                           qos_.get());
   for (int q = 0; q < opts.queues; ++q) {
     nvme::QpConfig qc;
     qc.qid = static_cast<std::uint16_t>(q);
@@ -149,7 +162,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
                                                       qtraces_.back().get()));
     tgts_.push_back(std::make_unique<nvme::TgtDriver>(
         *dma_, *qps_.back(), dispatch_->handler(), qtraces_.back().get(),
-        opts.fault));
+        opts.fault, qos_.get()));
     pump_mu_.push_back(std::make_unique<sim::AnnotatedMutex>(
         "dpc.pump", sim::LockRank::kSystem));
   }
@@ -160,17 +173,24 @@ DpcSystem::~DpcSystem() { stop_dpu(); }
 void DpcSystem::start_dpu() {
   if (workers_running_.load(std::memory_order_acquire)) return;
   workers_ = std::make_unique<dpu::WorkerPool>();
+  // Graceful degradation: with QoS on, background pollers (flusher,
+  // scrubber) run on surplus capacity only — the pool skips them while the
+  // staging queues sit above the admission high-water mark.
+  if (qos_) {
+    dpu::QosManager* q = qos_.get();
+    workers_->set_background_gate([q] { return q->overloaded(); });
+  }
   for (auto& tgt : tgts_) {
     nvme::TgtDriver* t = tgt.get();
     workers_->add_poller([t] { return t->process_available(64).processed; });
   }
   if (cache_ctl_) {
     cache::DpuCacheControl* ctl = cache_ctl_.get();
-    workers_->add_poller([ctl] { return ctl->poll(); });
+    workers_->add_poller([ctl] { return ctl->poll(); }, /*background=*/true);
   }
   if (scrubber_) {
     dpu::Scrubber* s = scrubber_.get();
-    workers_->add_poller([s] { return s->poll(); });
+    workers_->add_poller([s] { return s->poll(); }, /*background=*/true);
   }
   workers_->start(opts_.dpu_workers);
   workers_running_.store(true, std::memory_order_release);
@@ -229,6 +249,12 @@ DpcSystem::RestartReport DpcSystem::restart_dpu() NO_THREAD_SAFETY_ANALYSIS {
   if (was_running) start_dpu();
   return rep;
 }
+
+void DpcSystem::set_thread_tenant(nvme::TenantId tenant) {
+  tl_tenant = tenant;
+}
+
+nvme::TenantId DpcSystem::thread_tenant() { return tl_tenant; }
 
 int DpcSystem::queue_for_this_thread() {
   thread_local int tl_queue = -1;
@@ -296,7 +322,17 @@ DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
       if (attempt < opts_.nvme_retry.max_attempts) {
         ini.release(submitted.cid);
         nvme_retries_->add();
-        out.cost += opts_.nvme_retry.backoff(attempt, salt);
+        sim::Nanos backoff = opts_.nvme_retry.backoff(attempt, salt);
+        if (done.status == nvme::Status::kThrottled) {
+          // Admission rejection: the CQE result dword carries the device's
+          // retry-after hint (ns). Honor it as a floor under the policy's
+          // own backoff so a throttled tenant never hammers the doorbell
+          // faster than the DPU asked.
+          nvme_throttled_->add();
+          backoff = std::max(
+              backoff, sim::Nanos{static_cast<std::int64_t>(done.result)});
+        }
+        out.cost += backoff;
         continue;
       }
       nvme_retry_exhausted_->add();
@@ -332,6 +368,7 @@ DpcSystem::CallResult DpcSystem::call(const nvme::IniDriver::Request& req,
       }
     }
     ini.release(submitted.cid);
+    if (qos_) qos_->record_latency(thread_tenant(), out.cost);
     return out;
   }
 }
@@ -357,6 +394,7 @@ Io DpcSystem::header_call(nvme::DispatchTarget target, const FileRequest& req,
   const auto enc = req.encode();
   nvme::IniDriver::Request r;
   r.target = target;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kNone;
   r.write_hdr = enc;
   r.read_hdr_cap = static_cast<std::uint16_t>(
@@ -611,6 +649,7 @@ Io DpcSystem::read(std::uint64_t ino, std::uint64_t offset,
 
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kStandalone;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kRead;
   r.inode = ino;
   r.offset = offset;
@@ -715,6 +754,7 @@ Io DpcSystem::write(std::uint64_t ino, std::uint64_t offset,
 
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kStandalone;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kWrite;
   r.inode = ino;
   r.offset = offset;
@@ -762,6 +802,7 @@ Io DpcSystem::truncate(std::uint64_t ino, std::uint64_t new_size) {
   }
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kStandalone;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kTruncate;
   r.inode = ino;
   r.offset = new_size;
@@ -779,6 +820,7 @@ Io DpcSystem::truncate(std::uint64_t ino, std::uint64_t new_size) {
 Io DpcSystem::fsync(std::uint64_t ino) {
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kStandalone;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kFsync;
   r.inode = ino;
   const auto res = call(r, 0);
@@ -815,6 +857,7 @@ Io DpcSystem::dfs_read(std::uint64_t ino, std::uint64_t offset,
                        std::span<std::byte> dst) {
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kDistributed;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kRead;
   r.inode = ino;
   r.offset = offset;
@@ -845,6 +888,7 @@ Io DpcSystem::dfs_write(std::uint64_t ino, std::uint64_t offset,
                         std::span<const std::byte> src) {
   nvme::IniDriver::Request r;
   r.target = nvme::DispatchTarget::kDistributed;
+  r.tenant = thread_tenant();
   r.inline_op = nvme::InlineOp::kWrite;
   r.inode = ino;
   r.offset = offset;

@@ -31,6 +31,7 @@
 #include "dfs/backend.hpp"
 #include "dfs/client.hpp"
 #include "dpu/dpu.hpp"
+#include "dpu/qos.hpp"
 #include "fault/injector.hpp"
 #include "fault/retry.hpp"
 #include "dpu/scrubber.hpp"
@@ -84,6 +85,13 @@ struct DpcOptions {
   /// parity. Off by default — zero overhead.
   bool enable_scrubber = false;
   dpu::ScrubberConfig scrub{};
+
+  // ---- per-tenant QoS (overload robustness)
+  /// DPU-side admission control, weighted fair scheduling and graceful
+  /// degradation, keyed on the tenant id each SQE carries in DW10[31:24].
+  /// Off by default: a null manager keeps every hook at the pre-QoS
+  /// behavior (FIFO dispatch, no admission, no shedding).
+  dpu::QosConfig qos{};
 };
 
 /// Result of one fs-adapter call.
@@ -186,6 +194,14 @@ class DpcSystem {
   cache::DpuCacheControl* cache_control() { return cache_ctl_.get(); }
   /// Null unless options.enable_scrubber.
   dpu::Scrubber* scrubber() { return scrubber_.get(); }
+  /// Null unless options.qos.enabled.
+  dpu::QosManager* qos_manager() { return qos_.get(); }
+
+  /// Tenant identity stamped into every nvme-fs command this thread issues
+  /// (SQE DW10[31:24]); sticky until changed, default 0. Workload threads
+  /// set it once before their first call.
+  static void set_thread_tenant(nvme::TenantId tenant);
+  static nvme::TenantId thread_tenant();
   cache::HostCachePlane* host_cache() { return host_cache_.get(); }
   const DpcOptions& options() const { return opts_; }
 
@@ -224,6 +240,12 @@ class DpcSystem {
   /// System-wide metrics registry. Declared before every subsystem so the
   /// counters/histograms they resolve at construction outlive them.
   obs::Registry registry_;
+
+  /// Per-tenant admission/fair-share state shared by every TgtDriver (and
+  /// the scrubber / flusher gates); null unless opts_.qos.enabled.
+  /// Declared right after the registry: everything below may hold a
+  /// pointer to it.
+  std::unique_ptr<dpu::QosManager> qos_;
 
   // Device complex.
   std::unique_ptr<pcie::MemoryRegion> host_mem_;
@@ -283,6 +305,9 @@ class DpcSystem {
   // NVMe command retry accounting + deterministic backoff-jitter salt.
   obs::Counter* nvme_retries_;
   obs::Counter* nvme_retry_exhausted_;
+  /// kThrottled completions taken through the retry path (admission
+  /// rejections honored with the device's retry-after hint).
+  obs::Counter* nvme_throttled_;
   obs::Counter* host_integrity_errors_;
   std::atomic<std::uint64_t> call_seq_{0};
 };

@@ -19,10 +19,11 @@ nvme::HandlerResult fs_error(int err) {
 
 IoDispatch::IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
                        cache::DpuCacheControl* cache_ctl,
-                       obs::Registry* registry)
+                       obs::Registry* registry, dpu::QosManager* qos)
     : fs_(&fs),
       dfs_(dfs_client),
       cache_ctl_(cache_ctl),
+      qos_(qos),
       owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                           : nullptr),
       registry_(registry != nullptr ? registry : owned_registry_.get()),
@@ -54,6 +55,7 @@ sim::Nanos IoDispatch::mean_backend_cost() const {
 nvme::HandlerResult IoDispatch::handle(const nvme::NvmeFsCmd& cmd,
                                        std::span<const std::byte> wpayload,
                                        std::span<std::byte> rpayload) {
+  if (qos_ != nullptr) qos_->count_op(cmd.tenant);
   if (cmd.target == nvme::DispatchTarget::kDistributed) {
     stats_.dfs_ops.fetch_add(1, std::memory_order_relaxed);
     if (dfs_ == nullptr) return fs_error(ENOSYS);
@@ -73,7 +75,7 @@ nvme::HandlerResult IoDispatch::handle_standalone_inline(
   switch (cmd.inline_op) {
     case nvme::InlineOp::kRead: {
       stats_.inline_reads.fetch_add(1, std::memory_order_relaxed);
-      auto res = fs_->read(cmd.inode, cmd.offset, rpayload);
+      auto res = fs_->read(cmd.inode, cmd.offset, rpayload, cmd.tenant);
       charge(res.cost);
       if (!res.ok()) return fs_error(res.err);
       r.result = res.value;
@@ -87,13 +89,14 @@ nvme::HandlerResult IoDispatch::handle_standalone_inline(
         const std::uint64_t last =
             (cmd.offset + std::max(1u, res.value) - 1) / 4096;
         cache_ctl_->on_read_miss(cmd.inode, first,
-                                 static_cast<std::uint32_t>(last - first + 1));
+                                 static_cast<std::uint32_t>(last - first + 1),
+                                 cmd.tenant);
       }
       return r;
     }
     case nvme::InlineOp::kWrite: {
       stats_.inline_writes.fetch_add(1, std::memory_order_relaxed);
-      auto res = fs_->write(cmd.inode, cmd.offset, wpayload);
+      auto res = fs_->write(cmd.inode, cmd.offset, wpayload, cmd.tenant);
       charge(res.cost);
       if (!res.ok()) return fs_error(res.err);
       r.result = res.value;

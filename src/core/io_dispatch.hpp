@@ -51,10 +51,12 @@ class IoDispatch {
  public:
   /// `dfs_client` and `cache_ctl` may be null (standalone-only setups).
   /// `registry` hosts the dispatch counters and per-op-class backend
-  /// histograms; when null, a private registry is created.
+  /// histograms; when null, a private registry is created. `qos` (optional)
+  /// scopes per-op counters to the command's tenant.
   IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
              cache::DpuCacheControl* cache_ctl,
-             obs::Registry* registry = nullptr);
+             obs::Registry* registry = nullptr,
+             dpu::QosManager* qos = nullptr);
 
   /// The nvme-fs command handler to register with the TGT driver.
   nvme::CommandHandler handler();
@@ -82,6 +84,7 @@ class IoDispatch {
   kvfs::Kvfs* fs_;
   dfs::DfsClient* dfs_;
   cache::DpuCacheControl* cache_ctl_;
+  dpu::QosManager* qos_;
   std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   obs::Registry* registry_;
   DispatchStats stats_;

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "dpu/qos.hpp"
 #include "ec/reed_solomon.hpp"
 #include "fault/retry.hpp"
 #include "sim/check.hpp"
@@ -38,6 +39,7 @@ Scrubber::Scrubber(const ScrubberConfig& cfg, obs::Registry& registry,
       detected_(&registry.counter("scrub/detected")),
       repaired_(&registry.counter("scrub/repaired")),
       unrecoverable_(&registry.counter("scrub/unrecoverable")),
+      yields_(&registry.counter("scrub/yields")),
       pass_ns_(&registry.histogram("scrub/pass_ns")) {
   DPC_CHECK(cfg_.items_per_pass >= 1);
 }
@@ -47,6 +49,14 @@ int Scrubber::poll() {
   sim::LockGuard lock(mu_);
   const std::int64_t now = now_ns();
   if (now < next_due_ns_) return 0;
+  // Yield to foreground pressure: while the nvme-fs staging queues sit
+  // above the admission high-water mark, surrender this pass without
+  // advancing the pace clock, so scrubbing resumes the moment the storm
+  // drains instead of a full pace period later.
+  if (qos_ != nullptr && qos_->overloaded()) {
+    yields_->add();
+    return 0;
+  }
   const PassOutcome out = pass(cfg_.items_per_pass);
   next_due_ns_ =
       now +

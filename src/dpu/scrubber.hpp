@@ -39,6 +39,8 @@
 
 namespace dpc::dpu {
 
+class QosManager;
+
 struct ScrubberConfig {
   /// Items (blocks / values / shards) verified per pass — the rate knob.
   std::uint32_t items_per_pass = 64;
@@ -64,6 +66,12 @@ class Scrubber {
     ds_ = ds;
     mds_ = mds;
   }
+  /// Graceful degradation under overload: with a QosManager attached,
+  /// poll() surrenders a due pass ("scrub/yields") while the admission
+  /// controller reports staged depth above its high-water mark. The yield
+  /// does not reschedule — the next poll retries as soon as foreground
+  /// pressure drains.
+  void attach_qos(const QosManager* qos) { qos_ = qos; }
 
   /// WorkerPool poller: runs one paced pass (or nothing, between paces /
   /// while the fault injector reports crashed()). Returns items scanned.
@@ -104,11 +112,13 @@ class Scrubber {
   kv::KvStore* kv_ = nullptr;
   dfs::DataServers* ds_ = nullptr;
   dfs::MdsCluster* mds_ = nullptr;
+  const QosManager* qos_ = nullptr;
 
   obs::Counter* scanned_;
   obs::Counter* detected_;
   obs::Counter* repaired_;
   obs::Counter* unrecoverable_;
+  obs::Counter* yields_;
   sim::Histogram* pass_ns_;
 
   /// Serializes passes (the poller and a test driving scrub_pass() may

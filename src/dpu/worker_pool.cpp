@@ -8,14 +8,20 @@ namespace dpc::dpu {
 
 WorkerPool::~WorkerPool() { stop(); }
 
-void WorkerPool::add_poller(Poller p) {
+void WorkerPool::add_poller(Poller p, bool background) {
   // Registration is serialized against start()/stop() by the lifecycle
   // lock; checking threads_ (not the running_ flag) closes the window where
   // a concurrent start() had set running_ but not yet spawned workers.
   sim::LockGuard lock(lifecycle_mu_);
   DPC_CHECK_MSG(threads_.empty(), "add_poller after start");
   DPC_CHECK(p != nullptr);
-  pollers_.push_back(std::move(p));
+  pollers_.push_back(Entry{std::move(p), background});
+}
+
+void WorkerPool::set_background_gate(std::function<bool()> gate) {
+  sim::LockGuard lock(lifecycle_mu_);
+  DPC_CHECK_MSG(threads_.empty(), "set_background_gate after start");
+  gate_ = std::move(gate);
 }
 
 void WorkerPool::start(int threads) {
@@ -68,7 +74,14 @@ void WorkerPool::worker_main(std::shared_ptr<const std::atomic<bool>> run,
   int idle_rounds = 0;
   while (run->load(std::memory_order_acquire)) {
     int processed = 0;
-    for (const std::size_t i : mine) processed += pollers_[i]();
+    // The gate is probed once per poller round, not cached for the round's
+    // duration: foreground pollers may clear the overload mid-round and
+    // background work resumes on the very next visit.
+    for (const std::size_t i : mine) {
+      const Entry& e = pollers_[i];
+      if (e.background && gate_ != nullptr && gate_()) continue;
+      processed += e.fn();
+    }
     if (processed > 0) {
       idle_rounds = 0;
     } else if (++idle_rounds < 64) {

@@ -28,7 +28,14 @@ class WorkerPool {
   /// Registers a poller. Each poller is owned by exactly one worker thread
   /// (pollers wrap single-consumer drivers like TgtDriver), assigned
   /// round-robin at start(). Only legal while the pool is stopped.
-  void add_poller(Poller p) EXCLUDES(lifecycle_mu_);
+  /// `background` pollers run on surplus capacity only: they are skipped
+  /// while the background gate (if any) reports overload.
+  void add_poller(Poller p, bool background = false) EXCLUDES(lifecycle_mu_);
+
+  /// Installs the overload probe consulted before every background poller
+  /// run (e.g. QosManager::overloaded). Must be cheap and thread-safe —
+  /// workers call it lock-free each round. Only legal while stopped.
+  void set_background_gate(std::function<bool()> gate) EXCLUDES(lifecycle_mu_);
 
   /// Spawns `threads` workers. Must be called after all add_poller calls.
   /// A stopped pool can be started again (pollers are retained).
@@ -51,7 +58,14 @@ class WorkerPool {
   /// spawn) until the last worker of that generation has been joined.
   sim::AnnotatedMutex lifecycle_mu_{"worker_pool.lifecycle",
                                     sim::LockRank::kSystem};
-  std::vector<Poller> pollers_ GUARDED_BY(lifecycle_mu_);
+  struct Entry {
+    Poller fn;
+    bool background = false;  ///< skipped while the gate reports overload
+  };
+  std::vector<Entry> pollers_ GUARDED_BY(lifecycle_mu_);
+  /// Overload probe for background pollers; frozen from start() like
+  /// pollers_ (same publication argument).
+  std::function<bool()> gate_ GUARDED_BY(lifecycle_mu_);
   std::vector<std::jthread> threads_ GUARDED_BY(lifecycle_mu_);
   /// Per-generation run flag: workers loop on *their* token, so a restart
   /// racing a still-joining stop() can never resurrect the old generation.

@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "dpu/qos.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::kvfs {
@@ -815,7 +816,18 @@ Result<Unit> Kvfs::chown(Ino ino, std::uint32_t uid, std::uint32_t gid) {
 // -------------------------------------------------------------------- data
 
 Result<std::uint32_t> Kvfs::read(Ino ino, std::uint64_t offset,
-                                 std::span<std::byte> dst) {
+                                 std::span<std::byte> dst,
+                                 nvme::TenantId tenant) {
+  Result<std::uint32_t> res = read_impl(ino, offset, dst);
+  // Tenant attribution happens outside the inode stripe lock: the QoS
+  // manager's mutex is kLeaf and its counters are plain atomics.
+  if (qos_ != nullptr && res.ok())
+    qos_->count_backend_bytes(tenant, res.value);
+  return res;
+}
+
+Result<std::uint32_t> Kvfs::read_impl(Ino ino, std::uint64_t offset,
+                                      std::span<std::byte> dst) {
   Result<std::uint32_t> res;
   sim::LockGuard lock(inode_lock(ino));
   const auto attr = load_attr(ino, res.cost);
@@ -940,7 +952,16 @@ bool Kvfs::promote_to_big(Attr& a, sim::Nanos& cost,
 }
 
 Result<std::uint32_t> Kvfs::write(Ino ino, std::uint64_t offset,
-                                  std::span<const std::byte> src) {
+                                  std::span<const std::byte> src,
+                                  nvme::TenantId tenant) {
+  Result<std::uint32_t> res = write_impl(ino, offset, src);
+  if (qos_ != nullptr && res.ok())
+    qos_->count_backend_bytes(tenant, res.value);
+  return res;
+}
+
+Result<std::uint32_t> Kvfs::write_impl(Ino ino, std::uint64_t offset,
+                                       std::span<const std::byte> src) {
   Result<std::uint32_t> res;
   sim::LockGuard lock(inode_lock(ino));
   auto attr = load_attr(ino, res.cost);

@@ -32,8 +32,13 @@
 #include "kvfs/fsck.hpp"
 #include "kvfs/journal.hpp"
 #include "kvfs/types.hpp"
+#include "nvme/spec.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
+
+namespace dpc::dpu {
+class QosManager;
+}
 
 namespace dpc::kvfs {
 
@@ -120,11 +125,15 @@ class Kvfs {
 
   // ------------------------------------------------------------------ data
   /// Returns bytes read (short reads at EOF; holes read as zeros).
+  /// `tenant` attributes the backend bytes to a QoS tenant when a manager
+  /// is attached (tenant 0 = unattributed default).
   Result<std::uint32_t> read(Ino ino, std::uint64_t offset,
-                             std::span<std::byte> dst);
+                             std::span<std::byte> dst,
+                             nvme::TenantId tenant = 0);
   /// Returns bytes written (always all of src on success).
   Result<std::uint32_t> write(Ino ino, std::uint64_t offset,
-                              std::span<const std::byte> src);
+                              std::span<const std::byte> src,
+                              nvme::TenantId tenant = 0);
   Result<Unit> truncate(Ino ino, std::uint64_t new_size);
   Result<Unit> fsync(Ino ino);
 
@@ -159,7 +168,17 @@ class Kvfs {
   const KvfsStats& stats() const { return stats_; }
   void drop_caches();
 
+  /// Attaches the DPU QoS manager so data-path backend bytes are scoped to
+  /// the issuing tenant ("qos/t<i>/backend_bytes"). Null detaches. Set
+  /// during system wiring, before traffic.
+  void attach_qos(dpu::QosManager* qos) { qos_ = qos; }
+
  private:
+  Result<std::uint32_t> read_impl(Ino ino, std::uint64_t offset,
+                                  std::span<std::byte> dst);
+  Result<std::uint32_t> write_impl(Ino ino, std::uint64_t offset,
+                                   std::span<const std::byte> src);
+
   // ---- KV helpers (each adds its remote cost to `cost`) ----
   std::optional<Attr> load_attr(Ino ino, sim::Nanos& cost);
   void store_attr(const Attr& a, sim::Nanos& cost);
@@ -203,6 +222,7 @@ class Kvfs {
   std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   obs::Registry* registry_;                        // whichever is active
   KvfsStats stats_;
+  dpu::QosManager* qos_ = nullptr;  ///< per-tenant byte attribution
   std::unique_ptr<IntentJournal> journal_;  // null when opts_.journal off
   JournalReplayReport mount_replay_;
 

@@ -66,6 +66,7 @@ std::uint16_t IniDriver::enqueue_locked(const Request& req,
   NvmeFsCmd cmd;
   cmd.target = req.target;
   cmd.inline_op = req.inline_op;
+  cmd.tenant = req.tenant;
   cmd.cid = cid;
   cmd.inode = req.inode;
   cmd.offset = req.offset;

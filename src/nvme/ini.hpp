@@ -44,6 +44,7 @@ class IniDriver {
   struct Request {
     DispatchTarget target = DispatchTarget::kStandalone;
     InlineOp inline_op = InlineOp::kNone;
+    TenantId tenant = 0;  ///< issuing tenant, carried in DW10[31:24]
     std::uint64_t inode = 0;
     std::uint64_t offset = 0;
     std::span<const std::byte> write_hdr{};

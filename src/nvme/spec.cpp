@@ -8,6 +8,7 @@ constexpr std::uint32_t kInlineOpShift = 11;
 constexpr std::uint32_t kInlineOpMask = 0x7u << kInlineOpShift;
 constexpr std::uint32_t kPsdtWriteBit = 1u << 14;
 constexpr std::uint32_t kPsdtReadBit = 1u << 15;
+constexpr std::uint32_t kTenantShift = 24;  // DW10[31:24]
 
 constexpr std::uint64_t join64(std::uint32_t lo, std::uint32_t hi) {
   return static_cast<std::uint64_t>(lo) |
@@ -32,7 +33,11 @@ Sqe encode_nvme_fs(const NvmeFsCmd& cmd) {
   sqe.prp_write2 = cmd.prp_write2;
   sqe.prp_read1 = cmd.prp_read1;
   sqe.prp_read2 = cmd.prp_read2;
-  sqe.write_len = cmd.write_len;
+  DPC_CHECK_MSG(cmd.write_len <= kMaxWriteLen,
+                "write_len " << cmd.write_len
+                             << " exceeds the 24-bit DW10 field");
+  sqe.write_len =
+      cmd.write_len | (static_cast<std::uint32_t>(cmd.tenant) << kTenantShift);
   sqe.read_len = cmd.read_len;
   sqe.dw13 = static_cast<std::uint32_t>(cmd.write_hdr_len) |
              (static_cast<std::uint32_t>(cmd.read_hdr_len) << 16);
@@ -56,7 +61,8 @@ NvmeFsCmd decode_nvme_fs(const Sqe& sqe) {
   cmd.prp_write2 = sqe.prp_write2;
   cmd.prp_read1 = sqe.prp_read1;
   cmd.prp_read2 = sqe.prp_read2;
-  cmd.write_len = sqe.write_len;
+  cmd.write_len = sqe.write_len & kMaxWriteLen;
+  cmd.tenant = static_cast<TenantId>(sqe.write_len >> kTenantShift);
   cmd.read_len = sqe.read_len;
   cmd.write_hdr_len = static_cast<std::uint16_t>(sqe.dw13 & 0xFFFF);
   cmd.read_hdr_len = static_cast<std::uint16_t>(sqe.dw13 >> 16);

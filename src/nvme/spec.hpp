@@ -10,7 +10,8 @@
 //   * DW0[15]   — PSDT for the *read* direction:  0 = PRP, 1 = SGL.
 //   * DW2–5     — PRP Write entries (locates the host write buffer).
 //   * DW6–9     — PRP Read entries (locates the host read buffer).
-//   * DW10      — Write_len: payload bytes host → DPU.
+//   * DW10      — bits[23:0] Write_len: payload bytes host → DPU;
+//                 bits[31:24] tenant id (reproduction extension, see below).
 //   * DW11      — Read_len:  payload bytes DPU → host.
 //   * DW13      — WH_len (low 16) and RH_len (high 16): bytes taken by the
 //                 write-side and read-side file headers inside the buffers.
@@ -27,6 +28,15 @@
 //
 // PRP is the default (PSDT bits 0); this reproduction implements the PRP
 // path and rejects SGL.
+//
+// Tenancy extension (ROADMAP item 1 — one DPU fronting many mounts): every
+// nvme-fs command carries the issuing tenant's id in DW10[31:24] so the
+// DPU-side QoS layer (src/dpu/qos.*) can schedule, rate-limit, and shed per
+// tenant. Write_len shrinks to 24 bits — the per-command payload cap is
+// ~1 MB + one header page, far below the 16 MB the field still addresses
+// (encode_nvme_fs enforces it). Over-budget commands complete with the
+// retryable Status::kThrottled whose CQE result dword carries a modelled
+// retry-after hint in nanoseconds.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +48,17 @@ namespace dpc::nvme {
 
 inline constexpr std::uint8_t kNvmeFsOpcode = 0xA3;
 inline constexpr std::uint32_t kPageSize = 4096;
+
+/// Tenant identity carried on the wire in DW10[31:24]. Tenant 0 is the
+/// default ("the host kernel") so a stack that never configures QoS is
+/// single-tenant with zero ceremony.
+using TenantId = std::uint8_t;
+/// Tenants the QoS layer tracks individually; wire ids are taken modulo
+/// this, so an id outside the table aliases onto a tracked slot instead of
+/// escaping accounting.
+inline constexpr std::uint32_t kMaxTenants = 16;
+/// DW10 bits available to Write_len once the tenant byte is carved out.
+inline constexpr std::uint32_t kMaxWriteLen = (1u << 24) - 1;
 
 /// Submission queue entry — 16 dwords / 64 bytes, as on the wire.
 struct Sqe {
@@ -80,6 +101,13 @@ enum class Status : std::uint16_t {
   /// the same damage — recovery goes through redundancy (EC reconstruct)
   /// or surfaces EIO.
   kDataIntegrityError = 8,
+  /// Admission control rejected the command (tenant over its token-bucket
+  /// budget, or the DPU over its global queue/in-flight caps). Retryable:
+  /// nothing was applied and the condition is transient by construction.
+  /// The CQE result dword carries a modelled retry-after hint in
+  /// nanoseconds that RetryPolicy-driven resubmitters honor as a backoff
+  /// floor.
+  kThrottled = 9,
   kFsError = 0x80,  ///< file-level error; CQE result carries -errno
 };
 
@@ -87,7 +115,8 @@ enum class Status : std::uint16_t {
 /// where resubmitting the same command is safe and may succeed.
 /// kDataIntegrityError is excluded by design — see its comment.
 constexpr bool is_retryable(Status st) {
-  return st == Status::kDataTransferError || st == Status::kAbortedByRequest;
+  return st == Status::kDataTransferError ||
+         st == Status::kAbortedByRequest || st == Status::kThrottled;
 }
 
 /// Bytes of the CRC32C trailer the INI appends to the write payload and the
@@ -119,6 +148,7 @@ struct NvmeFsCmd {
   Psdt read_psdt = Psdt::kPrp;
   InlineOp inline_op = InlineOp::kNone;
   std::uint16_t cid = 0;
+  TenantId tenant = 0;         ///< issuing tenant (DW10[31:24])
   std::uint64_t inode = 0;     ///< inline inode (data-path ops)
   std::uint64_t offset = 0;    ///< inline file offset (data-path ops)
   std::uint64_t prp_write1 = 0;
@@ -143,6 +173,12 @@ bool is_nvme_fs(const Sqe& sqe);
 
 std::uint8_t opcode_of(const Sqe& sqe);
 std::uint16_t cid_of(const Sqe& sqe);
+
+/// Tenant id carried in DW10[31:24] — valid for nvme-fs SQEs; cheap enough
+/// for the TGT ingest path to classify without a full decode.
+inline TenantId tenant_of(const Sqe& sqe) {
+  return static_cast<TenantId>(sqe.write_len >> 24);
+}
 
 /// Builds a completion for command `cid` with phase tag `phase`.
 Cqe make_cqe(std::uint16_t cid, Status st, bool phase, std::uint32_t result,

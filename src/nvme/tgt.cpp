@@ -16,16 +16,25 @@ void flip_bit(std::span<std::byte> buf, std::uint64_t entropy) {
 }
 }  // namespace
 
+/// Modelled DPU compute to reject a command at admission (no DMA beyond the
+/// batched SQE fetch, no handler) — advances the virtual clock so a pure
+/// throttle storm still refills token buckets.
+constexpr sim::Nanos kThrottleCost{500};
+
 TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
                      CommandHandler handler, obs::QueueTraces* traces,
-                     fault::FaultInjector* fault)
+                     fault::FaultInjector* fault, dpu::QosManager* qos)
     : dma_(&dma),
       qp_(&qp),
       handler_(std::move(handler)),
       traces_(traces),
       fault_(fault),
+      qos_(qos),
       wscratch_(qp.config().max_write + kPayloadCrcBytes),
-      rscratch_(qp.config().max_read + kPayloadCrcBytes) {
+      rscratch_(qp.config().max_read + kPayloadCrcBytes),
+      // fair_sched off: the scheduler runs FIFO (no DRR, no shedding)
+      // while qos_ keeps admission + wait accounting live.
+      sched_(qos != nullptr && qos->config().fair_sched ? qos : nullptr) {
   DPC_CHECK(handler_ != nullptr);
   if (traces_ != nullptr) {
     auto& reg = traces_->registry();
@@ -41,6 +50,7 @@ TgtDriver::TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp,
 }
 
 bool TgtDriver::has_work() const {
+  if (!sched_.empty() || !throttled_.empty()) return true;
   const std::uint32_t tail =
       dma_->dpu().atomic_u32(qp_->sq_tail_db_off()).load(
           std::memory_order_acquire);
@@ -51,6 +61,15 @@ void TgtDriver::reset() {
   sq_head_ = 0;
   cq_tail_ = 0;
   cq_phase_ = true;
+  // Staged commands die with the controller — return their admission
+  // accounting without scoring sheds against their tenants.
+  std::vector<dpu::StagedCmd> dropped;
+  sched_.drain(dropped);
+  if (qos_ != nullptr)
+    for (const dpu::StagedCmd& cmd : dropped)
+      qos_->on_reset_drop(cmd.tenant, cmd.charge);
+  throttled_.clear();
+  vt_now_ = sim::Nanos{};
 }
 
 TgtDriver::ProcessStats TgtDriver::process_available(int max) {
@@ -61,63 +80,147 @@ TgtDriver::ProcessStats TgtDriver::process_available(int max) {
     // A crashed DPU executes nothing until the restart path clears the
     // latch — commands sit in the SQ and the host times out on them.
     if (fault_ != nullptr && fault_->crashed()) break;
-    // Don't overrun CQ slots the host hasn't consumed yet.
-    const std::uint32_t cq_head =
-        dpu.atomic_u32(qp_->cq_head_db_off()).load(std::memory_order_acquire);
-    const int cq_free =
-        static_cast<int>((cq_head + depth - cq_tail_ - 1) % depth);
-    if (cq_free == 0) break;  // CQ full
+    bool progressed = false;
+
+    // ---- INGEST: stage the doorbell-delimited backlog --------------------
+    // ① Each contiguous run is fetched with ONE descriptor DMA (a wrapped
+    // run drains as two bursts, one per ring edge). Admission happens here,
+    // at ingest, so a rejected command never occupies scheduler state.
     const std::uint32_t sq_tail =
         dpu.atomic_u32(qp_->sq_tail_db_off()).load(std::memory_order_acquire);
-    const int pending = static_cast<int>((sq_tail + depth - sq_head_) % depth);
-    if (pending == 0) break;  // SQ drained
+    int pending = static_cast<int>((sq_tail + depth - sq_head_) % depth);
+    while (pending > 0) {
+      const int run =
+          std::min(pending, static_cast<int>(depth) - sq_head_);
+      sqe_batch_.resize(static_cast<std::size_t>(run));
+      total.cost += dma_->read_host(
+          qp_->sqe_off(sq_head_),
+          std::as_writable_bytes(
+              std::span{sqe_batch_.data(), sqe_batch_.size()}),
+          pcie::DmaClass::kDescriptor);
+      if (sqe_fetch_bursts_ != nullptr) sqe_fetch_bursts_->add();
+      for (int i = 0; i < run; ++i) ingest_one(sqe_batch_[i]);
+      sq_head_ = static_cast<std::uint16_t>((sq_head_ + run) % depth);
+      pending -= run;
+      progressed = true;
+    }
 
-    // ① Fetch the whole doorbell-delimited run with ONE descriptor DMA —
-    // capped by CQ space, the caller's budget, and the ring edge (a
-    // wrapped run drains as two contiguous bursts, one per loop pass).
-    const int run = std::min(std::min(pending, cq_free),
-                             std::min(max - total.processed,
-                                      static_cast<int>(depth) - sq_head_));
-    sqe_batch_.resize(static_cast<std::size_t>(run));
-    total.cost += dma_->read_host(
-        qp_->sqe_off(sq_head_),
-        std::as_writable_bytes(
-            std::span{sqe_batch_.data(), sqe_batch_.size()}),
-        pcie::DmaClass::kDescriptor);
-    if (sqe_fetch_bursts_ != nullptr) sqe_fetch_bursts_->add();
-
+    // ---- DISPATCH: drain throttle completions, shed, execute -------------
     int posted = 0;
-    for (int i = 0; i < run; ++i) {
-      // The DPU can die mid-batch (crash point / handler crash): already-
-      // fetched but unexecuted SQEs are abandoned, exactly as if the
-      // controller lost power with them in its on-chip fetch buffer.
+    while (total.processed < max) {
+      // The DPU can die mid-batch (crash point / handler crash): staged
+      // commands are abandoned where they sit, exactly as if the controller
+      // lost power with them in its on-chip fetch buffer (reset() drops
+      // them, like the SQ rewind drops unfetched ones).
       if (fault_ != nullptr && fault_->crashed()) break;
-      const ProcessStats one = process_one(sqe_batch_[i], posted);
+      // Don't overrun CQ slots the host hasn't consumed yet.
+      const std::uint32_t cq_head = dpu.atomic_u32(qp_->cq_head_db_off())
+                                        .load(std::memory_order_acquire);
+      const int cq_free =
+          static_cast<int>((cq_head + depth - cq_tail_ - 1) % depth);
+      if (cq_free == 0) break;  // CQ full
+
+      // Throttle completions first: they are cheap and unblock the host's
+      // retry timers.
+      if (!throttled_.empty()) {
+        const ThrottleCqe tc = throttled_.front();
+        throttled_.pop_front();
+        post_cqe(tc.cid, Status::kThrottled, tc.retry_after_ns,
+                 /*dw1=*/static_cast<std::uint32_t>(kThrottleCost.ns),
+                 posted);
+        vt_now_.ns += kThrottleCost.ns;
+        if (qos_ != nullptr) qos_->advance(kThrottleCost);
+        ++total.processed;
+        progressed = true;
+        continue;
+      }
+
+      // Graceful degradation: over the high-water mark, commands of
+      // best-effort/background tenants that have waited past the deadline
+      // are shed with a retryable throttle completion instead of consuming
+      // device time ahead of guaranteed work.
+      if (qos_ != nullptr && qos_->overloaded()) {
+        if (auto stale = sched_.shed_stale(vt_now_,
+                                           qos_->config().max_queue_delay)) {
+          qos_->on_shed(stale->tenant, stale->charge);
+          const auto hint = static_cast<std::uint32_t>(std::min<std::int64_t>(
+              qos_->config().min_retry_after.ns, UINT32_MAX));
+          post_cqe(cid_of(stale->sqe), Status::kThrottled, hint,
+                   /*dw1=*/static_cast<std::uint32_t>(kThrottleCost.ns),
+                   posted);
+          vt_now_.ns += kThrottleCost.ns;
+          qos_->advance(kThrottleCost);
+          ++total.processed;
+          progressed = true;
+          continue;
+        }
+      }
+
+      auto staged = sched_.pop();
+      if (!staged) break;
+      const ProcessStats one = execute_one(*staged, posted);
       total.processed += one.processed;
       total.cost += one.cost;
+      progressed = true;
     }
-    // ④ (wire accounting) the run's CQE posts ride back as ONE coalesced
+    // ④ (wire accounting) the pass's CQE posts ride back as ONE coalesced
     // descriptor transaction — the CQ twin of the batched fetch above.
     // Each CQE's phase dword is still release-stored individually in
-    // process_one; only the modelled PCIe cost batches.
+    // post_cqe; only the modelled PCIe cost batches.
     if (posted > 0) {
       total.cost += dma_->note_transaction(
           pcie::DmaClass::kDescriptor,
           static_cast<std::size_t>(posted) * sizeof(Cqe));
       if (cqe_post_bursts_ != nullptr) cqe_post_bursts_->add();
     }
+
+    if (!progressed) break;
   }
   return total;
 }
 
-TgtDriver::ProcessStats TgtDriver::process_one(const Sqe& sqe,
-                                               int& cqes_posted) {
-  ProcessStats st;
-
-  // ① happened in process_available (batched fetch); consume the slot.
-  sq_head_ = static_cast<std::uint16_t>((sq_head_ + 1) % qp_->depth());
+void TgtDriver::ingest_one(const Sqe& sqe) {
+  // ① happened in process_available (batched fetch).
   if (traces_ != nullptr) traces_->stamp(cid_of(sqe), obs::Stage::kTgtFetch);
   if (cmds_ != nullptr) cmds_->add();
+
+  dpu::StagedCmd staged;
+  staged.sqe = sqe;
+  staged.ingest_vt = vt_now_;
+  if (is_nvme_fs(sqe)) {
+    staged.tenant = tenant_of(sqe);
+    staged.charge =
+        dpu::qos_charge(sqe.write_len & kMaxWriteLen, sqe.read_len);
+  } else {
+    // Invalid opcodes still flow through admission (charge: one page) so
+    // staging accounting stays symmetric; they reject at execute.
+    staged.charge = kPageSize;
+  }
+  if (qos_ != nullptr) {
+    const dpu::QosManager::Admit adm = qos_->admit(staged.tenant,
+                                                   staged.charge);
+    if (!adm.ok) {
+      throttled_.push_back(
+          {cid_of(sqe), static_cast<std::uint32_t>(std::min<std::int64_t>(
+                            adm.retry_after.ns, UINT32_MAX))});
+      return;
+    }
+  }
+  sched_.push(std::move(staged));
+}
+
+TgtDriver::ProcessStats TgtDriver::execute_one(const dpu::StagedCmd& staged,
+                                               int& cqes_posted) {
+  ProcessStats st;
+  const Sqe& sqe = staged.sqe;
+  // Modelled staging wait: virtual time that passed while commands ahead
+  // of this one dispatched. Live whenever a QosManager is attached (DRR
+  // and fair_sched=false FIFO alike); identically 0 with QoS disabled,
+  // keeping dw1's pre-QoS meaning.
+  const sim::Nanos wait{vt_now_.ns - staged.ingest_vt.ns};
+  // The command leaves staging accounting now, on every exit path below
+  // (including drop/crash — the device consumed it either way).
+  if (qos_ != nullptr) qos_->on_dispatch(staged.tenant, staged.charge);
 
   // Injection: lose the command after the SQE fetch. The handler never
   // runs and no CQE is ever posted for this cid, so the host's only way
@@ -255,17 +358,30 @@ TgtDriver::ProcessStats TgtDriver::process_one(const Sqe& sqe,
     return st;
   }
 
-  // ④ Post the CQE at the CQ tail. The final dword carries the phase tag
-  // that the INI polls on, so it is stored atomically (release) after the
-  // rest of the entry; the wire cost of the drain batch's CQEs is settled
-  // as one coalesced transaction by process_available. The spare dword
-  // reports the device-side service time (transport DMAs + backend),
+  // ④ Post the CQE. The spare dword reports device-side latency — service
+  // (transport DMAs + backend) plus, under QoS, the modelled staging wait —
   // saturated to u32 nanoseconds.
-  Cqe cqe = make_cqe(cid_of(sqe), hres.status, cq_phase_, hres.result,
-                     sq_head_, qp_->qid());
   const std::int64_t service_ns = st.cost.ns + hres.backend_cost.ns;
-  cqe.dw1 = static_cast<std::uint32_t>(
-      std::min<std::int64_t>(service_ns, UINT32_MAX));
+  if (qos_ != nullptr) {
+    vt_now_.ns += service_ns;
+    qos_->advance(sim::Nanos{service_ns});
+  }
+  const auto dw1 = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(service_ns + wait.ns, UINT32_MAX));
+  post_cqe(cid_of(sqe), hres.status, hres.result, dw1, cqes_posted);
+
+  st.processed = 1;
+  return st;
+}
+
+void TgtDriver::post_cqe(std::uint16_t cid, Status st, std::uint32_t result,
+                         std::uint32_t dw1, int& cqes_posted) {
+  // The final dword carries the phase tag the INI polls on, so it is
+  // stored atomically (release) after the rest of the entry; the wire cost
+  // of the drain batch's CQEs is settled as one coalesced transaction by
+  // process_available.
+  Cqe cqe = make_cqe(cid, st, cq_phase_, result, sq_head_, qp_->qid());
+  cqe.dw1 = dw1;
   const std::uint64_t cqe_off = qp_->cqe_off(cq_tail_);
   auto& host = dma_->host();
   host.write(cqe_off, std::as_bytes(std::span{&cqe, 1}).first(12));
@@ -280,9 +396,6 @@ TgtDriver::ProcessStats TgtDriver::process_one(const Sqe& sqe,
   ++cqes_posted;  // wire cost settles once per drain batch (caller)
   cq_tail_ = static_cast<std::uint16_t>((cq_tail_ + 1) % qp_->depth());
   if (cq_tail_ == 0) cq_phase_ = !cq_phase_;
-
-  st.processed = 1;
-  return st;
 }
 
 }  // namespace dpc::nvme

@@ -14,13 +14,23 @@
 // as ONE descriptor transaction (④×N coalesced) — the DPU-side twin of the
 // INI's one-doorbell-per-batch submit. A single-command drain therefore
 // costs exactly the same four DMAs as before.
+//
+// QoS (optional, src/dpu/qos.*): with a QosManager attached, the drain
+// splits into INGEST (batched SQE fetch → admission check → per-tenant
+// staging) and DISPATCH (deficit-round-robin pop → execute). Rejected
+// commands complete immediately with kThrottled + a retry-after hint;
+// stale best-effort/background commands are shed under overload. Without a
+// manager the scheduler degrades to FIFO and the flow — order, DMA count,
+// CQE contents — is bit-identical to the pre-QoS driver.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "dpu/qos.hpp"
 #include "fault/injector.hpp"
 #include "nvme/queue_pair.hpp"
 #include "nvme/spec.hpp"
@@ -75,9 +85,12 @@ class TgtDriver {
  public:
   /// `traces` (optional) must be the same QueueTraces handed to this
   /// queue's IniDriver so the DPU-side stage stamps join the host's.
+  /// `qos` (optional) enables admission control + weighted fair dispatch;
+  /// it must outlive the driver and is shared across queues.
   TgtDriver(pcie::DmaEngine& dma, const QueuePair& qp, CommandHandler handler,
             obs::QueueTraces* traces = nullptr,
-            fault::FaultInjector* fault = nullptr);
+            fault::FaultInjector* fault = nullptr,
+            dpu::QosManager* qos = nullptr);
 
   struct ProcessStats {
     int processed = 0;
@@ -91,7 +104,8 @@ class TgtDriver {
   /// without a CQE, exactly like a controller losing power mid-op.
   ProcessStats process_available(int max = 1 << 30);
 
-  /// True if the SQ doorbell indicates pending work.
+  /// True if the SQ doorbell indicates pending work, or commands are
+  /// staged/awaiting a throttle completion from an earlier ingest.
   bool has_work() const;
 
   /// Controller-reset half of the DPU restart sequence: rewinds the SQ
@@ -101,16 +115,23 @@ class TgtDriver {
   void reset();
 
  private:
-  /// Executes one already-fetched SQE (②③④ of Fig. 4). Bumps `cqes_posted`
+  /// Ingest half: admission-checks one already-fetched SQE and either
+  /// stages it on the scheduler or queues a throttle completion.
+  void ingest_one(const Sqe& sqe);
+  /// Executes one staged command (②③④ of Fig. 4). Bumps `cqes_posted`
   /// if a CQE landed — the caller settles the batch's coalesced CQE wire
   /// cost once per drain run.
-  ProcessStats process_one(const Sqe& sqe, int& cqes_posted);
+  ProcessStats execute_one(const dpu::StagedCmd& staged, int& cqes_posted);
+  /// Posts one CQE (entry write + release-store of the phase dword).
+  void post_cqe(std::uint16_t cid, Status st, std::uint32_t result,
+                std::uint32_t dw1, int& cqes_posted);
 
   pcie::DmaEngine* dma_;
   const QueuePair* qp_;
   CommandHandler handler_;
   obs::QueueTraces* traces_;
   fault::FaultInjector* fault_;
+  dpu::QosManager* qos_;
   obs::Counter* cmds_ = nullptr;        // registry instruments (null when
   obs::Counter* cqe_posts_ = nullptr;   // no traces attached)
   obs::Counter* rejects_ = nullptr;
@@ -126,6 +147,18 @@ class TgtDriver {
   std::vector<std::byte> wscratch_;
   std::vector<std::byte> rscratch_;
   std::vector<Sqe> sqe_batch_;  ///< scratch for the contiguous-run fetch
+
+  /// Staged-but-not-executed commands (FIFO without a QosManager).
+  dpu::DrrScheduler sched_;
+  /// Modelled device time: sum of dispatched service costs. Stays 0 in
+  /// FIFO mode so CQE dw1 keeps its pre-QoS meaning (service only).
+  sim::Nanos vt_now_{};
+  /// Admission rejections awaiting their kThrottled completion.
+  struct ThrottleCqe {
+    std::uint16_t cid = 0;
+    std::uint32_t retry_after_ns = 0;
+  };
+  std::deque<ThrottleCqe> throttled_;
 };
 
 }  // namespace dpc::nvme

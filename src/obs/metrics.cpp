@@ -5,6 +5,14 @@
 
 namespace dpc::obs {
 
+std::string tenant_metric(unsigned tenant, std::string_view metric) {
+  std::string name = "qos/t";
+  name += std::to_string(tenant);
+  name += '/';
+  name.append(metric);
+  return name;
+}
+
 namespace {
 
 /// Minimal JSON string escape — metric names are ASCII identifiers, but be

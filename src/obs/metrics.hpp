@@ -82,6 +82,13 @@ class alignas(64) Gauge {
 static_assert(sizeof(Counter) == 64 && alignof(Counter) == 64);
 static_assert(sizeof(Gauge) == 64 && alignof(Gauge) == 64);
 
+/// Per-tenant instrument naming: "qos/t<id>/<metric>". The one spelling of
+/// the tenant scope, so dashboards (and the BENCH_qos.json readers in
+/// EXPERIMENTS.md) can key on the prefix instead of guessing each module's
+/// convention. Resolve-once rules apply as everywhere: call at construction,
+/// cache the instrument pointer.
+std::string tenant_metric(unsigned tenant, std::string_view metric);
+
 /// Named-instrument registry. Instrument references are stable for the
 /// registry's lifetime; names use "scope/metric" convention (e.g.
 /// "nvme.ini/submits", "trace/submit_to_reap_ns").

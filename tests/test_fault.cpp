@@ -169,6 +169,23 @@ TEST(RetryPolicy, JitterBoundedAndDeterministic) {
   EXPECT_NE(p.backoff(1, 1), p.backoff(1, 2));
 }
 
+TEST(RetryPolicy, JitteredNeverRoundsPositiveBaseToZero) {
+  // A sub-nanosecond draw (tiny base × big jitter) used to truncate to 0
+  // (or below), turning every pacer built on jittered() into a busy spin.
+  for (std::int64_t base_ns : {1, 2, 3, 10}) {
+    for (int step = 0; step < 256; ++step) {
+      for (std::uint64_t salt = 0; salt < 16; ++salt) {
+        const auto w = jittered(sim::Nanos{base_ns}, /*jitter=*/1.9, step,
+                                salt);
+        EXPECT_GE(w.ns, 1) << "base=" << base_ns << " step=" << step
+                           << " salt=" << salt;
+      }
+    }
+  }
+  // A zero base is a legitimate "no pacing" request and stays zero.
+  EXPECT_EQ(jittered(sim::Nanos{0}, 1.9, 7, 7).ns, 0);
+}
+
 TEST(CircuitBreaker, OpensAfterThresholdAndProbes) {
   obs::Registry reg;
   CircuitBreaker::Config cfg;

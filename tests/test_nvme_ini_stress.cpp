@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/virtual_client.hpp"
+#include "fault/injector.hpp"
 #include "nvme/ini.hpp"
 #include "nvme/queue_pair.hpp"
 #include "nvme/tgt.hpp"
@@ -197,6 +198,125 @@ TEST(NvmeIniStress, ThreadsHammerTinyQueue) {
   EXPECT_LE(doorbells, total);
   // Every completed op traced end-to-end.
   EXPECT_EQ(reg.histogram("trace/submit_to_reap_ns").count(), total);
+}
+
+/// submit_batch racing abort(): a batch wider than the free-cid pool parks
+/// on free_cv_; an abort + release of an older command hands its cid to the
+/// batch mid-flight. The aborted command's synthetic completion must not be
+/// clobbered, a CQE that lands after an abort is discarded (late_cqes), and
+/// every cid stays reusable afterwards.
+TEST(NvmeIniStress, BatchSubmitRacesAbortKeepsCidsClean) {
+  pcie::MemoryRegion host("host", 8 << 20);
+  pcie::RegionAllocator halloc(host);
+  pcie::MemoryRegion dpu("dpu", 1 << 20);
+  pcie::RegionAllocator dalloc(dpu);
+  pcie::DmaEngine dma(host, dpu);
+
+  nvme::QpConfig qc;
+  qc.depth = 4;  // 3 usable cids
+  nvme::QueuePair qp(qc, halloc, dalloc);
+  obs::Registry reg;
+  obs::QueueTraces traces(reg, qc.depth);
+  fault::FaultInjector fi(0x1234, &reg);
+  nvme::IniDriver ini(dma, qp, &traces);
+  nvme::TgtDriver tgt(dma, qp,
+                      [](const nvme::NvmeFsCmd&, std::span<const std::byte>,
+                         std::span<std::byte>) {
+                        return nvme::HandlerResult{};
+                      },
+                      &traces, &fi);
+
+  nvme::IniDriver::Request req;
+  req.inline_op = nvme::InlineOp::kFsync;
+
+  // s1's CQE is dropped on the floor (the only way a command times out
+  // here), so abort() must synthesize its completion.
+  fi.arm(nvme::kFaultTgtDropCqe, 1.0);
+  const auto s1 = ini.submit(req);
+  tgt.process_available(1);
+  fi.disarm(nvme::kFaultTgtDropCqe);
+  // Fill the remaining cids so the batch below starts with zero free.
+  const auto s2 = ini.submit(req);
+  const auto s3 = ini.submit(req);
+  ASSERT_EQ(ini.inflight(), 3);
+
+  obs::Counter& waits = reg.counter("nvme.ini/queue_full_waits");
+  const std::uint64_t waits_before = waits.load();
+  nvme::IniDriver::BatchSubmitted batch;
+  std::atomic<bool> batch_done{false};
+  std::thread batcher([&] {
+    const std::vector<nvme::IniDriver::Request> reqs(2, req);
+    batch = ini.submit_batch(reqs);  // no free cid: parks on free_cv_
+    batch_done.store(true, std::memory_order_release);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (waits.load() == waits_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_GT(waits.load(), waits_before) << "batch never hit queue-full";
+  EXPECT_FALSE(batch_done.load(std::memory_order_acquire));
+
+  // Abort the timed-out s1 while the batch is parked. Its cid flows to the
+  // batch's first request via release(); the batch still needs one more.
+  const auto aborted = ini.abort(s1.cid);
+  EXPECT_EQ(aborted.status, nvme::Status::kAbortedByRequest);
+  EXPECT_TRUE(nvme::is_retryable(aborted.status));
+  const auto still = ini.try_take(s1.cid);
+  ASSERT_TRUE(still.has_value());
+  EXPECT_EQ(still->status, nvme::Status::kAbortedByRequest)
+      << "abort record clobbered before release";
+  ini.release(s1.cid);
+
+  // Complete s2/s3; releasing s2 frees the batch's second cid.
+  tgt.process_available();
+  EXPECT_EQ(ini.wait(s2.cid).status, nvme::Status::kSuccess);
+  ini.release(s2.cid);
+  batcher.join();
+  EXPECT_TRUE(batch_done.load());
+  ASSERT_EQ(batch.cids.size(), 2u);
+  // The free list is LIFO and s2's release may land before the parked
+  // batcher wakes, so cid order is interleaving-dependent — what matters
+  // is that the aborted cid was reissued to the batch at all.
+  EXPECT_TRUE(batch.cids[0] == s1.cid || batch.cids[1] == s1.cid)
+      << "aborted cid never reissued to the batch";
+
+  EXPECT_EQ(ini.wait(s3.cid).status, nvme::Status::kSuccess);
+  ini.release(s3.cid);
+  tgt.process_available();
+  for (const std::uint16_t cid : batch.cids) {
+    EXPECT_EQ(ini.wait(cid).status, nvme::Status::kSuccess)
+        << "batch command on recycled cid " << cid;
+    ini.release(cid);
+  }
+  EXPECT_EQ(ini.inflight(), 0);
+  EXPECT_EQ(reg.counter("nvme.ini/late_cqes").load(), 0u)
+      << "dropped CQE can never arrive late";
+
+  // Now the documented race the late-CQE guard exists for: abort() lands
+  // while the CQE is still in flight (SQE consumed after the abort). The
+  // late CQE must be discarded, not delivered as the abort's completion.
+  const auto s4 = ini.submit(req);
+  const auto aborted4 = ini.abort(s4.cid);  // before the TGT runs
+  EXPECT_EQ(aborted4.status, nvme::Status::kAbortedByRequest);
+  tgt.process_available();  // posts the real CQE for s4's cid
+  const auto after = ini.try_take(s4.cid);  // drains → discards late CQE
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, nvme::Status::kAbortedByRequest)
+      << "late CQE clobbered the abort record";
+  EXPECT_EQ(reg.counter("nvme.ini/late_cqes").load(), 1u);
+  ini.release(s4.cid);
+
+  // The queue still serves fresh traffic on every cid, no cross-talk.
+  for (int round = 0; round < 6; ++round) {
+    const auto s = ini.submit(req);
+    tgt.process_available();
+    EXPECT_EQ(ini.wait(s.cid).status, nvme::Status::kSuccess)
+        << "round " << round;
+    ini.release(s.cid);
+  }
+  EXPECT_EQ(reg.counter("nvme.ini/late_cqes").load(), 1u);
 }
 
 /// Single-threaded soak on a depth-4 queue: 400 ops force ~100 full ring

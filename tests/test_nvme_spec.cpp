@@ -75,6 +75,22 @@ TEST(NvmeSpec, ErrorStatusesRoundTripThroughCqe) {
   EXPECT_EQ(status_of(b), Status::kAbortedByRequest);
 }
 
+TEST(NvmeSpec, TenantPacksIntoDw10TopByte) {
+  // DW10[31:24] carries the tenant id; Write_len keeps the low 24 bits
+  // exactly — neither field bleeds into the other.
+  NvmeFsCmd cmd;
+  cmd.inline_op = InlineOp::kWrite;
+  cmd.tenant = 0xA5;
+  cmd.write_len = kMaxWriteLen;  // all 24 payload bits set
+  const Sqe sqe = encode_nvme_fs(cmd);
+  EXPECT_EQ(sqe.write_len >> 24, 0xA5u);
+  EXPECT_EQ(tenant_of(sqe), 0xA5);
+  const NvmeFsCmd back = decode_nvme_fs(sqe);
+  EXPECT_EQ(back.tenant, 0xA5);
+  EXPECT_EQ(back.write_len, kMaxWriteLen);
+  EXPECT_TRUE(is_retryable(Status::kThrottled));
+}
+
 TEST(NvmeSpec, RetryableStatusClassification) {
   // Transient transport faults and host-initiated aborts are retryable;
   // success, FS-level errors, and malformed-command rejections are not.
