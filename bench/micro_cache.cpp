@@ -16,13 +16,13 @@ using namespace dpc;
 using namespace dpc::cache;
 
 struct NullBackend final : CacheBackend {
-  bool read_page(std::uint64_t, std::uint64_t,
-                 std::span<std::byte> dst) override {
+  bool read_page(std::uint64_t, std::uint64_t, std::span<std::byte> dst,
+                 sim::Nanos&) override {
     std::fill(dst.begin(), dst.end(), std::byte{0x11});
     return true;
   }
-  bool write_page(std::uint64_t, std::uint64_t,
-                  std::span<const std::byte>) override {
+  bool write_page(std::uint64_t, std::uint64_t, std::span<const std::byte>,
+                  sim::Nanos&) override {
     return true;
   }
 };

@@ -6,7 +6,7 @@ function(dpc_bench name)
   add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
     dpc_core dpc_dfs dpc_hostfs dpc_kvfs dpc_cache dpc_dpu dpc_kv dpc_ssd
-    dpc_ec dpc_virtio dpc_nvme dpc_pcie dpc_fault dpc_obs dpc_sim
+    dpc_ec dpc_virtio dpc_nvme dpc_nvm dpc_pcie dpc_fault dpc_obs dpc_sim
     Threads::Threads)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -37,3 +37,4 @@ dpc_microbench(micro_cache)
 dpc_bench(ablation_offload)
 dpc_bench(chaos_recovery)
 dpc_bench(qos_antagonist)
+dpc_bench(nvmlog)

@@ -27,6 +27,11 @@
 #            and the antagonist bench (BENCH_qos.json), which asserts the
 #            isolation SLO internally: victim p99 ≤ 2× solo with isolation
 #            on, ≥ 5× degradation with it off.
+#   nvm    — NVM write-ahead durability tier: the WAL unit + system tests
+#            (plain + tsan; the CrashChaosWal sweeps already ride the crash
+#            stage) and the nvmlog bench (BENCH_nvmlog.json), which asserts
+#            fsync p99(WAL off) ≥ 5× p99(WAL on) and graceful ring-full
+#            degradation internally.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -124,5 +129,17 @@ echo "--- qos antagonist bench ---"
 # QoS on, ≥ 5× degradation with it off) and aborts non-zero on violation.
 (cd build && ./bench/qos_antagonist --csv >/dev/null)
 test -f build/BENCH_qos.json
+
+echo "=== nvm stage ==="
+echo "--- nvm wal tests (plain) ---"
+ctest --test-dir build --output-on-failure -j "$JOBS" -R 'NvmWal'
+echo "--- nvm wal tests (tsan) ---"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R 'NvmWal'
+echo "--- nvm log bench ---"
+# The bench DPC_CHECKs its own durability SLO (fsync p99 ≥ 5× faster with
+# the log on, ring-full pressure degrades without dropping an ack) and
+# aborts non-zero on violation.
+(cd build && ./bench/nvmlog --csv >/dev/null)
+test -f build/BENCH_nvmlog.json
 
 echo "=== ci OK ==="

@@ -53,6 +53,15 @@ they are conventions of this codebase, not of C++:
                     bills its I/O to tenant 0 and escapes QoS accounting.
                     Deliberately single-tenant sites stamp `.tenant = 0`
                     with a comment (or suppress).
+  wal-commit-order  inside src/nvm/: a `publish_commit_word(` call with no
+                    `persist_fence(` in the preceding lines. The WAL's
+                    crash-consistency contract is data-before-commit — the
+                    payload must be fenced durable on the NVM device
+                    *before* the commit word that validates it is written,
+                    or a power cut can leave a committed frame whose bytes
+                    never landed. The scan cannot detect that case (the
+                    commit CRC covers what was fenced-in-DRAM, not what
+                    reached media), so the ordering is enforced lexically.
 
 Suppression: append `// dpc-lint: ok(<rule>) <reason>` to the offending
 line, or place it on the line directly above.
@@ -125,6 +134,15 @@ TENANT_DECL_RE = re.compile(
     r"\b(?:nvme::)?(?:NvmeFsCmd|IniDriver::Request)\s+(?P<var>\w+)\s*;")
 TENANT_WINDOW = 16
 
+# WAL write-ahead ordering: a commit-word publish must follow a persist
+# fence of the payload it validates. The lookbehind skips the method's own
+# definition (`…::publish_commit_word(`); declarations (`bool publish_…`)
+# are skipped by the `bool` guard at the check site.
+WAL_COMMIT_RE = re.compile(r"(?<!:)\bpublish_commit_word\s*\(")
+WAL_COMMIT_DECL_RE = re.compile(r"\bbool\s+publish_commit_word\b")
+WAL_FENCE_RE = re.compile(r"\bpersist_fence\s*\(")
+WAL_COMMIT_LOOKBACK = 15
+
 ALL_RULES = (
     "raw-mutex",
     "raw-guard",
@@ -135,6 +153,7 @@ ALL_RULES = (
     "checksum-stamp",
     "lockfree-mutex",
     "tenant-id",
+    "wal-commit-order",
 )
 
 
@@ -276,6 +295,19 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                     "to tenant 0 and dodge QoS accounting; stamp the "
                     "issuing tenant (or an explicit `.tenant = 0` for a "
                     "deliberately single-tenant site)"))
+
+        if (rel.startswith("src/nvm/") and WAL_COMMIT_RE.search(line)
+                and not WAL_COMMIT_DECL_RE.search(line)
+                and not suppressed(lines, i, "wal-commit-order")):
+            lo = max(0, i - WAL_COMMIT_LOOKBACK)
+            window = [strip_comment(l) for l in lines[lo:i]]
+            if not any(WAL_FENCE_RE.search(w) for w in window):
+                findings.append(Finding(
+                    path, n, "wal-commit-order",
+                    "commit word published with no persist_fence in the "
+                    f"prior {WAL_COMMIT_LOOKBACK} lines — the WAL contract "
+                    "is data-before-commit: fence the payload durable "
+                    "before writing the commit word that validates it"))
 
         if rel in CHECKSUM_STORE_FILES:
             m = MEMCPY_CALL_RE.search(line)

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <span>
 
+#include "sim/time.hpp"
+
 namespace dpc::cache {
 
 class CacheBackend {
@@ -14,16 +16,22 @@ class CacheBackend {
   virtual ~CacheBackend() = default;
 
   /// Fills `dst` with the page's bytes; returns false if the page does not
-  /// exist in the backend (prefetch then skips it).
+  /// exist in the backend (prefetch then skips it). Adds the backend's
+  /// modelled latency to `cost` — the caller charges it to whichever op
+  /// (or background pass) waited on the fetch.
   virtual bool read_page(std::uint64_t inode, std::uint64_t lpn,
-                         std::span<std::byte> dst) = 0;
+                         std::span<std::byte> dst, sim::Nanos& cost) = 0;
 
   /// Persists one page (called by the flusher with the page read-locked, so
   /// the content is stable for the duration). Returns false on a transient
   /// backend failure — the flusher keeps the page dirty and retries on a
-  /// later pass instead of dropping the data.
+  /// later pass instead of dropping the data. Adds the backend's modelled
+  /// write latency to `cost`: a synchronous flush (fsync's fallback rung)
+  /// genuinely waits for this write, so under-charging it here would make
+  /// the sync path look artificially close to the NVM-log fast path.
   virtual bool write_page(std::uint64_t inode, std::uint64_t lpn,
-                          std::span<const std::byte> src) = 0;
+                          std::span<const std::byte> src,
+                          sim::Nanos& cost) = 0;
 };
 
 }  // namespace dpc::cache

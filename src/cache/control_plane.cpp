@@ -3,6 +3,7 @@
 #include "dpu/compress.hpp"
 #include "dpu/qos.hpp"
 #include "ec/crc32c.hpp"
+#include "nvm/wal.hpp"
 #include "sim/check.hpp"
 #include "sim/lockrank.hpp"
 
@@ -197,6 +198,14 @@ void DpuCacheControl::bump_free(std::int32_t delta, sim::Nanos& cost) {
 }
 
 std::vector<PageStatus> DpuCacheControl::snapshot_status(sim::Nanos& cost) {
+  const auto entries = snapshot_meta(cost);
+  std::vector<PageStatus> status(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    status[i] = static_cast<PageStatus>(entries[i].status);
+  return status;
+}
+
+std::vector<CacheEntry> DpuCacheControl::snapshot_meta(sim::Nanos& cost) {
   const std::uint32_t total = layout_->geometry().total_pages;
   // Chunked DMA of the whole meta area (entries are contiguous).
   std::vector<CacheEntry> entries(total);
@@ -208,10 +217,7 @@ std::vector<PageStatus> DpuCacheControl::snapshot_status(sim::Nanos& cost) {
         std::as_writable_bytes(std::span{entries.data() + at, n}),
         pcie::DmaClass::kDescriptor);
   }
-  std::vector<PageStatus> status(total);
-  for (std::uint32_t i = 0; i < total; ++i)
-    status[i] = static_cast<PageStatus>(entries[i].status);
-  return status;
+  return entries;
 }
 
 DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
@@ -283,7 +289,7 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
     }
     const bool flushed =
         !(fault_ != nullptr && fault_->should_fail(kFaultFlushWritePage)) &&
-        backend_->write_page(e.inode, e.lpn, scratch_);
+        backend_->write_page(e.inode, e.lpn, scratch_, res.cost);
     if (!flushed) {
       // Transient backend failure: drop the read lock but leave the page
       // dirty — it is re-queued, never lost, and a later pass retries it.
@@ -301,14 +307,88 @@ DpuCacheControl::PassResult DpuCacheControl::flush_pass(int max_pages) {
     dma_->atomic_fadd_host(layout_->header_field(HeaderOffsets::kDirty),
                            static_cast<std::uint32_t>(-1));
     res.cost += sim::calib::kPcieAtomic;
+    if (wal_ != nullptr && wal_->has_pending(e.inode, e.lpn)) {
+      // This is the WAL drain: the backend now holds the bytes, so a
+      // marker supersedes the logged copies. A crash in between (or right
+      // after — the crash point below) replays the logged copy over the
+      // identical backend bytes: idempotent, never lost.
+      wal_->note_drained(e.inode, e.lpn, res.cost);
+      fault::crash_point(fault_, nvm::kCrashWalAfterDrain);
+    }
     read_unlock(i, res.cost);
     ++res.pages;
     ++stats_.pages_flushed;
+  }
+  if (wal_ != nullptr && (res.pages > 0 || wal_->degraded())) {
+    // The pass may have drained the last pending page: checkpoint-truncate
+    // (which doubles as the degraded-mode recovery probe).
+    wal_->maybe_checkpoint(res.cost);
   }
   // Idle poller passes that flushed nothing would drown the distribution in
   // snapshot-scan costs; record only passes that moved pages.
   if (res.pages > 0) flush_pass_ns_->record(res.cost);
   return res;
+}
+
+DpuCacheControl::WalLogResult DpuCacheControl::wal_log_pass(
+    std::uint64_t inode) {
+  WalLogResult res;
+  if (wal_ == nullptr || (fault_ != nullptr && fault_->crashed())) return res;
+  sim::LockGuard lock(pass_mu_);
+  res.complete = true;
+  // Full-entry snapshot: the ino filter below reads inode/status straight
+  // from the chunked meta DMA instead of paying a probe DMA per dirty
+  // page, so this pass stays O(snapshot) + O(this ino's pages) even when
+  // the cache is full of other tenants' dirt. The under-lock re-fetch
+  // below still validates against the live entry.
+  const auto meta = snapshot_meta(res.cost);
+  for (std::uint32_t i = 0; i < meta.size(); ++i) {
+    if (static_cast<PageStatus>(meta[i].status) != PageStatus::kDirty ||
+        meta[i].inode != inode)
+      continue;
+    // Same read-lock discipline as the flush: a host writer mid-update
+    // means the page bytes are not provably stable — no WAL ack for it.
+    if (!try_read_lock(i, res.cost)) {
+      ++stats_.flush_lock_conflicts;
+      res.complete = false;
+      continue;
+    }
+    ReleaseRecordOnUnwind rank_record{word_key(
+        dma_->host(),
+        layout_->entry_field_off(i, CacheLayout::EntryField::kLock))};
+    const CacheEntry e = fetch_entry(i, res.cost);
+    if (e.inode != inode ||
+        static_cast<PageStatus>(e.status) != PageStatus::kDirty) {
+      read_unlock(i, res.cost);  // raced with an invalidate/flush
+      continue;
+    }
+    res.cost += dma_->read_host(layout_->page_off(i), scratch_,
+                                pcie::DmaClass::kData);
+    const auto st = wal_->append_data(e.inode, e.lpn, scratch_, res.cost);
+    read_unlock(i, res.cost);
+    if (st != nvm::AppendStatus::kOk) {
+      // kFull / kIoError: the WAL latched degraded; every remaining page
+      // would fail the same way, so report incomplete and stop.
+      res.complete = false;
+      break;
+    }
+    ++res.pages;
+    ++stats_.wal_pages_logged;
+  }
+  return res;
+}
+
+int DpuCacheControl::dirty_pages(std::uint64_t inode, sim::Nanos& cost) {
+  if (fault_ != nullptr && fault_->crashed()) return 0;
+  sim::LockGuard lock(pass_mu_);
+  const auto meta = snapshot_meta(cost);
+  int n = 0;
+  for (const auto& e : meta) {
+    if (e.inode == inode &&
+        static_cast<PageStatus>(e.status) == PageStatus::kDirty)
+      ++n;
+  }
+  return n;
 }
 
 DpuCacheControl::PassResult DpuCacheControl::evict(std::uint32_t target_free) {
@@ -412,7 +492,7 @@ DpuCacheControl::PassResult DpuCacheControl::prefetch(std::uint64_t inode,
       continue;
     }
 
-    if (!backend_->read_page(inode, lpn, scratch_)) {
+    if (!backend_->read_page(inode, lpn, scratch_, res.cost)) {
       write_unlock(free_slot, res.cost);
       unlock_bucket(bucket, res.cost);
       continue;  // past EOF / hole

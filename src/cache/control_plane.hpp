@@ -34,6 +34,10 @@ namespace dpc::dpu {
 class QosManager;
 }
 
+namespace dpc::nvm {
+class WriteAheadLog;
+}  // namespace dpc::nvm
+
 namespace dpc::cache {
 
 /// Fault-injection site: one draw per flushed page; a hit makes the backend
@@ -83,7 +87,8 @@ struct ControlPlaneStats {
         flush_fails(reg.counter("cache.ctl/flush_fails")),
         flush_integrity_fails(
             reg.counter("cache.ctl/flush_integrity_fails")),
-        rebuild_pages(reg.counter("cache.ctl/rebuild_pages")) {}
+        rebuild_pages(reg.counter("cache.ctl/rebuild_pages")),
+        wal_pages_logged(reg.counter("cache.ctl/wal_pages_logged")) {}
 
   obs::Counter& pages_flushed;
   obs::Counter& pages_evicted;
@@ -101,6 +106,9 @@ struct ControlPlaneStats {
   obs::Counter& flush_integrity_fails;
   /// Pages adopted from the surviving host data plane during rebuild().
   obs::Counter& rebuild_pages;
+  /// Dirty pages persisted to the NVM write-ahead log by wal_log_pass()
+  /// (the fsync fast path; the pages stay dirty for the drain).
+  obs::Counter& wal_pages_logged;
 };
 
 class DpuCacheControl {
@@ -141,6 +149,31 @@ class DpuCacheControl {
   /// ("qos/t<i>/prefetch_pages"). Set during system wiring, before traffic.
   void attach_qos(dpu::QosManager* qos) { qos_ = qos; }
 
+  /// Attaches the NVM write-ahead log: flush_pass() appends a drain marker
+  /// for every page it pushes to the backend (superseding the logged
+  /// copies) and checkpoint-truncates the log when it goes empty, and
+  /// wal_log_pass() becomes available to the fsync fast path. Set during
+  /// system wiring, before traffic.
+  void attach_wal(nvm::WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Fsync fast path: persists every dirty page of `inode` to the NVM
+  /// write-ahead log. The pages STAY dirty — the background flusher drains
+  /// them to the backend later; durability is the log's job from here.
+  struct WalLogResult {
+    int pages = 0;        ///< pages appended this pass
+    bool complete = false;  ///< every dirty page of the inode is in the log
+    sim::Nanos cost{};
+  };
+  /// `complete` is the ack gate: false (lock conflict with a host writer,
+  /// ring full, NVM fault) means the caller must fall back to the
+  /// synchronous flush path for this fsync.
+  WalLogResult wal_log_pass(std::uint64_t inode);
+
+  /// Counts the dirty pages of `inode` still in the cache. The fsync path
+  /// uses this to refuse success while flush-failed (re-queued) pages
+  /// remain dirty.
+  int dirty_pages(std::uint64_t inode, sim::Nanos& cost);
+
   /// WorkerPool poller: services the need-evict flag and flushes a batch.
   /// Returns the number of pages it acted on. Inert while the fault
   /// injector reports `crashed()`; a CrashException from a crash point in
@@ -168,6 +201,11 @@ class DpuCacheControl {
   /// DMA-reads the status word of every entry (chunked) for policy input.
   std::vector<PageStatus> snapshot_status(sim::Nanos& cost);
 
+  /// DMA-reads the whole meta area (chunked): full entries, not just
+  /// status. Lets ino-filtered passes (wal_log_pass) skip the per-entry
+  /// probe DMA — one setup per chunk instead of one per dirty page.
+  std::vector<CacheEntry> snapshot_meta(sim::Nanos& cost);
+
   CacheEntry fetch_entry(std::uint32_t index, sim::Nanos& cost);
   // Entry/bucket lock words are PCIe atomics, not mutexes; successful
   // acquisitions still feed the lock-rank detector (ranks kCacheEntry /
@@ -191,6 +229,7 @@ class DpuCacheControl {
   CacheBackend* backend_;
   fault::FaultInjector* fault_;
   dpu::QosManager* qos_ = nullptr;  ///< per-tenant prefetch attribution
+  nvm::WriteAheadLog* wal_ = nullptr;  ///< durability spine (may be null)
   /// Consulted only inside an eviction pass (replacement is single-flight).
   std::unique_ptr<EvictionPolicy> policy_ PT_GUARDED_BY(pass_mu_);
   ControlPlaneConfig cfg_;

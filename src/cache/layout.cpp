@@ -33,18 +33,21 @@ CacheLayout::CacheLayout(const CacheGeometry& geo,
       std::uint64_t{geo.total_pages} * geo.page_size, geo.page_size);
   total_bytes_ = data_ + std::uint64_t{geo.total_pages} * geo.page_size - base_;
 
+  format(host_alloc.region());
+}
+
+void CacheLayout::format(pcie::MemoryRegion& region) const {
   // Initialize header.
-  pcie::MemoryRegion& region = host_alloc.region();
   region.store<std::uint32_t>(header_field(HeaderOffsets::kPageSize),
-                              geo.page_size);
+                              geo_.page_size);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kMode),
-                              static_cast<std::uint32_t>(geo.mode));
+                              static_cast<std::uint32_t>(geo_.mode));
   region.store<std::uint32_t>(header_field(HeaderOffsets::kTotal),
-                              geo.total_pages);
+                              geo_.total_pages);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kFree),
-                              geo.total_pages);
+                              geo_.total_pages);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kBuckets),
-                              geo.buckets);
+                              geo_.buckets);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kNeedEvict), 0);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kDirty), 0);
   region.store<std::uint32_t>(header_field(HeaderOffsets::kRaSeq), 0);
@@ -52,9 +55,9 @@ CacheLayout::CacheLayout(const CacheGeometry& geo,
   region.store<std::uint64_t>(header_field(HeaderOffsets::kRaLpn), 0);
 
   // Zero bucket locks; link each bucket's entries into its list.
-  for (std::uint32_t b = 0; b < geo.buckets; ++b)
+  for (std::uint32_t b = 0; b < geo_.buckets; ++b)
     region.store<std::uint32_t>(bucket_lock_off(b), 0);
-  for (std::uint32_t i = 0; i < geo.total_pages; ++i) {
+  for (std::uint32_t i = 0; i < geo_.total_pages; ++i) {
     CacheEntry e;
     const std::uint32_t in_bucket = i % epb_;
     e.next = (in_bucket + 1 == epb_) ? kEndOfList : i + 1;

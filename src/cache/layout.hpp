@@ -138,6 +138,13 @@ class CacheLayout {
   /// Total bytes the cache occupies in the host region.
   std::uint64_t footprint() const { return total_bytes_; }
 
+  /// (Re-)initializes the region to an empty cache: header rewritten,
+  /// bucket locks zeroed, every entry free and relinked into its bucket
+  /// list. The constructor calls this once; tests call it again to model a
+  /// host power loss (all cached pages gone). Callers must quiesce both
+  /// planes first.
+  void format(pcie::MemoryRegion& region) const;
+
  private:
   CacheGeometry geo_;
   std::uint32_t epb_ = 0;

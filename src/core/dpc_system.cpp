@@ -47,12 +47,14 @@ class KvfsCacheBackend final : public cache::CacheBackend {
   explicit KvfsCacheBackend(kvfs::Kvfs& fs) : fs_(&fs) {}
 
   bool read_page(std::uint64_t inode, std::uint64_t lpn,
-                 std::span<std::byte> dst) override {
+                 std::span<std::byte> dst, sim::Nanos& cost) override {
     auto res = fs_->read(inode, lpn * kCachePage, dst);
+    cost += res.cost;
     return res.ok() && res.value > 0;
   }
   bool write_page(std::uint64_t inode, std::uint64_t lpn,
-                  std::span<const std::byte> src) override {
+                  std::span<const std::byte> src,
+                  sim::Nanos& cost) override {
     // Note on ordering: a flush may land before the adapter's async size
     // update and transiently grow the file to the page boundary; the
     // in-flight truncate/size RPC serializes after it on the inode lock
@@ -60,6 +62,7 @@ class KvfsCacheBackend final : public cache::CacheBackend {
     // adapter also drops/zeroes cached pages *before* issuing a truncate,
     // so no stale page can regrow the file afterwards.
     auto res = fs_->write(inode, lpn * kCachePage, src);
+    cost += res.cost;
     if (res.err == ENOENT) return true;  // racing unlink: drop the page
     // Transient KVFS failure (injected or real): report it so the flusher
     // keeps the page dirty and retries on a later pass.
@@ -96,6 +99,16 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
   dpu_ = std::make_unique<dpu::Dpu>();
   dma_ = std::make_unique<pcie::DmaEngine>(*host_mem_, dpu_->bar());
 
+  // NVM write-ahead durability tier: on-DPU PMEM log device + WAL. The
+  // media lives outside every restart path — restart_dpu() recovers *from*
+  // it, so these are constructed once and never reset.
+  if (opts.enable_nvm_wal) {
+    nvm_dev_ = std::make_unique<nvm::NvmDevice>(opts.nvm_log_bytes,
+                                                opts.fault, &registry_);
+    wal_ =
+        std::make_unique<nvm::WriteAheadLog>(*nvm_dev_, registry_, opts.fault);
+  }
+
   // Backends.
   if (opts.shared_store == nullptr) {
     kv_store_ = std::make_unique<kv::KvStore>(opts.kv_shards);
@@ -110,6 +123,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
                                               opts.kv_retry, opts.kv_breaker);
   kvfs::KvfsOptions kvfs_opts = opts.kvfs;
   if (kvfs_opts.fault == nullptr) kvfs_opts.fault = opts.fault;
+  if (wal_) kvfs_opts.wal = wal_.get();
   kvfs_ = std::make_unique<kvfs::Kvfs>(*remote_kv_, kvfs_opts, &registry_);
   if (qos_) kvfs_->attach_qos(qos_.get());
   if (opts.with_dfs) {
@@ -133,6 +147,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
         std::make_unique<cache::ClockEviction>(), opts.cache_ctl, &registry_,
         opts.fault);
     if (qos_) cache_ctl_->attach_qos(qos_.get());
+    if (wal_) cache_ctl_->attach_wal(wal_.get());
   }
 
   // Background integrity scrubber (DPU-side poller once start_dpu runs).
@@ -147,7 +162,7 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
   // Dispatch + transport.
   dispatch_ = std::make_unique<IoDispatch>(*kvfs_, dfs_client_.get(),
                                            cache_ctl_.get(), &registry_,
-                                           qos_.get());
+                                           qos_.get(), wal_.get());
   for (int q = 0; q < opts.queues; ++q) {
     nvme::QpConfig qc;
     qc.qid = static_cast<std::uint16_t>(q);
@@ -202,52 +217,89 @@ void DpcSystem::stop_dpu() {
   workers_.reset();
 }
 
+namespace {
+
+/// Holds every pump lock, in index order (same rank, consistent order —
+/// acyclic), releasing in reverse on every exit path — including a
+/// CrashException unwinding out of a recovery step.
+struct PumpFreeze {
+  explicit PumpFreeze(std::vector<std::unique_ptr<sim::AnnotatedMutex>>& mus)
+      NO_THREAD_SAFETY_ANALYSIS : mus(&mus) {
+    for (auto& mu : mus) mu->lock();
+  }
+  ~PumpFreeze() NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = mus->rbegin(); it != mus->rend(); ++it) (*it)->unlock();
+  }
+  PumpFreeze(const PumpFreeze&) = delete;
+  PumpFreeze& operator=(const PumpFreeze&) = delete;
+  std::vector<std::unique_ptr<sim::AnnotatedMutex>>* mus;
+};
+
+}  // namespace
+
 // Pointer-loop locking over pump_mu_ — opt the definition out of the
 // static analysis; the runtime lock-rank detector still covers it.
 DpcSystem::RestartReport DpcSystem::restart_dpu() NO_THREAD_SAFETY_ANALYSIS {
   RestartReport rep;
   const bool was_running = workers_running_.load(std::memory_order_acquire);
   stop_dpu();
-  // Freeze pump-mode callers for the whole power cycle: hold every pump
-  // lock, in index order (same rank, consistent order — acyclic). Without
-  // this, a pump-mode caller could drive its TgtDriver mid-reset and replay
-  // stale SQEs against a half-rewound ring.
-  for (auto& mu : pump_mu_) mu->lock();
-  // ① Controller reset, per queue pair — TGT side only for now. It rewinds
-  // the ring indices the INI's doorbell zeroing would otherwise
-  // desynchronize. The INI aborts come *last* (step ⑤): aborted waiters
-  // retry immediately, and they must wake into a recovered controller, not
-  // one whose keyspace repair is still in flight.
-  for (std::size_t q = 0; q < tgts_.size(); ++q) {
-    tgts_[q]->reset();
-    ++rep.queues_reset;
+  {
+    // Freeze pump-mode callers for the whole power cycle. Without this, a
+    // pump-mode caller could drive its TgtDriver mid-reset and replay
+    // stale SQEs against a half-rewound ring.
+    PumpFreeze freeze(pump_mu_);
+    // ① Controller reset, per queue pair — TGT side only for now. It rewinds
+    // the ring indices the INI's doorbell zeroing would otherwise
+    // desynchronize. The INI aborts come *last* (step ⑤): aborted waiters
+    // retry immediately, and they must wake into a recovered controller, not
+    // one whose keyspace repair is still in flight.
+    for (std::size_t q = 0; q < tgts_.size(); ++q) {
+      tgts_[q]->reset();
+      ++rep.queues_reset;
+    }
+    // ② Lift the crash latch so the recovery passes below can run.
+    if (opts_.fault != nullptr) opts_.fault->clear_crash();
+    // ③④ may themselves hit an armed crash point (crash *during* WAL/journal
+    // replay or during the post-recovery drain). The latch is set again;
+    // report the cycle as interrupted and let the caller power-cycle once
+    // more — replay is idempotent, so the retry converges.
+    try {
+      // ③ Square the keyspace: NVM-log replay (data pages + journal
+      // intents), then the KV-resident intent journal, then fsck repair as
+      // the backstop for anything neither log could see.
+      rep.fs = kvfs_->recover();
+      rep.cost += rep.fs.cost;
+      // ④ Rebuild the DPU-side cache control state from the surviving
+      // host-DRAM data plane, then push down whatever was dirty at the
+      // crash.
+      if (cache_ctl_) {
+        const auto rebuilt = cache_ctl_->rebuild();
+        rep.rebuilt_pages = static_cast<std::uint32_t>(rebuilt.pages);
+        rep.cost += rebuilt.cost;
+        const auto flushed = cache_ctl_->flush_pass();
+        rep.reflushed_pages = flushed.pages;
+        rep.cost += flushed.cost;
+      }
+    } catch (const fault::CrashException&) {
+      rep.interrupted = true;
+    }
+    // ⑤ Host-side controller reset: every in-flight cid gets a synthetic
+    // abort so blocked callers requeue through the normal retry path.
+    for (auto& ini : inis_)
+      rep.aborted_cids =
+          static_cast<std::uint16_t>(rep.aborted_cids + ini->reset());
+    restart_ns_->record(rep.cost);
   }
-  // ② Lift the crash latch so the recovery passes below can run.
-  if (opts_.fault != nullptr) opts_.fault->clear_crash();
-  // ③ Square the keyspace: intent-journal replay, then fsck repair as the
-  // backstop for anything the journal couldn't see.
-  rep.fs = kvfs_->recover();
-  rep.cost += rep.fs.cost;
-  // ④ Rebuild the DPU-side cache control state from the surviving
-  // host-DRAM data plane, then push down whatever was dirty at the crash.
-  if (cache_ctl_) {
-    const auto rebuilt = cache_ctl_->rebuild();
-    rep.rebuilt_pages = static_cast<std::uint32_t>(rebuilt.pages);
-    rep.cost += rebuilt.cost;
-    const auto flushed = cache_ctl_->flush_pass();
-    rep.reflushed_pages = flushed.pages;
-    rep.cost += flushed.cost;
-  }
-  // ⑤ Host-side controller reset: every in-flight cid gets a synthetic
-  // abort so blocked callers requeue through the normal retry path.
-  for (auto& ini : inis_)
-    rep.aborted_cids =
-        static_cast<std::uint16_t>(rep.aborted_cids + ini->reset());
-  restart_ns_->record(rep.cost);
-  for (auto it = pump_mu_.rbegin(); it != pump_mu_.rend(); ++it)
-    (*it)->unlock();
-  if (was_running) start_dpu();
+  if (was_running && !rep.interrupted) start_dpu();
   return rep;
+}
+
+void DpcSystem::wipe_host_cache() {
+  {
+    sim::LockGuard lock(size_mu_);
+    size_cache_.clear();
+  }
+  if (cache_layout_) cache_layout_->format(*host_mem_);
 }
 
 void DpcSystem::set_thread_tenant(nvme::TenantId tenant) {

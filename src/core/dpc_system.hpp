@@ -39,10 +39,13 @@
 #include "kv/kv_store.hpp"
 #include "kv/remote.hpp"
 #include "kvfs/kvfs.hpp"
+#include "nvm/device.hpp"
+#include "nvm/wal.hpp"
 #include "nvme/ini.hpp"
 #include "nvme/queue_pair.hpp"
 #include "nvme/tgt.hpp"
 #include "pcie/dma.hpp"
+#include "sim/calib.hpp"
 #include "sim/thread_annotations.hpp"
 
 namespace dpc::core {
@@ -86,6 +89,16 @@ struct DpcOptions {
   bool enable_scrubber = false;
   dpu::ScrubberConfig scrub{};
 
+  // ---- NVM write-ahead durability tier (§ robustness)
+  /// Stages every fsync'd dirty page (and the KVFS intent records) in a
+  /// byte-addressable on-DPU PMEM log before acking: fsync returns at NVM
+  /// persistence (~µs) instead of the synchronous KV flush (~100 µs), and
+  /// a DPU power-cycle replays the log. Off by default: the pre-WAL
+  /// behavior is bit-identical (no device, no log, no fast path).
+  bool enable_nvm_wal = false;
+  /// Capacity of the PMEM log ring (default: calibrated 16 MiB).
+  std::uint64_t nvm_log_bytes = sim::calib::kNvmLogBytes;
+
   // ---- per-tenant QoS (overload robustness)
   /// DPU-side admission control, weighted fair scheduling and graceful
   /// degradation, keyed on the tenant id each SQE carries in DW10[31:24].
@@ -125,8 +138,12 @@ class DpcSystem {
     kvfs::Kvfs::RecoveryReport fs;  ///< journal replay + fsck repair
     std::uint32_t rebuilt_pages = 0;  ///< cache pages adopted from host DRAM
     int reflushed_pages = 0;          ///< dirty pages pushed down post-crash
+    /// A crash point fired *during* recovery (e.g. mid WAL replay): the
+    /// crash latch is set again and this report is partial. Power-cycle
+    /// again — replay is idempotent, so the retry converges.
+    bool interrupted = false;
     sim::Nanos cost{};  ///< modelled recovery time (also "recovery/restart_ns")
-    bool clean() const { return fs.clean(); }
+    bool clean() const { return fs.clean() && !interrupted; }
   };
 
   /// Models a DPU power-cycle after a fault-injected crash (§ robustness):
@@ -138,6 +155,12 @@ class DpcSystem {
   /// restarts the workers if they were running. The fs-adapter's size view
   /// survives deliberately — the host never crashed.
   RestartReport restart_dpu();
+
+  /// Test helper: models a simultaneous *host* power loss — wipes the
+  /// host-DRAM cache region (re-formats it empty) and the fs-adapter's
+  /// size view, so the only recovery sources left are the KV store and the
+  /// NVM log. Call while the DPU is quiesced (before restart_dpu()).
+  void wipe_host_cache();
 
   // ------------------------- standalone (KVFS) file service -------------
   Io create(std::uint64_t parent, const std::string& name,
@@ -196,6 +219,9 @@ class DpcSystem {
   dpu::Scrubber* scrubber() { return scrubber_.get(); }
   /// Null unless options.qos.enabled.
   dpu::QosManager* qos_manager() { return qos_.get(); }
+  /// Null unless options.enable_nvm_wal.
+  nvm::WriteAheadLog* wal() { return wal_.get(); }
+  nvm::NvmDevice* nvm_device() { return nvm_dev_.get(); }
 
   /// Tenant identity stamped into every nvme-fs command this thread issues
   /// (SQE DW10[31:24]); sticky until changed, default 0. Workload threads
@@ -252,6 +278,13 @@ class DpcSystem {
   std::unique_ptr<pcie::RegionAllocator> host_alloc_;
   std::unique_ptr<dpu::Dpu> dpu_;
   std::unique_ptr<pcie::DmaEngine> dma_;
+
+  /// On-DPU PMEM log device + write-ahead log (null unless
+  /// opts_.enable_nvm_wal). Declared before the backends / cache / dispatch
+  /// that hold raw pointers into it, and NEVER reset across restart_dpu():
+  /// the NVM media is exactly what survives the power cycle.
+  std::unique_ptr<nvm::NvmDevice> nvm_dev_;
+  std::unique_ptr<nvm::WriteAheadLog> wal_;
 
   // Transport. Each queue pair shares one QueueTraces between its INI and
   // TGT drivers so per-op stage stamps line up across the "link".

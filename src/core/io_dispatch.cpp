@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "nvm/wal.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::core {
@@ -19,11 +20,13 @@ nvme::HandlerResult fs_error(int err) {
 
 IoDispatch::IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
                        cache::DpuCacheControl* cache_ctl,
-                       obs::Registry* registry, dpu::QosManager* qos)
+                       obs::Registry* registry, dpu::QosManager* qos,
+                       nvm::WriteAheadLog* wal)
     : fs_(&fs),
       dfs_(dfs_client),
       cache_ctl_(cache_ctl),
       qos_(qos),
+      wal_(wal),
       owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
                                           : nullptr),
       registry_(registry != nullptr ? registry : owned_registry_.get()),
@@ -105,11 +108,60 @@ nvme::HandlerResult IoDispatch::handle_standalone_inline(
     }
     case nvme::InlineOp::kFsync: {
       stats_.inline_other.fetch_add(1, std::memory_order_relaxed);
+      // Fast path: persist the inode's dirty pages to the NVM write-ahead
+      // log and ack at NVM persistence — the background flusher drains them
+      // to the KV/SSD path afterwards. Any hiccup (degraded log, host
+      // writer holding a page lock, NVM fault mid-pass) falls through to
+      // the synchronous flush below; an acked fsync is durable either way.
+      if (wal_ != nullptr && cache_ctl_ != nullptr) {
+        if (!wal_->degraded()) {
+          auto logres = cache_ctl_->wal_log_pass(cmd.inode);
+          if (logres.complete) {
+            // Existence check (attr-cache cheap): fsync of a deleted ino
+            // must still say ENOENT, fast path or not.
+            auto at = fs_->getattr(cmd.inode);
+            const sim::Nanos total = logres.cost + at.cost;
+            if (at.err == ENOENT) {
+              charge(total);
+              return fs_error(ENOENT);
+            }
+            if (at.ok()) {
+              charge(total);
+              r.backend_cost = total;
+              stats_.wal_fast_acks.fetch_add(1, std::memory_order_relaxed);
+              return r;
+            }
+            // Transient attr failure: fall through to the synchronous path.
+          }
+        }
+        // Degraded log, unloggable page, or attr hiccup: this fsync takes
+        // the synchronous rung of the ladder.
+        stats_.wal_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
       // Push dirty hybrid-cache pages down first, then barrier the store.
-      if (cache_ctl_ != nullptr) cache_ctl_->flush_pass();
+      sim::Nanos sync_cost{};
+      if (cache_ctl_ != nullptr) {
+        const auto& cstats = cache_ctl_->stats();
+        const std::uint64_t fails_before =
+            cstats.flush_fails.load() + cstats.flush_integrity_fails.load();
+        sync_cost += cache_ctl_->flush_pass().cost;
+        // A failed flush re-queues the page dirty; fsync must NOT report
+        // success while such pages of this inode remain dirty — the bytes
+        // are not durable yet. (Pages re-dirtied by a concurrent writer
+        // after the pass are the *next* fsync's problem; only a pass that
+        // actually failed writes turns leftover dirt into EIO.)
+        const std::uint64_t fails_after =
+            cstats.flush_fails.load() + cstats.flush_integrity_fails.load();
+        if (fails_after != fails_before &&
+            cache_ctl_->dirty_pages(cmd.inode, sync_cost) > 0) {
+          charge(sync_cost);
+          return fs_error(EIO);
+        }
+      }
       auto res = fs_->fsync(cmd.inode);
-      charge(res.cost);
+      charge(sync_cost + res.cost);
       if (!res.ok()) return fs_error(res.err);
+      r.backend_cost = sync_cost + res.cost;
       return r;
     }
     case nvme::InlineOp::kTruncate: {

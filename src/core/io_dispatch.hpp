@@ -33,7 +33,9 @@ struct DispatchStats {
         dfs_ops(reg.counter("dispatch/dfs_ops")),
         errors(reg.counter("dispatch/errors")),
         backend_ns(reg.counter("dispatch/backend_ns")),
-        ops(reg.counter("dispatch/ops")) {}
+        ops(reg.counter("dispatch/ops")),
+        wal_fast_acks(reg.counter("dispatch/wal_fast_acks")),
+        wal_fallbacks(reg.counter("dispatch/wal_fallbacks")) {}
 
   obs::Counter& inline_reads;
   obs::Counter& inline_writes;
@@ -45,6 +47,10 @@ struct DispatchStats {
   /// figure benches' demand estimation.
   obs::Counter& backend_ns;
   obs::Counter& ops;
+  /// Fsyncs acked at NVM persistence (WAL fast path) vs. fsyncs that fell
+  /// back to the synchronous flush (degraded log / unloggable page).
+  obs::Counter& wal_fast_acks;
+  obs::Counter& wal_fallbacks;
 };
 
 class IoDispatch {
@@ -52,11 +58,15 @@ class IoDispatch {
   /// `dfs_client` and `cache_ctl` may be null (standalone-only setups).
   /// `registry` hosts the dispatch counters and per-op-class backend
   /// histograms; when null, a private registry is created. `qos` (optional)
-  /// scopes per-op counters to the command's tenant.
+  /// scopes per-op counters to the command's tenant. `wal` (optional, with
+  /// `cache_ctl`) enables the fsync fast path: ack at NVM persistence and
+  /// let the background flusher drain — falling back to the synchronous
+  /// flush whenever the log is degraded or a page could not be logged.
   IoDispatch(kvfs::Kvfs& fs, dfs::DfsClient* dfs_client,
              cache::DpuCacheControl* cache_ctl,
              obs::Registry* registry = nullptr,
-             dpu::QosManager* qos = nullptr);
+             dpu::QosManager* qos = nullptr,
+             nvm::WriteAheadLog* wal = nullptr);
 
   /// The nvme-fs command handler to register with the TGT driver.
   nvme::CommandHandler handler();
@@ -85,6 +95,7 @@ class IoDispatch {
   dfs::DfsClient* dfs_;
   cache::DpuCacheControl* cache_ctl_;
   dpu::QosManager* qos_;
+  nvm::WriteAheadLog* wal_;
   std::unique_ptr<obs::Registry> owned_registry_;  // when none was supplied
   obs::Registry* registry_;
   DispatchStats stats_;

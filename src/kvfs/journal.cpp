@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ec/crc32c.hpp"
+#include "nvm/wal.hpp"
 
 namespace dpc::kvfs {
 
@@ -136,7 +137,8 @@ IntentJournal::IntentJournal(kv::RemoteKv& store, obs::Registry& registry,
       appends_(registry.counter("kvfs.journal/appends")),
       commits_(registry.counter("kvfs.journal/commits")),
       append_fails_(registry.counter("kvfs.journal/append_fails")),
-      commit_fails_(registry.counter("kvfs.journal/commit_fails")) {}
+      commit_fails_(registry.counter("kvfs.journal/commit_fails")),
+      wal_appends_(registry.counter("kvfs.journal/wal_appends")) {}
 
 std::uint64_t IntentJournal::begin(const JournalRecord& rec,
                                    sim::Nanos& cost) {
@@ -150,6 +152,18 @@ std::uint64_t IntentJournal::begin(const JournalRecord& rec,
     return 0;
   }
   const kv::Bytes payload = encode_journal_record(rec);
+  if (wal_ != nullptr && !wal_->degraded()) {
+    // Ride the NVM durability spine: one local persist instead of a remote
+    // KV round trip. A full/faulting log falls through to the KV path — the
+    // record must be durable *somewhere* before the op's first mutation.
+    if (wal_->append_intent(id.value, payload, cost) ==
+        nvm::AppendStatus::kOk) {
+      appends_.add();
+      wal_appends_.add();
+      fault::crash_point(fault_, kCrashAfterAppend);
+      return id.value;
+    }
+  }
   const auto put = store_->put(journal_key(id.value), payload);
   cost += put.cost;
   if (!put.ok()) {
@@ -162,6 +176,18 @@ std::uint64_t IntentJournal::begin(const JournalRecord& rec,
 }
 
 void IntentJournal::commit(std::uint64_t record_id, sim::Nanos& cost) {
+  if (wal_ != nullptr && wal_->intent_open(record_id)) {
+    // The intent rode the WAL; its commit marker must land in the same log
+    // (a KV erase would target a key that was never written). A failed
+    // marker is tolerated exactly like a failed KV erase: the intent stays
+    // open, replay re-probes the complete op and finds nothing to do.
+    if (wal_->append_intent_commit(record_id, cost) == nvm::AppendStatus::kOk) {
+      commits_.add();
+    } else {
+      commit_fails_.add();
+    }
+    return;
+  }
   const auto er = store_->erase(journal_key(record_id));
   cost += er.cost;
   if (er.ok()) {
@@ -343,8 +369,17 @@ bool replay_one(Raw& raw, const JournalRecord& rec) {
 
 }  // namespace
 
+bool replay_intent_record(kv::KvStore& raw_store, const JournalRecord& rec,
+                          sim::Nanos& cost) {
+  Raw raw{raw_store};
+  const bool forward = replay_one(raw, rec);
+  cost += raw.cost;
+  return forward;
+}
+
 JournalReplayReport IntentJournal::replay(kv::KvStore& raw_store,
-                                          obs::Registry* registry) {
+                                          obs::Registry* registry,
+                                          fault::FaultInjector* fault) {
   JournalReplayReport rep;
   Raw raw{raw_store};
 
@@ -369,6 +404,9 @@ JournalReplayReport IntentJournal::replay(kv::KvStore& raw_store,
     } else {
       ++rep.rolled_back;
     }
+    // Crash window between applying a record and erasing it: the second
+    // replay re-scans this record and replay_one converges (idempotent).
+    fault::crash_point(fault, kCrashMidReplay);
     raw.erase(key);
   }
   rep.cost = raw.cost;

@@ -28,12 +28,21 @@
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
+namespace dpc::nvm {
+class WriteAheadLog;
+}  // namespace dpc::nvm
+
 namespace dpc::kvfs {
 
 /// Crash point inside the journal itself: fires right after the intent
 /// record is durable but before the op's first real mutation.
 inline constexpr std::string_view kCrashAfterAppend =
     "kvfs.journal/crash_after_append";
+/// Crash point inside replay: fires after a record has been rolled
+/// forward/backward but before its erase — the second replay must find the
+/// half-replayed log and converge (every replay_one path is idempotent).
+inline constexpr std::string_view kCrashMidReplay =
+    "kvfs.journal/crash_mid_replay";
 
 enum class JournalOp : std::uint8_t {
   kCreate = 1,  ///< create / mkdir / symlink (make_node + symlink target)
@@ -70,6 +79,14 @@ struct JournalRecord {
 kv::Bytes encode_journal_record(const JournalRecord& rec);
 std::optional<JournalRecord> decode_journal_record(const kv::Bytes& v);
 
+/// Rolls one decoded intent record forward or backward against the raw
+/// store (idempotent — the WAL replay loop calls this for every surviving
+/// uncommitted kIntent record riding the NVM spine). Returns true when the
+/// op was completed, false when undone; `cost` accrues the modelled remote
+/// round trips of every probe and fix.
+bool replay_intent_record(kv::KvStore& raw, const JournalRecord& rec,
+                          sim::Nanos& cost);
+
 struct JournalReplayReport {
   std::uint64_t scanned = 0;         ///< records found on mount
   std::uint64_t rolled_forward = 0;  ///< ops completed by replay
@@ -85,6 +102,13 @@ class IntentJournal {
   IntentJournal(kv::RemoteKv& store, obs::Registry& registry,
                 fault::FaultInjector* fault);
 
+  /// Routes intent records through the NVM write-ahead log instead of
+  /// per-record KV puts: begin() appends kIntent, commit() appends
+  /// kIntentCommit — one durability spine with the data records. When the
+  /// WAL is degraded (ring full / NVM faulting) begin() falls back to the
+  /// KV path record-by-record, so write-ahead semantics never lapse.
+  void attach_wal(nvm::WriteAheadLog* wal) { wal_ = wal; }
+
   /// Appends an intent record before the op's first mutation. Returns the
   /// record id, or 0 if the append failed — the caller must abort the op
   /// (EIO) without mutating anything, preserving write-ahead semantics.
@@ -99,17 +123,22 @@ class IntentJournal {
   /// Runs on the recovery path (mount / DPU restart): bypasses fault
   /// injection and retries — recovery is not itself injectable — but
   /// charges modelled remote-KV round-trip costs for every probe and fix.
-  /// Callers must ensure no concurrent mutation.
+  /// Callers must ensure no concurrent mutation. `fault` (optional) arms
+  /// only the kCrashMidReplay crash point — the probes and fixes themselves
+  /// stay non-injectable.
   static JournalReplayReport replay(kv::KvStore& raw,
-                                    obs::Registry* registry = nullptr);
+                                    obs::Registry* registry = nullptr,
+                                    fault::FaultInjector* fault = nullptr);
 
  private:
   kv::RemoteKv* store_;
   fault::FaultInjector* fault_;
+  nvm::WriteAheadLog* wal_ = nullptr;
   obs::Counter& appends_;
   obs::Counter& commits_;
   obs::Counter& append_fails_;
   obs::Counter& commit_fails_;
+  obs::Counter& wal_appends_;
 };
 
 }  // namespace dpc::kvfs

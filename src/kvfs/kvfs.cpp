@@ -4,10 +4,14 @@
 #include <bit>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "dpu/qos.hpp"
+#include "nvm/wal.hpp"
 #include "sim/check.hpp"
 
 namespace dpc::kvfs {
@@ -40,8 +44,12 @@ Kvfs::Kvfs(kv::RemoteKv& store, const KvfsOptions& opts,
   if (opts_.journal) {
     journal_ = std::make_unique<IntentJournal>(store, *registry_,
                                                opts_.fault);
+    if (opts_.wal != nullptr) journal_->attach_wal(opts_.wal);
     // Mount-time replay: roll any interrupted mutation (ours from a prior
     // incarnation, or a crashed peer's) forward or backward before serving.
+    // The NVM log is node-local and freshly constructed at mount, so only
+    // the KV-resident records (degraded-mode appends, crashed peers) exist
+    // here; recover() handles the WAL after a DPU restart.
     mount_replay_ = IntentJournal::replay(store.store(), registry_);
   }
   // Install the root directory's attribute if this is a fresh store.
@@ -63,10 +71,138 @@ Kvfs::RecoveryReport Kvfs::recover() {
   // interrupted op cached but never durably completed) — drop them so every
   // post-recovery read refetches truth.
   drop_caches();
+  if (opts_.wal != nullptr) rep.wal = replay_wal();
   if (journal_ != nullptr)
-    rep.journal = IntentJournal::replay(store_->store(), registry_);
+    rep.journal =
+        IntentJournal::replay(store_->store(), registry_, opts_.fault);
   rep.fsck = fsck_repair(store_->store(), registry_);
-  rep.cost = rep.journal.cost + rep.fsck.cost;
+  rep.cost = rep.wal.cost + rep.journal.cost + rep.fsck.cost;
+  return rep;
+}
+
+Kvfs::WalReplayReport Kvfs::replay_wal() {
+  WalReplayReport rep;
+  nvm::WriteAheadLog* wal = opts_.wal;
+  auto rec = wal->recover();
+  rep.cost += rec.cost;
+  rep.scanned = rec.report.scanned;
+  rep.corrupt = rec.report.corrupt;
+  rep.torn_tail = rec.report.torn_tail;
+
+  // Pass 1: collect the markers. They sit later in the log than the
+  // records they supersede (same mutex orders both), so one sweep finds
+  // every committed intent, the newest drain per page, and every shrink.
+  std::set<std::uint64_t> committed;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> drained;
+  struct Shrink {
+    std::uint64_t seq, ino, size;
+  };
+  std::vector<Shrink> shrinks;
+  for (const auto& r : rec.records) {
+    switch (r.kind) {
+      case nvm::RecordKind::kIntentCommit:
+        committed.insert(r.a);
+        break;
+      case nvm::RecordKind::kDrained: {
+        auto& newest = drained[{r.a, r.b}];
+        newest = std::max(newest, r.seq);
+        break;
+      }
+      case nvm::RecordKind::kTruncate:
+        shrinks.push_back({r.seq, r.a, r.b});
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: apply in seq order through the regular (journaled, idempotent)
+  // KVFS paths. The crash point lets the chaos sweep kill the DPU with the
+  // log half-applied; the second replay converges on the same end state.
+  for (const auto& r : rec.records) {
+    fault::crash_point(opts_.fault, nvm::kCrashWalMidReplay);
+    switch (r.kind) {
+      case nvm::RecordKind::kData: {
+        const std::uint64_t page = r.data.size();
+        if (page == 0) {
+          ++rep.skipped;
+          break;
+        }
+        const auto d = drained.find({r.a, r.b});
+        if (d != drained.end() && d->second > r.seq) {
+          ++rep.skipped;  // the flusher drained a same-or-newer copy
+          break;
+        }
+        bool cut = false;
+        for (const auto& t : shrinks)
+          cut = cut || (t.seq > r.seq && t.ino == r.a && r.b * page >= t.size);
+        if (cut) {
+          ++rep.skipped;  // page lies wholly past a later shrink
+          break;
+        }
+        // Clamp to the durable size: size updates are synchronous KV ops,
+        // so the attr already bounds every acked byte — writing the whole
+        // page would grow the file past truth.
+        sim::Nanos c{};
+        const auto attr = load_attr(r.a, c);
+        rep.cost += c;
+        if (!attr || attr->type != FileType::kRegular) {
+          ++rep.skipped;  // unlinked (or replaced) since it was logged
+          break;
+        }
+        const std::uint64_t off = r.b * page;
+        if (off >= attr->size) {
+          ++rep.skipped;
+          break;
+        }
+        const std::uint64_t n =
+            std::min<std::uint64_t>(page, attr->size - off);
+        auto res =
+            write(r.a, off, std::span<const std::byte>(r.data).first(n));
+        rep.cost += res.cost;
+        if (res.ok()) {
+          ++rep.applied;
+        } else {
+          ++rep.skipped;
+        }
+        break;
+      }
+      case nvm::RecordKind::kIntent: {
+        if (committed.count(r.a) != 0) {
+          ++rep.skipped;  // the op finished; nothing to roll
+          break;
+        }
+        const kv::Bytes payload(r.data.begin(), r.data.end());
+        const auto decoded = decode_journal_record(payload);
+        if (!decoded) {
+          ++rep.corrupt;
+          break;
+        }
+        sim::Nanos c{};
+        (void)replay_intent_record(store_->store(), *decoded, c);
+        rep.cost += c;
+        ++rep.applied;
+        break;
+      }
+      default:
+        break;  // the markers themselves carry no state to apply
+    }
+  }
+
+  // Every surviving record is now durable in the KV path: truncate the log
+  // so the next crash replays nothing stale. (A crash before this line
+  // replays the whole log again — idempotent by the above.)
+  sim::Nanos ck{};
+  wal->mark_replayed(ck);
+  rep.cost += ck;
+
+  if (rep.scanned > 0 || rep.torn_tail) {
+    // Recovery path — runs once per DPU restart, not per op.
+    // dpc-lint: ok(hot-path-lookup) recovery-only
+    registry_->counter("kvfs.wal/replayed").add(rep.applied);
+    // dpc-lint: ok(hot-path-lookup) recovery-only
+    registry_->counter("kvfs.wal/skipped").add(rep.skipped);
+  }
   return rep;
 }
 
@@ -544,6 +680,14 @@ Result<Unit> Kvfs::remove_node(Ino parent, std::string_view name, bool dir) {
     if (attr->type != FileType::kDirectory) purge_data(*attr, res.cost);
     res.cost += store_->erase(attr_key(*ino)).cost;
     uncache_attr(*ino);
+    if (opts_.wal != nullptr && attr->type == FileType::kRegular) {
+      // Size-zero marker in the durability spine: logged-but-undrained
+      // pages of the purged file stop blocking checkpoint, and replay
+      // skips them instead of probing a dead ino.
+      sim::Nanos c{};
+      (void)opts_.wal->append_truncate(*ino, 0, c);
+      res.cost += c;
+    }
   }
   fault::crash_point(opts_.fault, "kvfs.remove/crash_after_attr");
 
@@ -1197,11 +1341,21 @@ Result<Unit> Kvfs::truncate(Ino ino, std::uint64_t new_size) {
     }
   }
 
+  const std::uint64_t old_size = attr->size;
   attr->size = new_size;
   attr->mtime = now();
   store_attr(*attr, res.cost);
   if (journal_ != nullptr && promote_rec != 0)
     journal_->commit(promote_rec, res.cost);
+  if (opts_.wal != nullptr && new_size < old_size) {
+    // Shrink marker in the durability spine: replay must not resurrect
+    // logged pages this truncate cut off. A failed append is tolerated —
+    // replay clamps every page to the (durable) attr size anyway, the
+    // marker just unblocks checkpointing and skips dead pages early.
+    sim::Nanos c{};
+    (void)opts_.wal->append_truncate(ino, new_size, c);
+    res.cost += c;
+  }
   return res;
 }
 

@@ -40,6 +40,10 @@ namespace dpc::dpu {
 class QosManager;
 }
 
+namespace dpc::nvm {
+class WriteAheadLog;
+}  // namespace dpc::nvm
+
 namespace dpc::kvfs {
 
 /// Outcome of a KVFS operation: errno (0 = ok), the value, and the modelled
@@ -68,6 +72,12 @@ struct KvfsOptions {
   /// Crash-point injector for the DPU-side mutation paths (null = no crash
   /// points, zero overhead).
   fault::FaultInjector* fault = nullptr;
+  /// NVM write-ahead log (nvm/wal.hpp): when set, intent records ride the
+  /// log instead of per-record KV puts, shrinking truncates append
+  /// superseding markers, and recover() replays the log (acked-but-undrained
+  /// pages + uncommitted intents) before the KV-side journal replay. Null =
+  /// pre-WAL behavior, bit-identical.
+  nvm::WriteAheadLog* wal = nullptr;
 };
 
 /// KVFS counters, registry-backed ("kvfs/…") so cache hit rates and the
@@ -146,8 +156,21 @@ class Kvfs {
   Result<StatFs> statfs();
 
   // ------------------------------------------------------------- recovery
+  /// Outcome of replaying the NVM write-ahead log: the data pages and
+  /// intent records that were acked at NVM persistence but not yet drained
+  /// to the KV path when the crash hit.
+  struct WalReplayReport {
+    std::uint64_t scanned = 0;  ///< commit-verified records in the log
+    std::uint64_t applied = 0;  ///< pages re-written / intents rolled
+    std::uint64_t skipped = 0;  ///< superseded (drained/committed/truncated)
+    std::uint64_t corrupt = 0;  ///< frames dropped by CRC (rot in log)
+    bool torn_tail = false;     ///< log ended in an unacked torn append
+    sim::Nanos cost{};
+  };
+
   /// Outcome of a full recovery pass (DPU restart / explicit fsck-repair).
   struct RecoveryReport {
+    WalReplayReport wal;          ///< NVM log replay (when opts.wal set)
     JournalReplayReport journal;  ///< intent-log replay
     FsckRepairReport fsck;        ///< backstop repair pass
     sim::Nanos cost{};
@@ -155,10 +178,13 @@ class Kvfs {
     bool clean() const { return fsck.clean; }
   };
 
-  /// Full recovery: drops volatile caches, replays the intent journal
-  /// (rolling each interrupted op forward or backward), then runs repairing
-  /// fsck as the backstop. Call with no concurrent mutating traffic — the
-  /// DPU restart path quiesces the queues first.
+  /// Full recovery: drops volatile caches, replays the NVM write-ahead log
+  /// (acked fsync data + intents riding the spine), then the KV-side intent
+  /// journal (degraded-mode and peer records), then runs repairing fsck as
+  /// the backstop. Call with no concurrent mutating traffic — the DPU
+  /// restart path quiesces the queues first. Idempotent: a crash during
+  /// replay (kCrashWalMidReplay / kCrashMidReplay) leaves a state a second
+  /// recover() converges from.
   RecoveryReport recover();
 
   /// What mount-time journal replay found (every ctor replays when
@@ -195,6 +221,8 @@ class Kvfs {
   Result<Unit> remove_node(Ino parent, std::string_view name, bool dir);
   /// Deletes all data KVs of a regular file.
   void purge_data(const Attr& a, sim::Nanos& cost);
+  /// Replays the NVM write-ahead log (recover() step 1; opts_.wal != null).
+  WalReplayReport replay_wal();
   /// Moves a small file's bytes into a big-file object (§3.4 promotion).
   /// Returns false if a transient KV failure aborted the promotion before
   /// the big object existed (the small KV is still authoritative). On

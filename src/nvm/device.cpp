@@ -1,0 +1,58 @@
+#include "nvm/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/calib.hpp"
+#include "sim/check.hpp"
+
+namespace dpc::nvm {
+
+NvmDevice::NvmDevice(std::uint64_t bytes, fault::FaultInjector* fault,
+                     obs::Registry* registry)
+    : media_(bytes), fault_(fault) {
+  DPC_CHECK(bytes > 0);
+  if (registry != nullptr) {
+    writes_ = &registry->counter("nvm.dev/writes");
+    reads_ = &registry->counter("nvm.dev/reads");
+    fences_ = &registry->counter("nvm.dev/fences");
+    write_fails_ = &registry->counter("nvm.dev/write_fails");
+  }
+}
+
+bool NvmDevice::write(std::uint64_t off, std::span<const std::byte> src,
+                      sim::Nanos& cost) {
+  DPC_CHECK(off + src.size() <= media_.size());
+  cost += sim::calib::kNvmWriteLat + sim::calib::nvm_transfer(src.size());
+  if (fault_ != nullptr && fault_->should_fail(kFaultNvmWriteFail)) {
+    if (write_fails_ != nullptr) write_fails_->add();
+    return false;
+  }
+  if (!src.empty()) std::memcpy(media_.data() + off, src.data(), src.size());
+  if (writes_ != nullptr) writes_->add();
+  return true;
+}
+
+void NvmDevice::write_torn(std::uint64_t off, std::span<const std::byte> src,
+                           std::uint64_t n, sim::Nanos& cost) {
+  const std::uint64_t take = std::min<std::uint64_t>(n, src.size());
+  DPC_CHECK(off + take <= media_.size());
+  cost += sim::calib::kNvmWriteLat + sim::calib::nvm_transfer(take);
+  if (take > 0) std::memcpy(media_.data() + off, src.data(), take);
+  if (writes_ != nullptr) writes_->add();
+}
+
+void NvmDevice::read(std::uint64_t off, std::span<std::byte> dst,
+                     sim::Nanos& cost) {
+  DPC_CHECK(off + dst.size() <= media_.size());
+  cost += sim::calib::kNvmReadLat + sim::calib::nvm_transfer(dst.size());
+  if (!dst.empty()) std::memcpy(dst.data(), media_.data() + off, dst.size());
+  if (reads_ != nullptr) reads_->add();
+}
+
+void NvmDevice::persist_fence(sim::Nanos& cost) {
+  cost += sim::calib::kNvmPersistFence;
+  if (fences_ != nullptr) fences_->add();
+}
+
+}  // namespace dpc::nvm

@@ -1,0 +1,78 @@
+// Simulated byte-addressable NVM/PMEM device on the DPU (Optane-DC /
+// CXL-PM class) — the durable medium under the write-ahead log.
+//
+// The medium itself is one flat byte array that survives DPU crashes and
+// power cycles (DpcSystem owns the device and never resets it), mirroring a
+// PMEM DIMM that keeps its contents across the DPU SoC rebooting. What does
+// NOT survive a crash is anything the writer had not yet persisted: the
+// store→flush→fence discipline is modelled by (a) the calibrated
+// `persist_fence()` cost charged at every ordering point, (b) the
+// `nvm.dev/write_fail` fault site (media error → the write never lands) and
+// (c) the WAL-level torn-append site that cuts a write short exactly where
+// an untimely power cut would. The lint rule `wal-commit-order` enforces
+// the ordering discipline statically (commit-word store must be preceded by
+// a fence on the payload).
+//
+// All latencies are modelled time from calib §NVM — DRAM-class read/write
+// plus an explicit CLWB+SFENCE-class persistence fence — accumulated into
+// the caller's `sim::Nanos` cost like every other station in the tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace dpc::nvm {
+
+/// Fault-injection site: one draw per device write; a hit models a media
+/// error — no byte lands, the caller sees a failed (io-error) write.
+inline constexpr std::string_view kFaultNvmWriteFail = "nvm.dev/write_fail";
+
+class NvmDevice {
+ public:
+  /// `registry` (optional) hosts the "nvm.dev/…" counters; `fault`
+  /// (optional) arms the media-error site.
+  explicit NvmDevice(std::uint64_t bytes, fault::FaultInjector* fault = nullptr,
+                     obs::Registry* registry = nullptr);
+
+  std::uint64_t size() const { return media_.size(); }
+
+  /// Writes `src` at `off`, charging media-write latency + streaming
+  /// transfer. Returns false on an injected media error (nothing written).
+  /// The write is NOT persistent until a `persist_fence()` orders it.
+  bool write(std::uint64_t off, std::span<const std::byte> src,
+             sim::Nanos& cost);
+
+  /// Writes only the first `n` bytes of `src` — the torn-append helper the
+  /// WAL uses to model a power cut mid-write (same cost as a full write up
+  /// to the tear: the cut happens at the media, not before it).
+  void write_torn(std::uint64_t off, std::span<const std::byte> src,
+                  std::uint64_t n, sim::Nanos& cost);
+
+  /// Reads `dst.size()` bytes at `off`, charging read latency + transfer.
+  void read(std::uint64_t off, std::span<std::byte> dst, sim::Nanos& cost);
+
+  /// One persistence barrier (CLWB+SFENCE class): everything written before
+  /// it is durable before anything written after it.
+  void persist_fence(sim::Nanos& cost);
+
+  /// Direct view for deterministic damage placement (tests and the WAL's
+  /// rot-in-log site flip bits in place, bypassing cost accounting the way
+  /// real bit-rot does).
+  std::span<std::byte> raw() { return media_; }
+
+ private:
+  std::vector<std::byte> media_;
+  fault::FaultInjector* fault_;
+  obs::Counter* writes_ = nullptr;  // null without a registry
+  obs::Counter* reads_ = nullptr;
+  obs::Counter* fences_ = nullptr;
+  obs::Counter* write_fails_ = nullptr;
+};
+
+}  // namespace dpc::nvm

@@ -138,6 +138,32 @@ inline constexpr int kSsdWriteChannels = 4;
 inline constexpr double kSsdSeqReadGBps = 3.05;
 inline constexpr double kSsdSeqWriteGBps = 2.05;
 
+// --------------------------------------------------------------- NVM / PMEM
+/// Byte-addressable persistent memory on the DPU (Optane-DC/CXL-PM class),
+/// used as the write-ahead durability tier in front of the SSD/KV path
+/// (NVLog-style). Read/write latencies are DRAM-class; persistence costs an
+/// explicit flush+fence (CLWB+SFENCE-class) charged per ordering point, not
+/// per store.
+inline constexpr Nanos kNvmReadLat = micros(0.30);
+inline constexpr Nanos kNvmWriteLat = micros(0.35);
+/// One persistence barrier: flush the written lines out of the volatile
+/// hierarchy and order them before the next store (CLWB + SFENCE).
+inline constexpr Nanos kNvmPersistFence = micros(0.50);
+/// Sustained streaming bandwidth of the PMEM DIMMs (write-constrained).
+inline constexpr double kNvmGBps = 2.0;
+/// Default capacity of the NVM write-ahead log ring.
+inline constexpr std::uint64_t kNvmLogBytes = 16ull << 20;
+
+constexpr Nanos nvm_transfer(std::uint64_t bytes) {
+  return Nanos{static_cast<std::int64_t>(
+      static_cast<double>(bytes) / (kNvmGBps * 1e9) * 1e9)};
+}
+/// Full modelled cost of persisting `bytes` to the log: media write +
+/// streaming transfer + one persistence fence.
+constexpr Nanos nvm_persist_cost(std::uint64_t bytes) {
+  return kNvmWriteLat + nvm_transfer(bytes) + kNvmPersistFence;
+}
+
 // ----------------------------------------------------------- Ext4 baseline
 /// Per-op kernel work of the Ext4 + block-layer stack (bio assembly, blk-mq,
 /// interrupt handling, extent lookup).

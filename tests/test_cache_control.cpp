@@ -14,7 +14,7 @@ namespace {
 class MapBackend final : public CacheBackend {
  public:
   bool read_page(std::uint64_t inode, std::uint64_t lpn,
-                 std::span<std::byte> dst) override {
+                 std::span<std::byte> dst, sim::Nanos&) override {
     std::lock_guard lock(mu_);
     const auto it = pages_.find({inode, lpn});
     if (it == pages_.end()) return false;
@@ -22,7 +22,7 @@ class MapBackend final : public CacheBackend {
     return true;
   }
   bool write_page(std::uint64_t inode, std::uint64_t lpn,
-                  std::span<const std::byte> src) override {
+                  std::span<const std::byte> src, sim::Nanos&) override {
     std::lock_guard lock(mu_);
     pages_[{inode, lpn}].assign(src.begin(), src.end());
     return true;

@@ -30,6 +30,7 @@
 #include "fault/injector.hpp"
 #include "kvfs/fsck.hpp"
 #include "kvfs/journal.hpp"
+#include "nvm/wal.hpp"
 #include "nvme/tgt.hpp"
 #include "sim/rng.hpp"
 
@@ -340,6 +341,22 @@ void run_crash_workload(State& st, std::uint64_t seed) {
     if (ino != files[2]) chaos_fsync(st, ino);
   chaos_fsync(st, big);
 
+  // WAL-acked fsyncs leave their pages for the background drain; push them
+  // down (crash-tolerantly — the drain has its own crash point) before
+  // auditing the backend directly.
+  if (st.sys.wal() != nullptr && st.sys.cache_control() != nullptr) {
+    for (int a = 0; a < kMaxAttempts && st.sys.wal()->pending_pages() > 0;
+         ++a) {
+      try {
+        st.sys.cache_control()->flush_pass();
+      } catch (const fault::CrashException&) {
+      }
+      recover_if_crashed(st);
+    }
+    EXPECT_EQ(st.sys.wal()->pending_pages(), 0u)
+        << "WAL drain never converged";
+  }
+
   // Invariant (b), both views: the coherent cache view and — after the
   // fsyncs above — the backend itself via DIRECT_IO.
   verify_golden(st, /*direct=*/false);
@@ -427,6 +444,152 @@ TEST(CrashChaos, WorkerModeCrashAndRestart) {
   EXPECT_GE(st.restarts, 1);
   // The restart resumed worker mode: ops below run without pump fallback.
   const auto post = bytes(4096, 0xabcd);
+  const auto ino = chaos_create(st, kvfs::kRootIno, "post-restart");
+  ASSERT_NE(ino, 0u);
+  chaos_write(st, ino, 0, post, true);
+  std::vector<std::byte> out(post.size());
+  ASSERT_TRUE(sys.read(ino, 0, out, true).ok());
+  EXPECT_EQ(out, post);
+  sys.stop_dpu();
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+// ===================================================== NVM-WAL chaos =====
+//
+// Same contract, durability tier on: every fsync may now ack at NVM
+// persistence with its pages still undrained, so the crash set grows by the
+// WAL's own sites (torn append, crash after the drain marker, crash mid
+// replay). Zero acked-fsync loss and an fsck-clean keyspace must hold
+// through all of them.
+
+DpcOptions wal_chaos_opts(fault::FaultInjector* fi) {
+  auto o = crash_opts(fi);
+  o.enable_nvm_wal = true;
+  // No opportunistic drain on poll: fsync'd pages stay WAL-resident until
+  // the explicit drain (workload end / fsync fallback / restart), which is
+  // what puts the log's own crash sites in play.
+  o.cache_ctl.evict_batch = 0;
+  return o;
+}
+
+constexpr std::string_view kWalCrashSites[] = {
+    nvm::kCrashWalMidAppend,
+    nvm::kCrashWalAfterDrain,
+    kvfs::kCrashAfterAppend,  // intent now WAL-resident when it fires
+    "kvfs.rename/crash_after_purge",
+    "kvfs.write/crash_after_blocks",
+    cache::kFaultFlushCrashBeforeClean,
+    nvme::kFaultTgtCrashBeforeCqe,
+};
+
+class CrashChaosWalSite : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(CrashChaosWalSite, RecoversConsistentlyPumpMode) {
+  const std::string_view site = GetParam();
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed() ^ 0xa1, &fault_reg);
+  DpcSystem sys(wal_chaos_opts(&fi));
+  State st{sys, fi, {}, 0, false, 0, 0, {}};
+
+  fi.arm_crash(site, /*skip=*/0);
+  run_crash_workload(st, chaos_seed() ^ std::hash<std::string_view>{}(site));
+
+  EXPECT_GE(st.restarts, 1) << "site never crashed the DPU: " << site;
+  EXPECT_GE(fi.crash_arrivals(site), 1u);
+  // The durability tier was actually in play, not just configured.
+  EXPECT_GE(sys.metrics().counter("wal/appends").value(), 1u);
+  EXPECT_GE(sys.metrics().counter("wal/recoveries").value(),
+            static_cast<std::uint64_t>(st.restarts));
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WalSites, CrashChaosWalSite, ::testing::ValuesIn(kWalCrashSites),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      std::string name(info.param);
+      for (char& c : name)
+        if (c == '.' || c == '/') c = '_';
+      return name;
+    });
+
+/// Crash *during WAL replay*: the first power cycle dies mid-replay (report
+/// says interrupted, crash latch set again); the second replays the intact
+/// log from scratch and converges — replay is idempotent.
+TEST(CrashChaosWal, CrashDuringWalReplayConverges) {
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed() ^ 0x31337, &fault_reg);
+  DpcSystem sys(wal_chaos_opts(&fi));
+
+  const auto ino = sys.create(kvfs::kRootIno, "r").ino;
+  ASSERT_NE(ino, 0u);
+  const auto d = bytes(8192, chaos_seed() ^ 0x31337);
+  ASSERT_TRUE(sys.write(ino, 0, d, false).ok());
+  ASSERT_TRUE(sys.fsync(ino).ok());
+  ASSERT_GE(sys.wal()->pending_pages(), 1u);
+
+  fi.arm_crash(nvme::kFaultTgtCrashBeforeCqe, /*skip=*/0);
+  (void)sys.getattr(ino);
+  ASSERT_TRUE(fi.crashed());
+
+  fi.arm_crash(nvm::kCrashWalMidReplay, /*skip=*/0);
+  const auto rep1 = sys.restart_dpu();
+  EXPECT_TRUE(rep1.interrupted);
+  EXPECT_TRUE(fi.crashed());
+
+  const auto rep2 = sys.restart_dpu();
+  EXPECT_TRUE(rep2.clean());
+  EXPECT_GE(rep2.fs.wal.scanned, 1u);
+
+  std::vector<std::byte> out(d.size());
+  ASSERT_TRUE(sys.read(ino, 0, out, /*direct=*/true).ok());
+  EXPECT_EQ(out, d) << "acked fsync lost across an interrupted replay";
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+/// Crash *during KV intent-journal replay* (WAL off — the intent is
+/// KV-resident): same convergence contract for the second spine half.
+TEST(CrashChaosWal, CrashDuringJournalReplayConverges) {
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed() ^ 0x9e1, &fault_reg);
+  DpcSystem sys(crash_opts(&fi));
+
+  fi.arm_crash(kvfs::kCrashAfterAppend, /*skip=*/0);
+  (void)sys.mkdir(kvfs::kRootIno, "j");
+  ASSERT_TRUE(fi.crashed());
+
+  fi.arm_crash(kvfs::kCrashMidReplay, /*skip=*/0);
+  const auto rep1 = sys.restart_dpu();
+  EXPECT_TRUE(rep1.interrupted);
+
+  const auto rep2 = sys.restart_dpu();
+  EXPECT_TRUE(rep2.clean());
+  EXPECT_GE(rep2.fs.journal.scanned, 1u);
+
+  // The op converges post-recovery and the keyspace is whole.
+  const auto m = sys.mkdir(kvfs::kRootIno, "j");
+  EXPECT_TRUE(m.ok() || m.err == EEXIST);
+  EXPECT_TRUE(kvfs::fsck(sys.kv_store()).clean());
+}
+
+/// Worker mode with the durability tier on: real poller threads (the
+/// background flusher drains the WAL concurrently), a crash mid-run, and a
+/// restart that recovers through the log.
+TEST(CrashChaosWal, WorkerModeCrashAndRestart) {
+  obs::Registry fault_reg;
+  fault::FaultInjector fi(chaos_seed() ^ 0x717, &fault_reg);
+  auto opts = wal_chaos_opts(&fi);
+  opts.dpu_workers = 2;
+  opts.nvme_timeout_ms = 20;
+  DpcSystem sys(opts);
+  sys.start_dpu();
+  State st{sys, fi, {}, 0, false, 0, 0, {}};
+
+  fi.arm_crash(nvme::kFaultTgtCrashBeforeCqe, /*skip=*/3);
+  run_crash_workload(st, chaos_seed() ^ 0x717);
+
+  EXPECT_GE(st.restarts, 1);
+  EXPECT_GE(sys.metrics().counter("wal/appends").value(), 1u);
+  const auto post = bytes(4096, 0xab1e);
   const auto ino = chaos_create(st, kvfs::kRootIno, "post-restart");
   ASSERT_NE(ino, 0u);
   chaos_write(st, ino, 0, post, true);
