@@ -2,12 +2,19 @@
 # CI entry point.
 #
 # Stages, in order:
-#   lint   — scripts/dpc_lint.py (protocol linter, always), then clang-tidy
-#            and a clang-format check when the clang tools are installed
-#            (they are optional in the build container; the configs in
-#            .clang-tidy / .clang-format are authoritative where they run).
+#   lint   — scripts/dpc_lint.py twice: a regex-tier smoke pass before the
+#            build, then the authoritative AST pass (libclang over the
+#            exported compile_commands.json) plus clang-tidy and the
+#            clang-format check after it. Missing clang tooling FAILS the
+#            run unless DPC_CI_ALLOW_MISSING_CLANG=1 explicitly accepts the
+#            reduced regex-only pipeline.
 #   plain  — RelWithDebInfo build + full test suite (lock-rank detector
 #            compiled out; NDEBUG).
+#   check  — deterministic model checker (src/check/dpc_check): the
+#            exhaustive tier fully enumerates the small bounded scenarios,
+#            and the mutation sweep arms each DPC_CHECK_MUTATE fence drop
+#            and requires the checker to catch it with a replayable
+#            schedule. The tsan leg adds an 8-seed PCT sweep.
 #   regress— bench/regress: pinned micro-benches + figure-bench transport
 #            counters gated against bench/baselines/. Runs looser than the
 #            10% default because CI shares a single-core VM (see
@@ -42,13 +49,46 @@ CHAOS_SEEDS=(1 7 1337)
 CRASH_SEEDS=(1 2 3 5 7 11 13 1337)
 SCRUB_SEEDS=(1 7 42 1337 90210)
 
-echo "=== lint stage ==="
-python3 scripts/dpc_lint.py
+# Fail fast when the clang toolchain is missing. Silently skipping the AST
+# lint + tidy/format gates turns them into checks that only ever ran on the
+# machines that happened to have clang — set DPC_CI_ALLOW_MISSING_CLANG=1 to
+# opt a known-minimal container into the reduced (regex-lint-only) pipeline.
+CLANG_MISSING=()
+command -v clang-tidy >/dev/null 2>&1 || CLANG_MISSING+=(clang-tidy)
+command -v clang-format >/dev/null 2>&1 || CLANG_MISSING+=(clang-format)
+python3 -c 'import clang.cindex' >/dev/null 2>&1 \
+  || CLANG_MISSING+=(python3-libclang)
+if ((${#CLANG_MISSING[@]})); then
+  if [[ "${DPC_CI_ALLOW_MISSING_CLANG:-0}" != 1 ]]; then
+    echo "ci: missing clang tooling: ${CLANG_MISSING[*]}" >&2
+    echo "ci: install clang-tidy, clang-format and the python3 libclang" >&2
+    echo "ci: bindings, or set DPC_CI_ALLOW_MISSING_CLANG=1 to accept the" >&2
+    echo "ci: reduced pipeline (regex dpc_lint; no tidy/format/AST lint)." >&2
+    exit 2
+  fi
+  AST_MODE=auto   # reduced pipeline, explicitly opted into above
+else
+  AST_MODE=on     # clang present: the AST lint engine is required, not luck
+fi
+
+echo "=== lint stage (regex tier) ==="
+# Pre-build smoke pass: the regex tier needs no compile db, so style/protocol
+# slips fail before the ~full-build wait. The authoritative AST pass runs
+# right after the plain configure exports compile_commands.json.
+python3 scripts/dpc_lint.py --ast off --selftest
+python3 scripts/dpc_lint.py --ast off
 
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== lint stage (AST tier) ==="
+# Full compile-db pass: every rule, including the AST-only ones
+# (wall-clock-reachable), over exactly what the build compiled. The fixture
+# selftest re-runs too so the expect-ast annotations are exercised.
+python3 scripts/dpc_lint.py --ast "$AST_MODE" --compile-db build --selftest
+python3 scripts/dpc_lint.py --ast "$AST_MODE" --compile-db build
 
 # clang-tidy wants compile_commands.json, which the plain configure exports.
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -67,6 +107,16 @@ else
   echo "--- clang-format not installed; skipping (config: .clang-format) ---"
 fi
 
+echo "=== check stage ==="
+# Deterministic model checker (src/check). The exhaustive tier fully
+# enumerates the small bounded scenarios on every build; the mutation sweep
+# proves each scenario still CATCHES its paired protocol mutation — a
+# passing checker that couldn't flag a broken fence would be worthless.
+echo "--- dpc_check exhaustive tier ---"
+./build/src/check/dpc_check --tier exhaustive
+echo "--- dpc_check mutation sweep ---"
+./build/src/check/dpc_check --mutate all
+
 echo "=== regress stage ==="
 # The CI box is a shared single-core VM with a wall-clock noise floor of
 # roughly 25% even on best-of-repetitions, so the micro suites gate at 35%
@@ -79,6 +129,11 @@ echo "=== tsan build ==="
 cmake -B build-tsan -S . -DDPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+echo "--- dpc_check PCT sweep (tsan) ---"
+# The randomized-priority tier under TSan: eight seeds per PCT scenario, so
+# the big-bound scenarios get fresh schedules on every CI run with the data
+# race detector watching the same interleavings the checker drives.
+./build-tsan/src/check/dpc_check --tier pct --seeds 8
 
 echo "=== ubsan build ==="
 cmake -B build-ubsan -S . -DDPC_SANITIZE=undefined >/dev/null

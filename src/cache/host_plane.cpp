@@ -5,6 +5,7 @@
 
 #include "sim/check.hpp"
 #include "sim/lockrank.hpp"
+#include "sim/schedhook.hpp"
 
 namespace {
 // Lock-rank key for a PCIe lock word: the word's stable backing address in
@@ -24,6 +25,36 @@ constexpr auto kLockWrite = static_cast<std::uint32_t>(LockState::kWrite);
 // cheap (a few loads); a small budget rides out a single in-flight writer
 // without ever spinning unboundedly against a writer storm.
 constexpr int kLockFreeReadAttempts = 4;
+
+// Model-checker aid: under a managed scenario thread the page copy runs in
+// two halves with a yield point between them so the checker can schedule a
+// concurrent reader/writer into the half-copied window; a single burst copy
+// otherwise (the production path is untouched).
+void copy_page_in(dpc::pcie::MemoryRegion& host, std::uint64_t off,
+                  std::span<const std::byte> src) {
+  namespace sh = dpc::sim::schedhook;
+  if (sh::managed_thread() && src.size() > 1) {
+    const std::size_t half = src.size() / 2;
+    host.write(off, src.first(half));
+    sh::point("cache.page_copy");
+    host.write(off + half, src.subspan(half));
+  } else {
+    host.write(off, src);
+  }
+}
+
+void copy_page_out(dpc::pcie::MemoryRegion& host, std::uint64_t off,
+                   std::span<std::byte> dst) {
+  namespace sh = dpc::sim::schedhook;
+  if (sh::managed_thread() && dst.size() > 1) {
+    const std::size_t half = dst.size() / 2;
+    host.read(off, dst.first(half));
+    sh::point("cache.page_copy");
+    host.read(off + half, dst.subspan(half));
+  } else {
+    host.read(off, dst);
+  }
+}
 }  // namespace
 
 HostCachePlane::HostCachePlane(pcie::MemoryRegion& host,
@@ -36,6 +67,7 @@ HostCachePlane::HostCachePlane(pcie::MemoryRegion& host,
       stats_(registry != nullptr ? *registry : *owned_registry_) {}
 
 void HostCachePlane::lock_bucket(std::uint32_t bucket) {
+  sim::schedhook::point("cache.bucket_lock");
   auto word = host_->atomic_u32(layout_->bucket_lock_off(bucket));
   for (;;) {
     std::uint32_t expected = 0;
@@ -45,17 +77,20 @@ void HostCachePlane::lock_bucket(std::uint32_t bucket) {
           sim::LockRank::kCacheBucket, "cache.bucket");
       return;
     }
+    sim::schedhook::spin("cache.bucket_lock");
     std::this_thread::yield();
   }
 }
 
 void HostCachePlane::unlock_bucket(std::uint32_t bucket) {
+  sim::schedhook::point("cache.bucket_unlock");
   sim::lockrank::release(word_key(*host_, layout_->bucket_lock_off(bucket)));
   host_->atomic_u32(layout_->bucket_lock_off(bucket))
       .store(0, std::memory_order_release);
 }
 
 bool HostCachePlane::try_write_lock(std::uint32_t entry) {
+  sim::schedhook::point("cache.entry_write_lock");
   const std::uint64_t off =
       layout_->entry_field_off(entry, CacheLayout::EntryField::kLock);
   auto word = host_->atomic_u32(off);
@@ -70,10 +105,14 @@ bool HostCachePlane::try_write_lock(std::uint32_t entry) {
 }
 
 void HostCachePlane::write_lock(std::uint32_t entry) {
-  while (!try_write_lock(entry)) std::this_thread::yield();
+  while (!try_write_lock(entry)) {
+    sim::schedhook::spin("cache.entry_write_lock");
+    std::this_thread::yield();
+  }
 }
 
 void HostCachePlane::write_unlock(std::uint32_t entry) {
+  sim::schedhook::point("cache.entry_write_unlock");
   sim::lockrank::release(word_key(
       *host_, layout_->entry_field_off(entry, CacheLayout::EntryField::kLock)));
   host_->atomic_u32(
@@ -82,6 +121,7 @@ void HostCachePlane::write_unlock(std::uint32_t entry) {
 }
 
 void HostCachePlane::read_lock(std::uint32_t entry) {
+  sim::schedhook::point("cache.entry_read_lock");
   const std::uint64_t off =
       layout_->entry_field_off(entry, CacheLayout::EntryField::kLock);
   auto word = host_->atomic_u32(off);
@@ -96,6 +136,7 @@ void HostCachePlane::read_lock(std::uint32_t entry) {
           cur, read_lock_word(read_lock_holders(cur) + 1),
           std::memory_order_acquire);
     } else {
+      sim::schedhook::spin("cache.entry_read_lock");
       std::this_thread::yield();  // write-locked or invalid; wait
     }
     if (locked) {
@@ -126,6 +167,7 @@ void HostCachePlane::read_unlock(std::uint32_t entry) {
 }
 
 void HostCachePlane::seq_write_begin(std::uint32_t entry) {
+  sim::schedhook::point("cache.seq_begin");
   auto seq = host_->atomic_u32(
       layout_->entry_field_off(entry, CacheLayout::EntryField::kSeq));
   // Exclusive writer (entry write lock held): a plain bump to odd, then a
@@ -136,6 +178,7 @@ void HostCachePlane::seq_write_begin(std::uint32_t entry) {
 }
 
 void HostCachePlane::seq_write_end(std::uint32_t entry) {
+  sim::schedhook::point("cache.seq_end");
   auto seq = host_->atomic_u32(
       layout_->entry_field_off(entry, CacheLayout::EntryField::kSeq));
   // Release store back to even publishes every mutation before it.
@@ -208,9 +251,10 @@ HostCachePlane::FastRead HostCachePlane::try_read_lockfree(
   while (idx != kEndOfList) {
     const auto seq_off =
         layout_->entry_field_off(idx, CacheLayout::EntryField::kSeq);
+    sim::schedhook::point("cache.seq_load");
     const std::uint32_t s1 =
         host_->atomic_u32(seq_off).load(std::memory_order_acquire);
-    if ((s1 & 1u) != 0) return FastRead::kRetry;  // writer mid-flight
+    if ((s1 & 1u) != 0) return FastRead::kRetryBlocked;  // writer mid-flight
     const auto st = static_cast<PageStatus>(
         host_->atomic_u32(layout_->entry_field_off(
                               idx, CacheLayout::EntryField::kStatus))
@@ -227,10 +271,11 @@ HostCachePlane::FastRead HostCachePlane::try_read_lockfree(
       if (st != PageStatus::kClean && st != PageStatus::kDirty) {
         // Claimed but data not yet valid (host write or DPU prefetch is
         // filling it). The locked fallback waits for the fill to finish.
-        return FastRead::kRetry;
+        return FastRead::kRetryBlocked;
       }
-      host_->read(layout_->page_off(idx), dst);
+      copy_page_out(*host_, layout_->page_off(idx), dst);
       std::atomic_thread_fence(std::memory_order_acquire);
+      sim::schedhook::point("cache.seq_recheck");
       const std::uint32_t s2 =
           host_->atomic_u32(seq_off).load(std::memory_order_relaxed);
       if (s2 != s1) return FastRead::kRetry;  // torn copy — discard
@@ -240,6 +285,7 @@ HostCachePlane::FastRead HostCachePlane::try_read_lockfree(
     // under a concurrent claim; trust the no-match verdict only if the
     // entry stayed stable across the reads.
     std::atomic_thread_fence(std::memory_order_acquire);
+    sim::schedhook::point("cache.seq_recheck");
     if (host_->atomic_u32(seq_off).load(std::memory_order_relaxed) != s1)
       return FastRead::kRetry;
     idx = host_->load<std::uint32_t>(
@@ -266,6 +312,15 @@ bool HostCachePlane::read(std::uint64_t inode, std::uint64_t lpn,
       return false;
     }
     stats_.seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+    if (r == FastRead::kRetryBlocked) {
+      // Futile until the mid-flight writer or filler moves: a blocked
+      // point, so the checker runs someone else before the re-probe.
+      sim::schedhook::spin("cache.read_wait");
+    } else {
+      // The seq word moved under the probe; the writer may already be
+      // done, so the immediate re-probe can succeed — a decision point.
+      sim::schedhook::point("cache.read_retry");
+    }
     std::this_thread::yield();
   }
   // dpc-lint: lockfree-end(cache-read)
@@ -338,7 +393,12 @@ HostCachePlane::WriteResult HostCachePlane::write(
   }
   unlock_bucket(bucket);
 
-  host_->write(layout_->page_off(entry), src);
+  // DPC_CHECK_MUTATE cache-seq-publish: publish the even (stable) sequence
+  // *before* copying the page — the torn window the seqlock exists to close.
+  // dpc_check arms this and must observe a reader with inconsistent halves.
+  const bool mutate_publish = sim::schedhook::mutate("cache-seq-publish");
+  if (mutate_publish) seq_write_end(entry);
+  copy_page_in(*host_, layout_->page_off(entry), src);
   // Pad the remainder of a partial page write with zeros so flushes are
   // whole-page.
   if (src.size() < layout_->geometry().page_size) {
@@ -352,7 +412,7 @@ HostCachePlane::WriteResult HostCachePlane::write(
     host_->atomic_u32(layout_->header_field(HeaderOffsets::kDirty))
         .fetch_add(1, std::memory_order_acq_rel);
   }
-  seq_write_end(entry);
+  if (!mutate_publish) seq_write_end(entry);
   write_unlock(entry);
   if (fresh) {
     host_->atomic_u32(layout_->header_field(HeaderOffsets::kFree))
@@ -393,7 +453,7 @@ void HostCachePlane::fill_clean(std::uint64_t inode, std::uint64_t lpn,
   set_status(entry, PageStatus::kInvalid);
   unlock_bucket(bucket);
 
-  host_->write(layout_->page_off(entry), src);
+  copy_page_in(*host_, layout_->page_off(entry), src);
   if (src.size() < layout_->geometry().page_size) {
     host_->fill_bytes(layout_->page_off(entry) + src.size(),
                       layout_->geometry().page_size - src.size(),

@@ -116,8 +116,13 @@ class HostCachePlane {
   void seq_write_begin(std::uint32_t entry);  // even → odd, release-fenced
   void seq_write_end(std::uint32_t entry);    // odd → even, release store
 
-  /// One lock-free probe of the bucket chain for <inode,lpn>.
-  enum class FastRead { kHit, kMiss, kRetry };
+  /// One lock-free probe of the bucket chain for <inode,lpn>. The two
+  /// retry verdicts differ for the concurrency checker: kRetry means the
+  /// seq word moved *under* this probe, so an immediate re-probe can
+  /// succeed with no other thread running (a decision point); kRetryBlocked
+  /// means the entry is mid-write or mid-fill and re-probing is futile
+  /// until the writer/filler makes progress (a blocked point).
+  enum class FastRead { kHit, kMiss, kRetry, kRetryBlocked };
   FastRead try_read_lockfree(std::uint32_t bucket, std::uint64_t inode,
                              std::uint64_t lpn, std::span<std::byte> dst);
 

@@ -1,0 +1,333 @@
+// dpc_check — systematic concurrency model checker for the DPC client's
+// core protocols. See src/check/model_sched.hpp for the scheduler and
+// src/check/scenarios.cpp for the checked protocols.
+//
+//   dpc_check                          run every scenario in its default tier
+//   dpc_check --list                   list scenarios and their mutations
+//   dpc_check --scenario wal_append    run one scenario
+//   dpc_check --tier exhaustive|pct    restrict to one tier
+//   dpc_check --mutate all|<name>      arm each mutation; FAIL unless the
+//                                      paired scenario finds a violation AND
+//                                      the printed schedule replays to the
+//                                      same violation deterministically
+//   dpc_check --replay "0,1,3" --scenario X [--with-mutation]
+//                                      replay a printed choice list
+//
+// Exit codes: 0 = clean; 1 = violation found on unmutated code, an armed
+// mutation went uncaught, or a replay diverged; 2 = usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/model_sched.hpp"
+#include "check/scenarios.hpp"
+
+namespace dpc::check {
+namespace {
+
+struct Cli {
+  bool list = false;
+  std::string scenario;        // empty = all
+  std::string tier = "both";   // exhaustive | pct | both
+  std::string mutate;          // empty = off; "all" or a mutation name
+  std::string replay;          // comma-separated choice list
+  bool with_mutation = false;  // arm the scenario's mutation during --replay
+  std::uint64_t max_schedules = 0;  // 0 = per-scenario default
+  int max_steps = 0;                // 0 = per-scenario default
+  std::uint64_t seeds = 8;
+  std::uint64_t seed_base = 1;
+  int depth = 3;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dpc_check [--list] [--scenario NAME] [--tier exhaustive|pct|both]\n"
+      "                 [--mutate all|NAME] [--replay CHOICES [--with-mutation]]\n"
+      "                 [--max-schedules N] [--max-steps N]\n"
+      "                 [--seeds N] [--seed-base N] [--depth N]\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::uint32_t> parse_choices(const std::string& s, bool* ok) {
+  std::vector<std::uint32_t> out;
+  *ok = true;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str() + pos, &end, 10);
+    if (end == s.c_str() + pos) {
+      *ok = false;
+      return out;
+    }
+    out.push_back(static_cast<std::uint32_t>(v));
+    pos = static_cast<std::size_t>(end - s.c_str());
+    if (pos < s.size()) {
+      if (s[pos] != ',') {
+        *ok = false;
+        return out;
+      }
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string choices_csv(const std::vector<std::uint32_t>& c) {
+  std::string out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(c[i]);
+  }
+  return out;
+}
+
+void print_violation(const Scenario& sc, const Violation& v,
+                     std::uint64_t seed, bool pct, bool mutated = false) {
+  std::printf("VIOLATION in %s: %s\n", sc.name, v.message.c_str());
+  if (pct) std::printf("  found by PCT seed %" PRIu64 "\n", seed);
+  std::printf("  schedule (%zu steps):\n%s", v.trace.size(),
+              ModelSched::format_trace(v.trace).c_str());
+  std::printf("  replay with: dpc_check --scenario %s --replay \"%s\"%s\n",
+              sc.name, choices_csv(v.choices).c_str(),
+              mutated ? " --with-mutation" : "");
+}
+
+/// Runs one scenario in its default (or forced) tier with no mutation.
+/// Returns true when clean.
+bool run_clean(const Scenario& sc, const Cli& cli) {
+  const int steps = cli.max_steps > 0 ? cli.max_steps : sc.max_steps;
+  const bool want_exhaustive =
+      sc.exhaustive && (cli.tier == "exhaustive" || cli.tier == "both");
+  const bool want_pct =
+      cli.tier == "pct" || (cli.tier == "both" && !sc.exhaustive);
+
+  if (want_exhaustive) {
+    const std::uint64_t cap =
+        cli.max_schedules > 0 ? cli.max_schedules : sc.max_schedules;
+    const auto r = explore_exhaustive(sc.fn, nullptr, cap, steps);
+    if (r.violation) {
+      print_violation(sc, *r.violation, 0, false);
+      return false;
+    }
+    const bool complete = r.schedules + r.truncated < cap;
+    std::printf("ok  %-18s exhaustive: %" PRIu64 " interleavings%s%s\n",
+                sc.name, r.schedules,
+                r.truncated ? " (+truncated)" : "",
+                complete ? " (complete)" : " (CAP HIT — not exhaustive)");
+    if (r.truncated > 0)
+      std::printf("    %" PRIu64 " schedules hit the %d-step budget\n",
+                  r.truncated, steps);
+    if (!complete) return false;
+  }
+  if (want_pct) {
+    const auto r = explore_pct(sc.fn, nullptr, cli.seed_base, cli.seeds,
+                               cli.depth, steps);
+    if (r.violation) {
+      print_violation(sc, *r.violation, r.seed, true);
+      return false;
+    }
+    std::printf("ok  %-18s pct: %" PRIu64 " seeds [%" PRIu64 ", %" PRIu64
+                ")%s\n",
+                sc.name, cli.seeds, cli.seed_base, cli.seed_base + cli.seeds,
+                r.truncated ? " (some truncated)" : "");
+  }
+  return true;
+}
+
+/// Arms the scenario's paired mutation: the run MUST find a violation, and
+/// replaying its recorded choice list must reproduce it. Returns true when
+/// the mutation was caught and the replay matched.
+bool run_mutation(const Scenario& sc, const Cli& cli) {
+  const int steps = cli.max_steps > 0 ? cli.max_steps : sc.max_steps;
+  ExploreResult r;
+  if (sc.exhaustive) {
+    const std::uint64_t cap =
+        cli.max_schedules > 0 ? cli.max_schedules : sc.max_schedules;
+    r = explore_exhaustive(sc.fn, sc.mutation, cap, steps);
+  } else {
+    r = explore_pct(sc.fn, sc.mutation, cli.seed_base, sc.mutate_seeds,
+                    cli.depth, steps);
+  }
+  if (!r.violation) {
+    std::printf("FAIL %-18s mutation %s went UNCAUGHT (%" PRIu64
+                " schedules, %" PRIu64 " truncated) — the checker is blind "
+                "to this protocol\n",
+                sc.name, sc.mutation, r.schedules, r.truncated);
+    return false;
+  }
+
+  // Deterministic replay: the printed choice list alone must reproduce the
+  // violation (same failure, same schedule length).
+  const auto rep = replay_run(sc.fn, sc.mutation, r.violation->choices, steps);
+  if (!rep.violation) {
+    std::printf("FAIL %-18s mutation %s caught but the schedule did NOT "
+                "replay: nondeterminism in the scenario\n",
+                sc.name, sc.mutation);
+    print_violation(sc, *r.violation, r.seed, !sc.exhaustive, true);
+    return false;
+  }
+  if (rep.violation->message != r.violation->message) {
+    std::printf("FAIL %-18s mutation %s replayed to a DIFFERENT violation:\n"
+                "  first:  %s\n  replay: %s\n",
+                sc.name, sc.mutation, r.violation->message.c_str(),
+                rep.violation->message.c_str());
+    return false;
+  }
+  std::printf("ok  %-18s mutation %s caught after %" PRIu64
+              " schedule(s)%s; replayed deterministically (%zu steps, "
+              "choices \"%s\")\n",
+              sc.name, sc.mutation, r.schedules + r.truncated,
+              sc.exhaustive ? "" : " (pct)", r.violation->trace.size(),
+              choices_csv(r.violation->choices).c_str());
+  return true;
+}
+
+int main_impl(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dpc_check: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--list") {
+      cli.list = true;
+    } else if (a == "--with-mutation") {
+      cli.with_mutation = true;
+    } else if (a == "--scenario") {
+      const char* v = next("--scenario");
+      if (v == nullptr) return 2;
+      cli.scenario = v;
+    } else if (a == "--tier") {
+      const char* v = next("--tier");
+      if (v == nullptr) return 2;
+      cli.tier = v;
+      if (cli.tier != "exhaustive" && cli.tier != "pct" &&
+          cli.tier != "both") {
+        usage();
+        return 2;
+      }
+    } else if (a == "--mutate") {
+      const char* v = next("--mutate");
+      if (v == nullptr) return 2;
+      cli.mutate = v;
+    } else if (a == "--replay") {
+      const char* v = next("--replay");
+      if (v == nullptr) return 2;
+      cli.replay = v;
+    } else if (a == "--max-schedules") {
+      const char* v = next("--max-schedules");
+      if (v == nullptr || !parse_u64(v, &cli.max_schedules)) return 2;
+    } else if (a == "--max-steps") {
+      const char* v = next("--max-steps");
+      std::uint64_t tmp = 0;
+      if (v == nullptr || !parse_u64(v, &tmp)) return 2;
+      cli.max_steps = static_cast<int>(tmp);
+    } else if (a == "--seeds") {
+      const char* v = next("--seeds");
+      if (v == nullptr || !parse_u64(v, &cli.seeds)) return 2;
+    } else if (a == "--seed-base") {
+      const char* v = next("--seed-base");
+      if (v == nullptr || !parse_u64(v, &cli.seed_base)) return 2;
+    } else if (a == "--depth") {
+      const char* v = next("--depth");
+      std::uint64_t tmp = 0;
+      if (v == nullptr || !parse_u64(v, &tmp)) return 2;
+      cli.depth = static_cast<int>(tmp);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (cli.list) {
+    for (const Scenario& s : scenarios()) {
+      std::printf("%-18s tier=%-10s mutation=%-20s %s\n", s.name,
+                  s.exhaustive ? "exhaustive" : "pct", s.mutation,
+                  s.description);
+    }
+    return 0;
+  }
+
+  // Select scenarios.
+  std::vector<const Scenario*> selected;
+  if (!cli.scenario.empty()) {
+    const Scenario* s = find_scenario(cli.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "dpc_check: unknown scenario '%s'\n",
+                   cli.scenario.c_str());
+      return 2;
+    }
+    selected.push_back(s);
+  } else {
+    for (const Scenario& s : scenarios()) selected.push_back(&s);
+  }
+
+  // --replay: one scenario, one recorded choice list.
+  if (!cli.replay.empty()) {
+    if (selected.size() != 1) {
+      std::fprintf(stderr, "dpc_check: --replay needs --scenario\n");
+      return 2;
+    }
+    bool ok = false;
+    const auto choices = parse_choices(cli.replay, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "dpc_check: bad --replay list\n");
+      return 2;
+    }
+    const Scenario& sc = *selected[0];
+    const int steps = cli.max_steps > 0 ? cli.max_steps : sc.max_steps;
+    const auto r = replay_run(sc.fn, cli.with_mutation ? sc.mutation : nullptr,
+                              choices, steps);
+    if (r.violation) {
+      print_violation(sc, *r.violation, 0, false);
+      return 1;
+    }
+    std::printf("replay of %s: no violation\n", sc.name);
+    return 0;
+  }
+
+  // --mutate: every armed mutation must be caught + replay deterministically.
+  if (!cli.mutate.empty()) {
+    bool all_ok = true;
+    bool any = false;
+    for (const Scenario* s : selected) {
+      if (cli.mutate != "all" && cli.mutate != s->mutation) continue;
+      any = true;
+      all_ok = run_mutation(*s, cli) && all_ok;
+    }
+    if (!any) {
+      std::fprintf(stderr, "dpc_check: no scenario pairs mutation '%s'\n",
+                   cli.mutate.c_str());
+      return 2;
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  // Default: clean runs.
+  bool all_ok = true;
+  for (const Scenario* s : selected) {
+    if (cli.tier == "exhaustive" && !s->exhaustive) continue;
+    all_ok = run_clean(*s, cli) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dpc::check
+
+int main(int argc, char** argv) { return dpc::check::main_impl(argc, argv); }

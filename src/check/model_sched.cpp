@@ -1,0 +1,469 @@
+#include "check/model_sched.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <sstream>
+
+#include "fault/injector.hpp"
+#include "sim/check.hpp"
+#include "sim/lockrank.hpp"
+
+namespace dpc::check {
+
+namespace {
+
+/// Unwinds a managed thread when the scheduler stops a run (step budget or
+/// a violation elsewhere). Deliberately NOT a std::exception so no product
+/// catch block can swallow it — only the thread wrapper's catch(...) does.
+struct StopRun {};
+
+thread_local ModelSched* tl_sched = nullptr;
+thread_local int tl_id = -1;
+
+}  // namespace
+
+ModelSched::ModelSched(Strategy& strategy, Options opts)
+    : strategy_(strategy), opts_(opts) {
+  hooks_.ctx = this;
+  hooks_.managed = &ModelSched::hook_managed;
+  hooks_.point = &ModelSched::hook_point;
+  hooks_.spin = &ModelSched::hook_spin;
+  hooks_.point_noexcept = &ModelSched::hook_point_noexcept;
+  hooks_.mutation = &ModelSched::hook_mutation;
+  sim::schedhook::install(&hooks_);
+}
+
+ModelSched::~ModelSched() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (ThreadState& t : threads_)
+    if (t.th.joinable()) t.th.join();
+  sim::schedhook::uninstall();
+}
+
+bool ModelSched::hook_managed(void* ctx) { return tl_sched == ctx; }
+
+void ModelSched::hook_point(void* ctx, const char* site) {
+  static_cast<ModelSched*>(ctx)->yield_to_scheduler(site, /*spinning=*/false,
+                                                    /*can_throw=*/true);
+}
+
+void ModelSched::hook_spin(void* ctx, const char* site) {
+  static_cast<ModelSched*>(ctx)->yield_to_scheduler(site, /*spinning=*/true,
+                                                    /*can_throw=*/true);
+}
+
+void ModelSched::hook_point_noexcept(void* ctx, const char* site) {
+  static_cast<ModelSched*>(ctx)->yield_to_scheduler(site, /*spinning=*/false,
+                                                    /*can_throw=*/false);
+}
+
+bool ModelSched::hook_mutation(void* ctx, const char* name) {
+  auto* self = static_cast<ModelSched*>(ctx);
+  return self->opts_.mutation != nullptr &&
+         std::strcmp(self->opts_.mutation, name) == 0;
+}
+
+void ModelSched::spawn(std::function<void()> body) {
+  DPC_CHECK_MSG(!ran_, "spawn() after run()");
+  const int id = static_cast<int>(threads_.size());
+  threads_.emplace_back();
+  ThreadState& t = threads_.back();
+  t.th = std::thread([this, id, fn = std::move(body)] {
+    tl_sched = this;
+    tl_id = id;
+    // Park until first granted (or the run is abandoned).
+    bool go = false;
+    bool crash_now = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+      cv_.wait(lk, [&] { return token_ == id || stopping_; });
+      go = !stopping_;
+      crash_now = crash_pending_;
+    }
+    if (go) {
+      try {
+        if (crash_now) throw fault::CrashException{};
+        fn();
+      } catch (const fault::CrashException&) {
+        // Modelled power cut: the thread dies mid-protocol, on purpose.
+      } catch (const StopRun&) {
+        // Truncation/stop: unwind silently.
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+        if (!thread_error_) {
+          std::ostringstream os;
+          os << "T" << id << " threw: " << e.what();
+          thread_error_ = os.str();
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+        if (!thread_error_) thread_error_ = "T? threw a non-std exception";
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+    threads_[static_cast<std::size_t>(id)].st = St::kFinished;
+    if (token_ == id) token_ = -1;
+    cv_.notify_all();
+  });
+}
+
+void ModelSched::yield_to_scheduler(const char* site, bool spinning,
+                                    bool can_throw) {
+  const int id = tl_id;
+  std::unique_lock<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+  if (stopping_) {
+    if (can_throw && std::uncaught_exceptions() == 0) {
+      lk.unlock();
+      throw StopRun{};
+    }
+    // Unwinding, or inside a noexcept frame (guard destructor): never throw.
+    // The thread keeps running to its next throw-safe point, which delivers
+    // the stop.
+    return;
+  }
+  // Mid-unwind (a CrashException travelling up through RAII unlocks): pass
+  // straight through so the unwind stays atomic and cannot double-throw.
+  if (std::uncaught_exceptions() > 0) return;
+  ThreadState& t = threads_[static_cast<std::size_t>(id)];
+  t.site = site;
+  t.at_spin = spinning;
+  if (spinning) {
+    // Blocked only on a REPEAT spin with nothing changed by other threads
+    // since the previous spin here: the first spin's probe may be stale
+    // (another thread can act at a yield between the probe and this call),
+    // so it stays a decision point and the thread gets one fresh re-probe.
+    const std::uint64_t others = progress_ - t.self_contrib;
+    if (t.last_spin_site == site && t.last_spin_others == others) {
+      t.st = St::kSpinning;
+      t.spin_progress = progress_;
+    } else {
+      t.st = St::kReady;
+      t.last_spin_site = site;
+      t.last_spin_others = others;
+    }
+  } else {
+    t.st = St::kReady;
+  }
+  token_ = -1;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return token_ == id || stopping_; });
+  t.st = St::kRunning;
+  if (!can_throw) return;  // crash/stop delivery deferred past the noexcept frame
+  if (stopping_) {
+    lk.unlock();
+    throw StopRun{};
+  }
+  if (crash_pending_) {
+    lk.unlock();
+    throw fault::CrashException{};
+  }
+}
+
+std::vector<int> ModelSched::runnable_locked() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadState& t = threads_[i];
+    if (t.st == St::kFinished || t.st == St::kRunning) continue;
+    if (t.st == St::kSpinning && !crash_pending_ &&
+        progress_ <= t.spin_progress)
+      continue;  // blocked until someone else makes progress
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void ModelSched::run() {
+  ran_ = true;
+  std::unique_lock<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+  auto all_finished = [&] {
+    return std::all_of(threads_.begin(), threads_.end(), [](const ThreadState& t) {
+      return t.st == St::kFinished;
+    });
+  };
+  auto stop_and_drain = [&] {
+    stopping_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, all_finished);
+  };
+  for (;;) {
+    if (all_finished()) break;
+    const std::vector<int> runnable = runnable_locked();
+    if (runnable.empty()) {
+      std::ostringstream os;
+      os << "deadlock: every unfinished thread is blocked (";
+      for (std::size_t i = 0; i < threads_.size(); ++i)
+        if (threads_[i].st != St::kFinished)
+          os << "T" << i << "@" << threads_[i].site << " ";
+      os << ")";
+      stop_and_drain();
+      throw CheckViolation(os.str());
+    }
+    if (steps_ >= static_cast<std::uint64_t>(opts_.max_steps)) {
+      // Scenario budgets are far above any run correct code produces, so
+      // exhausting one IS a finding: a livelock or a lost wakeup that keeps
+      // threads runnable forever (e.g. a point()-loop that never settles).
+      // Reporting it as a violation also keeps exploration honest: a
+      // mutation that wedges the protocol is caught, not silently filed
+      // under "truncated".
+      truncated_ = true;
+      std::ostringstream os;
+      os << "schedule hit the " << opts_.max_steps
+         << "-step budget with threads still runnable: livelock or lost "
+            "wakeup (";
+      for (std::size_t i = 0; i < threads_.size(); ++i)
+        if (threads_[i].st != St::kFinished)
+          os << "T" << i << "@" << threads_[i].site << " ";
+      os << ")";
+      stop_and_drain();
+      throw CheckViolation(os.str());
+    }
+    std::uint32_t idx = 0;
+    if (runnable.size() > 1) {
+      idx = strategy_.pick(runnable, steps_) %
+            static_cast<std::uint32_t>(runnable.size());
+      choices_.push_back(idx);
+    }
+    const int id = runnable[idx];
+    trace_.push_back({id, threads_[static_cast<std::size_t>(id)].site});
+    ++steps_;
+    // A spinner's retry is not progress: it only re-probes state someone
+    // else must change. Counting it would let spinners revive each other
+    // forever while the (possibly demoted) thread they wait on starves —
+    // a false livelock the real kernel cannot exhibit. The self-
+    // contribution share lets spin() ask "did anyone ELSE move" — a
+    // thread's own probing must not refresh its own spin windows.
+    if (!threads_[static_cast<std::size_t>(id)].at_spin) {
+      ++progress_;
+      ++threads_[static_cast<std::size_t>(id)].self_contrib;
+    }
+    token_ = id;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return token_ == -1; });
+    if (thread_error_) {
+      const std::string msg = *thread_error_;
+      stop_and_drain();
+      throw CheckViolation(msg);
+    }
+  }
+  if (thread_error_) throw CheckViolation(*thread_error_);
+}
+
+std::uint32_t ModelSched::choose(std::uint32_t n) {
+  if (n <= 1) return 0;
+  const std::uint32_t v = strategy_.choose(n) % n;
+  choices_.push_back(v);
+  return v;
+}
+
+void ModelSched::require(bool cond, const std::string& msg) {
+  if (!cond) throw CheckViolation(msg);
+}
+
+void ModelSched::power_cut() {
+  std::lock_guard<std::mutex> lk(mu_);  // dpc-lint: ok(raw-mutex, raw-guard) scheduler-internal: sim locks would recurse via schedhook
+  crash_pending_ = true;
+}
+
+std::string ModelSched::format_trace(const std::vector<Step>& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    os << "    #" << i << "  T" << trace[i].thread << "  @" << trace[i].site
+       << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DfsStrategy
+
+void DfsStrategy::begin_run() { pos_ = 0; }
+
+std::uint32_t DfsStrategy::next(std::uint32_t n) {
+  if (pos_ < stack_.size()) {
+    // Replaying the committed prefix. Clamp defensively: a diverging option
+    // count means the scenario is nondeterministic, and clamping keeps the
+    // walk well-defined while the trace comparison surfaces it.
+    const std::uint32_t v = std::min(stack_[pos_].picked, n - 1);
+    stack_[pos_].options = n;
+    ++pos_;
+    return v;
+  }
+  stack_.push_back({0, n});
+  ++pos_;
+  return 0;
+}
+
+std::uint32_t DfsStrategy::pick(const std::vector<int>& runnable,
+                                std::uint64_t) {
+  return next(static_cast<std::uint32_t>(runnable.size()));
+}
+
+std::uint32_t DfsStrategy::choose(std::uint32_t n) { return next(n); }
+
+bool DfsStrategy::advance() {
+  // Anything beyond pos_ belongs to a deeper branch of a previous run that
+  // this run never reached — discard before backtracking.
+  stack_.resize(pos_);
+  while (!stack_.empty() && stack_.back().picked + 1 >= stack_.back().options)
+    stack_.pop_back();
+  if (stack_.empty()) return false;
+  ++stack_.back().picked;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PctStrategy
+
+PctStrategy::PctStrategy(std::uint64_t seed, int depth, int max_steps)
+    : rng_(seed * 0x9E3779B97F4A7C15ULL + 1) {
+  demote_at_.reserve(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i)
+    demote_at_.push_back(rng_() % static_cast<std::uint64_t>(
+                                      std::max(max_steps, 1)));
+  std::sort(demote_at_.begin(), demote_at_.end());
+}
+
+std::uint64_t PctStrategy::priority(int thread_id) {
+  const auto id = static_cast<std::size_t>(thread_id);
+  while (prio_.size() <= id) prio_.push_back((rng_() >> 8) + (1u << 20));
+  return prio_[id];
+}
+
+std::uint32_t PctStrategy::pick(const std::vector<int>& runnable,
+                                std::uint64_t step) {
+  if (demotions_used_ < demote_at_.size() &&
+      step >= demote_at_[demotions_used_]) {
+    // Demote the currently strongest runnable thread below everyone —
+    // the PCT priority-change point.
+    std::uint32_t strongest = 0;
+    for (std::uint32_t i = 1; i < runnable.size(); ++i)
+      if (priority(runnable[i]) > priority(runnable[strongest])) strongest = i;
+    prio_[static_cast<std::size_t>(runnable[strongest])] = demotions_used_;
+    ++demotions_used_;
+  }
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < runnable.size(); ++i)
+    if (priority(runnable[i]) > priority(runnable[best])) best = i;
+  return best;
+}
+
+std::uint32_t PctStrategy::choose(std::uint32_t n) {
+  return static_cast<std::uint32_t>(rng_() % n);
+}
+
+// ---------------------------------------------------------------------------
+// ReplayStrategy
+
+std::uint32_t ReplayStrategy::next(std::uint32_t n) {
+  if (pos_ >= choices_.size()) return 0;
+  return choices_[pos_++] % n;
+}
+
+std::uint32_t ReplayStrategy::pick(const std::vector<int>& runnable,
+                                   std::uint64_t) {
+  return next(static_cast<std::uint32_t>(runnable.size()));
+}
+
+std::uint32_t ReplayStrategy::choose(std::uint32_t n) { return next(n); }
+
+// ---------------------------------------------------------------------------
+// Runners
+
+namespace {
+
+std::optional<Violation> one_run(const ScenarioFn& fn, ModelSched& sched) {
+  // Scenarios rebuild their fixtures every run, so lock words land at reused
+  // heap addresses. The lockrank acquired-before graph keys on addresses;
+  // wipe it per run or stale edges from a prior run's fixtures could
+  // manufacture cycles that never happened.
+  sim::lockrank::reset_for_test();
+  try {
+    fn(sched);
+  } catch (const CheckViolation& e) {
+    return Violation{e.what(), sched.trace(), sched.choices()};
+  } catch (const std::exception& e) {
+    return Violation{std::string("driver threw: ") + e.what(), sched.trace(),
+                     sched.choices()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExploreResult explore_exhaustive(const ScenarioFn& fn, const char* mutation,
+                                 std::uint64_t max_schedules, int max_steps) {
+  ExploreResult out;
+  DfsStrategy dfs;
+  for (;;) {
+    dfs.begin_run();
+    std::optional<Violation> v;
+    bool truncated = false;
+    {
+      ModelSched sched(dfs, {max_steps, mutation});
+      v = one_run(fn, sched);
+      truncated = sched.truncated();
+    }
+    if (truncated)
+      ++out.truncated;
+    else
+      ++out.schedules;
+    if (v) {
+      out.violation = std::move(v);
+      return out;
+    }
+    if (out.schedules + out.truncated >= max_schedules) return out;
+    if (!dfs.advance()) return out;
+  }
+}
+
+ExploreResult explore_pct(const ScenarioFn& fn, const char* mutation,
+                          std::uint64_t seed_base, std::uint64_t seeds,
+                          int depth, int max_steps) {
+  ExploreResult out;
+  // Adaptive PCT horizon: priority-change points must land *inside* the
+  // actual run to matter, and scenarios typically take a few thousand steps
+  // against a budget a hundred times larger. Sampling demotions over the
+  // budget would make them fire with probability ~0 — so sample over the
+  // longest schedule observed so far. The first seed starts from a small
+  // floor (underestimating costs one run; from the second seed on the
+  // horizon is the real observed length).
+  int horizon = 16;
+  for (std::uint64_t s = seed_base; s < seed_base + seeds; ++s) {
+    PctStrategy pct(s, depth, std::min(max_steps, horizon));
+    std::optional<Violation> v;
+    bool truncated = false;
+    {
+      ModelSched sched(pct, {max_steps, mutation});
+      v = one_run(fn, sched);
+      truncated = sched.truncated();
+      horizon = std::max(horizon, static_cast<int>(sched.steps()));
+    }
+    if (truncated)
+      ++out.truncated;
+    else
+      ++out.schedules;
+    if (v) {
+      out.violation = std::move(v);
+      out.seed = s;
+      return out;
+    }
+  }
+  return out;
+}
+
+ExploreResult replay_run(const ScenarioFn& fn, const char* mutation,
+                         const std::vector<std::uint32_t>& choices,
+                         int max_steps) {
+  ExploreResult out;
+  ReplayStrategy rep(choices);
+  ModelSched sched(rep, {max_steps, mutation});
+  out.violation = one_run(fn, sched);
+  out.schedules = 1;
+  return out;
+}
+
+}  // namespace dpc::check

@@ -1,0 +1,280 @@
+// ModelSched — deterministic cooperative scheduler for systematic
+// concurrency model checking (CHESS/PCT style), driving real std::threads
+// one at a time through the schedhook seam (sim/schedhook.hpp).
+//
+// A *scenario* is a function that builds a small system (a cache plane, a
+// WAL on an NvmDevice, an INI/TGT queue pair…), spawns 2–3 managed threads
+// whose bodies exercise one protocol, runs them to completion under the
+// scheduler, and then checks protocol invariants. Every schedhook point()
+// reached by a managed thread is a *decision point*: the scheduler picks
+// which thread runs next. Exploring all picks explores all interleavings at
+// sync-operation granularity — sound here because every shared-state access
+// in the instrumented protocols is bracketed by hook points, and because
+// the one-runnable-token discipline gives sequential consistency (each
+// hand-off is a full happens-before edge).
+//
+// spin() points are *blocked* points, never decision forks: a spinning
+// thread made no progress (failed try-lock, empty queue) and re-enters the
+// runnable set only after some other thread has taken a step. All
+// unfinished threads spinning at once is a deadlock — reported as a
+// violation with the schedule that produced it. A step budget bounds
+// livelock; runs that hit it count as truncated, not explored.
+//
+// Three strategies drive exploration:
+//   * DfsStrategy    — exhaustive DFS over the decision tree with chronological
+//                      backtracking; used for the small bounded scenarios
+//                      where the full interleaving count is reported.
+//   * PctStrategy    — PCT-style randomized priorities with d priority-change
+//                      points, seeded; probabilistic guarantees for the
+//                      scenarios too big to enumerate.
+//   * ReplayStrategy — replays a recorded choice list verbatim, so any
+//                      violation printed by dpc_check reproduces exactly.
+//
+// Data nondeterminism (crash subsets of unfenced NVM writes, crash timing)
+// goes through the same choice stream via ModelSched::choose(), so DFS and
+// replay cover it uniformly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sim/schedhook.hpp"
+
+namespace dpc::check {
+
+/// One scheduler decision: which managed thread ran, from which site.
+struct Step {
+  int thread = -1;
+  const char* site = "";
+};
+
+/// A found violation: what broke plus the exact schedule that broke it.
+struct Violation {
+  std::string message;
+  std::vector<Step> trace;
+  std::vector<std::uint32_t> choices;  ///< replayable decision list
+};
+
+/// Thrown by scenario invariant checks (ModelSched::require) and by the
+/// scheduler when a violation is detected mid-run.
+class CheckViolation : public std::runtime_error {
+ public:
+  explicit CheckViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Decides scheduling picks and data choices. pick/choose see the number of
+/// alternatives and return an index < n; ModelSched records the result so
+/// every run has a replayable choice list regardless of strategy.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// `runnable` holds managed-thread ids in ascending order; return an
+  /// index into it.
+  virtual std::uint32_t pick(const std::vector<int>& runnable,
+                             std::uint64_t step) = 0;
+  /// Data choice among n alternatives; return a value < n.
+  virtual std::uint32_t choose(std::uint32_t n) = 0;
+};
+
+class ModelSched {
+ public:
+  struct Options {
+    int max_steps = 20000;       ///< truncation budget per schedule
+    const char* mutation = nullptr;  ///< armed DPC_CHECK_MUTATE name
+  };
+
+  // (Two overloads, not one defaulted `Options opts = {}` argument: GCC
+  // rejects a nested aggregate with member initializers as a default
+  // argument of the enclosing class.)
+  explicit ModelSched(Strategy& strategy) : ModelSched(strategy, Options{}) {}
+  ModelSched(Strategy& strategy, Options opts);
+  ~ModelSched();
+  ModelSched(const ModelSched&) = delete;
+  ModelSched& operator=(const ModelSched&) = delete;
+
+  /// Registers and starts a managed thread (parked until run()). Must be
+  /// called before run(), from the driver thread.
+  void spawn(std::function<void()> body);
+
+  /// Runs the spawned threads to completion under the scheduler. Throws
+  /// CheckViolation on deadlock or a thread failing with an exception
+  /// (DPC_CHECK, LockOrderError, scenario require()s inside bodies).
+  /// Returns normally when all threads finished or the step budget was hit
+  /// (see truncated()).
+  void run();
+
+  /// Driver-side data choice among n alternatives (crash subsets, crash
+  /// positions). Recorded in the choice list like a scheduling pick.
+  std::uint32_t choose(std::uint32_t n);
+
+  /// Scenario invariant: throws CheckViolation carrying the schedule when
+  /// `cond` is false.
+  void require(bool cond, const std::string& msg);
+
+  /// Arms the modelled power cut: every managed thread throws
+  /// fault::CrashException at its next decision point. Callable from a
+  /// managed "power" thread body or from the driver between runs.
+  void power_cut();
+  bool crashed() const { return crash_pending_; }
+
+  bool truncated() const { return truncated_; }
+  std::uint64_t steps() const { return steps_; }
+  const std::vector<Step>& trace() const { return trace_; }
+  const std::vector<std::uint32_t>& choices() const { return choices_; }
+
+  /// Formats the schedule as one line per step for violation reports.
+  static std::string format_trace(const std::vector<Step>& trace);
+
+ private:
+  enum class St : std::uint8_t { kReady, kRunning, kSpinning, kFinished };
+  struct ThreadState {
+    std::thread th;
+    St st = St::kReady;
+    const char* site = "spawn";
+    std::uint64_t spin_progress = 0;  ///< progress_ when it last spun
+    // First-spin freshness guard: a spin() can be declared on a probe that
+    // went stale at an intervening yield (probe → unlock yield → another
+    // thread acts → spin). The first spin at a site therefore stays a
+    // decision point (one guaranteed re-probe); only a repeat spin with no
+    // *other-thread* progress since is treated as truly blocked.
+    const char* last_spin_site = nullptr;
+    std::uint64_t last_spin_others = 0;  ///< others-progress at that spin
+    std::uint64_t self_contrib = 0;      ///< this thread's share of progress_
+    /// Parked at a spin() site (even when schedulable as a first-spin
+    /// decision point). A granted probe is never progress: counting it
+    /// would let two spinners refresh each other's first-spin windows
+    /// forever while the thread they both wait on starves.
+    bool at_spin = false;
+  };
+
+  // schedhook callbacks (static, ctx = this).
+  static bool hook_managed(void* ctx);
+  static void hook_point(void* ctx, const char* site);
+  static void hook_spin(void* ctx, const char* site);
+  static void hook_point_noexcept(void* ctx, const char* site);
+  static bool hook_mutation(void* ctx, const char* name);
+
+  /// `can_throw` is false for points reached from noexcept frames (guard
+  /// destructors): the scheduler still preempts, but crash/stop delivery
+  /// is deferred to the thread's next throw-safe point.
+  void yield_to_scheduler(const char* site, bool spinning, bool can_throw);
+  std::vector<int> runnable_locked() const;
+
+  Strategy& strategy_;
+  Options opts_;
+  sim::schedhook::Hooks hooks_{};
+
+  std::mutex mu_;  // dpc-lint: ok(raw-mutex) the scheduler IS the instrumentation layer
+  std::condition_variable cv_;
+  std::vector<ThreadState> threads_;
+  int token_ = -1;           ///< thread id holding the run token; -1 = scheduler
+  bool stopping_ = false;    ///< truncation/violation: threads unwind, no yields
+  bool crash_pending_ = false;
+  std::uint64_t progress_ = 0;  ///< total granted steps (spin re-entry gate)
+  std::uint64_t steps_ = 0;
+  bool truncated_ = false;
+  bool ran_ = false;
+  std::optional<std::string> thread_error_;
+  std::vector<Step> trace_;
+  std::vector<std::uint32_t> choices_;
+};
+
+// ---------------------------------------------------------------------------
+// Strategies
+
+/// Exhaustive DFS with chronological backtracking. Use one instance across
+/// runs: run the scenario, then advance(); repeat until advance() is false.
+class DfsStrategy : public Strategy {
+ public:
+  std::uint32_t pick(const std::vector<int>& runnable,
+                     std::uint64_t step) override;
+  std::uint32_t choose(std::uint32_t n) override;
+
+  /// Prepares the next unexplored branch. False when the tree is exhausted.
+  bool advance();
+  /// Must be called before each run (resets the replay cursor).
+  void begin_run();
+
+ private:
+  std::uint32_t next(std::uint32_t n);
+  struct Node {
+    std::uint32_t picked;
+    std::uint32_t options;
+  };
+  std::vector<Node> stack_;
+  std::size_t pos_ = 0;
+};
+
+/// PCT-style randomized scheduler: random per-thread priorities, `depth`
+/// priority-demotion points drawn over the step budget; highest-priority
+/// runnable thread runs. Deterministic per seed.
+class PctStrategy : public Strategy {
+ public:
+  PctStrategy(std::uint64_t seed, int depth, int max_steps);
+  std::uint32_t pick(const std::vector<int>& runnable,
+                     std::uint64_t step) override;
+  std::uint32_t choose(std::uint32_t n) override;
+
+ private:
+  std::uint64_t priority(int thread_id);
+  std::mt19937_64 rng_;
+  std::vector<std::uint64_t> prio_;       // by thread id, lazily extended
+  std::vector<std::uint64_t> demote_at_;  // sorted step indices
+  std::uint64_t demotions_used_ = 0;
+};
+
+/// Replays a recorded choice list; falls back to index 0 past its end (a
+/// diverging replay means the scenario is nondeterministic — reported by
+/// the runner via trace comparison).
+class ReplayStrategy : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<std::uint32_t> choices)
+      : choices_(std::move(choices)) {}
+  std::uint32_t pick(const std::vector<int>& runnable,
+                     std::uint64_t step) override;
+  std::uint32_t choose(std::uint32_t n) override;
+
+ private:
+  std::uint32_t next(std::uint32_t n);
+  std::vector<std::uint32_t> choices_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Runners
+
+using ScenarioFn = std::function<void(ModelSched&)>;
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;   ///< fully explored schedules
+  std::uint64_t truncated = 0;   ///< schedules cut by the step budget
+  std::optional<Violation> violation;
+  std::uint64_t seed = 0;        ///< PCT: seed that found the violation
+};
+
+/// Exhaustively enumerates the scenario's decision tree (up to
+/// max_schedules; hitting that cap is reported via `schedules`).
+ExploreResult explore_exhaustive(const ScenarioFn& fn, const char* mutation,
+                                 std::uint64_t max_schedules, int max_steps);
+
+/// One PCT run per seed in [seed_base, seed_base + seeds).
+ExploreResult explore_pct(const ScenarioFn& fn, const char* mutation,
+                          std::uint64_t seed_base, std::uint64_t seeds,
+                          int depth, int max_steps);
+
+/// Replays a choice list; returns the violation it reproduces (if any).
+ExploreResult replay_run(const ScenarioFn& fn, const char* mutation,
+                         const std::vector<std::uint32_t>& choices,
+                         int max_steps);
+
+}  // namespace dpc::check

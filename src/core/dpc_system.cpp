@@ -87,7 +87,8 @@ DpcSystem::DpcSystem(const DpcOptions& opts)
       nvme_retry_exhausted_(&registry_.counter("retry/exhausted")),
       nvme_throttled_(&registry_.counter("retry/throttled")),
       host_integrity_errors_(
-          &registry_.counter("nvme.host/integrity_errors")) {
+          &registry_.counter("nvme.host/integrity_errors")),
+      pump_conflicts_(&registry_.counter("core/pump_conflicts")) {
   DPC_CHECK(opts.queues >= 1 && opts.queue_depth >= 2);
 
   if (opts.qos.enabled)
@@ -235,6 +236,19 @@ struct PumpFreeze {
   std::vector<std::unique_ptr<sim::AnnotatedMutex>>* mus;
 };
 
+/// Scope flag for the restart window. Declared *after* the PumpFreeze so it
+/// clears before the freeze releases — pump() can never observe it set on
+/// any exit path, including a CrashException unwinding a recovery step.
+struct RestartWindow {
+  explicit RestartWindow(std::atomic<bool>& f) : flag(&f) {
+    flag->store(true, std::memory_order_release);
+  }
+  ~RestartWindow() { flag->store(false, std::memory_order_release); }
+  RestartWindow(const RestartWindow&) = delete;
+  RestartWindow& operator=(const RestartWindow&) = delete;
+  std::atomic<bool>* flag;
+};
+
 }  // namespace
 
 // Pointer-loop locking over pump_mu_ — opt the definition out of the
@@ -246,8 +260,13 @@ DpcSystem::RestartReport DpcSystem::restart_dpu() NO_THREAD_SAFETY_ANALYSIS {
   {
     // Freeze pump-mode callers for the whole power cycle. Without this, a
     // pump-mode caller could drive its TgtDriver mid-reset and replay
-    // stale SQEs against a half-rewound ring.
-    PumpFreeze freeze(pump_mu_);
+    // stale SQEs against a half-rewound ring. DPC_CHECK_MUTATE
+    // restart-no-freeze skips the freeze so dpc_check can prove the race
+    // is real (a pump caller observes a half-rewound ring).
+    std::optional<PumpFreeze> freeze;
+    if (!sim::schedhook::mutate("restart-no-freeze")) freeze.emplace(pump_mu_);
+    RestartWindow window(restart_active_);
+    sim::schedhook::point("core.restart_begin");
     // ① Controller reset, per queue pair — TGT side only for now. It rewinds
     // the ring indices the INI's doorbell zeroing would otherwise
     // desynchronize. The INI aborts come *last* (step ⑤): aborted waiters
@@ -289,6 +308,11 @@ DpcSystem::RestartReport DpcSystem::restart_dpu() NO_THREAD_SAFETY_ANALYSIS {
       rep.aborted_cids =
           static_cast<std::uint16_t>(rep.aborted_cids + ini->reset());
     restart_ns_->record(rep.cost);
+    // Bracket the window with a second decision point: the checker gets a
+    // preemption opportunity at both edges of the frozen region, which is
+    // what lets it drive a pump-mode caller into the gap when the freeze
+    // mutation is armed.
+    sim::schedhook::point("core.restart_end");
   }
   if (was_running && !rep.interrupted) start_dpu();
   return rep;
@@ -318,6 +342,10 @@ int DpcSystem::queue_for_this_thread() {
 
 int DpcSystem::pump(int q) {
   sim::LockGuard lock(*pump_mu_[static_cast<std::size_t>(q)]);
+  // Under the real freeze this load can never see true: restart_dpu() holds
+  // every pump lock for the whole window. A nonzero counter is therefore a
+  // hard protocol violation (the dpc_check restart_vs_pump invariant).
+  if (restart_active_.load(std::memory_order_acquire)) pump_conflicts_->add();
   const int n =
       tgts_[static_cast<std::size_t>(q)]->process_available(64).processed;
   if (cache_ctl_) cache_ctl_->poll();

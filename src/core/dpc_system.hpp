@@ -223,6 +223,15 @@ class DpcSystem {
   nvm::WriteAheadLog* wal() { return wal_.get(); }
   nvm::NvmDevice* nvm_device() { return nvm_dev_.get(); }
 
+  /// Pump-mode internals exposed for the lockrank/model-check harnesses:
+  /// the per-queue pump lock (tests acquire them out of order to prove the
+  /// detector fires) and the queue count they index over.
+  sim::AnnotatedMutex& pump_lock_for_test(int q) { return *pump_mu_.at(q); }
+  int pump_queue_count() const { return static_cast<int>(pump_mu_.size()); }
+  /// One bare pump pass, as a pump-mode caller would issue inline — lets
+  /// the model checker drive a poller straight at the restart freeze.
+  int pump_for_test(int q) { return pump(q); }
+
   /// Tenant identity stamped into every nvme-fs command this thread issues
   /// (SQE DW10[31:24]); sticky until changed, default 0. Workload threads
   /// set it once before their first call.
@@ -342,6 +351,14 @@ class DpcSystem {
   /// rejections honored with the device's retry-after hint).
   obs::Counter* nvme_throttled_;
   obs::Counter* host_integrity_errors_;
+  /// Witness for the restart pump-freeze's mutual-exclusion contract: set
+  /// while restart_dpu() is inside the power cycle (where it holds — or,
+  /// under DPC_CHECK_MUTATE restart-no-freeze, should hold — every pump
+  /// lock). pump() bumps "core/pump_conflicts" if it runs with this set;
+  /// the real freeze makes that impossible, so any nonzero count proves the
+  /// freeze was lost.
+  std::atomic<bool> restart_active_{false};
+  obs::Counter* pump_conflicts_;
   std::atomic<std::uint64_t> call_seq_{0};
 };
 

@@ -4,6 +4,8 @@
 #include <initializer_list>
 #include <utility>
 
+#include "sim/schedhook.hpp"
+
 namespace dpc::dpu {
 
 QosManager::QosManager(const QosConfig& cfg, obs::Registry& registry)
@@ -168,10 +170,18 @@ std::optional<StagedCmd> DrrScheduler::pop() {
   // the strongest class that has staged work — a guaranteed tenant's
   // command never waits behind best-effort or background dispatches, no
   // matter the weights (ring size ≤ kMaxTenants keeps the scan cheap).
-  TenantClass best = TenantClass::kBackground;
-  for (const std::uint8_t t : ring_)
-    if (!tq_[t].q.empty())
-      best = std::min(best, qos_->cls(static_cast<nvme::TenantId>(t)));
+  // DPC_CHECK_MUTATE drr-class-order: serve the *weakest* staged class —
+  // best-effort dispatches while guaranteed work queues, the exact
+  // inversion the strict-priority scan exists to prevent. dpc_check arms
+  // this and must see a guaranteed command bypassed.
+  const bool mutate_order = sim::schedhook::mutate("drr-class-order");
+  TenantClass best =
+      mutate_order ? TenantClass::kGuaranteed : TenantClass::kBackground;
+  for (const std::uint8_t t : ring_) {
+    if (tq_[t].q.empty()) continue;
+    const TenantClass c = qos_->cls(static_cast<nvme::TenantId>(t));
+    best = mutate_order ? std::max(best, c) : std::min(best, c);
+  }
   // Terminates: size_ > 0 guarantees a non-empty best-class queue in the
   // ring, and its deficit strictly grows each rotation until it covers the
   // head's charge.

@@ -5,6 +5,7 @@
 
 #include "sim/calib.hpp"
 #include "sim/check.hpp"
+#include "sim/schedhook.hpp"
 
 namespace dpc::nvm {
 
@@ -23,12 +24,14 @@ NvmDevice::NvmDevice(std::uint64_t bytes, fault::FaultInjector* fault,
 bool NvmDevice::write(std::uint64_t off, std::span<const std::byte> src,
                       sim::Nanos& cost) {
   DPC_CHECK(off + src.size() <= media_.size());
+  sim::schedhook::point("nvm.write");
   cost += sim::calib::kNvmWriteLat + sim::calib::nvm_transfer(src.size());
   if (fault_ != nullptr && fault_->should_fail(kFaultNvmWriteFail)) {
     if (write_fails_ != nullptr) write_fails_->add();
     return false;
   }
   if (!src.empty()) std::memcpy(media_.data() + off, src.data(), src.size());
+  track_write(off, src.size());
   if (writes_ != nullptr) writes_->add();
   return true;
 }
@@ -37,8 +40,10 @@ void NvmDevice::write_torn(std::uint64_t off, std::span<const std::byte> src,
                            std::uint64_t n, sim::Nanos& cost) {
   const std::uint64_t take = std::min<std::uint64_t>(n, src.size());
   DPC_CHECK(off + take <= media_.size());
+  sim::schedhook::point("nvm.write");
   cost += sim::calib::kNvmWriteLat + sim::calib::nvm_transfer(take);
   if (take > 0) std::memcpy(media_.data() + off, src.data(), take);
+  track_write(off, take);
   if (writes_ != nullptr) writes_->add();
 }
 
@@ -51,8 +56,61 @@ void NvmDevice::read(std::uint64_t off, std::span<std::byte> dst,
 }
 
 void NvmDevice::persist_fence(sim::Nanos& cost) {
+  sim::schedhook::point("nvm.fence");
   cost += sim::calib::kNvmPersistFence;
+  if (tracking_) {
+    // Everything pending becomes durable, in order.
+    for (const PendingWrite& w : pending_) {
+      if (!w.bytes.empty())
+        std::memcpy(durable_.data() + w.off, w.bytes.data(), w.bytes.size());
+    }
+    pending_.clear();
+  }
   if (fences_ != nullptr) fences_->add();
+}
+
+void NvmDevice::set_persist_tracking(bool on) {
+  tracking_ = on;
+  pending_.clear();
+  if (on) {
+    durable_ = media_;
+  } else {
+    durable_.clear();
+    durable_.shrink_to_fit();
+  }
+}
+
+void NvmDevice::track_write(std::uint64_t off, std::uint64_t len) {
+  if (!tracking_ || len == 0) return;
+  // One pending entry per touched 64-byte cache line: lines drain to the
+  // media independently, so a crash can keep any line subset of one logical
+  // write — that independence is exactly what persist fences exist to tame.
+  constexpr std::uint64_t kLine = 64;
+  std::uint64_t pos = off;
+  const std::uint64_t end = off + len;
+  while (pos < end) {
+    const std::uint64_t chunk = std::min(end, (pos / kLine + 1) * kLine) - pos;
+    PendingWrite w;
+    w.off = pos;
+    w.bytes.assign(media_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   media_.begin() + static_cast<std::ptrdiff_t>(pos + chunk));
+    pending_.push_back(std::move(w));
+    pos += chunk;
+  }
+}
+
+void NvmDevice::drop_volatile(std::uint64_t keep_mask) {
+  if (!tracking_) return;
+  // Kept writes replay onto the durable image in original order — a later
+  // overlapping write that drained still wins, like real store ordering.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (i < 64 && ((keep_mask >> i) & 1u) == 0) continue;
+    const PendingWrite& w = pending_[i];
+    if (!w.bytes.empty())
+      std::memcpy(durable_.data() + w.off, w.bytes.data(), w.bytes.size());
+  }
+  pending_.clear();
+  media_ = durable_;
 }
 
 }  // namespace dpc::nvm

@@ -66,9 +66,43 @@ class NvmDevice {
   /// real bit-rot does).
   std::span<std::byte> raw() { return media_; }
 
+  // ---- Volatile-persistence model (dpc_check crash exploration) ----------
+  //
+  // With tracking on the device keeps a second, *durable* image: writes land
+  // in `media_` immediately (readers see them) but are queued as pending
+  // until a `persist_fence()` copies them into `durable_`. A modelled power
+  // cut then picks an arbitrary subset of the still-pending writes — any
+  // subset can have drained from the CPU write pending queue before the cut —
+  // and rolls `media_` back to durable+subset. This is what turns "the
+  // payload fence was skipped" into an observable lost/torn frame instead of
+  // an invisible ordering nit.
+
+  /// Enables/disables tracking. Enabling snapshots the current media as the
+  /// durable image; disabling drops the durable image and pending queue.
+  void set_persist_tracking(bool on);
+  bool persist_tracking() const { return tracking_; }
+
+  /// Number of writes applied to `media_` but not yet fenced durable.
+  std::size_t volatile_writes() const { return pending_.size(); }
+
+  /// Models the power cut: pending write `i` reaches the media iff bit `i`
+  /// of `keep_mask` is set; every other pending write is undone. `media_`
+  /// becomes the durable image plus the kept subset; the pending queue is
+  /// cleared. No-op unless tracking is on.
+  void drop_volatile(std::uint64_t keep_mask);
+
  private:
+  struct PendingWrite {
+    std::uint64_t off;
+    std::vector<std::byte> bytes;
+  };
+  void track_write(std::uint64_t off, std::uint64_t len);
+
   std::vector<std::byte> media_;
   fault::FaultInjector* fault_;
+  bool tracking_ = false;
+  std::vector<std::byte> durable_;       // empty unless tracking_
+  std::vector<PendingWrite> pending_;    // unfenced writes, oldest first
   obs::Counter* writes_ = nullptr;  // null without a registry
   obs::Counter* reads_ = nullptr;
   obs::Counter* fences_ = nullptr;

@@ -6,6 +6,7 @@
 
 #include "ec/crc32c.hpp"
 #include "sim/check.hpp"
+#include "sim/schedhook.hpp"
 
 namespace dpc::nvm {
 namespace {
@@ -139,7 +140,13 @@ void WriteAheadLog::note_drained(std::uint64_t ino, std::uint64_t lpn,
 
 void WriteAheadLog::maybe_checkpoint(sim::Nanos& cost) {
   sim::LockGuard lock(mu_);
-  if (!pending_.empty() || !open_intents_.empty()) return;
+  // DPC_CHECK_MUTATE wal-early-checkpoint: drop the pending/intent guard.
+  // A checkpoint then discards acked-but-undrained records — after a crash
+  // the replay has nothing to re-apply and the ack was a lie. dpc_check
+  // arms this and must see an acked write missing from recovery.
+  if (!sim::schedhook::mutate("wal-early-checkpoint")) {
+    if (!pending_.empty() || !open_intents_.empty()) return;
+  }
   if (tail_ == kDataStart && !degraded_.load(std::memory_order_acquire))
     return;
   (void)checkpoint_locked(cost);
@@ -232,8 +239,10 @@ AppendStatus WriteAheadLog::append_locked(RecordKind kind,
   }
   fault::crash_point(fault_, kCrashWalMidAppend);
   // Write-ahead ordering: the payload must be persistent before the commit
-  // record that makes it scannable.
-  dev_->persist_fence(cost);
+  // record that makes it scannable. DPC_CHECK_MUTATE wal-commit-order drops
+  // this fence — a crash may then keep the commit word without the payload,
+  // which dpc_check's crash exploration must surface as a corrupt record.
+  if (!sim::schedhook::mutate("wal-commit-order")) dev_->persist_fence(cost);
   std::uint32_t commit = ec::crc32c_u64(seq);
   commit = ec::crc32c(a, commit);
   commit = ec::crc32c(b, commit);
@@ -320,6 +329,7 @@ WalRecovery WriteAheadLog::recover_locked() {
       // Commit mismatch: the payload rotted, or the append never reached
       // its commit store. Skip the frame (its length still walks) and keep
       // scanning — a good frame beyond it proves it was rot, not a tear.
+      if (get_u32(cw, 0) != 0) out.report.commit_mismatch_nonzero++;
       out.report.corrupt++;
       corrupt_records_.add();
       trailing_bad = true;
@@ -344,10 +354,16 @@ WalRecovery WriteAheadLog::recover_locked() {
         rec.data.assign(payload.begin() + 8, payload.end());
         break;
       case RecordKind::kIntentCommit:
+        // Defensive (like kData): a commit-verified frame can still carry a
+        // shorter payload than its kind implies — e.g. a crafted or
+        // bit-rotted zero-length marker. Parse what is there; never read
+        // past the payload.
+        if (len < 8) break;
         rec.a = get_u64(payload, 0);
         break;
       case RecordKind::kDrained:
       case RecordKind::kTruncate:
+        if (len < 16) break;
         rec.a = get_u64(payload, 0);
         rec.b = get_u64(payload, 8);
         break;

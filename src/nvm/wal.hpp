@@ -113,6 +113,12 @@ struct WalScanReport {
   std::uint64_t corrupt = 0;   ///< parseable frames whose payload failed CRC
   bool torn_tail = false;      ///< log ended in an uncommitted/torn frame
   std::uint64_t live_bytes = 0;
+  /// Corrupt frames whose commit word was present (nonzero) yet mismatched
+  /// the payload. A power cut mid-append leaves the commit word *zero* (it
+  /// is the last store), so absent rot-at-rest a nonzero mismatch is
+  /// evidence the commit word became durable before its payload — a
+  /// write-ahead ordering violation. dpc_check's crash scenarios key on it.
+  std::uint64_t commit_mismatch_nonzero = 0;
 };
 
 struct WalRecovery {
@@ -179,7 +185,9 @@ class WriteAheadLog {
   std::uint64_t live_bytes() const;
   NvmDevice& device() { return *dev_; }
 
- private:
+  // ---- on-media format --------------------------------------------------
+  // Public so tests can craft and corrupt frames at exact offsets; nothing
+  // outside the log writes through these.
   static constexpr std::uint64_t kHeaderSlotBytes = 64;
   static constexpr std::uint64_t kDataStart = 2 * kHeaderSlotBytes;
   static constexpr std::uint64_t kFrameHeaderBytes = 20;
@@ -189,6 +197,7 @@ class WriteAheadLog {
   /// *unblock* checkpointing never hit kFull themselves.
   static constexpr std::uint64_t kReserveBytes = 4096;
 
+ private:
   AppendStatus append_locked(RecordKind kind, std::span<const std::byte> a,
                              std::span<const std::byte> b, sim::Nanos& cost)
       REQUIRES(mu_);

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "ec/crc32c.hpp"
+#include "sim/schedhook.hpp"
 
 namespace dpc::nvme {
 
@@ -112,14 +113,29 @@ IniDriver::Submitted IniDriver::submit(const Request& req) {
     // Sleep on the cv until release() frees a slot — deterministic wakeup,
     // and no yield() spin that could starve pollers of the core.
     if (queue_full_waits_ != nullptr) queue_full_waits_->add();
-    free_cv_.wait(lock, [this] { return !free_cids_.empty(); });
+    sim::schedhook::coop_cv_wait(free_cv_, lock,
+                                 [this] { return !free_cids_.empty(); },
+                                 "nvme.ini.cv");
+  }
+  // DPC_CHECK_MUTATE doorbell-publish: ring the doorbell *before* the SQE
+  // store — the TGT may then fetch a stale descriptor from the slot. The
+  // checker arms this and must observe the stale fetch.
+  const bool mutate_db = sim::schedhook::mutate("doorbell-publish");
+  if (mutate_db) {
+    cost += dma_->doorbell(  // dpc-lint: ok(doorbell-fence) armed mutation: rings before the publish on purpose
+        qp_->sq_tail_db_off(),
+        static_cast<std::uint16_t>((sq_tail_ + 1) % qp_->depth()));
+    if (sq_doorbells_ != nullptr) sq_doorbells_->add();
+    sim::schedhook::point("nvme.sqe_store");
   }
   const std::uint16_t cid = enqueue_locked(req, cost);
-  // Ring the doorbell (one posted MMIO write). The SQE publish (release
-  // store of the encoded descriptor) happened inside enqueue_locked.
-  // dpc-lint: ok(doorbell-fence) SQE release-stored in enqueue_locked
-  cost += dma_->doorbell(qp_->sq_tail_db_off(), sq_tail_);
-  if (sq_doorbells_ != nullptr) sq_doorbells_->add();
+  if (!mutate_db) {
+    // Ring the doorbell (one posted MMIO write). The SQE publish (release
+    // store of the encoded descriptor) happened inside enqueue_locked.
+    // dpc-lint: ok(doorbell-fence) SQE release-stored in enqueue_locked
+    cost += dma_->doorbell(qp_->sq_tail_db_off(), sq_tail_);
+    if (sq_doorbells_ != nullptr) sq_doorbells_->add();
+  }
   return {cid, cost};
 }
 
@@ -140,7 +156,9 @@ IniDriver::BatchSubmitted IniDriver::submit_batch(
         unpublished = 0;
       }
       if (queue_full_waits_ != nullptr) queue_full_waits_->add();
-      free_cv_.wait(lock, [this] { return !free_cids_.empty(); });
+      sim::schedhook::coop_cv_wait(free_cv_, lock,
+                                   [this] { return !free_cids_.empty(); },
+                                   "nvme.ini.cv");
     }
     out.cids.push_back(enqueue_locked(req, out.cost));
     ++unpublished;
@@ -221,7 +239,10 @@ Completion IniDriver::wait(std::uint16_t cid) {
         return c;
       }
     }
-    if (!poll().has_value()) std::this_thread::yield();
+    if (!poll().has_value()) {
+      sim::schedhook::spin("nvme.ini.wait");
+      std::this_thread::yield();
+    }
   }
 }
 

@@ -1,5 +1,7 @@
 #include "pcie/dma.hpp"
 
+#include "sim/schedhook.hpp"
+
 namespace dpc::pcie {
 
 const char* to_string(DmaClass c) {
@@ -55,6 +57,7 @@ sim::Nanos DmaEngine::cost_of(std::size_t bytes) {
 sim::Nanos DmaEngine::transfer(DmaDir dir, std::uint64_t src_off,
                                std::uint64_t dst_off, std::size_t n,
                                DmaClass cls) {
+  sim::schedhook::point("pcie.dma");
   if (dir == DmaDir::kHostToDpu) {
     auto src = host_->bytes(src_off, n);
     dpu_->write(dst_off, src);
@@ -68,6 +71,7 @@ sim::Nanos DmaEngine::transfer(DmaDir dir, std::uint64_t src_off,
 
 sim::Nanos DmaEngine::read_host(std::uint64_t host_off,
                                 std::span<std::byte> dst, DmaClass cls) {
+  sim::schedhook::point("pcie.dma_read");
   host_->read(host_off, dst);
   count(cls, dst.size());
   return cost_of(dst.size());
@@ -76,12 +80,14 @@ sim::Nanos DmaEngine::read_host(std::uint64_t host_off,
 sim::Nanos DmaEngine::write_host(std::uint64_t host_off,
                                  std::span<const std::byte> src,
                                  DmaClass cls) {
+  sim::schedhook::point("pcie.dma_write");
   host_->write(host_off, src);
   count(cls, src.size());
   return cost_of(src.size());
 }
 
 sim::Nanos DmaEngine::doorbell(std::uint64_t dpu_off, std::uint32_t value) {
+  sim::schedhook::point("pcie.doorbell");
   dpu_->atomic_u32(dpu_off).store(value, std::memory_order_release);
   count(DmaClass::kDoorbell, sizeof(value));
   return sim::calib::kDmaSetup;  // posted MMIO write: setup cost only

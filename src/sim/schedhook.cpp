@@ -1,0 +1,16 @@
+#include "sim/schedhook.hpp"
+
+#include "sim/check.hpp"
+
+namespace dpc::sim::schedhook {
+
+void install(const Hooks* hooks) {
+  const Hooks* expected = nullptr;
+  DPC_CHECK_MSG(detail::g_hooks.compare_exchange_strong(
+                    expected, hooks, std::memory_order_acq_rel),
+                "schedhook: a checker is already installed");
+}
+
+void uninstall() { detail::g_hooks.store(nullptr, std::memory_order_release); }
+
+}  // namespace dpc::sim::schedhook

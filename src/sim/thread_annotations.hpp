@@ -25,6 +25,7 @@
 #include <shared_mutex>
 
 #include "sim/lockrank.hpp"
+#include "sim/schedhook.hpp"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -70,12 +71,18 @@ class CAPABILITY("mutex") AnnotatedMutex {
   AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
 
   void lock() ACQUIRE() {
+    // Model-checker decision point: a preemption directly before the
+    // acquire is the canonical racy interleaving.
+    schedhook::point(name_);
     // Rank check first: a violation must throw with the mutex untouched,
     // so the error is reportable instead of wedging later unlocks.
     lockrank::acquire(this, rank_, name_);
-    mu_.lock();
+    // Under the checker the blocking lock becomes try/spin so the single
+    // runnable token keeps moving; plain blocking lock otherwise.
+    schedhook::coop_lock(mu_, name_);
   }
   bool try_lock() TRY_ACQUIRE(true) {
+    schedhook::point(name_);
     if (!mu_.try_lock()) return false;
     try {
       lockrank::acquire(this, rank_, name_);
@@ -86,6 +93,9 @@ class CAPABILITY("mutex") AnnotatedMutex {
     return true;
   }
   void unlock() RELEASE() {
+    // point_noexcept: guard destructors land here; a throwing point would
+    // escape their noexcept frame and terminate.
+    schedhook::point_noexcept(name_);
     lockrank::release(this);
     mu_.unlock();
   }
@@ -112,12 +122,14 @@ class CAPABILITY("shared_mutex") AnnotatedSharedMutex {
   AnnotatedSharedMutex& operator=(const AnnotatedSharedMutex&) = delete;
 
   void lock() ACQUIRE() {
+    schedhook::point(name_);
     // Rank check first: a violation must throw with the mutex untouched,
     // so the error is reportable instead of wedging later unlocks.
     lockrank::acquire(this, rank_, name_);
-    mu_.lock();
+    schedhook::coop_lock(mu_, name_);
   }
   bool try_lock() TRY_ACQUIRE(true) {
+    schedhook::point(name_);
     if (!mu_.try_lock()) return false;
     try {
       lockrank::acquire(this, rank_, name_);
@@ -128,15 +140,20 @@ class CAPABILITY("shared_mutex") AnnotatedSharedMutex {
     return true;
   }
   void unlock() RELEASE() {
+    // point_noexcept: guard destructors land here; a throwing point would
+    // escape their noexcept frame and terminate.
+    schedhook::point_noexcept(name_);
     lockrank::release(this);
     mu_.unlock();
   }
 
   void lock_shared() ACQUIRE_SHARED() {
+    schedhook::point(name_);
     lockrank::acquire(this, rank_, name_, /*shared=*/true);
-    mu_.lock_shared();
+    schedhook::coop_lock_shared(mu_, name_);
   }
   bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    schedhook::point(name_);
     if (!mu_.try_lock_shared()) return false;
     try {
       lockrank::acquire(this, rank_, name_, /*shared=*/true);
@@ -147,6 +164,7 @@ class CAPABILITY("shared_mutex") AnnotatedSharedMutex {
     return true;
   }
   void unlock_shared() RELEASE_SHARED() {
+    schedhook::point_noexcept(name_);
     lockrank::release(this);
     mu_.unlock_shared();
   }

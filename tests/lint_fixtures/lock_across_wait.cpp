@@ -1,0 +1,48 @@
+// dpc_lint negative fixture: lock-across-wait.
+//
+// A sim:: guard held across a modelled-time wait (IniDriver::wait / a DMA
+// burst). Compiled into the build (never linked into a test) so the AST
+// engine sees it in compile_commands.json; `dpc_lint --selftest` requires
+// the annotated finding to fire under both engines. The sim:: types are
+// local stand-ins — the lint rules key on the spellings, and pulling the
+// real headers in would drag unrelated findings into the selftest.
+#include <cstdint>
+
+namespace sim {
+struct FixtureMutex {};
+class LockGuard {
+ public:
+  explicit LockGuard(FixtureMutex& mu) : mu_(&mu) {}
+  ~LockGuard() { mu_ = nullptr; }
+
+ private:
+  FixtureMutex* mu_;
+};
+}  // namespace sim
+
+namespace dpc::lint_fixture {
+
+struct IniStub {
+  std::uint32_t last = 0;
+  std::uint32_t wait(std::uint16_t cid) {
+    last = cid;
+    return last;
+  }
+};
+
+// The guard from the first line is still held when wait() spins on the
+// completion — exactly the shape the rule exists to reject.
+std::uint32_t completion_under_lock(sim::FixtureMutex& mu, IniStub& ini) {
+  sim::LockGuard g(mu);
+  return ini.wait(7);  // expect: lock-across-wait
+}
+
+// Control: the guard's scope closes before the wait — must NOT be flagged.
+std::uint32_t completion_after_unlock(sim::FixtureMutex& mu, IniStub& ini) {
+  {
+    sim::LockGuard g(mu);
+  }
+  return ini.wait(9);
+}
+
+}  // namespace dpc::lint_fixture

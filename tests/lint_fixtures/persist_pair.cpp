@@ -1,0 +1,46 @@
+// dpc_lint negative fixture: persist-pair (and wal-commit-order).
+//
+// A commit word published with no persist fence anywhere in the function:
+// the window-local wal-commit-order rule sees the missing fence in the
+// lookback, and persist-pair sees the function-level count mismatch (one
+// publish, zero fences). The device is a local stand-in with the real
+// method spellings.
+#include <cstdint>
+
+namespace dpc::lint_fixture {
+
+using Nanos = std::int64_t;
+
+struct FixtureNvmDev {
+  Nanos fence_cost = 0;
+  Nanos write_cost = 0;
+  void persist_fence(Nanos& cost) { cost += fence_cost; }
+  bool publish_commit_word(std::uint64_t off, std::uint32_t commit,
+                           Nanos& cost) {
+    cost += write_cost;
+    return off != 0 && commit != 0;
+  }
+};
+
+// --- padding -------------------------------------------------------------
+// The wal-commit-order rule scans a 15-line lookback window for a fence;
+// the member definitions above spell `persist_fence(`, so this comment
+// block pushes the offending call safely past the window. The padding is
+// part of the fixture: without it the lookback would see the *definition*
+// and the negative test would go quiet.
+// -------------------------------------------------------------------------
+
+// The payload at `off` was written but never fenced durable; publishing the
+// commit word now lets a power cut validate bytes that never reached
+// media. Both rules must fire on the call line.
+bool commit_without_fence(FixtureNvmDev& dev, Nanos& cost) {
+  return dev.publish_commit_word(640, 0x600DF00Du, cost);  // expect: persist-pair, wal-commit-order
+}
+
+// Control: fence first, then publish — must NOT be flagged.
+bool commit_with_fence(FixtureNvmDev& dev, Nanos& cost) {
+  dev.persist_fence(cost);
+  return dev.publish_commit_word(768, 0x600DF00Du, cost);
+}
+
+}  // namespace dpc::lint_fixture

@@ -1,0 +1,38 @@
+// dpc_lint negative fixture: sqe-tenant-drop.
+//
+// An SQE builder (encode_* taking a *Cmd parameter) that fills the wire
+// words but never references the command's tenant field — DW10[31:24]
+// silently encodes tenant 0 and the I/O escapes QoS attribution. The types
+// are local stand-ins so the fixture trips exactly this rule.
+#include <cstdint>
+
+namespace dpc::lint_fixture {
+
+struct FixtureFsCmd {
+  std::uint8_t opcode = 0;
+  std::uint8_t tenant = 0;
+  std::uint32_t write_len = 0;
+};
+
+struct FixtureSqeWords {
+  std::uint32_t dw10 = 0;
+  std::uint32_t dw12 = 0;
+};
+
+FixtureSqeWords encode_fixture_write(const FixtureFsCmd& cmd) {  // expect: sqe-tenant-drop
+  FixtureSqeWords w;
+  w.dw10 = cmd.opcode;
+  w.dw12 = cmd.write_len;
+  return w;
+}
+
+// Control: the same builder with the stamp — must NOT be flagged.
+FixtureSqeWords encode_fixture_read(const FixtureFsCmd& cmd) {
+  FixtureSqeWords w;
+  w.dw10 = cmd.opcode |
+           (static_cast<std::uint32_t>(cmd.tenant) << 24);
+  w.dw12 = cmd.write_len;
+  return w;
+}
+
+}  // namespace dpc::lint_fixture

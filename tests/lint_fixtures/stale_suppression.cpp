@@ -1,0 +1,31 @@
+// dpc_lint negative fixture: stale-suppression.
+//
+// A `// dpc-lint: ok(<rule>)` that suppresses nothing — the code it once
+// excused was fixed or moved, and the comment now only misleads readers
+// into thinking a violation lives here. The linter must call it out.
+#include <chrono>
+#include <cstdint>
+
+namespace dpc::lint_fixture {
+
+inline std::uint32_t answer() {
+  std::uint32_t v = 42;  // dpc-lint: ok(raw-mutex) nothing left to excuse  // expect: stale-suppression
+  return v;
+}
+
+// A suppression naming a rule that does not exist is stale by definition
+// (a typo, or the rule was retired).
+inline std::uint32_t answer2() {
+  std::uint32_t v = 43;  // dpc-lint: ok(no-such-rule)  // expect: stale-suppression
+  return v;
+}
+
+// Control: a suppression that earns its keep — the line would otherwise
+// trip wall-clock — must NOT be reported stale.
+inline std::int64_t boot_stamp() {
+  return std::chrono::high_resolution_clock::now()  // dpc-lint: ok(wall-clock) fixture control: suppression in active use
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace dpc::lint_fixture

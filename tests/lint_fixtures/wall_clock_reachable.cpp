@@ -1,0 +1,29 @@
+// dpc_lint negative fixture: wall-clock-reachable (and plain wall-clock).
+//
+// A modelled-time function (sim::Nanos in its signature) that launders a
+// real-clock read through a helper in the same translation unit. The
+// per-line wall-clock rule flags the read itself under both engines; the
+// AST engine additionally walks the call graph and flags the modelled-time
+// entry point that reaches it.
+#include <chrono>
+#include <cstdint>
+
+namespace sim {
+using Nanos = std::int64_t;
+}  // namespace sim
+
+namespace dpc::lint_fixture {
+
+inline std::int64_t read_real_clock() {
+  return std::chrono::high_resolution_clock::now()  // expect: wall-clock
+      .time_since_epoch()
+      .count();
+}
+
+// Modelled-time code must derive cost from the model, never from the host
+// clock this helper hides.
+inline sim::Nanos laundered_cost(sim::Nanos base) {  // expect-ast: wall-clock-reachable
+  return base + (read_real_clock() & 0xff);
+}
+
+}  // namespace dpc::lint_fixture

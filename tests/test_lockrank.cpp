@@ -13,6 +13,8 @@
 #include "sim/lockrank.hpp"
 #include "sim/thread_annotations.hpp"
 
+#include "core/dpc_system.hpp"
+
 namespace dpc::sim {
 namespace {
 
@@ -96,6 +98,43 @@ TEST_F(LockRankFixture, SharedAcquisitionsParticipate) {
   AnnotatedMutex hi{"t.hi2", LockRank::kSystem};
   SharedLockGuard s(rw);
   EXPECT_THROW(hi.lock(), LockOrderError);
+}
+
+TEST_F(LockRankFixture, PumpLocksUnderRestartFollowIndexOrder) {
+  // restart_dpu()'s all-queue pump freeze takes every per-queue pump lock in
+  // index order. All pump locks share one rank, so the rank check alone says
+  // nothing — the acquired-before graph must pin the order. After a restart
+  // has seeded edge q0 -> q1, a pump-mode caller repeating that order is
+  // clean and a reversed acquisition is reported as a cycle.
+  core::DpcOptions o;
+  o.queues = 2;
+  o.queue_depth = 8;
+  o.max_io = 128 * 1024;
+  o.enable_cache = false;
+  o.with_dfs = false;
+  o.dpu_workers = 1;
+  core::DpcSystem sys(o);
+  ASSERT_GE(sys.pump_queue_count(), 2);
+
+  const auto rep = sys.restart_dpu();  // index-order freeze: records q0 -> q1
+  EXPECT_TRUE(rep.clean());
+  {
+    LockGuard l0(sys.pump_lock_for_test(0));
+    LockGuard l1(sys.pump_lock_for_test(1));  // same order as the freeze
+  }
+
+  LockGuard l1(sys.pump_lock_for_test(1));
+  try {
+    LockGuard l0(sys.pump_lock_for_test(0));
+    FAIL() << "reversed pump-lock acquisition not detected";
+  } catch (const LockOrderError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dpc.pump"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("opposite order was first taken while holding"),
+              std::string::npos)
+        << msg;
+  }
 }
 
 TEST_F(LockRankFixture, RecursiveAcquisitionThrows) {

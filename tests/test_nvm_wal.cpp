@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cerrno>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "cache/control_plane.hpp"
+#include "ec/crc32c.hpp"
 #include "core/dpc_system.hpp"
 #include "fault/injector.hpp"
 #include "kvfs/fsck.hpp"
@@ -115,6 +119,102 @@ TEST(NvmWalUnit, TornAppendDetectedAndOverwritten) {
   // the scan classifies it corrupt rather than torn); monotonicity is the
   // contract, not density.
   EXPECT_GT(rec3.records[2].seq, rec3.records[1].seq);
+}
+
+TEST(NvmWalUnit, TornEpochHeaderFallsBackToCommittedRecords) {
+  // Torn-tail edge: every frame's commit word is durable, but the power cut
+  // landed mid-checkpoint — the NEW epoch header slot is torn. The scan
+  // must fall back to the intact old-epoch header and walk the still-present
+  // frames again (idempotent re-replay) rather than trust half a header and
+  // lose acked records.
+  obs::Registry reg;
+  NvmDevice dev(kDev, nullptr, &reg);
+  WriteAheadLog wal(dev, reg);
+  sim::Nanos c{};
+
+  const auto p0 = page(4096, 7);
+  ASSERT_EQ(wal.append_data(7, 3, p0, c), AppendStatus::kOk);
+  wal.note_drained(7, 3, c);
+  wal.maybe_checkpoint(c);  // epoch 1 -> 2: new header lands in slot 0
+  ASSERT_EQ(wal.live_bytes(), 0u);
+
+  // Tear the epoch-2 slot (even epoch -> slot 0). Its CRC now fails, so
+  // only the epoch-1 slot is readable — exactly the state a crash between
+  // the header write and its persist fence leaves behind.
+  dev.raw()[8] ^= std::byte{0x01};
+  const auto rec = wal.recover();
+  EXPECT_FALSE(rec.report.torn_tail);
+  ASSERT_EQ(rec.report.scanned, 2u);  // the data frame and its drain marker
+  EXPECT_EQ(rec.records[0].kind, RecordKind::kData);
+  EXPECT_EQ(rec.records[0].a, 7u);
+  EXPECT_EQ(rec.records[0].b, 3u);
+  EXPECT_EQ(rec.records[0].data,
+            std::vector<std::byte>(p0.begin(), p0.end()));
+  EXPECT_EQ(rec.records[1].kind, RecordKind::kDrained);
+  // The re-scanned drain marker still supersedes the logged page.
+  EXPECT_EQ(wal.pending_pages(), 0u);
+
+  // The rolled-back log is fully usable: the next checkpoint rewrites the
+  // torn slot and retires the old epoch for good.
+  wal.maybe_checkpoint(c);
+  const auto rec2 = wal.recover();
+  EXPECT_EQ(rec2.report.scanned, 0u);
+  EXPECT_FALSE(rec2.report.torn_tail);
+}
+
+TEST(NvmWalUnit, ZeroLengthMarkerFrameAtReserveBoundary) {
+  // Torn-tail edge: the shortest frame the format admits — zero-length
+  // payload, header + commit word only — sitting flush at the marker
+  // reserve boundary. The scan must parse it without reading past the empty
+  // payload and must keep walking records cleanly to the true end of log.
+  constexpr std::uint64_t kFrame = WriteAheadLog::kFrameHeaderBytes + 16 +
+                                   4096 + WriteAheadLog::kCommitBytes;
+  // Sized so two data appends land the tail exactly on the bulky limit
+  // (size - reserve): the crafted marker then occupies the first reserve
+  // bytes, where only bookkeeping records may live.
+  constexpr std::uint64_t kSize =
+      WriteAheadLog::kDataStart + 2 * kFrame + WriteAheadLog::kReserveBytes;
+  obs::Registry reg;
+  NvmDevice dev(kSize, nullptr, &reg);
+  WriteAheadLog wal(dev, reg);
+  sim::Nanos c{};
+
+  const auto p0 = page(4096, 1);
+  ASSERT_EQ(wal.append_data(1, 0, p0, c), AppendStatus::kOk);
+  ASSERT_EQ(wal.append_data(1, 1, p0, c), AppendStatus::kOk);
+  EXPECT_EQ(wal.live_bytes(), 2 * kFrame);
+  // Bulky appends are refused at the boundary; the reserve is intact.
+  EXPECT_EQ(wal.append_data(1, 2, p0, c), AppendStatus::kFull);
+
+  // Hand-craft the zero-length kDrained frame at the boundary: valid header
+  // CRC, len = 0, next expected seq, valid commit word over just the seq.
+  const std::uint64_t off = WriteAheadLog::kDataStart + 2 * kFrame;
+  std::array<std::byte, WriteAheadLog::kFrameHeaderBytes +
+                            WriteAheadLog::kCommitBytes>
+      f{};
+  const std::uint64_t seq = 3;
+  std::memcpy(f.data() + 8, &seq, sizeof(seq));
+  f[16] = std::byte{4};  // RecordKind::kDrained
+  const std::uint32_t hcrc = ec::crc32c(std::span<const std::byte>(f).subspan(
+      4, WriteAheadLog::kFrameHeaderBytes - 4));
+  std::memcpy(f.data(), &hcrc, sizeof(hcrc));
+  const std::uint32_t commit = ec::crc32c_u64(seq);
+  std::memcpy(f.data() + WriteAheadLog::kFrameHeaderBytes, &commit,
+              sizeof(commit));
+  std::copy(f.begin(), f.end(), dev.raw().begin() + off);
+
+  const auto rec = wal.recover();
+  EXPECT_FALSE(rec.report.torn_tail);
+  ASSERT_EQ(rec.report.scanned, 3u);
+  EXPECT_EQ(rec.records[2].kind, RecordKind::kDrained);
+  EXPECT_EQ(rec.records[2].a, 0u);  // defensive parse: no fields to read
+  // A zero-length drain names no page: both real pages stay pending.
+  EXPECT_EQ(wal.pending_pages(), 2u);
+
+  // Appending resumes after the crafted frame — real drain markers still
+  // fit in what is left of the reserve.
+  wal.note_drained(1, 0, c);
+  EXPECT_EQ(wal.pending_pages(), 1u);
 }
 
 TEST(NvmWalUnit, RotInPayloadSkippedNotFatal) {
