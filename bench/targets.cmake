@@ -38,3 +38,4 @@ dpc_bench(ablation_offload)
 dpc_bench(chaos_recovery)
 dpc_bench(qos_antagonist)
 dpc_bench(nvmlog)
+dpc_bench(tail_tolerance)

@@ -39,6 +39,11 @@
 #            stage) and the nvmlog bench (BENCH_nvmlog.json), which asserts
 #            fsync p99(WAL off) ≥ 5× p99(WAL on) and graceful ring-full
 #            degradation internally.
+#   tail   — gray-failure tolerance tier: the fail-slow / health-scoreboard
+#            / hedged-read tests swept over several seeds (plain + tsan) and
+#            the tail_tolerance bench (BENCH_tail.json), which asserts the
+#            tail SLO internally: limping-peer p99 ≤ 2× healthy with the
+#            scoreboard on, ≥ 10× with it off.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -48,6 +53,7 @@ JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS=(1 7 1337)
 CRASH_SEEDS=(1 2 3 5 7 11 13 1337)
 SCRUB_SEEDS=(1 7 42 1337 90210)
+TAIL_SEEDS=(1 7 1337)
 
 # Fail fast when the clang toolchain is missing. Silently skipping the AST
 # lint + tidy/format gates turns them into checks that only ever ran on the
@@ -196,5 +202,21 @@ echo "--- nvm log bench ---"
 # aborts non-zero on violation.
 (cd build && ./bench/nvmlog --csv >/dev/null)
 test -f build/BENCH_nvmlog.json
+
+echo "=== tail stage ==="
+for seed in "${TAIL_SEEDS[@]}"; do
+  echo "--- tail seed $seed (plain) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build --output-on-failure \
+    -j "$JOBS" -R 'Tail|Hedge'
+  echo "--- tail seed $seed (tsan) ---"
+  DPC_FAULT_SEED="$seed" ctest --test-dir build-tsan --output-on-failure \
+    -j "$JOBS" -R 'Tail|Hedge'
+done
+echo "--- tail tolerance bench ---"
+# The bench DPC_CHECKs its own tail SLO (limping-peer p99 ≤ 2× healthy with
+# the health scoreboard + hedging on, ≥ 10× with them off; hedge budget
+# respected; quarantine round-trips) and aborts non-zero on violation.
+(cd build && ./bench/tail_tolerance --csv >/dev/null)
+test -f build/BENCH_tail.json
 
 echo "=== ci OK ==="

@@ -205,6 +205,13 @@ PERSIST_CALL_RE = re.compile(r"(?:\.|->)\s*persist_fence\s*\(")
 ENCODE_DEF_RE = re.compile(r"\b(?P<name>encode_\w+)\s*\((?P<args>[^)]*)\)")
 TENANT_REF_RE = re.compile(r"\btenant\b")
 
+# fixed-deadline: the health-scored backends (src/dfs/, src/kv/) derive
+# their waits from HealthBoard::deadline() — the scaled observed p99 — not
+# from the fixed calib timeout constants, which can neither track a slow
+# regime nor cut a gray-failing one short. The no-board fallback keeps the
+# constant under an explicit `// dpc-lint: ok(fixed-deadline)`.
+FIXED_DEADLINE_RE = re.compile(r"\bk(?:KvOp|NvmeCommand)Timeout\b")
+
 ALL_RULES = (
     "raw-mutex",
     "raw-guard",
@@ -221,6 +228,7 @@ ALL_RULES = (
     "sqe-tenant-drop",
     "persist-pair",
     "stale-suppression",
+    "fixed-deadline",
 )
 
 # Rules the regex engine checks completely enough to judge a suppression
@@ -283,6 +291,8 @@ def lint_file(path: Path, findings: list[Finding],
     in_wrapper = rel in WRAPPER_FILES
     in_sim = rel.startswith("src/sim/")
     nvm_scope = rel.startswith("src/nvm/") or in_fixtures(rel)
+    deadline_scope = (rel.startswith("src/dfs/") or rel.startswith("src/kv/")
+                      or in_fixtures(rel))
     lockfree_tag: str | None = None
     lockfree_open_line = 0
     # persist-pair accumulators, reset at each column-0 closing brace.
@@ -387,6 +397,16 @@ def lint_file(path: Path, findings: list[Finding],
                 path, n, "wall-clock",
                 "steady_clock inside the time model — src/sim/ must be "
                 "clock-free"))
+
+        if (deadline_scope and FIXED_DEADLINE_RE.search(line)
+                and not ctx.suppressed(i, "fixed-deadline")):
+            findings.append(Finding(
+                path, n, "fixed-deadline",
+                "fixed timeout constant on a health-scored backend path — "
+                "cut retries at HealthBoard::deadline() (scaled observed "
+                "p99) so the wait tracks the peer's actual regime; keep "
+                "the calib constant only as the no-board fallback under an "
+                "explicit ok(fixed-deadline)"))
 
         tenant_decl = TENANT_DECL_RE.search(line)
         if tenant_decl and not ctx.suppressed(i, "tenant-id"):

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <utility>
 
 #include "ec/crc32c.hpp"
 #include "sim/check.hpp"
@@ -16,6 +18,7 @@ OpProfile& OpProfile::operator+=(const OpProfile& o) {
   mds += o.mds;
   ds += o.ds;
   net += o.net;
+  crit += o.crit;
   mds_ops += o.mds_ops;
   ds_ops += o.ds_ops;
   forwards += o.forwards;
@@ -106,18 +109,30 @@ int MdsCluster::home_of(Ino ino) const {
   return static_cast<int>((ino * 0x9e3779b97f4a7c15ULL >> 32) % mds_.size());
 }
 
+void MdsCluster::enable_health(obs::Registry* registry,
+                               const fault::HealthConfig& cfg) {
+  health_ =
+      std::make_unique<fault::HealthBoard>("mds", servers(), cfg, registry);
+}
+
 void MdsCluster::charge(int home, int entry, bool direct,
                         OpProfile& prof) const {
   using namespace sim::calib;
-  prof.net += kNetHop * 2;  // client ↔ MDS round trip
-  prof.mds += kMdsOp;
-  ++prof.mds_ops;
+  sim::Nanos net = kNetHop * 2;  // client ↔ MDS round trip
+  sim::Nanos svc = kMdsOp;
   if (!direct && home != entry) {
     // Entry-MDS proxying: an extra hop and the forwarding work.
-    prof.net += kNetHop * 2;
-    prof.mds += kMdsForward;
+    net += kNetHop * 2;
+    svc += kMdsForward;
     ++prof.forwards;
   }
+  // Gray failure: the home MDS may limp (sustained multiplier and/or
+  // intermittent stall), stretching this RPC's service time.
+  if (fault_ != nullptr) svc += fault_->slow_penalty(kFaultMdsSlow, home, svc);
+  prof.net += net;
+  prof.mds += svc;
+  ++prof.mds_ops;
+  if (health_ != nullptr) health_->record(home, net + svc, true);
 }
 
 void MdsCluster::register_recall(ClientId client, RecallFn fn) {
@@ -316,12 +331,24 @@ DataServers::DataServers(int servers, fault::FaultInjector* fault,
     breakers_.push_back(
         std::make_unique<fault::CircuitBreaker>(breaker_cfg, registry));
   }
+  registry_ = registry;
   if (registry != nullptr) {
     failed_reads_ = &registry->counter("dfs.ds/failed_reads");
     failed_writes_ = &registry->counter("dfs.ds/failed_writes");
     corrupt_reads_ = &registry->counter("dfs.ds/corrupt_reads");
     shard_repairs_ = &registry->counter("dfs.ds/shard_repairs");
+    hedge_.issued = &registry->counter("hedge/issued");
+    hedge_.won = &registry->counter("hedge/won");
+    hedge_.wasted = &registry->counter("hedge/wasted");
+    hedge_.cancelled = &registry->counter("hedge/cancelled");
+    hedge_.denied = &registry->counter("hedge/denied");
+    hedge_.primary = &registry->counter("dfs.ds/primary_reads");
   }
+}
+
+void DataServers::enable_health(const fault::HealthConfig& cfg) {
+  health_ = std::make_unique<fault::HealthBoard>("ds", servers(), cfg,
+                                                 registry_);
 }
 
 void DataServers::fail_server(int server) {
@@ -375,47 +402,114 @@ int DataServers::server_of(Ino ino, std::uint64_t stripe,
   return static_cast<int>((ino + stripe + role) % servers_.size());
 }
 
-bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
-                             std::span<std::byte> dst, OpProfile& prof,
-                             bool* failed, bool* corrupt) {
-  if (failed != nullptr) *failed = false;
-  if (corrupt != nullptr) *corrupt = false;
+DataServers::ShardAttempt DataServers::probe_read_shard(
+    Ino ino, std::uint64_t stripe, std::uint32_t role,
+    std::span<std::byte> dst) {
+  ShardAttempt a;
   const int server = server_of(ino, stripe, role);
   if (gated()) {
-    bool fast = false;
-    if (access_fails(server, kFaultDsReadShard, /*is_read=*/true, dst.size(),
-                     prof, fast)) {
+    // Quarantine gate first: a peer the health board has sidelined is
+    // skipped before the breaker or the wire (every Nth access slips
+    // through as a reintegration probe). Skipping costs nothing.
+    if (health_ != nullptr && !health_->allow(server)) {
+      a.failed = true;
+      a.fast_failed = true;
       if (failed_reads_ != nullptr) failed_reads_->add();
-      if (failed != nullptr) *failed = true;
       std::memset(dst.data(), 0, dst.size());
-      return false;
+      return a;
+    }
+    bool fast = false;
+    OpProfile down_charge;
+    if (access_fails(server, kFaultDsReadShard, /*is_read=*/true, dst.size(),
+                     down_charge, fast)) {
+      a.failed = true;
+      a.fast_failed = fast;
+      if (!fast) {
+        if (health_ != nullptr) {
+          // The attempt went to the wire and died. With a health board the
+          // wait is the *adaptive* deadline (recorded as a censored
+          // timeout), replacing access_fails' fixed per-op charge.
+          const sim::Nanos dl = health_->deadline();
+          a.latency = dl;
+          a.charge.ds += dl;
+          a.charge.net += sim::calib::kNetHop * 2;
+          ++a.charge.ds_ops;
+          health_->record(server, dl, /*ok=*/false);
+        } else {
+          a.charge = down_charge;
+          a.latency =
+              sim::calib::kDataServerOp + shard_net_cost(true, dst.size());
+        }
+      }
+      if (failed_reads_ != nullptr) failed_reads_->add();
+      std::memset(dst.data(), 0, dst.size());
+      return a;
     }
   }
-  prof.ds += sim::calib::kDataServerOp;
-  prof.net += shard_net_cost(true, dst.size());
-  ++prof.ds_ops;
+  sim::Nanos svc = sim::calib::kDataServerOp;
+  const sim::Nanos net = shard_net_cost(true, dst.size());
+  if (fault_ != nullptr)
+    svc += fault_->slow_penalty(kFaultDsSlow, server, svc + net);
+  const sim::Nanos total = svc + net;
+  if (health_ != nullptr) {
+    const sim::Nanos dl = health_->deadline();
+    if (total.ns > dl.ns) {
+      // Gray failure: the answer exists but won't arrive inside the
+      // adaptive deadline — a modelled timeout. It strikes the health board
+      // (the slow tier), not the breaker: the server is up, not down, and
+      // opening a binary breaker on slowness would conflate the two.
+      a.failed = true;
+      a.latency = dl;
+      a.charge.ds += dl;
+      a.charge.net += sim::calib::kNetHop * 2;
+      ++a.charge.ds_ops;
+      health_->record(server, dl, /*ok=*/false);
+      if (failed_reads_ != nullptr) failed_reads_->add();
+      std::memset(dst.data(), 0, dst.size());
+      return a;
+    }
+    health_->record(server, total, /*ok=*/true);
+  }
+  a.latency = total;
+  a.charge.ds += svc;
+  a.charge.net += net;
+  ++a.charge.ds_ops;
   Server& sv = servers_[static_cast<std::size_t>(server)];
   sim::SharedLockGuard lock(sv.mu);
   const auto it = sv.shards.find(Key{ino, stripe, role});
   if (it == sv.shards.end()) {
+    a.hole = true;
     std::memset(dst.data(), 0, dst.size());
-    return false;
+    return a;
   }
   if (stamp_shard_crc(ino, stripe, role, it->second.data) !=
       it->second.crc) {
     // Damaged at rest. Report a *failure*, not a hole: zeros here would be
     // silently wrong data, and "absent" semantics would let a reconstruct
     // treat the rot as an erasure it can't tell from a legitimate hole.
+    // The answer arrived on time, so health records it ok above — corruption
+    // is not slowness, and neither the breaker nor quarantine should trip.
     if (corrupt_reads_ != nullptr) corrupt_reads_->add();
-    if (failed != nullptr) *failed = true;
-    if (corrupt != nullptr) *corrupt = true;
+    a.failed = true;
+    a.corrupt = true;
     std::memset(dst.data(), 0, dst.size());
-    return false;
+    return a;
   }
   const auto n = std::min(dst.size(), it->second.data.size());
   std::memcpy(dst.data(), it->second.data.data(), n);
   if (n < dst.size()) std::memset(dst.data() + n, 0, dst.size() - n);
-  return true;
+  a.ok = true;
+  return a;
+}
+
+bool DataServers::read_shard(Ino ino, std::uint64_t stripe, std::uint32_t role,
+                             std::span<std::byte> dst, OpProfile& prof,
+                             bool* failed, bool* corrupt) {
+  ShardAttempt a = probe_read_shard(ino, stripe, role, dst);
+  commit_attempt(a, prof);
+  if (failed != nullptr) *failed = a.failed;
+  if (corrupt != nullptr) *corrupt = a.corrupt;
+  return a.ok;
 }
 
 void DataServers::write_shard(Ino ino, std::uint64_t stripe,
@@ -438,9 +532,17 @@ void DataServers::write_shard(Ino ino, std::uint64_t stripe,
       return;
     }
   }
-  prof.ds += sim::calib::kDataServerOp;
-  prof.net += shard_net_cost(false, src.size());
+  sim::Nanos svc = sim::calib::kDataServerOp;
+  const sim::Nanos net = shard_net_cost(false, src.size());
+  if (fault_ != nullptr)
+    svc += fault_->slow_penalty(kFaultDsSlow, server, svc + net);
+  prof.ds += svc;
+  prof.net += net;
   ++prof.ds_ops;
+  // Writes have no deadline cut: timing out a write that in fact landed
+  // would invalidate the shard and amplify a limp into repair churn.
+  // Sustained write slowness still feeds the scoreboard and quarantine.
+  if (health_ != nullptr) health_->record(server, svc + net, /*ok=*/true);
   sim::LockGuard lock(sv.mu);
   StoredShard& st = sv.shards[Key{ino, stripe, role}];
   st.data.assign(src.begin(), src.end());
@@ -775,6 +877,384 @@ bool replicated_read_any(DataServers& ds, const FileMeta& meta,
     }
     if (!got) return false;
     std::memcpy(dst.data() + done, shard.data() + in_unit, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- hedged reads
+//
+// The hedged engines model each stripe (or replica group) as a fan-out on a
+// local timeline: every attempt is *staged* via probe_read_shard (outcome
+// and cost known, nothing charged), completion events are ordered, and only
+// the attempts that finished by the winning time commit their costs. An
+// attempt still in flight when the op completes is a cancelled loser — it
+// charges nothing, exactly like a real cancellation releasing the slot.
+
+namespace {
+
+constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max();
+
+/// A shard attempt staged on the fan-out timeline.
+struct HedgedAttempt {
+  bool issued = false;
+  bool speculative = false;  ///< budgeted hedge (vs primary / mandatory)
+  sim::Nanos start{};        ///< when the attempt launched
+  DataServers::ShardAttempt a;
+  std::vector<std::byte> buf;
+};
+
+/// When the attempt's outcome is known: answers (clean, hole, corrupt) and
+/// deadline timeouts at start+latency; breaker/quarantine fast-fails
+/// immediately (latency is zero).
+std::int64_t done_at(const HedgedAttempt& at) {
+  return at.start.ns + at.a.latency.ns;
+}
+
+/// Maps server → position in the board's healthiest-first ranking.
+std::vector<int> rank_by_health(const fault::HealthBoard& board, int servers) {
+  std::vector<int> rank(static_cast<std::size_t>(servers), 0);
+  const std::vector<int> order = board.ranked();
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rank[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  return rank;
+}
+
+}  // namespace
+
+bool hedged_striped_read(DataServers& ds, const ec::ReedSolomon& rs,
+                         const FileMeta& meta, std::uint64_t offset,
+                         std::span<std::byte> dst, OpProfile& prof,
+                         bool* reconstructed) {
+  DPC_CHECK(meta.redundancy == Redundancy::kErasure);
+  fault::HealthBoard* board = ds.health();
+  DPC_CHECK(board != nullptr);  // callers enable health before hedging
+  const DataServers::HedgeCounters& hc = ds.hedge_counters();
+  const std::uint32_t unit = meta.stripe_unit;
+  const int k = meta.k;
+  const int m = meta.m;
+  const int total = k + m;
+  DPC_CHECK(rs.data_shards() == k && rs.parity_shards() == m);
+  const std::uint64_t stripe_bytes = std::uint64_t{unit} * k;
+  if (reconstructed != nullptr) *reconstructed = false;
+
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::uint64_t stripe = (offset + done) / stripe_bytes;
+
+    // Which data roles this stripe contributes, and where each chunk lands.
+    std::vector<bool> needed(static_cast<std::size_t>(total), false);
+    std::vector<std::uint32_t> r_in(static_cast<std::size_t>(total), 0);
+    std::vector<std::uint32_t> r_chunk(static_cast<std::size_t>(total), 0);
+    std::vector<std::size_t> r_dst(static_cast<std::size_t>(total), 0);
+    std::size_t local = done;
+    while (local < dst.size() && (offset + local) / stripe_bytes == stripe) {
+      const std::uint64_t in_stripe = (offset + local) % stripe_bytes;
+      const auto d = static_cast<std::size_t>(in_stripe / unit);
+      const auto in_shard = static_cast<std::uint32_t>(in_stripe % unit);
+      const auto chunk = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(dst.size() - local, unit - in_shard));
+      needed[d] = true;
+      r_in[d] = in_shard;
+      r_chunk[d] = chunk;
+      r_dst[d] = local;
+      local += chunk;
+    }
+
+    // Primary wave: the needed data shards, fanned out at t = 0. A primary
+    // on an already-quarantined server is *known suspect before issue* —
+    // whether the gate skips it or lets a reintegration probe through, the
+    // covering extras launch immediately (t = 0) and race the probe instead
+    // of waiting out its deadline.
+    std::vector<HedgedAttempt> atts(static_cast<std::size_t>(total));
+    bool any_primary_failed = false;
+    bool any_suspect = false;
+    sim::Nanos t1{};  // all-primaries completion: slowest usable arrival
+    std::uint64_t primaries = 0;
+    for (int d = 0; d < k; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      if (!needed[di]) continue;
+      HedgedAttempt& at = atts[di];
+      at.buf.resize(unit);
+      if (board->quarantined(
+              ds.server_of(meta.ino, stripe, static_cast<std::uint32_t>(d))))
+        any_suspect = true;
+      at.a = ds.probe_read_shard(meta.ino, stripe,
+                                 static_cast<std::uint32_t>(d), at.buf);
+      at.issued = true;
+      ++primaries;
+      if (at.a.failed)
+        any_primary_failed = true;
+      else
+        t1 = std::max(t1, at.a.latency);
+    }
+    board->note_primary(static_cast<int>(primaries));
+    if (hc.primary != nullptr) hc.primary->add(primaries);
+
+    const sim::Nanos hedge_delay = board->hedge_delay();
+
+    // Hedge wave. Mandatory when a primary failed — degraded recovery needs
+    // parity regardless of budget. Speculative when every primary is alive
+    // but the slowest lags past the hedge delay: reconstruction from the
+    // healthiest k shards races the straggler, gated by the token budget.
+    int extra_target = 0;
+    bool speculative = false;
+    sim::Nanos extra_start{};
+    if (any_primary_failed) {
+      int clean = 0;
+      sim::Nanos known{kInfNs};  // first failure-known time starts recovery
+      for (const HedgedAttempt& at : atts) {
+        if (!at.issued) continue;
+        if (at.a.ok) ++clean;
+        if (at.a.failed) known = std::min(known, at.a.latency);
+      }
+      extra_target = std::max(0, k - clean);
+      extra_start = any_suspect ? sim::Nanos{} : known;
+    } else if (t1 > hedge_delay) {
+      int clean_fast = 0;
+      for (const HedgedAttempt& at : atts)
+        if (at.issued && at.a.ok && at.a.latency <= hedge_delay) ++clean_fast;
+      const int want = k - clean_fast;
+      if (want > 0 && board->try_hedge(want)) {
+        extra_target = want;
+        speculative = true;
+        extra_start = hedge_delay;
+      } else if (want > 0 && hc.denied != nullptr) {
+        hc.denied->add(static_cast<std::uint64_t>(want));
+      }
+    }
+
+    if (extra_target > 0) {
+      const std::vector<int> rank = rank_by_health(*board, ds.servers());
+      std::vector<int> cands;
+      for (int r = 0; r < total; ++r)
+        if (!atts[static_cast<std::size_t>(r)].issued) cands.push_back(r);
+      std::stable_sort(cands.begin(), cands.end(), [&](int x, int y) {
+        return rank[static_cast<std::size_t>(ds.server_of(
+                   meta.ino, stripe, static_cast<std::uint32_t>(x)))] <
+               rank[static_cast<std::size_t>(ds.server_of(
+                   meta.ino, stripe, static_cast<std::uint32_t>(y)))];
+      });
+      int issued_extra = 0;
+      for (std::size_t ci = 0;
+           ci < cands.size() && issued_extra < extra_target; ++ci) {
+        HedgedAttempt& at = atts[static_cast<std::size_t>(cands[ci])];
+        at.buf.resize(unit);
+        at.start = extra_start;
+        at.speculative = speculative;
+        at.a = ds.probe_read_shard(meta.ino, stripe,
+                                   static_cast<std::uint32_t>(cands[ci]),
+                                   at.buf);
+        at.issued = true;
+        ++issued_extra;
+        if (speculative && hc.issued != nullptr) hc.issued->add();
+        // Mandatory recovery replaces a dead/hole extra with the next
+        // candidate — it needs k clean shards, not k attempts.
+        if (!speculative && !at.a.ok) ++extra_target;
+      }
+    }
+
+    // Completion: T1 = all primaries arrive; T2 = k-th clean shard arrives
+    // (reconstruction possible). First to happen wins.
+    std::vector<std::pair<std::int64_t, int>> clean_arrivals;
+    for (int r = 0; r < total; ++r) {
+      const HedgedAttempt& at = atts[static_cast<std::size_t>(r)];
+      if (at.issued && at.a.ok) clean_arrivals.emplace_back(done_at(at), r);
+    }
+    std::sort(clean_arrivals.begin(), clean_arrivals.end());
+    const std::int64_t t1_eff = any_primary_failed ? kInfNs : t1.ns;
+    const std::int64_t t2 =
+        static_cast<int>(clean_arrivals.size()) >= k
+            ? clean_arrivals[static_cast<std::size_t>(k) - 1].first
+            : kInfNs;
+    const std::int64_t finish = std::min(t1_eff, t2);
+    if (finish == kInfNs) {
+      // Unrecoverable this pass: every attempt ran to completion, nothing
+      // won. Charge them all and let the caller fall back / fail the op.
+      for (const HedgedAttempt& at : atts)
+        if (at.issued) DataServers::commit_attempt(at.a, prof);
+      return false;
+    }
+
+    const bool via_t2 = t2 < t1_eff;
+    std::vector<bool> winner(static_cast<std::size_t>(total), false);
+    if (via_t2) {
+      for (int i = 0; i < k; ++i)
+        winner[static_cast<std::size_t>(clean_arrivals
+                                            [static_cast<std::size_t>(i)]
+                                                .second)] = true;
+    } else {
+      for (int d = 0; d < k; ++d)
+        if (needed[static_cast<std::size_t>(d)])
+          winner[static_cast<std::size_t>(d)] = true;
+    }
+
+    bool hedge_won = false;
+    for (int r = 0; r < total; ++r) {
+      const HedgedAttempt& at = atts[static_cast<std::size_t>(r)];
+      if (!at.issued) continue;
+      if (winner[static_cast<std::size_t>(r)]) {
+        DataServers::commit_attempt(at.a, prof);
+        if (via_t2 && at.speculative) hedge_won = true;
+      } else if (done_at(at) <= finish) {
+        // Completed (or failed) before the op finished: its cost is real.
+        DataServers::commit_attempt(at.a, prof);
+        if (at.speculative && hc.wasted != nullptr) hc.wasted->add();
+      } else {
+        // Still in flight at completion: cancelled, charges nothing.
+        if (hc.cancelled != nullptr) hc.cancelled->add();
+      }
+    }
+    if (hedge_won && hc.won != nullptr) hc.won->add();
+
+    if (!via_t2) {
+      for (int d = 0; d < k; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        if (needed[di])
+          std::memcpy(dst.data() + r_dst[di], atts[di].buf.data() + r_in[di],
+                      r_chunk[di]);
+      }
+    } else {
+      // Reconstruct the stripe from exactly the k winning clean shards.
+      std::vector<std::vector<std::byte>> shards(
+          static_cast<std::size_t>(total), std::vector<std::byte>(unit));
+      std::unique_ptr<bool[]> present =
+          std::make_unique<bool[]>(static_cast<std::size_t>(total));
+      for (int r = 0; r < total; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (winner[ri]) {
+          shards[ri] = std::move(atts[ri].buf);
+          present[ri] = true;
+        }
+      }
+      std::vector<std::span<std::byte>> views;
+      views.reserve(static_cast<std::size_t>(total));
+      for (auto& s : shards) views.emplace_back(s);
+      rs.reconstruct(views,
+                     std::span<const bool>(present.get(),
+                                           static_cast<std::size_t>(total)));
+      if (reconstructed != nullptr) *reconstructed = true;
+      // Repair-in-place only shards that provably rotted *and* whose read
+      // completed before the op did (a cancelled read never saw the rot) —
+      // same policy as striped_read_reconstruct.
+      for (int r = 0; r < total; ++r) {
+        const HedgedAttempt& at = atts[static_cast<std::size_t>(r)];
+        if (at.issued && at.a.corrupt && done_at(at) <= finish)
+          ds.repair_shard(meta.ino, stripe, static_cast<std::uint32_t>(r),
+                          shards[static_cast<std::size_t>(r)], prof);
+      }
+      for (int d = 0; d < k; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        if (needed[di])
+          std::memcpy(dst.data() + r_dst[di], shards[di].data() + r_in[di],
+                      r_chunk[di]);
+      }
+    }
+    prof.crit += sim::Nanos{finish};
+    done = local;
+  }
+  return true;
+}
+
+bool hedged_replicated_read(DataServers& ds, const FileMeta& meta,
+                            std::uint64_t offset, std::span<std::byte> dst,
+                            OpProfile& prof) {
+  DPC_CHECK(meta.redundancy == Redundancy::kReplication);
+  fault::HealthBoard* board = ds.health();
+  DPC_CHECK(board != nullptr);
+  const DataServers::HedgeCounters& hc = ds.hedge_counters();
+  const std::uint32_t unit = meta.stripe_unit;
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t stripe = pos / unit;
+    const auto in_unit = static_cast<std::uint32_t>(pos % unit);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dst.size() - done, unit - in_unit));
+
+    // Replica copies ordered healthiest-first; the best one is the primary.
+    const std::vector<int> rank = rank_by_health(*board, ds.servers());
+    std::vector<std::uint32_t> order(meta.replicas);
+    for (std::uint32_t r = 0; r < meta.replicas; ++r) order[r] = r;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return rank[static_cast<std::size_t>(
+                                  ds.server_of(meta.ino, stripe, x))] <
+                              rank[static_cast<std::size_t>(
+                                  ds.server_of(meta.ino, stripe, y))];
+                     });
+
+    const sim::Nanos hedge_delay = board->hedge_delay();
+    std::vector<HedgedAttempt> atts;
+    atts.reserve(order.size());
+    sim::Nanos now{};
+    bool next_speculative = false;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      HedgedAttempt at;
+      at.buf.resize(unit);
+      at.start = now;
+      at.speculative = next_speculative;
+      if (i == 0) {
+        board->note_primary(1);
+        if (hc.primary != nullptr) hc.primary->add();
+      } else if (next_speculative && hc.issued != nullptr) {
+        hc.issued->add();
+      }
+      at.a = ds.probe_read_shard(meta.ino, stripe, order[i], at.buf);
+      atts.push_back(std::move(at));
+      const HedgedAttempt& cur = atts.back();
+      // A hole is usable here: the primary-copy semantics serve zeros for
+      // genuinely absent units (matching replicated_read).
+      const bool usable = cur.a.ok || cur.a.hole;
+      if (usable && cur.a.latency <= hedge_delay) break;  // fast enough
+      if (i + 1 >= order.size()) break;
+      if (!usable) {
+        // Failure known: the next replica is mandatory, not budgeted.
+        now = cur.start + cur.a.latency;
+        next_speculative = false;
+        continue;
+      }
+      // Alive but lagging: hedge to the next-best replica if budget allows.
+      if (board->try_hedge(1)) {
+        now = cur.start + hedge_delay;
+        next_speculative = true;
+        continue;
+      }
+      if (hc.denied != nullptr) hc.denied->add();
+      break;  // budget exhausted — wait out the slow replica
+    }
+
+    std::int64_t finish = kInfNs;
+    int win = -1;
+    for (std::size_t i = 0; i < atts.size(); ++i) {
+      const HedgedAttempt& at = atts[i];
+      if (!(at.a.ok || at.a.hole)) continue;
+      const std::int64_t t = done_at(at);
+      if (t < finish) {
+        finish = t;
+        win = static_cast<int>(i);
+      }
+    }
+    if (win < 0) {
+      for (const HedgedAttempt& at : atts)
+        DataServers::commit_attempt(at.a, prof);
+      return false;  // no replica readable
+    }
+    for (std::size_t i = 0; i < atts.size(); ++i) {
+      const HedgedAttempt& at = atts[i];
+      if (static_cast<int>(i) == win) {
+        DataServers::commit_attempt(at.a, prof);
+        if (at.speculative && hc.won != nullptr) hc.won->add();
+      } else if (done_at(at) <= finish) {
+        DataServers::commit_attempt(at.a, prof);
+        if (at.speculative && hc.wasted != nullptr) hc.wasted->add();
+      } else {
+        if (hc.cancelled != nullptr) hc.cancelled->add();
+      }
+    }
+    prof.crit += sim::Nanos{finish};
+    std::memcpy(dst.data() + done, atts[static_cast<std::size_t>(win)].buf.data() + in_unit,
+                chunk);
     done += chunk;
   }
   return true;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ec/reed_solomon.hpp"
+#include "fault/health.hpp"
 #include "fault/injector.hpp"
 #include "fault/retry.hpp"
 #include "obs/metrics.hpp"
@@ -36,6 +37,10 @@ namespace dpc::dfs {
 /// read/write behaves as if the target server did not answer in time.
 inline constexpr std::string_view kFaultDsReadShard = "dfs.ds/read_shard";
 inline constexpr std::string_view kFaultDsWriteShard = "dfs.ds/write_shard";
+/// Fail-slow sites (FaultInjector::arm_slow): the peer answers correctly
+/// but its service time stretches — gray failure, not an outage.
+inline constexpr std::string_view kFaultDsSlow = "dfs.ds/slow";
+inline constexpr std::string_view kFaultMdsSlow = "dfs.mds/slow";
 
 using Ino = std::uint64_t;
 using ClientId = std::uint32_t;
@@ -69,6 +74,11 @@ struct OpProfile {
   sim::Nanos mds{};        ///< MDS service demand
   sim::Nanos ds{};         ///< data-server service demand
   sim::Nanos net{};        ///< pure network delay (propagation)
+  /// Critical-path completion latency of fan-out phases (hedged/parallel
+  /// shard reads): per stripe the *slowest winning* shard, summed across
+  /// stripes. Zero on the serial paths, which model latency as the demand
+  /// sums above. The tail-tolerance bench reads its per-op latency here.
+  sim::Nanos crit{};
   std::uint32_t mds_ops = 0;
   std::uint32_t ds_ops = 0;
   std::uint32_t forwards = 0;  ///< entry→home forwarding hops
@@ -149,11 +159,24 @@ class MdsCluster {
   /// Metadata lookup without charging an RPC (internal plumbing).
   std::optional<FileMeta> find_meta(Ino ino) const;
 
+  /// Attaches the fail-slow plumbing: with an injector, each metadata RPC's
+  /// MDS service time can stretch at the kFaultMdsSlow site (limping-peer
+  /// mode keys on the home MDS index).
+  void attach_fault(fault::FaultInjector* fault) { fault_ = fault; }
+  /// Creates the per-MDS health scoreboard ("mds" group) feeding the
+  /// health/ gauges; every charged RPC records its observed latency.
+  void enable_health(obs::Registry* registry,
+                     const fault::HealthConfig& cfg = {});
+  fault::HealthBoard* health() const { return health_.get(); }
+
  private:
   /// Adds the cost of one metadata RPC (and the forward if not direct).
   void charge(int home, int entry, bool direct, OpProfile& prof) const;
 
   std::vector<Mds> mds_;
+  fault::FaultInjector* fault_ = nullptr;
+  /// mutable: charge() is const but records observations.
+  mutable std::unique_ptr<fault::HealthBoard> health_;
   std::atomic<Ino> next_ino_{1};
   mutable sim::AnnotatedMutex recall_mu_{"mds.recall",
                                          sim::LockRank::kShard};
@@ -210,6 +233,35 @@ bool replicated_read(DataServers& ds, const FileMeta& meta,
 bool replicated_read_any(DataServers& ds, const FileMeta& meta,
                          std::uint64_t offset, std::span<std::byte> dst,
                          OpProfile& prof);
+
+// ------------------------------------------------------------ hedged reads
+//
+// Tail-tolerant read paths (DESIGN.md §5l). Both require an enabled
+// HealthBoard on `ds`. Per stripe, the needed data shards are issued as a
+// parallel primary wave; a shard lagging the board's hedge_delay() (or one
+// that failed / sits on a quarantined server) triggers extra reads of the
+// stripe's remaining shards, healthiest servers first — first k of k+m
+// clean shards wins, the stripe is RS-reconstructed if the winners don't
+// include every needed data shard, and losers are cancelled before payload
+// transfer so they charge nothing. Speculative hedges are capped by the
+// board's token budget; recovery of failed shards is not (correctness path,
+// accounted as a degraded read). prof.crit accumulates the per-stripe
+// completion time — the fan-out-aware latency the serial demand sums can't
+// express.
+
+/// `reconstructed` (optional) reports that at least one stripe was served
+/// via RS reconstruction — the caller charges the decode compute to its own
+/// locus, exactly like the striped_read_reconstruct contract.
+bool hedged_striped_read(DataServers& ds, const ec::ReedSolomon& rs,
+                         const FileMeta& meta, std::uint64_t offset,
+                         std::span<std::byte> dst, OpProfile& prof,
+                         bool* reconstructed = nullptr);
+/// Replicated flavor: replicas ranked by server health score; the best is
+/// the primary, laggards are hedged to the next-best copy. First clean
+/// replica wins.
+bool hedged_replicated_read(DataServers& ds, const FileMeta& meta,
+                            std::uint64_t offset, std::span<std::byte> dst,
+                            OpProfile& prof);
 
 /// Identity of one stored shard (scrubber enumeration / targeted repair).
 struct ShardId {
@@ -288,6 +340,50 @@ class DataServers {
   /// Snapshot of every stored shard's identity (scrubber walk order).
   std::vector<ShardId> stored_shards() const;
 
+  // ---- gray-failure tolerance (DESIGN.md §5l) ---------------------------
+
+  /// Creates the per-server health scoreboard ("ds" group). From then on
+  /// every shard access records its observed latency, reads time out at the
+  /// board's adaptive deadline instead of waiting out a limping server, and
+  /// quarantined servers are skipped (every Nth access probes). Uses the
+  /// registry passed at construction for the health/ and hedge/ metrics.
+  void enable_health(const fault::HealthConfig& cfg = {});
+  fault::HealthBoard* health() const { return health_.get(); }
+
+  /// One staged shard-read attempt: nothing is charged to any OpProfile
+  /// until commit_attempt(), which is how hedged reads cancel losers
+  /// without double-charging DS bytes or DMA accounting. Breaker and
+  /// health bookkeeping still happen at probe time (the attempt physically
+  /// went to the wire).
+  struct ShardAttempt {
+    bool ok = false;          ///< clean bytes landed in dst
+    bool failed = false;      ///< outage / adaptive-deadline timeout / rot
+    bool corrupt = false;     ///< CRC mismatch (subset of failed)
+    bool hole = false;        ///< absent shard: dst zero-filled, not failed
+    bool fast_failed = false; ///< breaker/quarantine rejected pre-wire
+    sim::Nanos latency{};     ///< modelled service+wire time of the attempt
+    OpProfile charge;         ///< costs to fold in iff the attempt is used
+  };
+  /// Stages a read (fills `dst`, charges nothing). The plain read_shard()
+  /// below is probe + unconditional commit.
+  ShardAttempt probe_read_shard(Ino ino, std::uint64_t stripe,
+                                std::uint32_t role, std::span<std::byte> dst);
+  /// Folds a used attempt's costs into `prof`.
+  static void commit_attempt(const ShardAttempt& a, OpProfile& prof) {
+    prof += a.charge;
+  }
+
+  /// Hedge counters for the hedged-read paths (null without a registry).
+  struct HedgeCounters {
+    obs::Counter* issued = nullptr;     ///< speculative shard reads launched
+    obs::Counter* won = nullptr;        ///< stripes finished via a hedge
+    obs::Counter* wasted = nullptr;     ///< hedges that arrived but lost
+    obs::Counter* cancelled = nullptr;  ///< losers cancelled before payload
+    obs::Counter* denied = nullptr;     ///< hedges denied by the budget
+    obs::Counter* primary = nullptr;    ///< primary-wave shard reads
+  };
+  const HedgeCounters& hedge_counters() const { return hedge_; }
+
  private:
   struct Key {
     Ino ino;
@@ -315,9 +411,11 @@ class DataServers {
   };
 
   /// True if the failure gate must run for server `s`; false is the
-  /// zero-overhead happy path (no injector, no server ever failed).
+  /// zero-overhead happy path (no injector, no server ever failed, no
+  /// health board watching).
   bool gated() const {
-    return fault_ != nullptr || any_failed_.load(std::memory_order_relaxed);
+    return fault_ != nullptr || health_ != nullptr ||
+           any_failed_.load(std::memory_order_relaxed);
   }
   /// Whether this access fails, charging the wasted attempt and driving
   /// the server's breaker. `fast_failed` = breaker rejected it outright.
@@ -326,12 +424,15 @@ class DataServers {
 
   std::vector<Server> servers_;
   fault::FaultInjector* fault_ = nullptr;
+  obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers_;
+  std::unique_ptr<fault::HealthBoard> health_;
   std::atomic<bool> any_failed_{false};
   obs::Counter* failed_reads_ = nullptr;
   obs::Counter* failed_writes_ = nullptr;
   obs::Counter* corrupt_reads_ = nullptr;
   obs::Counter* shard_repairs_ = nullptr;
+  HedgeCounters hedge_;
 };
 
 }  // namespace dpc::dfs

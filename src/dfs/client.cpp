@@ -191,11 +191,28 @@ IoResult DfsClient::read(Ino ino, std::uint64_t offset,
       return res;
     }
     bool done;
+    const bool hedge = cfg_.hedged_reads && ds_->health() != nullptr;
     if (meta->redundancy == Redundancy::kReplication) {
-      done = replicated_read(*ds_, *meta, offset, dst, res.prof) ||
-             replicated_read_any(*ds_, *meta, offset, dst, res.prof);
+      done = hedge ? hedged_replicated_read(*ds_, *meta, offset, dst, res.prof)
+                   : (replicated_read(*ds_, *meta, offset, dst, res.prof) ||
+                      replicated_read_any(*ds_, *meta, offset, dst, res.prof));
     } else {
-      done = striped_read(*ds_, *meta, offset, dst, res.prof);
+      if (hedge) {
+        bool reconstructed = false;
+        done = hedged_striped_read(*ds_, rs_, *meta, offset, dst, res.prof,
+                                   &reconstructed);
+        if (done && reconstructed) {
+          // The hedge won via degraded decode — charge it where the client
+          // runs, same as the serial reconstruct path below.
+          stats_.degraded_reads.add();
+          if (cfg_.on_dpu)
+            res.prof.dpu_cpu += ec::ReedSolomon::dpu_encode_cost(dst.size());
+          else
+            res.prof.host_cpu += ec::ReedSolomon::host_encode_cost(dst.size());
+        }
+      } else {
+        done = striped_read(*ds_, *meta, offset, dst, res.prof);
+      }
       if (!done) {
         // Degraded read: a data shard is unreachable — reconstruct it from
         // the survivors (k of k+m shards) with a bounded retry budget.

@@ -48,6 +48,10 @@ struct ClientConfig {
   /// Retry budget for transient failures (delegation contention, failed
   /// shard reads); backoff is folded into the op's modelled net cost.
   fault::RetryPolicy retry{};
+  /// Tail-tolerant reads: route direct-IO reads through the hedged engines
+  /// (health-ranked replica choice, speculative parity reads racing slow
+  /// shards). Requires DataServers::enable_health(); ignored without it.
+  bool hedged_reads = false;
 
   static ClientConfig standard_nfs() { return {}; }
   static ClientConfig optimized() {

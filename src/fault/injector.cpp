@@ -40,6 +40,7 @@ FaultInjector::FaultInjector(std::uint64_t seed, obs::Registry* registry)
     injected_ = &registry->counter("fault/injected");
     checks_ = &registry->counter("fault/checks");
     crashes_ = &registry->counter("fault/crashes");
+    slow_injected_ = &registry->counter("fault/slow_injected");
   }
 }
 
@@ -102,6 +103,58 @@ bool FaultInjector::should_fail(std::string_view site,
   if (entropy_out != nullptr) *entropy_out = entropy;
   if (injected_ != nullptr) injected_->add();
   return true;
+}
+
+void FaultInjector::arm_slow(std::string_view site, const SlowSpec& spec) {
+  DPC_CHECK(spec.multiplier >= 1.0);
+  DPC_CHECK(spec.stall_probability >= 0.0 && spec.stall_probability <= 1.0);
+  DPC_CHECK(spec.stall.ns >= 0);
+  sim::LockGuard lock(mu_);
+  auto& slot = slow_sites_[std::string(site)];
+  if (slot == nullptr) {
+    slot = std::make_unique<SlowSite>();
+    slot->name_hash = fnv1a(site);
+  }
+  slot->spec = spec;
+  slot->enabled = true;
+  slot->draws.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_slow(std::string_view site) {
+  sim::LockGuard lock(mu_);
+  slow_sites_.erase(std::string(site));
+}
+
+FaultInjector::SlowSite* FaultInjector::find_slow(
+    std::string_view site) const {
+  sim::SharedLockGuard lock(mu_);
+  const auto it = slow_sites_.find(std::string(site));
+  return it == slow_sites_.end() ? nullptr : it->second.get();
+}
+
+bool FaultInjector::slow_armed(std::string_view site) const {
+  const SlowSite* s = find_slow(site);
+  return s != nullptr && s->enabled;
+}
+
+sim::Nanos FaultInjector::slow_penalty(std::string_view site, int peer,
+                                       sim::Nanos base) {
+  SlowSite* s = find_slow(site);
+  if (s == nullptr || !s->enabled) return {};
+  if (s->spec.peer >= 0 && s->spec.peer != peer) return {};
+  sim::Nanos extra{};
+  if (s->spec.multiplier > 1.0) {
+    extra.ns += static_cast<std::int64_t>((s->spec.multiplier - 1.0) *
+                                          static_cast<double>(base.ns));
+  }
+  if (s->spec.stall.ns > 0 && s->spec.stall_probability > 0.0) {
+    const std::uint64_t idx =
+        s->draws.fetch_add(1, std::memory_order_relaxed);
+    if (draw_uniform(seed_, s->name_hash, idx) < s->spec.stall_probability)
+      extra += s->spec.stall;
+  }
+  if (extra.ns > 0 && slow_injected_ != nullptr) slow_injected_->add();
+  return extra;
 }
 
 void FaultInjector::arm_crash(std::string_view site, std::uint64_t skip) {

@@ -25,6 +25,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/thread_annotations.hpp"
+#include "sim/time.hpp"
 
 namespace dpc::fault {
 
@@ -65,6 +66,41 @@ class FaultInjector {
   /// damage — not merely the same fault schedule. Untouched when the draw
   /// does not fire.
   bool should_fail(std::string_view site, std::uint64_t* entropy_out);
+
+  // ---- slow outcomes (gray failure / fail-slow) --------------------------
+  //
+  // A *slow* site never fails an access — it stretches the access's modelled
+  // service time, which is how real gray failures present: the peer is up,
+  // answers correctly, and quietly drags every op that touches it. Sites are
+  // independent of the Bernoulli fault sites above (arm both to model a
+  // limping server that also drops requests).
+
+  struct SlowSpec {
+    /// Sustained service-time multiplier (1.0 = healthy; 10.0 = the access
+    /// takes 10× its healthy latency). Applied on every matching access.
+    double multiplier = 1.0;
+    /// Additive stall charged when the intermittent draw fires — models GC
+    /// pauses / queue spikes rather than a uniformly slow peer.
+    sim::Nanos stall{};
+    /// Bernoulli probability of `stall` per access (0 = never).
+    double stall_probability = 0.0;
+    /// Limping-peer mode: only accesses served by this peer index limp;
+    /// -1 limps every peer at the site.
+    int peer = -1;
+  };
+
+  /// Arms (or re-arms) a slow site. Stall draws restart from index 0 on
+  /// re-arm, like arm()'s contract for fault draws.
+  void arm_slow(std::string_view site, const SlowSpec& spec);
+  void disarm_slow(std::string_view site);
+  bool slow_armed(std::string_view site) const;
+
+  /// Extra modelled latency of one access at `site` served by `peer`, whose
+  /// healthy service time is `base`: (multiplier-1)·base when the peer
+  /// matches, plus `stall` when the intermittent draw fires. Deterministic
+  /// per (seed, site, draw index) — same machinery as should_fail. Unarmed
+  /// sites cost one pointer-ish lookup and return zero.
+  sim::Nanos slow_penalty(std::string_view site, int peer, sim::Nanos base);
 
   // ---- crash outcomes (kCrash) -------------------------------------------
   //
@@ -109,13 +145,22 @@ class FaultInjector {
     std::atomic<bool> armed{false};
   };
 
+  struct SlowSite {
+    SlowSpec spec;
+    bool enabled = true;
+    std::uint64_t name_hash = 0;
+    std::atomic<std::uint64_t> draws{0};  // intermittent-stall draw counter
+  };
+
   Site* find(std::string_view site) const;
   CrashSite* find_crash(std::string_view site) const;
+  SlowSite* find_slow(std::string_view site) const;
 
   std::uint64_t seed_;
   obs::Counter* injected_ = nullptr;  // null without a registry
   obs::Counter* checks_ = nullptr;
   obs::Counter* crashes_ = nullptr;
+  obs::Counter* slow_injected_ = nullptr;
 
   std::atomic<bool> crashed_{false};
 
@@ -126,6 +171,8 @@ class FaultInjector {
   std::unordered_map<std::string, std::unique_ptr<Site>> sites_
       GUARDED_BY(mu_);
   std::unordered_map<std::string, std::unique_ptr<CrashSite>> crash_sites_
+      GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<SlowSite>> slow_sites_
       GUARDED_BY(mu_);
 };
 

@@ -55,6 +55,9 @@ bool CircuitBreaker::allow() {
       const std::uint64_t n = ++gated_calls_;
       if (n % static_cast<std::uint64_t>(cfg_.probe_interval) == 0) {
         state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        probe_owner_ = std::this_thread::get_id();
+        halfopen_fast_fails_ = 0;
         if (probes_ != nullptr) probes_->add();
         if (state_gauge_ != nullptr)
           state_gauge_->set(static_cast<std::int64_t>(state_));
@@ -64,7 +67,17 @@ bool CircuitBreaker::allow() {
       return false;
     }
     case State::kHalfOpen:
-      // A probe is already in flight; don't pile on.
+      // A probe is in flight; don't pile on. If its owner has gone quiet
+      // for a full probe interval (crashed mid-attempt), take the probe
+      // over — the original owner's late report becomes a straggler.
+      if (probe_inflight_ &&
+          ++halfopen_fast_fails_ >
+              static_cast<std::uint64_t>(cfg_.probe_interval)) {
+        probe_owner_ = std::this_thread::get_id();
+        halfopen_fast_fails_ = 0;
+        if (probes_ != nullptr) probes_->add();
+        return true;
+      }
       if (fast_fails_ != nullptr) fast_fails_->add();
       return false;
   }
@@ -73,6 +86,17 @@ bool CircuitBreaker::allow() {
 
 void CircuitBreaker::on_success() {
   sim::LockGuard lock(mu_);
+  if (probe_inflight_) {
+    if (probe_owner_ != std::this_thread::get_id()) {
+      // Straggler: an attempt admitted before the breaker opened, reporting
+      // mid-probe. Its evidence predates the outage — it must not close the
+      // breaker out from under the probe.
+      failures_ = 0;
+      return;
+    }
+    probe_inflight_ = false;
+    halfopen_fast_fails_ = 0;
+  }
   if (state_ != State::kClosed) {
     state_ = State::kClosed;
     gated_calls_ = 0;
@@ -87,6 +111,10 @@ void CircuitBreaker::on_failure() {
   sim::LockGuard lock(mu_);
   ++failures_;
   if (state_ == State::kHalfOpen) {
+    if (probe_inflight_ && probe_owner_ != std::this_thread::get_id())
+      return;  // straggler: only the probe's own verdict resolves half-open
+    probe_inflight_ = false;
+    halfopen_fast_fails_ = 0;
     state_ = State::kOpen;  // probe failed: stay open, no new open event
     if (state_gauge_ != nullptr)
       state_gauge_->set(static_cast<std::int64_t>(state_));

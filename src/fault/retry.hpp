@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "sim/thread_annotations.hpp"
@@ -60,6 +61,17 @@ struct RetryPolicy {
 /// Open → (every probe_interval-th gated call probes) → HalfOpen →
 /// success closes / failure reopens. Probing is op-count based so the
 /// breaker works in modelled time.
+///
+/// Half-open is *single-probe*: allow() grants exactly one caller the probe
+/// and remembers its thread; everyone else fast-fails until that probe's own
+/// on_success/on_failure resolves the state. Without the ownership check a
+/// straggler's on_failure — a slow attempt admitted before the breaker
+/// opened, reporting in mid-probe — would flip HalfOpen back to Open and
+/// re-arm the gated-call counter, admitting a second concurrent probe (and a
+/// straggler's success could close the breaker on evidence that predates the
+/// outage). A probe owner that never reports (crashed mid-attempt) would
+/// wedge the breaker half-open forever, so after probe_interval fast-fails
+/// with no resolution the next gated call may take the probe over.
 class CircuitBreaker {
  public:
   enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
@@ -92,6 +104,11 @@ class CircuitBreaker {
   // consecutive failures (reset on success) / calls gated while open
   std::uint64_t failures_ GUARDED_BY(mu_) = 0;
   std::uint64_t gated_calls_ GUARDED_BY(mu_) = 0;
+  // Half-open probe ownership: while a probe is in flight only its owning
+  // thread may resolve the half-open state (see class comment).
+  bool probe_inflight_ GUARDED_BY(mu_) = false;
+  std::thread::id probe_owner_ GUARDED_BY(mu_);
+  std::uint64_t halfopen_fast_fails_ GUARDED_BY(mu_) = 0;
 
   // Registry counters are shared across breaker instances by name — the
   // acceptance criterion reads the aggregate "breaker/opens".

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <string_view>
 
+#include "fault/health.hpp"
 #include "fault/injector.hpp"
 #include "fault/retry.hpp"
 #include "kv/kv_store.hpp"
@@ -56,6 +58,16 @@ class RemoteKv {
 
   /// Fault-injection site for every remote op's wire round trip.
   static constexpr std::string_view kFaultSite = "kv.remote/op";
+  /// Fail-slow site (FaultInjector::arm_slow): the backend answers
+  /// correctly but its service time stretches — gray failure.
+  static constexpr std::string_view kSlowSite = "kv.remote/slow";
+
+  /// Attaches a single-peer health board ("kv"): observed op latencies feed
+  /// an adaptive deadline that replaces the fixed kKvOpTimeout in the retry
+  /// loop, and a sustained-timeout quarantine fast-fails ops between
+  /// reintegration probes. Gauges/counters land in the ctor's registry.
+  void enable_health(const fault::HealthConfig& cfg = {});
+  fault::HealthBoard* health() const { return health_.get(); }
 
   Timed<std::optional<Bytes>> get(std::string_view key) const;
   Timed<bool> put(std::string_view key, std::span<const std::byte> value);
@@ -92,8 +104,11 @@ class RemoteKv {
 
   KvStore* store_;
   fault::FaultInjector* fault_;
+  obs::Registry* registry_;
   fault::RetryPolicy retry_;
   mutable fault::CircuitBreaker breaker_;
+  // mutable: begin_op is const (reads are const ops) but records latencies.
+  mutable std::unique_ptr<fault::HealthBoard> health_;
   mutable std::atomic<std::uint64_t> op_seq_{0};  // jitter salt
   obs::Counter* retry_attempts_ = nullptr;
   obs::Counter* retry_exhausted_ = nullptr;

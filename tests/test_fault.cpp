@@ -223,6 +223,112 @@ TEST(CircuitBreaker, OpensAfterThresholdAndProbes) {
   EXPECT_TRUE(br.allow());
 }
 
+// Drives the breaker open and to the half-open probe on the calling thread.
+void open_and_probe(CircuitBreaker& br, const CircuitBreaker::Config& cfg) {
+  for (int i = 0; i < cfg.failure_threshold; ++i) {
+    ASSERT_TRUE(br.allow());
+    br.on_failure();
+  }
+  ASSERT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  for (int i = 0; i < cfg.probe_interval - 1; ++i) ASSERT_FALSE(br.allow());
+  ASSERT_TRUE(br.allow());  // this thread owns the probe
+  ASSERT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+/// Runs `fn` on a different thread than the caller's — a "straggler": an
+/// attempt admitted before the breaker opened, reporting in mid-probe.
+template <typename Fn>
+void on_other_thread(Fn fn) {
+  std::thread t(fn);
+  t.join();
+}
+
+TEST(CircuitBreaker, HalfOpenStragglerFailureCannotReopen) {
+  // Regression: a straggler's on_failure used to flip HalfOpen → Open and
+  // re-arm the gated-call counter, letting a *second* concurrent probe
+  // through while the first was still in flight.
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.probe_interval = 4;
+  CircuitBreaker br(cfg);
+  open_and_probe(br, cfg);
+
+  on_other_thread([&] { br.on_failure(); });
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  // And crucially: no second probe is admitted while the first is out.
+  on_other_thread([&] { EXPECT_FALSE(br.allow()); });
+
+  // The owner's own verdict still resolves the probe.
+  br.on_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenStragglerSuccessCannotClose) {
+  // A straggler's success is evidence that predates the outage — it must
+  // not close the breaker out from under the in-flight probe.
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.probe_interval = 4;
+  CircuitBreaker br(cfg);
+  open_and_probe(br, cfg);
+
+  on_other_thread([&] { br.on_success(); });
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+
+  br.on_success();  // the probe's own success closes
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  // Two threads race allow() at the probe boundary: exactly one may win
+  // the probe; the loser fast-fails.
+  for (int round = 0; round < 50; ++round) {
+    CircuitBreaker::Config cfg;
+    cfg.failure_threshold = 1;
+    cfg.probe_interval = 1;  // every gated call is probe-eligible
+    CircuitBreaker br(cfg);
+    ASSERT_TRUE(br.allow());
+    br.on_failure();
+    ASSERT_EQ(br.state(), CircuitBreaker::State::kOpen);
+
+    std::atomic<int> granted{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 2; ++t)
+      ts.emplace_back([&] {
+        if (br.allow()) granted.fetch_add(1);
+      });
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(granted.load(), 1);
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  }
+}
+
+TEST(CircuitBreaker, WedgedProbeIsTakenOver) {
+  // The probe owner crashes mid-attempt and never reports. After a full
+  // probe interval of half-open fast-fails, the next gated call takes the
+  // probe over instead of wedging half-open forever.
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.probe_interval = 4;
+  CircuitBreaker br(cfg);
+  for (int i = 0; i < cfg.failure_threshold; ++i) {
+    ASSERT_TRUE(br.allow());
+    br.on_failure();
+  }
+  // Another thread wins the probe… and goes silent.
+  on_other_thread([&] {
+    for (int i = 0; i < cfg.probe_interval - 1; ++i) ASSERT_FALSE(br.allow());
+    ASSERT_TRUE(br.allow());
+  });
+  ASSERT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+
+  for (int i = 0; i < cfg.probe_interval; ++i) EXPECT_FALSE(br.allow());
+  EXPECT_TRUE(br.allow());  // takeover: this thread now owns the probe
+  br.on_success();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow());
+}
+
 TEST(CircuitBreaker, SuccessResetsFailureStreak) {
   CircuitBreaker::Config cfg;
   cfg.failure_threshold = 3;
